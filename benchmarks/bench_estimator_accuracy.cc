@@ -1,0 +1,107 @@
+/// \file bench_estimator_accuracy.cc
+/// \brief Reproduces §7's "Model Accuracy and Estimation Errors": the
+/// production estimators occasionally miss — one sampled task
+/// underestimated compute cost by 19% while overestimating file count
+/// reduction by 28%, attributed to ignoring partition boundaries.
+///
+/// This harness compacts a fragmented fleet and compares, per table:
+///  * estimated ΔF (the paper's partition-blind estimator) vs actual,
+///  * the partition-aware ΔF estimator vs actual,
+///  * estimated GBHr (§4.2 formula over small-file bytes) vs measured.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/observe.h"
+#include "core/traits.h"
+#include "sim/environment.h"
+#include "sim/metrics.h"
+#include "workload/fleet.h"
+
+using namespace autocomp;
+
+int main() {
+  std::printf("=== §7 estimator accuracy: predicted vs actual ===\n");
+  sim::SimEnvironment env;
+  workload::FleetOptions fleet_options;
+  fleet_options.num_databases = 6;
+  fleet_options.tables_per_db = 8;
+  // Mostly partitioned, moderate-sized tables: the regime where ignoring
+  // partition boundaries hurts the naive estimator most (per-partition
+  // small-file groups still need one output file each).
+  fleet_options.partitioned_fraction = 0.9;
+  fleet_options.size_mu = std::log(1.0 * kGiB);
+  workload::FleetWorkload fleet(fleet_options);
+  AUTOCOMP_CHECK(fleet
+                     .Setup(&env.catalog(), &env.query_engine(),
+                            &env.control_plane(), 0)
+                     .ok());
+  env.clock().AdvanceTo(kHour);
+
+  core::StatsCollector collector(&env.catalog(), &env.control_plane(),
+                                 &env.clock());
+  core::FileCountReductionTrait naive;
+  core::PartitionAwareFileCountReductionTrait aware;
+  const engine::ClusterOptions& copts = env.compaction_cluster().options();
+  core::ComputeCostTrait cost(copts.executor_memory_gb * copts.executors,
+                              copts.rewrite_bytes_per_hour);
+
+  Sample naive_error_pct, aware_error_pct, cost_error_pct;
+  sim::TablePrinter table({"table", "est ΔF", "aware ΔF", "actual ΔF",
+                           "est GBHr", "actual GBHr"});
+  int shown = 0;
+  for (const std::string& name : fleet.TableNames()) {
+    core::Candidate candidate;
+    candidate.table = name;
+    auto stats = collector.Collect(candidate);
+    AUTOCOMP_CHECK(stats.ok());
+    core::ObservedCandidate observed{candidate, std::move(stats).value()};
+    const double est_naive = naive.Compute(observed);
+    const double est_aware = aware.Compute(observed);
+    const double est_cost = cost.Compute(observed);
+    if (est_naive < 4) continue;  // nothing meaningful to compact
+
+    engine::CompactionRequest request;
+    request.table = name;
+    auto result = env.compaction_runner().Run(request, env.clock().Now());
+    AUTOCOMP_CHECK(result.ok());
+    if (!result->committed) continue;
+    const double actual =
+        static_cast<double>(result->files_rewritten - result->files_produced);
+    if (actual <= 0) continue;
+    naive_error_pct.Add(100.0 * (est_naive - actual) / actual);
+    aware_error_pct.Add(100.0 * (est_aware - actual) / actual);
+    cost_error_pct.Add(100.0 * (est_cost - result->gb_hours) /
+                       std::max(1e-9, result->gb_hours));
+    if (shown++ < 12) {
+      table.AddRow({name, sim::Fmt(est_naive, 0), sim::Fmt(est_aware, 0),
+                    sim::Fmt(actual, 0), sim::Fmt(est_cost, 2),
+                    sim::Fmt(result->gb_hours, 2)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  sim::TablePrinter summary(
+      {"estimator", "mean signed error %", "mean |error| %", "n"});
+  auto add_row = [&](const char* label, const Sample& sample) {
+    double abs_total = 0;
+    for (double v : sample.values()) abs_total += std::fabs(v);
+    summary.AddRow({label, sim::Fmt(sample.Mean(), 1),
+                    sim::Fmt(sample.count() > 0
+                                 ? abs_total / sample.count()
+                                 : 0.0, 1),
+                    std::to_string(sample.count())});
+  };
+  add_row("naive ΔF (paper's production estimator)", naive_error_pct);
+  add_row("partition-aware ΔF", aware_error_pct);
+  add_row("GBHr over small-file bytes", cost_error_pct);
+  std::printf("%s\n", summary.ToString().c_str());
+  std::printf(
+      "Paper: ΔF overestimated ~28%% on a sampled task (partition\n"
+      "boundaries ignored); cost underestimated ~19%%. The naive ΔF here\n"
+      "overestimates (positive error, since merged small files still need\n"
+      "ceil(bytes/target) outputs per partition); the partition-aware\n"
+      "variant cuts that error substantially.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// \file bench_fig02_distribution_shift.cc
+/// \brief Reproduces Figure 2: "File size distribution for
+/// OpenHouse-managed Iceberg tables, shown before and after compaction".
+///
+/// Paper shape to match: before compaction 83% of files are <128MB;
+/// manual compaction drops that to ~62% and then plateaus (diminishing
+/// returns, §7); rolling out AutoComp accelerates the shift toward the
+/// 512MB target.
+
+#include <cstdio>
+
+#include "benchmarks/fleet_experiment.h"
+
+using namespace autocomp;
+
+int main() {
+  std::printf("=== Figure 2: fleet file-size distribution shift ===\n");
+  std::vector<bench::FleetPhase> phases = {
+      {"no-compaction", 6, bench::FleetPhase::Mode::kNone, 0, 0},
+      {"manual-100 (period 1)", 6, bench::FleetPhase::Mode::kManualFixed, 100,
+       0},
+      {"manual-100 (period 2)", 6, bench::FleetPhase::Mode::kManualFixed, 100,
+       0},
+      {"autocomp-10", 6, bench::FleetPhase::Mode::kAutoFixedK, 10, 0},
+      {"autocomp-budget", 6, bench::FleetPhase::Mode::kAutoBudget, 0, 400},
+  };
+  std::vector<std::pair<std::string, SizeHistogram>> histograms;
+  const auto days = bench::RunFleetExperiment(phases, &histograms);
+
+  for (const auto& [label, histogram] : histograms) {
+    std::printf("--- after phase: %s ---\n%s", label.c_str(),
+                histogram.ToAsciiChart().c_str());
+    std::printf("files: %lld, %%<128MiB: %.1f, %%<512MiB: %.1f\n\n",
+                static_cast<long long>(histogram.total_count()),
+                100 * histogram.FractionBelow(128 * kMiB),
+                100 * histogram.FractionBelow(512 * kMiB));
+  }
+
+  sim::TablePrinter table({"phase", "% files < 128MiB at phase end"});
+  for (const auto& [label, histogram] : histograms) {
+    table.AddRow({label,
+                  sim::Fmt(100 * histogram.FractionBelow(128 * kMiB), 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nPaper: 83%% small before; 62%% after manual; manual plateaus "
+      "between its two periods; AutoComp keeps shifting the distribution.\n");
+  return 0;
+}

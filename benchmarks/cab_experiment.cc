@@ -1,0 +1,84 @@
+#include "benchmarks/cab_experiment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "workload/cab.h"
+#include "workload/tpch.h"
+
+namespace autocomp::bench {
+
+std::vector<CabStrategy> PaperStrategies() {
+  return {
+      {"NoComp", false, sim::ScopeStrategy::kTable, 0},
+      {"Table-10", true, sim::ScopeStrategy::kTable, 10},
+      {"Hybrid-50", true, sim::ScopeStrategy::kHybrid, 50},
+      {"Hybrid-500", true, sim::ScopeStrategy::kHybrid, 500},
+  };
+}
+
+CabRunResult RunCabExperiment(const CabStrategy& strategy, double scale) {
+  sim::SimEnvironment env;
+
+  // --- Load: 20 databases with TPC-H-like schemas, written by untuned
+  // user jobs (§6's "data load operation generates many small files").
+  workload::CabOptions cab_options;
+  cab_options.num_databases =
+      std::max(1, static_cast<int>(20 * scale));
+  cab_options.duration = 5 * kHour;
+  workload::CabWorkload cab(cab_options);
+  const int64_t bytes_per_db = static_cast<int64_t>(
+      (500.0 / 20.0) * scale >= 1 ? (500.0 / 20.0) * kGiB : 4 * kGiB);
+  for (const std::string& db : cab.DatabaseNames()) {
+    Status setup = workload::SetupTpchDatabase(
+        &env.catalog(), &env.query_engine(), db, bytes_per_db,
+        engine::UntunedUserJobProfile(), /*at=*/0);
+    AUTOCOMP_CHECK(setup.ok()) << setup;
+  }
+
+  CabRunResult result;
+  result.label = strategy.label;
+  result.initial_file_count = env.TotalFileCount();
+
+  // --- Compaction service (hourly trigger, MOOP 0.7/0.3, 512MB target).
+  // Act is deferred to the driver so rewrites overlap user writes on the
+  // simulated timeline — the source of Table 1's cluster-side conflicts.
+  std::unique_ptr<core::AutoCompService> service;
+  if (strategy.compaction) {
+    sim::StrategyPreset preset;
+    preset.scope = strategy.scope;
+    preset.k = strategy.k;
+    preset.trigger_interval = kHour;
+    preset.first_trigger = kHour;
+    preset.deferred_act = true;
+    service = sim::MakeMoopService(&env, preset);
+  }
+
+  // --- Drive the 5-hour stream.
+  sim::MetricsRecorder metrics;
+  sim::DriverOptions driver_options;
+  driver_options.sample_interval = 10 * kMinute;
+  driver_options.retention_interval = kHour;
+  driver_options.deferred_compaction = true;
+  sim::EventDriver driver(&env, &metrics, driver_options);
+  if (service != nullptr) driver.AttachService(service.get());
+  Status run = driver.Run(cab.GenerateEvents(), cab_options.duration);
+  AUTOCOMP_CHECK(run.ok()) << run;
+
+  // --- Collect the figure views.
+  result.file_count_series = metrics.Series("files_total");
+  result.read_latency = metrics.HourlySummaries("read_latency_s");
+  result.write_latency = metrics.HourlySummaries("write_latency_s");
+  result.write_queries = metrics.HourlyCounts("write_queries");
+  result.client_conflicts = metrics.HourlyCounts("client_conflicts");
+  result.total_read_seconds = driver.total_read_seconds();
+  result.total_write_seconds = driver.total_write_seconds();
+  result.final_file_count = env.TotalFileCount();
+  result.cluster_conflicts = metrics.HourlyCounts("cluster_conflicts");
+  for (const sim::SeriesPoint& p : metrics.Series("compaction_gbhr")) {
+    result.compaction_gb_hours.push_back(p.value);
+  }
+  return result;
+}
+
+}  // namespace autocomp::bench

@@ -1,0 +1,59 @@
+/// \file cab_experiment.h
+/// \brief Shared harness for the §6 CAB evaluation: 20 TPC-H-like
+/// databases, 5-hour query streams, hourly compaction under a chosen
+/// strategy. Figures 6, 7, 8 and Table 1 are different views of this run.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/driver.h"
+#include "sim/environment.h"
+#include "sim/metrics.h"
+#include "sim/presets.h"
+
+namespace autocomp::bench {
+
+/// \brief One evaluated strategy configuration.
+struct CabStrategy {
+  std::string label;       // "NoComp", "Table-10", "Hybrid-50", "Hybrid-500"
+  bool compaction = false;
+  sim::ScopeStrategy scope = sim::ScopeStrategy::kTable;
+  int64_t k = 10;
+};
+
+/// The paper's §6.1 strategy set.
+std::vector<CabStrategy> PaperStrategies();
+
+/// \brief Everything a figure needs from one run.
+struct CabRunResult {
+  std::string label;
+  /// Sampled (time, file count) series — Figure 6.
+  std::vector<sim::SeriesPoint> file_count_series;
+  /// GBHr of each compaction pipeline run — Figure 7.
+  std::vector<double> compaction_gb_hours;
+  /// Hourly read/write latency candlesticks — Figure 8.
+  std::vector<std::pair<SimTime, QuantileSummary>> read_latency;
+  std::vector<std::pair<SimTime, QuantileSummary>> write_latency;
+  /// Hourly counters — Table 1.
+  std::vector<std::pair<SimTime, int64_t>> write_queries;
+  std::vector<std::pair<SimTime, int64_t>> client_conflicts;
+  /// (hour, cluster-side compaction conflicts).
+  std::vector<std::pair<SimTime, int64_t>> cluster_conflicts;
+  /// End-to-end workload makespan (the no-comp run overshoots, §6.2).
+  double total_read_seconds = 0;
+  double total_write_seconds = 0;
+  int64_t final_file_count = 0;
+  int64_t initial_file_count = 0;
+};
+
+/// \brief Runs the CAB experiment once under `strategy`.
+///
+/// `scale` shrinks the default 20-database / 5-hour setup for smoke runs
+/// (1.0 = paper-like scale).
+CabRunResult RunCabExperiment(const CabStrategy& strategy,
+                              double scale = 1.0);
+
+}  // namespace autocomp::bench

@@ -1,0 +1,198 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "lst/metadata_json.h"
+
+namespace autocomp::catalog {
+
+Result<std::pair<std::string, std::string>> SplitQualifiedName(
+    const std::string& qualified_name) {
+  const size_t dot = qualified_name.find('.');
+  if (dot == std::string::npos || dot == 0 ||
+      dot + 1 == qualified_name.size() ||
+      qualified_name.find('.', dot + 1) != std::string::npos) {
+    return Status::InvalidArgument("expected 'db.table', got: " +
+                                   qualified_name);
+  }
+  return std::make_pair(qualified_name.substr(0, dot),
+                        qualified_name.substr(dot + 1));
+}
+
+Catalog::Catalog(const Clock* clock, storage::DistributedFileSystem* dfs,
+                 CatalogOptions options)
+    : clock_(clock), dfs_(dfs), options_(options) {
+  assert(clock_ != nullptr && dfs_ != nullptr);
+}
+
+void Catalog::MaybePersistMetadata(const lst::TableMetadata& metadata) {
+  if (!options_.persist_metadata) return;
+  auto persisted = lst::PersistMetadataFootprint(dfs_, metadata);
+  if (!persisted.ok()) {
+    // A quota breach on the metadata write mirrors a real failure mode
+    // (namespace exhaustion blocks commits' bookkeeping); surface it but
+    // keep the already-swapped commit.
+    LOG_WARN << "metadata persistence failed for " << metadata.name() << ": "
+             << persisted.status();
+    return;
+  }
+  const int64_t expire_below =
+      metadata.version() - options_.metadata_versions_retained;
+  if (expire_below > 0) {
+    auto expired = lst::ExpireMetadataFootprint(dfs_, metadata, expire_below);
+    if (!expired.ok()) {
+      LOG_WARN << "metadata expiry failed for " << metadata.name() << ": "
+               << expired.status();
+    }
+  }
+}
+
+std::string Catalog::DatabaseLocation(const std::string& db) {
+  return "/data/" + db;
+}
+
+std::string Catalog::TableLocation(const std::string& qualified_name) {
+  auto parts = SplitQualifiedName(qualified_name);
+  if (!parts.ok()) return "/data/_invalid";
+  return DatabaseLocation(parts->first) + "/" + parts->second;
+}
+
+Status Catalog::CreateDatabase(const std::string& db,
+                               int64_t namespace_quota_objects) {
+  if (db.empty() || db.find('.') != std::string::npos ||
+      db.find('/') != std::string::npos) {
+    return Status::InvalidArgument("invalid database name: " + db);
+  }
+  if (databases_.count(db) > 0) {
+    return Status::AlreadyExists("database exists: " + db);
+  }
+  databases_[db] = {};
+  if (namespace_quota_objects > 0) {
+    dfs_->SetNamespaceQuota(DatabaseLocation(db), namespace_quota_objects);
+  }
+  return Status::OK();
+}
+
+bool Catalog::DatabaseExists(const std::string& db) const {
+  return databases_.count(db) > 0;
+}
+
+std::vector<std::string> Catalog::ListDatabases() const {
+  std::vector<std::string> out;
+  out.reserve(databases_.size());
+  for (const auto& [db, _] : databases_) out.push_back(db);
+  return out;
+}
+
+Result<lst::Table> Catalog::CreateTable(const std::string& db,
+                                        const std::string& table,
+                                        lst::Schema schema,
+                                        lst::PartitionSpec spec,
+                                        Config properties) {
+  const auto db_it = databases_.find(db);
+  if (db_it == databases_.end()) {
+    return Status::NotFound("no such database: " + db);
+  }
+  if (table.empty() || table.find('.') != std::string::npos ||
+      table.find('/') != std::string::npos) {
+    return Status::InvalidArgument("invalid table name: " + table);
+  }
+  const std::string qualified = db + "." + table;
+  if (tables_.count(qualified) > 0) {
+    return Status::AlreadyExists("table exists: " + qualified);
+  }
+  lst::TableMetadata::Builder builder(qualified, TableLocation(qualified),
+                                      std::move(schema), std::move(spec));
+  builder.SetProperties(std::move(properties));
+  builder.SetCreatedAt(clock_->Now());
+  AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta, builder.Build());
+  MaybePersistMetadata(*meta);
+  tables_.emplace(qualified, std::move(meta));
+  db_it->second.push_back(table);
+  ++stats_.tables_created;
+  return lst::Table(this, qualified, clock_);
+}
+
+Result<lst::Table> Catalog::GetTable(const std::string& qualified_name) {
+  if (tables_.count(qualified_name) == 0) {
+    return Status::NotFound("no such table: " + qualified_name);
+  }
+  return lst::Table(this, qualified_name, clock_);
+}
+
+Status Catalog::DropTable(const std::string& qualified_name) {
+  const auto it = tables_.find(qualified_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + qualified_name);
+  }
+  tables_.erase(it);
+  AUTOCOMP_ASSIGN_OR_RETURN(auto parts, SplitQualifiedName(qualified_name));
+  auto& list = databases_[parts.first];
+  list.erase(std::remove(list.begin(), list.end(), parts.second), list.end());
+  ++stats_.tables_dropped;
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables(const std::string& db) const {
+  const auto it = databases_.find(db);
+  if (it == databases_.end()) return {};
+  std::vector<std::string> out = it->second;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> Catalog::ListAllTables() const {
+  std::vector<std::string> out;
+  for (const auto& [qualified, _] : tables_) out.push_back(qualified);
+  return out;
+}
+
+storage::QuotaStatus Catalog::DatabaseQuota(const std::string& db) const {
+  return dfs_->GetQuota(DatabaseLocation(db));
+}
+
+void Catalog::RecordTableRead(const std::string& qualified_name) {
+  TableAccessStats& stats = access_[qualified_name];
+  ++stats.read_count;
+  stats.last_read_at = clock_->Now();
+}
+
+TableAccessStats Catalog::GetAccessStats(
+    const std::string& qualified_name) const {
+  const auto it = access_.find(qualified_name);
+  return it == access_.end() ? TableAccessStats{} : it->second;
+}
+
+Result<lst::TableMetadataPtr> Catalog::LoadTable(
+    const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return it->second;
+}
+
+Status Catalog::CommitTable(const std::string& name, int64_t base_version,
+                            lst::TableMetadataPtr new_metadata) {
+  ++stats_.commit_attempts;
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  if (it->second->version() != base_version) {
+    ++stats_.commit_conflicts;
+    return Status::CommitConflict(
+        "version moved: expected " + std::to_string(base_version) + ", is " +
+        std::to_string(it->second->version()));
+  }
+  if (new_metadata == nullptr || new_metadata->version() <= base_version) {
+    return Status::InvalidArgument("new metadata must advance the version");
+  }
+  MaybePersistMetadata(*new_metadata);
+  it->second = std::move(new_metadata);
+  return Status::OK();
+}
+
+}  // namespace autocomp::catalog

@@ -1,0 +1,68 @@
+#include "catalog/control_plane.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace autocomp::catalog {
+
+ControlPlane::ControlPlane(Catalog* catalog) : catalog_(catalog) {
+  assert(catalog_ != nullptr);
+}
+
+void ControlPlane::SetPolicy(const std::string& qualified_name,
+                             TablePolicy policy) {
+  policies_[qualified_name] = policy;
+}
+
+TablePolicy ControlPlane::GetPolicy(const std::string& qualified_name) const {
+  const auto it = policies_.find(qualified_name);
+  return it == policies_.end() ? TablePolicy{} : it->second;
+}
+
+Result<RetentionReport> ControlPlane::RunRetentionFor(
+    const std::string& qualified_name,
+    std::optional<SimTime> retention_override) {
+  const TablePolicy policy = GetPolicy(qualified_name);
+  const SimTime now = catalog_->clock()->Now();
+  const SimTime retention =
+      retention_override.value_or(policy.snapshot_retention);
+  const SimTime older_than = now - retention;
+
+  RetentionReport report;
+  AUTOCOMP_ASSIGN_OR_RETURN(
+      lst::ExpireResult expired,
+      lst::ExpireSnapshots(catalog_, qualified_name, catalog_->clock(),
+                           older_than, /*keep_last=*/1));
+  report.tables_processed = 1;
+  report.snapshots_expired = expired.expired_snapshots;
+  for (const std::string& path : expired.orphaned_paths) {
+    auto info = catalog_->filesystem()->Stat(path);
+    if (info.ok()) report.bytes_deleted += info->size_bytes;
+    const Status st = catalog_->filesystem()->DeleteFile(path);
+    if (st.ok()) {
+      ++report.files_deleted;
+    } else {
+      LOG_WARN << "orphan cleanup failed for " << path << ": " << st;
+    }
+  }
+  return report;
+}
+
+RetentionReport ControlPlane::RunRetentionService() {
+  RetentionReport total;
+  for (const std::string& name : catalog_->ListAllTables()) {
+    auto report = RunRetentionFor(name);
+    if (!report.ok()) {
+      LOG_WARN << "retention failed for " << name << ": " << report.status();
+      continue;
+    }
+    total.tables_processed += report->tables_processed;
+    total.snapshots_expired += report->snapshots_expired;
+    total.files_deleted += report->files_deleted;
+    total.bytes_deleted += report->bytes_deleted;
+  }
+  return total;
+}
+
+}  // namespace autocomp::catalog

@@ -1,0 +1,80 @@
+/// \file control_plane.h
+/// \brief OpenHouse-style control plane: declarative table policies plus
+/// data services that reconcile observed and desired state (§2).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/units.h"
+
+namespace autocomp::catalog {
+
+/// \brief Desired-state policy attached to a table.
+struct TablePolicy {
+  /// Target on-disk file size for writes and compaction.
+  int64_t target_file_size_bytes = 512 * kMiB;
+  /// Snapshots older than this are expired by the retention service.
+  SimTime snapshot_retention = 3 * kDay;
+  /// Tables can opt out of automatic maintenance.
+  bool compaction_enabled = true;
+  /// Rewrite with a clustering layout (§8): costlier compaction, faster
+  /// selective scans afterwards.
+  bool clustering_enabled = false;
+  /// Tenant-facing priority hint (1 = normal); multiplies ranking scores.
+  double priority = 1.0;
+};
+
+/// \brief Result of one retention-service sweep.
+struct RetentionReport {
+  int64_t tables_processed = 0;
+  int64_t snapshots_expired = 0;
+  int64_t files_deleted = 0;
+  int64_t bytes_deleted = 0;
+};
+
+/// \brief Control plane over a Catalog: policy registry + data services.
+///
+/// In the paper, OpenHouse hosts both the declarative catalog and the data
+/// services (retention, compaction) that act on it; AutoComp plugs into
+/// this layer (Figure 5). The compaction service itself lives in
+/// src/core; this class provides the policy registry and the snapshot
+/// retention service whose file deletions make compaction's storage-level
+/// effect visible.
+class ControlPlane {
+ public:
+  explicit ControlPlane(Catalog* catalog);
+
+  Catalog* catalog() { return catalog_; }
+
+  /// Sets the policy for a table (creating or replacing it).
+  void SetPolicy(const std::string& qualified_name, TablePolicy policy);
+
+  /// Policy for a table; default-constructed policy if none was set.
+  TablePolicy GetPolicy(const std::string& qualified_name) const;
+
+  /// Expires old snapshots for every table per its policy and deletes the
+  /// orphaned files from storage. Returns what was reclaimed.
+  RetentionReport RunRetentionService();
+
+  /// Expires snapshots for one table (used right after compaction so the
+  /// rewrite's input files actually leave the storage layer).
+  /// `retention_override`, when set, replaces the policy's retention
+  /// window for this run — passing 0 expires everything but the current
+  /// snapshot, which is how the compaction data service reaps the files
+  /// it just rewrote.
+  Result<RetentionReport> RunRetentionFor(
+      const std::string& qualified_name,
+      std::optional<SimTime> retention_override = std::nullopt);
+
+ private:
+  Catalog* catalog_;
+  std::map<std::string, TablePolicy> policies_;
+};
+
+}  // namespace autocomp::catalog

@@ -1,0 +1,47 @@
+/// \file clock.h
+/// \brief Virtual-time clock used to keep the whole system deterministic.
+///
+/// Every component that needs "now" receives a Clock*. Production
+/// deployments would pass a wall clock; the simulation passes a
+/// SimulatedClock advanced by the discrete-event loop (NFR2: determinism).
+
+#pragma once
+
+#include <cassert>
+
+#include "common/units.h"
+
+namespace autocomp {
+
+/// \brief Abstract time source, in integral simulated seconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds since the simulation epoch.
+  virtual SimTime Now() const = 0;
+};
+
+/// \brief Manually advanced clock for deterministic simulation.
+class SimulatedClock final : public Clock {
+ public:
+  explicit SimulatedClock(SimTime start = 0) : now_(start) {}
+
+  SimTime Now() const override { return now_; }
+
+  /// Moves time forward by `delta` seconds (must be non-negative).
+  void Advance(SimTime delta) {
+    assert(delta >= 0 && "clock cannot run backwards");
+    now_ += delta;
+  }
+
+  /// Jumps to an absolute time (must not be in the past).
+  void AdvanceTo(SimTime t) {
+    assert(t >= now_ && "clock cannot run backwards");
+    now_ = t;
+  }
+
+ private:
+  SimTime now_;
+};
+
+}  // namespace autocomp

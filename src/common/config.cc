@@ -1,0 +1,82 @@
+#include "common/config.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace autocomp {
+
+Config& Config::SetDouble(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return Set(key, buf);
+}
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& fallback) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? fallback : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') return fallback;
+  return v;
+}
+
+double Config::GetDouble(const std::string& key, double fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') return fallback;
+  return v;
+}
+
+bool Config::GetBool(const std::string& key, bool fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  return fallback;
+}
+
+Result<int64_t> Config::RequireInt(const std::string& key) const {
+  if (!Has(key)) return Status::NotFound("missing config key: " + key);
+  const int64_t sentinel = INT64_MIN;
+  const int64_t v = GetInt(key, sentinel);
+  if (v == sentinel && GetString(key) != std::to_string(sentinel)) {
+    return Status::InvalidArgument("config key not an integer: " + key);
+  }
+  return v;
+}
+
+Result<double> Config::RequireDouble(const std::string& key) const {
+  if (!Has(key)) return Status::NotFound("missing config key: " + key);
+  errno = 0;
+  const std::string& raw = entries_.at(key);
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (errno != 0 || end == raw.c_str() || *end != '\0') {
+    return Status::InvalidArgument("config key not a double: " + key);
+  }
+  return v;
+}
+
+Result<std::string> Config::RequireString(const std::string& key) const {
+  if (!Has(key)) return Status::NotFound("missing config key: " + key);
+  return entries_.at(key);
+}
+
+Config Config::WithOverrides(const Config& overrides) const {
+  Config merged = *this;
+  for (const auto& [k, v] : overrides.entries_) merged.entries_[k] = v;
+  return merged;
+}
+
+}  // namespace autocomp

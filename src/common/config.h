@@ -1,0 +1,61 @@
+/// \file config.h
+/// \brief Typed key-value configuration shared by pluggable components.
+///
+/// AutoComp stages (generators, traits, rankers, schedulers) are configured
+/// through a uniform property bag so that deployments can wire components
+/// declaratively (NFR1/NFR3), mirroring table properties in LST catalogs.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace autocomp {
+
+/// \brief String-keyed property bag with typed accessors and defaults.
+class Config {
+ public:
+  Config() = default;
+
+  Config& Set(const std::string& key, const std::string& value) {
+    entries_[key] = value;
+    return *this;
+  }
+  Config& SetInt(const std::string& key, int64_t value) {
+    return Set(key, std::to_string(value));
+  }
+  Config& SetDouble(const std::string& key, double value);
+  Config& SetBool(const std::string& key, bool value) {
+    return Set(key, value ? "true" : "false");
+  }
+
+  bool Has(const std::string& key) const {
+    return entries_.count(key) > 0;
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Typed accessors that fail instead of defaulting.
+  Result<int64_t> RequireInt(const std::string& key) const;
+  Result<double> RequireDouble(const std::string& key) const;
+  Result<std::string> RequireString(const std::string& key) const;
+
+  /// Returns a copy with `overrides` layered on top of this config.
+  Config WithOverrides(const Config& overrides) const;
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace autocomp

@@ -1,0 +1,127 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "common/units.h"
+
+namespace autocomp {
+
+void Sample::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Sample::Sum() const {
+  double s = 0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+double Sample::Mean() const { return values_.empty() ? 0.0 : Sum() / count(); }
+
+double Sample::StdDev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = Mean();
+  double acc = 0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / (values_.size() - 1));
+}
+
+double Sample::Min() const {
+  assert(!empty());
+  EnsureSorted();
+  return values_.front();
+}
+
+double Sample::Max() const {
+  assert(!empty());
+  EnsureSorted();
+  return values_.back();
+}
+
+double Sample::Quantile(double q) const {
+  assert(!empty());
+  q = std::clamp(q, 0.0, 1.0);
+  EnsureSorted();
+  const double pos = q * (values_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - lo;
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+QuantileSummary Sample::Summary() const {
+  QuantileSummary s;
+  s.count = count();
+  if (empty()) return s;
+  s.min = Min();
+  s.p25 = Quantile(0.25);
+  s.median = Quantile(0.5);
+  s.p75 = Quantile(0.75);
+  s.max = Max();
+  return s;
+}
+
+SizeHistogram::SizeHistogram(std::vector<int64_t> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)), counts_(bounds_.size() + 1, 0) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+SizeHistogram SizeHistogram::ForFileSizes() {
+  return SizeHistogram({1 * kMiB, 8 * kMiB, 32 * kMiB, 64 * kMiB, 128 * kMiB,
+                        256 * kMiB, 512 * kMiB, 1 * kGiB});
+}
+
+void SizeHistogram::Add(int64_t bytes) {
+  // Bucket i holds values strictly below bounds_[i]: the first bound
+  // greater than `bytes` identifies the bucket.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), bytes);
+  counts_[static_cast<size_t>(it - bounds_.begin())]++;
+  raw_.push_back(bytes);
+  ++total_;
+}
+
+void SizeHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  raw_.clear();
+  total_ = 0;
+}
+
+std::string SizeHistogram::bucket_label(size_t i) const {
+  assert(i < counts_.size());
+  if (i < bounds_.size()) return "<" + FormatBytes(bounds_[i]);
+  return ">=" + FormatBytes(bounds_.back());
+}
+
+double SizeHistogram::FractionBelow(int64_t bytes) const {
+  if (total_ == 0) return 0.0;
+  int64_t below = 0;
+  for (int64_t v : raw_) {
+    if (v < bytes) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string SizeHistogram::ToAsciiChart(int width) const {
+  int64_t max_count = 1;
+  for (int64_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char buf[160];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const int bar = static_cast<int>(
+        std::llround(static_cast<double>(counts_[i]) * width / max_count));
+    std::snprintf(buf, sizeof(buf), "%10s | %-*s %lld\n",
+                  bucket_label(i).c_str(), width,
+                  std::string(static_cast<size_t>(bar), '#').c_str(),
+                  static_cast<long long>(counts_[i]));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace autocomp

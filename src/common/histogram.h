@@ -1,0 +1,92 @@
+/// \file histogram.h
+/// \brief Value summaries used for file-size distributions and latency
+/// percentiles (Figures 1, 2, 8).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autocomp {
+
+/// \brief Five-number summary of a sample (candlesticks in Figure 8).
+struct QuantileSummary {
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double max = 0;
+  int64_t count = 0;
+};
+
+/// \brief Streaming sample collector with exact quantiles.
+///
+/// Stores all observations; suitable for the simulator's sample sizes
+/// (<= millions). Deterministic: quantiles use linear interpolation on the
+/// sorted sample.
+class Sample {
+ public:
+  void Add(double value) { values_.push_back(value); }
+  void Clear() { values_.clear(); }
+
+  int64_t count() const { return static_cast<int64_t>(values_.size()); }
+  bool empty() const { return values_.empty(); }
+
+  double Sum() const;
+  double Mean() const;
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+
+  /// Quantile q in [0, 1] via linear interpolation. Precondition: !empty().
+  double Quantile(double q) const;
+
+  /// Convenience five-number summary.
+  QuantileSummary Summary() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  // Sorted lazily by Quantile(); kept simple and value-exact.
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+/// \brief Fixed-bucket histogram over byte sizes, with human-readable
+/// bucket labels, used to print file-size distributions.
+class SizeHistogram {
+ public:
+  /// \param bucket_bounds ascending exclusive upper bounds in bytes; a
+  /// final overflow bucket captures everything above the last bound.
+  explicit SizeHistogram(std::vector<int64_t> bucket_bounds);
+
+  /// Default buckets used by the paper's distribution plots:
+  /// <1MiB, <8, <32, <64, <128, <256, <512, <1GiB, >=1GiB.
+  static SizeHistogram ForFileSizes();
+
+  void Add(int64_t bytes);
+  void Clear();
+
+  int64_t total_count() const { return total_; }
+  size_t num_buckets() const { return counts_.size(); }
+  int64_t bucket_count(size_t i) const { return counts_[i]; }
+  /// Label such as "<128MiB" or ">=1GiB".
+  std::string bucket_label(size_t i) const;
+
+  /// Fraction of observations strictly below `bytes` (interpolating within
+  /// the containing bucket). Used for "% of files smaller than 128MB".
+  double FractionBelow(int64_t bytes) const;
+
+  /// Renders an ASCII bar chart, one row per bucket.
+  std::string ToAsciiChart(int width = 50) const;
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::vector<int64_t> counts_;  // bounds_.size() + 1 buckets
+  std::vector<int64_t> raw_;     // raw values for exact FractionBelow
+  int64_t total_ = 0;
+};
+
+}  // namespace autocomp

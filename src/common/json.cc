@@ -1,0 +1,400 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace autocomp {
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Recursive-descent parser over a bounded view.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    AUTOCOMP_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters at offset " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        AUTOCOMP_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue(std::move(s));
+      }
+      case 't':
+        AUTOCOMP_RETURN_NOT_OK(Expect("true"));
+        return JsonValue(true);
+      case 'f':
+        AUTOCOMP_RETURN_NOT_OK(Expect("false"));
+        return JsonValue(false);
+      case 'n':
+        AUTOCOMP_RETURN_NOT_OK(Expect("null"));
+        return JsonValue();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (Peek() != '"') {
+        return Status::InvalidArgument("expected object key at offset " +
+                                       std::to_string(pos_));
+      }
+      AUTOCOMP_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (Peek() != ':') {
+        return Status::InvalidArgument("expected ':' at offset " +
+                                       std::to_string(pos_));
+      }
+      ++pos_;
+      AUTOCOMP_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      obj.Set(key, std::move(value));
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return obj;
+      }
+      return Status::InvalidArgument("expected ',' or '}' at offset " +
+                                     std::to_string(pos_));
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      AUTOCOMP_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      arr.Append(std::move(value));
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return arr;
+      }
+      return Status::InvalidArgument("expected ',' or ']' at offset " +
+                                     std::to_string(pos_));
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::InvalidArgument("bad \\u escape digit");
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogates unsupported —
+          // metadata strings are ASCII paths/names in practice).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::InvalidArgument("bad escape character");
+      }
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(
+        static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      return Status::InvalidArgument("malformed number at offset " +
+                                     std::to_string(start));
+    }
+    errno = 0;
+    if (!is_double) {
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return JsonValue(static_cast<int64_t>(v));
+      }
+      // Fall through to double on overflow.
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Status::InvalidArgument("malformed number: " + token);
+    }
+    return JsonValue(d);
+  }
+
+  Status Expect(const char* literal) {
+    const size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) != 0) {
+      return Status::InvalidArgument(std::string("expected '") + literal +
+                                     "' at offset " + std::to_string(pos_));
+    }
+    pos_ += len;
+    return Status::OK();
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+int64_t JsonValue::as_int() const {
+  if (type_ == Type::kInt) return int_;
+  if (type_ == Type::kDouble) return static_cast<int64_t>(double_);
+  return 0;
+}
+
+double JsonValue::as_double() const {
+  if (type_ == Type::kDouble) return double_;
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  return 0;
+}
+
+Result<int64_t> JsonValue::AsInt() const {
+  if (!is_number()) return Status::InvalidArgument("not a number");
+  return as_int();
+}
+
+Result<double> JsonValue::AsDouble() const {
+  if (!is_number()) return Status::InvalidArgument("not a number");
+  return as_double();
+}
+
+Result<std::string> JsonValue::AsString() const {
+  if (type_ != Type::kString) return Status::InvalidArgument("not a string");
+  return string_;
+}
+
+Result<bool> JsonValue::AsBool() const {
+  if (type_ != Type::kBool) return Status::InvalidArgument("not a bool");
+  return bool_;
+}
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  static const JsonValue kNull;
+  const auto it = object_.find(key);
+  return it == object_.end() ? kNull : it->second;
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  switch (type_) {
+    case Type::kNull:
+      out = "null";
+      break;
+    case Type::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      out = std::to_string(int_);
+      break;
+    case Type::kDouble: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      out = buf;
+      // Ensure re-parse keeps double-ness for integral values.
+      if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+      break;
+    }
+    case Type::kString:
+      EscapeTo(string_, &out);
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += array_[i].Dump();
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out.push_back(',');
+        first = false;
+        EscapeTo(key, &out);
+        out.push_back(':');
+        out += value.Dump();
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace autocomp

@@ -1,0 +1,105 @@
+/// \file json.h
+/// \brief Minimal JSON document model, writer, and parser.
+///
+/// Used to persist LST table metadata the way real formats do
+/// (metadata.json per version). Self-contained: no external dependency.
+/// Supports the full JSON grammar; integers are preserved exactly as
+/// int64 when representable.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autocomp {
+
+/// \brief One JSON value (null / bool / int / double / string / array /
+/// object). Objects keep key order sorted (std::map) for deterministic
+/// output.
+class JsonValue {
+ public:
+  enum class Type : int {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool v) : type_(Type::kBool), bool_(v) {}           // NOLINT
+  JsonValue(int64_t v) : type_(Type::kInt), int_(v) {}          // NOLINT
+  JsonValue(int v) : type_(Type::kInt), int_(v) {}              // NOLINT
+  JsonValue(double v) : type_(Type::kDouble), double_(v) {}     // NOLINT
+  JsonValue(std::string v)                                      // NOLINT
+      : type_(Type::kString), string_(std::move(v)) {}
+  JsonValue(const char* v) : type_(Type::kString), string_(v) {}  // NOLINT
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+
+  /// Typed accessors; wrong-type access returns the type's zero value
+  /// (callers validate with type() or the As* Result variants).
+  bool as_bool() const { return type_ == Type::kBool ? bool_ : false; }
+  int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return array_; }
+  const std::map<std::string, JsonValue>& members() const { return object_; }
+
+  /// Checked accessors for parsing code.
+  Result<int64_t> AsInt() const;
+  Result<double> AsDouble() const;
+  Result<std::string> AsString() const;
+  Result<bool> AsBool() const;
+
+  /// Array building / access.
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+  size_t size() const { return array_.size(); }
+  const JsonValue& operator[](size_t i) const { return array_[i]; }
+
+  /// Object building / access. Get returns null-value for absent keys.
+  void Set(const std::string& key, JsonValue v) {
+    object_[key] = std::move(v);
+  }
+  bool Has(const std::string& key) const { return object_.count(key) > 0; }
+  const JsonValue& Get(const std::string& key) const;
+
+  /// Serializes compactly (no whitespace), deterministic member order.
+  std::string Dump() const;
+
+  /// Parses a JSON document; trailing garbage is an error.
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace autocomp

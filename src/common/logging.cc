@@ -1,0 +1,34 @@
+#include "common/logging.h"
+
+#include <cstring>
+
+namespace autocomp {
+
+LogLevel Logger::threshold_ = LogLevel::kWarn;
+
+void Logger::Write(LogLevel level, const std::string& msg) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug:
+      tag = "D";
+      break;
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kWarn:
+      tag = "W";
+      break;
+    case LogLevel::kError:
+      tag = "E";
+      break;
+  }
+  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  os << tag << " " << msg << std::endl;
+}
+
+const char* internal::LogMessage::Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace autocomp

@@ -1,0 +1,87 @@
+/// \file logging.h
+/// \brief Minimal leveled logger plus CHECK macros for invariants.
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace autocomp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Process-wide log configuration. Defaults to kWarn so tests and
+/// benches stay quiet; examples raise it to kInfo.
+class Logger {
+ public:
+  static LogLevel threshold() { return threshold_; }
+  static void set_threshold(LogLevel level) { threshold_ = level; }
+
+  static void Write(LogLevel level, const std::string& msg);
+
+ private:
+  static LogLevel threshold_;
+};
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Basename(file) << ":" << line << "] ";
+  }
+  ~LogMessage() { Logger::Write(level_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Basename(const char* path);
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Aborts the process after emitting the message.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << "[" << file << ":" << line << "] CHECK failed: ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define AUTOCOMP_LOG(level)                                              \
+  if (::autocomp::LogLevel::level < ::autocomp::Logger::threshold())     \
+    ;                                                                    \
+  else                                                                   \
+    ::autocomp::internal::LogMessage(::autocomp::LogLevel::level,        \
+                                     __FILE__, __LINE__)                 \
+        .stream()
+
+#define LOG_DEBUG AUTOCOMP_LOG(kDebug)
+#define LOG_INFO AUTOCOMP_LOG(kInfo)
+#define LOG_WARN AUTOCOMP_LOG(kWarn)
+#define LOG_ERROR AUTOCOMP_LOG(kError)
+
+/// Invariant check: aborts with a message when `cond` is false. Active in
+/// all build types — these guard library invariants, not user errors.
+#define AUTOCOMP_CHECK(cond)                                       \
+  if (cond)                                                        \
+    ;                                                              \
+  else                                                             \
+    ::autocomp::internal::FatalLogMessage(__FILE__, __LINE__)      \
+            .stream()                                              \
+        << #cond << " "
+
+}  // namespace autocomp

@@ -1,0 +1,144 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace autocomp {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  origin_seed_ = seed;
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+  have_cached_normal_ = false;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(NextUint64() % span);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return NextDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  // Box-Muller; guard against log(0).
+  double u1 = NextDouble();
+  if (u1 <= 1e-300) u1 = 1e-300;
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0);
+  double u = NextDouble();
+  if (u <= 1e-300) u = 1e-300;
+  return -std::log(u) / lambda;
+}
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = NextDouble();
+    int64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= NextDouble();
+    }
+    return count;
+  }
+  // Normal approximation for large means.
+  const double v = Normal(mean, std::sqrt(mean));
+  return std::max<int64_t>(0, static_cast<int64_t>(std::llround(v)));
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  if (s <= 0.0) return UniformInt(0, n - 1);
+  // Inverse-CDF over harmonic weights. O(n) per call is fine for the
+  // simulator's modest n; callers needing speed should precompute a
+  // WeightedIndex table.
+  double total = 0.0;
+  for (int64_t i = 1; i <= n; ++i) total += 1.0 / std::pow(i, s);
+  double u = NextDouble() * total;
+  for (int64_t i = 1; i <= n; ++i) {
+    u -= 1.0 / std::pow(i, s);
+    if (u <= 0) return i - 1;
+  }
+  return n - 1;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0) return static_cast<size_t>(
+      UniformInt(0, static_cast<int64_t>(weights.size()) - 1));
+  double u = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= std::max(0.0, weights[i]);
+    if (u <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork(uint64_t label) const {
+  // Mix the origin seed with the label via SplitMix so that forks with
+  // different labels are decorrelated but stable across runs.
+  uint64_t mix = origin_seed_ ^ (0x6C62272E07BB0142ULL + label * 0x100000001B3ULL);
+  return Rng(SplitMix64(&mix));
+}
+
+}  // namespace autocomp

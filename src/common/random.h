@@ -1,0 +1,69 @@
+/// \file random.h
+/// \brief Deterministic pseudo-random source for workload generation.
+///
+/// All stochastic behaviour in the simulator flows from seeded Rng
+/// instances so that identical configurations replay identically (NFR2).
+
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace autocomp {
+
+/// \brief SplitMix64-seeded xoshiro256** generator with common
+/// distributions. Not cryptographically secure; fast and reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single value.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Normal(mean, stddev) via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  /// Log-normal: exp(Normal(mu, sigma)). Used for small-file size skew.
+  double LogNormal(double mu, double sigma);
+
+  /// Exponential with rate lambda (> 0).
+  double Exponential(double lambda);
+
+  /// Poisson(mean) via inversion for small means, normal approx otherwise.
+  int64_t Poisson(double mean);
+
+  /// Zipf-like rank selection over [0, n) with exponent s >= 0.
+  /// Rank 0 is most popular. Used for skewed table access patterns.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Non-positive total weight falls back to uniform.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Derives an independent child generator; stable for a given label.
+  Rng Fork(uint64_t label) const;
+
+ private:
+  uint64_t state_[4];
+  uint64_t origin_seed_ = 0;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace autocomp

@@ -1,0 +1,203 @@
+/// \file status.h
+/// \brief Status / Result error-handling primitives.
+///
+/// AutoComp follows the Arrow/RocksDB idiom: fallible operations return a
+/// Status (or Result<T> when they produce a value) instead of throwing.
+/// Exceptions are reserved for programmer errors (violated preconditions in
+/// accessors), where we abort via CHECK-style macros.
+
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace autocomp {
+
+/// \brief Machine-readable category for a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  /// Optimistic-concurrency commit conflict (write-write conflict).
+  kCommitConflict = 4,
+  /// Budget / quota / capacity exhausted.
+  kResourceExhausted = 5,
+  /// Operation attempted in a state that does not permit it.
+  kFailedPrecondition = 6,
+  /// Storage-layer timeout (e.g. NameNode RPC overload).
+  kTimedOut = 7,
+  /// Transient unavailability; caller may retry.
+  kUnavailable = 8,
+  /// Invariant violation inside the library.
+  kInternal = 9,
+  /// Operation cancelled by caller or scheduler.
+  kCancelled = 10,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "CommitConflict").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a message.
+///
+/// Statuses are cheap to copy when OK (no allocation) and carry a
+/// heap-allocated payload only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status CommitConflict(std::string msg) {
+    return Status(StatusCode::kCommitConflict, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsCommitConflict() const {
+    return code() == StatusCode::kCommitConflict;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Status& s) {
+    return os << s.ToString();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// \brief Value-or-Status union returned by fallible producers.
+///
+/// A Result is either a value of type T (status().ok() == true) or an error
+/// Status. Accessing the value of an errored Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+/// Propagates a non-OK Status from the current function.
+#define AUTOCOMP_RETURN_NOT_OK(expr)             \
+  do {                                           \
+    ::autocomp::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status.
+#define AUTOCOMP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+#define AUTOCOMP_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define AUTOCOMP_ASSIGN_OR_RETURN_NAME(a, b) \
+  AUTOCOMP_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define AUTOCOMP_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  AUTOCOMP_ASSIGN_OR_RETURN_IMPL(                                             \
+      AUTOCOMP_ASSIGN_OR_RETURN_NAME(_autocomp_result_, __LINE__), lhs, expr)
+
+}  // namespace autocomp

@@ -1,0 +1,45 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace autocomp {
+
+std::string FormatBytes(int64_t bytes) {
+  const char* suffix = "B";
+  double value = static_cast<double>(bytes);
+  if (std::llabs(bytes) >= kTiB) {
+    value /= static_cast<double>(kTiB);
+    suffix = "TiB";
+  } else if (std::llabs(bytes) >= kGiB) {
+    value /= static_cast<double>(kGiB);
+    suffix = "GiB";
+  } else if (std::llabs(bytes) >= kMiB) {
+    value /= static_cast<double>(kMiB);
+    suffix = "MiB";
+  } else if (std::llabs(bytes) >= kKiB) {
+    value /= static_cast<double>(kKiB);
+    suffix = "KiB";
+  }
+  char buf[64];
+  if (suffix[0] == 'B') {
+    std::snprintf(buf, sizeof(buf), "%lldB", static_cast<long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", value, suffix);
+  }
+  return buf;
+}
+
+std::string FormatDuration(SimTime seconds) {
+  const bool negative = seconds < 0;
+  if (negative) seconds = -seconds;
+  const long long h = seconds / kHour;
+  const long long m = (seconds % kHour) / kMinute;
+  const long long s = seconds % kMinute;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%02lldh %02lldm %02llds",
+                negative ? "-" : "", h, m, s);
+  return buf;
+}
+
+}  // namespace autocomp

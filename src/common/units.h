@@ -1,0 +1,31 @@
+/// \file units.h
+/// \brief Byte-size and time units used throughout the simulation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace autocomp {
+
+inline constexpr int64_t kKiB = int64_t{1} << 10;
+inline constexpr int64_t kMiB = int64_t{1} << 20;
+inline constexpr int64_t kGiB = int64_t{1} << 30;
+inline constexpr int64_t kTiB = int64_t{1} << 40;
+
+/// Simulated time is tracked in integral seconds.
+using SimTime = int64_t;
+
+inline constexpr SimTime kSecond = 1;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+inline constexpr SimTime kDay = 24 * kHour;
+inline constexpr SimTime kWeek = 7 * kDay;
+
+/// \brief Renders a byte count with a binary-unit suffix, e.g. "512.0MiB".
+std::string FormatBytes(int64_t bytes);
+
+/// \brief Renders a simulated duration as "HHh MMm SSs".
+std::string FormatDuration(SimTime seconds);
+
+}  // namespace autocomp

@@ -1,0 +1,84 @@
+/// \file advisor.h
+/// \brief Write-configuration advisor (§8, "Tuning Write and Compaction
+/// Mechanisms and Policies").
+///
+/// The paper observes that engineers rarely control engine configuration
+/// across all workloads, and that control planes "offer a valuable
+/// opportunity to analyze and surface such issues, with actionable
+/// insights for stakeholders". The advisor inspects each table's commit
+/// history and telemetry and produces the recommendations an operator
+/// would act on: untuned writers, tiny trickle appends, MoR delta
+/// backlogs, and clustering opportunities on hot selective tables.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/units.h"
+
+namespace autocomp::core {
+
+/// \brief Category of a recommendation.
+enum class AdviceKind : int {
+  /// Commits add many files far below the target size: the writer needs
+  /// output coalescing / a larger shuffle-partition size.
+  kUntunedWriter,
+  /// Frequent commits each adding a handful of tiny files: trickle
+  /// ingestion without a rollup; suggest post-write compaction hooks.
+  kTrickleAppends,
+  /// Merge-on-read delta files accumulating: scans pay a merge penalty
+  /// per delta; schedule fold-in compaction.
+  kMorDeltaBacklog,
+  /// Frequently read table stored unclustered: a clustering rewrite
+  /// would let selective scans skip row groups.
+  kClusteringOpportunity,
+};
+
+const char* AdviceKindName(AdviceKind kind);
+
+/// \brief One actionable recommendation.
+struct WriteAdvice {
+  std::string table;
+  AdviceKind kind;
+  /// Human-readable, self-contained recommendation text.
+  std::string message;
+  /// Larger = more urgent; used to order the report.
+  double severity = 0;
+};
+
+/// \brief Advisor thresholds.
+struct AdvisorOptions {
+  /// Mean added-file size below which a writer counts as untuned.
+  int64_t small_write_bytes = 32 * kMiB;
+  /// Commits inspected per table (most recent first).
+  int history_window = 10;
+  /// Minimum commits before a writer pattern is judged.
+  int min_commits = 3;
+  /// Delta files above which a MoR backlog is flagged.
+  int64_t mor_backlog_threshold = 8;
+  /// Reads above which a table counts as hot for clustering advice.
+  int64_t hot_read_threshold = 20;
+  /// Unclustered bytes above which clustering is worth its 1.6x rewrite.
+  int64_t clustering_min_bytes = 1 * kGiB;
+};
+
+/// \brief Analyzes the fleet and returns recommendations, most severe
+/// first. Deterministic for a given catalog state.
+class WriteConfigAdvisor {
+ public:
+  explicit WriteConfigAdvisor(AdvisorOptions options = {})
+      : options_(options) {}
+
+  Result<std::vector<WriteAdvice>> Analyze(catalog::Catalog* catalog) const;
+
+  /// Single-table variant.
+  Result<std::vector<WriteAdvice>> AnalyzeTable(
+      catalog::Catalog* catalog, const std::string& qualified_name) const;
+
+ private:
+  AdvisorOptions options_;
+};
+
+}  // namespace autocomp::core

@@ -1,0 +1,30 @@
+#include "core/filters.h"
+
+namespace autocomp::core {
+
+std::vector<ObservedCandidate> ApplyFilters(
+    const std::vector<ObservedCandidate>& candidates,
+    const std::vector<std::shared_ptr<const CandidateFilter>>& filters,
+    SimTime now, int64_t* dropped) {
+  std::vector<ObservedCandidate> out;
+  out.reserve(candidates.size());
+  int64_t removed = 0;
+  for (const ObservedCandidate& c : candidates) {
+    bool keep = true;
+    for (const auto& filter : filters) {
+      if (!filter->ShouldKeep(c, now)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      out.push_back(c);
+    } else {
+      ++removed;
+    }
+  }
+  if (dropped != nullptr) *dropped = removed;
+  return out;
+}
+
+}  // namespace autocomp::core

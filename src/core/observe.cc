@@ -1,0 +1,208 @@
+#include "core/observe.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lst/metadata_tables.h"
+
+namespace autocomp::core {
+
+namespace {
+
+/// Sorted-by-id candidate list (determinism, NFR2).
+std::vector<Candidate> Sorted(std::vector<Candidate> candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.id() < b.id();
+            });
+  return candidates;
+}
+
+}  // namespace
+
+const char* CandidateScopeName(CandidateScope scope) {
+  switch (scope) {
+    case CandidateScope::kTable:
+      return "table";
+    case CandidateScope::kPartition:
+      return "partition";
+    case CandidateScope::kSnapshot:
+      return "snapshot";
+  }
+  return "unknown";
+}
+
+Result<std::vector<Candidate>> TableScopeGenerator::Generate(
+    catalog::Catalog* catalog) const {
+  std::vector<Candidate> out;
+  for (const std::string& name : catalog->ListAllTables()) {
+    Candidate c;
+    c.table = name;
+    c.scope = CandidateScope::kTable;
+    out.push_back(std::move(c));
+  }
+  return Sorted(std::move(out));
+}
+
+Result<std::vector<Candidate>> PartitionScopeGenerator::Generate(
+    catalog::Catalog* catalog) const {
+  std::vector<Candidate> out;
+  for (const std::string& name : catalog->ListAllTables()) {
+    AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
+                              catalog->LoadTable(name));
+    if (!meta->partition_spec().is_partitioned()) continue;
+    for (const std::string& partition : meta->LivePartitions()) {
+      Candidate c;
+      c.table = name;
+      c.scope = CandidateScope::kPartition;
+      c.partition = partition;
+      out.push_back(std::move(c));
+    }
+  }
+  return Sorted(std::move(out));
+}
+
+Result<std::vector<Candidate>> HybridScopeGenerator::Generate(
+    catalog::Catalog* catalog) const {
+  std::vector<Candidate> out;
+  for (const std::string& name : catalog->ListAllTables()) {
+    AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
+                              catalog->LoadTable(name));
+    if (meta->partition_spec().is_partitioned()) {
+      for (const std::string& partition : meta->LivePartitions()) {
+        Candidate c;
+        c.table = name;
+        c.scope = CandidateScope::kPartition;
+        c.partition = partition;
+        out.push_back(std::move(c));
+      }
+    } else {
+      Candidate c;
+      c.table = name;
+      c.scope = CandidateScope::kTable;
+      out.push_back(std::move(c));
+    }
+  }
+  return Sorted(std::move(out));
+}
+
+Result<std::vector<Candidate>> SnapshotScopeGenerator::Generate(
+    catalog::Catalog* catalog) const {
+  std::vector<Candidate> out;
+  for (const std::string& name : catalog->ListAllTables()) {
+    AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
+                              catalog->LoadTable(name));
+    // Files added after the most recent replace (compaction) snapshot.
+    int64_t last_replace = 0;
+    for (const lst::Snapshot& s : meta->snapshots()) {
+      if (s.operation == lst::SnapshotOperation::kReplace) {
+        last_replace = std::max(last_replace, s.snapshot_id);
+      }
+    }
+    Candidate c;
+    c.table = name;
+    c.scope = CandidateScope::kSnapshot;
+    c.after_snapshot_id = last_replace;
+    out.push_back(std::move(c));
+  }
+  return Sorted(std::move(out));
+}
+
+StatsCollector::StatsCollector(catalog::Catalog* catalog,
+                               const catalog::ControlPlane* control_plane,
+                               const Clock* clock)
+    : catalog_(catalog), control_plane_(control_plane), clock_(clock) {
+  assert(catalog_ != nullptr && clock_ != nullptr);
+}
+
+Result<CandidateStats> StatsCollector::Collect(
+    const Candidate& candidate) const {
+  AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
+                            catalog_->LoadTable(candidate.table));
+  CandidateStats stats;
+  stats.table_created_at = meta->created_at();
+  stats.last_modified_at = meta->last_updated_at();
+  stats.target_file_size_bytes = meta->target_file_size_bytes();
+  if (control_plane_ != nullptr) {
+    const catalog::TablePolicy policy =
+        control_plane_->GetPolicy(candidate.table);
+    stats.target_file_size_bytes = policy.target_file_size_bytes;
+  }
+
+  std::vector<lst::DataFile> files;
+  switch (candidate.scope) {
+    case CandidateScope::kTable:
+      files = meta->LiveFiles();
+      break;
+    case CandidateScope::kPartition:
+      files = meta->LiveFiles(candidate.partition);
+      break;
+    case CandidateScope::kSnapshot: {
+      lst::MetadataTables tables(meta);
+      files = tables.FilesAddedAfter(candidate.after_snapshot_id);
+      break;
+    }
+  }
+  stats.file_count = static_cast<int64_t>(files.size());
+  stats.file_sizes.reserve(files.size());
+  for (const lst::DataFile& f : files) {
+    stats.file_sizes.push_back(f.file_size_bytes);
+    stats.total_bytes += f.file_size_bytes;
+    stats.file_sizes_by_partition[f.partition].push_back(f.file_size_bytes);
+    if (f.content == lst::FileContent::kPositionDeletes) {
+      ++stats.delete_file_count;
+    }
+    if (!f.clustered) stats.unclustered_bytes += f.file_size_bytes;
+  }
+
+  auto db = catalog::SplitQualifiedName(candidate.table);
+  if (db.ok()) {
+    const storage::QuotaStatus quota = catalog_->DatabaseQuota(db->first);
+    stats.quota_utilization = quota.utilization();
+  }
+
+  // Custom metrics (§4.1: "candidate access patterns and usage metrics —
+  // information that may not be available in all systems").
+  const catalog::TableAccessStats access =
+      catalog_->GetAccessStats(candidate.table);
+  stats.custom.SetInt("read_count", access.read_count);
+  stats.custom.SetInt("last_read_at", access.last_read_at);
+  return stats;
+}
+
+Result<std::vector<ObservedCandidate>> StatsCollector::CollectAll(
+    const std::vector<Candidate>& candidates) const {
+  std::vector<ObservedCandidate> out;
+  out.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    AUTOCOMP_ASSIGN_OR_RETURN(CandidateStats stats, Collect(c));
+    out.push_back(ObservedCandidate{c, std::move(stats)});
+  }
+  return out;
+}
+
+CachingStatsCollector::CachingStatsCollector(
+    catalog::Catalog* catalog, const catalog::ControlPlane* control_plane,
+    const Clock* clock)
+    : StatsCollector(catalog, control_plane, clock) {}
+
+Result<CandidateStats> CachingStatsCollector::Collect(
+    const Candidate& candidate) const {
+  AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
+                            catalog_->LoadTable(candidate.table));
+  const std::string key = candidate.id();
+  const auto it = cache_.find(key);
+  if (it != cache_.end() && it->second.version == meta->version()) {
+    ++hits_;
+    return it->second.stats;
+  }
+  ++misses_;
+  AUTOCOMP_ASSIGN_OR_RETURN(CandidateStats stats,
+                            StatsCollector::Collect(candidate));
+  cache_[key] = Entry{meta->version(), stats};
+  return stats;
+}
+
+void CachingStatsCollector::Invalidate() const { cache_.clear(); }
+
+}  // namespace autocomp::core

@@ -1,0 +1,120 @@
+/// \file observe.h
+/// \brief Observe phase: candidate generation and statistics collection.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/control_plane.h"
+#include "common/clock.h"
+#include "core/candidate.h"
+
+namespace autocomp::core {
+
+/// \brief Produces the raw candidate pool from the catalog (§4.1).
+///
+/// Implementations must be deterministic for a given catalog state (NFR2):
+/// candidates come out sorted by id.
+class CandidateGenerator {
+ public:
+  virtual ~CandidateGenerator() = default;
+  virtual std::string name() const = 0;
+  virtual Result<std::vector<Candidate>> Generate(
+      catalog::Catalog* catalog) const = 0;
+};
+
+/// \brief One candidate per table (LinkedIn's initial deployment scope,
+/// §7).
+class TableScopeGenerator final : public CandidateGenerator {
+ public:
+  std::string name() const override { return "table-scope"; }
+  Result<std::vector<Candidate>> Generate(
+      catalog::Catalog* catalog) const override;
+};
+
+/// \brief One candidate per live partition of partitioned tables;
+/// unpartitioned tables are skipped.
+class PartitionScopeGenerator final : public CandidateGenerator {
+ public:
+  std::string name() const override { return "partition-scope"; }
+  Result<std::vector<Candidate>> Generate(
+      catalog::Catalog* catalog) const override;
+};
+
+/// \brief Partition scope for partitioned tables, table scope otherwise —
+/// the evaluation's "hybrid" strategy (§6).
+class HybridScopeGenerator final : public CandidateGenerator {
+ public:
+  std::string name() const override { return "hybrid-scope"; }
+  Result<std::vector<Candidate>> Generate(
+      catalog::Catalog* catalog) const override;
+};
+
+/// \brief One candidate per table covering only files added after the
+/// last compaction (replace) snapshot — fresh-data maintenance (§4.1).
+class SnapshotScopeGenerator final : public CandidateGenerator {
+ public:
+  std::string name() const override { return "snapshot-scope"; }
+  Result<std::vector<Candidate>> Generate(
+      catalog::Catalog* catalog) const override;
+};
+
+/// \brief Collects the standardized statistics for a candidate from LST
+/// metadata tables and catalog quota state.
+class StatsCollector {
+ public:
+  StatsCollector(catalog::Catalog* catalog,
+                 const catalog::ControlPlane* control_plane,
+                 const Clock* clock);
+  virtual ~StatsCollector() = default;
+
+  /// Fills a CandidateStats for `candidate` from the current table state.
+  virtual Result<CandidateStats> Collect(const Candidate& candidate) const;
+
+  /// Convenience: observe a whole pool.
+  Result<std::vector<ObservedCandidate>> CollectAll(
+      const std::vector<Candidate>& candidates) const;
+
+ protected:
+  catalog::Catalog* catalog_;
+  const catalog::ControlPlane* control_plane_;
+  const Clock* clock_;
+};
+
+/// \brief Version-keyed caching wrapper around StatsCollector.
+///
+/// Observing a 100K-table fleet (the paper's projected scale, §2) every
+/// cycle re-walks every table's live files. Since stats depend only on a
+/// table's metadata version (plus quota state, which changes with file
+/// counts and hence with versions too), results can be reused until the
+/// table's version moves — the common case in a fleet where most tables
+/// are idle between compaction cycles.
+class CachingStatsCollector final : public StatsCollector {
+ public:
+  CachingStatsCollector(catalog::Catalog* catalog,
+                        const catalog::ControlPlane* control_plane,
+                        const Clock* clock);
+
+  Result<CandidateStats> Collect(const Candidate& candidate) const override;
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  /// Drops all cached entries (e.g. after policy changes, which affect
+  /// target sizes without moving table versions).
+  void Invalidate() const;
+
+ private:
+  struct Entry {
+    int64_t version = 0;
+    CandidateStats stats;
+  };
+  mutable std::map<std::string, Entry> cache_;
+  mutable int64_t hits_ = 0;
+  mutable int64_t misses_ = 0;
+};
+
+}  // namespace autocomp::core

@@ -1,0 +1,114 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace autocomp::core {
+
+namespace {
+
+double TraitOrZero(const TraitedCandidate& c, const std::string& name) {
+  const auto it = c.traits.find(name);
+  return it == c.traits.end() ? 0.0 : it->second;
+}
+
+}  // namespace
+
+bool Dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  const bool at_least_as_good = a.benefit >= b.benefit && a.cost <= b.cost;
+  const bool strictly_better = a.benefit > b.benefit || a.cost < b.cost;
+  return at_least_as_good && strictly_better;
+}
+
+std::vector<ParetoPoint> ComputeParetoFrontier(
+    const std::vector<TraitedCandidate>& pool,
+    const std::string& benefit_trait, const std::string& cost_trait) {
+  std::vector<ParetoPoint> points;
+  points.reserve(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    ParetoPoint p;
+    p.index = i;
+    p.benefit = TraitOrZero(pool[i], benefit_trait);
+    p.cost = TraitOrZero(pool[i], cost_trait);
+    points.push_back(p);
+  }
+  // Sweep by ascending cost (ties: descending benefit); a point is on the
+  // frontier iff its benefit strictly exceeds everything cheaper. This is
+  // O(n log n) rather than the naive O(n²) pairwise check.
+  std::vector<size_t> order(points.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (points[a].cost != points[b].cost) {
+      return points[a].cost < points[b].cost;
+    }
+    return points[a].benefit > points[b].benefit;
+  });
+  double best_benefit = -std::numeric_limits<double>::infinity();
+  double frontier_cost = std::numeric_limits<double>::quiet_NaN();
+  for (size_t idx : order) {
+    ParetoPoint& p = points[idx];
+    if (p.benefit > best_benefit) {
+      p.on_frontier = true;
+      best_benefit = p.benefit;
+      frontier_cost = p.cost;
+    } else if (p.benefit == best_benefit && p.cost == frontier_cost) {
+      p.on_frontier = true;  // co-optimal duplicate
+    }
+  }
+  return points;
+}
+
+std::vector<ScoredCandidate> ParetoFrontierSelector::Select(
+    const std::vector<ScoredCandidate>& ranked) const {
+  std::vector<TraitedCandidate> pool;
+  pool.reserve(ranked.size());
+  for (const ScoredCandidate& sc : ranked) pool.push_back(sc.traited);
+  const auto points = ComputeParetoFrontier(pool, benefit_trait_, cost_trait_);
+
+  std::vector<ScoredCandidate> out;
+  for (const ParetoPoint& p : points) {
+    if (p.on_frontier) out.push_back(ranked[p.index]);
+  }
+  std::sort(out.begin(), out.end(), [&](const auto& a, const auto& b) {
+    const double ba = a.traited.traits.count(benefit_trait_)
+                          ? a.traited.traits.at(benefit_trait_)
+                          : 0;
+    const double bb = b.traited.traits.count(benefit_trait_)
+                          ? b.traited.traits.at(benefit_trait_)
+                          : 0;
+    if (ba != bb) return ba > bb;
+    return a.candidate().id() < b.candidate().id();
+  });
+  return out;
+}
+
+std::vector<WeightSweepRow> SweepWeights(
+    const std::vector<TraitedCandidate>& pool,
+    const std::string& benefit_trait, const std::string& cost_trait,
+    int steps) {
+  std::vector<WeightSweepRow> rows;
+  if (pool.empty() || steps < 2) return rows;
+  const auto points = ComputeParetoFrontier(pool, benefit_trait, cost_trait);
+  for (int s = 0; s < steps; ++s) {
+    const double w1 = static_cast<double>(s) / (steps - 1);
+    MoopRanker ranker({{benefit_trait, w1, false},
+                       {cost_trait, 1.0 - w1, true}});
+    const auto ranked = ranker.Rank(pool);
+    const std::string top_id = ranked.front().candidate().id();
+    WeightSweepRow row;
+    row.benefit_weight = w1;
+    row.top_candidate_id = top_id;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (pool[i].observed.candidate.id() == top_id) {
+        row.benefit = points[i].benefit;
+        row.cost = points[i].cost;
+        row.on_frontier = points[i].on_frontier;
+        break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace autocomp::core

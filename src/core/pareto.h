@@ -1,0 +1,79 @@
+/// \file pareto.h
+/// \brief Pareto-frontier analysis over compaction candidates (§8,
+/// "Navigating Multi-Objective Trade-offs").
+///
+/// The paper's production deployment scalarizes the multi-objective
+/// problem with fixed weights and notes the risk of overemphasizing one
+/// metric; §8 proposes exposing the Pareto frontier instead — the set of
+/// non-dominated (benefit, cost) trade-offs — and deriving weights
+/// dynamically. This module implements both: frontier extraction, a
+/// frontier-based selector, and a weight-sweep analyzer showing which
+/// frontier point each weighting would pick.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/ranking.h"
+
+namespace autocomp::core {
+
+/// \brief A candidate's position in the (benefit, cost) plane.
+struct ParetoPoint {
+  /// Index into the input pool.
+  size_t index = 0;
+  double benefit = 0;
+  double cost = 0;
+  bool on_frontier = false;
+};
+
+/// \brief True when `a` dominates `b`: at least as good on both axes and
+/// strictly better on one (higher benefit, lower cost).
+bool Dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// \brief Computes the (benefit, cost) points and marks the non-dominated
+/// frontier. Deterministic; ties keep every co-optimal point on the
+/// frontier.
+std::vector<ParetoPoint> ComputeParetoFrontier(
+    const std::vector<TraitedCandidate>& pool,
+    const std::string& benefit_trait, const std::string& cost_trait);
+
+/// \brief Selector keeping only frontier candidates, ordered by benefit
+/// descending. Every selected candidate is a defensible trade-off: no
+/// other candidate offers more benefit for less cost.
+class ParetoFrontierSelector final : public Selector {
+ public:
+  ParetoFrontierSelector(std::string benefit_trait, std::string cost_trait)
+      : benefit_trait_(std::move(benefit_trait)),
+        cost_trait_(std::move(cost_trait)) {}
+
+  std::string name() const override { return "pareto-frontier"; }
+  std::vector<ScoredCandidate> Select(
+      const std::vector<ScoredCandidate>& ranked) const override;
+
+ private:
+  std::string benefit_trait_;
+  std::string cost_trait_;
+};
+
+/// \brief One row of the weight-sweep: which candidate a given w1 picks.
+struct WeightSweepRow {
+  double benefit_weight = 0;  // w1; cost weight is 1 - w1
+  std::string top_candidate_id;
+  double benefit = 0;
+  double cost = 0;
+  bool on_frontier = false;
+};
+
+/// \brief Evaluates the scalarized MOOP across a sweep of benefit weights
+/// and reports the winning candidate for each. Demonstrates §8's point:
+/// every weighting picks a frontier point, and small weight changes can
+/// jump between very different trade-offs.
+std::vector<WeightSweepRow> SweepWeights(
+    const std::vector<TraitedCandidate>& pool,
+    const std::string& benefit_trait, const std::string& cost_trait,
+    int steps = 11);
+
+}  // namespace autocomp::core

@@ -1,0 +1,145 @@
+#include "core/pipeline.h"
+
+#include <cassert>
+
+namespace autocomp::core {
+
+int64_t PipelineRunReport::committed_count() const {
+  int64_t n = 0;
+  for (const ScheduledCompaction& unit : executed) {
+    if (unit.result.committed) ++n;
+  }
+  return n;
+}
+
+int64_t PipelineRunReport::conflict_count() const {
+  int64_t n = 0;
+  for (const ScheduledCompaction& unit : executed) {
+    if (unit.result.conflict) ++n;
+  }
+  return n;
+}
+
+int64_t PipelineRunReport::files_reduced() const {
+  int64_t n = 0;
+  for (const ScheduledCompaction& unit : executed) {
+    if (unit.result.committed) {
+      n += unit.result.files_rewritten - unit.result.files_produced;
+    }
+  }
+  return n;
+}
+
+int64_t PipelineRunReport::bytes_rewritten() const {
+  int64_t n = 0;
+  for (const ScheduledCompaction& unit : executed) {
+    if (unit.result.committed) n += unit.result.bytes_rewritten;
+  }
+  return n;
+}
+
+double PipelineRunReport::actual_gb_hours() const {
+  double n = 0;
+  for (const ScheduledCompaction& unit : executed) {
+    if (unit.result.attempted) n += unit.result.gb_hours;
+  }
+  return n;
+}
+
+AutoCompPipeline::AutoCompPipeline(Stages stages, catalog::Catalog* catalog,
+                                   const Clock* clock)
+    : stages_(std::move(stages)), catalog_(catalog), clock_(clock) {
+  assert(catalog_ != nullptr && clock_ != nullptr);
+  assert(stages_.generator != nullptr);
+  assert(stages_.collector != nullptr);
+  assert(stages_.ranker != nullptr);
+  assert(stages_.selector != nullptr);
+}
+
+Result<PipelineRunReport> AutoCompPipeline::RunOnce() {
+  AUTOCOMP_ASSIGN_OR_RETURN(std::vector<Candidate> pool,
+                            stages_.generator->Generate(catalog_));
+  return Run(std::move(pool));
+}
+
+Result<PipelineRunReport> AutoCompPipeline::RunForCandidates(
+    std::vector<Candidate> pool) {
+  return Run(std::move(pool));
+}
+
+Result<PipelineRunReport> AutoCompPipeline::Run(std::vector<Candidate> pool) {
+  PipelineRunReport report;
+  report.started_at = clock_->Now();
+  report.candidates_generated = static_cast<int64_t>(pool.size());
+
+  // --- Observe: collect the standardized statistics.
+  AUTOCOMP_ASSIGN_OR_RETURN(std::vector<ObservedCandidate> observed,
+                            stages_.collector->CollectAll(pool));
+
+  // --- Optional filters between observe and orient.
+  observed = ApplyFilters(observed, stages_.pre_orient_filters,
+                          report.started_at, &report.dropped_pre_orient);
+
+  // --- Orient: compute traits.
+  std::vector<TraitedCandidate> traited =
+      ComputeTraits(observed, stages_.traits);
+
+  // --- Optional filters between orient and decide.
+  if (!stages_.post_orient_filters.empty()) {
+    std::vector<TraitedCandidate> kept;
+    kept.reserve(traited.size());
+    for (TraitedCandidate& tc : traited) {
+      bool keep = true;
+      for (const auto& filter : stages_.post_orient_filters) {
+        if (!filter->ShouldKeep(tc.observed, report.started_at)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) {
+        kept.push_back(std::move(tc));
+      } else {
+        ++report.dropped_post_orient;
+      }
+    }
+    traited = std::move(kept);
+  }
+
+  // --- Decide: rank and select.
+  report.ranked = stages_.ranker->Rank(std::move(traited));
+  report.selected = stages_.selector->Select(report.ranked);
+
+  // --- Act.
+  if (stages_.scheduler != nullptr && !report.selected.empty()) {
+    AUTOCOMP_ASSIGN_OR_RETURN(
+        report.executed,
+        stages_.scheduler->Execute(report.selected, report.started_at));
+  }
+
+  // --- Feedback loop: estimates vs. measured outcome per executed unit.
+  for (const ScheduledCompaction& unit : report.executed) {
+    FeedbackEntry entry;
+    entry.candidate_id = unit.candidate.id();
+    for (const ScoredCandidate& sc : report.selected) {
+      if (sc.candidate() == unit.candidate) {
+        const auto& traits = sc.traited.traits;
+        const auto reduction = traits.find("file_count_reduction");
+        if (reduction != traits.end()) {
+          entry.estimated_file_reduction = reduction->second;
+        }
+        const auto cost = traits.find("compute_cost_gbhr");
+        if (cost != traits.end()) entry.estimated_gb_hours = cost->second;
+        break;
+      }
+    }
+    if (unit.result.committed) {
+      entry.actual_file_reduction = static_cast<double>(
+          unit.result.files_rewritten - unit.result.files_produced);
+    }
+    entry.actual_gb_hours = unit.result.gb_hours;
+    report.feedback.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace autocomp::core

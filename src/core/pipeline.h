@@ -1,0 +1,95 @@
+/// \file pipeline.h
+/// \brief The AutoComp OODA pipeline: observe → orient → decide → act,
+/// with optional filters between phases and a feedback loop (Figure 4).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/clock.h"
+#include "core/candidate.h"
+#include "core/filters.h"
+#include "core/observe.h"
+#include "core/ranking.h"
+#include "core/scheduler.h"
+#include "core/traits.h"
+
+namespace autocomp::core {
+
+/// \brief Feedback record comparing the decide phase's estimates with the
+/// act phase's measured outcome (feeds the §7 estimator-accuracy
+/// analysis and the feedback loop of Figure 4).
+struct FeedbackEntry {
+  std::string candidate_id;
+  double estimated_file_reduction = 0;
+  double actual_file_reduction = 0;
+  double estimated_gb_hours = 0;
+  double actual_gb_hours = 0;
+};
+
+/// \brief Everything one pipeline run produced, per phase.
+struct PipelineRunReport {
+  SimTime started_at = 0;
+  int64_t candidates_generated = 0;
+  int64_t dropped_pre_orient = 0;
+  int64_t dropped_post_orient = 0;
+  /// Decide output (full ranking, before selection).
+  std::vector<ScoredCandidate> ranked;
+  /// The selected work list handed to the act phase.
+  std::vector<ScoredCandidate> selected;
+  /// Act output.
+  std::vector<ScheduledCompaction> executed;
+  /// Feedback loop output.
+  std::vector<FeedbackEntry> feedback;
+
+  int64_t committed_count() const;
+  int64_t conflict_count() const;
+  /// Net live-file reduction across committed units.
+  int64_t files_reduced() const;
+  int64_t bytes_rewritten() const;
+  double actual_gb_hours() const;
+};
+
+/// \brief Composable OODA pipeline (NFR1: stages mix and match as long as
+/// the data exchanged keeps the standard structure).
+class AutoCompPipeline {
+ public:
+  struct Stages {
+    std::shared_ptr<const CandidateGenerator> generator;
+    std::shared_ptr<const StatsCollector> collector;
+    /// Filters applied between observe and orient.
+    std::vector<std::shared_ptr<const CandidateFilter>> pre_orient_filters;
+    std::vector<std::shared_ptr<const Trait>> traits;
+    /// Filters applied between orient and decide.
+    std::vector<std::shared_ptr<const CandidateFilter>> post_orient_filters;
+    std::shared_ptr<const Ranker> ranker;
+    std::shared_ptr<const Selector> selector;
+    std::shared_ptr<CompactionScheduler> scheduler;
+  };
+
+  AutoCompPipeline(Stages stages, catalog::Catalog* catalog,
+                   const Clock* clock);
+
+  /// Runs one full OODA cycle at the current time. Dry runs (scheduler ==
+  /// nullptr) stop after decide and leave `executed` empty.
+  Result<PipelineRunReport> RunOnce();
+
+  /// Runs observe+orient+decide for an externally supplied candidate pool
+  /// (used by the optimize-after-write hook, which already knows which
+  /// table changed).
+  Result<PipelineRunReport> RunForCandidates(std::vector<Candidate> pool);
+
+  const Stages& stages() const { return stages_; }
+
+ private:
+  Result<PipelineRunReport> Run(std::vector<Candidate> pool);
+
+  Stages stages_;
+  catalog::Catalog* catalog_;
+  const Clock* clock_;
+};
+
+}  // namespace autocomp::core

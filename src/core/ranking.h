@@ -1,0 +1,165 @@
+/// \file ranking.h
+/// \brief Decide phase: ranking and selection of candidates (§4.3).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/traits.h"
+
+namespace autocomp::core {
+
+/// \brief Orders candidates by priority (most attractive first).
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<ScoredCandidate> Rank(
+      std::vector<TraitedCandidate> candidates) const = 0;
+};
+
+/// \brief Weighted-sum scalarization of the multi-objective problem
+/// (§4.3): each trait is min-max normalized across the candidate pool,
+/// then S_c = Σ_benefit w·T′ − Σ_cost w·T′. Weights should sum to 1.
+///
+/// Degenerate traits (max == min across the pool) normalize to 0 and
+/// cannot influence the ranking. Ties break on candidate id (NFR2).
+class MoopRanker final : public Ranker {
+ public:
+  struct Objective {
+    std::string trait;
+    double weight = 0;
+    /// Costs subtract; benefits add.
+    bool is_cost = false;
+  };
+
+  explicit MoopRanker(std::vector<Objective> objectives);
+
+  /// The paper's evaluation setting (§6.1): w=0.7 on file count
+  /// reduction, w=0.3 on compute cost.
+  static MoopRanker PaperDefault();
+
+  std::string name() const override { return "moop"; }
+  std::vector<ScoredCandidate> Rank(
+      std::vector<TraitedCandidate> candidates) const override;
+
+  const std::vector<Objective>& objectives() const { return objectives_; }
+
+ private:
+  std::vector<Objective> objectives_;
+};
+
+/// \brief Single-trait greedy ranking (the unconstrained scenario's
+/// building block and the §6.3 auto-tuning decision functions).
+class SingleTraitRanker final : public Ranker {
+ public:
+  explicit SingleTraitRanker(std::string trait) : trait_(std::move(trait)) {}
+  std::string name() const override { return "single-trait:" + trait_; }
+  std::vector<ScoredCandidate> Rank(
+      std::vector<TraitedCandidate> candidates) const override;
+
+ private:
+  std::string trait_;
+};
+
+/// \brief Unconstrained-scenario decision function (§4.3): pass a
+/// candidate to the act phase when `trait >= threshold`.
+class ThresholdPolicy {
+ public:
+  ThresholdPolicy(std::string trait, double threshold)
+      : trait_(std::move(trait)), threshold_(threshold) {}
+
+  const std::string& trait() const { return trait_; }
+  double threshold() const { return threshold_; }
+
+  bool ShouldCompact(const TraitedCandidate& candidate) const;
+
+  /// Filters a pool down to the candidates that trigger.
+  std::vector<TraitedCandidate> Triggered(
+      const std::vector<TraitedCandidate>& candidates) const;
+
+ private:
+  std::string trait_;
+  double threshold_;
+};
+
+/// \brief Picks the final work list from the ranked candidates.
+class Selector {
+ public:
+  virtual ~Selector() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<ScoredCandidate> Select(
+      const std::vector<ScoredCandidate>& ranked) const = 0;
+};
+
+/// \brief Top-k selection (LinkedIn's initial rollout fixed k≈10, §7).
+class FixedKSelector final : public Selector {
+ public:
+  explicit FixedKSelector(int64_t k) : k_(k) {}
+  std::string name() const override { return "fixed-k"; }
+  std::vector<ScoredCandidate> Select(
+      const std::vector<ScoredCandidate>& ranked) const override;
+
+ private:
+  int64_t k_;
+};
+
+/// \brief Greedy budget fill (§4.3's "fit as many high-priority
+/// compaction tasks as possible within the budget"): walks the ranking
+/// and takes every candidate whose estimated cost still fits. The number
+/// selected is the *dynamic k* of §7 (Figure 10b).
+class BudgetedSelector final : public Selector {
+ public:
+  /// `cost_trait` must be present in candidates' traits (GBHr estimate).
+  BudgetedSelector(double budget, std::string cost_trait,
+                   bool skip_unaffordable = true)
+      : budget_(budget),
+        cost_trait_(std::move(cost_trait)),
+        skip_unaffordable_(skip_unaffordable) {}
+
+  std::string name() const override { return "budgeted"; }
+  std::vector<ScoredCandidate> Select(
+      const std::vector<ScoredCandidate>& ranked) const override;
+
+  double budget() const { return budget_; }
+
+ private:
+  double budget_;
+  std::string cost_trait_;
+  /// true: keep scanning past items that do not fit (greedy knapsack);
+  /// false: stop at the first item that does not fit (strict priority).
+  bool skip_unaffordable_;
+};
+
+/// \brief Exact 0/1-knapsack selection maximizing total score within the
+/// budget. Exponentially-scaled DP over discretized costs; used by the
+/// ablation bench to quantify the gap to the greedy heuristic.
+class KnapsackSelector final : public Selector {
+ public:
+  KnapsackSelector(double budget, std::string cost_trait,
+                   int resolution = 1000)
+      : budget_(budget),
+        cost_trait_(std::move(cost_trait)),
+        resolution_(resolution) {}
+
+  std::string name() const override { return "knapsack"; }
+  std::vector<ScoredCandidate> Select(
+      const std::vector<ScoredCandidate>& ranked) const override;
+
+ private:
+  double budget_;
+  std::string cost_trait_;
+  int resolution_;
+};
+
+/// \brief LinkedIn's production benefit weight (§7):
+///   w1 = 0.5 × (1 + UsedQuota / TotalQuota),
+/// boosting file-count reduction for tenants near their namespace quota.
+/// The cost weight is 1 - w1.
+double QuotaAwareBenefitWeight(double quota_utilization);
+
+}  // namespace autocomp::core

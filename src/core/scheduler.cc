@@ -1,0 +1,155 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "common/logging.h"
+
+namespace autocomp::core {
+
+engine::CompactionRequest RequestFor(
+    const Candidate& candidate, const SchedulerOptions& options,
+    const catalog::ControlPlane* control_plane) {
+  engine::CompactionRequest request;
+  request.table = candidate.table;
+  request.partition = candidate.partition;
+  request.after_snapshot_id = candidate.after_snapshot_id;
+  request.validation_mode = options.validation_mode;
+  request.target_file_size_bytes = options.target_file_size_bytes;
+  if (control_plane != nullptr) {
+    const catalog::TablePolicy policy =
+        control_plane->GetPolicy(candidate.table);
+    if (request.target_file_size_bytes == 0) {
+      request.target_file_size_bytes = policy.target_file_size_bytes;
+    }
+    request.cluster_output = policy.clustering_enabled;
+  }
+  return request;
+}
+
+namespace {
+
+/// Runs one unit and (optionally) retention afterwards. Returns the end
+/// time of the unit (>= submit).
+SimTime RunUnit(engine::CompactionRunner* runner,
+                catalog::ControlPlane* control_plane,
+                const SchedulerOptions& options, const Candidate& candidate,
+                SimTime submit, std::vector<ScheduledCompaction>* out) {
+  const engine::CompactionRequest request =
+      RequestFor(candidate, options, control_plane);
+  auto result = runner->Run(request, submit);
+  if (!result.ok()) {
+    // Infrastructure failure: record a failed unit and move on.
+    ScheduledCompaction unit;
+    unit.candidate = candidate;
+    unit.result.attempted = true;
+    unit.result.status = result.status();
+    unit.result.start_time = submit;
+    unit.result.end_time = submit;
+    out->push_back(std::move(unit));
+    return submit;
+  }
+  ScheduledCompaction unit;
+  unit.candidate = candidate;
+  unit.result = std::move(result).value();
+  const SimTime end = unit.result.end_time;
+  if (unit.result.committed && options.run_retention_after_commit &&
+      control_plane != nullptr) {
+    auto retention = control_plane->RunRetentionFor(
+        candidate.table, options.post_commit_retention);
+    if (!retention.ok()) {
+      LOG_WARN << "post-compaction retention failed for " << candidate.table
+               << ": " << retention.status();
+    }
+  }
+  out->push_back(std::move(unit));
+  return end;
+}
+
+}  // namespace
+
+SerialScheduler::SerialScheduler(engine::CompactionRunner* runner,
+                                 catalog::ControlPlane* control_plane,
+                                 SchedulerOptions options)
+    : runner_(runner), control_plane_(control_plane), options_(options) {
+  assert(runner_ != nullptr);
+}
+
+Result<std::vector<ScheduledCompaction>> SerialScheduler::Execute(
+    const std::vector<ScoredCandidate>& plan, SimTime now) {
+  std::vector<ScheduledCompaction> out;
+  out.reserve(plan.size());
+  SimTime cursor = now;
+  for (const ScoredCandidate& item : plan) {
+    cursor = std::max(
+        cursor, RunUnit(runner_, control_plane_, options_, item.candidate(),
+                        cursor, &out));
+  }
+  return out;
+}
+
+TableParallelScheduler::TableParallelScheduler(
+    engine::CompactionRunner* runner, catalog::ControlPlane* control_plane,
+    SchedulerOptions options)
+    : runner_(runner), control_plane_(control_plane), options_(options) {
+  assert(runner_ != nullptr);
+}
+
+Result<std::vector<ScheduledCompaction>> TableParallelScheduler::Execute(
+    const std::vector<ScoredCandidate>& plan, SimTime now) {
+  // Group by table, preserving plan (priority) order within each group.
+  std::map<std::string, std::vector<const ScoredCandidate*>> by_table;
+  std::vector<std::string> table_order;
+  for (const ScoredCandidate& item : plan) {
+    auto [it, inserted] = by_table.try_emplace(item.candidate().table);
+    if (inserted) table_order.push_back(item.candidate().table);
+    it->second.push_back(&item);
+  }
+  std::vector<ScheduledCompaction> out;
+  out.reserve(plan.size());
+  for (const std::string& table : table_order) {
+    // Tables start concurrently at `now`; the shared cluster's slot
+    // model provides the actual arbitration. Units within one table are
+    // chained sequentially.
+    SimTime cursor = now;
+    for (const ScoredCandidate* item : by_table[table]) {
+      cursor = std::max(
+          cursor, RunUnit(runner_, control_plane_, options_,
+                          item->candidate(), cursor, &out));
+    }
+  }
+  return out;
+}
+
+OffPeakScheduler::OffPeakScheduler(std::unique_ptr<CompactionScheduler> inner,
+                                   int window_start_hour, int window_end_hour)
+    : inner_(std::move(inner)),
+      window_start_hour_(window_start_hour),
+      window_end_hour_(window_end_hour) {
+  assert(inner_ != nullptr);
+  assert(window_start_hour_ >= 0 && window_start_hour_ < 24);
+  assert(window_end_hour_ >= 0 && window_end_hour_ < 24);
+}
+
+SimTime OffPeakScheduler::NextWindowStart(SimTime now) const {
+  const int hour_of_day = static_cast<int>((now / kHour) % 24);
+  const bool wraps = window_start_hour_ > window_end_hour_;
+  const bool inside =
+      wraps ? (hour_of_day >= window_start_hour_ ||
+               hour_of_day < window_end_hour_)
+            : (hour_of_day >= window_start_hour_ &&
+               hour_of_day < window_end_hour_);
+  if (inside) return now;
+  const SimTime day_start = (now / kDay) * kDay;
+  SimTime next = day_start + window_start_hour_ * kHour;
+  if (next <= now) next += kDay;
+  return next;
+}
+
+Result<std::vector<ScheduledCompaction>> OffPeakScheduler::Execute(
+    const std::vector<ScoredCandidate>& plan, SimTime now) {
+  return inner_->Execute(plan, NextWindowStart(now));
+}
+
+}  // namespace autocomp::core

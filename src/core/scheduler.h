@@ -1,0 +1,121 @@
+/// \file scheduler.h
+/// \brief Act phase: executing the selected compaction plan (§4.4).
+///
+/// Scheduling must respect LST conflict semantics: with Iceberg v1.2.0
+/// even rewrites of distinct partitions of one table conflict, so the
+/// evaluation runs "parallel on the table level but sequential on the
+/// partition level" (§6). Both policies are provided, plus an off-peak
+/// deferral decorator.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/control_plane.h"
+#include "common/clock.h"
+#include "core/candidate.h"
+#include "engine/compaction_runner.h"
+
+namespace autocomp::core {
+
+/// \brief One executed work unit.
+struct ScheduledCompaction {
+  Candidate candidate;
+  engine::CompactionResult result;
+};
+
+/// \brief Common scheduler knobs.
+struct SchedulerOptions {
+  lst::ValidationMode validation_mode = lst::ValidationMode::kStrictTableLevel;
+  /// Run snapshot retention for a table right after a committed rewrite so
+  /// replaced files leave the storage layer (OpenHouse pairs compaction
+  /// with its retention data service).
+  bool run_retention_after_commit = true;
+  /// Retention window used by that post-commit sweep (0 = expire all
+  /// superseded snapshots immediately, reaping the rewritten files).
+  SimTime post_commit_retention = 0;
+  /// Override the per-table target size (0 = use table policy/property).
+  int64_t target_file_size_bytes = 0;
+};
+
+/// \brief Executes a ranked, selected plan.
+class CompactionScheduler {
+ public:
+  virtual ~CompactionScheduler() = default;
+  virtual std::string name() const = 0;
+  /// Runs the plan starting at `now`; returns per-unit outcomes in
+  /// execution order. Individual conflicts/failures are reported in the
+  /// results, not raised.
+  virtual Result<std::vector<ScheduledCompaction>> Execute(
+      const std::vector<ScoredCandidate>& plan, SimTime now) = 0;
+};
+
+/// \brief Strictly sequential execution: each work unit starts when the
+/// previous one ends. Safest against intra-table conflicts; used when
+/// compaction shares the user cluster (§4.4).
+class SerialScheduler final : public CompactionScheduler {
+ public:
+  SerialScheduler(engine::CompactionRunner* runner,
+                  catalog::ControlPlane* control_plane,
+                  SchedulerOptions options = {});
+
+  std::string name() const override { return "serial"; }
+  Result<std::vector<ScheduledCompaction>> Execute(
+      const std::vector<ScoredCandidate>& plan, SimTime now) override;
+
+ private:
+  engine::CompactionRunner* runner_;
+  catalog::ControlPlane* control_plane_;
+  SchedulerOptions options_;
+};
+
+/// \brief Parallel across tables, sequential within a table: work units
+/// for different tables all start at `now` (the cluster's slot model
+/// arbitrates), while units of the same table are chained to avoid the
+/// Iceberg v1.2.0 disjoint-partition rewrite conflict (§4.4, §6).
+class TableParallelScheduler final : public CompactionScheduler {
+ public:
+  TableParallelScheduler(engine::CompactionRunner* runner,
+                         catalog::ControlPlane* control_plane,
+                         SchedulerOptions options = {});
+
+  std::string name() const override { return "table-parallel"; }
+  Result<std::vector<ScheduledCompaction>> Execute(
+      const std::vector<ScoredCandidate>& plan, SimTime now) override;
+
+ private:
+  engine::CompactionRunner* runner_;
+  catalog::ControlPlane* control_plane_;
+  SchedulerOptions options_;
+};
+
+/// \brief Decorator deferring execution to an off-peak window ("deferred
+/// to off-peak hours if usage patterns are predictable", §4.4).
+class OffPeakScheduler final : public CompactionScheduler {
+ public:
+  /// Window in hours-of-day [start, end); wraps midnight when start > end.
+  OffPeakScheduler(std::unique_ptr<CompactionScheduler> inner,
+                   int window_start_hour, int window_end_hour);
+
+  std::string name() const override { return "off-peak"; }
+  Result<std::vector<ScheduledCompaction>> Execute(
+      const std::vector<ScoredCandidate>& plan, SimTime now) override;
+
+  /// First time >= now inside the window (exposed for tests).
+  SimTime NextWindowStart(SimTime now) const;
+
+ private:
+  std::unique_ptr<CompactionScheduler> inner_;
+  int window_start_hour_;
+  int window_end_hour_;
+};
+
+/// \brief Builds the engine request for a candidate (shared by all
+/// schedulers).
+engine::CompactionRequest RequestFor(const Candidate& candidate,
+                                     const SchedulerOptions& options,
+                                     const catalog::ControlPlane* control_plane);
+
+}  // namespace autocomp::core

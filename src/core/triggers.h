@@ -1,0 +1,119 @@
+/// \file triggers.h
+/// \brief Execution triggers (§5): periodic ("pull") and
+/// optimize-after-write ("push"), plus the service tying them to a
+/// pipeline.
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/pipeline.h"
+#include "core/ranking.h"
+
+namespace autocomp::core {
+
+/// \brief Fixed-interval trigger (the evaluation triggers compaction
+/// hourly; LinkedIn's production deployment daily).
+class PeriodicTrigger {
+ public:
+  PeriodicTrigger(SimTime interval, SimTime first_due = 0)
+      : interval_(interval), next_due_(first_due) {}
+
+  bool Due(SimTime now) const { return now >= next_due_; }
+  SimTime next_due() const { return next_due_; }
+  SimTime interval() const { return interval_; }
+
+  /// Advances the schedule past `now` (multiple missed intervals collapse
+  /// into one run).
+  void MarkRun(SimTime now) {
+    next_due_ += interval_;
+    if (next_due_ <= now) {
+      next_due_ = now + interval_;
+    }
+  }
+
+ private:
+  SimTime interval_;
+  SimTime next_due_;
+};
+
+/// \brief Engine hook evaluated after write commits (§5).
+///
+/// Two modes: kImmediate evaluates the written candidate's traits at once
+/// and compacts when the threshold policy triggers (needs an unlimited
+/// budget); kNotify enqueues the candidate for the next service run
+/// (decoupled, resource-controlled).
+class OptimizeAfterWriteHook {
+ public:
+  enum class Mode : int { kImmediate, kNotify };
+
+  struct ImmediateStages {
+    std::shared_ptr<const StatsCollector> collector;
+    std::vector<std::shared_ptr<const Trait>> traits;
+    ThresholdPolicy policy;
+    std::shared_ptr<CompactionScheduler> scheduler;
+  };
+
+  /// Notify-mode hook.
+  OptimizeAfterWriteHook();
+  /// Immediate-mode hook.
+  explicit OptimizeAfterWriteHook(ImmediateStages stages);
+
+  Mode mode() const { return mode_; }
+
+  /// Invoked by the engine's write path after a commit. For kImmediate
+  /// the returned unit is set when compaction ran; for kNotify it is
+  /// nullopt and the candidate queues up.
+  Result<std::optional<ScheduledCompaction>> OnWrite(
+      const std::string& table, const std::optional<std::string>& partition,
+      SimTime now);
+
+  /// kNotify: drains the queued candidates (deduplicated, stable order).
+  std::vector<Candidate> DrainNotifications();
+
+  int64_t triggered_count() const { return triggered_; }
+  int64_t evaluated_count() const { return evaluated_; }
+
+ private:
+  Mode mode_;
+  std::optional<ImmediateStages> stages_;
+  std::deque<Candidate> queue_;
+  int64_t triggered_ = 0;
+  int64_t evaluated_ = 0;
+};
+
+/// \brief Standalone compaction service (Figure 5): owns a pipeline, a
+/// periodic trigger, and optionally consumes hook notifications.
+class AutoCompService {
+ public:
+  AutoCompService(std::unique_ptr<AutoCompPipeline> pipeline,
+                  PeriodicTrigger trigger,
+                  OptimizeAfterWriteHook* hook = nullptr);
+
+  /// Called by the host on its own cadence; runs the pipeline when the
+  /// trigger is due (and folds in any hook notifications). Returns the
+  /// run report if a run happened.
+  Result<std::optional<PipelineRunReport>> Tick(SimTime now);
+
+  /// Forces a run regardless of the trigger (used for post-write bursts).
+  Result<PipelineRunReport> RunNow();
+
+  AutoCompPipeline* pipeline() { return pipeline_.get(); }
+  const PeriodicTrigger& trigger() const { return trigger_; }
+
+  /// History of all runs, for reporting.
+  const std::vector<PipelineRunReport>& history() const { return history_; }
+
+ private:
+  std::unique_ptr<AutoCompPipeline> pipeline_;
+  PeriodicTrigger trigger_;
+  OptimizeAfterWriteHook* hook_;
+  std::vector<PipelineRunReport> history_;
+};
+
+}  // namespace autocomp::core

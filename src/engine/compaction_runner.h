@@ -1,0 +1,120 @@
+/// \file compaction_runner.h
+/// \brief Executes one compaction work unit (AutoComp's act phase calls
+/// this; it is the simulator's RewriteDataFiles).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/clock.h"
+#include "engine/cluster.h"
+#include "format/columnar.h"
+#include "lst/transaction.h"
+
+namespace autocomp::engine {
+
+/// \brief One compaction work unit: a table, optionally narrowed to a
+/// partition or to files added after a snapshot (§4.1 candidate scopes).
+struct CompactionRequest {
+  std::string table;
+  /// Partition scope; nullopt = whole table.
+  std::optional<std::string> partition;
+  /// Snapshot scope: only compact files added after this snapshot id
+  /// (0 = all files). Combines with `partition`.
+  int64_t after_snapshot_id = 0;
+  /// Target on-disk output file size; 0 = use the table property.
+  int64_t target_file_size_bytes = 0;
+  /// Only files strictly smaller than this fraction of the target are
+  /// rewritten (Iceberg's min-file-size-bytes default is 75%).
+  double small_file_threshold = 0.75;
+  /// Conflict validation mode for the rewrite commit.
+  lst::ValidationMode validation_mode = lst::ValidationMode::kStrictTableLevel;
+  /// Rewrite with a clustering layout (Z-order style, §8): outputs become
+  /// `clustered`, letting selective scans skip row groups, at
+  /// `ClusterOptions::cluster_write_multiplier` times the rewrite cost
+  /// (the extra sampling/sorting passes the paper mentions).
+  bool cluster_output = false;
+};
+
+/// \brief Outcome of one compaction execution.
+struct CompactionResult {
+  /// False when there was nothing worth rewriting (< 2 small files).
+  bool attempted = false;
+  /// True when the rewrite committed.
+  bool committed = false;
+  /// Set when the commit was lost to a concurrent writer (a cluster-side
+  /// conflict in Table 1).
+  bool conflict = false;
+  Status status;
+
+  int64_t files_rewritten = 0;
+  int64_t files_produced = 0;
+  int64_t bytes_rewritten = 0;
+  int64_t bytes_produced = 0;
+  double duration_seconds = 0;
+  /// GBHr by the paper's §4.2 formula: ExecutorMemoryGB × DataSize /
+  /// RewriteBytesPerHour.
+  double gb_hours = 0;
+  int64_t snapshot_id = 0;
+  SimTime start_time = 0;
+  SimTime end_time = 0;
+};
+
+/// \brief An in-flight compaction: inputs read and outputs written, but
+/// the rewrite not yet committed. The gap between `start_time` and
+/// `end_time` is where concurrent writers cause the cluster-side
+/// conflicts of Table 1 — Finalize at `end_time` validates against
+/// everything that committed in between.
+struct PendingCompaction {
+  CompactionRequest request;
+  lst::Transaction transaction;
+  std::vector<lst::DataFile> outputs;
+  CompactionResult result;  // filled except commit outcome
+};
+
+/// \brief Runs compaction work units on a (possibly dedicated) cluster.
+class CompactionRunner {
+ public:
+  CompactionRunner(Cluster* cluster, catalog::Catalog* catalog,
+                   const Clock* clock,
+                   format::ColumnarFormatOptions format_options = {});
+
+  /// Executes one work unit submitted at `submit_time`, committing
+  /// immediately (Prepare + Finalize back to back). Never returns an
+  /// error Status for conflicts — those are reported in the result so the
+  /// caller can count them (only infrastructure failures error out).
+  Result<CompactionResult> Run(const CompactionRequest& request,
+                               SimTime submit_time);
+
+  /// Phase 1: plan the rewrite, read the inputs, occupy the cluster, and
+  /// write the output files. The returned unit's result.end_time says
+  /// when the rewrite finishes; the caller commits it then via Finalize.
+  /// A unit whose result.attempted is false has nothing to commit.
+  Result<PendingCompaction> Prepare(const CompactionRequest& request,
+                                    SimTime submit_time);
+
+  /// Phase 2: attempt the rewrite commit (validating against everything
+  /// committed since Prepare read the table). On conflict the outputs are
+  /// deleted and result.conflict is set.
+  CompactionResult Finalize(PendingCompaction&& pending);
+
+  /// Cumulative counters across Run calls.
+  int64_t total_conflicts() const { return total_conflicts_; }
+  int64_t total_committed() const { return total_committed_; }
+
+ private:
+  Cluster* cluster_;
+  catalog::Catalog* catalog_;
+  const Clock* clock_;
+  format::ColumnarFileModel format_;
+  /// Distinguishes runners sharing one catalog (unique output names).
+  int runner_id_;
+  int64_t file_counter_ = 0;
+  int64_t total_conflicts_ = 0;
+  int64_t total_committed_ = 0;
+};
+
+}  // namespace autocomp::engine

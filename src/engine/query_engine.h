@@ -1,0 +1,132 @@
+/// \file query_engine.h
+/// \brief Read/write job execution with a file-layout-sensitive cost model.
+///
+/// Reads plan against LST metadata (planning cost grows with manifest
+/// bloat), open every data file on the distributed filesystem (RPC
+/// pressure, possible timeouts), and scan bytes at the cluster's
+/// throughput across slots (queue contention). Writes plan output files
+/// with the writer profile, create them in storage, and commit with
+/// optimistic concurrency — surfacing the client-side write-write
+/// conflicts of Table 1.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "engine/cluster.h"
+#include "engine/write_planner.h"
+#include "format/columnar.h"
+#include "lst/transaction.h"
+
+namespace autocomp::engine {
+
+/// \brief Outcome of one read query.
+struct QueryResult {
+  SimTime submit_time = 0;
+  double planning_seconds = 0;
+  double queue_wait_seconds = 0;
+  double execution_seconds = 0;  // end-to-end minus planning
+  double total_seconds = 0;
+  int64_t files_scanned = 0;
+  int64_t bytes_scanned = 0;
+  int open_timeouts = 0;
+  double gb_hours = 0;
+};
+
+enum class WriteKind : int {
+  kAppend,
+  /// Copy-on-write update: replaced files leave, new files join.
+  kOverwrite,
+  /// Data removal (CoW delete).
+  kDelete,
+  /// Merge-on-read update: instead of rewriting data files, appends
+  /// position-delete files that accumulate until compaction folds them
+  /// (§2: "MoR configurations generate delta files that accumulate").
+  kMorDelete,
+};
+
+/// \brief Description of one write job.
+struct WriteSpec {
+  std::string table;
+  WriteKind kind = WriteKind::kAppend;
+  /// Logical bytes written (before compression).
+  int64_t logical_bytes = 0;
+  /// Target partition keys (empty = unpartitioned).
+  std::vector<std::string> partitions;
+  WriterProfile profile = UntunedUserJobProfile();
+  /// For kOverwrite/kDelete: fraction of live files in the touched
+  /// partitions that the operation replaces/removes.
+  double replace_fraction = 0.05;
+  /// Client-side commit retries before giving up (each retry is a
+  /// client-side conflict in Table 1).
+  int max_commit_retries = 3;
+};
+
+/// \brief Outcome of one write job.
+struct WriteResult {
+  SimTime submit_time = 0;
+  double total_seconds = 0;
+  int64_t files_written = 0;
+  int64_t files_replaced = 0;
+  int64_t bytes_written = 0;
+  /// Rebase retries performed by the commit (0 = clean).
+  int commit_retries = 0;
+  /// True when the commit was ultimately lost to a conflict.
+  bool conflict_failed = false;
+  int64_t snapshot_id = 0;
+  double gb_hours = 0;
+};
+
+/// \brief Cost-model knobs beyond the cluster's.
+struct QueryEngineOptions {
+  /// Write path costs this multiple of the scan path per byte.
+  double write_amplification = 1.6;
+  format::ColumnarFormatOptions format_options = {};
+  lst::ValidationMode validation_mode = lst::ValidationMode::kStrictTableLevel;
+  uint64_t seed = 1234;
+};
+
+/// \brief Executes read and write jobs against one cluster + catalog.
+class QueryEngine {
+ public:
+  QueryEngine(Cluster* cluster, catalog::Catalog* catalog, const Clock* clock,
+              QueryEngineOptions options = {});
+
+  /// Runs a scan of `table` (optionally one partition) submitted at
+  /// `submit_time`. `selectivity` in (0, 1] is the fraction of rows the
+  /// query's predicates need: *clustered* files let the scan skip to the
+  /// matching row groups and read only that fraction (§8's layout
+  /// optimization); unclustered files are read in full regardless.
+  Result<QueryResult> ExecuteRead(
+      const std::string& table, const std::optional<std::string>& partition,
+      SimTime submit_time, double selectivity = 1.0);
+
+  /// Runs a write job submitted at `submit_time`.
+  Result<WriteResult> ExecuteWrite(const WriteSpec& spec, SimTime submit_time);
+
+  const format::ColumnarFileModel& format() const { return format_; }
+  Cluster* cluster() { return cluster_; }
+
+ private:
+  /// Unique file path under the table location.
+  std::string NewFilePath(const lst::TableMetadata& meta,
+                          const std::string& partition, const char* op);
+
+  Cluster* cluster_;
+  catalog::Catalog* catalog_;
+  const Clock* clock_;
+  QueryEngineOptions options_;
+  format::ColumnarFileModel format_;
+  Rng rng_;
+  /// Distinguishes writers sharing one catalog (unique file names).
+  int writer_id_;
+  int64_t file_counter_ = 0;
+};
+
+}  // namespace autocomp::engine

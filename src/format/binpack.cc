@@ -1,0 +1,71 @@
+#include "format/binpack.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace autocomp::format {
+
+std::vector<Bin> FirstFitDecreasing(const std::vector<int64_t>& sizes,
+                                    int64_t capacity_bytes) {
+  assert(capacity_bytes > 0);
+  std::vector<size_t> order(sizes.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return sizes[a] > sizes[b];
+  });
+
+  std::vector<Bin> bins;
+  for (size_t idx : order) {
+    const int64_t size = std::max<int64_t>(0, sizes[idx]);
+    if (size >= capacity_bytes) {
+      // Oversized: own bin, never shared.
+      Bin bin;
+      bin.item_indices.push_back(idx);
+      bin.total_bytes = size;
+      bins.push_back(std::move(bin));
+      continue;
+    }
+    bool placed = false;
+    for (Bin& bin : bins) {
+      const bool oversized =
+          bin.item_indices.size() == 1 &&
+          sizes[bin.item_indices.front()] >= capacity_bytes;
+      if (!oversized && bin.total_bytes + size <= capacity_bytes) {
+        bin.item_indices.push_back(idx);
+        bin.total_bytes += size;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      Bin bin;
+      bin.item_indices.push_back(idx);
+      bin.total_bytes = size;
+      bins.push_back(std::move(bin));
+    }
+  }
+  return bins;
+}
+
+int64_t MinBinsLowerBound(const std::vector<int64_t>& sizes,
+                          int64_t capacity_bytes) {
+  assert(capacity_bytes > 0);
+  int64_t total = 0;
+  for (int64_t s : sizes) total += std::max<int64_t>(0, s);
+  return (total + capacity_bytes - 1) / capacity_bytes;
+}
+
+double MeanFillFraction(const std::vector<Bin>& bins, int64_t capacity_bytes) {
+  assert(capacity_bytes > 0);
+  double acc = 0;
+  int64_t counted = 0;
+  for (const Bin& bin : bins) {
+    if (bin.total_bytes >= capacity_bytes) continue;  // oversized pass-through
+    acc += static_cast<double>(bin.total_bytes) / capacity_bytes;
+    ++counted;
+  }
+  return counted == 0 ? 1.0 : acc / counted;
+}
+
+}  // namespace autocomp::format

@@ -1,0 +1,37 @@
+/// \file binpack.h
+/// \brief Bin-packing used by the compaction rewrite planner.
+///
+/// Iceberg's RewriteDataFiles groups input files into output files near
+/// the target size; we implement the same first-fit-decreasing heuristic
+/// plus an optimal DP variant used by the ablation benches.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace autocomp::format {
+
+/// \brief One planned output file: indices into the input list.
+struct Bin {
+  std::vector<size_t> item_indices;
+  int64_t total_bytes = 0;
+};
+
+/// \brief First-fit-decreasing packing of `sizes` into bins of
+/// `capacity_bytes`. Items larger than the capacity get their own bin
+/// (oversized files are rewritten as-is). Deterministic: ties broken by
+/// original index.
+std::vector<Bin> FirstFitDecreasing(const std::vector<int64_t>& sizes,
+                                    int64_t capacity_bytes);
+
+/// \brief Lower bound on the number of bins (ceil(total/capacity)).
+int64_t MinBinsLowerBound(const std::vector<int64_t>& sizes,
+                          int64_t capacity_bytes);
+
+/// \brief Packing quality: mean fill fraction of non-oversized bins,
+/// in [0, 1]. Empty input yields 1.
+double MeanFillFraction(const std::vector<Bin>& bins, int64_t capacity_bytes);
+
+}  // namespace autocomp::format

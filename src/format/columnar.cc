@@ -1,0 +1,64 @@
+#include "format/columnar.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autocomp::format {
+
+double ColumnarFileModel::CompressionRatioFor(int64_t logical_bytes) const {
+  if (logical_bytes <= 0) return 1.0;
+  const double efficient =
+      static_cast<double>(options_.efficient_chunk_bytes);
+  const double peak = options_.peak_compression_ratio;
+  if (static_cast<double>(logical_bytes) >= efficient) return peak;
+  // Linear decay from peak at `efficient` to 1.0 at size 0.
+  const double frac = static_cast<double>(logical_bytes) / efficient;
+  return 1.0 + (peak - 1.0) * frac;
+}
+
+int64_t ColumnarFileModel::StoredBytesFor(int64_t logical_bytes) const {
+  if (logical_bytes < 0) logical_bytes = 0;
+  const double ratio = CompressionRatioFor(logical_bytes);
+  const int64_t data_bytes = static_cast<int64_t>(
+      std::llround(static_cast<double>(logical_bytes) / ratio));
+  return std::max<int64_t>(options_.footer_bytes + 1,
+                           data_bytes + options_.footer_bytes);
+}
+
+int64_t ColumnarFileModel::LogicalBytesForStored(int64_t stored_bytes) const {
+  // Exact inverse of StoredBytesFor, honouring the size-dependent
+  // compression ratio: small files were stored at a poor ratio, so they
+  // hold less logical data than the peak ratio would suggest. Getting
+  // this right is what makes merged outputs smaller than their inputs.
+  const double d = static_cast<double>(
+      std::max<int64_t>(0, stored_bytes - options_.footer_bytes));
+  const double peak = options_.peak_compression_ratio;
+  const double efficient = static_cast<double>(options_.efficient_chunk_bytes);
+  // Data stored from a logical size at or above `efficient` compresses at
+  // peak; the boundary in stored space is efficient/peak.
+  if (d >= efficient / peak) {
+    return static_cast<int64_t>(std::llround(d * peak));
+  }
+  // Below the boundary: ratio(L) = 1 + (peak-1)·L/E and d = L/ratio(L)
+  // solve to L = d / (1 - d·(peak-1)/E).
+  const double denom = 1.0 - d * (peak - 1.0) / efficient;
+  return static_cast<int64_t>(std::llround(d / std::max(denom, 1e-9)));
+}
+
+int64_t ColumnarFileModel::RowGroupsFor(int64_t stored_bytes) const {
+  if (stored_bytes <= 0) return 0;
+  return std::max<int64_t>(
+      1, (stored_bytes + options_.row_group_bytes - 1) /
+             options_.row_group_bytes);
+}
+
+int64_t ColumnarFileModel::FragmentationOverhead(int64_t logical_bytes,
+                                                 int64_t num_files) const {
+  if (num_files <= 0 || logical_bytes <= 0) return 0;
+  const int64_t per_file_logical = logical_bytes / num_files;
+  const int64_t fragmented = num_files * StoredBytesFor(per_file_logical);
+  const int64_t packed = StoredBytesFor(logical_bytes);
+  return std::max<int64_t>(0, fragmented - packed);
+}
+
+}  // namespace autocomp::format

@@ -1,0 +1,73 @@
+/// \file columnar.h
+/// \brief Analytic model of a Parquet/ORC-like columnar file format.
+///
+/// The paper argues small files defeat columnar encoding and compression
+/// (§1: "Small files storing a limited number of rows also reduce the
+/// efficiency of columnar formats"). We capture this with an analytic
+/// model: every file pays a fixed footer/metadata overhead, and the
+/// achievable compression ratio decays below a critical size because
+/// column chunks become too short for dictionary/RLE encoding to bite.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace autocomp::format {
+
+/// \brief Knobs for the columnar-format model.
+struct ColumnarFormatOptions {
+  /// Size of one row group; files hold >= 1 row group.
+  int64_t row_group_bytes = 128 * kMiB;
+  /// Fixed per-file footer + column-index metadata.
+  int64_t footer_bytes = 64 * kKiB;
+  /// Compression ratio achieved by a well-sized file (logical/stored).
+  double peak_compression_ratio = 3.0;
+  /// Below this logical size, encoding efficiency decays toward 1.0.
+  int64_t efficient_chunk_bytes = 32 * kMiB;
+  /// Bytes of one logical row (used to convert rows <-> bytes).
+  int64_t bytes_per_record = 256;
+};
+
+/// \brief Pure functions mapping logical data to on-disk file sizes and
+/// per-file scan overheads.
+class ColumnarFileModel {
+ public:
+  explicit ColumnarFileModel(ColumnarFormatOptions options = {})
+      : options_(options) {}
+
+  const ColumnarFormatOptions& options() const { return options_; }
+
+  /// Compression ratio achieved when `logical_bytes` of data share one
+  /// file. Decays linearly from peak at `efficient_chunk_bytes` down to
+  /// 1.0 for tiny files.
+  double CompressionRatioFor(int64_t logical_bytes) const;
+
+  /// On-disk size of a file holding `logical_bytes` of logical data
+  /// (compression + footer overhead). Minimum is footer_bytes + 1.
+  int64_t StoredBytesFor(int64_t logical_bytes) const;
+
+  /// Inverse of StoredBytesFor under peak compression: logical bytes that
+  /// fill a file of `stored_bytes` (used to plan writes toward a target
+  /// on-disk file size).
+  int64_t LogicalBytesForStored(int64_t stored_bytes) const;
+
+  /// Number of row groups in a file of `stored_bytes`.
+  int64_t RowGroupsFor(int64_t stored_bytes) const;
+
+  /// Records held by `logical_bytes`.
+  int64_t RecordsFor(int64_t logical_bytes) const {
+    return logical_bytes / options_.bytes_per_record;
+  }
+
+  /// Aggregate on-disk waste (stored minus ideally-stored) of splitting
+  /// `logical_bytes` across `num_files` files instead of packing them at
+  /// target size. Quantifies the paper's storage-efficiency argument.
+  int64_t FragmentationOverhead(int64_t logical_bytes, int64_t num_files) const;
+
+ private:
+  ColumnarFormatOptions options_;
+};
+
+}  // namespace autocomp::format

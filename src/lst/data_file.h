@@ -1,0 +1,48 @@
+/// \file data_file.h
+/// \brief Immutable data-file descriptors tracked in table metadata.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace autocomp::lst {
+
+/// \brief Kind of content a tracked file holds. MoR tables accumulate
+/// delete (delta) files that compaction folds back into data files (§2,
+/// "Merge-on-Read configurations generate delta files that accumulate").
+enum class FileContent : int {
+  kData,
+  /// Row-level deletes pending merge (MoR delta file).
+  kPositionDeletes,
+};
+
+/// \brief Metadata entry for one immutable file referenced by a table.
+///
+/// Matches the fields Iceberg keeps per data file that AutoComp's observe
+/// phase consumes: path, partition key, on-disk size, record count, and
+/// the snapshot that added the file (enables snapshot-scoped candidates).
+struct DataFile {
+  std::string path;
+  /// Partition key string ("month=1995-03"); empty for unpartitioned.
+  std::string partition;
+  FileContent content = FileContent::kData;
+  int64_t file_size_bytes = 0;
+  int64_t record_count = 0;
+  /// True when the file was written with a clustering layout (Z-order /
+  /// V-order style, §8 "Automatic Data Layout Optimization"): selective
+  /// scans can skip row groups inside clustered files.
+  bool clustered = false;
+  /// Snapshot that added this file (filled in at commit).
+  int64_t added_snapshot_id = 0;
+  /// Commit sequence number (filled in at commit).
+  int64_t sequence_number = 0;
+
+  bool operator==(const DataFile& other) const {
+    return path == other.path;
+  }
+};
+
+}  // namespace autocomp::lst

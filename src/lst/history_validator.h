@@ -1,0 +1,51 @@
+/// \file history_validator.h
+/// \brief Consistency checking over a table's snapshot history.
+///
+/// The paper's §8 highlights that "understanding LST conflict resolution
+/// mechanisms and predicting potential conflicts is challenging" and
+/// points to formal analyses of LST consistency models [69-71]. This
+/// validator mechanically checks the invariants those analyses rely on
+/// against a concrete metadata instance — the library's safety net for
+/// catching broken commit logic (it is run inside the property suites
+/// and available to users debugging their own extensions).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lst/table_metadata.h"
+
+namespace autocomp::lst {
+
+/// \brief One violated invariant.
+struct HistoryViolation {
+  /// Snapshot where the violation was detected (0 = metadata-level).
+  int64_t snapshot_id = 0;
+  std::string message;
+};
+
+/// \brief Checks the invariants of a metadata instance:
+///  1. snapshot ids are unique and the parent chain is linear
+///     (each snapshot's parent is its predecessor);
+///  2. sequence numbers strictly increase along the chain;
+///  3. timestamps never decrease along the chain;
+///  4. the current snapshot exists and is the chain's head;
+///  5. replaying the history — applying each snapshot's additions
+///     (files with added_snapshot_id == snapshot) and removals
+///     (removed_paths) — reproduces exactly each snapshot's live set;
+///  6. no file path is added twice while still live;
+///  7. every removed path was live in the parent snapshot;
+///  8. summary counters (added/deleted files) match the replay;
+///  9. id counters (next_snapshot_id, next_manifest_id,
+///     next_sequence_number) exceed every id in use.
+///
+/// Returns the list of violations (empty = consistent).
+std::vector<HistoryViolation> ValidateHistory(const TableMetadata& metadata);
+
+/// \brief Convenience wrapper: OK when consistent, Internal with the
+/// first violations otherwise.
+Status CheckHistory(const TableMetadata& metadata);
+
+}  // namespace autocomp::lst

@@ -1,0 +1,57 @@
+/// \file manifest.h
+/// \brief Manifests and manifest lists: the metadata layer whose growth
+/// the paper calls out ("bloated metadata in LSTs", §1).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lst/data_file.h"
+
+namespace autocomp::lst {
+
+/// \brief An immutable group of live data files written by one commit (or
+/// produced by filtering/merging earlier manifests).
+///
+/// The simulator keeps only live entries per manifest; deleted entries are
+/// dropped when a rewriting commit filters a manifest. Manifests are
+/// shared across snapshots via shared_ptr, mirroring how Iceberg snapshots
+/// reuse unchanged manifest files.
+class Manifest {
+ public:
+  Manifest(int64_t manifest_id, std::vector<DataFile> files)
+      : manifest_id_(manifest_id), files_(std::move(files)) {
+    for (const DataFile& f : files_) {
+      total_bytes_ += f.file_size_bytes;
+      partitions_.insert(f.partition);
+    }
+  }
+
+  int64_t manifest_id() const { return manifest_id_; }
+  const std::vector<DataFile>& files() const { return files_; }
+  int64_t file_count() const { return static_cast<int64_t>(files_.size()); }
+  int64_t total_bytes() const { return total_bytes_; }
+
+  /// Partition summary used for scan pruning.
+  const std::set<std::string>& partitions() const { return partitions_; }
+  bool ContainsPartition(const std::string& partition) const {
+    return partitions_.count(partition) > 0;
+  }
+
+ private:
+  int64_t manifest_id_;
+  std::vector<DataFile> files_;
+  int64_t total_bytes_ = 0;
+  std::set<std::string> partitions_;
+};
+
+using ManifestPtr = std::shared_ptr<const Manifest>;
+
+/// \brief Ordered list of manifests making up one snapshot's view.
+using ManifestList = std::vector<ManifestPtr>;
+
+}  // namespace autocomp::lst

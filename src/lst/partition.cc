@@ -1,0 +1,137 @@
+#include "lst/partition.h"
+
+#include <cstdio>
+
+namespace autocomp::lst {
+
+const char* TransformName(Transform t) {
+  switch (t) {
+    case Transform::kIdentity:
+      return "identity";
+    case Transform::kMonth:
+      return "month";
+    case Transform::kDay:
+      return "day";
+    case Transform::kYear:
+      return "year";
+    case Transform::kBucket:
+      return "bucket";
+  }
+  return "unknown";
+}
+
+// Howard Hinnant's days<->civil algorithms (public domain).
+CivilDate CivilFromDays(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const int64_t mp = (5 * doy + 2) / 153;
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;
+  const int64_t m = mp < 10 ? mp + 3 : mp - 9;
+  CivilDate out;
+  out.year = static_cast<int32_t>(m <= 2 ? y + 1 : y);
+  out.month = static_cast<int32_t>(m);
+  out.day = static_cast<int32_t>(d);
+  return out;
+}
+
+int64_t DaysFromCivil(int32_t y, int32_t m, int32_t d) {
+  const int64_t yy = y - (m <= 2 ? 1 : 0);
+  const int64_t era = (yy >= 0 ? yy : yy - 399) / 400;
+  const int64_t yoe = yy - era * 400;
+  const int64_t doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + doe - 719468;
+}
+
+std::string ApplyTransform(Transform transform, int64_t value,
+                           int32_t bucket_count) {
+  char buf[32];
+  switch (transform) {
+    case Transform::kIdentity:
+      return std::to_string(value);
+    case Transform::kMonth: {
+      const CivilDate c = CivilFromDays(value);
+      std::snprintf(buf, sizeof(buf), "%04d-%02d", c.year, c.month);
+      return buf;
+    }
+    case Transform::kDay: {
+      const CivilDate c = CivilFromDays(value);
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month,
+                    c.day);
+      return buf;
+    }
+    case Transform::kYear: {
+      const CivilDate c = CivilFromDays(value);
+      std::snprintf(buf, sizeof(buf), "%04d", c.year);
+      return buf;
+    }
+    case Transform::kBucket: {
+      const int32_t buckets = bucket_count > 0 ? bucket_count : 16;
+      // Deterministic integer mix, then bucket.
+      uint64_t h = static_cast<uint64_t>(value) * 0x9E3779B97F4A7C15ULL;
+      h ^= h >> 32;
+      std::snprintf(buf, sizeof(buf), "bucket_%u",
+                    static_cast<uint32_t>(h % static_cast<uint64_t>(buckets)));
+      return buf;
+    }
+  }
+  return "invalid";
+}
+
+Result<std::string> PartitionSpec::PartitionKeyFor(
+    const std::vector<int64_t>& values) const {
+  if (values.size() != fields_.size()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(fields_.size()) + " partition values, got " +
+        std::to_string(values.size()));
+  }
+  if (fields_.empty()) return std::string();
+  std::string key;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) key += "/";
+    key += fields_[i].name;
+    key += "=";
+    key += ApplyTransform(fields_[i].transform, values[i],
+                          fields_[i].bucket_count);
+  }
+  return key;
+}
+
+Status PartitionSpec::Validate(const Schema& schema) const {
+  for (const PartitionField& pf : fields_) {
+    auto field = schema.FindField(pf.source_field_id);
+    AUTOCOMP_RETURN_NOT_OK(field.status());
+    const bool needs_date = pf.transform == Transform::kMonth ||
+                            pf.transform == Transform::kDay ||
+                            pf.transform == Transform::kYear;
+    if (needs_date && field->type != FieldType::kDate) {
+      return Status::InvalidArgument(
+          "transform " + std::string(TransformName(pf.transform)) +
+          " requires a date source field, got " +
+          FieldTypeName(field->type) + " for " + field->name);
+    }
+    if (pf.transform == Transform::kBucket && pf.bucket_count <= 0) {
+      return Status::InvalidArgument("bucket transform requires bucket_count");
+    }
+  }
+  return Status::OK();
+}
+
+std::string PartitionSpec::ToString() const {
+  if (fields_.empty()) return "unpartitioned";
+  std::string out = "spec#" + std::to_string(spec_id_) + "[";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::string(TransformName(fields_[i].transform)) + "(" +
+           std::to_string(fields_[i].source_field_id) + ") as " +
+           fields_[i].name;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace autocomp::lst

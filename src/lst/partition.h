@@ -1,0 +1,88 @@
+/// \file partition.h
+/// \brief Partition specs and value transforms (Iceberg-style hidden
+/// partitioning).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lst/types.h"
+
+namespace autocomp::lst {
+
+/// \brief Value transform applied to a source column to derive the
+/// partition value.
+enum class Transform : int {
+  kIdentity,
+  /// Year-month of a kDate column ("1995-03"). The LINEITEM table in the
+  /// evaluation is partitioned by month(SHIPDATE).
+  kMonth,
+  /// Calendar day of a kDate column ("1995-03-07").
+  kDay,
+  /// Year of a kDate column ("1995").
+  kYear,
+  /// Hash bucket of any column ("bucket_17").
+  kBucket,
+};
+
+const char* TransformName(Transform t);
+
+/// \brief One partition dimension: a source field plus a transform.
+struct PartitionField {
+  int32_t source_field_id = 0;
+  Transform transform = Transform::kIdentity;
+  std::string name;
+  /// For kBucket only.
+  int32_t bucket_count = 0;
+};
+
+/// \brief Applies `transform` to a raw column value.
+/// For date transforms, `value` is days since 1970-01-01.
+std::string ApplyTransform(Transform transform, int64_t value,
+                           int32_t bucket_count = 0);
+
+/// \brief Partition layout of a table. An empty spec means the table is
+/// unpartitioned (the ORDERS table in the evaluation).
+class PartitionSpec {
+ public:
+  PartitionSpec() = default;
+  PartitionSpec(int32_t spec_id, std::vector<PartitionField> fields)
+      : spec_id_(spec_id), fields_(std::move(fields)) {}
+
+  /// Unpartitioned spec (spec id 0, no fields).
+  static PartitionSpec Unpartitioned() { return PartitionSpec(); }
+
+  int32_t spec_id() const { return spec_id_; }
+  const std::vector<PartitionField>& fields() const { return fields_; }
+  bool is_partitioned() const { return !fields_.empty(); }
+
+  /// Derives the partition key ("month=1995-03") from raw source values,
+  /// one per partition field, in spec order.
+  Result<std::string> PartitionKeyFor(const std::vector<int64_t>& values) const;
+
+  /// Validates the spec against a schema: every source field must exist,
+  /// and date transforms require kDate sources.
+  Status Validate(const Schema& schema) const;
+
+  std::string ToString() const;
+
+ private:
+  int32_t spec_id_ = 0;
+  std::vector<PartitionField> fields_;
+};
+
+/// \brief Civil-date helpers for the date transforms.
+/// Days since 1970-01-01 -> {year, month (1-12), day (1-31)}.
+struct CivilDate {
+  int32_t year = 1970;
+  int32_t month = 1;
+  int32_t day = 1;
+};
+CivilDate CivilFromDays(int64_t days);
+/// Inverse of CivilFromDays.
+int64_t DaysFromCivil(int32_t year, int32_t month, int32_t day);
+
+}  // namespace autocomp::lst

@@ -1,0 +1,108 @@
+#include "lst/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace autocomp::lst {
+
+Table::Table(MetadataStore* store, std::string name, const Clock* clock)
+    : store_(store), name_(std::move(name)), clock_(clock) {
+  assert(store_ != nullptr && clock_ != nullptr);
+}
+
+Result<TableMetadataPtr> Table::Metadata() const {
+  return store_->LoadTable(name_);
+}
+
+Result<Transaction> Table::NewTransaction(ValidationMode mode) const {
+  AUTOCOMP_ASSIGN_OR_RETURN(TableMetadataPtr base, Metadata());
+  return Transaction(store_, name_, std::move(base), clock_, mode);
+}
+
+Result<ScanPlan> Table::PlanScan(
+    const std::optional<std::string>& partition) const {
+  AUTOCOMP_ASSIGN_OR_RETURN(TableMetadataPtr meta, Metadata());
+  ScanPlan plan;
+  const Snapshot* snap = meta->current_snapshot();
+  if (snap == nullptr) return plan;
+  plan.snapshot_id = snap->snapshot_id;
+  for (const ManifestPtr& m : snap->manifests) {
+    if (partition && !m->ContainsPartition(*partition)) continue;  // pruned
+    ++plan.manifests_scanned;
+    for (const DataFile& f : m->files()) {
+      if (partition && f.partition != *partition) continue;
+      plan.total_bytes += f.file_size_bytes;
+      plan.total_records += f.record_count;
+      plan.files.push_back(f);
+    }
+  }
+  return plan;
+}
+
+Result<ExpireResult> ExpireSnapshots(MetadataStore* store,
+                                     const std::string& table_name,
+                                     const Clock* clock, SimTime older_than,
+                                     int keep_last) {
+  assert(store != nullptr && clock != nullptr);
+  constexpr int kMaxCasRetries = 5;
+  for (int attempt = 0;; ++attempt) {
+    AUTOCOMP_ASSIGN_OR_RETURN(TableMetadataPtr meta,
+                              store->LoadTable(table_name));
+    const auto& snapshots = meta->snapshots();
+    if (snapshots.empty()) {
+      return ExpireResult{meta, {}, 0};
+    }
+
+    const size_t keep_tail =
+        std::min(snapshots.size(), static_cast<size_t>(std::max(1, keep_last)));
+    std::vector<Snapshot> retained;
+    std::vector<const Snapshot*> expired;
+    for (size_t i = 0; i < snapshots.size(); ++i) {
+      const Snapshot& s = snapshots[i];
+      const bool in_tail = i + keep_tail >= snapshots.size();
+      const bool is_current = s.snapshot_id == meta->current_snapshot_id();
+      if (in_tail || is_current || s.timestamp >= older_than) {
+        retained.push_back(s);
+      } else {
+        expired.push_back(&s);
+      }
+    }
+    if (expired.empty()) {
+      return ExpireResult{meta, {}, 0};
+    }
+
+    // Live paths across all retained snapshots stay on disk.
+    std::set<std::string> referenced;
+    for (const Snapshot& s : retained) {
+      for (const ManifestPtr& m : s.manifests) {
+        for (const DataFile& f : m->files()) referenced.insert(f.path);
+      }
+    }
+    std::set<std::string> orphaned;
+    for (const Snapshot* s : expired) {
+      for (const ManifestPtr& m : s->manifests) {
+        for (const DataFile& f : m->files()) {
+          if (referenced.count(f.path) == 0) orphaned.insert(f.path);
+        }
+      }
+    }
+
+    TableMetadata::Builder builder(*meta);
+    builder.SetSnapshots(std::move(retained));
+    builder.SetLastUpdatedAt(clock->Now());
+    AUTOCOMP_ASSIGN_OR_RETURN(TableMetadataPtr next, builder.Build());
+    const Status cas = store->CommitTable(table_name, meta->version(), next);
+    if (cas.ok()) {
+      ExpireResult result;
+      result.metadata = next;
+      result.orphaned_paths.assign(orphaned.begin(), orphaned.end());
+      result.expired_snapshots = static_cast<int64_t>(expired.size());
+      return result;
+    }
+    if (!cas.IsCommitConflict() || attempt >= kMaxCasRetries) return cas;
+    // CAS race with a concurrent commit: recompute on the new version.
+  }
+}
+
+}  // namespace autocomp::lst

@@ -1,0 +1,227 @@
+#include "lst/table_metadata.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace autocomp::lst {
+
+const char* SnapshotOperationName(SnapshotOperation op) {
+  switch (op) {
+    case SnapshotOperation::kAppend:
+      return "append";
+    case SnapshotOperation::kOverwrite:
+      return "overwrite";
+    case SnapshotOperation::kReplace:
+      return "replace";
+    case SnapshotOperation::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+const Snapshot* TableMetadata::current_snapshot() const {
+  return FindSnapshot(current_snapshot_id_);
+}
+
+const Snapshot* TableMetadata::FindSnapshot(int64_t snapshot_id) const {
+  if (snapshot_id == 0) return nullptr;
+  for (const Snapshot& s : snapshots_) {
+    if (s.snapshot_id == snapshot_id) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Snapshot*> TableMetadata::SnapshotsAfter(
+    int64_t snapshot_id) const {
+  // Snapshots are stored in commit order; history is linear in this
+  // implementation (no branches), so "after" is a suffix scan.
+  std::vector<const Snapshot*> out;
+  bool seen = snapshot_id == 0;
+  for (const Snapshot& s : snapshots_) {
+    if (seen) out.push_back(&s);
+    if (s.snapshot_id == snapshot_id) seen = true;
+  }
+  return out;
+}
+
+std::vector<DataFile> TableMetadata::LiveFiles(
+    const std::optional<std::string>& partition) const {
+  std::vector<DataFile> out;
+  const Snapshot* snap = current_snapshot();
+  if (snap == nullptr) return out;
+  for (const ManifestPtr& m : snap->manifests) {
+    if (partition && !m->ContainsPartition(*partition)) continue;
+    for (const DataFile& f : m->files()) {
+      if (!partition || f.partition == *partition) out.push_back(f);
+    }
+  }
+  return out;
+}
+
+bool TableMetadata::IsLive(const std::string& path) const {
+  const Snapshot* snap = current_snapshot();
+  if (snap == nullptr) return false;
+  for (const ManifestPtr& m : snap->manifests) {
+    for (const DataFile& f : m->files()) {
+      if (f.path == path) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> TableMetadata::LivePartitions() const {
+  std::set<std::string> parts;
+  const Snapshot* snap = current_snapshot();
+  if (snap == nullptr) return {};
+  for (const ManifestPtr& m : snap->manifests) {
+    parts.insert(m->partitions().begin(), m->partitions().end());
+  }
+  return {parts.begin(), parts.end()};
+}
+
+int64_t TableMetadata::live_file_count() const {
+  const Snapshot* snap = current_snapshot();
+  return snap == nullptr ? 0 : snap->live_file_count();
+}
+
+int64_t TableMetadata::live_bytes() const {
+  const Snapshot* snap = current_snapshot();
+  return snap == nullptr ? 0 : snap->live_bytes();
+}
+
+int64_t TableMetadata::target_file_size_bytes() const {
+  return properties_.GetInt(kPropTargetFileSizeBytes, 512 * kMiB);
+}
+
+TableMetadata::Builder::Builder(std::string name, std::string location,
+                                Schema schema, PartitionSpec spec) {
+  meta_.name_ = std::move(name);
+  meta_.location_ = std::move(location);
+  meta_.schema_ = std::move(schema);
+  meta_.spec_ = std::move(spec);
+  meta_.version_ = 1;
+}
+
+TableMetadata::Builder::Builder(const TableMetadata& base) {
+  meta_ = base;
+  meta_.version_ = base.version_ + 1;
+}
+
+TableMetadata::Builder& TableMetadata::Builder::SetProperties(
+    Config properties) {
+  meta_.properties_ = std::move(properties);
+  return *this;
+}
+
+TableMetadata::Builder& TableMetadata::Builder::SetProperty(
+    const std::string& key, const std::string& value) {
+  meta_.properties_.Set(key, value);
+  return *this;
+}
+
+TableMetadata::Builder& TableMetadata::Builder::SetCreatedAt(SimTime t) {
+  meta_.created_at_ = t;
+  if (meta_.last_updated_at_ < t) meta_.last_updated_at_ = t;
+  return *this;
+}
+
+TableMetadata::Builder& TableMetadata::Builder::SetLastUpdatedAt(SimTime t) {
+  meta_.last_updated_at_ = t;
+  return *this;
+}
+
+TableMetadata::Builder& TableMetadata::Builder::AddSnapshot(Snapshot snapshot) {
+  meta_.current_snapshot_id_ = snapshot.snapshot_id;
+  meta_.last_updated_at_ = std::max(meta_.last_updated_at_, snapshot.timestamp);
+  meta_.snapshots_.push_back(std::move(snapshot));
+  return *this;
+}
+
+TableMetadata::Builder& TableMetadata::Builder::SetSnapshots(
+    std::vector<Snapshot> snapshots) {
+  meta_.snapshots_ = std::move(snapshots);
+  return *this;
+}
+
+TableMetadata::Builder& TableMetadata::Builder::RestoreVersion(
+    int64_t version) {
+  meta_.version_ = version;
+  return *this;
+}
+
+TableMetadata::Builder& TableMetadata::Builder::RestoreCounters(
+    int64_t next_snapshot_id, int64_t next_manifest_id,
+    int64_t next_sequence_number) {
+  meta_.next_snapshot_id_ = next_snapshot_id;
+  meta_.next_manifest_id_ = next_manifest_id;
+  meta_.next_sequence_number_ = next_sequence_number;
+  return *this;
+}
+
+int64_t TableMetadata::Builder::AllocateSnapshotId() {
+  return meta_.next_snapshot_id_++;
+}
+
+int64_t TableMetadata::Builder::AllocateManifestId() {
+  return meta_.next_manifest_id_++;
+}
+
+int64_t TableMetadata::Builder::AllocateSequenceNumber() {
+  return meta_.next_sequence_number_++;
+}
+
+Result<TableMetadataPtr> TableMetadata::Builder::Build() {
+  AUTOCOMP_CHECK(!built_) << "Builder::Build called twice";
+  built_ = true;
+  if (meta_.name_.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (meta_.location_.empty() || meta_.location_.front() != '/') {
+    return Status::InvalidArgument("table location must be absolute: " +
+                                   meta_.location_);
+  }
+  AUTOCOMP_RETURN_NOT_OK(meta_.spec_.Validate(meta_.schema_));
+  if (meta_.current_snapshot_id_ != 0 &&
+      meta_.FindSnapshot(meta_.current_snapshot_id_) == nullptr) {
+    return Status::Internal("current snapshot not in snapshot list");
+  }
+  return std::make_shared<const TableMetadata>(std::move(meta_));
+}
+
+ManifestList MaybeMergeManifests(ManifestList manifests, int64_t max_manifests,
+                                 TableMetadata::Builder* builder) {
+  if (max_manifests <= 0 ||
+      static_cast<int64_t>(manifests.size()) <= max_manifests) {
+    return manifests;
+  }
+  // Coalesce smallest manifests first until under the limit; this bounds
+  // metadata growth the same way Iceberg's merge-on-write does.
+  std::sort(manifests.begin(), manifests.end(),
+            [](const ManifestPtr& a, const ManifestPtr& b) {
+              if (a->file_count() != b->file_count()) {
+                return a->file_count() < b->file_count();
+              }
+              return a->manifest_id() < b->manifest_id();
+            });
+  const size_t to_merge =
+      manifests.size() - static_cast<size_t>(max_manifests) + 1;
+  std::vector<DataFile> merged_files;
+  for (size_t i = 0; i < to_merge; ++i) {
+    const auto& files = manifests[i]->files();
+    merged_files.insert(merged_files.end(), files.begin(), files.end());
+  }
+  ManifestList out(manifests.begin() + static_cast<ptrdiff_t>(to_merge),
+                   manifests.end());
+  out.push_back(std::make_shared<const Manifest>(builder->AllocateManifestId(),
+                                                 std::move(merged_files)));
+  // Restore deterministic ordering by manifest id.
+  std::sort(out.begin(), out.end(),
+            [](const ManifestPtr& a, const ManifestPtr& b) {
+              return a->manifest_id() < b->manifest_id();
+            });
+  return out;
+}
+
+}  // namespace autocomp::lst

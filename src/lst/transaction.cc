@@ -1,0 +1,282 @@
+#include "lst/transaction.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace autocomp::lst {
+
+Transaction::Transaction(MetadataStore* store, std::string table_name,
+                         TableMetadataPtr base, const Clock* clock,
+                         ValidationMode mode)
+    : store_(store),
+      table_name_(std::move(table_name)),
+      base_(std::move(base)),
+      clock_(clock),
+      mode_(mode) {
+  assert(store_ != nullptr && clock_ != nullptr && base_ != nullptr);
+}
+
+Status Transaction::EnsureOperation(SnapshotOperation op) {
+  if (has_operation_ && operation_ != op) {
+    return Status::FailedPrecondition(
+        "transaction already staged a different operation");
+  }
+  has_operation_ = true;
+  operation_ = op;
+  return Status::OK();
+}
+
+Status Transaction::Append(std::vector<DataFile> files) {
+  AUTOCOMP_RETURN_NOT_OK(EnsureOperation(SnapshotOperation::kAppend));
+  if (files.empty()) {
+    return Status::InvalidArgument("append requires at least one file");
+  }
+  added_.insert(added_.end(), std::make_move_iterator(files.begin()),
+                std::make_move_iterator(files.end()));
+  return Status::OK();
+}
+
+Status Transaction::Overwrite(std::vector<std::string> replaced_paths,
+                              std::vector<DataFile> added) {
+  AUTOCOMP_RETURN_NOT_OK(EnsureOperation(SnapshotOperation::kOverwrite));
+  replaced_paths_.insert(replaced_paths_.end(),
+                         std::make_move_iterator(replaced_paths.begin()),
+                         std::make_move_iterator(replaced_paths.end()));
+  added_.insert(added_.end(), std::make_move_iterator(added.begin()),
+                std::make_move_iterator(added.end()));
+  return Status::OK();
+}
+
+Status Transaction::RewriteFiles(std::vector<std::string> replaced_paths,
+                                 std::vector<DataFile> added) {
+  AUTOCOMP_RETURN_NOT_OK(EnsureOperation(SnapshotOperation::kReplace));
+  if (replaced_paths.empty()) {
+    return Status::InvalidArgument("rewrite requires input files");
+  }
+  replaced_paths_.insert(replaced_paths_.end(),
+                         std::make_move_iterator(replaced_paths.begin()),
+                         std::make_move_iterator(replaced_paths.end()));
+  added_.insert(added_.end(), std::make_move_iterator(added.begin()),
+                std::make_move_iterator(added.end()));
+  return Status::OK();
+}
+
+Status Transaction::DeleteFiles(std::vector<std::string> paths) {
+  AUTOCOMP_RETURN_NOT_OK(EnsureOperation(SnapshotOperation::kDelete));
+  if (paths.empty()) {
+    return Status::InvalidArgument("delete requires at least one path");
+  }
+  replaced_paths_.insert(replaced_paths_.end(),
+                         std::make_move_iterator(paths.begin()),
+                         std::make_move_iterator(paths.end()));
+  return Status::OK();
+}
+
+Status Transaction::ValidateAgainst(const TableMetadata& current) const {
+  const auto intervening = current.SnapshotsAfter(base_->current_snapshot_id());
+  if (intervening.empty()) return Status::OK();
+
+  switch (operation_) {
+    case SnapshotOperation::kAppend:
+      // Fast-append: never conflicts; it only adds a manifest.
+      return Status::OK();
+    case SnapshotOperation::kReplace: {
+      // Which partitions do my input files live in?
+      std::set<std::string> my_partitions;
+      std::set<std::string> my_inputs(replaced_paths_.begin(),
+                                      replaced_paths_.end());
+      for (const DataFile& f : base_->LiveFiles()) {
+        if (my_inputs.count(f.path) > 0) my_partitions.insert(f.partition);
+      }
+      for (const Snapshot* s : intervening) {
+        // Fast-appends never invalidate a rewrite: they only add files,
+        // and the rebase keeps them. (Iceberg rewrites succeed under
+        // concurrent appends.)
+        if (s->operation == SnapshotOperation::kAppend) continue;
+        // Any operation that removed one of my inputs kills the rewrite
+        // — its outputs would resurrect deleted/rewritten data.
+        if (s->removed_paths != nullptr) {
+          for (const std::string& p : *s->removed_paths) {
+            if (my_inputs.count(p) > 0) {
+              return Status::CommitConflict(
+                  "rewrite input removed by concurrent commit: " + p);
+            }
+          }
+        }
+        if (s->operation == SnapshotOperation::kReplace) {
+          if (mode_ == ValidationMode::kStrictTableLevel) {
+            // Iceberg v1.2.0 behaviour observed in the paper (§4.4):
+            // concurrent rewrites of the SAME TABLE conflict even when
+            // they target disjoint partitions.
+            return Status::CommitConflict(
+                "concurrent rewrite on table " + table_name_ +
+                " (strict table-level validation)");
+          }
+          // Partition-aware conflict filtering (§8): only overlapping
+          // partitions conflict.
+          for (const std::string& part : s->touched_partitions) {
+            if (my_partitions.count(part) > 0) {
+              return Status::CommitConflict(
+                  "concurrent rewrite touched partition " + part);
+            }
+          }
+        }
+      }
+      return Status::OK();
+    }
+    case SnapshotOperation::kOverwrite:
+    case SnapshotOperation::kDelete: {
+      // An overwrite/delete read specific files; it conflicts when any of
+      // them is no longer live (e.g. compaction rewrote them) — this is
+      // the client-side versioning conflict users hit when compaction
+      // races their write queries (Table 1).
+      for (const std::string& path : replaced_paths_) {
+        if (!current.IsLive(path)) {
+          return Status::CommitConflict(
+              "overwritten file no longer live (stale metadata): " + path);
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<TableMetadataPtr> Transaction::Apply(const TableMetadata& current) const {
+  TableMetadata::Builder builder(current);
+  Snapshot snap;
+  snap.snapshot_id = builder.AllocateSnapshotId();
+  snap.parent_snapshot_id = current.current_snapshot_id();
+  snap.sequence_number = builder.AllocateSequenceNumber();
+  snap.timestamp = clock_->Now();
+  snap.operation = operation_;
+
+  const Snapshot* base_snap = current.current_snapshot();
+  ManifestList manifests =
+      base_snap == nullptr ? ManifestList{} : base_snap->manifests;
+
+  auto removed = std::make_shared<std::set<std::string>>();
+
+  if (!replaced_paths_.empty()) {
+    const std::set<std::string> to_remove(replaced_paths_.begin(),
+                                          replaced_paths_.end());
+    ManifestList filtered;
+    filtered.reserve(manifests.size());
+    for (const ManifestPtr& m : manifests) {
+      const bool touched = std::any_of(
+          m->files().begin(), m->files().end(),
+          [&](const DataFile& f) { return to_remove.count(f.path) > 0; });
+      if (!touched) {
+        filtered.push_back(m);
+        continue;
+      }
+      std::vector<DataFile> kept;
+      kept.reserve(m->files().size());
+      for (const DataFile& f : m->files()) {
+        if (to_remove.count(f.path) > 0) {
+          snap.deleted_files += 1;
+          snap.deleted_bytes += f.file_size_bytes;
+          snap.touched_partitions.insert(f.partition);
+          removed->insert(f.path);
+        } else {
+          kept.push_back(f);
+        }
+      }
+      if (!kept.empty()) {
+        filtered.push_back(std::make_shared<const Manifest>(
+            builder.AllocateManifestId(), std::move(kept)));
+      }
+    }
+    manifests = std::move(filtered);
+    // Replaced paths that were not live: appends racing deletes could
+    // cause this; validation should have caught genuine conflicts.
+    if (removed->size() != replaced_paths_.size()) {
+      return Status::CommitConflict(
+          "some replaced files are not live in " + table_name_);
+    }
+  }
+
+  if (!added_.empty()) {
+    std::vector<DataFile> stamped = added_;
+    for (DataFile& f : stamped) {
+      f.added_snapshot_id = snap.snapshot_id;
+      f.sequence_number = snap.sequence_number;
+      snap.added_files += 1;
+      snap.added_bytes += f.file_size_bytes;
+      snap.added_records += f.record_count;
+      snap.touched_partitions.insert(f.partition);
+    }
+    manifests.push_back(std::make_shared<const Manifest>(
+        builder.AllocateManifestId(), std::move(stamped)));
+  }
+
+  const int64_t max_manifests =
+      current.properties().GetInt(kPropMaxManifests, 100);
+  manifests = MaybeMergeManifests(std::move(manifests), max_manifests,
+                                  &builder);
+
+  snap.manifests = std::move(manifests);
+  snap.removed_paths =
+      removed->empty() ? nullptr
+                       : std::shared_ptr<const std::set<std::string>>(removed);
+  builder.AddSnapshot(std::move(snap));
+  builder.SetLastUpdatedAt(clock_->Now());
+  return builder.Build();
+}
+
+Result<CommitResult> Transaction::CommitInternal(bool* cas_race) {
+  *cas_race = false;
+  if (!has_operation_) {
+    return Status::FailedPrecondition("nothing staged to commit");
+  }
+  AUTOCOMP_ASSIGN_OR_RETURN(TableMetadataPtr current,
+                            store_->LoadTable(table_name_));
+  if (current->version() != base_->version()) {
+    // Someone committed since we captured the base: validate the rebase.
+    // A rejection here is terminal (the operation is genuinely lost).
+    AUTOCOMP_RETURN_NOT_OK(ValidateAgainst(*current));
+  }
+  AUTOCOMP_ASSIGN_OR_RETURN(TableMetadataPtr next, Apply(*current));
+  const Status cas = store_->CommitTable(table_name_, current->version(), next);
+  if (!cas.ok()) {
+    // A CAS failure means another commit landed between our load and our
+    // swap; the caller may rebase and retry.
+    *cas_race = cas.IsCommitConflict();
+    return cas;
+  }
+  CommitResult result;
+  result.snapshot_id = next->current_snapshot_id();
+  result.retries = 0;
+  result.metadata = next;
+  return result;
+}
+
+Result<CommitResult> Transaction::Commit() {
+  bool cas_race = false;
+  return CommitInternal(&cas_race);
+}
+
+Result<CommitResult> Transaction::CommitWithRetries(int max_retries) {
+  int retries = 0;
+  while (true) {
+    bool cas_race = false;
+    Result<CommitResult> attempt = CommitInternal(&cas_race);
+    if (attempt.ok()) {
+      attempt->retries = retries;
+      return attempt;
+    }
+    if (!cas_race) return attempt.status();  // validation rejection: final
+    if (retries >= max_retries) {
+      return Status::CommitConflict("retries exhausted after " +
+                                    std::to_string(retries) + " attempts");
+    }
+    ++retries;
+    // Retry: CommitInternal reloads the current version and re-validates
+    // against the ORIGINAL base, so strict-mode rewrites still conflict
+    // after a rebase.
+  }
+}
+
+}  // namespace autocomp::lst

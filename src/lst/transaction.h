@@ -1,0 +1,110 @@
+/// \file transaction.h
+/// \brief Optimistic-concurrency transactions over a MetadataStore.
+///
+/// A Transaction captures a base metadata version at creation, stages one
+/// operation (append / overwrite / rewrite / delete), and commits via the
+/// catalog's compare-and-swap. If other commits landed in between, the
+/// transaction attempts to *rebase*: appends always rebase; rewrites and
+/// overwrites re-validate against the intervening snapshots and fail with
+/// CommitConflict when the validation mode rejects them.
+///
+/// Two validation modes are provided:
+///  * kStrictTableLevel — a rewrite conflicts with ANY intervening commit
+///    to the table, even one touching disjoint partitions. This mirrors
+///    the Apache Iceberg v1.2.0 behaviour the paper observed ("compaction
+///    operations executed concurrently could result in conflicts when
+///    targeting distinct partitions within a table", §4.4).
+///  * kPartitionAware — a rewrite conflicts only when an intervening
+///    commit removed one of its input files or touched one of its
+///    partitions (the paper's suggested "conflict filtering" fix, §8).
+
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "lst/table_metadata.h"
+
+namespace autocomp::lst {
+
+enum class ValidationMode : int {
+  kStrictTableLevel,
+  kPartitionAware,
+};
+
+/// \brief Result of a successful commit.
+struct CommitResult {
+  int64_t snapshot_id = 0;
+  /// Number of rebase retries needed (0 = clean first attempt). The
+  /// experiments count these as client-side conflicts (Table 1).
+  int retries = 0;
+  TableMetadataPtr metadata;
+};
+
+/// \brief Single-operation optimistic transaction.
+class Transaction {
+ public:
+  /// Captures the current version of `table_name` as the base. Fails later
+  /// at Commit if the table vanishes.
+  Transaction(MetadataStore* store, std::string table_name,
+              TableMetadataPtr base, const Clock* clock,
+              ValidationMode mode = ValidationMode::kStrictTableLevel);
+
+  /// Stages an append of new files. May be called repeatedly before
+  /// Commit; files accumulate.
+  Status Append(std::vector<DataFile> files);
+
+  /// Stages a logical overwrite: `replaced_paths` leave the live set,
+  /// `added` files join it. Used for CoW updates/deletes.
+  Status Overwrite(std::vector<std::string> replaced_paths,
+                   std::vector<DataFile> added);
+
+  /// Stages a compaction rewrite: logically content-preserving.
+  Status RewriteFiles(std::vector<std::string> replaced_paths,
+                      std::vector<DataFile> added);
+
+  /// Stages a file deletion (data removal).
+  Status DeleteFiles(std::vector<std::string> paths);
+
+  /// One commit attempt. On CommitConflict the transaction stays usable
+  /// and CommitWithRetries may rebase it.
+  Result<CommitResult> Commit();
+
+  /// Commit with automatic rebase, up to `max_retries` retries. Returns
+  /// CommitConflict when validation rejects the rebase (the operation is
+  /// genuinely lost) or retries are exhausted.
+  Result<CommitResult> CommitWithRetries(int max_retries);
+
+  SnapshotOperation operation() const { return operation_; }
+  const TableMetadataPtr& base() const { return base_; }
+
+ private:
+  Status EnsureOperation(SnapshotOperation op);
+  /// One commit attempt; sets *cas_race when the failure was a raw CAS
+  /// race (retryable) rather than a validation rejection (terminal).
+  Result<CommitResult> CommitInternal(bool* cas_race);
+  /// Validates the staged operation against snapshots committed after the
+  /// base version. Returns CommitConflict on rejection.
+  Status ValidateAgainst(const TableMetadata& current) const;
+  /// Builds the successor metadata from `current` and the staged op.
+  Result<TableMetadataPtr> Apply(const TableMetadata& current) const;
+
+  MetadataStore* store_;
+  std::string table_name_;
+  /// Metadata as of transaction start; never rebased — validation always
+  /// runs against the state the operation actually read.
+  TableMetadataPtr base_;
+  const Clock* clock_;
+  ValidationMode mode_;
+
+  bool has_operation_ = false;
+  SnapshotOperation operation_ = SnapshotOperation::kAppend;
+  std::vector<DataFile> added_;
+  std::vector<std::string> replaced_paths_;
+};
+
+}  // namespace autocomp::lst

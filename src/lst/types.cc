@@ -1,0 +1,69 @@
+#include "lst/types.h"
+
+namespace autocomp::lst {
+
+const char* FieldTypeName(FieldType type) {
+  switch (type) {
+    case FieldType::kBool:
+      return "bool";
+    case FieldType::kInt32:
+      return "int32";
+    case FieldType::kInt64:
+      return "int64";
+    case FieldType::kDouble:
+      return "double";
+    case FieldType::kString:
+      return "string";
+    case FieldType::kDate:
+      return "date";
+    case FieldType::kTimestamp:
+      return "timestamp";
+  }
+  return "unknown";
+}
+
+Schema::Schema(int32_t schema_id, std::vector<Field> fields)
+    : schema_id_(schema_id), fields_(std::move(fields)) {}
+
+Result<Field> Schema::FindField(int32_t field_id) const {
+  for (const Field& f : fields_) {
+    if (f.id == field_id) return f;
+  }
+  return Status::NotFound("no field with id " + std::to_string(field_id));
+}
+
+Result<Field> Schema::FindFieldByName(const std::string& name) const {
+  for (const Field& f : fields_) {
+    if (f.name == name) return f;
+  }
+  return Status::NotFound("no field named " + name);
+}
+
+Result<Schema> Schema::AddField(const Field& field) const {
+  for (const Field& f : fields_) {
+    if (f.id == field.id) {
+      return Status::InvalidArgument("duplicate field id " +
+                                     std::to_string(field.id));
+    }
+    if (f.name == field.name) {
+      return Status::InvalidArgument("duplicate field name " + field.name);
+    }
+  }
+  std::vector<Field> fields = fields_;
+  fields.push_back(field);
+  return Schema(schema_id_ + 1, std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "schema#" + std::to_string(schema_id_) + "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += FieldTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace autocomp::lst

@@ -1,0 +1,63 @@
+/// \file types.h
+/// \brief Schema types for log-structured tables.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autocomp::lst {
+
+/// \brief Logical column types (the subset the simulation needs).
+enum class FieldType : int {
+  kBool,
+  kInt32,
+  kInt64,
+  kDouble,
+  kString,
+  /// Days since 1970-01-01; the type partition transforms act on.
+  kDate,
+  /// Seconds since epoch.
+  kTimestamp,
+};
+
+const char* FieldTypeName(FieldType type);
+
+/// \brief One named, typed column with a stable field id.
+struct Field {
+  int32_t id = 0;
+  std::string name;
+  FieldType type = FieldType::kInt64;
+  bool required = false;
+};
+
+/// \brief Versioned column list. Field ids are unique and stable across
+/// schema evolution (columns are looked up by id, never by position).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(int32_t schema_id, std::vector<Field> fields);
+
+  int32_t schema_id() const { return schema_id_; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Field lookup by id; NotFound if absent.
+  Result<Field> FindField(int32_t field_id) const;
+  /// Field lookup by name; NotFound if absent.
+  Result<Field> FindFieldByName(const std::string& name) const;
+
+  /// Returns a new schema (id+1) with `field` appended.
+  /// InvalidArgument on duplicate id or name.
+  Result<Schema> AddField(const Field& field) const;
+
+  std::string ToString() const;
+
+ private:
+  int32_t schema_id_ = 0;
+  std::vector<Field> fields_;
+};
+
+}  // namespace autocomp::lst

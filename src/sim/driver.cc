@@ -1,0 +1,236 @@
+#include "sim/driver.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace autocomp::sim {
+
+EventDriver::EventDriver(SimEnvironment* env, MetricsRecorder* metrics,
+                         DriverOptions options)
+    : env_(env), metrics_(metrics), options_(options) {
+  assert(env_ != nullptr && metrics_ != nullptr);
+  next_sample_ = env_->clock().Now();
+  next_retention_ = options_.retention_interval > 0
+                        ? env_->clock().Now() + options_.retention_interval
+                        : -1;
+}
+
+void EventDriver::SampleNow() {
+  metrics_->Record("files_total", env_->clock().Now(),
+                   static_cast<double>(env_->TotalFileCount()));
+}
+
+std::optional<SimTime> EventDriver::NextCompactionEnd() const {
+  std::optional<SimTime> next;
+  for (const auto& [table, pending] : inflight_) {
+    if (!next || pending.result.end_time < *next) {
+      next = pending.result.end_time;
+    }
+  }
+  return next;
+}
+
+void EventDriver::ScheduleCompactions(
+    const std::vector<core::ScoredCandidate>& plan) {
+  for (const core::ScoredCandidate& item : plan) {
+    table_queues_[item.candidate().table].push_back(item.candidate());
+  }
+  // Kick off the first unit of every table that has no inflight rewrite
+  // (within-table sequencing mirrors TableParallelScheduler).
+  for (const core::ScoredCandidate& item : plan) {
+    const std::string& table = item.candidate().table;
+    if (inflight_.count(table) == 0 && !table_queues_[table].empty()) {
+      StartNextUnit(table);
+    }
+  }
+}
+
+void EventDriver::StartNextUnit(const std::string& table) {
+  auto queue_it = table_queues_.find(table);
+  while (queue_it != table_queues_.end() && !queue_it->second.empty()) {
+    const core::Candidate candidate = queue_it->second.front();
+    queue_it->second.pop_front();
+
+    engine::CompactionRequest request;
+    request.table = candidate.table;
+    request.partition = candidate.partition;
+    request.after_snapshot_id = candidate.after_snapshot_id;
+    request.validation_mode = options_.compaction_validation;
+    request.target_file_size_bytes =
+        env_->control_plane().GetPolicy(candidate.table).target_file_size_bytes;
+
+    auto pending =
+        env_->compaction_runner().Prepare(request, env_->clock().Now());
+    if (!pending.ok()) {
+      LOG_WARN << "compaction prepare failed for " << candidate.id() << ": "
+               << pending.status();
+      continue;  // try the next queued unit
+    }
+    if (!pending->result.attempted) {
+      continue;  // nothing to rewrite; pull the next unit immediately
+    }
+    inflight_.emplace(table, std::move(pending).value());
+    return;
+  }
+}
+
+void EventDriver::FinalizeUnit(const std::string& table,
+                               engine::PendingCompaction&& pending) {
+  const SimTime at = pending.result.end_time;
+  engine::CompactionResult result =
+      env_->compaction_runner().Finalize(std::move(pending));
+  if (result.committed) {
+    metrics_->Increment("compaction_commits", at);
+    metrics_->Record("compaction_gbhr", at, result.gb_hours);
+    metrics_->Record(
+        "compaction_files_reduced", at,
+        static_cast<double>(result.files_rewritten - result.files_produced));
+    auto retention = env_->control_plane().RunRetentionFor(
+        table, options_.post_commit_retention);
+    if (!retention.ok()) {
+      LOG_WARN << "post-compaction retention failed for " << table << ": "
+               << retention.status();
+    }
+  } else if (result.conflict) {
+    metrics_->Increment("cluster_conflicts", at);
+    metrics_->Record("compaction_gbhr", at, result.gb_hours);
+  }
+}
+
+void EventDriver::FinalizeDueCompactions(SimTime t) {
+  while (true) {
+    // Earliest-finishing inflight unit that is due.
+    auto due = inflight_.end();
+    for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+      if (it->second.result.end_time > t) continue;
+      if (due == inflight_.end() ||
+          it->second.result.end_time < due->second.result.end_time) {
+        due = it;
+      }
+    }
+    if (due == inflight_.end()) return;
+    const std::string table = due->first;
+    engine::PendingCompaction pending = std::move(due->second);
+    inflight_.erase(due);
+    FinalizeUnit(table, std::move(pending));
+    StartNextUnit(table);
+  }
+}
+
+Status EventDriver::AdvanceTo(SimTime t) {
+  SimulatedClock& clock = env_->clock();
+  while (clock.Now() < t) {
+    // Next interesting boundary: sample point, retention run, service
+    // trigger, compaction finish, or the target.
+    SimTime next = t;
+    if (next_sample_ <= t) next = std::min(next, next_sample_);
+    if (next_retention_ >= 0 && next_retention_ <= t) {
+      next = std::min(next, next_retention_);
+    }
+    if (service_ != nullptr && service_->trigger().next_due() > clock.Now() &&
+        service_->trigger().next_due() <= t) {
+      next = std::min(next, service_->trigger().next_due());
+    }
+    const std::optional<SimTime> compaction_end = NextCompactionEnd();
+    if (compaction_end && *compaction_end > clock.Now() &&
+        *compaction_end <= t) {
+      next = std::min(next, *compaction_end);
+    }
+    if (next > clock.Now()) clock.AdvanceTo(next);
+
+    FinalizeDueCompactions(clock.Now());
+    if (clock.Now() >= next_sample_) {
+      SampleNow();
+      next_sample_ = clock.Now() + options_.sample_interval;
+    }
+    if (next_retention_ >= 0 && clock.Now() >= next_retention_) {
+      (void)env_->control_plane().RunRetentionService();
+      next_retention_ = clock.Now() + options_.retention_interval;
+    }
+    if (service_ != nullptr) {
+      auto ran = service_->Tick(clock.Now());
+      if (!ran.ok()) {
+        LOG_WARN << "autocomp service tick failed: " << ran.status();
+      } else if (ran->has_value() && options_.deferred_compaction) {
+        ScheduleCompactions((*ran)->selected);
+      }
+    }
+  }
+  FinalizeDueCompactions(clock.Now());
+  return Status::OK();
+}
+
+Status EventDriver::Execute(const workload::QueryEvent& event) {
+  const SimTime now = env_->clock().Now();
+  if (event.is_write) {
+    metrics_->Increment("write_queries", now);
+    auto result = env_->query_engine().ExecuteWrite(event.write, now);
+    if (!result.ok()) {
+      // Quota breaches and missing tables are workload-level failures; the
+      // experiment records and continues (the paper's users see exactly
+      // these failures pre-compaction).
+      metrics_->Increment("write_failures", now);
+      return Status::OK();
+    }
+    total_write_seconds_ += result->total_seconds;
+    metrics_->Observe("write_latency_s", now, result->total_seconds);
+    if (result->commit_retries > 0) {
+      metrics_->Increment("client_conflicts", now, result->commit_retries);
+    }
+    if (result->conflict_failed) {
+      metrics_->Increment("client_conflicts", now);
+      metrics_->Increment("write_failures", now);
+      return Status::OK();
+    }
+    if (hook_ != nullptr) {
+      const std::optional<std::string> partition =
+          event.write.partitions.size() == 1
+              ? std::optional<std::string>(event.write.partitions.front())
+              : std::nullopt;
+      auto hooked = hook_->OnWrite(event.write.table, partition, now);
+      if (!hooked.ok()) {
+        LOG_WARN << "optimize-after-write hook failed: " << hooked.status();
+      }
+    }
+  } else {
+    auto result =
+        env_->query_engine().ExecuteRead(event.table, event.read_partition,
+                                         now);
+    if (!result.ok()) {
+      metrics_->Increment("read_failures", now);
+      return Status::OK();
+    }
+    total_read_seconds_ += result->total_seconds;
+    metrics_->Observe("read_latency_s", now, result->total_seconds);
+    if (result->open_timeouts > 0) {
+      metrics_->Increment("open_timeouts", now, result->open_timeouts);
+    }
+  }
+  return Status::OK();
+}
+
+Status EventDriver::Run(const std::vector<workload::QueryEvent>& events,
+                        SimTime end_time) {
+  for (const workload::QueryEvent& event : events) {
+    AUTOCOMP_RETURN_NOT_OK(AdvanceTo(event.time));
+    AUTOCOMP_RETURN_NOT_OK(Execute(event));
+  }
+  AUTOCOMP_RETURN_NOT_OK(AdvanceTo(end_time));
+  // Flush inflight rewrites so their output files do not linger as
+  // orphans; they commit at their natural end times (past end_time).
+  while (!inflight_.empty()) {
+    auto it = inflight_.begin();
+    const std::string table = it->first;
+    engine::PendingCompaction pending = std::move(it->second);
+    inflight_.erase(it);
+    FinalizeUnit(table, std::move(pending));
+    // Do not start further queued units past the end of the experiment.
+  }
+  table_queues_.clear();
+  SampleNow();
+  return Status::OK();
+}
+
+}  // namespace autocomp::sim

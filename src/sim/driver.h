@@ -1,0 +1,116 @@
+/// \file driver.h
+/// \brief Executes a workload timeline against a SimEnvironment while
+/// ticking the AutoComp service and recording the metrics the paper's
+/// figures plot.
+///
+/// Compaction can run in two modes:
+///  * synchronous — the service's own scheduler executes the act phase
+///    inside the tick (commit happens instantly; no cluster-side
+///    conflicts can occur);
+///  * deferred — the service only decides (its scheduler is null) and the
+///    driver executes the plan on the timeline: Prepare at the unit's
+///    start, Finalize (the commit) at its end. User writes that land in
+///    between cause exactly the cluster-side conflicts of Table 1.
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/triggers.h"
+#include "engine/compaction_runner.h"
+#include "sim/environment.h"
+#include "sim/metrics.h"
+#include "workload/events.h"
+
+namespace autocomp::sim {
+
+/// \brief Driver configuration.
+struct DriverOptions {
+  /// Interval for sampling the storage file count ("files_total" series).
+  SimTime sample_interval = 10 * kMinute;
+  /// Run the retention data service at this interval so replaced files
+  /// leave storage (0 = never).
+  SimTime retention_interval = kHour;
+  /// Execute the service's selected plan on the timeline (requires the
+  /// service pipeline to have a null scheduler).
+  bool deferred_compaction = false;
+  /// Conflict validation for deferred compaction commits.
+  lst::ValidationMode compaction_validation =
+      lst::ValidationMode::kStrictTableLevel;
+  /// Retention window for the post-commit sweep (0 = reap immediately).
+  SimTime post_commit_retention = 0;
+};
+
+/// \brief Event-loop driver. Metric names it produces:
+///  * series  "files_total"         — sampled storage file count
+///  * series  "compaction_gbhr"     — GBHr_App per finalized rewrite
+///  * hourly  "read_latency_s"      — per read query (Figure 8 left)
+///  * hourly  "write_latency_s"     — per write query (Figure 8 right)
+///  * hourly  "write_queries"       — count of write queries (Table 1)
+///  * hourly  "client_conflicts"    — commit retries + conflict failures
+///  * hourly  "cluster_conflicts"   — compaction commits lost to races
+///  * hourly  "compaction_commits"  — compaction commits that landed
+///  * hourly  "open_timeouts"       — storage read timeouts
+class EventDriver {
+ public:
+  EventDriver(SimEnvironment* env, MetricsRecorder* metrics,
+              DriverOptions options = {});
+
+  /// Installs the compaction service (ticked as simulated time advances).
+  void AttachService(core::AutoCompService* service) { service_ = service; }
+  /// Installs an optimize-after-write hook (invoked after write commits).
+  void AttachHook(core::OptimizeAfterWriteHook* hook) { hook_ = hook; }
+
+  /// Runs all events (must be sorted) and advances time to `end_time`,
+  /// finalizing any still-inflight compactions at the end.
+  Status Run(const std::vector<workload::QueryEvent>& events,
+             SimTime end_time);
+
+  /// Advances simulated time to `t`, sampling metrics, ticking the
+  /// service/retention, and finalizing due compactions along the way.
+  Status AdvanceTo(SimTime t);
+
+  /// Executes a single event at the current time.
+  Status Execute(const workload::QueryEvent& event);
+
+  /// Sum of end-to-end read latency observed so far, in seconds (the
+  /// "experiment duration" objective used by the §6.3 auto-tuner).
+  double total_read_seconds() const { return total_read_seconds_; }
+  double total_write_seconds() const { return total_write_seconds_; }
+
+ private:
+  void SampleNow();
+  /// Deferred mode: queue a decided plan and start the first unit of each
+  /// table group.
+  void ScheduleCompactions(const std::vector<core::ScoredCandidate>& plan);
+  /// Starts the next queued unit for `table` (Prepare at the current
+  /// time). No-op units finalize instantly and pull the next one.
+  void StartNextUnit(const std::string& table);
+  /// Finalizes every inflight unit whose rewrite finished by `t`.
+  void FinalizeDueCompactions(SimTime t);
+  void FinalizeUnit(const std::string& table,
+                    engine::PendingCompaction&& pending);
+  /// Earliest inflight finish time, if any.
+  std::optional<SimTime> NextCompactionEnd() const;
+
+  SimEnvironment* env_;
+  MetricsRecorder* metrics_;
+  DriverOptions options_;
+  core::AutoCompService* service_ = nullptr;
+  core::OptimizeAfterWriteHook* hook_ = nullptr;
+  SimTime next_sample_ = 0;
+  SimTime next_retention_ = 0;
+  double total_read_seconds_ = 0;
+  double total_write_seconds_ = 0;
+
+  /// Deferred-compaction state: per-table FIFO of decided candidates and
+  /// at most one inflight unit per table (§4.4 sequencing).
+  std::map<std::string, std::deque<core::Candidate>> table_queues_;
+  std::map<std::string, engine::PendingCompaction> inflight_;
+};
+
+}  // namespace autocomp::sim

@@ -1,0 +1,30 @@
+#include "sim/environment.h"
+
+namespace autocomp::sim {
+
+SimEnvironment::SimEnvironment(EnvironmentOptions options)
+    : options_(options), clock_(0) {
+  storage::NameNodeOptions nn = options_.namenode;
+  nn.seed = options_.seed * 31 + 5;
+  dfs_ = std::make_unique<storage::DistributedFileSystem>(
+      &clock_, options_.namenode_shards, nn);
+  catalog_ = std::make_unique<catalog::Catalog>(&clock_, dfs_.get());
+  control_plane_ = std::make_unique<catalog::ControlPlane>(catalog_.get());
+  query_cluster_ = std::make_unique<engine::Cluster>(
+      "query", options_.query_cluster, &clock_);
+  compaction_cluster_ = std::make_unique<engine::Cluster>(
+      "compaction", options_.compaction_cluster, &clock_);
+  engine::QueryEngineOptions eng = options_.engine;
+  eng.seed = options_.seed * 101 + 13;
+  query_engine_ = std::make_unique<engine::QueryEngine>(
+      query_cluster_.get(), catalog_.get(), &clock_, eng);
+  compaction_runner_ = std::make_unique<engine::CompactionRunner>(
+      compaction_cluster_.get(), catalog_.get(), &clock_,
+      eng.format_options);
+}
+
+int64_t SimEnvironment::TotalFileCount() const {
+  return dfs_->AggregateStats().file_count;
+}
+
+}  // namespace autocomp::sim

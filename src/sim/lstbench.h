@@ -1,0 +1,75 @@
+/// \file lstbench.h
+/// \brief LST-Bench-style workload runner (§6.3's evaluation harness).
+///
+/// The paper's auto-tuning experiments deploy LST-Bench with three of its
+/// built-in workloads: TPC-DS WP1 (long-running, frequent modifications,
+/// one cluster), TPC-DS WP3 (one cluster writes, another reads), and
+/// TPC-H. This module packages those session structures as a reusable
+/// runner: each experiment is a fresh environment, a load phase, and N
+/// sessions of (data modification → reads), optionally guarded by an
+/// optimize-after-write trigger whose threshold the tuner searches over.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace autocomp::sim {
+
+/// \brief Which LST-Bench workload pattern to run.
+enum class LstBenchWorkload : int {
+  /// TPC-DS WP1: everything on one cluster; compaction (when triggered)
+  /// contends with the workload.
+  kWp1,
+  /// TPC-DS WP3: writes on a sidecar cluster, compaction on the dedicated
+  /// cluster — reads never contend with maintenance.
+  kWp3,
+  /// TPC-H-like: unpartitioned tables dominate and each session's data
+  /// modification phase is heavy; compaction rewrites whole tables.
+  kTpchLike,
+};
+
+const char* LstBenchWorkloadName(LstBenchWorkload workload);
+
+/// \brief Experiment sizing.
+struct LstBenchConfig {
+  LstBenchWorkload workload = LstBenchWorkload::kWp1;
+  int sessions = 4;
+  /// Reads per session (TPC-DS passes sample its 99 queries).
+  int queries_per_pass = 40;
+  int64_t total_logical_bytes = 24 * kGiB;
+  /// Fraction of data modified per TPC-DS maintenance phase.
+  double modify_fraction = 0.02;
+  /// Fraction of each unpartitioned TPC-H table overwritten per session.
+  double tpch_overwrite_fraction = 0.15;
+  uint64_t seed = 17;
+};
+
+/// \brief Runs complete experiments under a trigger configuration.
+///
+/// Deterministic: the same config + trigger always produces the same
+/// duration, so tuners can search the threshold space reproducibly.
+class LstBenchRunner {
+ public:
+  explicit LstBenchRunner(LstBenchConfig config) : config_(config) {}
+
+  /// Runs one experiment with an optimize-after-write trigger firing when
+  /// `trait_name >= threshold` (supported traits: "file_count_reduction",
+  /// "file_entropy_total"). A negative threshold disables the trigger —
+  /// the paper's "default" configuration. Returns the end-to-end duration
+  /// in simulated seconds.
+  Result<double> Run(const std::string& trait_name, double threshold) const;
+
+  /// Convenience: the no-compaction baseline.
+  Result<double> RunDefault() const { return Run("file_count_reduction", -1); }
+
+  const LstBenchConfig& config() const { return config_; }
+
+ private:
+  LstBenchConfig config_;
+};
+
+}  // namespace autocomp::sim

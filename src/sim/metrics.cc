@@ -1,0 +1,113 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace autocomp::sim {
+
+namespace {
+SimTime HourOf(SimTime t) { return (t / kHour) * kHour; }
+}  // namespace
+
+void MetricsRecorder::Record(const std::string& series, SimTime time,
+                             double value) {
+  series_[series].push_back(SeriesPoint{time, value});
+}
+
+void MetricsRecorder::Observe(const std::string& metric, SimTime time,
+                              double value) {
+  hourly_samples_[metric][HourOf(time)].Add(value);
+}
+
+void MetricsRecorder::Increment(const std::string& counter, SimTime time,
+                                int64_t n) {
+  hourly_counts_[counter][HourOf(time)] += n;
+}
+
+const std::vector<SeriesPoint>& MetricsRecorder::Series(
+    const std::string& series) const {
+  static const std::vector<SeriesPoint> kEmpty;
+  const auto it = series_.find(series);
+  return it == series_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::pair<SimTime, QuantileSummary>>
+MetricsRecorder::HourlySummaries(const std::string& metric) const {
+  std::vector<std::pair<SimTime, QuantileSummary>> out;
+  const auto it = hourly_samples_.find(metric);
+  if (it == hourly_samples_.end()) return out;
+  for (const auto& [hour, sample] : it->second) {
+    out.emplace_back(hour, sample.Summary());
+  }
+  return out;
+}
+
+std::vector<std::pair<SimTime, int64_t>> MetricsRecorder::HourlyCounts(
+    const std::string& counter) const {
+  std::vector<std::pair<SimTime, int64_t>> out;
+  const auto it = hourly_counts_.find(counter);
+  if (it == hourly_counts_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+int64_t MetricsRecorder::TotalCount(const std::string& counter) const {
+  int64_t total = 0;
+  for (const auto& [_, n] : HourlyCounts(counter)) total += n;
+  return total;
+}
+
+Sample MetricsRecorder::AllObservations(const std::string& metric) const {
+  Sample all;
+  const auto it = hourly_samples_.find(metric);
+  if (it == hourly_samples_.end()) return all;
+  for (const auto& [_, sample] : it->second) {
+    for (double v : sample.values()) all.Add(v);
+  }
+  return all;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      out += "| ";
+      out += cells[i];
+      out.append(widths[i] - cells[i].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  append_row(headers_);
+  std::string rule;
+  for (size_t w : widths) {
+    rule += "|";
+    rule.append(w + 2, '-');
+  }
+  rule += "|\n";
+  out += rule;
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+std::string Fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace autocomp::sim

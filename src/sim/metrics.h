@@ -1,0 +1,76 @@
+/// \file metrics.h
+/// \brief Metric collection for experiments: time series, hourly latency
+/// samples, hourly counters, and ASCII reporting.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/units.h"
+
+namespace autocomp::sim {
+
+/// \brief One (time, value) point of a recorded series.
+struct SeriesPoint {
+  SimTime time = 0;
+  double value = 0;
+};
+
+/// \brief Collects experiment telemetry. All lookups are by metric name;
+/// unknown names return empty results rather than failing, so reporting
+/// code stays straightforward.
+class MetricsRecorder {
+ public:
+  /// Appends a point to a named time series (e.g. sampled file counts).
+  void Record(const std::string& series, SimTime time, double value);
+
+  /// Adds an observation to the hourly distribution bucket containing
+  /// `time` (e.g. per-query latencies for Figure 8's candlesticks).
+  void Observe(const std::string& metric, SimTime time, double value);
+
+  /// Increments an hourly counter (conflicts, retries, timeouts).
+  void Increment(const std::string& counter, SimTime time, int64_t n = 1);
+
+  const std::vector<SeriesPoint>& Series(const std::string& series) const;
+
+  /// (hour_start, summary) rows, ascending.
+  std::vector<std::pair<SimTime, QuantileSummary>> HourlySummaries(
+      const std::string& metric) const;
+
+  /// (hour_start, count) rows, ascending; hours with no increments are
+  /// absent.
+  std::vector<std::pair<SimTime, int64_t>> HourlyCounts(
+      const std::string& counter) const;
+
+  int64_t TotalCount(const std::string& counter) const;
+
+  /// Raw sample across all hours.
+  Sample AllObservations(const std::string& metric) const;
+
+ private:
+  std::map<std::string, std::vector<SeriesPoint>> series_;
+  std::map<std::string, std::map<SimTime, Sample>> hourly_samples_;
+  std::map<std::string, std::map<SimTime, int64_t>> hourly_counts_;
+};
+
+/// \brief Fixed-width ASCII table printer used by the bench harnesses.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  /// Renders with a header underline; column widths fit the content.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief printf-style float formatting helper ("%.2f").
+std::string Fmt(double value, int decimals = 2);
+
+}  // namespace autocomp::sim

@@ -1,0 +1,81 @@
+#include "sim/presets.h"
+
+#include "core/filters.h"
+#include "core/observe.h"
+#include "core/ranking.h"
+#include "core/scheduler.h"
+#include "core/traits.h"
+
+namespace autocomp::sim {
+
+std::unique_ptr<core::AutoCompService> MakeMoopService(
+    SimEnvironment* env, const StrategyPreset& preset) {
+  core::AutoCompPipeline::Stages stages;
+
+  switch (preset.scope) {
+    case ScopeStrategy::kTable:
+      stages.generator = std::make_shared<core::TableScopeGenerator>();
+      break;
+    case ScopeStrategy::kHybrid:
+      stages.generator = std::make_shared<core::HybridScopeGenerator>();
+      break;
+    case ScopeStrategy::kPartition:
+      stages.generator = std::make_shared<core::PartitionScopeGenerator>();
+      break;
+    case ScopeStrategy::kSnapshot:
+      stages.generator = std::make_shared<core::SnapshotScopeGenerator>();
+      break;
+  }
+
+  stages.collector = std::make_shared<core::StatsCollector>(
+      &env->catalog(), &env->control_plane(), &env->clock());
+
+  if (preset.min_table_age > 0) {
+    stages.pre_orient_filters.push_back(
+        std::make_shared<core::RecentCreationFilter>(preset.min_table_age));
+  }
+  if (preset.min_small_files > 0) {
+    stages.pre_orient_filters.push_back(
+        std::make_shared<core::MinSmallFilesFilter>(preset.min_small_files));
+  }
+
+  const engine::ClusterOptions& compaction =
+      env->compaction_cluster().options();
+  stages.traits = {
+      std::make_shared<core::FileCountReductionTrait>(),
+      std::make_shared<core::FileEntropyTrait>(),
+      std::make_shared<core::ComputeCostTrait>(
+          compaction.executor_memory_gb * compaction.executors,
+          compaction.rewrite_bytes_per_hour),
+  };
+
+  stages.ranker = std::make_shared<core::MoopRanker>(
+      std::vector<core::MoopRanker::Objective>{
+          {"file_count_reduction", preset.weight_reduction, false},
+          {"compute_cost_gbhr", preset.weight_cost, true}});
+
+  if (preset.budget_gb_hours.has_value()) {
+    stages.selector = std::make_shared<core::BudgetedSelector>(
+        *preset.budget_gb_hours, "compute_cost_gbhr");
+  } else {
+    stages.selector = std::make_shared<core::FixedKSelector>(preset.k);
+  }
+
+  if (preset.deferred_act) {
+    stages.scheduler = nullptr;  // the EventDriver acts on the timeline
+  } else {
+    core::SchedulerOptions sched;
+    sched.validation_mode = preset.validation_mode;
+    sched.run_retention_after_commit = preset.run_retention_after_commit;
+    stages.scheduler = std::make_shared<core::TableParallelScheduler>(
+        &env->compaction_runner(), &env->control_plane(), sched);
+  }
+
+  auto pipeline = std::make_unique<core::AutoCompPipeline>(
+      std::move(stages), &env->catalog(), &env->clock());
+  return std::make_unique<core::AutoCompService>(
+      std::move(pipeline),
+      core::PeriodicTrigger(preset.trigger_interval, preset.first_trigger));
+}
+
+}  // namespace autocomp::sim

@@ -1,0 +1,55 @@
+/// \file presets.h
+/// \brief Ready-made AutoComp pipeline configurations matching the
+/// paper's evaluated strategies (§6.1: TABLE-k and HYBRID-k with the
+/// MOOP ranking at weights 0.7/0.3, hourly trigger) and the §7 production
+/// deployment (daily, budgeted, quota-aware).
+
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/pipeline.h"
+#include "core/triggers.h"
+#include "sim/environment.h"
+
+namespace autocomp::sim {
+
+/// \brief Candidate scoping strategy of §6.
+enum class ScopeStrategy : int {
+  kTable,
+  kHybrid,
+  kPartition,
+  kSnapshot,
+};
+
+/// \brief Parameters for the standard MOOP pipeline.
+struct StrategyPreset {
+  ScopeStrategy scope = ScopeStrategy::kTable;
+  /// Fixed top-k selection; ignored when `budget_gb_hours` is set.
+  int64_t k = 10;
+  /// When set, dynamic-k budgeted selection (§7, Figure 10b).
+  std::optional<double> budget_gb_hours;
+  double weight_reduction = 0.7;
+  double weight_cost = 0.3;
+  SimTime trigger_interval = kHour;
+  SimTime first_trigger = kHour;
+  /// Filters.
+  SimTime min_table_age = 0;
+  int64_t min_small_files = 2;
+  lst::ValidationMode validation_mode = lst::ValidationMode::kStrictTableLevel;
+  bool run_retention_after_commit = true;
+  /// When true, the pipeline stops after decide (null scheduler) and the
+  /// EventDriver executes the plan on the timeline — Prepare at unit
+  /// start, commit at unit end — so rewrites genuinely overlap user
+  /// writes. Requires DriverOptions::deferred_compaction.
+  bool deferred_act = false;
+};
+
+/// \brief Builds the full pipeline + periodic service over `env`'s
+/// dedicated compaction cluster. The returned service owns the pipeline;
+/// stage objects are shared into it.
+std::unique_ptr<core::AutoCompService> MakeMoopService(
+    SimEnvironment* env, const StrategyPreset& preset);
+
+}  // namespace autocomp::sim

@@ -1,0 +1,196 @@
+#include "storage/namenode.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace autocomp::storage {
+
+NameNode::NameNode(const Clock* clock, NameNodeOptions options)
+    : clock_(clock), options_(options), rng_(options.seed) {
+  assert(clock_ != nullptr);
+}
+
+std::vector<std::string> NameNode::ParentDirs(const std::string& path) {
+  std::vector<std::string> dirs;
+  size_t pos = 0;
+  // "/a/b/c.parquet" -> "/a", "/a/b".
+  while ((pos = path.find('/', pos + 1)) != std::string::npos) {
+    dirs.push_back(path.substr(0, pos));
+  }
+  return dirs;
+}
+
+void NameNode::AddDirectoriesFor(const std::string& path) {
+  for (const auto& dir : ParentDirs(path)) {
+    auto [it, inserted] = dirs_.emplace(dir, 0);
+    if (inserted) {
+      ++stats_.total_objects;
+      // New directory counts against every covering quota; files are
+      // checked in CreateFile before insertion.
+    }
+    ++it->second;
+  }
+}
+
+Status NameNode::CreateFile(const std::string& path, int64_t size_bytes,
+                            int64_t record_count) {
+  if (path.empty() || path.front() != '/') {
+    return Status::InvalidArgument("path must be absolute: " + path);
+  }
+  if (size_bytes < 0 || record_count < 0) {
+    return Status::InvalidArgument("negative size or record count");
+  }
+  if (files_.count(path) > 0) {
+    return Status::AlreadyExists("file exists: " + path);
+  }
+  // Quota check: creating the file adds one object (plus any new parent
+  // directories) under each covering quota root.
+  const auto parents = ParentDirs(path);
+  for (const auto& [quota_dir, max_objects] : quotas_) {
+    if (max_objects <= 0) continue;
+    const std::string prefix = quota_dir + "/";
+    const bool covers = path.compare(0, prefix.size(), prefix) == 0;
+    if (!covers) continue;
+    int64_t new_objects = 1;  // the file itself
+    for (const auto& dir : parents) {
+      if (dir.size() > quota_dir.size() &&
+          dir.compare(0, prefix.size(), prefix) == 0 &&
+          dirs_.count(dir) == 0) {
+        ++new_objects;
+      }
+    }
+    const QuotaStatus q = GetQuota(quota_dir);
+    if (q.used_objects + new_objects > max_objects) {
+      return Status::ResourceExhausted(
+          "namespace quota exceeded for " + quota_dir + " (" +
+          std::to_string(q.used_objects) + "+" + std::to_string(new_objects) +
+          " > " + std::to_string(max_objects) + ")");
+    }
+  }
+  AddDirectoriesFor(path);
+  files_.emplace(path, FileInfo{path, size_bytes, record_count,
+                                clock_->Now()});
+  ++stats_.total_objects;
+  ++stats_.file_count;
+  ++stats_.create_calls;
+  CountRpc();
+  return Status::OK();
+}
+
+Status NameNode::DeleteFile(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  files_.erase(it);
+  --stats_.total_objects;
+  --stats_.file_count;
+  ++stats_.delete_calls;
+  for (const auto& dir : ParentDirs(path)) {
+    const auto dit = dirs_.find(dir);
+    if (dit != dirs_.end() && dit->second > 0) --dit->second;
+  }
+  CountRpc();
+  return Status::OK();
+}
+
+Result<FileInfo> NameNode::Open(const std::string& path) {
+  ++stats_.open_calls;
+  const SimTime hour = (clock_->Now() / kHour) * kHour;
+  ++open_calls_by_hour_[hour];
+  CountRpc();
+  const double p_timeout = CurrentTimeoutProbability();
+  if (p_timeout > 0.0 && rng_.Bernoulli(p_timeout)) {
+    ++stats_.timeouts;
+    return Status::TimedOut("read timeout under NameNode RPC pressure: " +
+                            path);
+  }
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return it->second;
+}
+
+Result<FileInfo> NameNode::Stat(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return it->second;
+}
+
+bool NameNode::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+std::vector<FileInfo> NameNode::ListFiles(const std::string& dir_prefix) {
+  std::vector<FileInfo> out;
+  const std::string prefix = dir_prefix + "/";
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.push_back(it->second);
+  }
+  ++stats_.list_calls;
+  CountRpc(1 + static_cast<int64_t>(out.size()) / 1000);
+  return out;
+}
+
+void NameNode::SetNamespaceQuota(const std::string& dir, int64_t max_objects) {
+  if (max_objects <= 0) {
+    quotas_.erase(dir);
+  } else {
+    quotas_[dir] = max_objects;
+  }
+}
+
+QuotaStatus NameNode::GetQuota(const std::string& dir) const {
+  QuotaStatus q;
+  const auto quota_it = quotas_.find(dir);
+  q.total_objects = quota_it == quotas_.end() ? 0 : quota_it->second;
+  const std::string prefix = dir + "/";
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    ++q.used_objects;
+  }
+  for (auto it = dirs_.lower_bound(prefix);
+       it != dirs_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    ++q.used_objects;
+  }
+  return q;
+}
+
+int64_t NameNode::OpenCallsInHour(SimTime hour_start) const {
+  const auto it = open_calls_by_hour_.find((hour_start / kHour) * kHour);
+  return it == open_calls_by_hour_.end() ? 0 : it->second;
+}
+
+int64_t NameNode::RpcsThisHour() const {
+  const SimTime hour = (clock_->Now() / kHour) * kHour;
+  const auto it = rpcs_by_hour_.find(hour);
+  return it == rpcs_by_hour_.end() ? 0 : it->second;
+}
+
+double NameNode::CurrentTimeoutProbability() const {
+  const double capacity =
+      static_cast<double>(options_.rpc_capacity_per_hour) *
+      (1.0 + std::max(0, options_.observer_namenodes));
+  if (capacity <= 0) return 0.0;
+  const double load = static_cast<double>(RpcsThisHour());
+  if (load <= capacity) return 0.0;
+  const double overload_span = capacity * (options_.overload_factor - 1.0);
+  if (overload_span <= 0) return options_.max_timeout_probability;
+  const double excess = load - capacity;
+  return std::min(options_.max_timeout_probability,
+                  options_.max_timeout_probability * excess / overload_span);
+}
+
+void NameNode::CountRpc(int64_t n) {
+  const SimTime hour = (clock_->Now() / kHour) * kHour;
+  rpcs_by_hour_[hour] += n;
+}
+
+}  // namespace autocomp::storage

@@ -1,0 +1,124 @@
+#include "tuning/optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace autocomp::tuning {
+
+namespace {
+
+double FromUnit(const ParamSpec& spec, double u) {
+  u = std::clamp(u, 0.0, 1.0);
+  if (spec.log_scale) {
+    assert(spec.lo > 0 && spec.hi > spec.lo);
+    const double lo = std::log10(spec.lo);
+    const double hi = std::log10(spec.hi);
+    return std::pow(10.0, lo + (hi - lo) * u);
+  }
+  return spec.lo + (spec.hi - spec.lo) * u;
+}
+
+}  // namespace
+
+RandomSearchOptimizer::RandomSearchOptimizer(std::vector<ParamSpec> specs,
+                                             uint64_t seed)
+    : specs_(std::move(specs)), rng_(seed) {}
+
+ParamVector RandomSearchOptimizer::Suggest() {
+  ParamVector out;
+  out.reserve(specs_.size());
+  for (const ParamSpec& spec : specs_) {
+    out.push_back(FromUnit(spec, rng_.NextDouble()));
+  }
+  return out;
+}
+
+void RandomSearchOptimizer::Observe(const ParamVector&, double) {}
+
+CfoOptimizer::CfoOptimizer(std::vector<ParamSpec> specs, uint64_t seed)
+    : specs_(std::move(specs)),
+      rng_(seed),
+      incumbent_(specs_.size(), 0.5),
+      incumbent_objective_(std::numeric_limits<double>::infinity()),
+      step_(0.25) {}
+
+ParamVector CfoOptimizer::Denormalize(const std::vector<double>& unit) const {
+  ParamVector out;
+  out.reserve(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    out.push_back(FromUnit(specs_[i], unit[i]));
+  }
+  return out;
+}
+
+ParamVector CfoOptimizer::Suggest() {
+  if (!has_incumbent_) {
+    pending_ = incumbent_;
+    return Denormalize(pending_);
+  }
+  // Random unit direction scaled by the current step.
+  std::vector<double> direction(specs_.size());
+  double norm = 0;
+  for (double& d : direction) {
+    d = rng_.Normal(0, 1);
+    norm += d * d;
+  }
+  norm = std::sqrt(std::max(norm, 1e-12));
+  pending_ = incumbent_;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    pending_[i] =
+        std::clamp(pending_[i] + step_ * direction[i] / norm, 0.0, 1.0);
+  }
+  return Denormalize(pending_);
+}
+
+void CfoOptimizer::Observe(const ParamVector&, double objective) {
+  if (!has_incumbent_) {
+    has_incumbent_ = true;
+    incumbent_objective_ = objective;
+    return;
+  }
+  if (objective < incumbent_objective_) {
+    incumbent_ = pending_;
+    incumbent_objective_ = objective;
+    step_ = std::min(0.5, step_ * 1.6);  // expand on success
+  } else {
+    step_ *= 0.6;  // contract on failure
+    if (step_ < 0.01) {
+      // Restart from a random point, keeping the best-known objective so
+      // the new region must genuinely beat it.
+      for (double& v : incumbent_) v = rng_.NextDouble();
+      step_ = 0.25;
+    }
+  }
+}
+
+Tuner::Tuner(Optimizer* optimizer, ObjectiveFn objective)
+    : optimizer_(optimizer), objective_(std::move(objective)) {
+  assert(optimizer_ != nullptr);
+}
+
+Result<std::vector<Trial>> Tuner::Run(int iterations) {
+  for (int i = 0; i < iterations; ++i) {
+    const ParamVector params = optimizer_->Suggest();
+    AUTOCOMP_ASSIGN_OR_RETURN(double objective, objective_(params));
+    optimizer_->Observe(params, objective);
+    trials_.push_back(Trial{params, objective});
+  }
+  return trials_;
+}
+
+Result<Trial> Tuner::Best() const {
+  if (trials_.empty()) {
+    return Status::FailedPrecondition("no trials run yet");
+  }
+  const Trial* best = &trials_.front();
+  for (const Trial& t : trials_) {
+    if (t.objective < best->objective) best = &t;
+  }
+  return *best;
+}
+
+}  // namespace autocomp::tuning

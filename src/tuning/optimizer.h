@@ -1,0 +1,105 @@
+/// \file optimizer.h
+/// \brief Blackbox optimizers for compaction-trigger auto-tuning (§6.3).
+///
+/// The paper tunes trigger thresholds with the FLAML optimizer inside
+/// MLOS. We provide random search and a CFO-style local search (FLAML's
+/// core strategy: randomized directional steps with adaptive step size
+/// and restarts), both deterministic under a fixed seed.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace autocomp::tuning {
+
+/// \brief One tunable dimension.
+struct ParamSpec {
+  std::string name;
+  double lo = 0;
+  double hi = 1;
+  /// Search in log10 space (thresholds spanning decades).
+  bool log_scale = false;
+};
+
+/// \brief A parameter assignment, ordered like the spec list.
+using ParamVector = std::vector<double>;
+
+/// \brief Suggest/observe optimizer interface. Objectives are minimized.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual std::string name() const = 0;
+  virtual ParamVector Suggest() = 0;
+  virtual void Observe(const ParamVector& params, double objective) = 0;
+};
+
+/// \brief Uniform random search within bounds.
+class RandomSearchOptimizer final : public Optimizer {
+ public:
+  RandomSearchOptimizer(std::vector<ParamSpec> specs, uint64_t seed);
+  std::string name() const override { return "random-search"; }
+  ParamVector Suggest() override;
+  void Observe(const ParamVector& params, double objective) override;
+
+ private:
+  std::vector<ParamSpec> specs_;
+  Rng rng_;
+};
+
+/// \brief CFO-style local search: move the incumbent along random unit
+/// directions; grow the step on improvement, shrink on failure, restart
+/// from a random point when the step collapses.
+class CfoOptimizer final : public Optimizer {
+ public:
+  CfoOptimizer(std::vector<ParamSpec> specs, uint64_t seed);
+  std::string name() const override { return "cfo"; }
+  ParamVector Suggest() override;
+  void Observe(const ParamVector& params, double objective) override;
+
+ private:
+  /// Position in normalized [0,1]^d space.
+  ParamVector Denormalize(const std::vector<double>& unit) const;
+
+  std::vector<ParamSpec> specs_;
+  Rng rng_;
+  std::vector<double> incumbent_;   // normalized
+  double incumbent_objective_;
+  std::vector<double> pending_;     // normalized proposal awaiting Observe
+  double step_;
+  bool has_incumbent_ = false;
+};
+
+/// \brief One completed trial.
+struct Trial {
+  ParamVector params;
+  double objective = 0;
+};
+
+/// \brief Runs an optimizer against an objective function.
+class Tuner {
+ public:
+  using ObjectiveFn = std::function<Result<double>(const ParamVector&)>;
+
+  Tuner(Optimizer* optimizer, ObjectiveFn objective);
+
+  /// Runs `iterations` suggest→evaluate→observe cycles.
+  Result<std::vector<Trial>> Run(int iterations);
+
+  /// Best (lowest-objective) trial so far; FailedPrecondition when none.
+  Result<Trial> Best() const;
+
+  const std::vector<Trial>& trials() const { return trials_; }
+
+ private:
+  Optimizer* optimizer_;
+  ObjectiveFn objective_;
+  std::vector<Trial> trials_;
+};
+
+}  // namespace autocomp::tuning

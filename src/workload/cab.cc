@@ -1,0 +1,153 @@
+#include "workload/cab.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace autocomp::workload {
+
+namespace {
+
+/// Recent LINEITEM month partitions that writes target (CDC-style traffic
+/// lands in the freshest months).
+std::vector<std::string> RecentMonths(Rng* rng, int count) {
+  const std::vector<std::string> all = LineitemMonthPartitions();
+  std::vector<std::string> out;
+  for (int i = 0; i < count; ++i) {
+    // Zipf toward the most recent month.
+    const int64_t back = rng->Zipf(24, 1.2);
+    out.push_back(all[all.size() - 1 - static_cast<size_t>(back)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+CabWorkload::CabWorkload(CabOptions options) : options_(options) {}
+
+std::vector<std::string> CabWorkload::DatabaseNames() const {
+  std::vector<std::string> out;
+  char buf[32];
+  for (int i = 0; i < options_.num_databases; ++i) {
+    std::snprintf(buf, sizeof(buf), "cab_db%02d", i);
+    out.emplace_back(buf);
+  }
+  return out;
+}
+
+std::vector<QueryEvent> CabWorkload::GenerateForDatabase(
+    const std::string& db, Rng rng) const {
+  std::vector<QueryEvent> events;
+  const SimTime start = options_.start_time;
+  const SimTime end = start + options_.duration;
+  const int hours =
+      static_cast<int>((options_.duration + kHour - 1) / kHour);
+
+  // --- Dashboards: sinusoidal read arrivals, 5-minute buckets.
+  for (SimTime t = start; t < end; t += 5 * kMinute) {
+    const double phase =
+        2.0 * M_PI * static_cast<double>(t - start) / (3 * kHour);
+    const double rate_per_hour =
+        options_.dashboard_reads_per_hour * (1.0 + 0.5 * std::sin(phase));
+    const double rate_per_bucket = rate_per_hour / 12.0;
+    const int64_t n = rng.Poisson(rate_per_bucket);
+    for (int64_t i = 0; i < n; ++i) {
+      QueryEvent e;
+      e.time = t + rng.UniformInt(0, 5 * kMinute - 1);
+      e.stream = "dashboard";
+      e.is_write = false;
+      // Dashboards mostly hit LINEITEM, often partition-restricted.
+      if (rng.Bernoulli(0.7)) {
+        e.table = db + ".lineitem";
+        if (rng.Bernoulli(0.6)) {
+          e.read_partition = RecentMonths(&rng, 1).front();
+        }
+      } else {
+        e.table = db + ".orders";
+      }
+      events.push_back(std::move(e));
+    }
+  }
+
+  // --- Interactive short bursts.
+  for (int h = 0; h < hours; ++h) {
+    const int64_t bursts = rng.Poisson(options_.bursts_per_hour);
+    for (int64_t b = 0; b < bursts; ++b) {
+      const SimTime burst_start = start + h * kHour + rng.UniformInt(0, kHour - 1);
+      for (int q = 0; q < options_.reads_per_burst; ++q) {
+        QueryEvent e;
+        e.time = std::min<SimTime>(end - 1, burst_start + q * 20 * kSecond);
+        e.stream = "interactive";
+        e.is_write = false;
+        e.table = db + (rng.Bernoulli(0.5) ? ".lineitem" : ".orders");
+        events.push_back(std::move(e));
+      }
+    }
+  }
+
+  // --- Hourly ETL writes (predictable, fixed minute per db).
+  const SimTime etl_minute = rng.UniformInt(0, 59) * kMinute;
+  for (int h = 0; h < hours; ++h) {
+    double multiplier = 1.0;
+    if (h == options_.spike_hour) multiplier = options_.spike_multiplier;
+    const int writes = static_cast<int>(
+        std::llround(options_.etl_writes_per_hour * multiplier));
+    // Space the hour's writes so they all land within the hour even
+    // during the spike.
+    const SimTime spacing =
+        std::min<SimTime>(7 * kMinute,
+                          (kHour - etl_minute) / std::max(1, writes));
+    for (int w = 0; w < writes; ++w) {
+      QueryEvent e;
+      e.time = start + h * kHour + etl_minute + w * spacing;
+      if (e.time >= end) continue;
+      e.stream = "hourly-etl";
+      e.is_write = true;
+      e.write.kind = rng.Bernoulli(options_.overwrite_fraction)
+                         ? engine::WriteKind::kOverwrite
+                         : engine::WriteKind::kAppend;
+      e.write.logical_bytes = static_cast<int64_t>(
+          static_cast<double>(options_.etl_write_bytes) *
+          rng.Uniform(0.5, 1.5));
+      e.write.profile = engine::UntunedUserJobProfile();
+      // Mixed update pattern: both partitioned and unpartitioned tables.
+      if (rng.Bernoulli(0.6)) {
+        e.write.table = db + ".lineitem";
+        e.write.partitions =
+            RecentMonths(&rng, 1 + static_cast<int>(rng.UniformInt(0, 2)));
+      } else {
+        e.write.table = db + ".orders";
+      }
+      events.push_back(std::move(e));
+    }
+  }
+
+  // --- Large maintenance bursts (daily jobs compressed into the window).
+  for (int m = 0; m < options_.maintenance_bursts; ++m) {
+    QueryEvent e;
+    e.time = start + rng.UniformInt(0, options_.duration - 1);
+    e.stream = "maintenance";
+    e.is_write = true;
+    e.write.table = db + ".lineitem";
+    e.write.kind = engine::WriteKind::kOverwrite;
+    e.write.logical_bytes = options_.maintenance_write_bytes;
+    e.write.profile = engine::UntunedUserJobProfile();
+    e.write.partitions = RecentMonths(&rng, 4);
+    e.write.replace_fraction = 0.1;
+    events.push_back(std::move(e));
+  }
+
+  return events;
+}
+
+std::vector<QueryEvent> CabWorkload::GenerateEvents() const {
+  Rng root(options_.seed);
+  std::vector<std::vector<QueryEvent>> timelines;
+  uint64_t label = 0;
+  for (const std::string& db : DatabaseNames()) {
+    timelines.push_back(GenerateForDatabase(db, root.Fork(label++)));
+  }
+  return MergeTimelines(std::move(timelines));
+}
+
+}  // namespace autocomp::workload

@@ -1,0 +1,32 @@
+#include "workload/events.h"
+
+#include <algorithm>
+
+namespace autocomp::workload {
+
+void SortEvents(std::vector<QueryEvent>* events) {
+  std::stable_sort(events->begin(), events->end(),
+                   [](const QueryEvent& a, const QueryEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.stream != b.stream) return a.stream < b.stream;
+                     const std::string& ta = a.is_write ? a.write.table : a.table;
+                     const std::string& tb = b.is_write ? b.write.table : b.table;
+                     return ta < tb;
+                   });
+}
+
+std::vector<QueryEvent> MergeTimelines(
+    std::vector<std::vector<QueryEvent>> timelines) {
+  std::vector<QueryEvent> out;
+  size_t total = 0;
+  for (const auto& t : timelines) total += t.size();
+  out.reserve(total);
+  for (auto& t : timelines) {
+    out.insert(out.end(), std::make_move_iterator(t.begin()),
+               std::make_move_iterator(t.end()));
+  }
+  SortEvents(&out);
+  return out;
+}
+
+}  // namespace autocomp::workload

@@ -1,0 +1,36 @@
+/// \file events.h
+/// \brief Timestamped workload events consumed by the simulation harness.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "engine/query_engine.h"
+
+namespace autocomp::workload {
+
+/// \brief One query (read or write) issued by a workload stream.
+struct QueryEvent {
+  SimTime time = 0;
+  /// Stream label for reporting ("dashboard", "hourly-etl", ...).
+  std::string stream;
+  bool is_write = false;
+  /// For reads: target table and optional partition restriction.
+  std::string table;
+  std::optional<std::string> read_partition;
+  /// For writes: the full spec (table inside).
+  engine::WriteSpec write;
+};
+
+/// \brief Stable chronological ordering (ties broken by stream+table so
+/// runs are reproducible).
+void SortEvents(std::vector<QueryEvent>* events);
+
+/// \brief Merges multiple event lists into one sorted timeline.
+std::vector<QueryEvent> MergeTimelines(
+    std::vector<std::vector<QueryEvent>> timelines);
+
+}  // namespace autocomp::workload

@@ -1,0 +1,181 @@
+#include "workload/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "lst/partition.h"
+#include "lst/types.h"
+
+namespace autocomp::workload {
+
+namespace {
+
+lst::Schema FleetSchema() {
+  return lst::Schema(0, {{1, "id", lst::FieldType::kInt64, true},
+                         {2, "event_date", lst::FieldType::kDate, true},
+                         {3, "payload", lst::FieldType::kString, false}});
+}
+
+lst::PartitionSpec FleetPartitionSpec() {
+  return lst::PartitionSpec(1, {{2, lst::Transform::kMonth, "month"}});
+}
+
+std::vector<std::string> FleetMonths() {
+  std::vector<std::string> out;
+  char buf[32];
+  for (int year = 2023; year <= 2024; ++year) {
+    for (int month = 1; month <= 12; ++month) {
+      std::snprintf(buf, sizeof(buf), "month=%04d-%02d", year, month);
+      out.emplace_back(buf);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FleetWorkload::FleetWorkload(FleetOptions options)
+    : options_(options), base_rng_(options.seed) {}
+
+Status FleetWorkload::CreateAndLoadTable(catalog::Catalog* catalog,
+                                         engine::QueryEngine* engine,
+                                         const std::string& db,
+                                         const std::string& name, SimTime at,
+                                         Rng* rng) {
+  const bool partitioned = rng->Bernoulli(options_.partitioned_fraction);
+  auto table = catalog->CreateTable(
+      db, name, FleetSchema(),
+      partitioned ? FleetPartitionSpec() : lst::PartitionSpec::Unpartitioned());
+  AUTOCOMP_RETURN_NOT_OK(table.status());
+
+  TableInfo info;
+  info.qualified_name = db + "." + name;
+  info.partitioned = partitioned;
+  info.logical_bytes = static_cast<int64_t>(
+      std::llround(rng->LogNormal(options_.size_mu, options_.size_sigma)));
+  info.logical_bytes = std::clamp<int64_t>(info.logical_bytes, 64 * kMiB,
+                                           2048LL * kGiB);
+
+  engine::WriteSpec write;
+  write.table = info.qualified_name;
+  write.kind = engine::WriteKind::kAppend;
+  write.logical_bytes = info.logical_bytes;
+  // Most fleets onboard with untuned writers; a minority are well-tuned.
+  write.profile = rng->Bernoulli(0.25) ? engine::TunedPipelineProfile()
+                                       : engine::UntunedUserJobProfile();
+  if (partitioned) {
+    const std::vector<std::string> months = FleetMonths();
+    const int span = 6 + static_cast<int>(rng->UniformInt(0, 17));
+    for (int i = 0; i < span; ++i) {
+      write.partitions.push_back(months[months.size() - 1 -
+                                        static_cast<size_t>(i)]);
+    }
+  }
+  auto result = engine->ExecuteWrite(write, at);
+  AUTOCOMP_RETURN_NOT_OK(result.status());
+  tables_.push_back(info.qualified_name);
+  infos_.push_back(std::move(info));
+  return Status::OK();
+}
+
+Status FleetWorkload::Setup(catalog::Catalog* catalog,
+                            engine::QueryEngine* engine,
+                            catalog::ControlPlane* control_plane, SimTime at) {
+  Rng rng = base_rng_.Fork(0);
+  char db_buf[32];
+  char table_buf[32];
+  for (int d = 0; d < options_.num_databases; ++d) {
+    std::snprintf(db_buf, sizeof(db_buf), "tenant%03d", d);
+    AUTOCOMP_RETURN_NOT_OK(
+        catalog->CreateDatabase(db_buf, options_.quota_objects_per_db));
+    for (int t = 0; t < options_.tables_per_db; ++t) {
+      std::snprintf(table_buf, sizeof(table_buf), "tbl%03d", t);
+      AUTOCOMP_RETURN_NOT_OK(
+          CreateAndLoadTable(catalog, engine, db_buf, table_buf, at, &rng));
+      if (control_plane != nullptr) {
+        catalog::TablePolicy policy;
+        policy.target_file_size_bytes = 512 * kMiB;
+        policy.snapshot_retention = 3 * kDay;
+        control_plane->SetPolicy(tables_.back(), policy);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status FleetWorkload::OnboardNewTables(catalog::Catalog* catalog,
+                                       engine::QueryEngine* engine, int day,
+                                       SimTime at) {
+  Rng rng = base_rng_.Fork(1000 + static_cast<uint64_t>(day));
+  char db_buf[32];
+  char table_buf[48];
+  for (int i = 0; i < options_.new_tables_per_day; ++i) {
+    const int d = static_cast<int>(
+        rng.UniformInt(0, options_.num_databases - 1));
+    std::snprintf(db_buf, sizeof(db_buf), "tenant%03d", d);
+    std::snprintf(table_buf, sizeof(table_buf), "new_d%03d_%02d", day, i);
+    AUTOCOMP_RETURN_NOT_OK(
+        CreateAndLoadTable(catalog, engine, db_buf, table_buf, at, &rng));
+  }
+  return Status::OK();
+}
+
+std::vector<QueryEvent> FleetWorkload::EventsForDay(int day) const {
+  std::vector<QueryEvent> events;
+  Rng rng = base_rng_.Fork(2000 + static_cast<uint64_t>(day));
+  const SimTime day_start = static_cast<SimTime>(day) * kDay;
+  const std::vector<std::string> months = FleetMonths();
+
+  // Zipf-skewed daily writers: hot tables get written most days.
+  const int64_t writers = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(
+             static_cast<double>(infos_.size()) *
+             options_.daily_write_fraction)));
+  for (int64_t w = 0; w < writers; ++w) {
+    const int64_t pick =
+        rng.Zipf(static_cast<int64_t>(infos_.size()), 0.8);
+    const TableInfo& info = infos_[static_cast<size_t>(pick)];
+    QueryEvent e;
+    e.time = day_start + 8 * kHour + rng.UniformInt(0, 10 * kHour);
+    e.stream = "fleet-write";
+    e.is_write = true;
+    e.write.table = info.qualified_name;
+    e.write.kind = rng.Bernoulli(0.3) ? engine::WriteKind::kOverwrite
+                                      : engine::WriteKind::kAppend;
+    e.write.logical_bytes = std::max<int64_t>(
+        1 * kMiB, static_cast<int64_t>(std::llround(
+                      static_cast<double>(info.logical_bytes) *
+                      options_.daily_write_size_fraction *
+                      rng.Uniform(0.5, 2.0))));
+    e.write.profile = engine::UntunedUserJobProfile();
+    if (info.partitioned) {
+      const int64_t back = rng.Zipf(12, 1.3);
+      e.write.partitions = {
+          months[months.size() - 1 - static_cast<size_t>(back)]};
+    }
+    events.push_back(std::move(e));
+  }
+
+  // Scan-heavy daily workload (Figure 11a correlates its files-scanned
+  // with compaction runs).
+  const int64_t reads = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(
+             static_cast<double>(infos_.size()) *
+             options_.daily_reads_per_table)));
+  for (int64_t r = 0; r < reads; ++r) {
+    const int64_t pick =
+        rng.Zipf(static_cast<int64_t>(infos_.size()), 0.6);
+    QueryEvent e;
+    e.time = day_start + 6 * kHour + rng.UniformInt(0, 14 * kHour);
+    e.stream = "fleet-scan";
+    e.is_write = false;
+    e.table = infos_[static_cast<size_t>(pick)].qualified_name;
+    events.push_back(std::move(e));
+  }
+
+  SortEvents(&events);
+  return events;
+}
+
+}  // namespace autocomp::workload

@@ -1,0 +1,91 @@
+/// \file fleet.h
+/// \brief Scaled-down model of a production table fleet (§7: 35K tables
+/// across tenant databases with namespace quotas, daily write activity
+/// skewed toward a hot subset, and a daily scan-heavy workload).
+///
+/// Drives the production-deployment experiments: Figure 2 (distribution
+/// shift none → manual → auto), Figure 10 (rollout timeline), and
+/// Figure 11 (workload impact and open() calls).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/control_plane.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "engine/query_engine.h"
+#include "workload/events.h"
+
+namespace autocomp::workload {
+
+struct FleetOptions {
+  /// Tenant databases and tables per database (defaults give an ~800
+  /// table fleet — a 1:40 scale model of the 35K-table deployment).
+  int num_databases = 16;
+  int tables_per_db = 12;
+  /// Namespace-quota objects per database.
+  int64_t quota_objects_per_db = 400'000;
+  /// Lognormal parameters for table logical size (median ~e^mu bytes).
+  double size_mu = std::log(4.0 * kGiB);
+  double size_sigma = 1.6;
+  /// Fraction of tables that are date-partitioned.
+  double partitioned_fraction = 0.45;
+  /// Fraction of tables written on any given day (Zipf-skewed pick).
+  double daily_write_fraction = 0.15;
+  /// Logical bytes per daily write, as a fraction of table size.
+  double daily_write_size_fraction = 0.02;
+  /// Reads per table per day for the scan-heavy daily workload.
+  double daily_reads_per_table = 0.3;
+  /// New tables onboarded per day (the deployment keeps growing).
+  int new_tables_per_day = 2;
+  uint64_t seed = 77;
+};
+
+/// \brief Fleet generator with per-day event production.
+class FleetWorkload {
+ public:
+  explicit FleetWorkload(FleetOptions options);
+
+  /// Creates databases/tables and performs the initial (fragmented)
+  /// load. Progress is deterministic in `seed`.
+  Status Setup(catalog::Catalog* catalog, engine::QueryEngine* engine,
+               catalog::ControlPlane* control_plane, SimTime at);
+
+  /// Write + read events for simulation day `day` (0-based), spread over
+  /// business hours. Includes onboarding of new tables (the returned
+  /// events reference them only after `OnboardNewTables` ran for that
+  /// day).
+  std::vector<QueryEvent> EventsForDay(int day) const;
+
+  /// Creates this day's newly onboarded tables (call before executing the
+  /// day's events).
+  Status OnboardNewTables(catalog::Catalog* catalog,
+                          engine::QueryEngine* engine, int day, SimTime at);
+
+  /// All currently onboarded qualified table names.
+  const std::vector<std::string>& TableNames() const { return tables_; }
+
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  struct TableInfo {
+    std::string qualified_name;
+    int64_t logical_bytes = 0;
+    bool partitioned = false;
+  };
+
+  Status CreateAndLoadTable(catalog::Catalog* catalog,
+                            engine::QueryEngine* engine,
+                            const std::string& db, const std::string& name,
+                            SimTime at, Rng* rng);
+
+  FleetOptions options_;
+  Rng base_rng_;
+  std::vector<std::string> tables_;
+  std::vector<TableInfo> infos_;
+};
+
+}  // namespace autocomp::workload

@@ -1,0 +1,156 @@
+#include "workload/tpcds.h"
+
+#include <cstdio>
+
+#include "lst/partition.h"
+#include "lst/types.h"
+#include "workload/tpch.h"
+
+namespace autocomp::workload {
+
+const std::vector<TpcdsTableSpec>& TpcdsTables() {
+  static const std::vector<TpcdsTableSpec> kTables = {
+      {"store_sales", 0.38, true},    {"catalog_sales", 0.20, true},
+      {"web_sales", 0.10, true},      {"store_returns", 0.05, true},
+      {"catalog_returns", 0.04, true}, {"web_returns", 0.02, true},
+      {"inventory", 0.12, true},      {"customer", 0.04, false},
+      {"customer_address", 0.02, false}, {"item", 0.015, false},
+      {"date_dim", 0.005, false},     {"store", 0.01, false},
+  };
+  return kTables;
+}
+
+std::vector<std::string> TpcdsMonthPartitions() {
+  std::vector<std::string> out;
+  char buf[40];
+  for (int year = 1998; year <= 2002; ++year) {
+    for (int month = 1; month <= 12; ++month) {
+      std::snprintf(buf, sizeof(buf), "sold_month=%04d-%02d", year, month);
+      out.emplace_back(buf);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+lst::Schema FactSchema() {
+  return lst::Schema(0, {{1, "sk", lst::FieldType::kInt64, true},
+                         {2, "sold_date", lst::FieldType::kDate, true},
+                         {3, "quantity", lst::FieldType::kInt32, false},
+                         {4, "price", lst::FieldType::kDouble, false},
+                         {5, "cost", lst::FieldType::kDouble, false}});
+}
+
+lst::PartitionSpec FactPartitionSpec() {
+  return lst::PartitionSpec(1,
+                            {{2, lst::Transform::kMonth, "sold_month"}});
+}
+
+lst::Schema DimSchema() {
+  return lst::Schema(0, {{1, "sk", lst::FieldType::kInt64, true},
+                         {2, "name", lst::FieldType::kString, false},
+                         {3, "attr", lst::FieldType::kString, false}});
+}
+
+}  // namespace
+
+TpcdsWorkload::TpcdsWorkload(TpcdsOptions options)
+    : options_(std::move(options)) {}
+
+Status TpcdsWorkload::Setup(catalog::Catalog* catalog,
+                            engine::QueryEngine* engine, SimTime at) {
+  if (!catalog->DatabaseExists(options_.db)) {
+    AUTOCOMP_RETURN_NOT_OK(catalog->CreateDatabase(options_.db));
+  }
+  engine::WriterProfile profile;
+  profile.target_file_bytes = 512 * kMiB;
+  profile.write_tasks = 16;
+  profile.size_jitter_sigma = 0.2;
+  // The benchmark's load phase is tuned: output coalesced to the target
+  // file size, so the initial layout is near-optimal (Figure 3 baseline).
+  profile.coalesce_output = true;
+
+  for (const TpcdsTableSpec& spec : TpcdsTables()) {
+    auto table = catalog->CreateTable(
+        options_.db, spec.name, spec.partitioned ? FactSchema() : DimSchema(),
+        spec.partitioned ? FactPartitionSpec()
+                         : lst::PartitionSpec::Unpartitioned());
+    AUTOCOMP_RETURN_NOT_OK(table.status());
+
+    engine::WriteSpec write;
+    write.table = options_.db + "." + spec.name;
+    write.kind = engine::WriteKind::kAppend;
+    write.logical_bytes = static_cast<int64_t>(
+        static_cast<double>(options_.total_logical_bytes) *
+        spec.size_fraction);
+    if (write.logical_bytes <= 0) continue;
+    write.profile = profile;
+    if (spec.partitioned) write.partitions = TpcdsMonthPartitions();
+    auto result = engine->ExecuteWrite(write, at);
+    AUTOCOMP_RETURN_NOT_OK(result.status());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> TpcdsWorkload::TableNames() const {
+  std::vector<std::string> out;
+  for (const TpcdsTableSpec& spec : TpcdsTables()) {
+    out.push_back(options_.db + "." + spec.name);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::optional<std::string>>>
+TpcdsWorkload::SingleUserQueries(Rng* rng) const {
+  std::vector<std::pair<std::string, std::optional<std::string>>> out;
+  const auto& tables = TpcdsTables();
+  std::vector<double> weights;
+  weights.reserve(tables.size());
+  for (const TpcdsTableSpec& spec : tables) {
+    // Query frequency roughly tracks table size (fact-heavy benchmark).
+    weights.push_back(0.05 + spec.size_fraction);
+  }
+  const std::vector<std::string> months = TpcdsMonthPartitions();
+  for (int q = 0; q < options_.queries_per_pass; ++q) {
+    const size_t idx = rng->WeightedIndex(weights);
+    const TpcdsTableSpec& spec = tables[idx];
+    std::optional<std::string> partition;
+    if (spec.partitioned && rng->Bernoulli(0.5)) {
+      partition = months[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(months.size()) - 1))];
+    }
+    out.emplace_back(options_.db + "." + spec.name, partition);
+  }
+  return out;
+}
+
+std::vector<engine::WriteSpec> TpcdsWorkload::MaintenanceWrites(
+    double fraction, Rng* rng) const {
+  std::vector<engine::WriteSpec> out;
+  const std::vector<std::string> months = TpcdsMonthPartitions();
+  for (const TpcdsTableSpec& spec : TpcdsTables()) {
+    if (!spec.partitioned) continue;  // TPC-DS DM targets the fact tables
+    engine::WriteSpec write;
+    write.table = options_.db + "." + spec.name;
+    write.kind = engine::WriteKind::kOverwrite;
+    write.logical_bytes = static_cast<int64_t>(
+        static_cast<double>(options_.total_logical_bytes) *
+        spec.size_fraction * fraction);
+    if (write.logical_bytes <= 0) continue;
+    write.profile = engine::UntunedUserJobProfile();
+    write.replace_fraction = fraction;
+    // The TPC-DS maintenance functions delete/insert by date ranges that
+    // span the table's history, so modifications land across many months.
+    const int touched = 12 + static_cast<int>(rng->UniformInt(0, 6));
+    for (int i = 0; i < touched; ++i) {
+      const int64_t pick =
+          rng->UniformInt(0, static_cast<int64_t>(months.size()) - 1);
+      write.partitions.push_back(months[static_cast<size_t>(pick)]);
+    }
+    out.push_back(std::move(write));
+  }
+  return out;
+}
+
+}  // namespace autocomp::workload

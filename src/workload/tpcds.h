@@ -1,0 +1,72 @@
+/// \file tpcds.h
+/// \brief TPC-DS-like phase model (Figures 3 and 9).
+///
+/// The simulation keeps TPC-DS at the fidelity the experiments need: a
+/// database of fact/dimension tables (facts date-partitioned), a
+/// single-user phase that scans tables query-by-query, and a data
+/// maintenance phase that modifies ~3% of the data via delete + insert,
+/// spraying small files (§2's Figure 3 setup).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "engine/query_engine.h"
+
+namespace autocomp::workload {
+
+struct TpcdsOptions {
+  std::string db = "tpcds";
+  /// Total logical bytes across all tables (SF1000 ≈ 1TB logical).
+  int64_t total_logical_bytes = 64 * kGiB;
+  uint64_t seed = 2024;
+  /// Queries in one single-user pass (TPC-DS has 99).
+  int queries_per_pass = 99;
+};
+
+/// \brief Fact/dimension table inventory with size weights.
+struct TpcdsTableSpec {
+  std::string name;
+  double size_fraction;
+  bool partitioned;  // facts are date-partitioned
+};
+const std::vector<TpcdsTableSpec>& TpcdsTables();
+
+/// \brief Monthly sales-date partitions (1998-01 .. 2002-12).
+std::vector<std::string> TpcdsMonthPartitions();
+
+class TpcdsWorkload {
+ public:
+  explicit TpcdsWorkload(TpcdsOptions options);
+
+  const TpcdsOptions& options() const { return options_; }
+
+  /// Creates and loads the database with a reasonably tuned writer.
+  Status Setup(catalog::Catalog* catalog, engine::QueryEngine* engine,
+               SimTime at);
+
+  /// Qualified table names.
+  std::vector<std::string> TableNames() const;
+
+  /// One single-user pass: (table, optional partition) per query. Facts
+  /// are hit more often; ~half the fact scans are partition-restricted.
+  std::vector<std::pair<std::string, std::optional<std::string>>>
+  SingleUserQueries(Rng* rng) const;
+
+  /// Data maintenance: delete + insert ops touching ~`fraction` of the
+  /// data, written with an untuned profile (this is what fragments the
+  /// table in Figure 3).
+  std::vector<engine::WriteSpec> MaintenanceWrites(double fraction,
+                                                   Rng* rng) const;
+
+ private:
+  TpcdsOptions options_;
+};
+
+}  // namespace autocomp::workload

@@ -1,0 +1,105 @@
+#include "workload/tpch.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace autocomp::workload {
+
+lst::Schema LineitemSchema() {
+  return lst::Schema(
+      0, {{1, "l_orderkey", lst::FieldType::kInt64, true},
+          {2, "l_partkey", lst::FieldType::kInt64, true},
+          {3, "l_suppkey", lst::FieldType::kInt64, true},
+          {4, "l_linenumber", lst::FieldType::kInt32, true},
+          {5, "l_quantity", lst::FieldType::kDouble, true},
+          {6, "l_extendedprice", lst::FieldType::kDouble, true},
+          {7, "l_discount", lst::FieldType::kDouble, true},
+          {8, "l_tax", lst::FieldType::kDouble, true},
+          {9, "l_returnflag", lst::FieldType::kString, true},
+          {10, "l_linestatus", lst::FieldType::kString, true},
+          {11, "l_shipdate", lst::FieldType::kDate, true},
+          {12, "l_commitdate", lst::FieldType::kDate, true},
+          {13, "l_receiptdate", lst::FieldType::kDate, true},
+          {14, "l_shipinstruct", lst::FieldType::kString, false},
+          {15, "l_shipmode", lst::FieldType::kString, false},
+          {16, "l_comment", lst::FieldType::kString, false}});
+}
+
+lst::PartitionSpec LineitemPartitionSpec() {
+  return lst::PartitionSpec(
+      1, {{/*source_field_id=*/11, lst::Transform::kMonth, "shipdate_month"}});
+}
+
+lst::Schema OrdersSchema() {
+  return lst::Schema(0, {{1, "o_orderkey", lst::FieldType::kInt64, true},
+                         {2, "o_custkey", lst::FieldType::kInt64, true},
+                         {3, "o_orderstatus", lst::FieldType::kString, true},
+                         {4, "o_totalprice", lst::FieldType::kDouble, true},
+                         {5, "o_orderdate", lst::FieldType::kDate, true},
+                         {6, "o_orderpriority", lst::FieldType::kString, false},
+                         {7, "o_clerk", lst::FieldType::kString, false},
+                         {8, "o_shippriority", lst::FieldType::kInt32, false},
+                         {9, "o_comment", lst::FieldType::kString, false}});
+}
+
+std::vector<std::string> LineitemMonthPartitions() {
+  std::vector<std::string> out;
+  char buf[48];
+  for (int32_t year = kTpchStartYear; year <= kTpchEndYear; ++year) {
+    for (int32_t month = 1; month <= 12; ++month) {
+      std::snprintf(buf, sizeof(buf), "shipdate_month=%04d-%02d", year, month);
+      out.emplace_back(buf);
+    }
+  }
+  return out;
+}
+
+const std::vector<TpchTableSpec>& TpchTables() {
+  static const std::vector<TpchTableSpec> kTables = {
+      {"lineitem", 0.70, true},  {"orders", 0.16, false},
+      {"partsupp", 0.08, false}, {"customer", 0.03, false},
+      {"part", 0.02, false},     {"supplier", 0.01, false},
+  };
+  return kTables;
+}
+
+Status SetupTpchDatabase(catalog::Catalog* catalog,
+                         engine::QueryEngine* engine, const std::string& db,
+                         int64_t total_logical_bytes,
+                         const engine::WriterProfile& profile, SimTime at,
+                         int64_t target_file_size_bytes) {
+  if (!catalog->DatabaseExists(db)) {
+    AUTOCOMP_RETURN_NOT_OK(catalog->CreateDatabase(db));
+  }
+  Config props;
+  props.SetInt(lst::kPropTargetFileSizeBytes, target_file_size_bytes);
+  for (const TpchTableSpec& spec : TpchTables()) {
+    lst::Schema schema =
+        spec.name == "lineitem" ? LineitemSchema() : OrdersSchema();
+    lst::PartitionSpec part_spec = spec.partitioned
+                                       ? LineitemPartitionSpec()
+                                       : lst::PartitionSpec::Unpartitioned();
+    auto table =
+        catalog->CreateTable(db, spec.name, schema, part_spec, props);
+    AUTOCOMP_RETURN_NOT_OK(table.status());
+
+    engine::WriteSpec write;
+    write.table = db + "." + spec.name;
+    write.kind = engine::WriteKind::kAppend;
+    write.logical_bytes = static_cast<int64_t>(
+        static_cast<double>(total_logical_bytes) * spec.size_fraction);
+    if (write.logical_bytes <= 0) continue;
+    write.profile = profile;
+    if (spec.partitioned) write.partitions = LineitemMonthPartitions();
+    auto result = engine->ExecuteWrite(write, at);
+    AUTOCOMP_RETURN_NOT_OK(result.status());
+    if (result->conflict_failed) {
+      return Status::Internal("initial load lost a commit race for " +
+                              write.table);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace autocomp::workload

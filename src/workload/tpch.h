@@ -1,0 +1,57 @@
+/// \file tpch.h
+/// \brief TPC-H-like schemas and data loading (the CAB experiments model
+/// their databases on the TPC-H schema, §6: LINEITEM partitioned by
+/// month(SHIPDATE), ORDERS unpartitioned).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "engine/query_engine.h"
+#include "lst/partition.h"
+#include "lst/types.h"
+
+namespace autocomp::workload {
+
+/// TPC-H date range used by dbgen: 1992-01-01 .. 1998-12-31.
+inline constexpr int32_t kTpchStartYear = 1992;
+inline constexpr int32_t kTpchEndYear = 1998;
+
+/// \brief Schema of the LINEITEM table (the fields the simulation uses).
+lst::Schema LineitemSchema();
+/// \brief month(L_SHIPDATE) partition spec for LINEITEM.
+lst::PartitionSpec LineitemPartitionSpec();
+
+/// \brief Schema of the ORDERS table.
+lst::Schema OrdersSchema();
+
+/// \brief All monthly partition keys ("shipdate_month=1992-01"...).
+std::vector<std::string> LineitemMonthPartitions();
+
+/// \brief Relative logical-size weights of the TPC-H tables (LINEITEM
+/// dominates at ~70% of the database).
+struct TpchTableSpec {
+  std::string name;
+  double size_fraction;
+  bool partitioned;
+};
+const std::vector<TpchTableSpec>& TpchTables();
+
+/// \brief Creates the TPC-H-like tables of one database and loads
+/// `total_logical_bytes` of synthetic data split across them with the
+/// given writer profile.
+///
+/// Partitioned tables spread their bytes over the monthly partitions; the
+/// load itself writes through the engine so untuned profiles immediately
+/// produce the small-file spray of Figure 1.
+Status SetupTpchDatabase(catalog::Catalog* catalog,
+                         engine::QueryEngine* engine, const std::string& db,
+                         int64_t total_logical_bytes,
+                         const engine::WriterProfile& profile, SimTime at,
+                         int64_t target_file_size_bytes = 512 * kMiB);
+
+}  // namespace autocomp::workload

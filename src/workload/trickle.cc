@@ -1,0 +1,105 @@
+#include "workload/trickle.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "lst/types.h"
+
+namespace autocomp::workload {
+
+TrickleIngestion::TrickleIngestion(TrickleOptions options)
+    : options_(std::move(options)) {}
+
+std::string TrickleIngestion::HourPartition(SimTime t) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "hour=%06lld",
+                static_cast<long long>(t / kHour));
+  return buf;
+}
+
+std::vector<std::string> TrickleIngestion::TableNames() const {
+  std::vector<std::string> out;
+  char buf[48];
+  for (int i = 0; i < options_.num_topics; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s.events%02d", options_.db.c_str(), i);
+    out.emplace_back(buf);
+  }
+  return out;
+}
+
+Status TrickleIngestion::Setup(catalog::Catalog* catalog, SimTime at) {
+  (void)at;
+  if (!catalog->DatabaseExists(options_.db)) {
+    AUTOCOMP_RETURN_NOT_OK(catalog->CreateDatabase(options_.db));
+  }
+  lst::Schema schema(0, {{1, "event_time", lst::FieldType::kTimestamp, true},
+                         {2, "hour_key", lst::FieldType::kInt64, true},
+                         {3, "payload", lst::FieldType::kString, false}});
+  lst::PartitionSpec spec(1, {{2, lst::Transform::kIdentity, "hour"}});
+  char buf[32];
+  for (int i = 0; i < options_.num_topics; ++i) {
+    std::snprintf(buf, sizeof(buf), "events%02d", i);
+    auto table = catalog->CreateTable(options_.db, buf, schema, spec);
+    AUTOCOMP_RETURN_NOT_OK(table.status());
+  }
+  return Status::OK();
+}
+
+std::vector<QueryEvent> TrickleIngestion::GenerateEvents() const {
+  std::vector<QueryEvent> events;
+  Rng rng(options_.seed);
+  const SimTime end = options_.start_time + options_.duration;
+  for (SimTime t = options_.start_time; t < end; t += 5 * kMinute) {
+    int topic = 0;
+    for (const std::string& table : TableNames()) {
+      QueryEvent e;
+      e.time = t;
+      e.stream = "trickle-ingest";
+      e.is_write = true;
+      e.write.table = table;
+      e.write.kind = engine::WriteKind::kAppend;
+      e.write.logical_bytes = static_cast<int64_t>(
+          static_cast<double>(options_.bytes_per_flush) *
+          rng.Uniform(0.7, 1.3));
+      // Checkpoint flushes are written by a modest number of tasks; files
+      // land well under target until the hourly rollup packs them.
+      e.write.profile.target_file_bytes = 128 * kMiB;
+      e.write.profile.write_tasks = 4;
+      e.write.profile.size_jitter_sigma = 0.25;
+      e.write.partitions = {HourPartition(t)};
+      events.push_back(std::move(e));
+      ++topic;
+    }
+    (void)topic;
+  }
+  return events;
+}
+
+Result<int> TrickleIngestion::RunHourlyRollup(
+    engine::CompactionRunner* runner,
+    catalog::ControlPlane* control_plane, SimTime hour_boundary) const {
+  // Compact the partition that just closed (the previous hour).
+  const std::string partition = HourPartition(hour_boundary - kHour);
+  int committed = 0;
+  SimTime cursor = hour_boundary;
+  for (const std::string& table : TableNames()) {
+    engine::CompactionRequest request;
+    request.table = table;
+    request.partition = partition;
+    request.target_file_size_bytes = 512 * kMiB;
+    AUTOCOMP_ASSIGN_OR_RETURN(engine::CompactionResult result,
+                              runner->Run(request, cursor));
+    cursor = std::max(cursor, result.end_time);
+    if (result.committed) {
+      ++committed;
+      if (control_plane != nullptr) {
+        // Reap the checkpoint files the rollup just rewrote.
+        auto retention = control_plane->RunRetentionFor(table, SimTime{0});
+        (void)retention;
+      }
+    }
+  }
+  return committed;
+}
+
+}  // namespace autocomp::workload

@@ -1,0 +1,62 @@
+/// \file trickle.h
+/// \brief Managed trickle-ingestion pipeline (§2): raw event data lands
+/// every five minutes and is incrementally compacted into ~512MB files in
+/// hourly partitions. Contrasted with untuned user jobs in Figure 1.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/control_plane.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "engine/compaction_runner.h"
+#include "engine/query_engine.h"
+#include "workload/events.h"
+
+namespace autocomp::workload {
+
+struct TrickleOptions {
+  std::string db = "raw";
+  /// Number of raw event tables (one per high-volume topic).
+  int num_topics = 4;
+  SimTime start_time = 0;
+  SimTime duration = 6 * kHour;
+  /// Logical bytes landing per topic per 5-minute flush.
+  int64_t bytes_per_flush = 96 * kMiB;
+  uint64_t seed = 511;
+};
+
+/// \brief Central ingestion pipeline: deterministic 5-minute appends into
+/// hourly partitions plus an hourly rollup that compacts the just-closed
+/// partition to the 512MB target.
+class TrickleIngestion {
+ public:
+  explicit TrickleIngestion(TrickleOptions options);
+
+  /// Creates the raw tables (partitioned by hour via identity key).
+  Status Setup(catalog::Catalog* catalog, SimTime at);
+
+  /// 5-minute append events for the whole window.
+  std::vector<QueryEvent> GenerateEvents() const;
+
+  /// Hourly partition key for a timestamp ("hour=000012").
+  static std::string HourPartition(SimTime t);
+
+  /// Compacts the partition that closed at `hour_boundary` for every
+  /// topic (the pipeline's incremental hourly compaction). Returns the
+  /// number of committed rewrites.
+  Result<int> RunHourlyRollup(engine::CompactionRunner* runner,
+                              catalog::ControlPlane* control_plane,
+                              SimTime hour_boundary) const;
+
+  std::vector<std::string> TableNames() const;
+  const TrickleOptions& options() const { return options_; }
+
+ private:
+  TrickleOptions options_;
+};
+
+}  // namespace autocomp::workload

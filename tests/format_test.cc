@@ -1,0 +1,221 @@
+// Unit and property tests for src/format: the columnar file model and
+// bin-packing.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "format/binpack.h"
+#include "format/columnar.h"
+
+namespace autocomp::format {
+namespace {
+
+// ------------------------------------------------------- ColumnarFileModel
+
+TEST(ColumnarModelTest, PeakCompressionForLargeFiles) {
+  ColumnarFileModel model;
+  EXPECT_DOUBLE_EQ(model.CompressionRatioFor(1 * kGiB),
+                   model.options().peak_compression_ratio);
+}
+
+TEST(ColumnarModelTest, CompressionDecaysForSmallFiles) {
+  ColumnarFileModel model;
+  const double tiny = model.CompressionRatioFor(64 * kKiB);
+  const double small = model.CompressionRatioFor(8 * kMiB);
+  const double large = model.CompressionRatioFor(256 * kMiB);
+  EXPECT_LT(tiny, small);
+  EXPECT_LT(small, large);
+  EXPECT_GE(tiny, 1.0);
+}
+
+TEST(ColumnarModelTest, ZeroAndNegativeLogicalBytes) {
+  ColumnarFileModel model;
+  EXPECT_DOUBLE_EQ(model.CompressionRatioFor(0), 1.0);
+  EXPECT_GE(model.StoredBytesFor(0), model.options().footer_bytes);
+  EXPECT_GE(model.StoredBytesFor(-100), model.options().footer_bytes);
+}
+
+TEST(ColumnarModelTest, StoredIncludesFooter) {
+  ColumnarFileModel model;
+  const int64_t stored = model.StoredBytesFor(300 * kMiB);
+  EXPECT_GT(stored, model.options().footer_bytes);
+  // 300MiB at ratio 3 ~ 100MiB + footer.
+  EXPECT_NEAR(static_cast<double>(stored),
+              static_cast<double>(100 * kMiB + model.options().footer_bytes),
+              1.0 * kMiB);
+}
+
+TEST(ColumnarModelTest, LogicalForStoredRoundTripsAtPeak) {
+  ColumnarFileModel model;
+  const int64_t logical = 600 * kMiB;  // well above efficient chunk
+  const int64_t stored = model.StoredBytesFor(logical);
+  const int64_t back = model.LogicalBytesForStored(stored);
+  EXPECT_NEAR(static_cast<double>(back), static_cast<double>(logical),
+              static_cast<double>(4 * kMiB));
+}
+
+TEST(ColumnarModelTest, LogicalForStoredRoundTripsForSmallFiles) {
+  // The inverse must honour the degraded small-file ratio, or compaction
+  // would show no storage savings.
+  ColumnarFileModel model;
+  for (int64_t logical : {256 * kKiB, 1 * kMiB, 4 * kMiB, 12 * kMiB,
+                          24 * kMiB, 31 * kMiB, 33 * kMiB}) {
+    const int64_t stored = model.StoredBytesFor(logical);
+    const int64_t back = model.LogicalBytesForStored(stored);
+    EXPECT_NEAR(static_cast<double>(back), static_cast<double>(logical),
+                0.05 * static_cast<double>(logical) + 64 * kKiB)
+        << "logical=" << logical;
+  }
+}
+
+TEST(ColumnarModelTest, MergingSmallFilesSavesStorage) {
+  ColumnarFileModel model;
+  // 64 files of 4MiB logical each, stored individually vs merged.
+  const int64_t per_file_stored = model.StoredBytesFor(4 * kMiB);
+  int64_t merged_logical = 0;
+  for (int i = 0; i < 64; ++i) {
+    merged_logical += model.LogicalBytesForStored(per_file_stored);
+  }
+  const int64_t merged_stored = model.StoredBytesFor(merged_logical);
+  EXPECT_LT(merged_stored, 64 * per_file_stored * 2 / 3);
+}
+
+TEST(ColumnarModelTest, RowGroups) {
+  ColumnarFileModel model;
+  EXPECT_EQ(model.RowGroupsFor(0), 0);
+  EXPECT_EQ(model.RowGroupsFor(1), 1);
+  EXPECT_EQ(model.RowGroupsFor(128 * kMiB), 1);
+  EXPECT_EQ(model.RowGroupsFor(128 * kMiB + 1), 2);
+}
+
+TEST(ColumnarModelTest, FragmentationOverheadPositiveForManySmallFiles) {
+  ColumnarFileModel model;
+  const int64_t logical = 1 * kGiB;
+  EXPECT_EQ(model.FragmentationOverhead(logical, 1), 0);
+  const int64_t split100 = model.FragmentationOverhead(logical, 100);
+  const int64_t split1000 = model.FragmentationOverhead(logical, 1000);
+  EXPECT_GT(split100, 0);
+  EXPECT_GT(split1000, split100);
+}
+
+TEST(ColumnarModelTest, RecordsScaleWithBytes) {
+  ColumnarFileModel model;
+  EXPECT_EQ(model.RecordsFor(model.options().bytes_per_record * 10), 10);
+}
+
+// ---------------------------------------------------------------- BinPack
+
+TEST(BinPackTest, EmptyInput) {
+  EXPECT_TRUE(FirstFitDecreasing({}, 100).empty());
+  EXPECT_EQ(MinBinsLowerBound({}, 100), 0);
+  EXPECT_DOUBLE_EQ(MeanFillFraction({}, 100), 1.0);
+}
+
+TEST(BinPackTest, SingleItemFits) {
+  const auto bins = FirstFitDecreasing({40}, 100);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].total_bytes, 40);
+  EXPECT_EQ(bins[0].item_indices, std::vector<size_t>{0});
+}
+
+TEST(BinPackTest, PacksSmallItemsTogether) {
+  const auto bins = FirstFitDecreasing({30, 30, 30, 30}, 100);
+  ASSERT_EQ(bins.size(), 2u);  // 3 + 1
+  EXPECT_EQ(bins[0].item_indices.size() + bins[1].item_indices.size(), 4u);
+}
+
+TEST(BinPackTest, OversizedItemGetsOwnBin) {
+  const auto bins = FirstFitDecreasing({150, 10, 10}, 100);
+  // 150 alone; 10+10 together.
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0].total_bytes, 150);
+  EXPECT_EQ(bins[0].item_indices.size(), 1u);
+  EXPECT_EQ(bins[1].item_indices.size(), 2u);
+}
+
+TEST(BinPackTest, OversizedBinNeverShared) {
+  const auto bins = FirstFitDecreasing({100, 1}, 100);
+  // 100 == capacity counts as oversized (>=).
+  ASSERT_EQ(bins.size(), 2u);
+}
+
+TEST(BinPackTest, DeterministicOrder) {
+  const std::vector<int64_t> sizes = {10, 90, 50, 50, 30};
+  const auto a = FirstFitDecreasing(sizes, 100);
+  const auto b = FirstFitDecreasing(sizes, 100);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item_indices, b[i].item_indices);
+  }
+}
+
+TEST(BinPackTest, MinBinsLowerBound) {
+  EXPECT_EQ(MinBinsLowerBound({50, 50, 50}, 100), 2);
+  EXPECT_EQ(MinBinsLowerBound({100}, 100), 1);
+  EXPECT_EQ(MinBinsLowerBound({101}, 100), 2);
+}
+
+TEST(BinPackTest, MeanFillExcludesOversized) {
+  const auto bins = FirstFitDecreasing({150, 80}, 100);
+  EXPECT_DOUBLE_EQ(MeanFillFraction(bins, 100), 0.8);
+}
+
+// Property sweep: FFD never overfills a bin, never loses or duplicates an
+// item, and stays within 1.7x + 1 of the lower bound (the classic FFD
+// guarantee is 11/9 OPT + 6/9).
+class BinPackPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BinPackPropertyTest, InvariantsHoldOnRandomInstances) {
+  Rng rng(GetParam());
+  const int64_t capacity = 512;
+  const int n = static_cast<int>(rng.UniformInt(1, 200));
+  std::vector<int64_t> sizes;
+  sizes.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Mix of tiny, medium, and oversized items.
+    const double pick = rng.NextDouble();
+    if (pick < 0.7) {
+      sizes.push_back(rng.UniformInt(1, capacity / 4));
+    } else if (pick < 0.95) {
+      sizes.push_back(rng.UniformInt(capacity / 4, capacity - 1));
+    } else {
+      sizes.push_back(rng.UniformInt(capacity, capacity * 2));
+    }
+  }
+  const auto bins = FirstFitDecreasing(sizes, capacity);
+
+  std::vector<int> seen(sizes.size(), 0);
+  int64_t oversized_bins = 0;
+  for (const Bin& bin : bins) {
+    int64_t total = 0;
+    for (size_t idx : bin.item_indices) {
+      ASSERT_LT(idx, sizes.size());
+      seen[idx]++;
+      total += sizes[idx];
+    }
+    EXPECT_EQ(total, bin.total_bytes);
+    if (bin.total_bytes > capacity) {
+      // A bin may exceed capacity only when it holds a single oversized
+      // item; multi-item bins can at most be exactly full.
+      EXPECT_EQ(bin.item_indices.size(), 1u);
+      EXPECT_GE(sizes[bin.item_indices.front()], capacity);
+    }
+    if (bin.item_indices.size() == 1 &&
+        sizes[bin.item_indices.front()] >= capacity) {
+      ++oversized_bins;
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);  // exactly-once
+
+  // Quality: within FFD's guarantee of the lower bound (+ oversized).
+  const int64_t lower = MinBinsLowerBound(sizes, capacity);
+  EXPECT_LE(static_cast<int64_t>(bins.size()),
+            (lower * 17) / 9 + 1 + oversized_bins);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, BinPackPropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{25}));
+
+}  // namespace
+}  // namespace autocomp::format

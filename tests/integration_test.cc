@@ -1,0 +1,293 @@
+// End-to-end integration tests: full workload + AutoComp scenarios
+// exercising the whole stack (storage -> LST -> catalog -> engine ->
+// OODA pipeline -> metrics), including the headline paper claims.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/driver.h"
+#include "sim/environment.h"
+#include "sim/metrics.h"
+#include "sim/presets.h"
+#include "workload/cab.h"
+#include "workload/tpcds.h"
+#include "workload/tpch.h"
+
+namespace autocomp {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static workload::CabOptions SmallCab() {
+    workload::CabOptions options;
+    options.num_databases = 4;
+    options.duration = 3 * kHour;
+    return options;
+  }
+
+  static void SetupCab(sim::SimEnvironment* env,
+                       const workload::CabWorkload& cab) {
+    for (const std::string& db : cab.DatabaseNames()) {
+      ASSERT_TRUE(workload::SetupTpchDatabase(
+                      &env->catalog(), &env->query_engine(), db, 4 * kGiB,
+                      engine::UntunedUserJobProfile(), 0)
+                      .ok());
+    }
+  }
+};
+
+TEST_F(IntegrationTest, NoCompactionFileCountGrows) {
+  sim::SimEnvironment env;
+  workload::CabWorkload cab(SmallCab());
+  SetupCab(&env, cab);
+  const int64_t initial = env.TotalFileCount();
+  sim::MetricsRecorder metrics;
+  sim::EventDriver driver(&env, &metrics);
+  ASSERT_TRUE(driver.Run(cab.GenerateEvents(), 3 * kHour).ok());
+  EXPECT_GT(env.TotalFileCount(), initial);
+}
+
+TEST_F(IntegrationTest, CompactionReducesFilesAndStorageAgrees) {
+  sim::SimEnvironment env;
+  workload::CabWorkload cab(SmallCab());
+  SetupCab(&env, cab);
+  const int64_t initial = env.TotalFileCount();
+
+  sim::StrategyPreset preset;
+  preset.scope = sim::ScopeStrategy::kHybrid;
+  preset.k = 200;
+  auto service = sim::MakeMoopService(&env, preset);
+  sim::MetricsRecorder metrics;
+  sim::EventDriver driver(&env, &metrics);
+  driver.AttachService(service.get());
+  ASSERT_TRUE(driver.Run(cab.GenerateEvents(), 3 * kHour).ok());
+  EXPECT_LT(env.TotalFileCount(), initial);
+
+  // Consistency: every live file of every table exists in storage, and
+  // the storage file count is at least the sum of live files (orphans of
+  // in-flight snapshots may remain until retention).
+  int64_t live_total = 0;
+  for (const std::string& name : env.catalog().ListAllTables()) {
+    auto meta = env.catalog().LoadTable(name);
+    ASSERT_TRUE(meta.ok());
+    for (const lst::DataFile& f : (*meta)->LiveFiles()) {
+      EXPECT_TRUE(env.dfs().Exists(f.path)) << f.path;
+      ++live_total;
+    }
+  }
+  EXPECT_GE(env.TotalFileCount(), live_total);
+}
+
+TEST_F(IntegrationTest, CompactionImprovesReadLatency) {
+  sim::SimEnvironment env;
+  ASSERT_TRUE(workload::SetupTpchDatabase(
+                  &env.catalog(), &env.query_engine(), "db", 8 * kGiB,
+                  engine::UntunedUserJobProfile(), 0)
+                  .ok());
+  auto before = env.query_engine().ExecuteRead("db.lineitem", std::nullopt,
+                                               kMinute);
+  ASSERT_TRUE(before.ok());
+
+  sim::StrategyPreset preset;
+  preset.scope = sim::ScopeStrategy::kTable;
+  preset.k = 10;
+  auto service = sim::MakeMoopService(&env, preset);
+  env.clock().AdvanceTo(kHour);
+  auto report = service->RunNow();
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->committed_count(), 0);
+
+  auto after = env.query_engine().ExecuteRead("db.lineitem", std::nullopt,
+                                              env.clock().Now());
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(after->files_scanned, before->files_scanned / 4);
+  EXPECT_LT(after->total_seconds, before->total_seconds);
+}
+
+TEST_F(IntegrationTest, FullRunIsDeterministic) {
+  // NFR2 at system level: two identical runs produce identical decisions
+  // and identical final state.
+  auto run_once = [&]() {
+    sim::SimEnvironment env;
+    workload::CabWorkload cab(SmallCab());
+    SetupCab(&env, cab);
+    sim::StrategyPreset preset;
+    preset.scope = sim::ScopeStrategy::kHybrid;
+    preset.k = 50;
+    auto service = sim::MakeMoopService(&env, preset);
+    sim::MetricsRecorder metrics;
+    sim::EventDriver driver(&env, &metrics);
+    driver.AttachService(service.get());
+    EXPECT_TRUE(driver.Run(cab.GenerateEvents(), 3 * kHour).ok());
+    std::vector<std::string> decisions;
+    for (const core::PipelineRunReport& report : service->history()) {
+      for (const core::ScoredCandidate& sc : report.selected) {
+        decisions.push_back(sc.candidate().id());
+      }
+    }
+    return std::make_pair(env.TotalFileCount(), decisions);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST_F(IntegrationTest, DeferredModeProducesClusterConflictsUnderStrictMode) {
+  // The Table 1 mechanism: long table-scope rewrites overlapping user
+  // overwrites lose their commit race.
+  sim::SimEnvironment env;
+  workload::CabOptions options = SmallCab();
+  options.etl_writes_per_hour = 8;
+  options.overwrite_fraction = 0.8;
+  workload::CabWorkload cab(options);
+  SetupCab(&env, cab);
+
+  sim::StrategyPreset preset;
+  preset.scope = sim::ScopeStrategy::kTable;
+  preset.k = 4;
+  preset.deferred_act = true;
+  auto service = sim::MakeMoopService(&env, preset);
+  sim::MetricsRecorder metrics;
+  sim::DriverOptions driver_options;
+  driver_options.deferred_compaction = true;
+  sim::EventDriver driver(&env, &metrics, driver_options);
+  driver.AttachService(service.get());
+  ASSERT_TRUE(driver.Run(cab.GenerateEvents(), 3 * kHour).ok());
+  // Some rewrites must have committed; with this much overwrite traffic,
+  // typically some conflict too — assert on commits and on accounting
+  // consistency (committed + conflicts == finalized attempts).
+  const int64_t commits = metrics.TotalCount("compaction_commits");
+  const int64_t conflicts = metrics.TotalCount("cluster_conflicts");
+  EXPECT_GT(commits, 0);
+  EXPECT_EQ(commits, env.compaction_runner().total_committed());
+  EXPECT_EQ(conflicts, env.compaction_runner().total_conflicts());
+}
+
+TEST_F(IntegrationTest, QuotaBreachesPreventWritesUntilCompaction) {
+  // The §7 pain point: a tenant at its namespace quota cannot write;
+  // compaction (plus retention) frees objects and unblocks the tenant.
+  sim::SimEnvironment env;
+  ASSERT_TRUE(env.catalog().CreateDatabase("tight", 6'000).ok());
+  ASSERT_TRUE(workload::SetupTpchDatabase(
+                  &env.catalog(), &env.query_engine(), "tight", 10 * kGiB,
+                  engine::UntunedUserJobProfile(), 0)
+                  .ok());
+  // Fill to the quota with repeated small writes until one fails.
+  engine::WriteSpec spam;
+  spam.table = "tight.orders";
+  spam.logical_bytes = 64 * kMiB;
+  spam.profile = engine::UntunedUserJobProfile();
+  bool hit_quota = false;
+  for (int i = 0; i < 200 && !hit_quota; ++i) {
+    auto result = env.query_engine().ExecuteWrite(spam, env.clock().Now());
+    if (!result.ok() && result.status().IsResourceExhausted()) {
+      hit_quota = true;
+    }
+    env.clock().Advance(kMinute);
+  }
+  ASSERT_TRUE(hit_quota);
+
+  // Compact the fleet-within-a-database.
+  sim::StrategyPreset preset;
+  preset.scope = sim::ScopeStrategy::kTable;
+  preset.k = 10;
+  auto service = sim::MakeMoopService(&env, preset);
+  auto report = service->RunNow();
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->files_reduced(), 0);
+
+  // The tenant can write again.
+  auto result = env.query_engine().ExecuteWrite(spam, env.clock().Now());
+  EXPECT_TRUE(result.ok()) << result.status();
+}
+
+TEST_F(IntegrationTest, TpcdsMaintenanceDegradationAndRecovery) {
+  // Figure 3's claim at test scale: maintenance degrades the single-user
+  // phase; compaction restores it.
+  sim::SimEnvironment env;
+  workload::TpcdsOptions options;
+  options.total_logical_bytes = 8 * kGiB;
+  options.queries_per_pass = 20;
+  workload::TpcdsWorkload tpcds(options);
+  ASSERT_TRUE(tpcds.Setup(&env.catalog(), &env.query_engine(), 0).ok());
+  Rng rng(5);
+
+  auto run_pass = [&]() {
+    // The same query set every pass, so passes are directly comparable.
+    Rng pass_rng(5);
+    double total = 0;
+    for (const auto& [table, partition] :
+         tpcds.SingleUserQueries(&pass_rng)) {
+      auto result = env.query_engine().ExecuteRead(table, partition,
+                                                   env.clock().Now());
+      EXPECT_TRUE(result.ok());
+      total += result->total_seconds;
+      env.clock().Advance(static_cast<SimTime>(result->total_seconds) + 1);
+    }
+    return total;
+  };
+  const double initial = run_pass();
+  for (const engine::WriteSpec& write : tpcds.MaintenanceWrites(0.05, &rng)) {
+    ASSERT_TRUE(
+        env.query_engine().ExecuteWrite(write, env.clock().Now()).ok());
+    env.clock().Advance(kMinute);
+  }
+  const double degraded = run_pass();
+  EXPECT_GT(degraded, initial * 1.1);
+
+  for (const std::string& table : tpcds.TableNames()) {
+    engine::CompactionRequest request;
+    request.table = table;
+    auto result = env.compaction_runner().Run(request, env.clock().Now());
+    ASSERT_TRUE(result.ok());
+    if (result->committed) {
+      (void)env.control_plane().RunRetentionFor(table, SimTime{0});
+    }
+  }
+  const double restored = run_pass();
+  // At this small test scale the recovery is partial (per-partition
+  // outputs cannot merge further); the full-scale shape is asserted by
+  // bench_fig03. Here: compaction must claw back most of the degradation.
+  EXPECT_LT(restored, degraded);
+  EXPECT_LT(restored, initial * 1.3);
+}
+
+TEST_F(IntegrationTest, SnapshotScopeServicesFreshDataOnly) {
+  sim::SimEnvironment env;
+  ASSERT_TRUE(workload::SetupTpchDatabase(
+                  &env.catalog(), &env.query_engine(), "db", 4 * kGiB,
+                  engine::UntunedUserJobProfile(), 0)
+                  .ok());
+  // First full compaction.
+  sim::StrategyPreset table_preset;
+  table_preset.scope = sim::ScopeStrategy::kTable;
+  table_preset.k = 10;
+  auto table_service = sim::MakeMoopService(&env, table_preset);
+  env.clock().AdvanceTo(kHour);
+  ASSERT_TRUE(table_service->RunNow().ok());
+
+  // Fresh small writes, then a snapshot-scope pass: it must only touch
+  // the fresh files.
+  engine::WriteSpec fresh;
+  fresh.table = "db.orders";
+  fresh.logical_bytes = 96 * kMiB;
+  fresh.profile = engine::UntunedUserJobProfile();
+  ASSERT_TRUE(
+      env.query_engine().ExecuteWrite(fresh, env.clock().Now()).ok());
+
+  sim::StrategyPreset snap_preset;
+  snap_preset.scope = sim::ScopeStrategy::kSnapshot;
+  snap_preset.k = 50;
+  auto snap_service = sim::MakeMoopService(&env, snap_preset);
+  env.clock().AdvanceTo(2 * kHour);
+  auto report = snap_service->RunNow();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->committed_count(), 0);
+  for (const core::ScheduledCompaction& unit : report->executed) {
+    EXPECT_EQ(unit.candidate.scope, core::CandidateScope::kSnapshot);
+  }
+}
+
+}  // namespace
+}  // namespace autocomp

@@ -1,0 +1,693 @@
+// Unit tests for src/lst: schemas, partition transforms, table metadata,
+// optimistic transactions (including the Iceberg v1.2.0 strict-conflict
+// behaviour the paper documents), snapshot expiry, and metadata tables.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/clock.h"
+#include "lst/metadata_tables.h"
+#include "lst/partition.h"
+#include "lst/table.h"
+#include "lst/table_metadata.h"
+#include "lst/transaction.h"
+#include "lst/types.h"
+
+namespace autocomp::lst {
+namespace {
+
+// ---------------------------------------------------------------- Schema
+
+TEST(SchemaTest, LookupByIdAndName) {
+  Schema schema(0, {{1, "a", FieldType::kInt64, true},
+                    {2, "b", FieldType::kDate, false}});
+  EXPECT_EQ(schema.FindField(1)->name, "a");
+  EXPECT_EQ(schema.FindFieldByName("b")->id, 2);
+  EXPECT_TRUE(schema.FindField(9).status().IsNotFound());
+  EXPECT_TRUE(schema.FindFieldByName("zz").status().IsNotFound());
+}
+
+TEST(SchemaTest, AddFieldEvolvesSchemaId) {
+  Schema schema(3, {{1, "a", FieldType::kInt64, true}});
+  auto evolved = schema.AddField({2, "b", FieldType::kString, false});
+  ASSERT_TRUE(evolved.ok());
+  EXPECT_EQ(evolved->schema_id(), 4);
+  EXPECT_EQ(evolved->fields().size(), 2u);
+  // Original untouched.
+  EXPECT_EQ(schema.fields().size(), 1u);
+}
+
+TEST(SchemaTest, AddFieldRejectsDuplicates) {
+  Schema schema(0, {{1, "a", FieldType::kInt64, true}});
+  EXPECT_TRUE(schema.AddField({1, "x", FieldType::kInt64, false})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(schema.AddField({2, "a", FieldType::kInt64, false})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  Schema schema(0, {{1, "a", FieldType::kInt64, true}});
+  EXPECT_NE(schema.ToString().find("a:int64"), std::string::npos);
+}
+
+// ------------------------------------------------------------- Transforms
+
+TEST(TransformTest, CivilDateRoundTrip) {
+  // 1995-03-07 and a pre-1970 date.
+  const int64_t days = DaysFromCivil(1995, 3, 7);
+  const CivilDate c = CivilFromDays(days);
+  EXPECT_EQ(c.year, 1995);
+  EXPECT_EQ(c.month, 3);
+  EXPECT_EQ(c.day, 7);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  const CivilDate epoch = CivilFromDays(0);
+  EXPECT_EQ(epoch.year, 1970);
+}
+
+// Parameterized round-trip sweep across many dates.
+class CivilDateRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(CivilDateRoundTrip, DaysToCivilAndBack) {
+  const int64_t days = GetParam();
+  const CivilDate c = CivilFromDays(days);
+  EXPECT_EQ(DaysFromCivil(c.year, c.month, c.day), days);
+  EXPECT_GE(c.month, 1);
+  EXPECT_LE(c.month, 12);
+  EXPECT_GE(c.day, 1);
+  EXPECT_LE(c.day, 31);
+}
+
+INSTANTIATE_TEST_SUITE_P(DateSweep, CivilDateRoundTrip,
+                         ::testing::Values(-719468, -1, 0, 1, 365, 8096,
+                                           10000, 10957, 11016, 18000, 20000,
+                                           25000, 40000));
+
+TEST(TransformTest, MonthDayYearIdentity) {
+  const int64_t days = DaysFromCivil(1995, 3, 7);
+  EXPECT_EQ(ApplyTransform(Transform::kMonth, days), "1995-03");
+  EXPECT_EQ(ApplyTransform(Transform::kDay, days), "1995-03-07");
+  EXPECT_EQ(ApplyTransform(Transform::kYear, days), "1995");
+  EXPECT_EQ(ApplyTransform(Transform::kIdentity, 42), "42");
+}
+
+TEST(TransformTest, BucketIsStableAndBounded) {
+  const std::string b1 = ApplyTransform(Transform::kBucket, 12345, 8);
+  const std::string b2 = ApplyTransform(Transform::kBucket, 12345, 8);
+  EXPECT_EQ(b1, b2);
+  EXPECT_EQ(b1.rfind("bucket_", 0), 0u);
+}
+
+TEST(PartitionSpecTest, PartitionKeyFor) {
+  PartitionSpec spec(1, {{11, Transform::kMonth, "ship_month"}});
+  const int64_t days = DaysFromCivil(1998, 12, 1);
+  auto key = spec.PartitionKeyFor({days});
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, "ship_month=1998-12");
+  EXPECT_TRUE(spec.PartitionKeyFor({}).status().IsInvalidArgument());
+}
+
+TEST(PartitionSpecTest, UnpartitionedKeyIsEmpty) {
+  PartitionSpec spec = PartitionSpec::Unpartitioned();
+  EXPECT_FALSE(spec.is_partitioned());
+  EXPECT_EQ(spec.PartitionKeyFor({}).value(), "");
+}
+
+TEST(PartitionSpecTest, ValidateRequiresDateForDateTransforms) {
+  Schema schema(0, {{1, "v", FieldType::kInt64, true},
+                    {2, "d", FieldType::kDate, true}});
+  PartitionSpec ok(1, {{2, Transform::kMonth, "m"}});
+  EXPECT_TRUE(ok.Validate(schema).ok());
+  PartitionSpec bad(1, {{1, Transform::kMonth, "m"}});
+  EXPECT_TRUE(bad.Validate(schema).IsInvalidArgument());
+  PartitionSpec missing(1, {{9, Transform::kIdentity, "x"}});
+  EXPECT_TRUE(missing.Validate(schema).IsNotFound());
+  PartitionSpec bucket_no_count(1, {{1, Transform::kBucket, "b", 0}});
+  EXPECT_TRUE(bucket_no_count.Validate(schema).IsInvalidArgument());
+}
+
+// --------------------------------------------------------- Test fixtures
+
+/// Minimal in-memory MetadataStore for transaction tests.
+class FakeStore final : public MetadataStore {
+ public:
+  Result<TableMetadataPtr> LoadTable(const std::string& name) const override {
+    const auto it = tables_.find(name);
+    if (it == tables_.end()) return Status::NotFound(name);
+    return it->second;
+  }
+  Status CommitTable(const std::string& name, int64_t base_version,
+                     TableMetadataPtr new_metadata) override {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) return Status::NotFound(name);
+    if (it->second->version() != base_version) {
+      return Status::CommitConflict("version moved");
+    }
+    it->second = std::move(new_metadata);
+    return Status::OK();
+  }
+  void Put(const std::string& name, TableMetadataPtr meta) {
+    tables_[name] = std::move(meta);
+  }
+
+ private:
+  std::map<std::string, TableMetadataPtr> tables_;
+};
+
+DataFile MakeFile(const std::string& path, const std::string& partition,
+                  int64_t size) {
+  DataFile f;
+  f.path = path;
+  f.partition = partition;
+  f.file_size_bytes = size;
+  f.record_count = size / 100;
+  return f;
+}
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema(0, {{1, "d", FieldType::kDate, true}});
+    PartitionSpec spec(1, {{1, Transform::kMonth, "m"}});
+    TableMetadata::Builder builder("db.t", "/data/db/t", schema, spec);
+    builder.SetCreatedAt(0);
+    auto meta = builder.Build();
+    ASSERT_TRUE(meta.ok());
+    store_.Put("db.t", *meta);
+  }
+
+  Table MakeTable() { return Table(&store_, "db.t", &clock_); }
+
+  Status AppendFiles(const std::vector<DataFile>& files) {
+    Table table = MakeTable();
+    auto txn = table.NewTransaction();
+    AUTOCOMP_RETURN_NOT_OK(txn.status());
+    AUTOCOMP_RETURN_NOT_OK(txn->Append(files));
+    return txn->Commit().status();
+  }
+
+  SimulatedClock clock_{0};
+  FakeStore store_;
+};
+
+// ----------------------------------------------------------- Append path
+
+TEST_F(TransactionTest, AppendCreatesSnapshot) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/f1", "m=1995-01", 100),
+                           MakeFile("/f2", "m=1995-02", 200)})
+                  .ok());
+  auto meta = store_.LoadTable("db.t");
+  EXPECT_EQ((*meta)->live_file_count(), 2);
+  EXPECT_EQ((*meta)->live_bytes(), 300);
+  const Snapshot* snap = (*meta)->current_snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->operation, SnapshotOperation::kAppend);
+  EXPECT_EQ(snap->added_files, 2);
+  EXPECT_EQ(snap->touched_partitions.size(), 2u);
+}
+
+TEST_F(TransactionTest, AppendStampsSnapshotIdAndSequence) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/f1", "p", 100)}).ok());
+  ASSERT_TRUE(AppendFiles({MakeFile("/f2", "p", 100)}).ok());
+  auto meta = store_.LoadTable("db.t");
+  for (const DataFile& f : (*meta)->LiveFiles()) {
+    EXPECT_GT(f.added_snapshot_id, 0);
+    EXPECT_GT(f.sequence_number, 0);
+  }
+  // Second file added by a later snapshot.
+  auto files = (*meta)->LiveFiles();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_NE(files[0].added_snapshot_id, files[1].added_snapshot_id);
+}
+
+TEST_F(TransactionTest, EmptyAppendRejected) {
+  Table table = MakeTable();
+  auto txn = table.NewTransaction();
+  EXPECT_TRUE(txn->Append({}).IsInvalidArgument());
+}
+
+TEST_F(TransactionTest, CommitWithoutStagingFails) {
+  Table table = MakeTable();
+  auto txn = table.NewTransaction();
+  EXPECT_TRUE(txn->Commit().status().IsFailedPrecondition());
+}
+
+TEST_F(TransactionTest, MixedOperationsRejected) {
+  Table table = MakeTable();
+  auto txn = table.NewTransaction();
+  ASSERT_TRUE(txn->Append({MakeFile("/f", "p", 1)}).ok());
+  EXPECT_TRUE(
+      txn->RewriteFiles({"/f"}, {}).IsFailedPrecondition());
+}
+
+TEST_F(TransactionTest, ConcurrentAppendsBothLand) {
+  Table table = MakeTable();
+  auto txn1 = table.NewTransaction();
+  auto txn2 = table.NewTransaction();
+  ASSERT_TRUE(txn1->Append({MakeFile("/f1", "p", 1)}).ok());
+  ASSERT_TRUE(txn2->Append({MakeFile("/f2", "p", 1)}).ok());
+  ASSERT_TRUE(txn1->Commit().ok());
+  // txn2's base is stale; plain Commit validates the rebase (appends never
+  // conflict) and lands.
+  auto committed = txn2->Commit();
+  ASSERT_TRUE(committed.ok());
+  auto meta = store_.LoadTable("db.t");
+  EXPECT_EQ((*meta)->live_file_count(), 2);
+}
+
+// -------------------------------------------------------------- Rewrites
+
+TEST_F(TransactionTest, RewriteReplacesFiles) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/s1", "m=1995-01", 10),
+                           MakeFile("/s2", "m=1995-01", 20),
+                           MakeFile("/big", "m=1995-02", 900)})
+                  .ok());
+  Table table = MakeTable();
+  auto txn = table.NewTransaction();
+  ASSERT_TRUE(
+      txn->RewriteFiles({"/s1", "/s2"}, {MakeFile("/c1", "m=1995-01", 30)})
+          .ok());
+  auto committed = txn->Commit();
+  ASSERT_TRUE(committed.ok());
+  auto meta = store_.LoadTable("db.t");
+  EXPECT_EQ((*meta)->live_file_count(), 2);
+  EXPECT_TRUE((*meta)->IsLive("/c1"));
+  EXPECT_TRUE((*meta)->IsLive("/big"));
+  EXPECT_FALSE((*meta)->IsLive("/s1"));
+  const Snapshot* snap = (*meta)->current_snapshot();
+  EXPECT_EQ(snap->operation, SnapshotOperation::kReplace);
+  EXPECT_EQ(snap->deleted_files, 2);
+  ASSERT_NE(snap->removed_paths, nullptr);
+  EXPECT_EQ(snap->removed_paths->size(), 2u);
+}
+
+TEST_F(TransactionTest, RewriteOfMissingFileConflicts) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/s1", "p", 10)}).ok());
+  Table table = MakeTable();
+  auto txn = table.NewTransaction();
+  ASSERT_TRUE(txn->RewriteFiles({"/ghost"}, {MakeFile("/c", "p", 5)}).ok());
+  EXPECT_TRUE(txn->Commit().status().IsCommitConflict());
+}
+
+TEST_F(TransactionTest, RewriteSurvivesConcurrentAppend) {
+  // Fast-appends only add files; a rewrite rebases over them cleanly in
+  // BOTH validation modes (matching Iceberg's behaviour).
+  for (ValidationMode mode : {ValidationMode::kStrictTableLevel,
+                              ValidationMode::kPartitionAware}) {
+    SetUp();  // fresh table per mode
+    ASSERT_TRUE(AppendFiles({MakeFile("/s1", "m=1995-01", 10),
+                             MakeFile("/s2", "m=1995-01", 20)})
+                    .ok());
+    Table table = MakeTable();
+    auto rewrite = table.NewTransaction(mode);
+    ASSERT_TRUE(rewrite
+                    ->RewriteFiles({"/s1", "/s2"},
+                                   {MakeFile("/c", "m=1995-01", 30)})
+                    .ok());
+    ASSERT_TRUE(AppendFiles({MakeFile("/new", "m=1995-01", 5)}).ok());
+    auto committed = rewrite->CommitWithRetries(3);
+    ASSERT_TRUE(committed.ok()) << committed.status();
+    auto meta = store_.LoadTable("db.t");
+    EXPECT_TRUE((*meta)->IsLive("/c"));
+    EXPECT_TRUE((*meta)->IsLive("/new"));
+    EXPECT_FALSE((*meta)->IsLive("/s1"));
+  }
+}
+
+TEST_F(TransactionTest, StrictRewriteConflictsWithDisjointConcurrentRewrite) {
+  // The paper's §4.4 observation: concurrent REWRITES of the same table
+  // conflict under Iceberg v1.2.0 even for DISTINCT partitions.
+  ASSERT_TRUE(AppendFiles({MakeFile("/a1", "m=1995-01", 10),
+                           MakeFile("/a2", "m=1995-01", 20),
+                           MakeFile("/b1", "m=1997-09", 10),
+                           MakeFile("/b2", "m=1997-09", 20)})
+                  .ok());
+  Table table = MakeTable();
+  auto rewrite_a = table.NewTransaction(ValidationMode::kStrictTableLevel);
+  ASSERT_TRUE(rewrite_a
+                  ->RewriteFiles({"/a1", "/a2"},
+                                 {MakeFile("/ca", "m=1995-01", 30)})
+                  .ok());
+  // A concurrent rewrite of the OTHER partition lands first.
+  {
+    auto rewrite_b = table.NewTransaction(ValidationMode::kStrictTableLevel);
+    ASSERT_TRUE(rewrite_b
+                    ->RewriteFiles({"/b1", "/b2"},
+                                   {MakeFile("/cb", "m=1997-09", 30)})
+                    .ok());
+    ASSERT_TRUE(rewrite_b->Commit().ok());
+  }
+  EXPECT_TRUE(rewrite_a->CommitWithRetries(3).status().IsCommitConflict());
+}
+
+TEST_F(TransactionTest, PartitionAwareRewriteSurvivesDisjointRewrite) {
+  // The §8 "conflict filtering" fix: disjoint-partition rewrites coexist.
+  ASSERT_TRUE(AppendFiles({MakeFile("/a1", "m=1995-01", 10),
+                           MakeFile("/a2", "m=1995-01", 20),
+                           MakeFile("/b1", "m=1997-09", 10),
+                           MakeFile("/b2", "m=1997-09", 20)})
+                  .ok());
+  Table table = MakeTable();
+  auto rewrite_a = table.NewTransaction(ValidationMode::kPartitionAware);
+  ASSERT_TRUE(rewrite_a
+                  ->RewriteFiles({"/a1", "/a2"},
+                                 {MakeFile("/ca", "m=1995-01", 30)})
+                  .ok());
+  {
+    auto rewrite_b = table.NewTransaction(ValidationMode::kPartitionAware);
+    ASSERT_TRUE(rewrite_b
+                    ->RewriteFiles({"/b1", "/b2"},
+                                   {MakeFile("/cb", "m=1997-09", 30)})
+                    .ok());
+    ASSERT_TRUE(rewrite_b->Commit().ok());
+  }
+  auto committed = rewrite_a->CommitWithRetries(3);
+  ASSERT_TRUE(committed.ok()) << committed.status();
+  auto meta = store_.LoadTable("db.t");
+  EXPECT_TRUE((*meta)->IsLive("/ca"));
+  EXPECT_TRUE((*meta)->IsLive("/cb"));
+}
+
+TEST_F(TransactionTest, PartitionAwareRewriteConflictsOnSamePartitionRewrite) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/s1", "m=1995-01", 10),
+                           MakeFile("/s2", "m=1995-01", 20),
+                           MakeFile("/s3", "m=1995-01", 25)})
+                  .ok());
+  Table table = MakeTable();
+  auto rewrite = table.NewTransaction(ValidationMode::kPartitionAware);
+  ASSERT_TRUE(rewrite
+                  ->RewriteFiles({"/s1", "/s2"},
+                                 {MakeFile("/c", "m=1995-01", 30)})
+                  .ok());
+  // A concurrent rewrite of a DIFFERENT file in the SAME partition.
+  {
+    auto other = table.NewTransaction(ValidationMode::kPartitionAware);
+    ASSERT_TRUE(
+        other->RewriteFiles({"/s3"}, {MakeFile("/c3", "m=1995-01", 25)}).ok());
+    ASSERT_TRUE(other->Commit().ok());
+  }
+  EXPECT_TRUE(rewrite->CommitWithRetries(3).status().IsCommitConflict());
+}
+
+TEST_F(TransactionTest, RewriteConflictsWhenOverwriteRemovesInput) {
+  // A concurrent user overwrite that replaces one of the rewrite's input
+  // files aborts it in both modes — Table 1's cluster-side conflicts.
+  ASSERT_TRUE(AppendFiles({MakeFile("/s1", "m=1995-01", 10),
+                           MakeFile("/s2", "m=1995-01", 20)})
+                  .ok());
+  Table table = MakeTable();
+  auto rewrite = table.NewTransaction(ValidationMode::kStrictTableLevel);
+  ASSERT_TRUE(rewrite
+                  ->RewriteFiles({"/s1", "/s2"},
+                                 {MakeFile("/c", "m=1995-01", 30)})
+                  .ok());
+  {
+    auto user = table.NewTransaction();
+    ASSERT_TRUE(user->Overwrite({"/s1"}, {MakeFile("/u", "m=1995-01", 9)})
+                    .ok());
+    ASSERT_TRUE(user->Commit().ok());
+  }
+  EXPECT_TRUE(rewrite->CommitWithRetries(3).status().IsCommitConflict());
+}
+
+TEST_F(TransactionTest, PartitionAwareRewriteConflictsWhenInputRemoved) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/s1", "m=1995-01", 10),
+                           MakeFile("/s2", "m=1995-01", 20)})
+                  .ok());
+  Table table = MakeTable();
+  auto rewrite = table.NewTransaction(ValidationMode::kPartitionAware);
+  ASSERT_TRUE(
+      rewrite->RewriteFiles({"/s1"}, {MakeFile("/c", "m=1995-01", 9)}).ok());
+  // A concurrent delete removes the rewrite's input.
+  {
+    auto del = table.NewTransaction();
+    ASSERT_TRUE(del->DeleteFiles({"/s1"}).ok());
+    ASSERT_TRUE(del->Commit().ok());
+  }
+  EXPECT_TRUE(rewrite->CommitWithRetries(3).status().IsCommitConflict());
+}
+
+// ---------------------------------------------------- Overwrites/deletes
+
+TEST_F(TransactionTest, OverwriteReplacesAndAdds) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "p", 10)}).ok());
+  Table table = MakeTable();
+  auto txn = table.NewTransaction();
+  ASSERT_TRUE(txn->Overwrite({"/a"}, {MakeFile("/b", "p", 15)}).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  auto meta = store_.LoadTable("db.t");
+  EXPECT_FALSE((*meta)->IsLive("/a"));
+  EXPECT_TRUE((*meta)->IsLive("/b"));
+  EXPECT_EQ((*meta)->current_snapshot()->operation,
+            SnapshotOperation::kOverwrite);
+}
+
+TEST_F(TransactionTest, OverwriteConflictsWhenFileCompactedAway) {
+  // This is the client-side conflict users see when compaction races
+  // their write (Table 1).
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "p", 10),
+                           MakeFile("/a2", "p", 12)})
+                  .ok());
+  Table table = MakeTable();
+  auto user_write = table.NewTransaction();
+  ASSERT_TRUE(user_write->Overwrite({"/a"}, {MakeFile("/b", "p", 15)}).ok());
+  // Compaction rewrites /a before the user commits.
+  {
+    auto compact = table.NewTransaction();
+    ASSERT_TRUE(
+        compact->RewriteFiles({"/a", "/a2"}, {MakeFile("/c", "p", 22)}).ok());
+    ASSERT_TRUE(compact->Commit().ok());
+  }
+  EXPECT_TRUE(user_write->CommitWithRetries(3).status().IsCommitConflict());
+}
+
+TEST_F(TransactionTest, DeleteRemovesFiles) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "p", 10),
+                           MakeFile("/b", "p", 20)})
+                  .ok());
+  Table table = MakeTable();
+  auto txn = table.NewTransaction();
+  ASSERT_TRUE(txn->DeleteFiles({"/a"}).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  auto meta = store_.LoadTable("db.t");
+  EXPECT_EQ((*meta)->live_file_count(), 1);
+  EXPECT_EQ((*meta)->current_snapshot()->operation,
+            SnapshotOperation::kDelete);
+}
+
+// ------------------------------------------------------------- Metadata
+
+TEST_F(TransactionTest, VersionAdvancesPerCommit) {
+  auto v1 = store_.LoadTable("db.t");
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "p", 1)}).ok());
+  auto v2 = store_.LoadTable("db.t");
+  EXPECT_EQ((*v2)->version(), (*v1)->version() + 1);
+}
+
+TEST_F(TransactionTest, LiveFilesByPartition) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "m=1995-01", 1),
+                           MakeFile("/b", "m=1995-02", 2),
+                           MakeFile("/c", "m=1995-01", 3)})
+                  .ok());
+  auto meta = store_.LoadTable("db.t");
+  EXPECT_EQ((*meta)->LiveFiles(std::string("m=1995-01")).size(), 2u);
+  EXPECT_EQ((*meta)->LiveFiles(std::string("m=1999-12")).size(), 0u);
+  EXPECT_EQ((*meta)->LivePartitions().size(), 2u);
+}
+
+TEST_F(TransactionTest, SnapshotsAfterReturnsSuffix) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "p", 1)}).ok());
+  auto mid = store_.LoadTable("db.t");
+  const int64_t mid_snap = (*mid)->current_snapshot_id();
+  ASSERT_TRUE(AppendFiles({MakeFile("/b", "p", 1)}).ok());
+  ASSERT_TRUE(AppendFiles({MakeFile("/c", "p", 1)}).ok());
+  auto meta = store_.LoadTable("db.t");
+  EXPECT_EQ((*meta)->SnapshotsAfter(mid_snap).size(), 2u);
+  EXPECT_EQ((*meta)->SnapshotsAfter(0).size(), 3u);
+}
+
+TEST_F(TransactionTest, ManifestMergeBoundsManifestCount) {
+  // Lower the merge threshold via table property.
+  {
+    auto meta = store_.LoadTable("db.t");
+    TableMetadata::Builder builder(**meta);
+    builder.SetProperty(kPropMaxManifests, "5");
+    auto next = builder.Build();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(store_.CommitTable("db.t", (*meta)->version(), *next).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        AppendFiles({MakeFile("/f" + std::to_string(i), "p", 1)}).ok());
+  }
+  auto meta = store_.LoadTable("db.t");
+  EXPECT_LE((*meta)->current_snapshot()->manifests.size(), 5u);
+  EXPECT_EQ((*meta)->live_file_count(), 20);
+}
+
+// ---------------------------------------------------------------- Expiry
+
+TEST_F(TransactionTest, ExpireSnapshotsDropsOldAndFindsOrphans) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/s1", "p", 1),
+                           MakeFile("/s2", "p", 2)})
+                  .ok());
+  clock_.AdvanceTo(kHour);
+  // Compaction replaces s1+s2 with c1.
+  {
+    Table table = MakeTable();
+    auto txn = table.NewTransaction();
+    ASSERT_TRUE(txn->RewriteFiles({"/s1", "/s2"}, {MakeFile("/c1", "p", 3)})
+                    .ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  clock_.AdvanceTo(10 * kHour);
+  auto expired = ExpireSnapshots(&store_, "db.t", &clock_,
+                                 /*older_than=*/5 * kHour, /*keep_last=*/1);
+  ASSERT_TRUE(expired.ok()) << expired.status();
+  EXPECT_EQ(expired->expired_snapshots, 1);
+  // s1/s2 are only referenced by the expired append snapshot.
+  EXPECT_EQ(expired->orphaned_paths.size(), 2u);
+  auto meta = store_.LoadTable("db.t");
+  EXPECT_EQ((*meta)->snapshots().size(), 1u);
+  EXPECT_TRUE((*meta)->IsLive("/c1"));
+}
+
+TEST_F(TransactionTest, ExpireKeepsCurrentSnapshot) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "p", 1)}).ok());
+  clock_.AdvanceTo(100 * kHour);
+  auto expired = ExpireSnapshots(&store_, "db.t", &clock_,
+                                 /*older_than=*/50 * kHour);
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(expired->expired_snapshots, 0);  // current is always retained
+  auto meta = store_.LoadTable("db.t");
+  EXPECT_TRUE((*meta)->IsLive("/a"));
+}
+
+TEST_F(TransactionTest, ExpireNoSnapshotsIsNoop) {
+  auto expired = ExpireSnapshots(&store_, "db.t", &clock_, 0);
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(expired->expired_snapshots, 0);
+}
+
+TEST_F(TransactionTest, ExpireSharedFilesNotOrphaned) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/keep", "p", 1)}).ok());
+  clock_.AdvanceTo(kHour);
+  ASSERT_TRUE(AppendFiles({MakeFile("/fresh", "p", 2)}).ok());
+  clock_.AdvanceTo(10 * kHour);
+  auto expired = ExpireSnapshots(&store_, "db.t", &clock_, 5 * kHour);
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(expired->expired_snapshots, 1);
+  // /keep is still live in the retained snapshot: not an orphan.
+  EXPECT_TRUE(expired->orphaned_paths.empty());
+}
+
+// --------------------------------------------------------- Table / scans
+
+TEST_F(TransactionTest, PlanScanWholeTableAndPartition) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "m=1995-01", 100),
+                           MakeFile("/b", "m=1995-02", 200)})
+                  .ok());
+  Table table = MakeTable();
+  auto full = table.PlanScan();
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->files.size(), 2u);
+  EXPECT_EQ(full->total_bytes, 300);
+  auto pruned = table.PlanScan(std::string("m=1995-01"));
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->files.size(), 1u);
+  EXPECT_EQ(pruned->total_bytes, 100);
+}
+
+TEST_F(TransactionTest, PlanScanEmptyTable) {
+  Table table = MakeTable();
+  auto plan = table.PlanScan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->files.empty());
+  EXPECT_EQ(plan->snapshot_id, 0);
+}
+
+// -------------------------------------------------------- MetadataTables
+
+TEST_F(TransactionTest, PartitionsRowsAggregate) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "m=1995-01", 100),
+                           MakeFile("/b", "m=1995-01", 300),
+                           MakeFile("/c", "m=1995-02", 50)})
+                  .ok());
+  auto meta = store_.LoadTable("db.t");
+  MetadataTables tables(*meta);
+  auto rows = tables.Partitions();
+  ASSERT_EQ(rows.size(), 2u);
+  const PartitionRow& jan = rows[0].partition == "m=1995-01" ? rows[0]
+                                                             : rows[1];
+  EXPECT_EQ(jan.file_count, 2);
+  EXPECT_EQ(jan.total_bytes, 400);
+  EXPECT_EQ(jan.smallest_file_bytes, 100);
+  EXPECT_EQ(jan.largest_file_bytes, 300);
+  EXPECT_DOUBLE_EQ(jan.avg_file_bytes(), 200.0);
+}
+
+TEST_F(TransactionTest, SnapshotsAndManifestsRows) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "p", 100)}).ok());
+  ASSERT_TRUE(AppendFiles({MakeFile("/b", "p", 100)}).ok());
+  auto meta = store_.LoadTable("db.t");
+  MetadataTables tables(*meta);
+  auto snaps = tables.Snapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].operation, "append");
+  EXPECT_EQ(snaps[1].parent_snapshot_id, snaps[0].snapshot_id);
+  auto manifests = tables.Manifests();
+  EXPECT_EQ(manifests.size(), 2u);
+}
+
+TEST_F(TransactionTest, FilesAddedAfterSupportsSnapshotScope) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/old", "p", 1)}).ok());
+  auto mid = store_.LoadTable("db.t");
+  const int64_t mid_snap = (*mid)->current_snapshot_id();
+  ASSERT_TRUE(AppendFiles({MakeFile("/new", "p", 2)}).ok());
+  MetadataTables tables(*store_.LoadTable("db.t"));
+  auto fresh = tables.FilesAddedAfter(mid_snap);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].path, "/new");
+}
+
+// ----------------------------------------------------- Metadata builder
+
+TEST(TableMetadataBuilderTest, ValidatesNameAndLocation) {
+  Schema schema(0, {{1, "a", FieldType::kInt64, true}});
+  {
+    TableMetadata::Builder b("", "/loc", schema,
+                             PartitionSpec::Unpartitioned());
+    EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+  }
+  {
+    TableMetadata::Builder b("t", "relative", schema,
+                             PartitionSpec::Unpartitioned());
+    EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+  }
+}
+
+TEST(TableMetadataBuilderTest, ValidatesSpecAgainstSchema) {
+  Schema schema(0, {{1, "a", FieldType::kInt64, true}});
+  PartitionSpec bad(1, {{1, Transform::kMonth, "m"}});
+  TableMetadata::Builder b("t", "/loc", schema, bad);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(TableMetadataBuilderTest, TargetFileSizeProperty) {
+  Schema schema(0, {{1, "a", FieldType::kInt64, true}});
+  TableMetadata::Builder b("t", "/loc", schema,
+                           PartitionSpec::Unpartitioned());
+  b.SetProperty(kPropTargetFileSizeBytes, std::to_string(128 * kMiB));
+  auto meta = b.Build();
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ((*meta)->target_file_size_bytes(), 128 * kMiB);
+
+  TableMetadata::Builder d("t", "/loc", schema,
+                           PartitionSpec::Unpartitioned());
+  EXPECT_EQ((*d.Build())->target_file_size_bytes(), 512 * kMiB);
+}
+
+}  // namespace
+}  // namespace autocomp::lst

@@ -1,0 +1,85 @@
+// Tests for the LST-Bench-style workload runner (§6.3 harness).
+
+#include <gtest/gtest.h>
+
+#include "sim/lstbench.h"
+
+namespace autocomp::sim {
+namespace {
+
+LstBenchConfig SmallConfig(LstBenchWorkload workload) {
+  LstBenchConfig config;
+  config.workload = workload;
+  config.sessions = 2;
+  config.queries_per_pass = 10;
+  config.total_logical_bytes = 6 * kGiB;
+  return config;
+}
+
+TEST(LstBenchTest, WorkloadNames) {
+  EXPECT_STREQ(LstBenchWorkloadName(LstBenchWorkload::kWp1), "tpcds-wp1");
+  EXPECT_STREQ(LstBenchWorkloadName(LstBenchWorkload::kWp3), "tpcds-wp3");
+  EXPECT_STREQ(LstBenchWorkloadName(LstBenchWorkload::kTpchLike), "tpch");
+}
+
+TEST(LstBenchTest, DefaultRunsAllWorkloads) {
+  for (const LstBenchWorkload workload :
+       {LstBenchWorkload::kWp1, LstBenchWorkload::kWp3,
+        LstBenchWorkload::kTpchLike}) {
+    LstBenchRunner runner(SmallConfig(workload));
+    auto duration = runner.RunDefault();
+    ASSERT_TRUE(duration.ok()) << duration.status();
+    EXPECT_GT(*duration, 0) << LstBenchWorkloadName(workload);
+  }
+}
+
+TEST(LstBenchTest, DeterministicForConfig) {
+  LstBenchRunner runner(SmallConfig(LstBenchWorkload::kWp1));
+  auto a = runner.Run("file_count_reduction", 500);
+  auto b = runner.Run("file_count_reduction", 500);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(*a, *b);
+}
+
+TEST(LstBenchTest, UnsupportedTraitRejected) {
+  LstBenchRunner runner(SmallConfig(LstBenchWorkload::kWp1));
+  EXPECT_TRUE(runner.Run("no_such_trait", 1).status().IsInvalidArgument());
+}
+
+TEST(LstBenchTest, Wp3BenefitsFromCompaction) {
+  // Decoupled clusters: triggering compaction never contends with reads,
+  // so a permissive threshold strictly helps (the paper's (d) shape).
+  // Needs enough scale for fragmentation to show up in read times.
+  LstBenchConfig config = SmallConfig(LstBenchWorkload::kWp3);
+  config.sessions = 3;
+  config.queries_per_pass = 25;
+  config.total_logical_bytes = 16 * kGiB;
+  config.modify_fraction = 0.04;
+  LstBenchRunner runner(config);
+  auto without = runner.RunDefault();
+  auto with = runner.Run("file_count_reduction", 50);
+  ASSERT_TRUE(without.ok() && with.ok());
+  EXPECT_LT(*with, *without);
+}
+
+TEST(LstBenchTest, TpchAggressiveTriggerDoesNotBeatDefault) {
+  // TPC-H: whole-table rewrites of unpartitioned tables on the shared
+  // cluster; an aggressive trigger cannot beat the default (paper (b)).
+  LstBenchRunner runner(SmallConfig(LstBenchWorkload::kTpchLike));
+  auto without = runner.RunDefault();
+  auto aggressive = runner.Run("file_count_reduction", 10);
+  ASSERT_TRUE(without.ok() && aggressive.ok());
+  EXPECT_GE(*aggressive, *without * 0.999);
+}
+
+TEST(LstBenchTest, ThresholdExtremesMatchDefault) {
+  // A threshold no candidate can reach behaves like the default.
+  LstBenchRunner runner(SmallConfig(LstBenchWorkload::kWp1));
+  auto without = runner.RunDefault();
+  auto unreachable = runner.Run("file_count_reduction", 1e15);
+  ASSERT_TRUE(without.ok() && unreachable.ok());
+  EXPECT_DOUBLE_EQ(*without, *unreachable);
+}
+
+}  // namespace
+}  // namespace autocomp::sim

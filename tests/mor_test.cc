@@ -1,0 +1,182 @@
+// Tests for merge-on-read support: delete (delta) file accumulation, the
+// scan merge penalty, stats/trait visibility, and compaction fold-in.
+
+#include <gtest/gtest.h>
+
+#include "core/observe.h"
+#include "core/traits.h"
+#include "sim/environment.h"
+#include "workload/tpch.h"
+
+namespace autocomp {
+namespace {
+
+class MorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(env_.catalog().CreateDatabase("db").ok());
+    auto table = env_.catalog().CreateTable(
+        "db", "t", lst::Schema(0, {{1, "d", lst::FieldType::kDate, true}}),
+        lst::PartitionSpec(1, {{1, lst::Transform::kMonth, "m"}}));
+    ASSERT_TRUE(table.ok());
+    // Base data, tuned so only the MoR deltas are "small": 3GiB logical
+    // per partition packs into ~512MiB files, above the 384MiB rewrite
+    // cutoff.
+    engine::WriteSpec base;
+    base.table = "db.t";
+    base.logical_bytes = 6 * kGiB;
+    base.partitions = {"m=2024-01", "m=2024-02"};
+    base.profile = engine::TunedPipelineProfile();
+    base.profile.size_jitter_sigma = 0;
+    ASSERT_TRUE(env_.query_engine().ExecuteWrite(base, 0).ok());
+  }
+
+  engine::WriteResult MorDelete(int64_t logical, const std::string& part) {
+    engine::WriteSpec spec;
+    spec.table = "db.t";
+    spec.kind = engine::WriteKind::kMorDelete;
+    spec.logical_bytes = logical;
+    spec.partitions = {part};
+    auto result = env_.query_engine().ExecuteWrite(spec, env_.clock().Now());
+    EXPECT_TRUE(result.ok()) << result.status();
+    env_.clock().Advance(kMinute);
+    return result.ok() ? *result : engine::WriteResult{};
+  }
+
+  int64_t CountDeleteFiles() {
+    int64_t n = 0;
+    for (const lst::DataFile& f :
+         (*env_.catalog().LoadTable("db.t"))->LiveFiles()) {
+      if (f.content == lst::FileContent::kPositionDeletes) ++n;
+    }
+    return n;
+  }
+
+  sim::SimEnvironment env_;
+};
+
+TEST_F(MorTest, MorDeletesAppendDeltaFiles) {
+  const int64_t live_before =
+      (*env_.catalog().LoadTable("db.t"))->live_file_count();
+  auto result = MorDelete(4 * kMiB, "m=2024-01");
+  EXPECT_GT(result.files_written, 0);
+  EXPECT_EQ(result.files_replaced, 0);  // MoR never rewrites data files
+  EXPECT_EQ(CountDeleteFiles(), result.files_written);
+  EXPECT_EQ((*env_.catalog().LoadTable("db.t"))->live_file_count(),
+            live_before + result.files_written);
+}
+
+TEST_F(MorTest, DeltaFilesAccumulateAndSlowScans) {
+  auto clean = env_.query_engine().ExecuteRead("db.t", std::nullopt, kMinute);
+  ASSERT_TRUE(clean.ok());
+  for (int i = 0; i < 10; ++i) MorDelete(4 * kMiB, "m=2024-01");
+  EXPECT_GE(CountDeleteFiles(), 10);
+  auto laden =
+      env_.query_engine().ExecuteRead("db.t", std::nullopt, env_.clock().Now());
+  ASSERT_TRUE(laden.ok());
+  // Every delta adds an open + a merge penalty.
+  EXPECT_GT(laden->total_seconds, clean->total_seconds);
+  EXPECT_GT(laden->files_scanned, clean->files_scanned);
+}
+
+TEST_F(MorTest, StatsAndTraitSeeDeleteFiles) {
+  for (int i = 0; i < 3; ++i) MorDelete(4 * kMiB, "m=2024-01");
+  core::StatsCollector collector(&env_.catalog(), &env_.control_plane(),
+                                 &env_.clock());
+  core::Candidate candidate;
+  candidate.table = "db.t";
+  auto stats = collector.Collect(candidate);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->delete_file_count, CountDeleteFiles());
+  core::ObservedCandidate observed{candidate, std::move(stats).value()};
+  EXPECT_DOUBLE_EQ(core::DeleteFileCountTrait().Compute(observed),
+                   static_cast<double>(CountDeleteFiles()));
+}
+
+TEST_F(MorTest, CompactionFoldsDeletesAway) {
+  const int64_t records_before =
+      (*env_.catalog().LoadTable("db.t"))->LiveFiles()[0].record_count;
+  (void)records_before;
+  int64_t deleted_records = 0;
+  for (int i = 0; i < 5; ++i) {
+    deleted_records += MorDelete(8 * kMiB, "m=2024-01").files_written > 0
+                           ? 8 * kMiB / 256  // records per logical write
+                           : 0;
+  }
+  ASSERT_GT(CountDeleteFiles(), 0);
+
+  engine::CompactionRequest request;
+  request.table = "db.t";
+  request.partition = "m=2024-01";
+  auto result = env_.compaction_runner().Run(request, env_.clock().Now());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->committed) << result->status;
+  // All delta files in the partition are gone.
+  EXPECT_EQ(CountDeleteFiles(), 0);
+  // The folded data lost the masked rows: record count dropped.
+  int64_t records_after = 0;
+  int64_t data_files = 0;
+  for (const lst::DataFile& f :
+       (*env_.catalog().LoadTable("db.t"))
+           ->LiveFiles(std::string("m=2024-01"))) {
+    EXPECT_EQ(f.content, lst::FileContent::kData);
+    records_after += f.record_count;
+    ++data_files;
+  }
+  EXPECT_GT(data_files, 0);
+  EXPECT_GT(records_after, 0);
+}
+
+TEST_F(MorTest, FoldInRewritesLargeDataFilesToo) {
+  // Data files above the small-file cutoff still get rewritten when their
+  // partition carries delete files (Iceberg drops a delete file only when
+  // every data file it may reference is rewritten).
+  MorDelete(4 * kMiB, "m=2024-02");
+  const auto before =
+      (*env_.catalog().LoadTable("db.t"))->LiveFiles(std::string("m=2024-02"));
+  bool has_large = false;
+  for (const lst::DataFile& f : before) {
+    if (f.content == lst::FileContent::kData &&
+        f.file_size_bytes >= 384 * kMiB) {
+      has_large = true;
+    }
+  }
+  engine::CompactionRequest request;
+  request.table = "db.t";
+  request.partition = "m=2024-02";
+  auto result = env_.compaction_runner().Run(request, env_.clock().Now());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->committed) << result->status;
+  EXPECT_EQ(CountDeleteFiles(), 0);
+  // If the partition had a large data file, it must have been rewritten.
+  if (has_large) {
+    for (const lst::DataFile& f :
+         (*env_.catalog().LoadTable("db.t"))
+             ->LiveFiles(std::string("m=2024-02"))) {
+      EXPECT_NE(f.path.find("compact-"), std::string::npos) << f.path;
+    }
+  }
+}
+
+TEST_F(MorTest, PartitionWithoutDeletesKeepsLargeFiles) {
+  // Control: partitions with no delta files keep their well-sized files.
+  MorDelete(4 * kMiB, "m=2024-01");
+  engine::CompactionRequest request;
+  request.table = "db.t";  // table scope
+  auto result = env_.compaction_runner().Run(request, env_.clock().Now());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->committed);
+  bool kept_original = false;
+  for (const lst::DataFile& f :
+       (*env_.catalog().LoadTable("db.t"))
+           ->LiveFiles(std::string("m=2024-02"))) {
+    if (f.path.find("part-") != std::string::npos &&
+        f.file_size_bytes >= 384 * kMiB) {
+      kept_original = true;
+    }
+  }
+  EXPECT_TRUE(kept_original);
+}
+
+}  // namespace
+}  // namespace autocomp

@@ -1,0 +1,132 @@
+// Tests for the §8 Pareto-frontier extension: dominance, frontier
+// extraction, the frontier selector, and the weight sweep.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "core/pareto.h"
+
+namespace autocomp::core {
+namespace {
+
+TraitedCandidate Make(const std::string& id, double benefit, double cost) {
+  TraitedCandidate tc;
+  tc.observed.candidate.table = id;
+  tc.traits["file_count_reduction"] = benefit;
+  tc.traits["compute_cost_gbhr"] = cost;
+  return tc;
+}
+
+TEST(DominanceTest, Definition) {
+  ParetoPoint a{0, 10, 5, false};
+  ParetoPoint b{1, 8, 6, false};
+  ParetoPoint c{2, 10, 5, false};
+  EXPECT_TRUE(Dominates(a, b));
+  EXPECT_FALSE(Dominates(b, a));
+  EXPECT_FALSE(Dominates(a, c));  // equal points do not dominate
+  ParetoPoint d{3, 12, 5, false};
+  EXPECT_TRUE(Dominates(d, a));  // better on one axis, equal other
+}
+
+TEST(FrontierTest, SimpleFrontier) {
+  // (benefit, cost): A(10,1) B(20,5) C(15,6) D(30,10) — C is dominated
+  // by B (less benefit, more cost); A, B, D are on the frontier.
+  std::vector<TraitedCandidate> pool = {
+      Make("A", 10, 1), Make("B", 20, 5), Make("C", 15, 6),
+      Make("D", 30, 10)};
+  const auto points = ComputeParetoFrontier(pool, "file_count_reduction",
+                                            "compute_cost_gbhr");
+  ASSERT_EQ(points.size(), 4u);
+  std::set<std::string> frontier;
+  for (const ParetoPoint& p : points) {
+    if (p.on_frontier) {
+      frontier.insert(pool[p.index].observed.candidate.table);
+    }
+  }
+  EXPECT_EQ(frontier, (std::set<std::string>{"A", "B", "D"}));
+}
+
+TEST(FrontierTest, AllIdenticalAllOnFrontier) {
+  std::vector<TraitedCandidate> pool = {Make("A", 5, 5), Make("B", 5, 5)};
+  const auto points = ComputeParetoFrontier(pool, "file_count_reduction",
+                                            "compute_cost_gbhr");
+  for (const ParetoPoint& p : points) EXPECT_TRUE(p.on_frontier);
+}
+
+TEST(FrontierTest, EmptyPool) {
+  EXPECT_TRUE(ComputeParetoFrontier({}, "a", "b").empty());
+}
+
+class FrontierPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FrontierPropertyTest, FrontierIsExactlyTheNonDominatedSet) {
+  Rng rng(GetParam());
+  std::vector<TraitedCandidate> pool;
+  const int n = static_cast<int>(rng.UniformInt(1, 120));
+  for (int i = 0; i < n; ++i) {
+    pool.push_back(Make("t" + std::to_string(i),
+                        std::floor(rng.Uniform(0, 50)),
+                        std::floor(rng.Uniform(0, 50))));
+  }
+  const auto points = ComputeParetoFrontier(pool, "file_count_reduction",
+                                            "compute_cost_gbhr");
+  // Brute-force dominance check against the sweep result.
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (i != j && Dominates(points[j], points[i])) dominated = true;
+    }
+    EXPECT_EQ(points[i].on_frontier, !dominated) << "point " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrontierPropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{15}));
+
+TEST(ParetoSelectorTest, KeepsOnlyFrontierSortedByBenefit) {
+  std::vector<TraitedCandidate> pool = {
+      Make("A", 10, 1), Make("B", 20, 5), Make("C", 15, 6),
+      Make("D", 30, 10)};
+  const auto ranked = MoopRanker::PaperDefault().Rank(pool);
+  ParetoFrontierSelector selector("file_count_reduction",
+                                  "compute_cost_gbhr");
+  const auto selected = selector.Select(ranked);
+  ASSERT_EQ(selected.size(), 3u);
+  EXPECT_EQ(selected[0].candidate().table, "D");
+  EXPECT_EQ(selected[1].candidate().table, "B");
+  EXPECT_EQ(selected[2].candidate().table, "A");
+}
+
+TEST(WeightSweepTest, EveryWinnerIsOnTheFrontier) {
+  Rng rng(9);
+  std::vector<TraitedCandidate> pool;
+  for (int i = 0; i < 60; ++i) {
+    pool.push_back(Make("t" + std::to_string(i), rng.Uniform(0, 100),
+                        rng.Uniform(0, 100)));
+  }
+  const auto rows = SweepWeights(pool, "file_count_reduction",
+                                 "compute_cost_gbhr", 11);
+  ASSERT_EQ(rows.size(), 11u);
+  for (const WeightSweepRow& row : rows) {
+    EXPECT_TRUE(row.on_frontier)
+        << "w1=" << row.benefit_weight << " picked " << row.top_candidate_id;
+  }
+  // Extremes: w1=0 minimizes cost; w1=1 maximizes benefit.
+  double min_cost = 1e300, max_benefit = -1e300;
+  for (const auto& tc : pool) {
+    min_cost = std::min(min_cost, tc.traits.at("compute_cost_gbhr"));
+    max_benefit = std::max(max_benefit, tc.traits.at("file_count_reduction"));
+  }
+  EXPECT_DOUBLE_EQ(rows.front().cost, min_cost);
+  EXPECT_DOUBLE_EQ(rows.back().benefit, max_benefit);
+}
+
+TEST(WeightSweepTest, DegenerateInputs) {
+  EXPECT_TRUE(SweepWeights({}, "a", "b").empty());
+  EXPECT_TRUE(SweepWeights({Make("x", 1, 1)}, "a", "b", 1).empty());
+}
+
+}  // namespace
+}  // namespace autocomp::core

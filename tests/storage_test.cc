@@ -1,0 +1,271 @@
+// Unit tests for src/storage: NameNode namespace, quotas, RPC/timeout
+// model, and federated DistributedFileSystem routing.
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "storage/filesystem.h"
+#include "storage/namenode.h"
+
+namespace autocomp::storage {
+namespace {
+
+class NameNodeTest : public ::testing::Test {
+ protected:
+  SimulatedClock clock_{0};
+  NameNode nn_{&clock_};
+};
+
+TEST_F(NameNodeTest, CreateStatDelete) {
+  ASSERT_TRUE(nn_.CreateFile("/data/db/t/f1.parquet", 100, 10).ok());
+  EXPECT_TRUE(nn_.Exists("/data/db/t/f1.parquet"));
+  auto info = nn_.Stat("/data/db/t/f1.parquet");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size_bytes, 100);
+  EXPECT_EQ(info->record_count, 10);
+  ASSERT_TRUE(nn_.DeleteFile("/data/db/t/f1.parquet").ok());
+  EXPECT_FALSE(nn_.Exists("/data/db/t/f1.parquet"));
+}
+
+TEST_F(NameNodeTest, CreateRejectsDuplicatesAndBadPaths) {
+  ASSERT_TRUE(nn_.CreateFile("/a/b", 1, 1).ok());
+  EXPECT_TRUE(nn_.CreateFile("/a/b", 1, 1).IsAlreadyExists());
+  EXPECT_TRUE(nn_.CreateFile("relative/path", 1, 1).IsInvalidArgument());
+  EXPECT_TRUE(nn_.CreateFile("/a/neg", -5, 1).IsInvalidArgument());
+}
+
+TEST_F(NameNodeTest, DeleteMissingIsNotFound) {
+  EXPECT_TRUE(nn_.DeleteFile("/nope").IsNotFound());
+}
+
+TEST_F(NameNodeTest, ObjectCountsIncludeDirectories) {
+  ASSERT_TRUE(nn_.CreateFile("/data/db/t/f1", 1, 1).ok());
+  // Objects: /data, /data/db, /data/db/t, and the file = 4.
+  EXPECT_EQ(nn_.stats().total_objects, 4);
+  ASSERT_TRUE(nn_.CreateFile("/data/db/t/f2", 1, 1).ok());
+  // Only the new file adds an object.
+  EXPECT_EQ(nn_.stats().total_objects, 5);
+  EXPECT_EQ(nn_.stats().file_count, 2);
+}
+
+TEST_F(NameNodeTest, ListFilesByPrefix) {
+  ASSERT_TRUE(nn_.CreateFile("/data/db/t1/a", 1, 1).ok());
+  ASSERT_TRUE(nn_.CreateFile("/data/db/t1/b", 2, 1).ok());
+  ASSERT_TRUE(nn_.CreateFile("/data/db/t2/c", 3, 1).ok());
+  const auto t1 = nn_.ListFiles("/data/db/t1");
+  EXPECT_EQ(t1.size(), 2u);
+  const auto all = nn_.ListFiles("/data/db");
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_TRUE(nn_.ListFiles("/data/db/t3").empty());
+}
+
+TEST_F(NameNodeTest, ListDoesNotMatchSiblingPrefix) {
+  ASSERT_TRUE(nn_.CreateFile("/data/db/t1/a", 1, 1).ok());
+  ASSERT_TRUE(nn_.CreateFile("/data/db/t10/b", 1, 1).ok());
+  EXPECT_EQ(nn_.ListFiles("/data/db/t1").size(), 1u);
+}
+
+TEST_F(NameNodeTest, NamespaceQuotaEnforced) {
+  nn_.SetNamespaceQuota("/data/db", 3);
+  // First file: dir /data/db/t + the file = 2 objects under /data/db.
+  ASSERT_TRUE(nn_.CreateFile("/data/db/t/f1", 1, 1).ok());
+  // Second file adds 1 object -> total 3, at the limit.
+  ASSERT_TRUE(nn_.CreateFile("/data/db/t/f2", 1, 1).ok());
+  // Third file would exceed.
+  EXPECT_TRUE(nn_.CreateFile("/data/db/t/f3", 1, 1).IsResourceExhausted());
+  // Deleting frees quota.
+  ASSERT_TRUE(nn_.DeleteFile("/data/db/t/f1").ok());
+  EXPECT_TRUE(nn_.CreateFile("/data/db/t/f3", 1, 1).ok());
+}
+
+TEST_F(NameNodeTest, QuotaDoesNotApplyOutsideSubtree) {
+  nn_.SetNamespaceQuota("/data/db", 1);
+  EXPECT_TRUE(nn_.CreateFile("/other/f", 1, 1).ok());
+  EXPECT_TRUE(nn_.CreateFile("/other/g", 1, 1).ok());
+}
+
+TEST_F(NameNodeTest, QuotaStatusReportsUsage) {
+  nn_.SetNamespaceQuota("/data/db", 100);
+  ASSERT_TRUE(nn_.CreateFile("/data/db/t/f1", 1, 1).ok());
+  const QuotaStatus q = nn_.GetQuota("/data/db");
+  EXPECT_EQ(q.total_objects, 100);
+  EXPECT_EQ(q.used_objects, 2);  // dir t + file
+  EXPECT_NEAR(q.utilization(), 0.02, 1e-9);
+}
+
+TEST_F(NameNodeTest, ClearingQuotaRemovesLimit) {
+  nn_.SetNamespaceQuota("/data/db", 1);
+  nn_.SetNamespaceQuota("/data/db", 0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(nn_.CreateFile("/data/db/t/f" + std::to_string(i), 1, 1).ok());
+  }
+}
+
+TEST_F(NameNodeTest, OpenCountsCallsPerHour) {
+  ASSERT_TRUE(nn_.CreateFile("/a/f", 1, 1).ok());
+  ASSERT_TRUE(nn_.Open("/a/f").ok());
+  ASSERT_TRUE(nn_.Open("/a/f").ok());
+  EXPECT_EQ(nn_.stats().open_calls, 2);
+  EXPECT_EQ(nn_.OpenCallsInHour(0), 2);
+  clock_.AdvanceTo(kHour + 1);
+  ASSERT_TRUE(nn_.Open("/a/f").ok());
+  EXPECT_EQ(nn_.OpenCallsInHour(kHour), 1);
+  EXPECT_EQ(nn_.OpenCallsInHour(0), 2);
+}
+
+TEST_F(NameNodeTest, OpenMissingIsNotFound) {
+  EXPECT_TRUE(nn_.Open("/ghost").status().IsNotFound());
+}
+
+TEST(NameNodeTimeoutTest, NoTimeoutsBelowCapacity) {
+  SimulatedClock clock(0);
+  NameNodeOptions opts;
+  opts.rpc_capacity_per_hour = 1000;
+  NameNode nn(&clock, opts);
+  ASSERT_TRUE(nn.CreateFile("/a/f", 1, 1).ok());
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(nn.Open("/a/f").ok());
+  }
+  EXPECT_EQ(nn.stats().timeouts, 0);
+  EXPECT_DOUBLE_EQ(nn.CurrentTimeoutProbability(), 0.0);
+}
+
+TEST(NameNodeTimeoutTest, OverloadCausesTimeouts) {
+  SimulatedClock clock(0);
+  NameNodeOptions opts;
+  opts.rpc_capacity_per_hour = 100;
+  opts.max_timeout_probability = 0.5;
+  opts.overload_factor = 2.0;
+  NameNode nn(&clock, opts);
+  ASSERT_TRUE(nn.CreateFile("/a/f", 1, 1).ok());
+  int timeouts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!nn.Open("/a/f").ok()) ++timeouts;
+  }
+  EXPECT_GT(timeouts, 100);  // heavily overloaded
+  EXPECT_GT(nn.CurrentTimeoutProbability(), 0.0);
+  EXPECT_LE(nn.CurrentTimeoutProbability(), 0.5);
+}
+
+TEST(NameNodeTimeoutTest, TimeoutProbabilityCapped) {
+  SimulatedClock clock(0);
+  NameNodeOptions opts;
+  opts.rpc_capacity_per_hour = 10;
+  opts.max_timeout_probability = 0.3;
+  NameNode nn(&clock, opts);
+  ASSERT_TRUE(nn.CreateFile("/a/f", 1, 1).ok());
+  for (int i = 0; i < 1000; ++i) (void)nn.Open("/a/f");
+  EXPECT_DOUBLE_EQ(nn.CurrentTimeoutProbability(), 0.3);
+}
+
+TEST(NameNodeTimeoutTest, LoadResetsNextHour) {
+  SimulatedClock clock(0);
+  NameNodeOptions opts;
+  opts.rpc_capacity_per_hour = 10;
+  NameNode nn(&clock, opts);
+  ASSERT_TRUE(nn.CreateFile("/a/f", 1, 1).ok());
+  for (int i = 0; i < 100; ++i) (void)nn.Open("/a/f");
+  EXPECT_GT(nn.CurrentTimeoutProbability(), 0.0);
+  clock.AdvanceTo(kHour);
+  EXPECT_DOUBLE_EQ(nn.CurrentTimeoutProbability(), 0.0);
+}
+
+// -------------------------------------------------- DistributedFileSystem
+
+TEST(DfsTest, SingleShardBasicOps) {
+  SimulatedClock clock(0);
+  DistributedFileSystem dfs(&clock, 1);
+  ASSERT_TRUE(dfs.CreateFile("/data/db/t/f", 10, 1).ok());
+  EXPECT_TRUE(dfs.Exists("/data/db/t/f"));
+  EXPECT_EQ(dfs.Stat("/data/db/t/f")->size_bytes, 10);
+  EXPECT_EQ(dfs.ListFiles("/data/db").size(), 1u);
+  ASSERT_TRUE(dfs.DeleteFile("/data/db/t/f").ok());
+}
+
+TEST(DfsTest, MountRoutesToShard) {
+  SimulatedClock clock(0);
+  DistributedFileSystem dfs(&clock, 3);
+  ASSERT_TRUE(dfs.AddMount("/data/tenant1", 1).ok());
+  ASSERT_TRUE(dfs.CreateFile("/data/tenant1/t/f", 5, 1).ok());
+  EXPECT_EQ(dfs.shard(1).stats().file_count, 1);
+  EXPECT_EQ(dfs.shard(0).stats().file_count, 0);
+  EXPECT_EQ(dfs.shard(2).stats().file_count, 0);
+}
+
+TEST(DfsTest, LongestMountPrefixWins) {
+  SimulatedClock clock(0);
+  DistributedFileSystem dfs(&clock, 2);
+  ASSERT_TRUE(dfs.AddMount("/data", 0).ok());
+  ASSERT_TRUE(dfs.AddMount("/data/hot", 1).ok());
+  ASSERT_TRUE(dfs.CreateFile("/data/hot/f", 1, 1).ok());
+  ASSERT_TRUE(dfs.CreateFile("/data/cold/f", 1, 1).ok());
+  EXPECT_EQ(dfs.shard(1).stats().file_count, 1);
+  EXPECT_EQ(dfs.shard(0).stats().file_count, 1);
+}
+
+TEST(DfsTest, MountValidation) {
+  SimulatedClock clock(0);
+  DistributedFileSystem dfs(&clock, 2);
+  EXPECT_TRUE(dfs.AddMount("/ok", 5).IsInvalidArgument());
+  EXPECT_TRUE(dfs.AddMount("bad", 0).IsInvalidArgument());
+}
+
+TEST(DfsTest, AggregateStatsAcrossShards) {
+  SimulatedClock clock(0);
+  DistributedFileSystem dfs(&clock, 2);
+  ASSERT_TRUE(dfs.AddMount("/a", 0).ok());
+  ASSERT_TRUE(dfs.AddMount("/b", 1).ok());
+  ASSERT_TRUE(dfs.CreateFile("/a/f", 1, 1).ok());
+  ASSERT_TRUE(dfs.CreateFile("/b/g", 1, 1).ok());
+  EXPECT_EQ(dfs.AggregateStats().file_count, 2);
+  (void)dfs.Open("/a/f");
+  (void)dfs.Open("/b/g");
+  EXPECT_EQ(dfs.AggregateStats().open_calls, 2);
+  EXPECT_EQ(dfs.OpenCallsInHour(0), 2);
+}
+
+TEST(DfsTest, ListMergesAcrossShards) {
+  SimulatedClock clock(0);
+  DistributedFileSystem dfs(&clock, 4);
+  // Hash routing may scatter these; ListFiles must still find both.
+  ASSERT_TRUE(dfs.CreateFile("/x/t/f1", 1, 1).ok());
+  ASSERT_TRUE(dfs.CreateFile("/x/t/f2", 1, 1).ok());
+  const auto files = dfs.ListFiles("/x/t");
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_LT(files[0].path, files[1].path);  // sorted
+}
+
+TEST(DfsTest, QuotaViaFacade) {
+  SimulatedClock clock(0);
+  DistributedFileSystem dfs(&clock, 1);
+  // Files live directly under the quota root, so each is one object.
+  dfs.SetNamespaceQuota("/data/db", 1);
+  ASSERT_TRUE(dfs.CreateFile("/data/db/f", 1, 1).ok());
+  EXPECT_TRUE(dfs.CreateFile("/data/db/g", 1, 1).IsResourceExhausted());
+  EXPECT_EQ(dfs.GetQuota("/data/db").used_objects, 1);
+}
+
+
+TEST(NameNodeTimeoutTest, ObserverNameNodesAbsorbReadTraffic) {
+  // §1: observer NameNodes add read capacity; the same load that
+  // overloads a lone NameNode stays under capacity with observers.
+  SimulatedClock clock(0);
+  NameNodeOptions lone;
+  lone.rpc_capacity_per_hour = 100;
+  NameNodeOptions scaled = lone;
+  scaled.observer_namenodes = 3;  // 4x read capacity
+
+  NameNode without(&clock, lone);
+  NameNode with(&clock, scaled);
+  ASSERT_TRUE(without.CreateFile("/a/f", 1, 1).ok());
+  ASSERT_TRUE(with.CreateFile("/a/f", 1, 1).ok());
+  for (int i = 0; i < 300; ++i) {
+    (void)without.Open("/a/f");
+    (void)with.Open("/a/f");
+  }
+  EXPECT_GT(without.CurrentTimeoutProbability(), 0.0);
+  EXPECT_DOUBLE_EQ(with.CurrentTimeoutProbability(), 0.0);
+}
+
+}  // namespace
+}  // namespace autocomp::storage

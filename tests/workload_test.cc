@@ -1,0 +1,316 @@
+// Unit tests for src/workload: event ordering, TPC-H/TPC-DS setup, CAB
+// stream generation, trickle ingestion, and the fleet generator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/environment.h"
+#include "workload/cab.h"
+#include "workload/events.h"
+#include "workload/fleet.h"
+#include "workload/tpcds.h"
+#include "workload/tpch.h"
+#include "workload/trickle.h"
+
+namespace autocomp::workload {
+namespace {
+
+// ----------------------------------------------------------------- Events
+
+TEST(EventsTest, SortIsChronologicalAndStable) {
+  std::vector<QueryEvent> events(3);
+  events[0].time = 30;
+  events[0].table = "c";
+  events[1].time = 10;
+  events[1].table = "a";
+  events[2].time = 10;
+  events[2].table = "b";
+  SortEvents(&events);
+  EXPECT_EQ(events[0].table, "a");
+  EXPECT_EQ(events[1].table, "b");
+  EXPECT_EQ(events[2].table, "c");
+}
+
+TEST(EventsTest, MergeTimelines) {
+  std::vector<QueryEvent> t1(1), t2(2);
+  t1[0].time = 5;
+  t2[0].time = 1;
+  t2[1].time = 9;
+  auto merged = MergeTimelines({t1, t2});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].time, 1);
+  EXPECT_EQ(merged[2].time, 9);
+}
+
+// ------------------------------------------------------------------ TPC-H
+
+TEST(TpchTest, SchemaAndPartitions) {
+  EXPECT_EQ(LineitemSchema().fields().size(), 16u);
+  EXPECT_TRUE(LineitemPartitionSpec().is_partitioned());
+  EXPECT_TRUE(
+      LineitemPartitionSpec().Validate(LineitemSchema()).ok());
+  const auto months = LineitemMonthPartitions();
+  EXPECT_EQ(months.size(), 7u * 12u);  // 1992..1998
+  EXPECT_EQ(months.front(), "shipdate_month=1992-01");
+  EXPECT_EQ(months.back(), "shipdate_month=1998-12");
+}
+
+TEST(TpchTest, TableWeightsSumToOne) {
+  double total = 0;
+  for (const TpchTableSpec& spec : TpchTables()) total += spec.size_fraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TpchTest, SetupCreatesAndLoads) {
+  sim::SimEnvironment env;
+  ASSERT_TRUE(SetupTpchDatabase(&env.catalog(), &env.query_engine(), "tpch",
+                                2 * kGiB, engine::UntunedUserJobProfile(), 0)
+                  .ok());
+  EXPECT_EQ(env.catalog().ListTables("tpch").size(), TpchTables().size());
+  auto meta = env.catalog().LoadTable("tpch.lineitem");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_GT((*meta)->live_file_count(), 0);
+  EXPECT_TRUE((*meta)->partition_spec().is_partitioned());
+  auto orders = env.catalog().LoadTable("tpch.orders");
+  EXPECT_FALSE((*orders)->partition_spec().is_partitioned());
+}
+
+// -------------------------------------------------------------------- CAB
+
+TEST(CabTest, DatabaseNames) {
+  CabOptions options;
+  options.num_databases = 3;
+  CabWorkload cab(options);
+  const auto names = cab.DatabaseNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "cab_db00");
+  EXPECT_EQ(names[2], "cab_db02");
+}
+
+TEST(CabTest, EventsAreSortedAndInWindow) {
+  CabOptions options;
+  options.num_databases = 4;
+  options.duration = 2 * kHour;
+  CabWorkload cab(options);
+  const auto events = cab.GenerateEvents();
+  ASSERT_FALSE(events.empty());
+  SimTime prev = -1;
+  for (const QueryEvent& e : events) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+    EXPECT_GE(e.time, options.start_time);
+    EXPECT_LT(e.time, options.start_time + options.duration);
+  }
+}
+
+TEST(CabTest, DeterministicForSeed) {
+  CabOptions options;
+  options.num_databases = 2;
+  const auto a = CabWorkload(options).GenerateEvents();
+  const auto b = CabWorkload(options).GenerateEvents();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].stream, b[i].stream);
+    EXPECT_EQ(a[i].is_write, b[i].is_write);
+  }
+}
+
+TEST(CabTest, ContainsAllStreamArchetypes) {
+  CabOptions options;
+  options.num_databases = 8;
+  const auto events = CabWorkload(options).GenerateEvents();
+  std::set<std::string> streams;
+  for (const QueryEvent& e : events) streams.insert(e.stream);
+  EXPECT_TRUE(streams.count("dashboard"));
+  EXPECT_TRUE(streams.count("interactive"));
+  EXPECT_TRUE(streams.count("hourly-etl"));
+  EXPECT_TRUE(streams.count("maintenance"));
+}
+
+TEST(CabTest, SpikeHourHasMoreWrites) {
+  CabOptions options;
+  options.num_databases = 10;
+  options.spike_hour = 3;
+  options.spike_multiplier = 4.0;
+  const auto events = CabWorkload(options).GenerateEvents();
+  std::map<int, int> writes_by_hour;
+  for (const QueryEvent& e : events) {
+    if (e.is_write && e.stream == "hourly-etl") {
+      writes_by_hour[static_cast<int>(e.time / kHour)]++;
+    }
+  }
+  // The spike hour has clearly more ETL writes than hour 1.
+  EXPECT_GT(writes_by_hour[3], writes_by_hour[1] * 2);
+}
+
+TEST(CabTest, WritesTargetBothTableKinds) {
+  CabOptions options;
+  options.num_databases = 10;
+  const auto events = CabWorkload(options).GenerateEvents();
+  bool lineitem = false, orders = false;
+  for (const QueryEvent& e : events) {
+    if (!e.is_write) continue;
+    if (e.write.table.find("lineitem") != std::string::npos) lineitem = true;
+    if (e.write.table.find("orders") != std::string::npos) orders = true;
+  }
+  EXPECT_TRUE(lineitem);
+  EXPECT_TRUE(orders);
+}
+
+// ----------------------------------------------------------------- TPC-DS
+
+TEST(TpcdsTest, TableWeightsAndPartitions) {
+  double total = 0;
+  for (const TpcdsTableSpec& spec : TpcdsTables()) total += spec.size_fraction;
+  EXPECT_NEAR(total, 1.0, 0.01);
+  EXPECT_EQ(TpcdsMonthPartitions().size(), 60u);
+}
+
+TEST(TpcdsTest, SetupAndSingleUser) {
+  sim::SimEnvironment env;
+  TpcdsOptions options;
+  options.total_logical_bytes = 4 * kGiB;
+  TpcdsWorkload tpcds(options);
+  ASSERT_TRUE(tpcds.Setup(&env.catalog(), &env.query_engine(), 0).ok());
+  EXPECT_EQ(env.catalog().ListTables("tpcds").size(), TpcdsTables().size());
+
+  Rng rng(1);
+  const auto queries = tpcds.SingleUserQueries(&rng);
+  EXPECT_EQ(queries.size(), 99u);
+  // All referenced tables exist.
+  for (const auto& [table, partition] : queries) {
+    EXPECT_TRUE(env.catalog().GetTable(table).ok()) << table;
+  }
+}
+
+TEST(TpcdsTest, MaintenanceTargetsFactTables) {
+  TpcdsWorkload tpcds({});
+  Rng rng(1);
+  const auto writes = tpcds.MaintenanceWrites(0.03, &rng);
+  ASSERT_FALSE(writes.empty());
+  for (const engine::WriteSpec& w : writes) {
+    EXPECT_EQ(w.kind, engine::WriteKind::kOverwrite);
+    EXPECT_FALSE(w.partitions.empty());
+    EXPECT_GT(w.logical_bytes, 0);
+  }
+}
+
+// ---------------------------------------------------------------- Trickle
+
+TEST(TrickleTest, FiveMinuteCadence) {
+  TrickleOptions options;
+  options.num_topics = 2;
+  options.duration = kHour;
+  TrickleIngestion trickle(options);
+  const auto events = trickle.GenerateEvents();
+  EXPECT_EQ(events.size(), 12u * 2u);  // 12 flushes x 2 topics
+  for (const QueryEvent& e : events) {
+    EXPECT_TRUE(e.is_write);
+    EXPECT_EQ(e.time % (5 * kMinute), 0);
+  }
+}
+
+TEST(TrickleTest, HourlyRollupCompactsClosedPartition) {
+  sim::SimEnvironment env;
+  TrickleOptions options;
+  options.num_topics = 1;
+  options.duration = kHour;
+  TrickleIngestion trickle(options);
+  ASSERT_TRUE(trickle.Setup(&env.catalog(), 0).ok());
+  for (const QueryEvent& e : trickle.GenerateEvents()) {
+    env.clock().AdvanceTo(e.time);
+    ASSERT_TRUE(env.query_engine().ExecuteWrite(e.write, e.time).ok());
+  }
+  env.clock().AdvanceTo(kHour);
+  const std::string table = trickle.TableNames()[0];
+  const int64_t before = (*env.catalog().LoadTable(table))->live_file_count();
+  auto committed = trickle.RunHourlyRollup(&env.compaction_runner(),
+                                           &env.control_plane(), kHour);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(*committed, 1);
+  EXPECT_LT((*env.catalog().LoadTable(table))->live_file_count(), before);
+}
+
+// ------------------------------------------------------------------ Fleet
+
+TEST(FleetTest, SetupCreatesFleet) {
+  sim::SimEnvironment env;
+  FleetOptions options;
+  options.num_databases = 3;
+  options.tables_per_db = 4;
+  FleetWorkload fleet(options);
+  ASSERT_TRUE(fleet.Setup(&env.catalog(), &env.query_engine(),
+                          &env.control_plane(), 0)
+                  .ok());
+  EXPECT_EQ(fleet.TableNames().size(), 12u);
+  EXPECT_EQ(env.catalog().ListDatabases().size(), 3u);
+  // Quotas installed.
+  EXPECT_GT(env.catalog().DatabaseQuota("tenant000").total_objects, 0);
+}
+
+TEST(FleetTest, DailyEventsReferenceOnboardedTables) {
+  sim::SimEnvironment env;
+  FleetOptions options;
+  options.num_databases = 2;
+  options.tables_per_db = 5;
+  FleetWorkload fleet(options);
+  ASSERT_TRUE(fleet.Setup(&env.catalog(), &env.query_engine(),
+                          &env.control_plane(), 0)
+                  .ok());
+  const auto events = fleet.EventsForDay(0);
+  ASSERT_FALSE(events.empty());
+  bool has_write = false, has_read = false;
+  for (const QueryEvent& e : events) {
+    const std::string& table = e.is_write ? e.write.table : e.table;
+    EXPECT_TRUE(env.catalog().GetTable(table).ok()) << table;
+    has_write |= e.is_write;
+    has_read |= !e.is_write;
+    EXPECT_GE(e.time, 0);
+    EXPECT_LT(e.time, kDay);
+  }
+  EXPECT_TRUE(has_write);
+  EXPECT_TRUE(has_read);
+}
+
+TEST(FleetTest, OnboardingGrowsFleet) {
+  sim::SimEnvironment env;
+  FleetOptions options;
+  options.num_databases = 2;
+  options.tables_per_db = 2;
+  options.new_tables_per_day = 3;
+  FleetWorkload fleet(options);
+  ASSERT_TRUE(fleet.Setup(&env.catalog(), &env.query_engine(),
+                          &env.control_plane(), 0)
+                  .ok());
+  const size_t before = fleet.TableNames().size();
+  ASSERT_TRUE(
+      fleet.OnboardNewTables(&env.catalog(), &env.query_engine(), 1, kDay)
+          .ok());
+  EXPECT_EQ(fleet.TableNames().size(), before + 3);
+}
+
+TEST(FleetTest, EventsDeterministicPerDay) {
+  FleetOptions options;
+  options.num_databases = 2;
+  options.tables_per_db = 3;
+  sim::SimEnvironment env1, env2;
+  FleetWorkload f1(options), f2(options);
+  ASSERT_TRUE(f1.Setup(&env1.catalog(), &env1.query_engine(),
+                       &env1.control_plane(), 0)
+                  .ok());
+  ASSERT_TRUE(f2.Setup(&env2.catalog(), &env2.query_engine(),
+                       &env2.control_plane(), 0)
+                  .ok());
+  const auto a = f1.EventsForDay(2);
+  const auto b = f2.EventsForDay(2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].is_write, b[i].is_write);
+  }
+}
+
+}  // namespace
+}  // namespace autocomp::workload

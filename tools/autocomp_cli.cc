@@ -1,0 +1,294 @@
+/// \file autocomp_cli.cc
+/// \brief Command-line scenario runner for the AutoComp simulator.
+///
+/// Runs the paper's evaluation scenarios with user-chosen knobs and
+/// prints the headline metrics, e.g.:
+///
+///   autocomp_cli cab --strategy=hybrid --k=500 --hours=5
+///   autocomp_cli cab --strategy=none --databases=8
+///   autocomp_cli fleet --days=14 --strategy=table --budget=600
+///   autocomp_cli fleet --days=7 --k=10 --seed=3
+///
+/// Scenarios:
+///   cab    — the §6 CAB experiment (TPC-H-like databases + query
+///            streams + hourly compaction trigger)
+///   fleet  — the §7 production-fleet experiment (daily trigger)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/logging.h"
+#include "core/advisor.h"
+#include "sim/driver.h"
+#include "sim/environment.h"
+#include "sim/metrics.h"
+#include "sim/presets.h"
+#include "workload/cab.h"
+#include "workload/fleet.h"
+#include "workload/tpch.h"
+
+using namespace autocomp;
+
+namespace {
+
+struct Flags {
+  std::string scenario;
+  std::string strategy = "hybrid";  // none|table|hybrid|partition|snapshot
+  int64_t k = 50;
+  double budget = 0;  // GBHr; > 0 switches to dynamic-k selection
+  int hours = 5;
+  int days = 7;
+  int databases = 20;
+  uint64_t seed = 99;
+  bool deferred = true;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: autocomp_cli <cab|fleet> [--strategy=none|table|hybrid|"
+      "partition|snapshot]\n"
+      "                    [--k=N] [--budget=GBHR] [--hours=N] [--days=N]\n"
+      "                    [--databases=N] [--seed=N] [--no-deferred]\n");
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  if (argc < 2) return false;
+  flags->scenario = argv[1];
+  if (flags->scenario != "cab" && flags->scenario != "fleet") return false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* name) -> const char* {
+      const size_t len = std::strlen(name);
+      if (arg.compare(0, len, name) == 0 && arg.size() > len &&
+          arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value_of("--strategy")) {
+      flags->strategy = v;
+    } else if (const char* v = value_of("--k")) {
+      flags->k = std::atoll(v);
+    } else if (const char* v = value_of("--budget")) {
+      flags->budget = std::atof(v);
+    } else if (const char* v = value_of("--hours")) {
+      flags->hours = std::atoi(v);
+    } else if (const char* v = value_of("--days")) {
+      flags->days = std::atoi(v);
+    } else if (const char* v = value_of("--databases")) {
+      flags->databases = std::atoi(v);
+    } else if (const char* v = value_of("--seed")) {
+      flags->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--no-deferred") {
+      flags->deferred = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<sim::ScopeStrategy> ScopeFor(const std::string& strategy) {
+  static const std::map<std::string, sim::ScopeStrategy> kByName = {
+      {"table", sim::ScopeStrategy::kTable},
+      {"hybrid", sim::ScopeStrategy::kHybrid},
+      {"partition", sim::ScopeStrategy::kPartition},
+      {"snapshot", sim::ScopeStrategy::kSnapshot},
+  };
+  const auto it = kByName.find(strategy);
+  if (it == kByName.end()) {
+    return Status::InvalidArgument("unknown strategy: " + strategy);
+  }
+  return it->second;
+}
+
+std::unique_ptr<core::AutoCompService> MakeService(sim::SimEnvironment* env,
+                                                   const Flags& flags,
+                                                   SimTime interval) {
+  if (flags.strategy == "none") return nullptr;
+  auto scope = ScopeFor(flags.strategy);
+  AUTOCOMP_CHECK(scope.ok()) << scope.status();
+  sim::StrategyPreset preset;
+  preset.scope = *scope;
+  preset.k = flags.k;
+  if (flags.budget > 0) preset.budget_gb_hours = flags.budget;
+  preset.trigger_interval = interval;
+  preset.first_trigger = interval;
+  preset.deferred_act = flags.deferred;
+  return sim::MakeMoopService(env, preset);
+}
+
+void PrintSummary(sim::SimEnvironment& env,
+                  const sim::MetricsRecorder& metrics,
+                  const core::AutoCompService* service, int64_t initial_files,
+                  double total_read_seconds) {
+  sim::TablePrinter table({"metric", "value"});
+  table.AddRow({"initial files", std::to_string(initial_files)});
+  table.AddRow({"final files", std::to_string(env.TotalFileCount())});
+  table.AddRow({"open() calls",
+                std::to_string(env.dfs().AggregateStats().open_calls)});
+  table.AddRow({"open() timeouts",
+                std::to_string(env.dfs().AggregateStats().timeouts)});
+  table.AddRow({"total read time (h)",
+                sim::Fmt(total_read_seconds / 3600.0, 2)});
+  table.AddRow(
+      {"client conflicts",
+       std::to_string(metrics.TotalCount("client_conflicts"))});
+  table.AddRow(
+      {"cluster conflicts",
+       std::to_string(metrics.TotalCount("cluster_conflicts") +
+                      env.compaction_runner().total_conflicts())});
+  table.AddRow({"compaction commits",
+                std::to_string(env.compaction_runner().total_committed())});
+  if (service != nullptr) {
+    int64_t selected = 0;
+    for (const core::PipelineRunReport& r : service->history()) {
+      selected += static_cast<int64_t>(r.selected.size());
+    }
+    table.AddRow({"pipeline runs",
+                  std::to_string(service->history().size())});
+    table.AddRow({"candidates selected", std::to_string(selected)});
+  }
+  double gbhr = 0;
+  for (const sim::SeriesPoint& p : metrics.Series("compaction_gbhr")) {
+    gbhr += p.value;
+  }
+  table.AddRow({"compaction GBHr", sim::Fmt(gbhr, 1)});
+  std::printf("%s", table.ToString().c_str());
+}
+
+int RunCab(const Flags& flags) {
+  sim::SimEnvironment env;
+  workload::CabOptions options;
+  options.num_databases = flags.databases;
+  options.duration = static_cast<SimTime>(flags.hours) * kHour;
+  options.seed = flags.seed;
+  workload::CabWorkload cab(options);
+  std::printf("loading %d TPC-H-like databases...\n", flags.databases);
+  for (const std::string& db : cab.DatabaseNames()) {
+    Status setup = workload::SetupTpchDatabase(
+        &env.catalog(), &env.query_engine(), db, 25 * kGiB,
+        engine::UntunedUserJobProfile(), 0);
+    if (!setup.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n", setup.ToString().c_str());
+      return 1;
+    }
+  }
+  const int64_t initial = env.TotalFileCount();
+
+  auto service = MakeService(&env, flags, kHour);
+  sim::MetricsRecorder metrics;
+  sim::DriverOptions driver_options;
+  driver_options.deferred_compaction = flags.deferred;
+  sim::EventDriver driver(&env, &metrics, driver_options);
+  if (service != nullptr) driver.AttachService(service.get());
+
+  std::printf("running %dh of CAB streams (strategy=%s, k=%lld%s)...\n",
+              flags.hours, flags.strategy.c_str(),
+              static_cast<long long>(flags.k),
+              flags.budget > 0 ? ", budgeted" : "");
+  Status run = driver.Run(cab.GenerateEvents(), options.duration);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", run.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nfile count over time:\n");
+  sim::TablePrinter series({"t(min)", "files"});
+  const auto& points = metrics.Series("files_total");
+  for (size_t i = 0; i < points.size(); i += 3) {
+    series.AddRow({std::to_string(points[i].time / kMinute),
+                   sim::Fmt(points[i].value, 0)});
+  }
+  std::printf("%s\n", series.ToString().c_str());
+  PrintSummary(env, metrics, service.get(), initial,
+               driver.total_read_seconds());
+  return 0;
+}
+
+int RunFleet(const Flags& flags) {
+  sim::SimEnvironment env;
+  workload::FleetOptions options;
+  options.seed = flags.seed;
+  workload::FleetWorkload fleet(options);
+  std::printf("setting up the table fleet...\n");
+  Status setup = fleet.Setup(&env.catalog(), &env.query_engine(),
+                             &env.control_plane(), 0);
+  if (!setup.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", setup.ToString().c_str());
+    return 1;
+  }
+  const int64_t initial = env.TotalFileCount();
+
+  auto service = MakeService(&env, flags, kDay);
+  sim::MetricsRecorder metrics;
+  sim::DriverOptions driver_options;
+  driver_options.deferred_compaction = flags.deferred;
+  driver_options.retention_interval = kDay;
+  sim::EventDriver driver(&env, &metrics, driver_options);
+  if (service != nullptr) driver.AttachService(service.get());
+
+  std::printf("running %d fleet days (strategy=%s, k=%lld%s)...\n",
+              flags.days, flags.strategy.c_str(),
+              static_cast<long long>(flags.k),
+              flags.budget > 0 ? ", budgeted" : "");
+  sim::TablePrinter daily({"day", "fleet files", "compaction commits"});
+  int64_t commits_before = 0;
+  for (int day = 0; day < flags.days; ++day) {
+    Status onboard = fleet.OnboardNewTables(&env.catalog(),
+                                            &env.query_engine(), day,
+                                            env.clock().Now());
+    if (!onboard.ok()) {
+      std::fprintf(stderr, "onboarding failed: %s\n",
+                   onboard.ToString().c_str());
+      return 1;
+    }
+    Status run = driver.Run(fleet.EventsForDay(day),
+                            static_cast<SimTime>(day + 1) * kDay);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", run.ToString().c_str());
+      return 1;
+    }
+    const int64_t commits = env.compaction_runner().total_committed();
+    daily.AddRow({std::to_string(day), std::to_string(env.TotalFileCount()),
+                  std::to_string(commits - commits_before)});
+    commits_before = commits;
+  }
+  std::printf("%s\n", daily.ToString().c_str());
+  PrintSummary(env, metrics, service.get(), initial,
+               driver.total_read_seconds());
+
+  // End-of-run operator report: the §8 write-configuration advisor.
+  core::WriteConfigAdvisor advisor;
+  auto advice = advisor.Analyze(&env.catalog());
+  if (advice.ok() && !advice->empty()) {
+    std::printf("\ntop write-configuration recommendations:\n");
+    for (size_t i = 0; i < advice->size() && i < 5; ++i) {
+      const core::WriteAdvice& a = (*advice)[i];
+      std::printf("  [%s] %s: %s\n", core::AdviceKindName(a.kind),
+                  a.table.c_str(), a.message.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    PrintUsage();
+    return 2;
+  }
+  if (flags.strategy != "none" && !ScopeFor(flags.strategy).ok()) {
+    PrintUsage();
+    return 2;
+  }
+  Logger::set_threshold(LogLevel::kWarn);
+  return flags.scenario == "cab" ? RunCab(flags) : RunFleet(flags);
+}
