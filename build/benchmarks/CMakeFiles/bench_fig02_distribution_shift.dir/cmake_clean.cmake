@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_distribution_shift"
+  "../bench/bench_fig02_distribution_shift.pdb"
+  "CMakeFiles/bench_fig02_distribution_shift.dir/bench_fig02_distribution_shift.cc.o"
+  "CMakeFiles/bench_fig02_distribution_shift.dir/bench_fig02_distribution_shift.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_distribution_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

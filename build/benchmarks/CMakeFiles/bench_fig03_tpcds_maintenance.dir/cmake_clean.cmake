@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_tpcds_maintenance"
+  "../bench/bench_fig03_tpcds_maintenance.pdb"
+  "CMakeFiles/bench_fig03_tpcds_maintenance.dir/bench_fig03_tpcds_maintenance.cc.o"
+  "CMakeFiles/bench_fig03_tpcds_maintenance.dir/bench_fig03_tpcds_maintenance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_tpcds_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

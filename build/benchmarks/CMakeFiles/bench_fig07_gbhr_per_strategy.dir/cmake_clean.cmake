@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_gbhr_per_strategy"
+  "../bench/bench_fig07_gbhr_per_strategy.pdb"
+  "CMakeFiles/bench_fig07_gbhr_per_strategy.dir/bench_fig07_gbhr_per_strategy.cc.o"
+  "CMakeFiles/bench_fig07_gbhr_per_strategy.dir/bench_fig07_gbhr_per_strategy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_gbhr_per_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_autotuning"
+  "../bench/bench_fig09_autotuning.pdb"
+  "CMakeFiles/bench_fig09_autotuning.dir/bench_fig09_autotuning.cc.o"
+  "CMakeFiles/bench_fig09_autotuning.dir/bench_fig09_autotuning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_autotuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

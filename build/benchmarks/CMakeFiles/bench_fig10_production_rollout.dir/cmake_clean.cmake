@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_production_rollout"
+  "../bench/bench_fig10_production_rollout.pdb"
+  "CMakeFiles/bench_fig10_production_rollout.dir/bench_fig10_production_rollout.cc.o"
+  "CMakeFiles/bench_fig10_production_rollout.dir/bench_fig10_production_rollout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_production_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

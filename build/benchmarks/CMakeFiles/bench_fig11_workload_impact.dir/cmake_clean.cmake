@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_workload_impact"
+  "../bench/bench_fig11_workload_impact.pdb"
+  "CMakeFiles/bench_fig11_workload_impact.dir/bench_fig11_workload_impact.cc.o"
+  "CMakeFiles/bench_fig11_workload_impact.dir/bench_fig11_workload_impact.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_workload_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

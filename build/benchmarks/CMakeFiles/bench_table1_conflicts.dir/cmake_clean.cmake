@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_conflicts"
+  "../bench/bench_table1_conflicts.pdb"
+  "CMakeFiles/bench_table1_conflicts.dir/bench_table1_conflicts.cc.o"
+  "CMakeFiles/bench_table1_conflicts.dir/bench_table1_conflicts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_thresholds.dir/autotune_thresholds.cpp.o"
+  "CMakeFiles/autotune_thresholds.dir/autotune_thresholds.cpp.o.d"
+  "autotune_thresholds"
+  "autotune_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

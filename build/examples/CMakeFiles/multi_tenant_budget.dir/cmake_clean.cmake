@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_budget.dir/multi_tenant_budget.cpp.o"
+  "CMakeFiles/multi_tenant_budget.dir/multi_tenant_budget.cpp.o.d"
+  "multi_tenant_budget"
+  "multi_tenant_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

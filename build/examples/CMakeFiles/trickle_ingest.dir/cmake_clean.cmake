@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trickle_ingest.dir/trickle_ingest.cpp.o"
+  "CMakeFiles/trickle_ingest.dir/trickle_ingest.cpp.o.d"
+  "trickle_ingest"
+  "trickle_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trickle_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocomp_catalog.dir/catalog.cc.o"
+  "CMakeFiles/autocomp_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/autocomp_catalog.dir/control_plane.cc.o"
+  "CMakeFiles/autocomp_catalog.dir/control_plane.cc.o.d"
+  "libautocomp_catalog.a"
+  "libautocomp_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocomp_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocomp_common.dir/config.cc.o"
+  "CMakeFiles/autocomp_common.dir/config.cc.o.d"
+  "CMakeFiles/autocomp_common.dir/histogram.cc.o"
+  "CMakeFiles/autocomp_common.dir/histogram.cc.o.d"
+  "CMakeFiles/autocomp_common.dir/json.cc.o"
+  "CMakeFiles/autocomp_common.dir/json.cc.o.d"
+  "CMakeFiles/autocomp_common.dir/logging.cc.o"
+  "CMakeFiles/autocomp_common.dir/logging.cc.o.d"
+  "CMakeFiles/autocomp_common.dir/random.cc.o"
+  "CMakeFiles/autocomp_common.dir/random.cc.o.d"
+  "CMakeFiles/autocomp_common.dir/status.cc.o"
+  "CMakeFiles/autocomp_common.dir/status.cc.o.d"
+  "CMakeFiles/autocomp_common.dir/units.cc.o"
+  "CMakeFiles/autocomp_common.dir/units.cc.o.d"
+  "libautocomp_common.a"
+  "libautocomp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocomp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/autocomp_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/autocomp_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/filters.cc" "src/core/CMakeFiles/autocomp_core.dir/filters.cc.o" "gcc" "src/core/CMakeFiles/autocomp_core.dir/filters.cc.o.d"
+  "/root/repo/src/core/observe.cc" "src/core/CMakeFiles/autocomp_core.dir/observe.cc.o" "gcc" "src/core/CMakeFiles/autocomp_core.dir/observe.cc.o.d"
+  "/root/repo/src/core/pareto.cc" "src/core/CMakeFiles/autocomp_core.dir/pareto.cc.o" "gcc" "src/core/CMakeFiles/autocomp_core.dir/pareto.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/autocomp_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/autocomp_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/core/CMakeFiles/autocomp_core.dir/ranking.cc.o" "gcc" "src/core/CMakeFiles/autocomp_core.dir/ranking.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/autocomp_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/autocomp_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/traits.cc" "src/core/CMakeFiles/autocomp_core.dir/traits.cc.o" "gcc" "src/core/CMakeFiles/autocomp_core.dir/traits.cc.o.d"
+  "/root/repo/src/core/triggers.cc" "src/core/CMakeFiles/autocomp_core.dir/triggers.cc.o" "gcc" "src/core/CMakeFiles/autocomp_core.dir/triggers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autocomp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lst/CMakeFiles/autocomp_lst.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/autocomp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/autocomp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/autocomp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/autocomp_format.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

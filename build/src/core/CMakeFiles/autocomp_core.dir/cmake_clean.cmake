@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocomp_core.dir/advisor.cc.o"
+  "CMakeFiles/autocomp_core.dir/advisor.cc.o.d"
+  "CMakeFiles/autocomp_core.dir/filters.cc.o"
+  "CMakeFiles/autocomp_core.dir/filters.cc.o.d"
+  "CMakeFiles/autocomp_core.dir/observe.cc.o"
+  "CMakeFiles/autocomp_core.dir/observe.cc.o.d"
+  "CMakeFiles/autocomp_core.dir/pareto.cc.o"
+  "CMakeFiles/autocomp_core.dir/pareto.cc.o.d"
+  "CMakeFiles/autocomp_core.dir/pipeline.cc.o"
+  "CMakeFiles/autocomp_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/autocomp_core.dir/ranking.cc.o"
+  "CMakeFiles/autocomp_core.dir/ranking.cc.o.d"
+  "CMakeFiles/autocomp_core.dir/scheduler.cc.o"
+  "CMakeFiles/autocomp_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/autocomp_core.dir/traits.cc.o"
+  "CMakeFiles/autocomp_core.dir/traits.cc.o.d"
+  "CMakeFiles/autocomp_core.dir/triggers.cc.o"
+  "CMakeFiles/autocomp_core.dir/triggers.cc.o.d"
+  "libautocomp_core.a"
+  "libautocomp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocomp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

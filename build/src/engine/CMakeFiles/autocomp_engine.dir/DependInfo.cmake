@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cluster.cc" "src/engine/CMakeFiles/autocomp_engine.dir/cluster.cc.o" "gcc" "src/engine/CMakeFiles/autocomp_engine.dir/cluster.cc.o.d"
+  "/root/repo/src/engine/compaction_runner.cc" "src/engine/CMakeFiles/autocomp_engine.dir/compaction_runner.cc.o" "gcc" "src/engine/CMakeFiles/autocomp_engine.dir/compaction_runner.cc.o.d"
+  "/root/repo/src/engine/query_engine.cc" "src/engine/CMakeFiles/autocomp_engine.dir/query_engine.cc.o" "gcc" "src/engine/CMakeFiles/autocomp_engine.dir/query_engine.cc.o.d"
+  "/root/repo/src/engine/write_planner.cc" "src/engine/CMakeFiles/autocomp_engine.dir/write_planner.cc.o" "gcc" "src/engine/CMakeFiles/autocomp_engine.dir/write_planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autocomp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/autocomp_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/lst/CMakeFiles/autocomp_lst.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/autocomp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/autocomp_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocomp_engine.dir/cluster.cc.o"
+  "CMakeFiles/autocomp_engine.dir/cluster.cc.o.d"
+  "CMakeFiles/autocomp_engine.dir/compaction_runner.cc.o"
+  "CMakeFiles/autocomp_engine.dir/compaction_runner.cc.o.d"
+  "CMakeFiles/autocomp_engine.dir/query_engine.cc.o"
+  "CMakeFiles/autocomp_engine.dir/query_engine.cc.o.d"
+  "CMakeFiles/autocomp_engine.dir/write_planner.cc.o"
+  "CMakeFiles/autocomp_engine.dir/write_planner.cc.o.d"
+  "libautocomp_engine.a"
+  "libautocomp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocomp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

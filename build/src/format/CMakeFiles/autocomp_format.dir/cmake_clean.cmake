@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocomp_format.dir/binpack.cc.o"
+  "CMakeFiles/autocomp_format.dir/binpack.cc.o.d"
+  "CMakeFiles/autocomp_format.dir/columnar.cc.o"
+  "CMakeFiles/autocomp_format.dir/columnar.cc.o.d"
+  "libautocomp_format.a"
+  "libautocomp_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocomp_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

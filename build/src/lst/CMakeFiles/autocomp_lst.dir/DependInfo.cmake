@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lst/history_validator.cc" "src/lst/CMakeFiles/autocomp_lst.dir/history_validator.cc.o" "gcc" "src/lst/CMakeFiles/autocomp_lst.dir/history_validator.cc.o.d"
+  "/root/repo/src/lst/metadata_json.cc" "src/lst/CMakeFiles/autocomp_lst.dir/metadata_json.cc.o" "gcc" "src/lst/CMakeFiles/autocomp_lst.dir/metadata_json.cc.o.d"
+  "/root/repo/src/lst/metadata_tables.cc" "src/lst/CMakeFiles/autocomp_lst.dir/metadata_tables.cc.o" "gcc" "src/lst/CMakeFiles/autocomp_lst.dir/metadata_tables.cc.o.d"
+  "/root/repo/src/lst/partition.cc" "src/lst/CMakeFiles/autocomp_lst.dir/partition.cc.o" "gcc" "src/lst/CMakeFiles/autocomp_lst.dir/partition.cc.o.d"
+  "/root/repo/src/lst/table.cc" "src/lst/CMakeFiles/autocomp_lst.dir/table.cc.o" "gcc" "src/lst/CMakeFiles/autocomp_lst.dir/table.cc.o.d"
+  "/root/repo/src/lst/table_metadata.cc" "src/lst/CMakeFiles/autocomp_lst.dir/table_metadata.cc.o" "gcc" "src/lst/CMakeFiles/autocomp_lst.dir/table_metadata.cc.o.d"
+  "/root/repo/src/lst/transaction.cc" "src/lst/CMakeFiles/autocomp_lst.dir/transaction.cc.o" "gcc" "src/lst/CMakeFiles/autocomp_lst.dir/transaction.cc.o.d"
+  "/root/repo/src/lst/types.cc" "src/lst/CMakeFiles/autocomp_lst.dir/types.cc.o" "gcc" "src/lst/CMakeFiles/autocomp_lst.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autocomp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/autocomp_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocomp_lst.dir/history_validator.cc.o"
+  "CMakeFiles/autocomp_lst.dir/history_validator.cc.o.d"
+  "CMakeFiles/autocomp_lst.dir/metadata_json.cc.o"
+  "CMakeFiles/autocomp_lst.dir/metadata_json.cc.o.d"
+  "CMakeFiles/autocomp_lst.dir/metadata_tables.cc.o"
+  "CMakeFiles/autocomp_lst.dir/metadata_tables.cc.o.d"
+  "CMakeFiles/autocomp_lst.dir/partition.cc.o"
+  "CMakeFiles/autocomp_lst.dir/partition.cc.o.d"
+  "CMakeFiles/autocomp_lst.dir/table.cc.o"
+  "CMakeFiles/autocomp_lst.dir/table.cc.o.d"
+  "CMakeFiles/autocomp_lst.dir/table_metadata.cc.o"
+  "CMakeFiles/autocomp_lst.dir/table_metadata.cc.o.d"
+  "CMakeFiles/autocomp_lst.dir/transaction.cc.o"
+  "CMakeFiles/autocomp_lst.dir/transaction.cc.o.d"
+  "CMakeFiles/autocomp_lst.dir/types.cc.o"
+  "CMakeFiles/autocomp_lst.dir/types.cc.o.d"
+  "libautocomp_lst.a"
+  "libautocomp_lst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocomp_lst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

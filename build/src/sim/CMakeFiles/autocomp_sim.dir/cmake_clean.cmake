@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocomp_sim.dir/driver.cc.o"
+  "CMakeFiles/autocomp_sim.dir/driver.cc.o.d"
+  "CMakeFiles/autocomp_sim.dir/environment.cc.o"
+  "CMakeFiles/autocomp_sim.dir/environment.cc.o.d"
+  "CMakeFiles/autocomp_sim.dir/lstbench.cc.o"
+  "CMakeFiles/autocomp_sim.dir/lstbench.cc.o.d"
+  "CMakeFiles/autocomp_sim.dir/metrics.cc.o"
+  "CMakeFiles/autocomp_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/autocomp_sim.dir/presets.cc.o"
+  "CMakeFiles/autocomp_sim.dir/presets.cc.o.d"
+  "libautocomp_sim.a"
+  "libautocomp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocomp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocomp_storage.dir/filesystem.cc.o"
+  "CMakeFiles/autocomp_storage.dir/filesystem.cc.o.d"
+  "CMakeFiles/autocomp_storage.dir/namenode.cc.o"
+  "CMakeFiles/autocomp_storage.dir/namenode.cc.o.d"
+  "libautocomp_storage.a"
+  "libautocomp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocomp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocomp_tuning.dir/optimizer.cc.o"
+  "CMakeFiles/autocomp_tuning.dir/optimizer.cc.o.d"
+  "libautocomp_tuning.a"
+  "libautocomp_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocomp_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautocomp_tuning.a"
+)

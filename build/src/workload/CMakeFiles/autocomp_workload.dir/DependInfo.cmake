@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cab.cc" "src/workload/CMakeFiles/autocomp_workload.dir/cab.cc.o" "gcc" "src/workload/CMakeFiles/autocomp_workload.dir/cab.cc.o.d"
+  "/root/repo/src/workload/events.cc" "src/workload/CMakeFiles/autocomp_workload.dir/events.cc.o" "gcc" "src/workload/CMakeFiles/autocomp_workload.dir/events.cc.o.d"
+  "/root/repo/src/workload/fleet.cc" "src/workload/CMakeFiles/autocomp_workload.dir/fleet.cc.o" "gcc" "src/workload/CMakeFiles/autocomp_workload.dir/fleet.cc.o.d"
+  "/root/repo/src/workload/tpcds.cc" "src/workload/CMakeFiles/autocomp_workload.dir/tpcds.cc.o" "gcc" "src/workload/CMakeFiles/autocomp_workload.dir/tpcds.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/workload/CMakeFiles/autocomp_workload.dir/tpch.cc.o" "gcc" "src/workload/CMakeFiles/autocomp_workload.dir/tpch.cc.o.d"
+  "/root/repo/src/workload/trickle.cc" "src/workload/CMakeFiles/autocomp_workload.dir/trickle.cc.o" "gcc" "src/workload/CMakeFiles/autocomp_workload.dir/trickle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autocomp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lst/CMakeFiles/autocomp_lst.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/autocomp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/autocomp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/autocomp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/autocomp_format.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocomp_workload.dir/cab.cc.o"
+  "CMakeFiles/autocomp_workload.dir/cab.cc.o.d"
+  "CMakeFiles/autocomp_workload.dir/events.cc.o"
+  "CMakeFiles/autocomp_workload.dir/events.cc.o.d"
+  "CMakeFiles/autocomp_workload.dir/fleet.cc.o"
+  "CMakeFiles/autocomp_workload.dir/fleet.cc.o.d"
+  "CMakeFiles/autocomp_workload.dir/tpcds.cc.o"
+  "CMakeFiles/autocomp_workload.dir/tpcds.cc.o.d"
+  "CMakeFiles/autocomp_workload.dir/tpch.cc.o"
+  "CMakeFiles/autocomp_workload.dir/tpch.cc.o.d"
+  "CMakeFiles/autocomp_workload.dir/trickle.cc.o"
+  "CMakeFiles/autocomp_workload.dir/trickle.cc.o.d"
+  "libautocomp_workload.a"
+  "libautocomp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocomp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_validator_test.dir/history_validator_test.cc.o"
+  "CMakeFiles/history_validator_test.dir/history_validator_test.cc.o.d"
+  "history_validator_test"
+  "history_validator_test.pdb"
+  "history_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lst_test.dir/lst_test.cc.o"
+  "CMakeFiles/lst_test.dir/lst_test.cc.o.d"
+  "lst_test"
+  "lst_test.pdb"
+  "lst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

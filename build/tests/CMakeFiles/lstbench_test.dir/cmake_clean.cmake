@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lstbench_test.dir/lstbench_test.cc.o"
+  "CMakeFiles/lstbench_test.dir/lstbench_test.cc.o.d"
+  "lstbench_test"
+  "lstbench_test.pdb"
+  "lstbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lstbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

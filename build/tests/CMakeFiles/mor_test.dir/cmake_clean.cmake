@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mor_test.dir/mor_test.cc.o"
+  "CMakeFiles/mor_test.dir/mor_test.cc.o.d"
+  "mor_test"
+  "mor_test.pdb"
+  "mor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/storage_test.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/autocomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/autocomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/autocomp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/autocomp_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/autocomp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/autocomp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/lst/CMakeFiles/autocomp_lst.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/autocomp_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/autocomp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autocomp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocomp_cli.dir/autocomp_cli.cc.o"
+  "CMakeFiles/autocomp_cli.dir/autocomp_cli.cc.o.d"
+  "autocomp_cli"
+  "autocomp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocomp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
