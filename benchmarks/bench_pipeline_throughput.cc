@@ -1,0 +1,231 @@
+/// \file bench_pipeline_throughput.cc
+/// \brief Control-loop throughput: full RunOnce() cycles over a synthetic
+/// fleet at pool sizes {sequential, 1, 2, 4, hardware}, with the
+/// snapshot-keyed stats cache on and off.
+///
+/// The paper projects observe/decide cycles over ~100K tables (§2); this
+/// bench measures how fast the framework itself can turn the OODA loop
+/// as workers and caching are added, and verifies the parallel output is
+/// byte-identical to the sequential baseline (NFR2). Results land in
+/// BENCH_pipeline.json:
+///   {"fleet_tables": N, "hardware_concurrency": H, "runs": [
+///      {"name": "...", "pool_size": P, "cache": true,
+///       "tables_per_sec": ..., "speedup_vs_seq": ...,
+///       "cache_hit_rate": ...}, ...]}
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/control_plane.h"
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/observe.h"
+#include "core/pipeline.h"
+#include "core/ranking.h"
+#include "core/traits.h"
+#include "lst/table.h"
+#include "sim/metrics.h"
+#include "storage/filesystem.h"
+
+using namespace autocomp;
+
+namespace {
+
+constexpr int kFleetTables = 2000;
+constexpr int kDatabases = 20;
+constexpr int kRunsPerConfig = 3;
+
+/// Synthetic fleet: metadata-only tables with fragmented file lists (the
+/// observe phase reads manifests, never file contents, so no storage
+/// objects are needed).
+void BuildFleet(catalog::Catalog* catalog, Rng* rng) {
+  for (int d = 0; d < kDatabases; ++d) {
+    AUTOCOMP_CHECK(
+        catalog->CreateDatabase("db" + std::to_string(d), 1'000'000).ok());
+  }
+  for (int t = 0; t < kFleetTables; ++t) {
+    const std::string db = "db" + std::to_string(t % kDatabases);
+    const std::string name = "t" + std::to_string(t);
+    auto table = catalog->CreateTable(
+        db, name, lst::Schema(0, {{1, "d", lst::FieldType::kDate, true}}),
+        lst::PartitionSpec(1, {{1, lst::Transform::kMonth, "m"}}));
+    AUTOCOMP_CHECK(table.ok()) << table.status();
+    // 100-300 files spread over a handful of partitions, mostly small —
+    // the long-tail fragmentation profile of Figure 1.
+    const int files = static_cast<int>(rng->UniformInt(100, 300));
+    const int partitions = static_cast<int>(rng->UniformInt(2, 8));
+    std::vector<lst::DataFile> batch;
+    batch.reserve(files);
+    for (int f = 0; f < files; ++f) {
+      lst::DataFile file;
+      file.path = "/data/" + db + "/" + name + "/f" + std::to_string(f);
+      file.partition = "m=2024-" + std::to_string(1 + f % partitions);
+      file.file_size_bytes = rng->UniformInt(1, 64) * kMiB;
+      file.record_count = 1000;
+      batch.push_back(std::move(file));
+    }
+    auto txn = table->NewTransaction();
+    AUTOCOMP_CHECK(txn.ok());
+    AUTOCOMP_CHECK(txn->Append(std::move(batch)).ok());
+    AUTOCOMP_CHECK(txn->Commit().ok());
+  }
+}
+
+core::AutoCompPipeline MakePipeline(catalog::Catalog* catalog,
+                                    const catalog::ControlPlane* control_plane,
+                                    const Clock* clock,
+                                    std::shared_ptr<core::StatsCollector> collector,
+                                    ThreadPool* pool) {
+  core::AutoCompPipeline::Stages stages;
+  stages.generator = std::make_shared<core::TableScopeGenerator>();
+  stages.collector = std::move(collector);
+  stages.traits = {std::make_shared<core::FileCountReductionTrait>(),
+                   std::make_shared<core::FileEntropyTrait>(),
+                   std::make_shared<core::ComputeCostTrait>(24.0, 1e12)};
+  stages.ranker = std::make_shared<core::MoopRanker>(
+      std::vector<core::MoopRanker::Objective>{
+          {"file_count_reduction", 0.7, false},
+          {"compute_cost_gbhr", 0.3, true}});
+  stages.selector = std::make_shared<core::FixedKSelector>(100);
+  stages.scheduler = nullptr;  // decide-only: catalog state stays fixed
+  stages.pool = pool;
+  (void)control_plane;
+  return core::AutoCompPipeline(std::move(stages), catalog, clock);
+}
+
+std::string RankingFingerprint(const core::PipelineRunReport& report) {
+  std::string out;
+  for (const core::ScoredCandidate& sc : report.ranked) {
+    out += sc.candidate().id();
+    out += '=';
+    out += std::to_string(sc.score);
+    out += ';';
+  }
+  return out;
+}
+
+struct RunResult {
+  std::string name;
+  int pool_size = 0;  // 0 = sequential (no pool)
+  bool cache = false;
+  double best_ms = 0;
+  double tables_per_sec = 0;
+  double cache_hit_rate = 0;
+  std::string fingerprint;
+};
+
+RunResult RunConfig(const std::string& name, catalog::Catalog* catalog,
+                    const catalog::ControlPlane* control_plane,
+                    const Clock* clock, int pool_size, bool cache) {
+  std::unique_ptr<ThreadPool> pool;
+  if (pool_size > 0) pool = std::make_unique<ThreadPool>(pool_size);
+
+  std::shared_ptr<core::StatsCollector> collector;
+  if (cache) {
+    collector = std::make_shared<core::CachingStatsCollector>(
+        catalog, control_plane, clock);
+  } else {
+    collector = std::make_shared<core::StatsCollector>(catalog, control_plane,
+                                                       clock);
+  }
+  core::AutoCompPipeline pipeline =
+      MakePipeline(catalog, control_plane, clock, collector, pool.get());
+
+  RunResult result;
+  result.name = name;
+  result.pool_size = pool_size;
+  result.cache = cache;
+  int64_t hits = 0;
+  int64_t total = 0;
+  // The catalog never mutates (null scheduler), so with caching on, run 1
+  // is the cold fill and later runs hit steady-state.
+  for (int run = 0; run < kRunsPerConfig; ++run) {
+    auto report = pipeline.RunOnce();
+    AUTOCOMP_CHECK(report.ok()) << report.status();
+    const double ms = report->timings.total_ms();
+    if (result.best_ms == 0 || ms < result.best_ms) result.best_ms = ms;
+    result.fingerprint = RankingFingerprint(*report);
+    if (run > 0) {  // steady-state cache traffic only
+      hits += report->stats_cache_hits;
+      total += report->stats_cache_hits + report->stats_cache_misses;
+    }
+  }
+  result.tables_per_sec =
+      result.best_ms > 0 ? kFleetTables / (result.best_ms / 1000.0) : 0;
+  result.cache_hit_rate =
+      total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  SimulatedClock clock(0);
+  storage::DistributedFileSystem dfs(&clock, 1);
+  catalog::Catalog catalog(&clock, &dfs);
+  catalog::ControlPlane control_plane(&catalog);
+  Rng rng(7);
+  std::printf("building %d-table synthetic fleet...\n", kFleetTables);
+  BuildFleet(&catalog, &rng);
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<RunResult> runs;
+  runs.push_back(
+      RunConfig("seq", &catalog, &control_plane, &clock, 0, false));
+  const double seq_ms = runs[0].best_ms;
+  for (int workers : {1, 2, 4, hw}) {
+    runs.push_back(RunConfig("pool" + std::to_string(workers), &catalog,
+                             &control_plane, &clock, workers, false));
+  }
+  runs.push_back(
+      RunConfig("seq+cache", &catalog, &control_plane, &clock, 0, true));
+  runs.push_back(RunConfig("pool" + std::to_string(hw) + "+cache", &catalog,
+                           &control_plane, &clock, hw, true));
+
+  // NFR2: every configuration must produce the sequential ranking,
+  // byte for byte.
+  for (const RunResult& r : runs) {
+    AUTOCOMP_CHECK(r.fingerprint == runs[0].fingerprint)
+        << "ranking diverged in config " << r.name;
+  }
+
+  sim::TablePrinter table(
+      {"config", "pool", "cache", "best ms", "tables/s", "speedup", "hit%"});
+  JsonValue json_runs = JsonValue::Array();
+  for (const RunResult& r : runs) {
+    const double speedup = r.best_ms > 0 ? seq_ms / r.best_ms : 0;
+    table.AddRow({r.name, std::to_string(r.pool_size),
+                  r.cache ? "on" : "off", sim::Fmt(r.best_ms, 2),
+                  sim::Fmt(r.tables_per_sec, 0), sim::Fmt(speedup, 2),
+                  sim::Fmt(100.0 * r.cache_hit_rate, 1)});
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", r.name);
+    entry.Set("pool_size", r.pool_size);
+    entry.Set("cache", r.cache);
+    entry.Set("best_ms", r.best_ms);
+    entry.Set("tables_per_sec", r.tables_per_sec);
+    entry.Set("speedup_vs_seq", speedup);
+    entry.Set("cache_hit_rate", r.cache_hit_rate);
+    json_runs.Append(std::move(entry));
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("fleet_tables", kFleetTables);
+  doc.Set("hardware_concurrency", hw);
+  doc.Set("runs", std::move(json_runs));
+  std::FILE* out = std::fopen("BENCH_pipeline.json", "w");
+  AUTOCOMP_CHECK(out != nullptr);
+  const std::string dumped = doc.Dump();
+  std::fwrite(dumped.data(), 1, dumped.size(), out);
+  std::fclose(out);
+  std::printf("wrote BENCH_pipeline.json\n");
+  return 0;
+}

@@ -51,6 +51,16 @@ struct FleetDayStats {
   double pct_small = 0;
 };
 
+/// \brief Control-loop execution knobs shared by every figure bench.
+/// Defaults run the AutoComp pipeline on the process-wide thread pool
+/// with the snapshot-keyed stats cache — identical results (NFR2),
+/// faster wall-clock — so existing call sites speed up unchanged.
+struct FleetRunOptions {
+  /// Pool for the observe/orient fan-out; nullptr = sequential.
+  ThreadPool* pool = ThreadPool::Default();
+  bool cache_stats = true;
+};
+
 /// \brief Runs the fleet through `phases`, returning one record per day.
 /// `histograms_out`, when given, receives the end-of-phase file-size
 /// histograms (Figure 2's distribution snapshots).
@@ -58,6 +68,7 @@ std::vector<FleetDayStats> RunFleetExperiment(
     const std::vector<FleetPhase>& phases,
     std::vector<std::pair<std::string, SizeHistogram>>* histograms_out =
         nullptr,
-    workload::FleetOptions fleet_options = {});
+    workload::FleetOptions fleet_options = {},
+    FleetRunOptions run_options = {});
 
 }  // namespace autocomp::bench

@@ -132,6 +132,7 @@ Status Catalog::DropTable(const std::string& qualified_name) {
   auto& list = databases_[parts.first];
   list.erase(std::remove(list.begin(), list.end(), parts.second), list.end());
   ++stats_.tables_dropped;
+  NotifyCommit(qualified_name);
   return Status::OK();
 }
 
@@ -165,6 +166,23 @@ TableAccessStats Catalog::GetAccessStats(
   return it == access_.end() ? TableAccessStats{} : it->second;
 }
 
+int64_t Catalog::AddCommitListener(CommitListener listener) {
+  const int64_t id = next_listener_id_++;
+  commit_listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void Catalog::RemoveCommitListener(int64_t id) {
+  commit_listeners_.erase(
+      std::remove_if(commit_listeners_.begin(), commit_listeners_.end(),
+                     [id](const auto& entry) { return entry.first == id; }),
+      commit_listeners_.end());
+}
+
+void Catalog::NotifyCommit(const std::string& table) const {
+  for (const auto& [id, listener] : commit_listeners_) listener(table);
+}
+
 Result<lst::TableMetadataPtr> Catalog::LoadTable(
     const std::string& name) const {
   const auto it = tables_.find(name);
@@ -192,6 +210,7 @@ Status Catalog::CommitTable(const std::string& name, int64_t base_version,
   }
   MaybePersistMetadata(*new_metadata);
   it->second = std::move(new_metadata);
+  NotifyCommit(name);
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -94,6 +95,19 @@ class Catalog final : public lst::MetadataStore {
   void RecordTableRead(const std::string& qualified_name);
   TableAccessStats GetAccessStats(const std::string& qualified_name) const;
 
+  /// \name Commit listeners
+  /// Invoked with the qualified table name after every successful
+  /// metadata swap (CommitTable) and on DropTable. Every commit path —
+  /// lst::Transaction, snapshot expiry, the compaction runner — funnels
+  /// through CommitTable, so a listener observes all table mutations.
+  /// Primary consumer: core::CachingStatsCollector invalidates its
+  /// snapshot-keyed stats entries. Listeners must not commit re-entrantly.
+  /// @{
+  using CommitListener = std::function<void(const std::string& table)>;
+  int64_t AddCommitListener(CommitListener listener);
+  void RemoveCommitListener(int64_t id);
+  /// @}
+
   /// Storage directory of a database ("/data/<db>").
   static std::string DatabaseLocation(const std::string& db);
   /// Storage directory of a table ("/data/<db>/<table>").
@@ -118,8 +132,12 @@ class Catalog final : public lst::MetadataStore {
   storage::DistributedFileSystem* dfs_;
   CatalogOptions options_;
   std::map<std::string, std::vector<std::string>> databases_;  // db -> tables
+  void NotifyCommit(const std::string& table) const;
+
   std::map<std::string, lst::TableMetadataPtr> tables_;  // "db.table" -> meta
   std::map<std::string, TableAccessStats> access_;
+  std::vector<std::pair<int64_t, CommitListener>> commit_listeners_;
+  int64_t next_listener_id_ = 1;
   CatalogStats stats_;
 };
 

@@ -1,0 +1,106 @@
+/// \file thread_pool.h
+/// \brief Work-stealing thread pool for the fleet-scale OODA hot path.
+///
+/// The paper's production deployment evaluates thousands of tables per
+/// pipeline cycle (§7); candidate generation, stats collection and trait
+/// evaluation are embarrassingly parallel per table / per candidate. The
+/// pool provides fire-and-forget task submission plus a blocking
+/// ParallelFor used by those phases. Determinism (NFR2) is preserved by
+/// construction: parallel callers write results into per-index slots and
+/// merge them in index order, so outputs are bit-identical to the
+/// sequential path regardless of worker count or interleaving.
+///
+/// Scheduling is work-stealing: each worker owns a deque and pops from
+/// its back (LIFO, cache-friendly); idle workers steal from the front of
+/// other workers' deques (FIFO, oldest-first). External submissions are
+/// distributed round-robin.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+
+namespace autocomp {
+
+/// \brief Pool sizing knobs, loadable from a component Config.
+struct ThreadPoolOptions {
+  /// Worker thread count; 0 picks std::thread::hardware_concurrency().
+  int workers = 0;
+
+  /// Reads "threadpool.workers" (default 0 = hardware concurrency).
+  static ThreadPoolOptions FromConfig(const Config& config);
+};
+
+/// \brief Fixed-size work-stealing thread pool.
+///
+/// Tasks must not throw. A ParallelFor issued from inside a worker runs
+/// inline on that worker (no nested fan-out), which makes nesting safe
+/// and deadlock-free. Pools with fewer than two workers execute
+/// ParallelFor inline as well — a single worker cannot beat the caller's
+/// own thread, so the handoff would be pure overhead.
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Creates `ThreadPoolOptions{workers}.workers` worker threads.
+  explicit ThreadPool(int workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(Task task);
+
+  /// Invokes `body(i)` exactly once for every i in [0, n), distributing
+  /// contiguous chunks across workers, and blocks until all calls
+  /// returned. `body` must be safe to run concurrently with itself for
+  /// distinct indices.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+
+  /// Blocks until every submitted task has finished (used by tests).
+  void WaitIdle();
+
+  /// Process-wide shared pool, created on first use with
+  /// `default_workers` threads (see SetDefaultWorkers).
+  static ThreadPool* Default();
+
+  /// Sets the worker count used when Default() first constructs the
+  /// shared pool. Calls after that pool exists have no effect; returns
+  /// whether the hint was applied.
+  static bool SetDefaultWorkers(int workers);
+
+ private:
+  /// One worker's deque; `mu` guards `tasks`.
+  struct Shard {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(int self);
+  /// Pops own work (back) or steals (front of another shard).
+  bool TryAcquire(int self, Task* out);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+
+  /// Guards wakeups and the idle handshake.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
+  int64_t pending_ = 0;  // queued + running tasks
+  int64_t next_shard_ = 0;  // round-robin cursor for external Submit
+  bool stop_ = false;
+};
+
+}  // namespace autocomp

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
+#include <optional>
+#include <utility>
 
 #include "lst/metadata_tables.h"
 
@@ -16,6 +19,73 @@ std::vector<Candidate> Sorted(std::vector<Candidate> candidates) {
               return a.id() < b.id();
             });
   return candidates;
+}
+
+using PerTableFn = std::function<Status(
+    catalog::Catalog*, const std::string&, std::vector<Candidate>*)>;
+
+/// Shared generator skeleton: runs `per_table` over every table in the
+/// fleet — fanned out across `pool` when one is supplied — and merges the
+/// per-table shards in table order before the final sort. Each table
+/// writes only its own index's slot, so the merged list (and the first
+/// error surfaced, in table order) is bit-for-bit identical to the
+/// sequential path regardless of worker count or scheduling (NFR2).
+Result<std::vector<Candidate>> GeneratePerTable(catalog::Catalog* catalog,
+                                                ThreadPool* pool,
+                                                const PerTableFn& per_table) {
+  const std::vector<std::string> names = catalog->ListAllTables();
+  const int64_t n = static_cast<int64_t>(names.size());
+  std::vector<std::vector<Candidate>> shards(names.size());
+  std::vector<Status> statuses(names.size(), Status::OK());
+  if (pool != nullptr && pool->worker_count() > 1 && n > 1) {
+    pool->ParallelFor(n, [&](int64_t i) {
+      statuses[i] = per_table(catalog, names[i], &shards[i]);
+    });
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      statuses[i] = per_table(catalog, names[i], &shards[i]);
+    }
+  }
+  size_t total = 0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    AUTOCOMP_RETURN_NOT_OK(statuses[i]);
+    total += shards[i].size();
+  }
+  std::vector<Candidate> out;
+  out.reserve(total);
+  for (std::vector<Candidate>& shard : shards) {
+    for (Candidate& c : shard) out.push_back(std::move(c));
+  }
+  return Sorted(std::move(out));
+}
+
+/// Re-derives the stats fields that can change *without* the table's
+/// snapshot moving: the control-plane target size (policy edits), the
+/// database quota (commits to sibling tables in the same database), and
+/// access telemetry. Both the cold path and the cache-hit path call this
+/// so cached output is byte-identical to a fresh collection.
+void RefreshVolatileStats(catalog::Catalog* catalog,
+                          const catalog::ControlPlane* control_plane,
+                          const lst::TableMetadata& meta,
+                          const Candidate& candidate, CandidateStats* stats) {
+  stats->target_file_size_bytes = meta.target_file_size_bytes();
+  if (control_plane != nullptr) {
+    stats->target_file_size_bytes =
+        control_plane->GetPolicy(candidate.table).target_file_size_bytes;
+  }
+
+  auto db = catalog::SplitQualifiedName(candidate.table);
+  if (db.ok()) {
+    const storage::QuotaStatus quota = catalog->DatabaseQuota(db->first);
+    stats->quota_utilization = quota.utilization();
+  }
+
+  // Custom metrics (§4.1: "candidate access patterns and usage metrics —
+  // information that may not be available in all systems").
+  const catalog::TableAccessStats access =
+      catalog->GetAccessStats(candidate.table);
+  stats->custom.SetInt("read_count", access.read_count);
+  stats->custom.SetInt("last_read_at", access.last_read_at);
 }
 
 }  // namespace
@@ -33,79 +103,87 @@ const char* CandidateScopeName(CandidateScope scope) {
 }
 
 Result<std::vector<Candidate>> TableScopeGenerator::Generate(
-    catalog::Catalog* catalog) const {
-  std::vector<Candidate> out;
-  for (const std::string& name : catalog->ListAllTables()) {
-    Candidate c;
-    c.table = name;
-    c.scope = CandidateScope::kTable;
-    out.push_back(std::move(c));
-  }
-  return Sorted(std::move(out));
+    catalog::Catalog* catalog, ThreadPool* pool) const {
+  return GeneratePerTable(
+      catalog, pool,
+      [](catalog::Catalog*, const std::string& name,
+         std::vector<Candidate>* out) {
+        Candidate c;
+        c.table = name;
+        c.scope = CandidateScope::kTable;
+        out->push_back(std::move(c));
+        return Status::OK();
+      });
 }
 
 Result<std::vector<Candidate>> PartitionScopeGenerator::Generate(
-    catalog::Catalog* catalog) const {
-  std::vector<Candidate> out;
-  for (const std::string& name : catalog->ListAllTables()) {
-    AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
-                              catalog->LoadTable(name));
-    if (!meta->partition_spec().is_partitioned()) continue;
-    for (const std::string& partition : meta->LivePartitions()) {
-      Candidate c;
-      c.table = name;
-      c.scope = CandidateScope::kPartition;
-      c.partition = partition;
-      out.push_back(std::move(c));
-    }
-  }
-  return Sorted(std::move(out));
+    catalog::Catalog* catalog, ThreadPool* pool) const {
+  return GeneratePerTable(
+      catalog, pool,
+      [](catalog::Catalog* cat, const std::string& name,
+         std::vector<Candidate>* out) {
+        AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
+                                  cat->LoadTable(name));
+        if (!meta->partition_spec().is_partitioned()) return Status::OK();
+        for (const std::string& partition : meta->LivePartitions()) {
+          Candidate c;
+          c.table = name;
+          c.scope = CandidateScope::kPartition;
+          c.partition = partition;
+          out->push_back(std::move(c));
+        }
+        return Status::OK();
+      });
 }
 
 Result<std::vector<Candidate>> HybridScopeGenerator::Generate(
-    catalog::Catalog* catalog) const {
-  std::vector<Candidate> out;
-  for (const std::string& name : catalog->ListAllTables()) {
-    AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
-                              catalog->LoadTable(name));
-    if (meta->partition_spec().is_partitioned()) {
-      for (const std::string& partition : meta->LivePartitions()) {
-        Candidate c;
-        c.table = name;
-        c.scope = CandidateScope::kPartition;
-        c.partition = partition;
-        out.push_back(std::move(c));
-      }
-    } else {
-      Candidate c;
-      c.table = name;
-      c.scope = CandidateScope::kTable;
-      out.push_back(std::move(c));
-    }
-  }
-  return Sorted(std::move(out));
+    catalog::Catalog* catalog, ThreadPool* pool) const {
+  return GeneratePerTable(
+      catalog, pool,
+      [](catalog::Catalog* cat, const std::string& name,
+         std::vector<Candidate>* out) {
+        AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
+                                  cat->LoadTable(name));
+        if (meta->partition_spec().is_partitioned()) {
+          for (const std::string& partition : meta->LivePartitions()) {
+            Candidate c;
+            c.table = name;
+            c.scope = CandidateScope::kPartition;
+            c.partition = partition;
+            out->push_back(std::move(c));
+          }
+        } else {
+          Candidate c;
+          c.table = name;
+          c.scope = CandidateScope::kTable;
+          out->push_back(std::move(c));
+        }
+        return Status::OK();
+      });
 }
 
 Result<std::vector<Candidate>> SnapshotScopeGenerator::Generate(
-    catalog::Catalog* catalog) const {
-  std::vector<Candidate> out;
-  for (const std::string& name : catalog->ListAllTables()) {
-    AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
-                              catalog->LoadTable(name));
-    // Files added after the most recent replace (compaction) snapshot.
-    int64_t last_replace = 0;
-    for (const lst::Snapshot& s : meta->snapshots()) {
-      if (s.operation == lst::SnapshotOperation::kReplace) {
-        last_replace = std::max(last_replace, s.snapshot_id);
-      }
-    }
-    Candidate c;
-    c.table = name;
-    c.scope = CandidateScope::kSnapshot;
-    c.after_snapshot_id = last_replace;
-    out.push_back(std::move(c));
-  }
-  return Sorted(std::move(out));
+    catalog::Catalog* catalog, ThreadPool* pool) const {
+  return GeneratePerTable(
+      catalog, pool,
+      [](catalog::Catalog* cat, const std::string& name,
+         std::vector<Candidate>* out) {
+        AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
+                                  cat->LoadTable(name));
+        // Files added after the most recent replace (compaction) snapshot.
+        int64_t last_replace = 0;
+        for (const lst::Snapshot& s : meta->snapshots()) {
+          if (s.operation == lst::SnapshotOperation::kReplace) {
+            last_replace = std::max(last_replace, s.snapshot_id);
+          }
+        }
+        Candidate c;
+        c.table = name;
+        c.scope = CandidateScope::kSnapshot;
+        c.after_snapshot_id = last_replace;
+        out->push_back(std::move(c));
+        return Status::OK();
+      });
 }
 
 StatsCollector::StatsCollector(catalog::Catalog* catalog,
@@ -122,30 +200,8 @@ Result<CandidateStats> StatsCollector::Collect(
   CandidateStats stats;
   stats.table_created_at = meta->created_at();
   stats.last_modified_at = meta->last_updated_at();
-  stats.target_file_size_bytes = meta->target_file_size_bytes();
-  if (control_plane_ != nullptr) {
-    const catalog::TablePolicy policy =
-        control_plane_->GetPolicy(candidate.table);
-    stats.target_file_size_bytes = policy.target_file_size_bytes;
-  }
 
-  std::vector<lst::DataFile> files;
-  switch (candidate.scope) {
-    case CandidateScope::kTable:
-      files = meta->LiveFiles();
-      break;
-    case CandidateScope::kPartition:
-      files = meta->LiveFiles(candidate.partition);
-      break;
-    case CandidateScope::kSnapshot: {
-      lst::MetadataTables tables(meta);
-      files = tables.FilesAddedAfter(candidate.after_snapshot_id);
-      break;
-    }
-  }
-  stats.file_count = static_cast<int64_t>(files.size());
-  stats.file_sizes.reserve(files.size());
-  for (const lst::DataFile& f : files) {
+  const auto accumulate = [&stats](const lst::DataFile& f) {
     stats.file_sizes.push_back(f.file_size_bytes);
     stats.total_bytes += f.file_size_bytes;
     stats.file_sizes_by_partition[f.partition].push_back(f.file_size_bytes);
@@ -153,27 +209,58 @@ Result<CandidateStats> StatsCollector::Collect(
       ++stats.delete_file_count;
     }
     if (!f.clustered) stats.unclustered_bytes += f.file_size_bytes;
+  };
+  switch (candidate.scope) {
+    case CandidateScope::kTable:
+      // Visit manifests in place; copying LiveFiles() per candidate was
+      // the observe phase's dominant allocation at fleet scale.
+      stats.file_sizes.reserve(meta->live_file_count());
+      meta->ForEachLiveFile(accumulate);
+      break;
+    case CandidateScope::kPartition:
+      meta->ForEachLiveFile(accumulate, candidate.partition);
+      break;
+    case CandidateScope::kSnapshot: {
+      lst::MetadataTables tables(meta);
+      for (const lst::DataFile& f :
+           tables.FilesAddedAfter(candidate.after_snapshot_id)) {
+        accumulate(f);
+      }
+      break;
+    }
   }
+  stats.file_count = static_cast<int64_t>(stats.file_sizes.size());
 
-  auto db = catalog::SplitQualifiedName(candidate.table);
-  if (db.ok()) {
-    const storage::QuotaStatus quota = catalog_->DatabaseQuota(db->first);
-    stats.quota_utilization = quota.utilization();
-  }
-
-  // Custom metrics (§4.1: "candidate access patterns and usage metrics —
-  // information that may not be available in all systems").
-  const catalog::TableAccessStats access =
-      catalog_->GetAccessStats(candidate.table);
-  stats.custom.SetInt("read_count", access.read_count);
-  stats.custom.SetInt("last_read_at", access.last_read_at);
+  RefreshVolatileStats(catalog_, control_plane_, *meta, candidate, &stats);
   return stats;
 }
 
 Result<std::vector<ObservedCandidate>> StatsCollector::CollectAll(
-    const std::vector<Candidate>& candidates) const {
+    const std::vector<Candidate>& candidates, ThreadPool* pool) const {
+  const int64_t n = static_cast<int64_t>(candidates.size());
   std::vector<ObservedCandidate> out;
   out.reserve(candidates.size());
+  if (pool != nullptr && pool->worker_count() > 1 && n > 1) {
+    // Per-index slots + index-ordered merge: same output (and same first
+    // error) as the sequential loop below, whatever the interleaving.
+    std::vector<std::optional<CandidateStats>> slots(candidates.size());
+    std::vector<Status> statuses(candidates.size(), Status::OK());
+    pool->ParallelFor(n, [&](int64_t i) {
+      auto collected = Collect(candidates[i]);
+      if (collected.ok()) {
+        slots[i] = std::move(*collected);
+      } else {
+        statuses[i] = collected.status();
+      }
+    });
+    for (int64_t i = 0; i < n; ++i) {
+      AUTOCOMP_RETURN_NOT_OK(statuses[i]);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      out.push_back(ObservedCandidate{candidates[i], std::move(*slots[i])});
+    }
+    return out;
+  }
   for (const Candidate& c : candidates) {
     AUTOCOMP_ASSIGN_OR_RETURN(CandidateStats stats, Collect(c));
     out.push_back(ObservedCandidate{c, std::move(stats)});
@@ -183,26 +270,115 @@ Result<std::vector<ObservedCandidate>> StatsCollector::CollectAll(
 
 CachingStatsCollector::CachingStatsCollector(
     catalog::Catalog* catalog, const catalog::ControlPlane* control_plane,
-    const Clock* clock)
-    : StatsCollector(catalog, control_plane, clock) {}
+    const Clock* clock, int64_t capacity)
+    : StatsCollector(catalog, control_plane, clock),
+      listener_catalog_(catalog),
+      capacity_(capacity) {
+  listener_id_ = listener_catalog_->AddCommitListener(
+      [this](const std::string& table) { InvalidateTable(table); });
+}
+
+CachingStatsCollector::~CachingStatsCollector() {
+  listener_catalog_->RemoveCommitListener(listener_id_);
+}
+
+void CachingStatsCollector::TouchLocked(Entry& entry,
+                                        const std::string& key) const {
+  (void)key;
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+}
 
 Result<CandidateStats> CachingStatsCollector::Collect(
     const Candidate& candidate) const {
   AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
                             catalog_->LoadTable(candidate.table));
   const std::string key = candidate.id();
-  const auto it = cache_.find(key);
-  if (it != cache_.end() && it->second.version == meta->version()) {
-    ++hits_;
-    return it->second.stats;
+  std::optional<CandidateStats> hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end() &&
+        it->second.snapshot_id == meta->current_snapshot_id()) {
+      ++hits_;
+      TouchLocked(it->second, key);
+      hit = it->second.stats;
+    } else {
+      ++misses_;
+    }
   }
-  ++misses_;
+  if (hit.has_value()) {
+    // Volatile inputs are re-read outside the lock (catalog reads only).
+    RefreshVolatileStats(catalog_, control_plane_, *meta, candidate, &*hit);
+    return std::move(*hit);
+  }
+
+  // Miss: collect without holding the lock so concurrent misses on other
+  // candidates overlap. Commits never race collection in this codebase
+  // (the pipeline observes, then acts), so the entry we store below still
+  // describes `meta`'s snapshot.
   AUTOCOMP_ASSIGN_OR_RETURN(CandidateStats stats,
                             StatsCollector::Collect(candidate));
-  cache_[key] = Entry{meta->version(), stats};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      it->second.snapshot_id = meta->current_snapshot_id();
+      it->second.stats = stats;
+      TouchLocked(it->second, key);
+    } else {
+      lru_.push_front(key);
+      Entry entry;
+      entry.snapshot_id = meta->current_snapshot_id();
+      entry.stats = stats;
+      entry.lru_it = lru_.begin();
+      cache_.emplace(key, std::move(entry));
+      if (capacity_ > 0 && static_cast<int64_t>(cache_.size()) > capacity_) {
+        cache_.erase(lru_.back());
+        lru_.pop_back();
+      }
+    }
+  }
   return stats;
 }
 
-void CachingStatsCollector::Invalidate() const { cache_.clear(); }
+int64_t CachingStatsCollector::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t CachingStatsCollector::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t CachingStatsCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(cache_.size());
+}
+
+void CachingStatsCollector::Invalidate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  lru_.clear();
+}
+
+void CachingStatsCollector::InvalidateTable(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.lower_bound(table);
+  while (it != cache_.end() &&
+         it->first.compare(0, table.size(), table) == 0) {
+    // Candidate ids for a table are "t", "t/<partition>", or "t@><snap>";
+    // require one of those boundaries so "db.t" does not evict "db.t2".
+    const std::string& key = it->first;
+    const bool boundary = key.size() == table.size() ||
+                          key[table.size()] == '/' || key[table.size()] == '@';
+    if (boundary) {
+      lru_.erase(it->second.lru_it);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
 
 }  // namespace autocomp::core

@@ -3,14 +3,17 @@
 
 #pragma once
 
+#include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "catalog/control_plane.h"
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "core/candidate.h"
 
 namespace autocomp::core {
@@ -18,13 +21,16 @@ namespace autocomp::core {
 /// \brief Produces the raw candidate pool from the catalog (§4.1).
 ///
 /// Implementations must be deterministic for a given catalog state (NFR2):
-/// candidates come out sorted by id.
+/// candidates come out sorted by id, and the parallel path (a non-null
+/// `pool` with more than one worker) is required to produce output
+/// bit-for-bit identical to the sequential path — generators shard the
+/// fleet per table into index-ordered slots and merge deterministically.
 class CandidateGenerator {
  public:
   virtual ~CandidateGenerator() = default;
   virtual std::string name() const = 0;
   virtual Result<std::vector<Candidate>> Generate(
-      catalog::Catalog* catalog) const = 0;
+      catalog::Catalog* catalog, ThreadPool* pool = nullptr) const = 0;
 };
 
 /// \brief One candidate per table (LinkedIn's initial deployment scope,
@@ -33,7 +39,7 @@ class TableScopeGenerator final : public CandidateGenerator {
  public:
   std::string name() const override { return "table-scope"; }
   Result<std::vector<Candidate>> Generate(
-      catalog::Catalog* catalog) const override;
+      catalog::Catalog* catalog, ThreadPool* pool = nullptr) const override;
 };
 
 /// \brief One candidate per live partition of partitioned tables;
@@ -42,7 +48,7 @@ class PartitionScopeGenerator final : public CandidateGenerator {
  public:
   std::string name() const override { return "partition-scope"; }
   Result<std::vector<Candidate>> Generate(
-      catalog::Catalog* catalog) const override;
+      catalog::Catalog* catalog, ThreadPool* pool = nullptr) const override;
 };
 
 /// \brief Partition scope for partitioned tables, table scope otherwise —
@@ -51,7 +57,7 @@ class HybridScopeGenerator final : public CandidateGenerator {
  public:
   std::string name() const override { return "hybrid-scope"; }
   Result<std::vector<Candidate>> Generate(
-      catalog::Catalog* catalog) const override;
+      catalog::Catalog* catalog, ThreadPool* pool = nullptr) const override;
 };
 
 /// \brief One candidate per table covering only files added after the
@@ -60,11 +66,15 @@ class SnapshotScopeGenerator final : public CandidateGenerator {
  public:
   std::string name() const override { return "snapshot-scope"; }
   Result<std::vector<Candidate>> Generate(
-      catalog::Catalog* catalog) const override;
+      catalog::Catalog* catalog, ThreadPool* pool = nullptr) const override;
 };
 
 /// \brief Collects the standardized statistics for a candidate from LST
 /// metadata tables and catalog quota state.
+///
+/// `Collect` must be safe to call concurrently from multiple threads:
+/// it only reads catalog/control-plane state. Subclasses adding mutable
+/// state (e.g. caches) must synchronize internally.
 class StatsCollector {
  public:
   StatsCollector(catalog::Catalog* catalog,
@@ -75,9 +85,17 @@ class StatsCollector {
   /// Fills a CandidateStats for `candidate` from the current table state.
   virtual Result<CandidateStats> Collect(const Candidate& candidate) const;
 
-  /// Convenience: observe a whole pool.
+  /// Convenience: observe a whole pool. With a non-null `pool` (of >1
+  /// workers) candidates fan out across the pool; output order and
+  /// content are identical to the sequential path, and on error the
+  /// first failing candidate in pool order is reported (NFR2).
   Result<std::vector<ObservedCandidate>> CollectAll(
-      const std::vector<Candidate>& candidates) const;
+      const std::vector<Candidate>& candidates,
+      ThreadPool* pool = nullptr) const;
+
+  /// Cache telemetry; the plain collector has no cache so both are 0.
+  virtual int64_t hits() const { return 0; }
+  virtual int64_t misses() const { return 0; }
 
  protected:
   catalog::Catalog* catalog_;
@@ -85,34 +103,68 @@ class StatsCollector {
   const Clock* clock_;
 };
 
-/// \brief Version-keyed caching wrapper around StatsCollector.
+/// \brief Snapshot-keyed LRU caching wrapper around StatsCollector.
 ///
 /// Observing a 100K-table fleet (the paper's projected scale, §2) every
-/// cycle re-walks every table's live files. Since stats depend only on a
-/// table's metadata version (plus quota state, which changes with file
-/// counts and hence with versions too), results can be reused until the
-/// table's version moves — the common case in a fleet where most tables
-/// are idle between compaction cycles.
+/// cycle re-walks every table's live files. The metadata-derived portion
+/// of a candidate's stats depends only on the table's current snapshot,
+/// so entries are keyed by (candidate id, current snapshot id) and
+/// reused until the snapshot moves — the common case in a fleet where
+/// most tables are idle between compaction cycles.
+///
+/// Two safeguards keep cached output byte-identical to a cold run:
+///  - Volatile inputs that change *without* a snapshot move — database
+///    quota utilization (commits to sibling tables), access telemetry,
+///    and the control-plane target file size — are re-read on every hit.
+///  - The collector registers a commit listener with the catalog; any
+///    commit or drop of a table eagerly evicts that table's entries
+///    (all scopes/partitions), bounding memory for churned tables.
+///
+/// Thread-safe: a mutex guards the cache and counters so CollectAll can
+/// fan Collect out across a ThreadPool.
 class CachingStatsCollector final : public StatsCollector {
  public:
+  /// `capacity` bounds the number of cached candidate entries (LRU
+  /// eviction); <= 0 means unbounded.
   CachingStatsCollector(catalog::Catalog* catalog,
                         const catalog::ControlPlane* control_plane,
-                        const Clock* clock);
+                        const Clock* clock, int64_t capacity = kDefaultCapacity);
+  ~CachingStatsCollector() override;
+
+  CachingStatsCollector(const CachingStatsCollector&) = delete;
+  CachingStatsCollector& operator=(const CachingStatsCollector&) = delete;
+
+  static constexpr int64_t kDefaultCapacity = 1 << 20;
 
   Result<CandidateStats> Collect(const Candidate& candidate) const override;
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  int64_t hits() const override;
+  int64_t misses() const override;
+  int64_t size() const;
   /// Drops all cached entries (e.g. after policy changes, which affect
   /// target sizes without moving table versions).
   void Invalidate() const;
+  /// Drops every entry belonging to `table` (any scope or partition);
+  /// wired to catalog commits via the commit listener.
+  void InvalidateTable(const std::string& table) const;
 
  private:
   struct Entry {
-    int64_t version = 0;
+    int64_t snapshot_id = 0;
     CandidateStats stats;
+    std::list<std::string>::iterator lru_it;
   };
+
+  void TouchLocked(Entry& entry, const std::string& key) const;
+
+  catalog::Catalog* listener_catalog_ = nullptr;
+  int64_t listener_id_ = 0;
+  const int64_t capacity_;
+  mutable std::mutex mu_;
+  // Ordered map so InvalidateTable can prefix-scan a table's entries
+  // ("db.t", "db.t/part", "db.t@>42" are contiguous).
   mutable std::map<std::string, Entry> cache_;
+  mutable std::list<std::string> lru_;  // front = most recent
   mutable int64_t hits_ = 0;
   mutable int64_t misses_ = 0;
 };

@@ -1,8 +1,20 @@
 #include "core/pipeline.h"
 
 #include <cassert>
+#include <chrono>
 
 namespace autocomp::core {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double MsSince(WallClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 int64_t PipelineRunReport::committed_count() const {
   int64_t n = 0;
@@ -57,32 +69,44 @@ AutoCompPipeline::AutoCompPipeline(Stages stages, catalog::Catalog* catalog,
 }
 
 Result<PipelineRunReport> AutoCompPipeline::RunOnce() {
-  AUTOCOMP_ASSIGN_OR_RETURN(std::vector<Candidate> pool,
-                            stages_.generator->Generate(catalog_));
-  return Run(std::move(pool));
+  const WallClock::time_point start = WallClock::now();
+  AUTOCOMP_ASSIGN_OR_RETURN(
+      std::vector<Candidate> pool,
+      stages_.generator->Generate(catalog_, stages_.pool));
+  return Run(std::move(pool), MsSince(start));
 }
 
 Result<PipelineRunReport> AutoCompPipeline::RunForCandidates(
     std::vector<Candidate> pool) {
-  return Run(std::move(pool));
+  return Run(std::move(pool), 0);
 }
 
-Result<PipelineRunReport> AutoCompPipeline::Run(std::vector<Candidate> pool) {
+Result<PipelineRunReport> AutoCompPipeline::Run(std::vector<Candidate> pool,
+                                                double generate_ms) {
   PipelineRunReport report;
   report.started_at = clock_->Now();
   report.candidates_generated = static_cast<int64_t>(pool.size());
+  report.timings.generate_ms = generate_ms;
 
   // --- Observe: collect the standardized statistics.
-  AUTOCOMP_ASSIGN_OR_RETURN(std::vector<ObservedCandidate> observed,
-                            stages_.collector->CollectAll(pool));
+  const int64_t hits_before = stages_.collector->hits();
+  const int64_t misses_before = stages_.collector->misses();
+  WallClock::time_point phase_start = WallClock::now();
+  AUTOCOMP_ASSIGN_OR_RETURN(
+      std::vector<ObservedCandidate> observed,
+      stages_.collector->CollectAll(pool, stages_.pool));
+  report.timings.observe_ms = MsSince(phase_start);
+  report.stats_cache_hits = stages_.collector->hits() - hits_before;
+  report.stats_cache_misses = stages_.collector->misses() - misses_before;
 
   // --- Optional filters between observe and orient.
   observed = ApplyFilters(observed, stages_.pre_orient_filters,
                           report.started_at, &report.dropped_pre_orient);
 
   // --- Orient: compute traits.
+  phase_start = WallClock::now();
   std::vector<TraitedCandidate> traited =
-      ComputeTraits(observed, stages_.traits);
+      ComputeTraits(observed, stages_.traits, stages_.pool);
 
   // --- Optional filters between orient and decide.
   if (!stages_.post_orient_filters.empty()) {
@@ -104,17 +128,22 @@ Result<PipelineRunReport> AutoCompPipeline::Run(std::vector<Candidate> pool) {
     }
     traited = std::move(kept);
   }
+  report.timings.orient_ms = MsSince(phase_start);
 
   // --- Decide: rank and select.
+  phase_start = WallClock::now();
   report.ranked = stages_.ranker->Rank(std::move(traited));
   report.selected = stages_.selector->Select(report.ranked);
+  report.timings.decide_ms = MsSince(phase_start);
 
   // --- Act.
+  phase_start = WallClock::now();
   if (stages_.scheduler != nullptr && !report.selected.empty()) {
     AUTOCOMP_ASSIGN_OR_RETURN(
         report.executed,
         stages_.scheduler->Execute(report.selected, report.started_at));
   }
+  report.timings.act_ms = MsSince(phase_start);
 
   // --- Feedback loop: estimates vs. measured outcome per executed unit.
   for (const ScheduledCompaction& unit : report.executed) {

@@ -30,6 +30,20 @@ struct FeedbackEntry {
   double actual_gb_hours = 0;
 };
 
+/// \brief Real (wall-clock) time spent in each OODA phase of one run —
+/// profiling the control loop itself, so measured with the host clock,
+/// not the simulated one.
+struct PipelinePhaseTimings {
+  double generate_ms = 0;
+  double observe_ms = 0;
+  double orient_ms = 0;
+  double decide_ms = 0;
+  double act_ms = 0;
+  double total_ms() const {
+    return generate_ms + observe_ms + orient_ms + decide_ms + act_ms;
+  }
+};
+
 /// \brief Everything one pipeline run produced, per phase.
 struct PipelineRunReport {
   SimTime started_at = 0;
@@ -44,6 +58,11 @@ struct PipelineRunReport {
   std::vector<ScheduledCompaction> executed;
   /// Feedback loop output.
   std::vector<FeedbackEntry> feedback;
+  /// Control-loop profiling: wall-clock per phase and the stats-cache
+  /// traffic this run generated (0/0 for non-caching collectors).
+  PipelinePhaseTimings timings;
+  int64_t stats_cache_hits = 0;
+  int64_t stats_cache_misses = 0;
 
   int64_t committed_count() const;
   int64_t conflict_count() const;
@@ -68,6 +87,10 @@ class AutoCompPipeline {
     std::shared_ptr<const Ranker> ranker;
     std::shared_ptr<const Selector> selector;
     std::shared_ptr<CompactionScheduler> scheduler;
+    /// When non-null, generation, stats collection, and trait evaluation
+    /// fan out across this pool; results stay bit-identical to the
+    /// sequential path (NFR2). Not owned; must outlive the pipeline.
+    ThreadPool* pool = nullptr;
   };
 
   AutoCompPipeline(Stages stages, catalog::Catalog* catalog,
@@ -85,7 +108,8 @@ class AutoCompPipeline {
   const Stages& stages() const { return stages_; }
 
  private:
-  Result<PipelineRunReport> Run(std::vector<Candidate> pool);
+  Result<PipelineRunReport> Run(std::vector<Candidate> pool,
+                                double generate_ms);
 
   Stages stages_;
   catalog::Catalog* catalog_;

@@ -97,16 +97,23 @@ double ComputeCostTrait::Compute(const ObservedCandidate& candidate) const {
 
 std::vector<TraitedCandidate> ComputeTraits(
     const std::vector<ObservedCandidate>& candidates,
-    const std::vector<std::shared_ptr<const Trait>>& traits) {
-  std::vector<TraitedCandidate> out;
-  out.reserve(candidates.size());
-  for (const ObservedCandidate& c : candidates) {
-    TraitedCandidate tc;
-    tc.observed = c;
+    const std::vector<std::shared_ptr<const Trait>>& traits,
+    ThreadPool* pool) {
+  std::vector<TraitedCandidate> out(candidates.size());
+  const auto compute_one = [&](int64_t i) {
+    TraitedCandidate& tc = out[static_cast<size_t>(i)];
+    tc.observed = candidates[static_cast<size_t>(i)];
     for (const auto& trait : traits) {
-      tc.traits[trait->name()] = trait->Compute(c);
+      tc.traits[trait->name()] = trait->Compute(tc.observed);
     }
-    out.push_back(std::move(tc));
+  };
+  const int64_t n = static_cast<int64_t>(candidates.size());
+  if (pool != nullptr && pool->worker_count() > 1 && n > 1) {
+    // Each index writes only its own slot; traits are pure, so the
+    // result is identical to the sequential loop (NFR2).
+    pool->ParallelFor(n, compute_one);
+  } else {
+    for (int64_t i = 0; i < n; ++i) compute_one(i);
   }
   return out;
 }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "common/units.h"
 #include "core/candidate.h"
 
@@ -144,8 +145,13 @@ class ComputeCostTrait final : public Trait {
 };
 
 /// \brief Computes all traits for a candidate pool (orient phase).
+///
+/// Traits are pure functions of the observed stats, so with a non-null
+/// `pool` candidates fan out across workers into per-index slots; output
+/// is identical to the sequential path (NFR2).
 std::vector<TraitedCandidate> ComputeTraits(
     const std::vector<ObservedCandidate>& candidates,
-    const std::vector<std::shared_ptr<const Trait>>& traits);
+    const std::vector<std::shared_ptr<const Trait>>& traits,
+    ThreadPool* pool = nullptr);
 
 }  // namespace autocomp::core

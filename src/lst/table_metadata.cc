@@ -49,15 +49,21 @@ std::vector<const Snapshot*> TableMetadata::SnapshotsAfter(
 std::vector<DataFile> TableMetadata::LiveFiles(
     const std::optional<std::string>& partition) const {
   std::vector<DataFile> out;
+  ForEachLiveFile([&out](const DataFile& f) { out.push_back(f); }, partition);
+  return out;
+}
+
+void TableMetadata::ForEachLiveFile(
+    const std::function<void(const DataFile&)>& fn,
+    const std::optional<std::string>& partition) const {
   const Snapshot* snap = current_snapshot();
-  if (snap == nullptr) return out;
+  if (snap == nullptr) return;
   for (const ManifestPtr& m : snap->manifests) {
     if (partition && !m->ContainsPartition(*partition)) continue;
     for (const DataFile& f : m->files()) {
-      if (!partition || f.partition == *partition) out.push_back(f);
+      if (!partition || f.partition == *partition) fn(f);
     }
   }
-  return out;
 }
 
 bool TableMetadata::IsLive(const std::string& path) const {

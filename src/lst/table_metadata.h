@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -62,6 +63,14 @@ class TableMetadata {
   /// Live data files of the current snapshot, optionally restricted to
   /// one partition key. Empty when no snapshot.
   std::vector<DataFile> LiveFiles(
+      const std::optional<std::string>& partition = std::nullopt) const;
+
+  /// Zero-copy visitation of the current snapshot's live files,
+  /// optionally restricted to one partition key. Unlike LiveFiles() this
+  /// never materializes DataFile copies — the hot path for fleet-scale
+  /// observation and commit validation, where only a scan is needed.
+  void ForEachLiveFile(
+      const std::function<void(const DataFile&)>& fn,
       const std::optional<std::string>& partition = std::nullopt) const;
 
   /// True if `path` is live in the current snapshot.

@@ -153,8 +153,32 @@ Status EventDriver::AdvanceTo(SimTime t) {
       auto ran = service_->Tick(clock.Now());
       if (!ran.ok()) {
         LOG_WARN << "autocomp service tick failed: " << ran.status();
-      } else if (ran->has_value() && options_.deferred_compaction) {
-        ScheduleCompactions((*ran)->selected);
+      } else if (ran->has_value()) {
+        const core::PipelineRunReport& report = **ran;
+        // Control-loop profiling: how long each OODA phase of this run
+        // took in host wall-clock, plus stats-cache traffic. These feed
+        // the pipeline-throughput benchmarks and the CLI summary.
+        metrics_->Record("pipeline_generate_ms", clock.Now(),
+                         report.timings.generate_ms);
+        metrics_->Record("pipeline_observe_ms", clock.Now(),
+                         report.timings.observe_ms);
+        metrics_->Record("pipeline_orient_ms", clock.Now(),
+                         report.timings.orient_ms);
+        metrics_->Record("pipeline_decide_ms", clock.Now(),
+                         report.timings.decide_ms);
+        metrics_->Record("pipeline_act_ms", clock.Now(),
+                         report.timings.act_ms);
+        if (report.stats_cache_hits > 0) {
+          metrics_->Increment("stats_cache_hits", clock.Now(),
+                              report.stats_cache_hits);
+        }
+        if (report.stats_cache_misses > 0) {
+          metrics_->Increment("stats_cache_misses", clock.Now(),
+                              report.stats_cache_misses);
+        }
+        if (options_.deferred_compaction) {
+          ScheduleCompactions(report.selected);
+        }
       }
     }
   }

@@ -67,6 +67,12 @@ Sample MetricsRecorder::AllObservations(const std::string& metric) const {
   return all;
 }
 
+double SeriesSum(const MetricsRecorder& metrics, const std::string& series) {
+  double sum = 0;
+  for (const SeriesPoint& p : metrics.Series(series)) sum += p.value;
+  return sum;
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 

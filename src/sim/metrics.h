@@ -57,6 +57,10 @@ class MetricsRecorder {
   std::map<std::string, std::map<SimTime, int64_t>> hourly_counts_;
 };
 
+/// \brief Sum of all values in a recorded series (0 when absent) — e.g.
+/// total wall-clock a pipeline phase consumed across every run.
+double SeriesSum(const MetricsRecorder& metrics, const std::string& series);
+
 /// \brief Fixed-width ASCII table printer used by the bench harnesses.
 class TablePrinter {
  public:

@@ -27,8 +27,15 @@ std::unique_ptr<core::AutoCompService> MakeMoopService(
       break;
   }
 
-  stages.collector = std::make_shared<core::StatsCollector>(
-      &env->catalog(), &env->control_plane(), &env->clock());
+  if (preset.cache_stats) {
+    stages.collector = std::make_shared<core::CachingStatsCollector>(
+        &env->catalog(), &env->control_plane(), &env->clock(),
+        preset.stats_cache_capacity);
+  } else {
+    stages.collector = std::make_shared<core::StatsCollector>(
+        &env->catalog(), &env->control_plane(), &env->clock());
+  }
+  stages.pool = preset.pool;
 
   if (preset.min_table_age > 0) {
     stages.pre_orient_filters.push_back(

@@ -44,6 +44,14 @@ struct StrategyPreset {
   /// start, commit at unit end — so rewrites genuinely overlap user
   /// writes. Requires DriverOptions::deferred_compaction.
   bool deferred_act = false;
+  /// Thread pool for the observe/orient fan-out; nullptr runs the
+  /// pipeline sequentially. Not owned; must outlive the service.
+  ThreadPool* pool = nullptr;
+  /// Use the snapshot-keyed CachingStatsCollector instead of the plain
+  /// one (commit-invalidated; identical output, cheaper idle cycles).
+  bool cache_stats = false;
+  /// LRU entry bound for the stats cache (<= 0 = unbounded).
+  int64_t stats_cache_capacity = core::CachingStatsCollector::kDefaultCapacity;
 };
 
 /// \brief Builds the full pipeline + periodic service over `env`'s

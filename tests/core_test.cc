@@ -6,6 +6,7 @@
 #include "catalog/catalog.h"
 #include "catalog/control_plane.h"
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "core/filters.h"
 #include "core/observe.h"
 #include "core/pipeline.h"
@@ -862,6 +863,290 @@ TEST_F(CoreFixture, CachingCollectorInvalidate) {
   collector.Invalidate();
   ASSERT_TRUE(collector.Collect(candidate).ok());
   EXPECT_EQ(collector.misses(), 2);
+}
+
+// Field-wise equality of two observed stats; byte-identical is the
+// contract between the sequential, parallel, and cached paths (NFR2).
+void ExpectStatsEq(const CandidateStats& a, const CandidateStats& b,
+                   const std::string& context) {
+  EXPECT_EQ(a.file_count, b.file_count) << context;
+  EXPECT_EQ(a.total_bytes, b.total_bytes) << context;
+  EXPECT_EQ(a.file_sizes, b.file_sizes) << context;
+  EXPECT_EQ(a.target_file_size_bytes, b.target_file_size_bytes) << context;
+  EXPECT_EQ(a.table_created_at, b.table_created_at) << context;
+  EXPECT_EQ(a.last_modified_at, b.last_modified_at) << context;
+  EXPECT_EQ(a.file_sizes_by_partition, b.file_sizes_by_partition) << context;
+  EXPECT_EQ(a.delete_file_count, b.delete_file_count) << context;
+  EXPECT_EQ(a.unclustered_bytes, b.unclustered_bytes) << context;
+  EXPECT_EQ(a.quota_utilization, b.quota_utilization) << context;
+  EXPECT_EQ(a.custom.entries(), b.custom.entries()) << context;
+}
+
+// ------------------------------------------- Parallel pipeline determinism
+
+TEST_F(CoreFixture, ParallelGeneratorsMatchSequential) {
+  MakePartitionedTable("p1");
+  MakePartitionedTable("p2");
+  MakeUnpartitionedTable("u1");
+  MakeUnpartitionedTable("u2");
+  FragmentTable("db.p1", {"m=2024-01", "m=2024-02", "m=2024-03"});
+  FragmentTable("db.p2", {"m=2024-01"});
+  FragmentTable("db.u1", {});
+
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const std::vector<std::shared_ptr<const CandidateGenerator>> generators = {
+      std::make_shared<TableScopeGenerator>(),
+      std::make_shared<PartitionScopeGenerator>(),
+      std::make_shared<HybridScopeGenerator>(),
+      std::make_shared<SnapshotScopeGenerator>(),
+  };
+  for (const auto& gen : generators) {
+    auto sequential = gen->Generate(&catalog_);
+    auto parallel1 = gen->Generate(&catalog_, &pool1);
+    auto parallel4 = gen->Generate(&catalog_, &pool4);
+    ASSERT_TRUE(sequential.ok() && parallel1.ok() && parallel4.ok());
+    ASSERT_EQ(sequential->size(), parallel4->size()) << gen->name();
+    for (size_t i = 0; i < sequential->size(); ++i) {
+      EXPECT_EQ((*sequential)[i].id(), (*parallel1)[i].id()) << gen->name();
+      EXPECT_EQ((*sequential)[i].id(), (*parallel4)[i].id()) << gen->name();
+      EXPECT_TRUE((*sequential)[i] == (*parallel4)[i]) << gen->name();
+    }
+  }
+}
+
+TEST_F(CoreFixture, ParallelPipelineReportMatchesSequential) {
+  MakePartitionedTable("p1");
+  MakePartitionedTable("p2");
+  MakeUnpartitionedTable("u1");
+  MakeUnpartitionedTable("u2");
+  FragmentTable("db.p1", {"m=2024-01", "m=2024-02"});
+  FragmentTable("db.p2", {"m=2024-01", "m=2024-03"});
+  FragmentTable("db.u1", {});
+  FragmentTable("db.u2", {});
+
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  // Decide-only pipeline (no scheduler) so repeated runs see identical
+  // catalog state; candidate ids, ranking order, scores, and selection
+  // must be byte-identical across pool sizes.
+  const auto run_with = [&](ThreadPool* pool) {
+    AutoCompPipeline::Stages stages;
+    stages.generator = std::make_shared<HybridScopeGenerator>();
+    stages.collector = std::make_shared<StatsCollector>(
+        &catalog_, &control_plane_, &clock_);
+    stages.traits = {std::make_shared<FileCountReductionTrait>(),
+                     std::make_shared<FileEntropyTrait>(),
+                     std::make_shared<ComputeCostTrait>(24.0, 1e9)};
+    stages.ranker = std::make_shared<MoopRanker>(
+        std::vector<MoopRanker::Objective>{
+            {"file_count_reduction", 0.7, false},
+            {"compute_cost_gbhr", 0.3, true}});
+    stages.selector = std::make_shared<FixedKSelector>(3);
+    stages.scheduler = nullptr;
+    stages.pool = pool;
+    AutoCompPipeline pipeline(std::move(stages), &catalog_, &clock_);
+    auto report = pipeline.RunOnce();
+    EXPECT_TRUE(report.ok());
+    return std::move(*report);
+  };
+
+  const PipelineRunReport sequential = run_with(nullptr);
+  const PipelineRunReport parallel1 = run_with(&pool1);
+  const PipelineRunReport parallel4 = run_with(&pool4);
+
+  for (const PipelineRunReport* parallel : {&parallel1, &parallel4}) {
+    EXPECT_EQ(sequential.candidates_generated, parallel->candidates_generated);
+    ASSERT_EQ(sequential.ranked.size(), parallel->ranked.size());
+    for (size_t i = 0; i < sequential.ranked.size(); ++i) {
+      const ScoredCandidate& a = sequential.ranked[i];
+      const ScoredCandidate& b = parallel->ranked[i];
+      EXPECT_EQ(a.candidate().id(), b.candidate().id()) << "rank " << i;
+      EXPECT_EQ(a.score, b.score) << "rank " << i;  // exact, not approx
+      EXPECT_EQ(a.traited.traits, b.traited.traits) << "rank " << i;
+      ExpectStatsEq(a.traited.observed.stats, b.traited.observed.stats,
+                    "rank " + std::to_string(i));
+    }
+    ASSERT_EQ(sequential.selected.size(), parallel->selected.size());
+    for (size_t i = 0; i < sequential.selected.size(); ++i) {
+      EXPECT_EQ(sequential.selected[i].candidate().id(),
+                parallel->selected[i].candidate().id());
+    }
+  }
+}
+
+TEST_F(CoreFixture, ParallelCollectAllPropagatesFirstError) {
+  MakePartitionedTable("p1");
+  FragmentTable("db.p1", {"m=2024-01"});
+  StatsCollector collector(&catalog_, &control_plane_, &clock_);
+  std::vector<Candidate> pool;
+  Candidate good;
+  good.table = "db.p1";
+  Candidate bad;
+  bad.table = "db.does_not_exist";
+  pool = {good, bad, good};
+  ThreadPool threads(4);
+  auto sequential = collector.CollectAll(pool);
+  auto parallel = collector.CollectAll(pool, &threads);
+  ASSERT_FALSE(sequential.ok());
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(sequential.status().ToString(), parallel.status().ToString());
+}
+
+TEST_F(CoreFixture, CachingCollectorParallelMatchesSequential) {
+  MakePartitionedTable("p1");
+  MakeUnpartitionedTable("u1");
+  FragmentTable("db.p1", {"m=2024-01", "m=2024-02"});
+  FragmentTable("db.u1", {});
+  HybridScopeGenerator gen;
+  auto pool = gen.Generate(&catalog_);
+  ASSERT_TRUE(pool.ok());
+  StatsCollector plain(&catalog_, &control_plane_, &clock_);
+  CachingStatsCollector cached(&catalog_, &control_plane_, &clock_);
+  ThreadPool threads(4);
+  for (int round = 0; round < 2; ++round) {
+    auto a = plain.CollectAll(*pool);
+    auto b = cached.CollectAll(*pool, &threads);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      ExpectStatsEq((*a)[i].stats, (*b)[i].stats, (*a)[i].candidate.id());
+    }
+  }
+  EXPECT_GT(cached.hits(), 0);
+}
+
+// -------------------------------------- Commit-scoped cache invalidation
+
+TEST_F(CoreFixture, CachingCollectorInvalidatesOnlyCommittedTable) {
+  MakePartitionedTable("p1");
+  MakePartitionedTable("p2");
+  MakeUnpartitionedTable("u1");
+  FragmentTable("db.p1", {"m=2024-01"});
+  FragmentTable("db.p2", {"m=2024-01"});
+  FragmentTable("db.u1", {});
+
+  CachingStatsCollector cached(&catalog_, &control_plane_, &clock_);
+  TableScopeGenerator gen;
+  auto pool = gen.Generate(&catalog_);
+  ASSERT_TRUE(pool.ok());
+  ASSERT_EQ(pool->size(), 3u);
+
+  // Cycle 1: cold.
+  ASSERT_TRUE(cached.CollectAll(*pool).ok());
+  EXPECT_EQ(cached.misses(), 3);
+  EXPECT_EQ(cached.hits(), 0);
+
+  // A commit lands on db.p1 only; its cache entry must be evicted via the
+  // catalog commit listener, everything else stays cached.
+  FragmentTable("db.p1", {"m=2024-02"});
+
+  // Cycle 2: exactly one miss (the committed table), two hits.
+  auto warm = cached.CollectAll(*pool);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(cached.misses(), 4);
+  EXPECT_EQ(cached.hits(), 2);
+
+  // Every candidate — cached or recomputed — matches a cold collector,
+  // including db-level quota utilization, which the p1 commit changed for
+  // the *cached* p2/u1 entries (volatile fields refresh on every hit).
+  StatsCollector cold(&catalog_, &control_plane_, &clock_);
+  for (const ObservedCandidate& oc : *warm) {
+    auto fresh = cold.Collect(oc.candidate);
+    ASSERT_TRUE(fresh.ok());
+    ExpectStatsEq(*fresh, oc.stats, oc.candidate.id());
+  }
+}
+
+TEST_F(CoreFixture, CachingCollectorRefreshesQuotaOnHit) {
+  // A database with a namespace quota: commits to one table change the
+  // quota utilization observed by every *other* table in the database,
+  // without touching their snapshots. Cached entries must still serve
+  // the fresh quota value.
+  ASSERT_TRUE(catalog_.CreateDatabase("tenant", 10'000).ok());
+  auto t1 = catalog_.CreateTable(
+      "tenant", "a", lst::Schema(0, {{1, "v", lst::FieldType::kInt64, true}}),
+      lst::PartitionSpec::Unpartitioned());
+  auto t2 = catalog_.CreateTable(
+      "tenant", "b", lst::Schema(0, {{1, "v", lst::FieldType::kInt64, true}}),
+      lst::PartitionSpec::Unpartitioned());
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  FragmentTable("tenant.a", {});
+  FragmentTable("tenant.b", {});
+
+  CachingStatsCollector cached(&catalog_, &control_plane_, &clock_);
+  Candidate b_candidate;
+  b_candidate.table = "tenant.b";
+  auto cold = cached.Collect(b_candidate);
+  ASSERT_TRUE(cold.ok());
+
+  // Commit to tenant.a: tenant.b's snapshot is untouched (cache hit) but
+  // the shared database quota moved.
+  FragmentTable("tenant.a", {});
+  auto warm = cached.Collect(b_candidate);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(cached.hits(), 1);
+  EXPECT_GT(warm->quota_utilization, cold->quota_utilization);
+
+  StatsCollector plain(&catalog_, &control_plane_, &clock_);
+  auto fresh = plain.Collect(b_candidate);
+  ASSERT_TRUE(fresh.ok());
+  ExpectStatsEq(*fresh, *warm, "tenant.b");
+}
+
+TEST_F(CoreFixture, CachingCollectorDropTableEvictsEntries) {
+  MakePartitionedTable("p1");
+  FragmentTable("db.p1", {"m=2024-01"});
+  CachingStatsCollector cached(&catalog_, &control_plane_, &clock_);
+  Candidate c;
+  c.table = "db.p1";
+  ASSERT_TRUE(cached.Collect(c).ok());
+  EXPECT_EQ(cached.size(), 1);
+  ASSERT_TRUE(catalog_.DropTable("db.p1").ok());
+  EXPECT_EQ(cached.size(), 0);
+}
+
+TEST_F(CoreFixture, CachingCollectorPrefixEvictionRespectsBoundaries) {
+  // "db.p" and "db.p2" share a name prefix; invalidating "db.p" must not
+  // evict "db.p2" (and vice versa).
+  MakePartitionedTable("p");
+  MakePartitionedTable("p2");
+  FragmentTable("db.p", {"m=2024-01"});
+  FragmentTable("db.p2", {"m=2024-01"});
+  CachingStatsCollector cached(&catalog_, &control_plane_, &clock_);
+  HybridScopeGenerator gen;
+  auto pool = gen.Generate(&catalog_);
+  ASSERT_TRUE(pool.ok());
+  ASSERT_TRUE(cached.CollectAll(*pool).ok());
+  const int64_t entries = cached.size();
+  ASSERT_GE(entries, 2);
+  cached.InvalidateTable("db.p");
+  EXPECT_EQ(cached.size(), entries - 1);  // only db.p's partition entry
+  cached.InvalidateTable("db.p2");
+  EXPECT_EQ(cached.size(), entries - 2);
+}
+
+TEST_F(CoreFixture, CachingCollectorLruEviction) {
+  MakePartitionedTable("p1");
+  MakePartitionedTable("p2");
+  MakePartitionedTable("p3");
+  FragmentTable("db.p1", {"m=2024-01"});
+  FragmentTable("db.p2", {"m=2024-01"});
+  FragmentTable("db.p3", {"m=2024-01"});
+  CachingStatsCollector cached(&catalog_, &control_plane_, &clock_,
+                               /*capacity=*/2);
+  Candidate c1, c2, c3;
+  c1.table = "db.p1";
+  c2.table = "db.p2";
+  c3.table = "db.p3";
+  ASSERT_TRUE(cached.Collect(c1).ok());
+  ASSERT_TRUE(cached.Collect(c2).ok());
+  ASSERT_TRUE(cached.Collect(c3).ok());  // evicts c1 (least recent)
+  EXPECT_EQ(cached.size(), 2);
+  ASSERT_TRUE(cached.Collect(c2).ok());  // still cached
+  EXPECT_EQ(cached.hits(), 1);
+  ASSERT_TRUE(cached.Collect(c1).ok());  // was evicted: a miss again
+  EXPECT_EQ(cached.misses(), 4);
 }
 
 TEST_F(CoreFixture, CachingCollectorPlugsIntoPipeline) {

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/advisor.h"
 #include "sim/driver.h"
 #include "sim/environment.h"
@@ -44,6 +45,10 @@ struct Flags {
   int databases = 20;
   uint64_t seed = 99;
   bool deferred = true;
+  /// Observe/orient fan-out: 0 = hardware concurrency, 1 = sequential.
+  int pool_size = 0;
+  bool stats_cache = true;
+  int64_t stats_cache_capacity = core::CachingStatsCollector::kDefaultCapacity;
 };
 
 void PrintUsage() {
@@ -52,7 +57,15 @@ void PrintUsage() {
       "usage: autocomp_cli <cab|fleet> [--strategy=none|table|hybrid|"
       "partition|snapshot]\n"
       "                    [--k=N] [--budget=GBHR] [--hours=N] [--days=N]\n"
-      "                    [--databases=N] [--seed=N] [--no-deferred]\n");
+      "                    [--databases=N] [--seed=N] [--no-deferred]\n"
+      "                    [--pool-size=N] [--no-stats-cache]\n"
+      "                    [--stats-cache-capacity=N]\n"
+      "\n"
+      "  --pool-size=N            pipeline worker threads (0 = all cores,\n"
+      "                           1 = sequential); results are identical\n"
+      "                           at any setting, only wall-clock changes\n"
+      "  --no-stats-cache         disable the snapshot-keyed stats cache\n"
+      "  --stats-cache-capacity=N LRU entry bound for the stats cache\n");
 }
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -83,8 +96,14 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->databases = std::atoi(v);
     } else if (const char* v = value_of("--seed")) {
       flags->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--pool-size")) {
+      flags->pool_size = std::atoi(v);
+    } else if (const char* v = value_of("--stats-cache-capacity")) {
+      flags->stats_cache_capacity = std::atoll(v);
     } else if (arg == "--no-deferred") {
       flags->deferred = false;
+    } else if (arg == "--no-stats-cache") {
+      flags->stats_cache = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -109,7 +128,8 @@ Result<sim::ScopeStrategy> ScopeFor(const std::string& strategy) {
 
 std::unique_ptr<core::AutoCompService> MakeService(sim::SimEnvironment* env,
                                                    const Flags& flags,
-                                                   SimTime interval) {
+                                                   SimTime interval,
+                                                   ThreadPool* pool) {
   if (flags.strategy == "none") return nullptr;
   auto scope = ScopeFor(flags.strategy);
   AUTOCOMP_CHECK(scope.ok()) << scope.status();
@@ -120,6 +140,9 @@ std::unique_ptr<core::AutoCompService> MakeService(sim::SimEnvironment* env,
   preset.trigger_interval = interval;
   preset.first_trigger = interval;
   preset.deferred_act = flags.deferred;
+  preset.pool = pool;
+  preset.cache_stats = flags.stats_cache;
+  preset.stats_cache_capacity = flags.stats_cache_capacity;
   return sim::MakeMoopService(env, preset);
 }
 
@@ -147,12 +170,38 @@ void PrintSummary(sim::SimEnvironment& env,
                 std::to_string(env.compaction_runner().total_committed())});
   if (service != nullptr) {
     int64_t selected = 0;
+    core::PipelinePhaseTimings wall;
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
     for (const core::PipelineRunReport& r : service->history()) {
       selected += static_cast<int64_t>(r.selected.size());
+      wall.generate_ms += r.timings.generate_ms;
+      wall.observe_ms += r.timings.observe_ms;
+      wall.orient_ms += r.timings.orient_ms;
+      wall.decide_ms += r.timings.decide_ms;
+      wall.act_ms += r.timings.act_ms;
+      cache_hits += r.stats_cache_hits;
+      cache_misses += r.stats_cache_misses;
     }
     table.AddRow({"pipeline runs",
                   std::to_string(service->history().size())});
     table.AddRow({"candidates selected", std::to_string(selected)});
+    table.AddRow({"pipeline wall-clock (ms)", sim::Fmt(wall.total_ms(), 1)});
+    table.AddRow({"  generate (ms)", sim::Fmt(wall.generate_ms, 1)});
+    table.AddRow({"  observe (ms)", sim::Fmt(wall.observe_ms, 1)});
+    table.AddRow({"  orient (ms)", sim::Fmt(wall.orient_ms, 1)});
+    table.AddRow({"  decide (ms)", sim::Fmt(wall.decide_ms, 1)});
+    table.AddRow({"  act (ms)", sim::Fmt(wall.act_ms, 1)});
+    if (cache_hits + cache_misses > 0) {
+      table.AddRow({"stats cache hits", std::to_string(cache_hits)});
+      table.AddRow({"stats cache misses", std::to_string(cache_misses)});
+      table.AddRow(
+          {"stats cache hit rate",
+           sim::Fmt(100.0 * static_cast<double>(cache_hits) /
+                        static_cast<double>(cache_hits + cache_misses),
+                    1) +
+               "%"});
+    }
   }
   double gbhr = 0;
   for (const sim::SeriesPoint& p : metrics.Series("compaction_gbhr")) {
@@ -181,7 +230,8 @@ int RunCab(const Flags& flags) {
   }
   const int64_t initial = env.TotalFileCount();
 
-  auto service = MakeService(&env, flags, kHour);
+  ThreadPool pool(flags.pool_size);
+  auto service = MakeService(&env, flags, kHour, &pool);
   sim::MetricsRecorder metrics;
   sim::DriverOptions driver_options;
   driver_options.deferred_compaction = flags.deferred;
@@ -225,7 +275,8 @@ int RunFleet(const Flags& flags) {
   }
   const int64_t initial = env.TotalFileCount();
 
-  auto service = MakeService(&env, flags, kDay);
+  ThreadPool pool(flags.pool_size);
+  auto service = MakeService(&env, flags, kDay, &pool);
   sim::MetricsRecorder metrics;
   sim::DriverOptions driver_options;
   driver_options.deferred_compaction = flags.deferred;
