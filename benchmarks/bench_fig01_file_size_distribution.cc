@@ -27,9 +27,8 @@ SizeHistogram HistogramOf(catalog::Catalog* catalog,
   for (const std::string& table : tables) {
     auto meta = catalog->LoadTable(table);
     if (!meta.ok()) continue;
-    for (const lst::DataFile& f : (*meta)->LiveFiles()) {
-      histogram.Add(f.file_size_bytes);
-    }
+    (*meta)->ForEachLiveFile(
+        [&](const lst::DataFile& f) { histogram.Add(f.file_size_bytes); });
   }
   return histogram;
 }

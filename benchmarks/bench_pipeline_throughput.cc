@@ -1,18 +1,26 @@
 /// \file bench_pipeline_throughput.cc
 /// \brief Control-loop throughput: full RunOnce() cycles over a synthetic
-/// fleet at pool sizes {sequential, 1, 2, 4, hardware}, with the
-/// snapshot-keyed stats cache on and off.
+/// fleet across collector modes (rescan, cache, incremental stats index,
+/// index+cache) and pool sizes, verifying every configuration produces
+/// the sequential ranking byte for byte (NFR2).
 ///
 /// The paper projects observe/decide cycles over ~100K tables (§2); this
-/// bench measures how fast the framework itself can turn the OODA loop
-/// as workers and caching are added, and verifies the parallel output is
-/// byte-identical to the sequential baseline (NFR2). Results land in
-/// BENCH_pipeline.json:
+/// bench measures how fast the framework itself can turn the OODA loop as
+/// workers, caching, and the IncrementalStatsIndex are added. Pool sizes
+/// above hardware_concurrency are skipped and annotated as invalid:
+/// oversubscribed pools on a starved host measure scheduler noise, not
+/// speedup. Results land in BENCH_pipeline.json:
 ///   {"fleet_tables": N, "hardware_concurrency": H, "runs": [
-///      {"name": "...", "pool_size": P, "cache": true,
-///       "tables_per_sec": ..., "speedup_vs_seq": ...,
-///       "cache_hit_rate": ...}, ...]}
+///      {"name": "...", "pool_size": P, "cache": true, "indexed": false,
+///       "cold_ms": ..., "best_ms": ..., "tables_per_sec": ...,
+///       "speedup_vs_seq": ..., "speedup_vs_cold_seq": ...,
+///       "cache_hit_rate": ..., "index_hit_rate": ...}, ...]}
+///
+/// speedup_vs_seq compares steady-state best runs; speedup_vs_cold_seq
+/// compares against the cold seq rescan (run 0, no warm allocator or
+/// metadata residency) — the state an advisor actually wakes up in.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -29,6 +37,7 @@
 #include "core/observe.h"
 #include "core/pipeline.h"
 #include "core/ranking.h"
+#include "core/stats_index.h"
 #include "core/traits.h"
 #include "lst/table.h"
 #include "sim/metrics.h"
@@ -40,7 +49,9 @@ namespace {
 
 constexpr int kFleetTables = 2000;
 constexpr int kDatabases = 20;
-constexpr int kRunsPerConfig = 3;
+// Best-of-N absorbs scheduler noise on busy hosts; run 0 is reported
+// separately as the cold measurement.
+constexpr int kRunsPerConfig = 7;
 
 /// Synthetic fleet: metadata-only tables with fragmented file lists (the
 /// observe phase reads manifests, never file contents, so no storage
@@ -115,23 +126,45 @@ struct RunResult {
   std::string name;
   int pool_size = 0;  // 0 = sequential (no pool)
   bool cache = false;
+  bool indexed = false;
+  bool skipped = false;
+  std::string skip_reason;
+  double cold_ms = 0;  // first run: cache empty, index entries unbuilt
   double best_ms = 0;
+  core::PipelinePhaseTimings best_timings;
   double tables_per_sec = 0;
   double cache_hit_rate = 0;
+  double index_hit_rate = 0;
   std::string fingerprint;
 };
 
-RunResult RunConfig(const std::string& name, catalog::Catalog* catalog,
-                    const catalog::ControlPlane* control_plane,
-                    const Clock* clock, int pool_size, bool cache) {
-  std::unique_ptr<ThreadPool> pool;
-  if (pool_size > 0) pool = std::make_unique<ThreadPool>(pool_size);
+struct RunSpec {
+  std::string name;
+  int pool_size = 0;
+  bool cache = false;
+  bool indexed = false;
+};
 
+RunResult RunConfig(const RunSpec& spec, catalog::Catalog* catalog,
+                    const catalog::ControlPlane* control_plane,
+                    const Clock* clock) {
+  std::unique_ptr<ThreadPool> pool;
+  if (spec.pool_size > 0) pool = std::make_unique<ThreadPool>(spec.pool_size);
+
+  // The index registers a catalog commit listener; it must outlive the
+  // pipeline runs but not the bench, so scope it to this config.
+  std::shared_ptr<core::IncrementalStatsIndex> index;
   std::shared_ptr<core::StatsCollector> collector;
-  if (cache) {
+  if (spec.indexed) {
+    index = std::make_shared<core::IncrementalStatsIndex>(catalog);
+    collector = std::make_shared<core::IndexedStatsCollector>(
+        catalog, control_plane, clock, index);
+  }
+  if (spec.cache) {
     collector = std::make_shared<core::CachingStatsCollector>(
-        catalog, control_plane, clock);
-  } else {
+        catalog, control_plane, clock, collector,
+        core::CachingStatsCollector::kDefaultCapacity);
+  } else if (collector == nullptr) {
     collector = std::make_shared<core::StatsCollector>(catalog, control_plane,
                                                        clock);
   }
@@ -139,28 +172,42 @@ RunResult RunConfig(const std::string& name, catalog::Catalog* catalog,
       MakePipeline(catalog, control_plane, clock, collector, pool.get());
 
   RunResult result;
-  result.name = name;
-  result.pool_size = pool_size;
-  result.cache = cache;
+  result.name = spec.name;
+  result.pool_size = spec.pool_size;
+  result.cache = spec.cache;
+  result.indexed = spec.indexed;
   int64_t hits = 0;
   int64_t total = 0;
+  int64_t index_hits = 0;
+  int64_t index_total = 0;
   // The catalog never mutates (null scheduler), so with caching on, run 1
-  // is the cold fill and later runs hit steady-state.
+  // is the cold fill and later runs hit steady-state. Likewise the index
+  // lazily builds per table on the first run and serves O(1) afterwards.
   for (int run = 0; run < kRunsPerConfig; ++run) {
     auto report = pipeline.RunOnce();
     AUTOCOMP_CHECK(report.ok()) << report.status();
     const double ms = report->timings.total_ms();
-    if (result.best_ms == 0 || ms < result.best_ms) result.best_ms = ms;
+    if (run == 0) result.cold_ms = ms;
+    if (result.best_ms == 0 || ms < result.best_ms) {
+      result.best_ms = ms;
+      result.best_timings = report->timings;
+    }
     result.fingerprint = RankingFingerprint(*report);
-    if (run > 0) {  // steady-state cache traffic only
+    if (run > 0) {  // steady-state cache/index traffic only
       hits += report->stats_cache_hits;
       total += report->stats_cache_hits + report->stats_cache_misses;
+      index_hits += report->stats_index_hits;
+      index_total += report->stats_index_hits + report->stats_index_fallbacks;
     }
   }
   result.tables_per_sec =
       result.best_ms > 0 ? kFleetTables / (result.best_ms / 1000.0) : 0;
   result.cache_hit_rate =
       total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0;
+  result.index_hit_rate =
+      index_total > 0
+          ? static_cast<double>(index_hits) / static_cast<double>(index_total)
+          : 0;
   return result;
 }
 
@@ -172,47 +219,109 @@ int main() {
   catalog::Catalog catalog(&clock, &dfs);
   catalog::ControlPlane control_plane(&catalog);
   Rng rng(7);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("hardware_concurrency = %d\n", hw);
+  if (hw <= 1) {
+    std::printf(
+        "NOTE: single-core host — multi-worker pool runs would measure "
+        "oversubscription noise, not speedup; skipping them.\n");
+  }
   std::printf("building %d-table synthetic fleet...\n", kFleetTables);
   BuildFleet(&catalog, &rng);
 
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  std::vector<RunResult> runs;
-  runs.push_back(
-      RunConfig("seq", &catalog, &control_plane, &clock, 0, false));
-  const double seq_ms = runs[0].best_ms;
-  for (int workers : {1, 2, 4, hw}) {
-    runs.push_back(RunConfig("pool" + std::to_string(workers), &catalog,
-                             &control_plane, &clock, workers, false));
-  }
-  runs.push_back(
-      RunConfig("seq+cache", &catalog, &control_plane, &clock, 0, true));
-  runs.push_back(RunConfig("pool" + std::to_string(hw) + "+cache", &catalog,
-                           &control_plane, &clock, hw, true));
+  // Pool sizes to attempt; anything above hardware_concurrency is
+  // recorded as skipped/invalid rather than benchmarked.
+  std::vector<int> pool_sizes = {1, 2, 4, hw};
+  std::sort(pool_sizes.begin(), pool_sizes.end());
+  pool_sizes.erase(std::unique(pool_sizes.begin(), pool_sizes.end()),
+                   pool_sizes.end());
 
-  // NFR2: every configuration must produce the sequential ranking,
-  // byte for byte.
+  std::vector<RunSpec> specs;
+  specs.push_back({"seq", 0, false, false});
+  for (int workers : pool_sizes) {
+    specs.push_back({"pool" + std::to_string(workers), workers, false, false});
+  }
+  specs.push_back({"seq+cache", 0, true, false});
+  specs.push_back({"pool" + std::to_string(hw) + "+cache", hw, true, false});
+  specs.push_back({"indexed", 0, false, true});
+  specs.push_back({"indexed+cache", 0, true, true});
+
+  std::vector<RunResult> runs;
+  for (const RunSpec& spec : specs) {
+    if (spec.pool_size > hw) {
+      RunResult skipped;
+      skipped.name = spec.name;
+      skipped.pool_size = spec.pool_size;
+      skipped.cache = spec.cache;
+      skipped.indexed = spec.indexed;
+      skipped.skipped = true;
+      skipped.skip_reason = "pool_size > hardware_concurrency (" +
+                            std::to_string(hw) + "): oversubscribed";
+      std::printf("skipping %s: %s\n", spec.name.c_str(),
+                  skipped.skip_reason.c_str());
+      runs.push_back(std::move(skipped));
+      continue;
+    }
+    runs.push_back(RunConfig(spec, &catalog, &control_plane, &clock));
+  }
+  const double seq_best_ms = runs[0].best_ms;
+  // The paper's comparison point is a *cold* rescan: an advisor waking up
+  // with no warm state re-reads every manifest. Steady-state indexed runs
+  // are measured against that cold seq baseline, and best-vs-best is
+  // reported alongside for transparency.
+  const double seq_cold_ms = runs[0].cold_ms;
+
+  // NFR2: every executed configuration must produce the sequential
+  // ranking, byte for byte — including both index-backed modes.
   for (const RunResult& r : runs) {
+    if (r.skipped) continue;
     AUTOCOMP_CHECK(r.fingerprint == runs[0].fingerprint)
         << "ranking diverged in config " << r.name;
   }
 
-  sim::TablePrinter table(
-      {"config", "pool", "cache", "best ms", "tables/s", "speedup", "hit%"});
+  sim::TablePrinter table({"config", "pool", "cache", "index", "cold ms",
+                           "best ms", "gen", "obs", "orient", "decide",
+                           "tables/s", "speedup", "vs cold", "hit%", "idx%"});
   JsonValue json_runs = JsonValue::Array();
   for (const RunResult& r : runs) {
-    const double speedup = r.best_ms > 0 ? seq_ms / r.best_ms : 0;
-    table.AddRow({r.name, std::to_string(r.pool_size),
-                  r.cache ? "on" : "off", sim::Fmt(r.best_ms, 2),
-                  sim::Fmt(r.tables_per_sec, 0), sim::Fmt(speedup, 2),
-                  sim::Fmt(100.0 * r.cache_hit_rate, 1)});
+    const double speedup =
+        !r.skipped && r.best_ms > 0 ? seq_best_ms / r.best_ms : 0;
+    const double speedup_vs_cold =
+        !r.skipped && r.best_ms > 0 ? seq_cold_ms / r.best_ms : 0;
+    if (r.skipped) {
+      table.AddRow({r.name, std::to_string(r.pool_size), r.cache ? "on" : "off",
+                    r.indexed ? "on" : "off", "skipped", "-", "-", "-", "-",
+                    "-", "-", "-", "-", "-", "-"});
+    } else {
+      table.AddRow({r.name, std::to_string(r.pool_size),
+                    r.cache ? "on" : "off", r.indexed ? "on" : "off",
+                    sim::Fmt(r.cold_ms, 2), sim::Fmt(r.best_ms, 2),
+                    sim::Fmt(r.best_timings.generate_ms, 1),
+                    sim::Fmt(r.best_timings.observe_ms, 1),
+                    sim::Fmt(r.best_timings.orient_ms, 1),
+                    sim::Fmt(r.best_timings.decide_ms, 1),
+                    sim::Fmt(r.tables_per_sec, 0),
+                    sim::Fmt(speedup, 2), sim::Fmt(speedup_vs_cold, 2),
+                    sim::Fmt(100.0 * r.cache_hit_rate, 1),
+                    sim::Fmt(100.0 * r.index_hit_rate, 1)});
+    }
     JsonValue entry = JsonValue::Object();
     entry.Set("name", r.name);
     entry.Set("pool_size", r.pool_size);
     entry.Set("cache", r.cache);
-    entry.Set("best_ms", r.best_ms);
-    entry.Set("tables_per_sec", r.tables_per_sec);
-    entry.Set("speedup_vs_seq", speedup);
-    entry.Set("cache_hit_rate", r.cache_hit_rate);
+    entry.Set("indexed", r.indexed);
+    if (r.skipped) {
+      entry.Set("skipped", true);
+      entry.Set("skip_reason", r.skip_reason);
+    } else {
+      entry.Set("cold_ms", r.cold_ms);
+      entry.Set("best_ms", r.best_ms);
+      entry.Set("tables_per_sec", r.tables_per_sec);
+      entry.Set("speedup_vs_seq", speedup);
+      entry.Set("speedup_vs_cold_seq", speedup_vs_cold);
+      entry.Set("cache_hit_rate", r.cache_hit_rate);
+      entry.Set("index_hit_rate", r.index_hit_rate);
+    }
     json_runs.Append(std::move(entry));
   }
   std::printf("%s", table.ToString().c_str());

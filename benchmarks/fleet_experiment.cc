@@ -18,9 +18,8 @@ SizeHistogram FleetHistogram(catalog::Catalog* catalog) {
   for (const std::string& name : catalog->ListAllTables()) {
     auto meta = catalog->LoadTable(name);
     if (!meta.ok()) continue;
-    for (const lst::DataFile& f : (*meta)->LiveFiles()) {
-      histogram.Add(f.file_size_bytes);
-    }
+    (*meta)->ForEachLiveFile(
+        [&](const lst::DataFile& f) { histogram.Add(f.file_size_bytes); });
   }
   return histogram;
 }

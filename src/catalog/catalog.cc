@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 #include "common/logging.h"
 #include "lst/metadata_json.h"
@@ -65,6 +66,7 @@ Status Catalog::CreateDatabase(const std::string& db,
       db.find('/') != std::string::npos) {
     return Status::InvalidArgument("invalid database name: " + db);
   }
+  std::unique_lock lock(mu_);
   if (databases_.count(db) > 0) {
     return Status::AlreadyExists("database exists: " + db);
   }
@@ -76,10 +78,12 @@ Status Catalog::CreateDatabase(const std::string& db,
 }
 
 bool Catalog::DatabaseExists(const std::string& db) const {
+  std::shared_lock lock(mu_);
   return databases_.count(db) > 0;
 }
 
 std::vector<std::string> Catalog::ListDatabases() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> out;
   out.reserve(databases_.size());
   for (const auto& [db, _] : databases_) out.push_back(db);
@@ -91,6 +95,7 @@ Result<lst::Table> Catalog::CreateTable(const std::string& db,
                                         lst::Schema schema,
                                         lst::PartitionSpec spec,
                                         Config properties) {
+  std::unique_lock lock(mu_);
   const auto db_it = databases_.find(db);
   if (db_it == databases_.end()) {
     return Status::NotFound("no such database: " + db);
@@ -116,6 +121,7 @@ Result<lst::Table> Catalog::CreateTable(const std::string& db,
 }
 
 Result<lst::Table> Catalog::GetTable(const std::string& qualified_name) {
+  std::shared_lock lock(mu_);
   if (tables_.count(qualified_name) == 0) {
     return Status::NotFound("no such table: " + qualified_name);
   }
@@ -123,20 +129,28 @@ Result<lst::Table> Catalog::GetTable(const std::string& qualified_name) {
 }
 
 Status Catalog::DropTable(const std::string& qualified_name) {
-  const auto it = tables_.find(qualified_name);
-  if (it == tables_.end()) {
-    return Status::NotFound("no such table: " + qualified_name);
-  }
-  tables_.erase(it);
   AUTOCOMP_ASSIGN_OR_RETURN(auto parts, SplitQualifiedName(qualified_name));
-  auto& list = databases_[parts.first];
-  list.erase(std::remove(list.begin(), list.end(), parts.second), list.end());
-  ++stats_.tables_dropped;
-  NotifyCommit(qualified_name);
+  {
+    std::unique_lock lock(mu_);
+    const auto it = tables_.find(qualified_name);
+    if (it == tables_.end()) {
+      return Status::NotFound("no such table: " + qualified_name);
+    }
+    tables_.erase(it);
+    auto& list = databases_[parts.first];
+    list.erase(std::remove(list.begin(), list.end(), parts.second),
+               list.end());
+    ++stats_.tables_dropped;
+  }
+  CommitEvent event;
+  event.table = qualified_name;
+  event.metadata = nullptr;  // dropped
+  NotifyCommit(event);
   return Status::OK();
 }
 
 std::vector<std::string> Catalog::ListTables(const std::string& db) const {
+  std::shared_lock lock(mu_);
   const auto it = databases_.find(db);
   if (it == databases_.end()) return {};
   std::vector<std::string> out = it->second;
@@ -145,7 +159,9 @@ std::vector<std::string> Catalog::ListTables(const std::string& db) const {
 }
 
 std::vector<std::string> Catalog::ListAllTables() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> out;
+  out.reserve(tables_.size());
   for (const auto& [qualified, _] : tables_) out.push_back(qualified);
   return out;
 }
@@ -155,6 +171,7 @@ storage::QuotaStatus Catalog::DatabaseQuota(const std::string& db) const {
 }
 
 void Catalog::RecordTableRead(const std::string& qualified_name) {
+  std::unique_lock lock(mu_);
   TableAccessStats& stats = access_[qualified_name];
   ++stats.read_count;
   stats.last_read_at = clock_->Now();
@@ -162,29 +179,45 @@ void Catalog::RecordTableRead(const std::string& qualified_name) {
 
 TableAccessStats Catalog::GetAccessStats(
     const std::string& qualified_name) const {
+  std::shared_lock lock(mu_);
   const auto it = access_.find(qualified_name);
   return it == access_.end() ? TableAccessStats{} : it->second;
 }
 
 int64_t Catalog::AddCommitListener(CommitListener listener) {
+  std::unique_lock lock(mu_);
   const int64_t id = next_listener_id_++;
   commit_listeners_.emplace_back(id, std::move(listener));
   return id;
 }
 
 void Catalog::RemoveCommitListener(int64_t id) {
+  std::unique_lock lock(mu_);
   commit_listeners_.erase(
       std::remove_if(commit_listeners_.begin(), commit_listeners_.end(),
                      [id](const auto& entry) { return entry.first == id; }),
       commit_listeners_.end());
 }
 
-void Catalog::NotifyCommit(const std::string& table) const {
-  for (const auto& [id, listener] : commit_listeners_) listener(table);
+void Catalog::NotifyCommit(const CommitEvent& event) const {
+  // Snapshot the listener list, then invoke outside the lock: listeners
+  // do real work (index maintenance, cache eviction) and must not
+  // serialize catalog reads or deadlock on re-entrant lookups. The event
+  // carries the committed metadata, so listeners never need the lock.
+  std::vector<CommitListener> listeners;
+  {
+    std::shared_lock lock(mu_);
+    listeners.reserve(commit_listeners_.size());
+    for (const auto& [id, listener] : commit_listeners_) {
+      listeners.push_back(listener);
+    }
+  }
+  for (const CommitListener& listener : listeners) listener(event);
 }
 
 Result<lst::TableMetadataPtr> Catalog::LoadTable(
     const std::string& name) const {
+  std::shared_lock lock(mu_);
   const auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no such table: " + name);
@@ -194,23 +227,44 @@ Result<lst::TableMetadataPtr> Catalog::LoadTable(
 
 Status Catalog::CommitTable(const std::string& name, int64_t base_version,
                             lst::TableMetadataPtr new_metadata) {
-  ++stats_.commit_attempts;
-  const auto it = tables_.find(name);
-  if (it == tables_.end()) {
-    return Status::NotFound("no such table: " + name);
+  // No delta available (snapshot expiry, rollback, direct callers):
+  // listeners see delta == nullptr and fall back to a full rebuild.
+  return CommitTableWithDelta(name, base_version, std::move(new_metadata),
+                              lst::CommitDelta{});
+}
+
+Status Catalog::CommitTableWithDelta(const std::string& name,
+                                     int64_t base_version,
+                                     lst::TableMetadataPtr new_metadata,
+                                     const lst::CommitDelta& delta) {
+  lst::TableMetadataPtr committed;
+  {
+    std::unique_lock lock(mu_);
+    ++stats_.commit_attempts;
+    const auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("no such table: " + name);
+    }
+    if (it->second->version() != base_version) {
+      ++stats_.commit_conflicts;
+      return Status::CommitConflict(
+          "version moved: expected " + std::to_string(base_version) + ", is " +
+          std::to_string(it->second->version()));
+    }
+    if (new_metadata == nullptr || new_metadata->version() <= base_version) {
+      return Status::InvalidArgument("new metadata must advance the version");
+    }
+    MaybePersistMetadata(*new_metadata);
+    it->second = std::move(new_metadata);
+    committed = it->second;
   }
-  if (it->second->version() != base_version) {
-    ++stats_.commit_conflicts;
-    return Status::CommitConflict(
-        "version moved: expected " + std::to_string(base_version) + ", is " +
-        std::to_string(it->second->version()));
-  }
-  if (new_metadata == nullptr || new_metadata->version() <= base_version) {
-    return Status::InvalidArgument("new metadata must advance the version");
-  }
-  MaybePersistMetadata(*new_metadata);
-  it->second = std::move(new_metadata);
-  NotifyCommit(name);
+  // Outside the lock: concurrent commits to the SAME table may deliver
+  // their events out of order here; listeners order by metadata version.
+  CommitEvent event;
+  event.table = name;
+  event.metadata = std::move(committed);
+  event.delta = delta.known ? &delta : nullptr;
+  NotifyCommit(event);
   return Status::OK();
 }
 

@@ -14,12 +14,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/config.h"
 #include "common/status.h"
+#include "lst/commit_delta.h"
 #include "lst/table.h"
 #include "lst/table_metadata.h"
 #include "storage/filesystem.h"
@@ -41,6 +43,25 @@ struct CatalogStats {
 struct TableAccessStats {
   int64_t read_count = 0;
   SimTime last_read_at = 0;
+};
+
+/// \brief What a commit listener learns about one table mutation.
+///
+/// Carries everything an incremental consumer needs so that listeners
+/// never have to call back into the catalog (they run outside the
+/// catalog lock; a re-entrant LoadTable could also observe a *newer*
+/// version than the one that triggered the event).
+struct CommitEvent {
+  /// Qualified "db.table" name.
+  std::string table;
+  /// The metadata version the commit installed; nullptr when the table
+  /// was dropped.
+  lst::TableMetadataPtr metadata;
+  /// Exact live-set change, when the commit path produced one (only
+  /// valid for the duration of the callback). nullptr for drops and for
+  /// wholesale history edits (snapshot expiry, rollback) — consumers
+  /// must then rebuild from `metadata`.
+  const lst::CommitDelta* delta = nullptr;
 };
 
 /// \brief Catalog behaviour knobs.
@@ -96,14 +117,19 @@ class Catalog final : public lst::MetadataStore {
   TableAccessStats GetAccessStats(const std::string& qualified_name) const;
 
   /// \name Commit listeners
-  /// Invoked with the qualified table name after every successful
-  /// metadata swap (CommitTable) and on DropTable. Every commit path —
-  /// lst::Transaction, snapshot expiry, the compaction runner — funnels
-  /// through CommitTable, so a listener observes all table mutations.
-  /// Primary consumer: core::CachingStatsCollector invalidates its
-  /// snapshot-keyed stats entries. Listeners must not commit re-entrantly.
+  /// Invoked with a CommitEvent after every successful metadata swap
+  /// (CommitTable / CommitTableWithDelta) and on DropTable. Every commit
+  /// path — lst::Transaction, snapshot expiry, the compaction runner —
+  /// funnels through CommitTable, so a listener observes all table
+  /// mutations. Listeners run OUTSIDE the catalog lock (so they may not
+  /// assume LoadTable still returns event.metadata) and may therefore be
+  /// invoked out of commit order under concurrent writers — consumers
+  /// must order by event.metadata->version(). Consumers:
+  /// core::CachingStatsCollector (eviction) and
+  /// core::IncrementalStatsIndex (O(delta) aggregate maintenance).
+  /// Listeners must not commit re-entrantly.
   /// @{
-  using CommitListener = std::function<void(const std::string& table)>;
+  using CommitListener = std::function<void(const CommitEvent& event)>;
   int64_t AddCommitListener(CommitListener listener);
   void RemoveCommitListener(int64_t id);
   /// @}
@@ -122,18 +148,30 @@ class Catalog final : public lst::MetadataStore {
       const std::string& name) const override;
   Status CommitTable(const std::string& name, int64_t base_version,
                      lst::TableMetadataPtr new_metadata) override;
+  Status CommitTableWithDelta(const std::string& name, int64_t base_version,
+                              lst::TableMetadataPtr new_metadata,
+                              const lst::CommitDelta& delta) override;
 
  private:
   /// Writes (and prunes) the storage-side metadata footprint for a
   /// freshly committed version when persistence is enabled.
   void MaybePersistMetadata(const lst::TableMetadata& metadata);
 
+  /// Copies the listener list under the lock and invokes each listener
+  /// WITHOUT holding it — a listener doing non-trivial work (index
+  /// rebuild) must not serialize unrelated catalog reads, and one that
+  /// reads the catalog must not deadlock.
+  void NotifyCommit(const CommitEvent& event) const;
+
   const Clock* clock_;
   storage::DistributedFileSystem* dfs_;
   CatalogOptions options_;
-  std::map<std::string, std::vector<std::string>> databases_;  // db -> tables
-  void NotifyCommit(const std::string& table) const;
 
+  /// Guards all catalog maps and counters. Concurrent transaction
+  /// commits, expiry and observe-phase reads all funnel through here;
+  /// reads take shared ownership, mutations exclusive.
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::vector<std::string>> databases_;  // db -> tables
   std::map<std::string, lst::TableMetadataPtr> tables_;  // "db.table" -> meta
   std::map<std::string, TableAccessStats> access_;
   std::vector<std::pair<int64_t, CommitListener>> commit_listeners_;

@@ -74,10 +74,10 @@ Result<std::vector<WriteAdvice>> WriteConfigAdvisor::AnalyzeTable(
   // --- MoR delta backlog.
   int64_t delete_files = 0;
   int64_t unclustered_bytes = 0;
-  for (const lst::DataFile& f : meta->LiveFiles()) {
+  meta->ForEachLiveFile([&](const lst::DataFile& f) {
     if (f.content == lst::FileContent::kPositionDeletes) ++delete_files;
     if (!f.clustered) unclustered_bytes += f.file_size_bytes;
-  }
+  });
   if (delete_files >= options_.mor_backlog_threshold) {
     advice.push_back(WriteAdvice{
         qualified_name, AdviceKind::kMorDeltaBacklog,

@@ -3,13 +3,15 @@
 namespace autocomp::core {
 
 std::vector<ObservedCandidate> ApplyFilters(
-    const std::vector<ObservedCandidate>& candidates,
+    std::vector<ObservedCandidate> candidates,
     const std::vector<std::shared_ptr<const CandidateFilter>>& filters,
     SimTime now, int64_t* dropped) {
+  if (dropped != nullptr) *dropped = 0;
+  if (filters.empty()) return candidates;  // nothing to do, nothing to copy
   std::vector<ObservedCandidate> out;
   out.reserve(candidates.size());
   int64_t removed = 0;
-  for (const ObservedCandidate& c : candidates) {
+  for (ObservedCandidate& c : candidates) {
     bool keep = true;
     for (const auto& filter : filters) {
       if (!filter->ShouldKeep(c, now)) {
@@ -18,7 +20,7 @@ std::vector<ObservedCandidate> ApplyFilters(
       }
     }
     if (keep) {
-      out.push_back(c);
+      out.push_back(std::move(c));
     } else {
       ++removed;
     }

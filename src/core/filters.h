@@ -113,8 +113,10 @@ class PredicateFilter final : public CandidateFilter {
 };
 
 /// \brief Applies a filter chain in order; returns survivors (stable).
+/// Takes the pool by value and moves survivors through — an empty filter
+/// chain is a no-op pass-through (pass std::move to avoid the copy).
 std::vector<ObservedCandidate> ApplyFilters(
-    const std::vector<ObservedCandidate>& candidates,
+    std::vector<ObservedCandidate> candidates,
     const std::vector<std::shared_ptr<const CandidateFilter>>& filters,
     SimTime now, int64_t* dropped = nullptr);
 

@@ -6,19 +6,27 @@
 #include <optional>
 #include <utility>
 
+#include "core/stats_index.h"
 #include "lst/metadata_tables.h"
 
 namespace autocomp::core {
 
 namespace {
 
-/// Sorted-by-id candidate list (determinism, NFR2).
+/// Sorted-by-id candidate list (determinism, NFR2). Ids are materialized
+/// once per candidate — id() builds a string, and calling it inside the
+/// comparator allocated twice per comparison at fleet scale.
 std::vector<Candidate> Sorted(std::vector<Candidate> candidates) {
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
-              return a.id() < b.id();
-            });
-  return candidates;
+  std::vector<std::pair<std::string, size_t>> keys;
+  keys.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    keys.emplace_back(candidates[i].id(), i);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<Candidate> out;
+  out.reserve(candidates.size());
+  for (const auto& [_, i] : keys) out.push_back(std::move(candidates[i]));
+  return out;
 }
 
 using PerTableFn = std::function<Status(
@@ -59,35 +67,6 @@ Result<std::vector<Candidate>> GeneratePerTable(catalog::Catalog* catalog,
   return Sorted(std::move(out));
 }
 
-/// Re-derives the stats fields that can change *without* the table's
-/// snapshot moving: the control-plane target size (policy edits), the
-/// database quota (commits to sibling tables in the same database), and
-/// access telemetry. Both the cold path and the cache-hit path call this
-/// so cached output is byte-identical to a fresh collection.
-void RefreshVolatileStats(catalog::Catalog* catalog,
-                          const catalog::ControlPlane* control_plane,
-                          const lst::TableMetadata& meta,
-                          const Candidate& candidate, CandidateStats* stats) {
-  stats->target_file_size_bytes = meta.target_file_size_bytes();
-  if (control_plane != nullptr) {
-    stats->target_file_size_bytes =
-        control_plane->GetPolicy(candidate.table).target_file_size_bytes;
-  }
-
-  auto db = catalog::SplitQualifiedName(candidate.table);
-  if (db.ok()) {
-    const storage::QuotaStatus quota = catalog->DatabaseQuota(db->first);
-    stats->quota_utilization = quota.utilization();
-  }
-
-  // Custom metrics (§4.1: "candidate access patterns and usage metrics —
-  // information that may not be available in all systems").
-  const catalog::TableAccessStats access =
-      catalog->GetAccessStats(candidate.table);
-  stats->custom.SetInt("read_count", access.read_count);
-  stats->custom.SetInt("last_read_at", access.last_read_at);
-}
-
 }  // namespace
 
 const char* CandidateScopeName(CandidateScope scope) {
@@ -101,6 +80,10 @@ const char* CandidateScopeName(CandidateScope scope) {
   }
   return "unknown";
 }
+
+TableScopeGenerator::TableScopeGenerator(
+    std::shared_ptr<const IncrementalStatsIndex> index)
+    : index_(std::move(index)) {}
 
 Result<std::vector<Candidate>> TableScopeGenerator::Generate(
     catalog::Catalog* catalog, ThreadPool* pool) const {
@@ -116,40 +99,67 @@ Result<std::vector<Candidate>> TableScopeGenerator::Generate(
       });
 }
 
+namespace {
+
+/// Live partition keys of `name` at the pinned metadata version: O(1)
+/// from the index when available and current, manifest walk otherwise.
+/// Both orders are lexicographic, so output is identical (NFR2).
+std::vector<std::string> LivePartitionsFor(
+    const IncrementalStatsIndex* index, const std::string& name,
+    const lst::TableMetadataPtr& meta) {
+  if (index != nullptr) {
+    auto indexed = index->LivePartitions(name, meta);
+    if (indexed.has_value()) return std::move(*indexed);
+  }
+  return meta->LivePartitions();
+}
+
+}  // namespace
+
+PartitionScopeGenerator::PartitionScopeGenerator(
+    std::shared_ptr<const IncrementalStatsIndex> index)
+    : index_(std::move(index)) {}
+
 Result<std::vector<Candidate>> PartitionScopeGenerator::Generate(
     catalog::Catalog* catalog, ThreadPool* pool) const {
   return GeneratePerTable(
       catalog, pool,
-      [](catalog::Catalog* cat, const std::string& name,
-         std::vector<Candidate>* out) {
+      [this](catalog::Catalog* cat, const std::string& name,
+             std::vector<Candidate>* out) {
         AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
                                   cat->LoadTable(name));
         if (!meta->partition_spec().is_partitioned()) return Status::OK();
-        for (const std::string& partition : meta->LivePartitions()) {
+        for (std::string& partition :
+             LivePartitionsFor(index_.get(), name, meta)) {
           Candidate c;
           c.table = name;
           c.scope = CandidateScope::kPartition;
-          c.partition = partition;
+          c.partition = std::move(partition);
           out->push_back(std::move(c));
         }
         return Status::OK();
       });
 }
 
+HybridScopeGenerator::HybridScopeGenerator(
+    std::shared_ptr<const IncrementalStatsIndex> index)
+    : index_(std::move(index)) {}
+
 Result<std::vector<Candidate>> HybridScopeGenerator::Generate(
     catalog::Catalog* catalog, ThreadPool* pool) const {
   return GeneratePerTable(
       catalog, pool,
-      [](catalog::Catalog* cat, const std::string& name,
-         std::vector<Candidate>* out) {
+      [this](catalog::Catalog* cat, const std::string& name,
+             std::vector<Candidate>* out) {
         AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
                                   cat->LoadTable(name));
         if (meta->partition_spec().is_partitioned()) {
-          for (const std::string& partition : meta->LivePartitions()) {
+          for (std::string& partition :
+               LivePartitionsFor(index_.get(), name, meta)) {
             Candidate c;
             c.table = name;
             c.scope = CandidateScope::kPartition;
-            c.partition = partition;
+            c.partition = std::move(partition);
             out->push_back(std::move(c));
           }
         } else {
@@ -162,25 +172,36 @@ Result<std::vector<Candidate>> HybridScopeGenerator::Generate(
       });
 }
 
+SnapshotScopeGenerator::SnapshotScopeGenerator(
+    std::shared_ptr<const IncrementalStatsIndex> index)
+    : index_(std::move(index)) {}
+
 Result<std::vector<Candidate>> SnapshotScopeGenerator::Generate(
     catalog::Catalog* catalog, ThreadPool* pool) const {
   return GeneratePerTable(
       catalog, pool,
-      [](catalog::Catalog* cat, const std::string& name,
-         std::vector<Candidate>* out) {
+      [this](catalog::Catalog* cat, const std::string& name,
+             std::vector<Candidate>* out) {
         AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
                                   cat->LoadTable(name));
         // Files added after the most recent replace (compaction) snapshot.
-        int64_t last_replace = 0;
-        for (const lst::Snapshot& s : meta->snapshots()) {
-          if (s.operation == lst::SnapshotOperation::kReplace) {
-            last_replace = std::max(last_replace, s.snapshot_id);
+        std::optional<int64_t> last_replace;
+        if (index_ != nullptr) {
+          last_replace = index_->LastReplaceSnapshotId(name, meta);
+        }
+        if (!last_replace.has_value()) {
+          int64_t scanned = 0;
+          for (const lst::Snapshot& s : meta->snapshots()) {
+            if (s.operation == lst::SnapshotOperation::kReplace) {
+              scanned = std::max(scanned, s.snapshot_id);
+            }
           }
+          last_replace = scanned;
         }
         Candidate c;
         c.table = name;
         c.scope = CandidateScope::kSnapshot;
-        c.after_snapshot_id = last_replace;
+        c.after_snapshot_id = *last_replace;
         out->push_back(std::move(c));
         return Status::OK();
       });
@@ -197,6 +218,11 @@ Result<CandidateStats> StatsCollector::Collect(
     const Candidate& candidate) const {
   AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
                             catalog_->LoadTable(candidate.table));
+  return CollectFromMetadata(candidate, meta);
+}
+
+Result<CandidateStats> StatsCollector::CollectFromMetadata(
+    const Candidate& candidate, const lst::TableMetadataPtr& meta) const {
   CandidateStats stats;
   stats.table_created_at = meta->created_at();
   stats.last_modified_at = meta->last_updated_at();
@@ -222,17 +248,49 @@ Result<CandidateStats> StatsCollector::Collect(
       break;
     case CandidateScope::kSnapshot: {
       lst::MetadataTables tables(meta);
-      for (const lst::DataFile& f :
-           tables.FilesAddedAfter(candidate.after_snapshot_id)) {
-        accumulate(f);
-      }
+      tables.ForEachFileAddedAfter(candidate.after_snapshot_id, accumulate);
       break;
     }
   }
   stats.file_count = static_cast<int64_t>(stats.file_sizes.size());
 
-  RefreshVolatileStats(catalog_, control_plane_, *meta, candidate, &stats);
+  // Canonical ordering (see class comment): size vectors are sorted so
+  // rescans, cached entries, and the incremental index agree byte for
+  // byte — including the float-summation order of the entropy traits.
+  std::sort(stats.file_sizes.begin(), stats.file_sizes.end());
+  for (auto& [_, sizes] : stats.file_sizes_by_partition) {
+    std::sort(sizes.begin(), sizes.end());
+  }
+
+  RefreshVolatile(candidate, *meta, &stats);
   return stats;
+}
+
+void StatsCollector::RefreshVolatile(const Candidate& candidate,
+                                     const lst::TableMetadata& meta,
+                                     CandidateStats* stats) const {
+  // The control-plane target size (policy edits), the database quota
+  // (commits to sibling tables), and access telemetry all change without
+  // the table's snapshot moving; deriving them here keeps cache-hit and
+  // index-hit output byte-identical to a fresh collection.
+  stats->target_file_size_bytes = meta.target_file_size_bytes();
+  if (control_plane_ != nullptr) {
+    stats->target_file_size_bytes =
+        control_plane_->GetPolicy(candidate.table).target_file_size_bytes;
+  }
+
+  auto db = catalog::SplitQualifiedName(candidate.table);
+  if (db.ok()) {
+    const storage::QuotaStatus quota = catalog_->DatabaseQuota(db->first);
+    stats->quota_utilization = quota.utilization();
+  }
+
+  // Custom metrics (§4.1: "candidate access patterns and usage metrics —
+  // information that may not be available in all systems").
+  const catalog::TableAccessStats access =
+      catalog_->GetAccessStats(candidate.table);
+  stats->custom.SetInt("read_count", access.read_count);
+  stats->custom.SetInt("last_read_at", access.last_read_at);
 }
 
 Result<std::vector<ObservedCandidate>> StatsCollector::CollectAll(
@@ -271,11 +329,21 @@ Result<std::vector<ObservedCandidate>> StatsCollector::CollectAll(
 CachingStatsCollector::CachingStatsCollector(
     catalog::Catalog* catalog, const catalog::ControlPlane* control_plane,
     const Clock* clock, int64_t capacity)
+    : CachingStatsCollector(catalog, control_plane, clock, nullptr,
+                            capacity) {}
+
+CachingStatsCollector::CachingStatsCollector(
+    catalog::Catalog* catalog, const catalog::ControlPlane* control_plane,
+    const Clock* clock, std::shared_ptr<const StatsCollector> base,
+    int64_t capacity)
     : StatsCollector(catalog, control_plane, clock),
       listener_catalog_(catalog),
+      base_(std::move(base)),
       capacity_(capacity) {
   listener_id_ = listener_catalog_->AddCommitListener(
-      [this](const std::string& table) { InvalidateTable(table); });
+      [this](const catalog::CommitEvent& event) {
+        InvalidateTable(event.table);
+      });
 }
 
 CachingStatsCollector::~CachingStatsCollector() {
@@ -308,16 +376,19 @@ Result<CandidateStats> CachingStatsCollector::Collect(
   }
   if (hit.has_value()) {
     // Volatile inputs are re-read outside the lock (catalog reads only).
-    RefreshVolatileStats(catalog_, control_plane_, *meta, candidate, &*hit);
+    RefreshVolatile(candidate, *meta, &*hit);
     return std::move(*hit);
   }
 
   // Miss: collect without holding the lock so concurrent misses on other
-  // candidates overlap. Commits never race collection in this codebase
-  // (the pipeline observes, then acts), so the entry we store below still
-  // describes `meta`'s snapshot.
+  // candidates overlap — through the base collector (index path) when
+  // layered, the plain rescan otherwise. Commits never race collection
+  // in this codebase (the pipeline observes, then acts), so the entry we
+  // store below still describes `meta`'s snapshot.
   AUTOCOMP_ASSIGN_OR_RETURN(CandidateStats stats,
-                            StatsCollector::Collect(candidate));
+                            base_ != nullptr
+                                ? base_->Collect(candidate)
+                                : StatsCollector::Collect(candidate));
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = cache_.find(key);
@@ -349,6 +420,14 @@ int64_t CachingStatsCollector::hits() const {
 int64_t CachingStatsCollector::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+int64_t CachingStatsCollector::index_hits() const {
+  return base_ != nullptr ? base_->index_hits() : 0;
+}
+
+int64_t CachingStatsCollector::index_fallbacks() const {
+  return base_ != nullptr ? base_->index_fallbacks() : 0;
 }
 
 int64_t CachingStatsCollector::size() const {

@@ -18,6 +18,8 @@
 
 namespace autocomp::core {
 
+class IncrementalStatsIndex;
+
 /// \brief Produces the raw candidate pool from the catalog (§4.1).
 ///
 /// Implementations must be deterministic for a given catalog state (NFR2):
@@ -25,6 +27,12 @@ namespace autocomp::core {
 /// `pool` with more than one worker) is required to produce output
 /// bit-for-bit identical to the sequential path — generators shard the
 /// fleet per table into index-ordered slots and merge deterministically.
+///
+/// Generators that derive candidates from table contents (partition
+/// lists, replace watermarks) optionally consult an IncrementalStatsIndex
+/// so idle tables cost O(1) instead of a manifest walk; with no index
+/// (or a stale one) they fall back to scanning the pinned metadata, and
+/// the output is identical either way.
 class CandidateGenerator {
  public:
   virtual ~CandidateGenerator() = default;
@@ -37,36 +45,58 @@ class CandidateGenerator {
 /// §7).
 class TableScopeGenerator final : public CandidateGenerator {
  public:
+  /// Table scope reads no table contents, so the index is unused; the
+  /// parameter keeps construction uniform across generators.
+  explicit TableScopeGenerator(
+      std::shared_ptr<const IncrementalStatsIndex> index = nullptr);
   std::string name() const override { return "table-scope"; }
   Result<std::vector<Candidate>> Generate(
       catalog::Catalog* catalog, ThreadPool* pool = nullptr) const override;
+
+ private:
+  std::shared_ptr<const IncrementalStatsIndex> index_;
 };
 
 /// \brief One candidate per live partition of partitioned tables;
 /// unpartitioned tables are skipped.
 class PartitionScopeGenerator final : public CandidateGenerator {
  public:
+  explicit PartitionScopeGenerator(
+      std::shared_ptr<const IncrementalStatsIndex> index = nullptr);
   std::string name() const override { return "partition-scope"; }
   Result<std::vector<Candidate>> Generate(
       catalog::Catalog* catalog, ThreadPool* pool = nullptr) const override;
+
+ private:
+  std::shared_ptr<const IncrementalStatsIndex> index_;
 };
 
 /// \brief Partition scope for partitioned tables, table scope otherwise —
 /// the evaluation's "hybrid" strategy (§6).
 class HybridScopeGenerator final : public CandidateGenerator {
  public:
+  explicit HybridScopeGenerator(
+      std::shared_ptr<const IncrementalStatsIndex> index = nullptr);
   std::string name() const override { return "hybrid-scope"; }
   Result<std::vector<Candidate>> Generate(
       catalog::Catalog* catalog, ThreadPool* pool = nullptr) const override;
+
+ private:
+  std::shared_ptr<const IncrementalStatsIndex> index_;
 };
 
 /// \brief One candidate per table covering only files added after the
 /// last compaction (replace) snapshot — fresh-data maintenance (§4.1).
 class SnapshotScopeGenerator final : public CandidateGenerator {
  public:
+  explicit SnapshotScopeGenerator(
+      std::shared_ptr<const IncrementalStatsIndex> index = nullptr);
   std::string name() const override { return "snapshot-scope"; }
   Result<std::vector<Candidate>> Generate(
       catalog::Catalog* catalog, ThreadPool* pool = nullptr) const override;
+
+ private:
+  std::shared_ptr<const IncrementalStatsIndex> index_;
 };
 
 /// \brief Collects the standardized statistics for a candidate from LST
@@ -75,6 +105,12 @@ class SnapshotScopeGenerator final : public CandidateGenerator {
 /// `Collect` must be safe to call concurrently from multiple threads:
 /// it only reads catalog/control-plane state. Subclasses adding mutable
 /// state (e.g. caches) must synchronize internally.
+///
+/// Canonical ordering (NFR2): `file_sizes` and every vector in
+/// `file_sizes_by_partition` come out sorted ascending. Every collector
+/// implementation must honor this — it is what makes rescans, cached
+/// entries, and incrementally indexed aggregates bit-identical even
+/// through order-sensitive float reductions (the entropy traits).
 class StatsCollector {
  public:
   StatsCollector(catalog::Catalog* catalog,
@@ -97,7 +133,25 @@ class StatsCollector {
   virtual int64_t hits() const { return 0; }
   virtual int64_t misses() const { return 0; }
 
+  /// Stats-index telemetry; non-indexed collectors report 0.
+  virtual int64_t index_hits() const { return 0; }
+  virtual int64_t index_fallbacks() const { return 0; }
+
  protected:
+  /// The full rescan path against a pinned metadata version: walks the
+  /// candidate's live files and fills the canonical (sorted) stats.
+  /// Subclasses use it as the fallback/cross-check reference.
+  Result<CandidateStats> CollectFromMetadata(
+      const Candidate& candidate, const lst::TableMetadataPtr& meta) const;
+
+  /// Re-derives the fields that change *without* the table's snapshot
+  /// moving (control-plane target size, database quota, access
+  /// telemetry). Cached/indexed hit paths call this so their output is
+  /// byte-identical to a fresh collection.
+  void RefreshVolatile(const Candidate& candidate,
+                       const lst::TableMetadata& meta,
+                       CandidateStats* stats) const;
+
   catalog::Catalog* catalog_;
   const catalog::ControlPlane* control_plane_;
   const Clock* clock_;
@@ -129,6 +183,16 @@ class CachingStatsCollector final : public StatsCollector {
   CachingStatsCollector(catalog::Catalog* catalog,
                         const catalog::ControlPlane* control_plane,
                         const Clock* clock, int64_t capacity = kDefaultCapacity);
+
+  /// Layered form: cache misses collect through `base` (e.g. an
+  /// IndexedStatsCollector) instead of the plain rescan, composing the
+  /// cache with the incremental index. `base` must produce canonical
+  /// (sorted) stats; index telemetry is forwarded from it.
+  CachingStatsCollector(catalog::Catalog* catalog,
+                        const catalog::ControlPlane* control_plane,
+                        const Clock* clock,
+                        std::shared_ptr<const StatsCollector> base,
+                        int64_t capacity = kDefaultCapacity);
   ~CachingStatsCollector() override;
 
   CachingStatsCollector(const CachingStatsCollector&) = delete;
@@ -140,6 +204,8 @@ class CachingStatsCollector final : public StatsCollector {
 
   int64_t hits() const override;
   int64_t misses() const override;
+  int64_t index_hits() const override;
+  int64_t index_fallbacks() const override;
   int64_t size() const;
   /// Drops all cached entries (e.g. after policy changes, which affect
   /// target sizes without moving table versions).
@@ -159,6 +225,8 @@ class CachingStatsCollector final : public StatsCollector {
 
   catalog::Catalog* listener_catalog_ = nullptr;
   int64_t listener_id_ = 0;
+  /// Optional miss-path delegate (nullptr = plain rescan).
+  std::shared_ptr<const StatsCollector> base_;
   const int64_t capacity_;
   mutable std::mutex mu_;
   // Ordered map so InvalidateTable can prefix-scan a table's entries

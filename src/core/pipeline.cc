@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <utility>
 
 namespace autocomp::core {
 
@@ -91,6 +92,8 @@ Result<PipelineRunReport> AutoCompPipeline::Run(std::vector<Candidate> pool,
   // --- Observe: collect the standardized statistics.
   const int64_t hits_before = stages_.collector->hits();
   const int64_t misses_before = stages_.collector->misses();
+  const int64_t index_hits_before = stages_.collector->index_hits();
+  const int64_t index_fallbacks_before = stages_.collector->index_fallbacks();
   WallClock::time_point phase_start = WallClock::now();
   AUTOCOMP_ASSIGN_OR_RETURN(
       std::vector<ObservedCandidate> observed,
@@ -98,15 +101,18 @@ Result<PipelineRunReport> AutoCompPipeline::Run(std::vector<Candidate> pool,
   report.timings.observe_ms = MsSince(phase_start);
   report.stats_cache_hits = stages_.collector->hits() - hits_before;
   report.stats_cache_misses = stages_.collector->misses() - misses_before;
+  report.stats_index_hits = stages_.collector->index_hits() - index_hits_before;
+  report.stats_index_fallbacks =
+      stages_.collector->index_fallbacks() - index_fallbacks_before;
 
   // --- Optional filters between observe and orient.
-  observed = ApplyFilters(observed, stages_.pre_orient_filters,
+  observed = ApplyFilters(std::move(observed), stages_.pre_orient_filters,
                           report.started_at, &report.dropped_pre_orient);
 
-  // --- Orient: compute traits.
+  // --- Orient: compute traits (consumes the observed pool).
   phase_start = WallClock::now();
   std::vector<TraitedCandidate> traited =
-      ComputeTraits(observed, stages_.traits, stages_.pool);
+      ComputeTraits(std::move(observed), stages_.traits, stages_.pool);
 
   // --- Optional filters between orient and decide.
   if (!stages_.post_orient_filters.empty()) {

@@ -63,6 +63,11 @@ struct PipelineRunReport {
   PipelinePhaseTimings timings;
   int64_t stats_cache_hits = 0;
   int64_t stats_cache_misses = 0;
+  /// Incremental stats-index traffic this run generated (0/0 for
+  /// non-indexed collectors). A fallback is a candidate the index could
+  /// not serve at the pinned metadata version (rescan path taken).
+  int64_t stats_index_hits = 0;
+  int64_t stats_index_fallbacks = 0;
 
   int64_t committed_count() const;
   int64_t conflict_count() const;

@@ -47,11 +47,13 @@ std::vector<ScoredCandidate> MoopRanker::Rank(
     double min = std::numeric_limits<double>::infinity();
     double max = -std::numeric_limits<double>::infinity();
   };
-  std::map<std::string, Range> ranges;
-  for (const Objective& o : objectives_) {
-    Range& r = ranges[o.trait];
+  // Per-objective range, held alongside the objective so the scoring
+  // loop below does no map lookups per candidate.
+  std::vector<Range> ranges(objectives_.size());
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    Range& r = ranges[i];
     for (const TraitedCandidate& c : candidates) {
-      const double v = TraitOrZero(c, o.trait);
+      const double v = TraitOrZero(c, objectives_[i].trait);
       r.min = std::min(r.min, v);
       r.max = std::max(r.max, v);
     }
@@ -61,8 +63,9 @@ std::vector<ScoredCandidate> MoopRanker::Rank(
   out.reserve(candidates.size());
   for (TraitedCandidate& c : candidates) {
     double score = 0;
-    for (const Objective& o : objectives_) {
-      const Range& r = ranges[o.trait];
+    for (size_t i = 0; i < objectives_.size(); ++i) {
+      const Objective& o = objectives_[i];
+      const Range& r = ranges[i];
       const double span = r.max - r.min;
       // Degenerate traits (all candidates identical) normalize to 0.
       const double normalized =

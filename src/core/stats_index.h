@@ -1,0 +1,231 @@
+/// \file stats_index.h
+/// \brief Incrementally maintained observation aggregates: O(delta) stats
+/// per OODA cycle instead of O(fleet live files).
+///
+/// The observe phase standardizes per-table/per-partition statistics for
+/// every candidate each cycle (§4.1); at fleet scale that rescan is the
+/// dominant cost even with the snapshot-keyed cache, because every cache
+/// miss still walks the table's manifest tree. The LSM design-space trade
+/// (Sarkar et al.) applies: amortize the bookkeeping into the write path.
+/// IncrementalStatsIndex subscribes to Catalog commit listeners and keeps,
+/// per table and per partition:
+///
+///  * exact sorted live file-size vectors (whole table, per partition,
+///    and the "fresh" subset added after the last replace snapshot),
+///  * live byte totals, MoR delete-file counts, unclustered bytes,
+///  * a log2 file-size histogram (64 buckets of counts and bytes), so any
+///    small_file_threshold / target size query is answered from buckets
+///    plus one boundary refinement, never a rescan,
+///  * the last replace (compaction) snapshot id — the snapshot-scope
+///    generator's watermark.
+///
+/// Commits carrying a lst::CommitDelta apply O(delta) updates under
+/// sharded locks; delta-less commits (snapshot expiry, rollback) and
+/// out-of-order listener delivery degrade to a full single-table rebuild
+/// from the event's metadata. Entries build lazily on first query.
+///
+/// NFR2 (determinism): every query pins a metadata version; the index
+/// answers only when its entry matches that exact version, otherwise the
+/// caller falls back to the rescan path. Size vectors are kept in the
+/// canonical sorted-ascending order StatsCollector produces, so indexed
+/// stats are bit-identical to a rescan — including float-summation order
+/// in the entropy traits. IndexedStatsCollector's cross-check mode and
+/// the randomized property test enforce this.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/candidate.h"
+#include "core/observe.h"
+
+namespace autocomp::core {
+
+/// \brief Sharded, commit-listener-maintained fleet statistics index.
+///
+/// Thread-safe: state is partitioned into shards keyed by table name;
+/// each shard has its own mutex, so commits and queries on different
+/// tables proceed in parallel. All methods are const so read-side
+/// consumers (generators, collectors) can share one instance.
+class IncrementalStatsIndex {
+ public:
+  explicit IncrementalStatsIndex(catalog::Catalog* catalog);
+  ~IncrementalStatsIndex();
+
+  IncrementalStatsIndex(const IncrementalStatsIndex&) = delete;
+  IncrementalStatsIndex& operator=(const IncrementalStatsIndex&) = delete;
+
+  /// \name Queries
+  /// All queries take the caller's pinned metadata version. They return
+  /// nullopt when the index cannot serve that exact version (entry newer
+  /// than the pinned metadata, or an unserved snapshot-scope watermark);
+  /// the caller must then fall back to scanning `meta`. When the entry is
+  /// missing or older, the index (re)builds it from `meta` first.
+  /// @{
+
+  /// Metadata-derived candidate stats (canonical sorted order). Volatile
+  /// fields (target size, quota, access telemetry) are NOT filled; the
+  /// collector layers them on via RefreshVolatile.
+  std::optional<CandidateStats> TryCollect(
+      const Candidate& candidate, const lst::TableMetadataPtr& meta) const;
+
+  /// Live partition keys, lexicographically sorted (same order as
+  /// TableMetadata::LivePartitions).
+  std::optional<std::vector<std::string>> LivePartitions(
+      const std::string& table, const lst::TableMetadataPtr& meta) const;
+
+  /// Most recent replace (compaction) snapshot id; 0 when none.
+  std::optional<int64_t> LastReplaceSnapshotId(
+      const std::string& table, const lst::TableMetadataPtr& meta) const;
+
+  /// Live files strictly smaller than `threshold_bytes`, answered from
+  /// the log2 histogram plus a boundary-bucket refinement.
+  struct SmallFileSummary {
+    int64_t count = 0;
+    int64_t bytes = 0;
+  };
+  std::optional<SmallFileSummary> SmallFilesBelow(
+      const std::string& table, const lst::TableMetadataPtr& meta,
+      int64_t threshold_bytes) const;
+  /// @}
+
+  /// Aggregates over every table currently materialized in the index.
+  struct Totals {
+    int64_t tables = 0;
+    int64_t live_files = 0;
+    int64_t live_bytes = 0;
+  };
+  Totals FleetTotals() const;
+
+  /// \name Maintenance telemetry
+  /// @{
+  int64_t deltas_applied() const { return deltas_applied_.load(); }
+  int64_t rebuilds() const { return rebuilds_.load(); }
+  int64_t lazy_builds() const { return lazy_builds_.load(); }
+  int64_t stale_events() const { return stale_events_.load(); }
+  /// @}
+
+  static constexpr int kShardCount = 16;
+  static constexpr int kHistogramBuckets = 64;
+
+ private:
+  /// Sorted-size aggregate for one scope (whole table, one partition, or
+  /// the fresh-files subset).
+  struct Aggregate {
+    std::vector<int64_t> sizes;  // canonical: sorted ascending
+    int64_t total_bytes = 0;
+    int64_t delete_file_count = 0;
+    int64_t unclustered_bytes = 0;
+
+    bool empty() const { return sizes.empty(); }
+    void Add(const lst::DataFile& f);
+    /// Removes one occurrence of the file; false when its size is absent
+    /// (aggregate out of sync — caller escalates to a rebuild).
+    bool Remove(const lst::DataFile& f);
+  };
+
+  /// Table-level + per-partition aggregates over one file population.
+  struct ScopeView {
+    Aggregate total;
+    std::map<std::string, Aggregate> partitions;
+
+    void Add(const lst::DataFile& f);
+    bool Remove(const lst::DataFile& f);
+    void Clear();
+  };
+
+  struct TableEntry {
+    /// Metadata version the aggregates describe; the staleness key.
+    int64_t version = -1;
+    int64_t last_replace_snapshot_id = 0;
+    /// All live files.
+    ScopeView live;
+    /// Live files with added_snapshot_id > last_replace_snapshot_id
+    /// (the snapshot-scope candidate population).
+    ScopeView fresh;
+    /// log2 histogram over live file sizes: bucket b holds files with
+    /// bit_width(size) - 1 == b, i.e. sizes in [2^b, 2^(b+1)).
+    std::array<int64_t, kHistogramBuckets> histogram_count{};
+    std::array<int64_t, kHistogramBuckets> histogram_bytes{};
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, TableEntry> tables;
+  };
+
+  Shard& ShardFor(const std::string& table) const;
+  static int SizeBucket(int64_t size_bytes);
+
+  /// Repopulates `entry` from a full walk of `meta`'s live files.
+  void RebuildLocked(TableEntry* entry, const lst::TableMetadata& meta) const;
+  /// Applies one commit's delta on top of `entry` (which must be at
+  /// exactly the parent version). Falls back to RebuildLocked if the
+  /// delta does not reconcile with the aggregates.
+  void ApplyDeltaLocked(TableEntry* entry, const lst::TableMetadata& meta,
+                        const lst::CommitDelta& delta) const;
+
+  /// Finds (building or refreshing as needed) the entry for `table` and
+  /// returns it when it describes exactly `meta`'s version; nullptr when
+  /// the entry is newer than the pinned metadata (caller falls back).
+  /// Must be called with the shard lock held.
+  TableEntry* EnsureLocked(Shard& shard, const std::string& table,
+                           const lst::TableMetadata& meta) const;
+
+  /// Commit-listener entry point.
+  void OnCommit(const catalog::CommitEvent& event) const;
+
+  catalog::Catalog* catalog_;
+  int64_t listener_id_ = 0;
+  mutable std::array<Shard, kShardCount> shards_;
+
+  mutable std::atomic<int64_t> deltas_applied_{0};
+  mutable std::atomic<int64_t> rebuilds_{0};
+  mutable std::atomic<int64_t> lazy_builds_{0};
+  mutable std::atomic<int64_t> stale_events_{0};
+};
+
+/// \brief StatsCollector that answers from the IncrementalStatsIndex and
+/// falls back to the rescan path when the index cannot serve the pinned
+/// metadata version. Output is bit-identical to StatsCollector::Collect
+/// (NFR2); `cross_check` verifies that on every hit (debug/test mode) and
+/// fails with Internal on divergence.
+class IndexedStatsCollector final : public StatsCollector {
+ public:
+  IndexedStatsCollector(catalog::Catalog* catalog,
+                        const catalog::ControlPlane* control_plane,
+                        const Clock* clock,
+                        std::shared_ptr<const IncrementalStatsIndex> index,
+                        bool cross_check = false);
+
+  Result<CandidateStats> Collect(const Candidate& candidate) const override;
+
+  int64_t index_hits() const override { return index_hits_.load(); }
+  int64_t index_fallbacks() const override { return index_fallbacks_.load(); }
+
+  const IncrementalStatsIndex* index() const { return index_.get(); }
+
+ private:
+  std::shared_ptr<const IncrementalStatsIndex> index_;
+  const bool cross_check_;
+  mutable std::atomic<int64_t> index_hits_{0};
+  mutable std::atomic<int64_t> index_fallbacks_{0};
+};
+
+/// \brief Field-by-field stats equality (including the custom property
+/// bag); the cross-check predicate, shared with tests. On mismatch,
+/// `why` (when non-null) receives a description of the first differing
+/// field.
+bool StatsEquivalent(const CandidateStats& a, const CandidateStats& b,
+                     std::string* why = nullptr);
+
+}  // namespace autocomp::core

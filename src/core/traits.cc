@@ -96,15 +96,26 @@ double ComputeCostTrait::Compute(const ObservedCandidate& candidate) const {
 }
 
 std::vector<TraitedCandidate> ComputeTraits(
-    const std::vector<ObservedCandidate>& candidates,
+    std::vector<ObservedCandidate> candidates,
     const std::vector<std::shared_ptr<const Trait>>& traits,
     ThreadPool* pool) {
   std::vector<TraitedCandidate> out(candidates.size());
+  // name() builds a fresh string per call; materialize each once instead
+  // of once per candidate (the virtual call + heap alloc showed up at
+  // fleet scale).
+  std::vector<std::string> names;
+  names.reserve(traits.size());
+  for (const auto& trait : traits) names.push_back(trait->name());
+  // The pool is consumed: each candidate's stats (size vectors, partition
+  // map, custom bag) move into their slot instead of being deep-copied —
+  // at fleet scale the copies dominated the orient phase.
   const auto compute_one = [&](int64_t i) {
     TraitedCandidate& tc = out[static_cast<size_t>(i)];
-    tc.observed = candidates[static_cast<size_t>(i)];
-    for (const auto& trait : traits) {
-      tc.traits[trait->name()] = trait->Compute(tc.observed);
+    tc.observed = std::move(candidates[static_cast<size_t>(i)]);
+    auto hint = tc.traits.end();
+    for (size_t j = 0; j < traits.size(); ++j) {
+      hint = tc.traits.emplace_hint(hint, names[j],
+                                    traits[j]->Compute(tc.observed));
     }
   };
   const int64_t n = static_cast<int64_t>(candidates.size());

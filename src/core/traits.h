@@ -148,9 +148,11 @@ class ComputeCostTrait final : public Trait {
 ///
 /// Traits are pure functions of the observed stats, so with a non-null
 /// `pool` candidates fan out across workers into per-index slots; output
-/// is identical to the sequential path (NFR2).
+/// is identical to the sequential path (NFR2). Takes the pool by value:
+/// each candidate's stats move into the traited output rather than being
+/// deep-copied (pass std::move when the caller is done with them).
 std::vector<TraitedCandidate> ComputeTraits(
-    const std::vector<ObservedCandidate>& candidates,
+    std::vector<ObservedCandidate> candidates,
     const std::vector<std::shared_ptr<const Trait>>& traits,
     ThreadPool* pool = nullptr);
 

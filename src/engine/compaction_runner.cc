@@ -55,13 +55,15 @@ Result<PendingCompaction> CompactionRunner::Prepare(
   // (Iceberg can only drop a delete file once every data file it may
   // reference has been rewritten) and the delete files fold away.
   std::map<std::string, std::vector<lst::DataFile>> in_scope;
-  for (const lst::DataFile& f : meta->LiveFiles(request.partition)) {
-    if (f.added_snapshot_id <= request.after_snapshot_id &&
-        request.after_snapshot_id != 0) {
-      continue;
-    }
-    in_scope[f.partition].push_back(f);
-  }
+  meta->ForEachLiveFile(
+      [&](const lst::DataFile& f) {
+        if (f.added_snapshot_id <= request.after_snapshot_id &&
+            request.after_snapshot_id != 0) {
+          return;
+        }
+        in_scope[f.partition].push_back(f);
+      },
+      request.partition);
   std::vector<lst::DataFile> inputs;              // data files to rewrite
   std::vector<lst::DataFile> delete_inputs;       // MoR delta files to fold
   std::map<std::string, int64_t> deleted_records; // per partition

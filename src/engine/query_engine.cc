@@ -136,24 +136,28 @@ Result<WriteResult> QueryEngine::ExecuteWrite(const WriteSpec& spec,
   // live files in the touched partitions. MoR deletes replace nothing.
   std::vector<std::string> replaced;
   if (spec.kind != WriteKind::kAppend && spec.kind != WriteKind::kMorDelete) {
-    std::vector<lst::DataFile> pool;
+    // Only the paths are needed; visit manifests in place instead of
+    // materializing DataFile copies per write.
+    std::vector<std::string> pool;
+    const auto collect = [&pool](const lst::DataFile& f) {
+      pool.push_back(f.path);
+    };
     if (spec.partitions.empty()) {
-      pool = meta->LiveFiles();
+      meta->ForEachLiveFile(collect);
     } else {
       for (const std::string& p : spec.partitions) {
-        auto part_files = meta->LiveFiles(p);
-        pool.insert(pool.end(), part_files.begin(), part_files.end());
+        meta->ForEachLiveFile(collect, p);
       }
     }
     const auto want = static_cast<size_t>(std::llround(
         static_cast<double>(pool.size()) * spec.replace_fraction));
     for (size_t i = 0; i < pool.size() && replaced.size() < want; ++i) {
       if (rng_.Bernoulli(spec.replace_fraction * 2)) {
-        replaced.push_back(pool[i].path);
+        replaced.push_back(pool[i]);
       }
     }
     if (replaced.empty() && !pool.empty() && want > 0) {
-      replaced.push_back(pool.front().path);
+      replaced.push_back(pool.front());
     }
   }
 

@@ -80,10 +80,17 @@ std::vector<ManifestRow> MetadataTables::Manifests() const {
 std::vector<DataFile> MetadataTables::FilesAddedAfter(
     int64_t after_snapshot_id) const {
   std::vector<DataFile> out;
-  for (const DataFile& f : metadata_->LiveFiles()) {
-    if (f.added_snapshot_id > after_snapshot_id) out.push_back(f);
-  }
+  ForEachFileAddedAfter(after_snapshot_id,
+                        [&out](const DataFile& f) { out.push_back(f); });
   return out;
+}
+
+void MetadataTables::ForEachFileAddedAfter(
+    int64_t after_snapshot_id,
+    const std::function<void(const DataFile&)>& fn) const {
+  metadata_->ForEachLiveFile([&](const DataFile& f) {
+    if (f.added_snapshot_id > after_snapshot_id) fn(f);
+  });
 }
 
 }  // namespace autocomp::lst

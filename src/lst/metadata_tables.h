@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,13 @@ class MetadataTables {
   /// Files added by snapshots with id > `after_snapshot_id` that are still
   /// live (supports snapshot-scoped compaction candidates, §4.1).
   std::vector<DataFile> FilesAddedAfter(int64_t after_snapshot_id) const;
+
+  /// Zero-copy variant of FilesAddedAfter: visits the matching files in
+  /// place instead of materializing DataFile copies — the observe phase's
+  /// snapshot-scope hot path.
+  void ForEachFileAddedAfter(int64_t after_snapshot_id,
+                             const std::function<void(const DataFile&)>& fn)
+      const;
 
  private:
   TableMetadataPtr metadata_;

@@ -151,6 +151,8 @@ class TableMetadata::Builder {
   bool built_ = false;
 };
 
+struct CommitDelta;
+
 /// \brief Abstract metadata store: the commit point of the system.
 ///
 /// Implemented by catalog::Catalog. A commit succeeds only if the table's
@@ -166,6 +168,19 @@ class MetadataStore {
   /// Returns CommitConflict when the version moved.
   virtual Status CommitTable(const std::string& name, int64_t base_version,
                              TableMetadataPtr new_metadata) = 0;
+
+  /// CommitTable plus the live-set delta the commit produced (see
+  /// commit_delta.h). Transactions commit through this entry point so
+  /// stores can feed incremental consumers; the default forwards to
+  /// CommitTable, dropping the delta — stores that do not track deltas
+  /// need not change.
+  virtual Status CommitTableWithDelta(const std::string& name,
+                                      int64_t base_version,
+                                      TableMetadataPtr new_metadata,
+                                      const CommitDelta& delta) {
+    (void)delta;
+    return CommitTable(name, base_version, std::move(new_metadata));
+  }
 };
 
 /// \brief Merges manifests so that no more than `max_manifests` remain,

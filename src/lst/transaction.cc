@@ -147,7 +147,8 @@ Status Transaction::ValidateAgainst(const TableMetadata& current) const {
   return Status::Internal("unreachable");
 }
 
-Result<TableMetadataPtr> Transaction::Apply(const TableMetadata& current) const {
+Result<TableMetadataPtr> Transaction::Apply(const TableMetadata& current,
+                                            CommitDelta* delta) const {
   TableMetadata::Builder builder(current);
   Snapshot snap;
   snap.snapshot_id = builder.AllocateSnapshotId();
@@ -155,6 +156,12 @@ Result<TableMetadataPtr> Transaction::Apply(const TableMetadata& current) const 
   snap.sequence_number = builder.AllocateSequenceNumber();
   snap.timestamp = clock_->Now();
   snap.operation = operation_;
+
+  delta->known = true;
+  delta->snapshot_id = snap.snapshot_id;
+  delta->operation = operation_;
+  delta->added.clear();
+  delta->removed.clear();
 
   const Snapshot* base_snap = current.current_snapshot();
   ManifestList manifests =
@@ -183,6 +190,7 @@ Result<TableMetadataPtr> Transaction::Apply(const TableMetadata& current) const 
           snap.deleted_bytes += f.file_size_bytes;
           snap.touched_partitions.insert(f.partition);
           removed->insert(f.path);
+          delta->removed.push_back(f);
         } else {
           kept.push_back(f);
         }
@@ -211,6 +219,7 @@ Result<TableMetadataPtr> Transaction::Apply(const TableMetadata& current) const 
       snap.added_records += f.record_count;
       snap.touched_partitions.insert(f.partition);
     }
+    delta->added = stamped;
     manifests.push_back(std::make_shared<const Manifest>(
         builder.AllocateManifestId(), std::move(stamped)));
   }
@@ -241,8 +250,11 @@ Result<CommitResult> Transaction::CommitInternal(bool* cas_race) {
     // A rejection here is terminal (the operation is genuinely lost).
     AUTOCOMP_RETURN_NOT_OK(ValidateAgainst(*current));
   }
-  AUTOCOMP_ASSIGN_OR_RETURN(TableMetadataPtr next, Apply(*current));
-  const Status cas = store_->CommitTable(table_name_, current->version(), next);
+  CommitDelta delta;
+  AUTOCOMP_ASSIGN_OR_RETURN(TableMetadataPtr next, Apply(*current, &delta));
+  const Status cas = store_->CommitTableWithDelta(table_name_,
+                                                  current->version(), next,
+                                                  delta);
   if (!cas.ok()) {
     // A CAS failure means another commit landed between our load and our
     // swap; the caller may rebase and retry.

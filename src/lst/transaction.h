@@ -27,6 +27,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "lst/commit_delta.h"
 #include "lst/table_metadata.h"
 
 namespace autocomp::lst {
@@ -91,7 +92,12 @@ class Transaction {
   /// base version. Returns CommitConflict on rejection.
   Status ValidateAgainst(const TableMetadata& current) const;
   /// Builds the successor metadata from `current` and the staged op.
-  Result<TableMetadataPtr> Apply(const TableMetadata& current) const;
+  /// Records the exact live-set change into `*delta` (added files as
+  /// stamped, removed files with their live descriptors) — the commit
+  /// hands it to MetadataStore::CommitTableWithDelta so incremental
+  /// consumers avoid rescanning the table.
+  Result<TableMetadataPtr> Apply(const TableMetadata& current,
+                                 CommitDelta* delta) const;
 
   MetadataStore* store_;
   std::string table_name_;

@@ -176,6 +176,14 @@ Status EventDriver::AdvanceTo(SimTime t) {
           metrics_->Increment("stats_cache_misses", clock.Now(),
                               report.stats_cache_misses);
         }
+        if (report.stats_index_hits > 0) {
+          metrics_->Increment("stats_index_hits", clock.Now(),
+                              report.stats_index_hits);
+        }
+        if (report.stats_index_fallbacks > 0) {
+          metrics_->Increment("stats_index_fallbacks", clock.Now(),
+                              report.stats_index_fallbacks);
+        }
         if (options_.deferred_compaction) {
           ScheduleCompactions(report.selected);
         }

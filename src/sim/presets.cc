@@ -4,6 +4,7 @@
 #include "core/observe.h"
 #include "core/ranking.h"
 #include "core/scheduler.h"
+#include "core/stats_index.h"
 #include "core/traits.h"
 
 namespace autocomp::sim {
@@ -12,25 +13,42 @@ std::unique_ptr<core::AutoCompService> MakeMoopService(
     SimEnvironment* env, const StrategyPreset& preset) {
   core::AutoCompPipeline::Stages stages;
 
+  // One index shared by the generator (partition lists, replace
+  // watermarks) and the collector (candidate stats); commit listeners
+  // keep it current for the service's lifetime.
+  std::shared_ptr<core::IncrementalStatsIndex> index;
+  if (preset.use_stats_index) {
+    index = std::make_shared<core::IncrementalStatsIndex>(&env->catalog());
+  }
+
   switch (preset.scope) {
     case ScopeStrategy::kTable:
-      stages.generator = std::make_shared<core::TableScopeGenerator>();
+      stages.generator = std::make_shared<core::TableScopeGenerator>(index);
       break;
     case ScopeStrategy::kHybrid:
-      stages.generator = std::make_shared<core::HybridScopeGenerator>();
+      stages.generator = std::make_shared<core::HybridScopeGenerator>(index);
       break;
     case ScopeStrategy::kPartition:
-      stages.generator = std::make_shared<core::PartitionScopeGenerator>();
+      stages.generator =
+          std::make_shared<core::PartitionScopeGenerator>(index);
       break;
     case ScopeStrategy::kSnapshot:
-      stages.generator = std::make_shared<core::SnapshotScopeGenerator>();
+      stages.generator = std::make_shared<core::SnapshotScopeGenerator>(index);
       break;
   }
 
+  std::shared_ptr<core::StatsCollector> base;
+  if (index != nullptr) {
+    base = std::make_shared<core::IndexedStatsCollector>(
+        &env->catalog(), &env->control_plane(), &env->clock(), index,
+        preset.cross_check_stats_index);
+  }
   if (preset.cache_stats) {
     stages.collector = std::make_shared<core::CachingStatsCollector>(
-        &env->catalog(), &env->control_plane(), &env->clock(),
+        &env->catalog(), &env->control_plane(), &env->clock(), base,
         preset.stats_cache_capacity);
+  } else if (base != nullptr) {
+    stages.collector = std::move(base);
   } else {
     stages.collector = std::make_shared<core::StatsCollector>(
         &env->catalog(), &env->control_plane(), &env->clock());

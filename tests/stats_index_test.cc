@@ -1,0 +1,647 @@
+// IncrementalStatsIndex: O(delta) maintenance must be observationally
+// identical to rescanning metadata (NFR2). Scripted single-thread
+// operation sequences, histogram queries vs brute force, rebuild
+// triggers (expiry, drops, stale pins), a randomized multi-threaded
+// property suite with per-commit index-vs-rescan cross-checks, and an
+// end-to-end determinism test over all four generators × three
+// collector modes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/control_plane.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/observe.h"
+#include "core/pipeline.h"
+#include "core/ranking.h"
+#include "core/stats_index.h"
+#include "core/traits.h"
+#include "lst/table.h"
+#include "lst/transaction.h"
+#include "storage/filesystem.h"
+
+namespace autocomp {
+namespace {
+
+lst::Schema TestSchema() {
+  return lst::Schema(0, {{1, "d", lst::FieldType::kDate, true}});
+}
+
+lst::PartitionSpec TestSpec() {
+  return lst::PartitionSpec(1, {{1, lst::Transform::kMonth, "m"}});
+}
+
+// Harness: a catalog plus every collector flavor over one shared index.
+struct IndexHarness {
+  SimulatedClock clock{0};
+  storage::DistributedFileSystem dfs{&clock, 1};
+  catalog::Catalog catalog{&clock, &dfs};
+  catalog::ControlPlane control_plane{&catalog};
+  std::shared_ptr<core::IncrementalStatsIndex> index;
+  std::unique_ptr<core::StatsCollector> rescan;
+  std::unique_ptr<core::IndexedStatsCollector> indexed;
+
+  IndexHarness()
+      : index(std::make_shared<core::IncrementalStatsIndex>(&catalog)),
+        rescan(std::make_unique<core::StatsCollector>(&catalog, &control_plane,
+                                                      &clock)),
+        indexed(std::make_unique<core::IndexedStatsCollector>(
+            &catalog, &control_plane, &clock, index, /*cross_check=*/true)) {}
+
+  // Both paths must agree field for field, custom bag included.
+  void ExpectAgreement(const core::Candidate& candidate) {
+    auto a = indexed->Collect(candidate);  // cross-check mode self-verifies
+    ASSERT_TRUE(a.ok()) << a.status();
+    auto b = rescan->Collect(candidate);
+    ASSERT_TRUE(b.ok()) << b.status();
+    std::string why;
+    EXPECT_TRUE(core::StatsEquivalent(*a, *b, &why))
+        << candidate.id() << ": " << why;
+  }
+
+  // Checks every scope of one table: whole table, each live partition,
+  // and the snapshot scope at the current replace watermark.
+  void ExpectAllScopesAgree(const std::string& table) {
+    core::Candidate whole;
+    whole.table = table;
+    ExpectAgreement(whole);
+
+    auto meta = catalog.LoadTable(table);
+    ASSERT_TRUE(meta.ok());
+    for (const std::string& partition : (*meta)->LivePartitions()) {
+      core::Candidate pc;
+      pc.table = table;
+      pc.scope = core::CandidateScope::kPartition;
+      pc.partition = partition;
+      ExpectAgreement(pc);
+    }
+
+    int64_t last_replace = 0;
+    for (const lst::Snapshot& snap : (*meta)->snapshots()) {
+      if (snap.operation == lst::SnapshotOperation::kReplace &&
+          snap.snapshot_id > last_replace) {
+        last_replace = snap.snapshot_id;
+      }
+    }
+    if (last_replace > 0) {
+      core::Candidate sc;
+      sc.table = table;
+      sc.scope = core::CandidateScope::kSnapshot;
+      sc.after_snapshot_id = last_replace;
+      ExpectAgreement(sc);
+    }
+  }
+};
+
+lst::DataFile MakeFile(const std::string& table_path, int64_t* counter,
+                       const std::string& partition, int64_t size) {
+  lst::DataFile f;
+  f.path = table_path + "/" + partition + "/f" + std::to_string((*counter)++);
+  f.partition = partition;
+  f.file_size_bytes = size;
+  f.record_count = 1;
+  return f;
+}
+
+// ------------------------------------------- Scripted operation sequence
+
+TEST(StatsIndexTest, ScriptedOperationsMatchRescanAfterEveryCommit) {
+  IndexHarness h;
+  ASSERT_TRUE(h.catalog.CreateDatabase("db").ok());
+  auto table = h.catalog.CreateTable("db", "t", TestSchema(), TestSpec());
+  ASSERT_TRUE(table.ok());
+  int64_t counter = 0;
+
+  // Empty table: index must agree before any snapshot exists.
+  h.ExpectAllScopesAgree("db.t");
+
+  // Append into two partitions.
+  {
+    auto txn = table->NewTransaction();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(txn->Append({MakeFile("/data/db/t", &counter, "m=2024-01", 5),
+                             MakeFile("/data/db/t", &counter, "m=2024-01", 9),
+                             MakeFile("/data/db/t", &counter, "m=2024-02", 64)})
+                    .ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  h.ExpectAllScopesAgree("db.t");
+
+  // Overwrite: replace one file, add one.
+  {
+    auto meta = table->Metadata();
+    ASSERT_TRUE(meta.ok());
+    const std::string victim = (*meta)->LiveFiles().front().path;
+    auto txn = table->NewTransaction();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(
+        txn->Overwrite({victim},
+                       {MakeFile("/data/db/t", &counter, "m=2024-01", 7)})
+            .ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  h.ExpectAllScopesAgree("db.t");
+
+  // Rewrite (compaction): sets the replace watermark; the fresh set
+  // empties and refills on the next append.
+  {
+    auto meta = table->Metadata();
+    ASSERT_TRUE(meta.ok());
+    std::vector<std::string> inputs;
+    for (const lst::DataFile& f : (*meta)->LiveFiles(std::string("m=2024-01"))) {
+      inputs.push_back(f.path);
+    }
+    ASSERT_FALSE(inputs.empty());
+    auto txn = table->NewTransaction();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(
+        txn->RewriteFiles(inputs,
+                          {MakeFile("/data/db/t", &counter, "m=2024-01", 16)})
+            .ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  h.ExpectAllScopesAgree("db.t");
+
+  // Post-compaction appends are the snapshot-scope population.
+  {
+    h.clock.Advance(kMinute);
+    auto txn = table->NewTransaction();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(txn->Append({MakeFile("/data/db/t", &counter, "m=2024-02", 3),
+                             MakeFile("/data/db/t", &counter, "m=2024-03", 2)})
+                    .ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  h.ExpectAllScopesAgree("db.t");
+
+  // Delete files (a partition may disappear entirely).
+  {
+    auto meta = table->Metadata();
+    ASSERT_TRUE(meta.ok());
+    std::vector<std::string> victims;
+    for (const lst::DataFile& f : (*meta)->LiveFiles(std::string("m=2024-03"))) {
+      victims.push_back(f.path);
+    }
+    auto txn = table->NewTransaction();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(txn->DeleteFiles(victims).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  h.ExpectAllScopesAgree("db.t");
+
+  // Snapshot expiry commits without a delta; the index must rebuild and
+  // still agree (watermark recomputation included).
+  {
+    h.clock.Advance(kDay);
+    const int64_t rebuilds_before = h.index->rebuilds();
+    auto expired = lst::ExpireSnapshots(&h.catalog, "db.t", &h.clock,
+                                        h.clock.Now() - kHour, 1);
+    ASSERT_TRUE(expired.ok()) << expired.status();
+    ASSERT_GT(expired->expired_snapshots, 0);
+    h.ExpectAllScopesAgree("db.t");
+    EXPECT_GT(h.index->rebuilds(), rebuilds_before);
+  }
+
+  // Steady state: repeated collections are index hits, not fallbacks.
+  const int64_t hits_before = h.indexed->index_hits();
+  h.ExpectAllScopesAgree("db.t");
+  EXPECT_GT(h.indexed->index_hits(), hits_before);
+  EXPECT_GT(h.index->deltas_applied(), 0);
+}
+
+// ---------------------------------------------------- Query-level checks
+
+TEST(StatsIndexTest, SmallFilesBelowMatchesBruteForce) {
+  IndexHarness h;
+  ASSERT_TRUE(h.catalog.CreateDatabase("db").ok());
+  auto table = h.catalog.CreateTable("db", "t", TestSchema(), TestSpec());
+  ASSERT_TRUE(table.ok());
+  Rng rng(42);
+  int64_t counter = 0;
+  std::vector<lst::DataFile> batch;
+  for (int i = 0; i < 200; ++i) {
+    // Sizes straddling bucket boundaries, including exact powers of two.
+    const int64_t size = rng.Bernoulli(0.3)
+                             ? int64_t{1} << rng.UniformInt(0, 30)
+                             : rng.UniformInt(1, 512 * kMiB);
+    batch.push_back(MakeFile("/data/db/t", &counter,
+                             "m=2024-" + std::to_string(1 + i % 4), size));
+  }
+  auto txn = table->NewTransaction();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(txn->Append(batch).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+
+  auto meta = h.catalog.LoadTable("db.t");
+  ASSERT_TRUE(meta.ok());
+  std::vector<int64_t> thresholds = {0,       1,         2,          1024,
+                                     1 << 20, 64 * kMiB, 512 * kMiB, 1 << 30};
+  for (int i = 0; i < 32; ++i) thresholds.push_back(rng.UniformInt(1, kGiB));
+  for (const int64_t threshold : thresholds) {
+    auto summary = h.index->SmallFilesBelow("db.t", *meta, threshold);
+    ASSERT_TRUE(summary.has_value());
+    int64_t count = 0, bytes = 0;
+    (*meta)->ForEachLiveFile([&](const lst::DataFile& f) {
+      if (f.file_size_bytes < threshold) {
+        ++count;
+        bytes += f.file_size_bytes;
+      }
+    });
+    EXPECT_EQ(summary->count, count) << "threshold " << threshold;
+    EXPECT_EQ(summary->bytes, bytes) << "threshold " << threshold;
+  }
+}
+
+TEST(StatsIndexTest, LivePartitionsAndWatermarkMatchMetadata) {
+  IndexHarness h;
+  ASSERT_TRUE(h.catalog.CreateDatabase("db").ok());
+  auto table = h.catalog.CreateTable("db", "t", TestSchema(), TestSpec());
+  ASSERT_TRUE(table.ok());
+  int64_t counter = 0;
+  {
+    auto txn = table->NewTransaction();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(txn->Append({MakeFile("/data/db/t", &counter, "m=2024-03", 4),
+                             MakeFile("/data/db/t", &counter, "m=2024-01", 8)})
+                    .ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto meta = h.catalog.LoadTable("db.t");
+  ASSERT_TRUE(meta.ok());
+  auto partitions = h.index->LivePartitions("db.t", *meta);
+  ASSERT_TRUE(partitions.has_value());
+  EXPECT_EQ(*partitions, (*meta)->LivePartitions());
+
+  auto watermark = h.index->LastReplaceSnapshotId("db.t", *meta);
+  ASSERT_TRUE(watermark.has_value());
+  EXPECT_EQ(*watermark, 0);
+
+  {
+    auto txn = table->NewTransaction();
+    ASSERT_TRUE(txn.ok());
+    std::vector<std::string> inputs;
+    for (const lst::DataFile& f : (*meta)->LiveFiles(std::string("m=2024-01"))) {
+      inputs.push_back(f.path);
+    }
+    ASSERT_TRUE(
+        txn->RewriteFiles(inputs,
+                          {MakeFile("/data/db/t", &counter, "m=2024-01", 12)})
+            .ok());
+    auto committed = txn->Commit();
+    ASSERT_TRUE(committed.ok());
+    meta = h.catalog.LoadTable("db.t");
+    ASSERT_TRUE(meta.ok());
+    watermark = h.index->LastReplaceSnapshotId("db.t", *meta);
+    ASSERT_TRUE(watermark.has_value());
+    EXPECT_EQ(*watermark, committed->snapshot_id);
+  }
+}
+
+TEST(StatsIndexTest, StalePinnedMetadataFallsBackNotLies) {
+  IndexHarness h;
+  ASSERT_TRUE(h.catalog.CreateDatabase("db").ok());
+  auto table = h.catalog.CreateTable("db", "t", TestSchema(), TestSpec());
+  ASSERT_TRUE(table.ok());
+  int64_t counter = 0;
+  {
+    auto txn = table->NewTransaction();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(
+        txn->Append({MakeFile("/data/db/t", &counter, "m=2024-01", 5)}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto old_meta = h.catalog.LoadTable("db.t");
+  ASSERT_TRUE(old_meta.ok());
+  core::Candidate candidate;
+  candidate.table = "db.t";
+  // Materialize the entry at the old version, then advance the table.
+  ASSERT_TRUE(h.index->TryCollect(candidate, *old_meta).has_value());
+  {
+    auto txn = table->NewTransaction();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(
+        txn->Append({MakeFile("/data/db/t", &counter, "m=2024-01", 6)}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  // The entry is now newer than the stale pin: the index must refuse
+  // rather than answer with the wrong version's aggregates.
+  EXPECT_FALSE(h.index->TryCollect(candidate, *old_meta).has_value());
+  EXPECT_FALSE(h.index->LivePartitions("db.t", *old_meta).has_value());
+  // A fresh pin is served again.
+  auto meta = h.catalog.LoadTable("db.t");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(h.index->TryCollect(candidate, *meta).has_value());
+}
+
+TEST(StatsIndexTest, DropTableEvictsEntry) {
+  IndexHarness h;
+  ASSERT_TRUE(h.catalog.CreateDatabase("db").ok());
+  auto table = h.catalog.CreateTable("db", "t", TestSchema(), TestSpec());
+  ASSERT_TRUE(table.ok());
+  int64_t counter = 0;
+  auto txn = table->NewTransaction();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(
+      txn->Append({MakeFile("/data/db/t", &counter, "m=2024-01", 5)}).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  core::Candidate candidate;
+  candidate.table = "db.t";
+  auto meta = h.catalog.LoadTable("db.t");
+  ASSERT_TRUE(meta.ok());
+  ASSERT_TRUE(h.index->TryCollect(candidate, *meta).has_value());
+  EXPECT_EQ(h.index->FleetTotals().tables, 1);
+  ASSERT_TRUE(h.catalog.DropTable("db.t").ok());
+  EXPECT_EQ(h.index->FleetTotals().tables, 0);
+}
+
+// ------------------------------------------- Randomized concurrent suite
+
+class StatsIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StatsIndexPropertyTest, ConcurrentMixMatchesRescanAfterEveryCommit) {
+  IndexHarness h;
+  constexpr int kThreads = 3;
+  constexpr int kStepsPerThread = 40;
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(h.catalog.CreateDatabase("db" + std::to_string(t)).ok());
+  }
+  ASSERT_TRUE(h.catalog.CreateDatabase("shared").ok());
+  ASSERT_TRUE(
+      h.catalog.CreateTable("shared", "hammer", TestSchema(), TestSpec())
+          .ok());
+
+  // Each worker owns one table (exclusive writer, so its per-commit
+  // cross-checks are race-free) and also hammers the shared table with
+  // CommitWithRetries appends to exercise delta application under CAS
+  // races and out-of-order listener delivery.
+  std::vector<std::thread> workers;
+  std::vector<std::string> failures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, &failures, t, seed = GetParam()]() {
+      Rng rng(seed * 97 + static_cast<uint64_t>(t));
+      const std::string db = "db" + std::to_string(t);
+      auto table = h.catalog.CreateTable(db, "t", TestSchema(), TestSpec());
+      if (!table.ok()) {
+        failures[t] = "create: " + table.status().ToString();
+        return;
+      }
+      const std::string qualified = db + ".t";
+      const std::string location = "/data/" + db + "/t";
+      int64_t counter = 0;
+      std::set<std::string> live;
+      for (int step = 0; step < kStepsPerThread; ++step) {
+        const double pick = rng.NextDouble();
+        auto txn = table->NewTransaction();
+        if (!txn.ok()) {
+          failures[t] = "txn: " + txn.status().ToString();
+          return;
+        }
+        Status staged = Status::OK();
+        std::vector<lst::DataFile> added;
+        std::vector<std::string> removed;
+        if (pick < 0.45 || live.empty()) {
+          const int n = static_cast<int>(rng.UniformInt(1, 4));
+          for (int i = 0; i < n; ++i) {
+            added.push_back(MakeFile(
+                location, &counter,
+                "m=2024-0" + std::to_string(1 + rng.UniformInt(0, 2)),
+                rng.UniformInt(1, 4096)));
+          }
+          staged = txn->Append(added);
+        } else {
+          for (const std::string& path : live) {
+            if (rng.Bernoulli(0.4)) removed.push_back(path);
+            if (removed.size() >= 3) break;
+          }
+          if (removed.empty()) removed.push_back(*live.begin());
+          if (pick < 0.65) {
+            added.push_back(
+                MakeFile(location, &counter, "m=2024-01",
+                         rng.UniformInt(1, 4096)));
+            staged = txn->Overwrite(removed, added);
+          } else if (pick < 0.85) {
+            // Rewrite wants same-partition inputs; restage as a
+            // single-victim replace to stay valid.
+            removed.resize(1);
+            added.push_back(
+                MakeFile(location, &counter, "m=2024-02",
+                         rng.UniformInt(1, 4096)));
+            staged = txn->RewriteFiles(removed, added);
+          } else {
+            staged = txn->DeleteFiles(removed);
+          }
+        }
+        if (!staged.ok()) {
+          failures[t] = "stage: " + staged.ToString();
+          return;
+        }
+        auto committed = txn->Commit();
+        if (!committed.ok()) {
+          failures[t] = "commit: " + committed.status().ToString();
+          return;
+        }
+        for (const std::string& path : removed) live.erase(path);
+        for (const lst::DataFile& f : added) live.insert(f.path);
+
+        // Cross-check mode re-collects via rescan on every index hit and
+        // fails loudly on divergence.
+        core::Candidate candidate;
+        candidate.table = qualified;
+        auto stats = h.indexed->Collect(candidate);
+        if (!stats.ok()) {
+          failures[t] = "collect: " + stats.status().ToString();
+          return;
+        }
+        if (stats->file_count != static_cast<int64_t>(live.size())) {
+          failures[t] = "live-set drift at step " + std::to_string(step);
+          return;
+        }
+
+        // Contend on the shared table.
+        auto hammer = h.catalog.GetTable("shared.hammer");
+        if (!hammer.ok()) continue;
+        auto hammer_txn = hammer->NewTransaction();
+        if (!hammer_txn.ok()) continue;
+        std::vector<lst::DataFile> hfiles = {
+            MakeFile("/data/shared/hammer", &counter,
+                     "m=2024-0" + std::to_string(1 + t), t * 1000 + step + 1)};
+        hfiles.back().path += "-w" + std::to_string(t);
+        if (hammer_txn->Append(hfiles).ok()) {
+          (void)hammer_txn->CommitWithRetries(10);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], "") << "worker " << t;
+  }
+
+  // Quiesced: every table (shared hammer included) agrees across scopes.
+  for (const std::string& name : h.catalog.ListAllTables()) {
+    h.ExpectAllScopesAgree(name);
+  }
+  EXPECT_GT(h.index->deltas_applied(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsIndexPropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{6}));
+
+// -------------------------------------------- End-to-end determinism
+
+// Small fragmented fleet with some compacted (replace-snapshot) tables so
+// the snapshot scope has non-trivial watermarks.
+void BuildSmallFleet(catalog::Catalog* catalog, Rng* rng) {
+  ASSERT_TRUE(catalog->CreateDatabase("db").ok());
+  for (int t = 0; t < 24; ++t) {
+    const std::string name = "t" + std::to_string(t);
+    auto table = catalog->CreateTable("db", name, TestSchema(), TestSpec());
+    ASSERT_TRUE(table.ok());
+    int64_t counter = 0;
+    const std::string location = "/data/db/" + name;
+    std::vector<lst::DataFile> batch;
+    const int files = static_cast<int>(rng->UniformInt(5, 30));
+    const int partitions = static_cast<int>(rng->UniformInt(1, 4));
+    for (int f = 0; f < files; ++f) {
+      batch.push_back(MakeFile(location, &counter,
+                               "m=2024-0" + std::to_string(1 + f % partitions),
+                               rng->UniformInt(1, 32) * kMiB));
+    }
+    auto txn = table->NewTransaction();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(txn->Append(batch).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+    if (t % 3 == 0) {
+      // Compact one partition, then append fresh files over it.
+      auto meta = table->Metadata();
+      ASSERT_TRUE(meta.ok());
+      std::vector<std::string> inputs;
+      for (const lst::DataFile& f : (*meta)->LiveFiles(std::string("m=2024-01"))) {
+        inputs.push_back(f.path);
+      }
+      auto rewrite = table->NewTransaction();
+      ASSERT_TRUE(rewrite.ok());
+      ASSERT_TRUE(rewrite
+                      ->RewriteFiles(inputs, {MakeFile(location, &counter,
+                                                       "m=2024-01", 256 * kMiB)})
+                      .ok());
+      ASSERT_TRUE(rewrite->Commit().ok());
+      auto fresh = table->NewTransaction();
+      ASSERT_TRUE(fresh.ok());
+      ASSERT_TRUE(fresh
+                      ->Append({MakeFile(location, &counter, "m=2024-01", kMiB),
+                                MakeFile(location, &counter, "m=2024-02",
+                                         2 * kMiB)})
+                      .ok());
+      ASSERT_TRUE(fresh->Commit().ok());
+    }
+  }
+}
+
+core::AutoCompPipeline MakeDecidePipeline(
+    catalog::Catalog* catalog, const Clock* clock,
+    std::shared_ptr<core::CandidateGenerator> generator,
+    std::shared_ptr<core::StatsCollector> collector) {
+  core::AutoCompPipeline::Stages stages;
+  stages.generator = std::move(generator);
+  stages.collector = std::move(collector);
+  stages.traits = {std::make_shared<core::FileCountReductionTrait>(),
+                   std::make_shared<core::FileEntropyTrait>(),
+                   std::make_shared<core::ComputeCostTrait>(24.0, 1e12)};
+  stages.ranker = std::make_shared<core::MoopRanker>(
+      std::vector<core::MoopRanker::Objective>{
+          {"file_count_reduction", 0.7, false},
+          {"compute_cost_gbhr", 0.3, true}});
+  stages.selector = std::make_shared<core::FixedKSelector>(100);
+  stages.scheduler = nullptr;
+  return core::AutoCompPipeline(std::move(stages), catalog, clock);
+}
+
+TEST(StatsIndexDeterminismTest, AllGeneratorsBitIdenticalAcrossCollectors) {
+  SimulatedClock clock(0);
+  storage::DistributedFileSystem dfs(&clock, 1);
+  catalog::Catalog catalog(&clock, &dfs);
+  catalog::ControlPlane control_plane(&catalog);
+  Rng rng(11);
+  BuildSmallFleet(&catalog, &rng);
+
+  enum class Mode { kRescan, kIndexed, kIndexedCache };
+  struct Baseline {
+    std::vector<core::ScoredCandidate> ranked;
+  };
+
+  for (int g = 0; g < 4; ++g) {
+    std::optional<Baseline> baseline;
+    for (const Mode mode :
+         {Mode::kRescan, Mode::kIndexed, Mode::kIndexedCache}) {
+      std::shared_ptr<core::IncrementalStatsIndex> index;
+      std::shared_ptr<core::StatsCollector> collector;
+      if (mode != Mode::kRescan) {
+        index = std::make_shared<core::IncrementalStatsIndex>(&catalog);
+        collector = std::make_shared<core::IndexedStatsCollector>(
+            &catalog, &control_plane, &clock, index);
+        if (mode == Mode::kIndexedCache) {
+          collector = std::make_shared<core::CachingStatsCollector>(
+              &catalog, &control_plane, &clock, collector,
+              core::CachingStatsCollector::kDefaultCapacity);
+        }
+      } else {
+        collector = std::make_shared<core::StatsCollector>(
+            &catalog, &control_plane, &clock);
+      }
+      std::shared_ptr<core::CandidateGenerator> generator;
+      switch (g) {
+        case 0:
+          generator = std::make_shared<core::TableScopeGenerator>(index);
+          break;
+        case 1:
+          generator = std::make_shared<core::PartitionScopeGenerator>(index);
+          break;
+        case 2:
+          generator = std::make_shared<core::HybridScopeGenerator>(index);
+          break;
+        default:
+          generator = std::make_shared<core::SnapshotScopeGenerator>(index);
+          break;
+      }
+      core::AutoCompPipeline pipeline =
+          MakeDecidePipeline(&catalog, &clock, generator, collector);
+      // Two runs: the second exercises warm index/cache paths.
+      for (int run = 0; run < 2; ++run) {
+        auto report = pipeline.RunOnce();
+        ASSERT_TRUE(report.ok()) << report.status();
+        if (!baseline) {
+          baseline = Baseline{report->ranked};
+          continue;
+        }
+        ASSERT_EQ(report->ranked.size(), baseline->ranked.size())
+            << "generator " << g;
+        for (size_t i = 0; i < report->ranked.size(); ++i) {
+          const core::ScoredCandidate& got = report->ranked[i];
+          const core::ScoredCandidate& want = baseline->ranked[i];
+          EXPECT_EQ(got.candidate().id(), want.candidate().id());
+          // Bit-identical scores and traits, not just approximately equal:
+          // the indexed path must reproduce the rescan's float reductions.
+          EXPECT_EQ(got.score, want.score) << got.candidate().id();
+          EXPECT_EQ(got.traited.traits, want.traited.traits)
+              << got.candidate().id();
+          std::string why;
+          EXPECT_TRUE(core::StatsEquivalent(got.traited.observed.stats,
+                                            want.traited.observed.stats, &why))
+              << got.candidate().id() << ": " << why;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autocomp

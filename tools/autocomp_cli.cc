@@ -49,6 +49,8 @@ struct Flags {
   int pool_size = 0;
   bool stats_cache = true;
   int64_t stats_cache_capacity = core::CachingStatsCollector::kDefaultCapacity;
+  bool stats_index = true;
+  bool cross_check_stats_index = false;
 };
 
 void PrintUsage() {
@@ -59,13 +61,19 @@ void PrintUsage() {
       "                    [--k=N] [--budget=GBHR] [--hours=N] [--days=N]\n"
       "                    [--databases=N] [--seed=N] [--no-deferred]\n"
       "                    [--pool-size=N] [--no-stats-cache]\n"
-      "                    [--stats-cache-capacity=N]\n"
+      "                    [--stats-cache-capacity=N] [--no-stats-index]\n"
+      "                    [--cross-check-stats-index]\n"
       "\n"
       "  --pool-size=N            pipeline worker threads (0 = all cores,\n"
       "                           1 = sequential); results are identical\n"
       "                           at any setting, only wall-clock changes\n"
       "  --no-stats-cache         disable the snapshot-keyed stats cache\n"
-      "  --stats-cache-capacity=N LRU entry bound for the stats cache\n");
+      "  --stats-cache-capacity=N LRU entry bound for the stats cache\n"
+      "  --no-stats-index         disable the incremental stats index\n"
+      "                           (ablation: observe rescans manifests;\n"
+      "                           output is identical, only slower)\n"
+      "  --cross-check-stats-index  debug: rescan on every index hit and\n"
+      "                           abort the run on any divergence\n");
 }
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -104,6 +112,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->deferred = false;
     } else if (arg == "--no-stats-cache") {
       flags->stats_cache = false;
+    } else if (arg == "--no-stats-index") {
+      flags->stats_index = false;
+    } else if (arg == "--cross-check-stats-index") {
+      flags->cross_check_stats_index = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -143,6 +155,8 @@ std::unique_ptr<core::AutoCompService> MakeService(sim::SimEnvironment* env,
   preset.pool = pool;
   preset.cache_stats = flags.stats_cache;
   preset.stats_cache_capacity = flags.stats_cache_capacity;
+  preset.use_stats_index = flags.stats_index;
+  preset.cross_check_stats_index = flags.cross_check_stats_index;
   return sim::MakeMoopService(env, preset);
 }
 
@@ -173,6 +187,8 @@ void PrintSummary(sim::SimEnvironment& env,
     core::PipelinePhaseTimings wall;
     int64_t cache_hits = 0;
     int64_t cache_misses = 0;
+    int64_t index_hits = 0;
+    int64_t index_fallbacks = 0;
     for (const core::PipelineRunReport& r : service->history()) {
       selected += static_cast<int64_t>(r.selected.size());
       wall.generate_ms += r.timings.generate_ms;
@@ -182,6 +198,8 @@ void PrintSummary(sim::SimEnvironment& env,
       wall.act_ms += r.timings.act_ms;
       cache_hits += r.stats_cache_hits;
       cache_misses += r.stats_cache_misses;
+      index_hits += r.stats_index_hits;
+      index_fallbacks += r.stats_index_fallbacks;
     }
     table.AddRow({"pipeline runs",
                   std::to_string(service->history().size())});
@@ -201,6 +219,11 @@ void PrintSummary(sim::SimEnvironment& env,
                         static_cast<double>(cache_hits + cache_misses),
                     1) +
                "%"});
+    }
+    if (index_hits + index_fallbacks > 0) {
+      table.AddRow({"stats index hits", std::to_string(index_hits)});
+      table.AddRow(
+          {"stats index fallbacks", std::to_string(index_fallbacks)});
     }
   }
   double gbhr = 0;
