@@ -1,0 +1,209 @@
+/// \file bench_sim_throughput.cc
+/// \brief Data-plane replay throughput: the shard-parallel fleet driver
+/// (sim::FleetSimulation) against the sequential reference, at shard
+/// counts {1, 2, 4, 8}, over a ~2000-table fleet.
+///
+/// Every configuration must be **bit-identical** to the sequential run
+/// (NFR2): the merged MetricsRecorder is compared series for series,
+/// sample for sample, and the run aborts on any divergence. Timings are
+/// best-of-N host wall-clock; on hosts with few hardware threads the
+/// sharded runs still execute (the equality check is the point) but
+/// their speedups measure oversubscription, not parallelism — the JSON
+/// records hardware_concurrency so readers can judge.
+///
+/// Results land in BENCH_sim.json:
+///   {"fleet_tables": N, "days": D, "hardware_concurrency": H,
+///    "force_pools": B, "runs": [
+///      {"name": "seq", "shards": 0, "pool_workers": 0, "wall_ms": ...,
+///       "events": ..., "events_per_sec": ..., "speedup_vs_seq": 1.0,
+///       "metrics_equal": true}, ...]}
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "sim/fleet_driver.h"
+#include "sim/metrics.h"
+
+using namespace autocomp;
+
+namespace {
+
+// ~2000 tables: 40 tenant databases x 50 tables, the scale the
+// acceptance bar names. One simulated day and one rep per config keep
+// the default turnaround tolerable on small hosts (five full-fleet
+// replays per invocation); AUTOCOMP_BENCH_SIM_DAYS and
+// AUTOCOMP_BENCH_SIM_RUNS scale the horizon / add best-of-N reps on
+// hardware that can afford them.
+constexpr int kDatabases = 40;
+constexpr int kTablesPerDb = 50;
+
+int EnvInt(const char* name, int fallback, int min_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  const int parsed = std::atoi(value);
+  return parsed < min_value ? fallback : parsed;
+}
+
+const int kDays = EnvInt("AUTOCOMP_BENCH_SIM_DAYS", 1, 1);
+const int kRunsPerConfig = EnvInt("AUTOCOMP_BENCH_SIM_RUNS", 1, 1);
+
+sim::FleetSimOptions BaseOptions() {
+  sim::FleetSimOptions options;
+  options.days = kDays;
+  options.seed = 7;
+  options.fleet.num_databases = kDatabases;
+  options.fleet.tables_per_db = kTablesPerDb;
+  // Throughput here is events through the driver, not bytes through the
+  // simulated DFS: shrink the lognormal table sizes so a 2000-table
+  // replay finishes in minutes, not hours, on a laptop-class host. The
+  // file-count distribution keeps its shape, just a smaller median.
+  options.fleet.size_mu = std::log(128.0 * kMiB);
+  options.fleet.size_sigma = 1.2;
+  // Give the NameNode model some pressure so the epoch-load/timeout path
+  // is actually exercised (fleet RPC totals overflow per-hour capacity).
+  options.env.namenode.rpc_capacity_per_hour = 2'000;
+  options.driver.sample_interval = 4 * kHour;
+  options.driver.retention_interval = kDay;
+  return options;
+}
+
+struct RunOutcome {
+  std::string name;
+  int shards = 0;        // 0 = sequential reference
+  int pool_workers = 0;  // 0 = no pool (inline)
+  double wall_ms = 0;    // best of kRunsPerConfig
+  int64_t events = 0;
+  int64_t total_files = 0;
+  int64_t open_calls = 0;
+  double events_per_sec = 0;
+  bool metrics_equal = true;
+  sim::MetricsRecorder metrics;
+};
+
+RunOutcome RunConfig(const std::string& name, int shards, int pool_workers) {
+  RunOutcome out;
+  out.name = name;
+  out.shards = shards;
+  out.pool_workers = pool_workers;
+  std::unique_ptr<ThreadPool> pool;
+  if (pool_workers > 0) pool = std::make_unique<ThreadPool>(pool_workers);
+  for (int run = 0; run < kRunsPerConfig; ++run) {
+    sim::FleetSimOptions options = BaseOptions();
+    if (shards > 0) {
+      options.sharded = true;
+      options.shards = shards;
+      options.pool = pool.get();
+    } else {
+      options.sharded = false;
+      options.shards = 1;
+      options.pool = nullptr;
+    }
+    sim::FleetSimulation simulation(std::move(options));
+    const auto start = std::chrono::steady_clock::now();
+    auto result = simulation.Run();
+    const auto stop = std::chrono::steady_clock::now();
+    AUTOCOMP_CHECK(result.ok()) << result.status();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (out.wall_ms == 0 || ms < out.wall_ms) out.wall_ms = ms;
+    out.events = result->events_executed;
+    out.total_files = result->total_files;
+    out.open_calls = result->open_calls;
+    out.metrics = std::move(result->metrics);
+    std::printf("  %s run %d/%d: %.1f ms (%lld events)\n", name.c_str(),
+                run + 1, kRunsPerConfig, ms,
+                static_cast<long long>(out.events));
+  }
+  out.events_per_sec =
+      out.wall_ms > 0 ? static_cast<double>(out.events) / (out.wall_ms / 1e3)
+                      : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // live progress when piped
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const char* force_env = std::getenv("AUTOCOMP_BENCH_FORCE_POOLS");
+  const bool force_pools =
+      force_env != nullptr && std::strcmp(force_env, "0") != 0 &&
+      force_env[0] != '\0';
+  std::printf("hardware_concurrency = %d%s\n", hw,
+              force_pools ? " (AUTOCOMP_BENCH_FORCE_POOLS set)" : "");
+  std::printf(
+      "replaying %d-table fleet for %d day(s), %d run(s) per config...\n",
+      kDatabases * kTablesPerDb, kDays, kRunsPerConfig);
+
+  std::vector<RunOutcome> runs;
+  runs.push_back(RunConfig("seq", 0, 0));
+  for (const int shards : {1, 2, 4, 8}) {
+    runs.push_back(RunConfig("shard" + std::to_string(shards), shards,
+                             shards));
+  }
+  const RunOutcome& seq = runs.front();
+
+  // NFR2: every sharded configuration reproduces the sequential run
+  // exactly — same merged metrics, same fleet end state.
+  for (RunOutcome& r : runs) {
+    if (r.shards == 0) continue;
+    std::string why;
+    r.metrics_equal = seq.metrics.Equals(r.metrics, &why) &&
+                      r.events == seq.events &&
+                      r.total_files == seq.total_files &&
+                      r.open_calls == seq.open_calls;
+    AUTOCOMP_CHECK(r.metrics_equal)
+        << "sharded run " << r.name
+        << " diverged from the sequential driver: "
+        << (why.empty() ? "aggregate totals differ" : why);
+  }
+
+  sim::TablePrinter table({"config", "shards", "pool", "wall ms", "events",
+                           "events/s", "speedup", "files", "opens",
+                           "identical"});
+  JsonValue json_runs = JsonValue::Array();
+  for (const RunOutcome& r : runs) {
+    const double speedup = r.wall_ms > 0 ? seq.wall_ms / r.wall_ms : 0;
+    table.AddRow({r.name, std::to_string(r.shards),
+                  std::to_string(r.pool_workers), sim::Fmt(r.wall_ms, 1),
+                  std::to_string(r.events), sim::Fmt(r.events_per_sec, 0),
+                  sim::Fmt(speedup, 2), std::to_string(r.total_files),
+                  std::to_string(r.open_calls),
+                  r.metrics_equal ? "yes" : "NO"});
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", r.name);
+    entry.Set("shards", r.shards);
+    entry.Set("pool_workers", r.pool_workers);
+    entry.Set("wall_ms", r.wall_ms);
+    entry.Set("events", r.events);
+    entry.Set("events_per_sec", r.events_per_sec);
+    entry.Set("speedup_vs_seq", speedup);
+    entry.Set("metrics_equal", r.metrics_equal);
+    json_runs.Append(std::move(entry));
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("fleet_tables", kDatabases * kTablesPerDb);
+  doc.Set("days", kDays);
+  doc.Set("hardware_concurrency", hw);
+  doc.Set("force_pools", force_pools);
+  doc.Set("runs", std::move(json_runs));
+  std::FILE* out = std::fopen("BENCH_sim.json", "w");
+  AUTOCOMP_CHECK(out != nullptr);
+  const std::string dumped = doc.Dump();
+  std::fwrite(dumped.data(), 1, dumped.size(), out);
+  std::fclose(out);
+  std::printf("wrote BENCH_sim.json\n");
+  return 0;
+}

@@ -19,12 +19,13 @@ std::atomic<int> g_runner_instances{0};
 
 CompactionRunner::CompactionRunner(Cluster* cluster, catalog::Catalog* catalog,
                                    const Clock* clock,
-                                   format::ColumnarFormatOptions format_options)
+                                   format::ColumnarFormatOptions format_options,
+                                   int runner_id)
     : cluster_(cluster),
       catalog_(catalog),
       clock_(clock),
       format_(format_options),
-      runner_id_(++g_runner_instances) {
+      runner_id_(runner_id > 0 ? runner_id : ++g_runner_instances) {
   assert(cluster_ != nullptr && catalog_ != nullptr && clock_ != nullptr);
 }
 

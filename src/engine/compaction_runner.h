@@ -78,9 +78,14 @@ struct PendingCompaction {
 /// \brief Runs compaction work units on a (possibly dedicated) cluster.
 class CompactionRunner {
  public:
+  /// `runner_id` is baked into output file names. 0 (default) draws from
+  /// a process-wide counter — unique across runners sharing a catalog but
+  /// dependent on construction order; the shard-parallel fleet driver
+  /// pins it so output paths are reproducible across runs in one process.
   CompactionRunner(Cluster* cluster, catalog::Catalog* catalog,
                    const Clock* clock,
-                   format::ColumnarFormatOptions format_options = {});
+                   format::ColumnarFormatOptions format_options = {},
+                   int runner_id = 0);
 
   /// Executes one work unit submitted at `submit_time`, committing
   /// immediately (Prepare + Finalize back to back). Never returns an

@@ -24,7 +24,8 @@ QueryEngine::QueryEngine(Cluster* cluster, catalog::Catalog* catalog,
       options_(options),
       format_(options.format_options),
       rng_(options.seed),
-      writer_id_(++g_writer_instances) {
+      writer_id_(options.writer_id > 0 ? options.writer_id
+                                       : ++g_writer_instances) {
   assert(cluster_ != nullptr && catalog_ != nullptr && clock_ != nullptr);
 }
 

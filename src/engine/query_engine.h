@@ -90,6 +90,14 @@ struct QueryEngineOptions {
   format::ColumnarFormatOptions format_options = {};
   lst::ValidationMode validation_mode = lst::ValidationMode::kStrictTableLevel;
   uint64_t seed = 1234;
+  /// Writer id baked into generated file names. 0 (default) draws from a
+  /// process-wide counter — unique across engines sharing a catalog, but
+  /// dependent on construction order. The shard-parallel fleet driver
+  /// pins it explicitly so file names (and everything downstream of them,
+  /// like per-path timeout draws) are reproducible across runs in one
+  /// process. Callers pinning ids must not share a catalog between
+  /// engines with equal ids.
+  int writer_id = 0;
 };
 
 /// \brief Executes read and write jobs against one cluster + catalog.

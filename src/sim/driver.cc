@@ -15,21 +15,37 @@ EventDriver::EventDriver(SimEnvironment* env, MetricsRecorder* metrics,
   next_retention_ = options_.retention_interval > 0
                         ? env_->clock().Now() + options_.retention_interval
                         : -1;
+  ids_.files_total = metrics_->Intern("files_total");
+  ids_.compaction_commits = metrics_->Intern("compaction_commits");
+  ids_.compaction_gbhr = metrics_->Intern("compaction_gbhr");
+  ids_.compaction_files_reduced = metrics_->Intern("compaction_files_reduced");
+  ids_.cluster_conflicts = metrics_->Intern("cluster_conflicts");
+  ids_.write_queries = metrics_->Intern("write_queries");
+  ids_.write_failures = metrics_->Intern("write_failures");
+  ids_.write_latency_s = metrics_->Intern("write_latency_s");
+  ids_.client_conflicts = metrics_->Intern("client_conflicts");
+  ids_.read_failures = metrics_->Intern("read_failures");
+  ids_.read_latency_s = metrics_->Intern("read_latency_s");
+  ids_.open_timeouts = metrics_->Intern("open_timeouts");
+  ids_.pipeline_generate_ms = metrics_->Intern("pipeline_generate_ms");
+  ids_.pipeline_observe_ms = metrics_->Intern("pipeline_observe_ms");
+  ids_.pipeline_orient_ms = metrics_->Intern("pipeline_orient_ms");
+  ids_.pipeline_decide_ms = metrics_->Intern("pipeline_decide_ms");
+  ids_.pipeline_act_ms = metrics_->Intern("pipeline_act_ms");
+  ids_.stats_cache_hits = metrics_->Intern("stats_cache_hits");
+  ids_.stats_cache_misses = metrics_->Intern("stats_cache_misses");
+  ids_.stats_index_hits = metrics_->Intern("stats_index_hits");
+  ids_.stats_index_fallbacks = metrics_->Intern("stats_index_fallbacks");
 }
 
 void EventDriver::SampleNow() {
-  metrics_->Record("files_total", env_->clock().Now(),
+  metrics_->Record(ids_.files_total, env_->clock().Now(),
                    static_cast<double>(env_->TotalFileCount()));
 }
 
 std::optional<SimTime> EventDriver::NextCompactionEnd() const {
-  std::optional<SimTime> next;
-  for (const auto& [table, pending] : inflight_) {
-    if (!next || pending.result.end_time < *next) {
-      next = pending.result.end_time;
-    }
-  }
-  return next;
+  if (inflight_ends_.empty()) return std::nullopt;
+  return inflight_ends_.top().end_time;
 }
 
 void EventDriver::ScheduleCompactions(
@@ -71,6 +87,7 @@ void EventDriver::StartNextUnit(const std::string& table) {
     if (!pending->result.attempted) {
       continue;  // nothing to rewrite; pull the next unit immediately
     }
+    inflight_ends_.push(HeapEntry{pending->result.end_time, table});
     inflight_.emplace(table, std::move(pending).value());
     return;
   }
@@ -82,10 +99,10 @@ void EventDriver::FinalizeUnit(const std::string& table,
   engine::CompactionResult result =
       env_->compaction_runner().Finalize(std::move(pending));
   if (result.committed) {
-    metrics_->Increment("compaction_commits", at);
-    metrics_->Record("compaction_gbhr", at, result.gb_hours);
+    metrics_->Increment(ids_.compaction_commits, at);
+    metrics_->Record(ids_.compaction_gbhr, at, result.gb_hours);
     metrics_->Record(
-        "compaction_files_reduced", at,
+        ids_.compaction_files_reduced, at,
         static_cast<double>(result.files_rewritten - result.files_produced));
     auto retention = env_->control_plane().RunRetentionFor(
         table, options_.post_commit_retention);
@@ -94,26 +111,22 @@ void EventDriver::FinalizeUnit(const std::string& table,
                << retention.status();
     }
   } else if (result.conflict) {
-    metrics_->Increment("cluster_conflicts", at);
-    metrics_->Record("compaction_gbhr", at, result.gb_hours);
+    metrics_->Increment(ids_.cluster_conflicts, at);
+    metrics_->Record(ids_.compaction_gbhr, at, result.gb_hours);
   }
 }
 
 void EventDriver::FinalizeDueCompactions(SimTime t) {
-  while (true) {
-    // Earliest-finishing inflight unit that is due.
-    auto due = inflight_.end();
-    for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
-      if (it->second.result.end_time > t) continue;
-      if (due == inflight_.end() ||
-          it->second.result.end_time < due->second.result.end_time) {
-        due = it;
-      }
-    }
-    if (due == inflight_.end()) return;
-    const std::string table = due->first;
-    engine::PendingCompaction pending = std::move(due->second);
-    inflight_.erase(due);
+  // Earliest-finishing units first; ties finalize in table-name order
+  // (the heap tie-break), matching the old linear scan's first-found
+  // ordering over the name-sorted inflight map.
+  while (!inflight_ends_.empty() && inflight_ends_.top().end_time <= t) {
+    const std::string table = inflight_ends_.top().table;
+    inflight_ends_.pop();
+    auto it = inflight_.find(table);
+    assert(it != inflight_.end());
+    engine::PendingCompaction pending = std::move(it->second);
+    inflight_.erase(it);
     FinalizeUnit(table, std::move(pending));
     StartNextUnit(table);
   }
@@ -158,30 +171,30 @@ Status EventDriver::AdvanceTo(SimTime t) {
         // Control-loop profiling: how long each OODA phase of this run
         // took in host wall-clock, plus stats-cache traffic. These feed
         // the pipeline-throughput benchmarks and the CLI summary.
-        metrics_->Record("pipeline_generate_ms", clock.Now(),
+        metrics_->Record(ids_.pipeline_generate_ms, clock.Now(),
                          report.timings.generate_ms);
-        metrics_->Record("pipeline_observe_ms", clock.Now(),
+        metrics_->Record(ids_.pipeline_observe_ms, clock.Now(),
                          report.timings.observe_ms);
-        metrics_->Record("pipeline_orient_ms", clock.Now(),
+        metrics_->Record(ids_.pipeline_orient_ms, clock.Now(),
                          report.timings.orient_ms);
-        metrics_->Record("pipeline_decide_ms", clock.Now(),
+        metrics_->Record(ids_.pipeline_decide_ms, clock.Now(),
                          report.timings.decide_ms);
-        metrics_->Record("pipeline_act_ms", clock.Now(),
+        metrics_->Record(ids_.pipeline_act_ms, clock.Now(),
                          report.timings.act_ms);
         if (report.stats_cache_hits > 0) {
-          metrics_->Increment("stats_cache_hits", clock.Now(),
+          metrics_->Increment(ids_.stats_cache_hits, clock.Now(),
                               report.stats_cache_hits);
         }
         if (report.stats_cache_misses > 0) {
-          metrics_->Increment("stats_cache_misses", clock.Now(),
+          metrics_->Increment(ids_.stats_cache_misses, clock.Now(),
                               report.stats_cache_misses);
         }
         if (report.stats_index_hits > 0) {
-          metrics_->Increment("stats_index_hits", clock.Now(),
+          metrics_->Increment(ids_.stats_index_hits, clock.Now(),
                               report.stats_index_hits);
         }
         if (report.stats_index_fallbacks > 0) {
-          metrics_->Increment("stats_index_fallbacks", clock.Now(),
+          metrics_->Increment(ids_.stats_index_fallbacks, clock.Now(),
                               report.stats_index_fallbacks);
         }
         if (options_.deferred_compaction) {
@@ -197,23 +210,24 @@ Status EventDriver::AdvanceTo(SimTime t) {
 Status EventDriver::Execute(const workload::QueryEvent& event) {
   const SimTime now = env_->clock().Now();
   if (event.is_write) {
-    metrics_->Increment("write_queries", now);
+    metrics_->Increment(ids_.write_queries, now);
     auto result = env_->query_engine().ExecuteWrite(event.write, now);
     if (!result.ok()) {
       // Quota breaches and missing tables are workload-level failures; the
       // experiment records and continues (the paper's users see exactly
       // these failures pre-compaction).
-      metrics_->Increment("write_failures", now);
+      metrics_->Increment(ids_.write_failures, now);
       return Status::OK();
     }
     total_write_seconds_ += result->total_seconds;
-    metrics_->Observe("write_latency_s", now, result->total_seconds);
+    metrics_->Observe(ids_.write_latency_s, now, result->total_seconds);
     if (result->commit_retries > 0) {
-      metrics_->Increment("client_conflicts", now, result->commit_retries);
+      metrics_->Increment(ids_.client_conflicts, now,
+                          result->commit_retries);
     }
     if (result->conflict_failed) {
-      metrics_->Increment("client_conflicts", now);
-      metrics_->Increment("write_failures", now);
+      metrics_->Increment(ids_.client_conflicts, now);
+      metrics_->Increment(ids_.write_failures, now);
       return Status::OK();
     }
     if (hook_ != nullptr) {
@@ -231,16 +245,35 @@ Status EventDriver::Execute(const workload::QueryEvent& event) {
         env_->query_engine().ExecuteRead(event.table, event.read_partition,
                                          now);
     if (!result.ok()) {
-      metrics_->Increment("read_failures", now);
+      metrics_->Increment(ids_.read_failures, now);
       return Status::OK();
     }
     total_read_seconds_ += result->total_seconds;
-    metrics_->Observe("read_latency_s", now, result->total_seconds);
+    metrics_->Observe(ids_.read_latency_s, now, result->total_seconds);
     if (result->open_timeouts > 0) {
-      metrics_->Increment("open_timeouts", now, result->open_timeouts);
+      metrics_->Increment(ids_.open_timeouts, now, result->open_timeouts);
     }
   }
   return Status::OK();
+}
+
+void EventDriver::FinishRun() {
+  // Flush inflight rewrites so their output files do not linger as
+  // orphans; they commit at their natural end times (past the clock).
+  // Heap order (end time, then table) keeps the finalize sequence — and
+  // the metric series appended by it — deterministic.
+  while (!inflight_ends_.empty()) {
+    const std::string table = inflight_ends_.top().table;
+    inflight_ends_.pop();
+    auto it = inflight_.find(table);
+    assert(it != inflight_.end());
+    engine::PendingCompaction pending = std::move(it->second);
+    inflight_.erase(it);
+    FinalizeUnit(table, std::move(pending));
+    // Do not start further queued units past the end of the experiment.
+  }
+  table_queues_.clear();
+  SampleNow();
 }
 
 Status EventDriver::Run(const std::vector<workload::QueryEvent>& events,
@@ -250,18 +283,7 @@ Status EventDriver::Run(const std::vector<workload::QueryEvent>& events,
     AUTOCOMP_RETURN_NOT_OK(Execute(event));
   }
   AUTOCOMP_RETURN_NOT_OK(AdvanceTo(end_time));
-  // Flush inflight rewrites so their output files do not linger as
-  // orphans; they commit at their natural end times (past end_time).
-  while (!inflight_.empty()) {
-    auto it = inflight_.begin();
-    const std::string table = it->first;
-    engine::PendingCompaction pending = std::move(it->second);
-    inflight_.erase(it);
-    FinalizeUnit(table, std::move(pending));
-    // Do not start further queued units past the end of the experiment.
-  }
-  table_queues_.clear();
-  SampleNow();
+  FinishRun();
   return Status::OK();
 }
 

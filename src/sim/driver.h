@@ -18,6 +18,8 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <queue>
+#include <string>
 #include <vector>
 
 #include "core/triggers.h"
@@ -77,6 +79,13 @@ class EventDriver {
   /// Executes a single event at the current time.
   Status Execute(const workload::QueryEvent& event);
 
+  /// Flushes inflight rewrites (they commit at their natural end times,
+  /// past the current clock), drops queued units, and takes a final
+  /// storage sample. Run() calls this; incremental callers that drive
+  /// AdvanceTo/Execute themselves (the shard-parallel fleet driver) call
+  /// it once at the end of the experiment.
+  void FinishRun();
+
   /// Sum of end-to-end read latency observed so far, in seconds (the
   /// "experiment duration" objective used by the §6.3 auto-tuner).
   double total_read_seconds() const { return total_read_seconds_; }
@@ -107,10 +116,38 @@ class EventDriver {
   double total_read_seconds_ = 0;
   double total_write_seconds_ = 0;
 
+  /// Interned handles for the per-event metrics (one vector index per
+  /// record instead of a string hash + map lookup per event).
+  struct Ids {
+    MetricId files_total, compaction_commits, compaction_gbhr,
+        compaction_files_reduced, cluster_conflicts, write_queries,
+        write_failures, write_latency_s, client_conflicts, read_failures,
+        read_latency_s, open_timeouts, pipeline_generate_ms,
+        pipeline_observe_ms, pipeline_orient_ms, pipeline_decide_ms,
+        pipeline_act_ms, stats_cache_hits, stats_cache_misses,
+        stats_index_hits, stats_index_fallbacks;
+  };
+  Ids ids_;
+
   /// Deferred-compaction state: per-table FIFO of decided candidates and
   /// at most one inflight unit per table (§4.4 sequencing).
   std::map<std::string, std::deque<core::Candidate>> table_queues_;
   std::map<std::string, engine::PendingCompaction> inflight_;
+  /// Inflight finish times as a min-heap on (end_time, table). An entry
+  /// is pushed exactly when a unit enters `inflight_` and popped exactly
+  /// when it leaves, so the heap never holds stale entries; the table
+  /// tie-break keeps the finalize order deterministic.
+  struct HeapEntry {
+    SimTime end_time = 0;
+    std::string table;
+    bool operator>(const HeapEntry& o) const {
+      return end_time != o.end_time ? end_time > o.end_time
+                                    : table > o.table;
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      inflight_ends_;
 };
 
 }  // namespace autocomp::sim

@@ -20,7 +20,7 @@ SimEnvironment::SimEnvironment(EnvironmentOptions options)
       query_cluster_.get(), catalog_.get(), &clock_, eng);
   compaction_runner_ = std::make_unique<engine::CompactionRunner>(
       compaction_cluster_.get(), catalog_.get(), &clock_,
-      eng.format_options);
+      eng.format_options, options_.runner_id);
 }
 
 int64_t SimEnvironment::TotalFileCount() const {

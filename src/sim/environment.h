@@ -26,6 +26,11 @@ struct EnvironmentOptions {
   engine::ClusterOptions compaction_cluster = {}; // overridden to 3 below
   engine::QueryEngineOptions engine = {};
   uint64_t seed = 7;
+  /// Pinned compaction-runner id (0 = process-wide counter). See
+  /// QueryEngineOptions::writer_id for why the shard-parallel fleet
+  /// driver pins these: file names must not depend on how many
+  /// environments the process constructed before this one.
+  int runner_id = 0;
 
   EnvironmentOptions() {
     query_cluster.executors = 15;

@@ -1,0 +1,182 @@
+#include "sim/fleet_driver.h"
+
+#include <cassert>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "common/counter_rng.h"
+#include "common/logging.h"
+
+namespace autocomp::sim {
+
+/// One tenant database's complete simulated deployment. Everything a
+/// lane touches while advancing — clock, storage, catalog, clusters,
+/// engine, recorder, driver — lives here, so lanes share no mutable
+/// state and shards can advance them concurrently. The only cross-lane
+/// read is the EpochLoadModel, which is immutable between barriers.
+struct FleetSimulation::Lane {
+  std::string db;
+  std::unique_ptr<SimEnvironment> env;
+  MetricsRecorder metrics;
+  std::unique_ptr<EventDriver> driver;
+  /// This day's events for this lane, time-sorted; `next_event` is the
+  /// cursor of the first not-yet-executed one.
+  std::vector<workload::QueryEvent> day_events;
+  size_t next_event = 0;
+  int64_t executed = 0;
+  /// First failure while advancing (surfaced at the next barrier; the
+  /// parallel section itself never propagates errors across threads).
+  Status status = Status::OK();
+};
+
+int FleetSimulation::ShardOf(const std::string& db, int shards) {
+  assert(shards > 0);
+  return static_cast<int>(CounterRng::HashString(db) %
+                          static_cast<uint64_t>(shards));
+}
+
+FleetSimulation::FleetSimulation(FleetSimOptions options)
+    : options_(std::move(options)), epoch_load_(options_.env.namenode) {
+  if (options_.shards < 1) options_.shards = 1;
+  if (options_.days < 1) options_.days = 1;
+}
+
+FleetSimulation::~FleetSimulation() = default;
+
+void FleetSimulation::AdvanceLane(Lane* lane, SimTime epoch_end) {
+  if (!lane->status.ok()) return;
+  while (lane->next_event < lane->day_events.size() &&
+         lane->day_events[lane->next_event].time < epoch_end) {
+    const workload::QueryEvent& event = lane->day_events[lane->next_event];
+    Status st = lane->driver->AdvanceTo(event.time);
+    if (st.ok()) st = lane->driver->Execute(event);
+    if (!st.ok()) {
+      lane->status = std::move(st);
+      return;
+    }
+    ++lane->next_event;
+    ++lane->executed;
+  }
+  Status st = lane->driver->AdvanceTo(epoch_end);
+  if (!st.ok()) lane->status = std::move(st);
+}
+
+Result<FleetSimResult> FleetSimulation::Run() {
+  if (ran_) {
+    return Status::FailedPrecondition("FleetSimulation::Run called twice");
+  }
+  ran_ = true;
+
+  // --- Build lanes (one per tenant database, in database order). ---
+  std::map<std::string, int> lane_by_db;
+  char db_buf[32];
+  for (int d = 0; d < options_.fleet.num_databases; ++d) {
+    std::snprintf(db_buf, sizeof(db_buf), "tenant%03d", d);
+    auto lane = std::make_unique<Lane>();
+    lane->db = db_buf;
+    EnvironmentOptions env = options_.env;
+    // Per-lane seed is a pure function of (master seed, database name):
+    // independent of lane enumeration, shard count, and pool size.
+    env.seed = CounterRng::At(options_.seed, CounterRng::HashString(lane->db),
+                              /*index=*/0);
+    // Pin writer/runner ids so file names do not depend on how many
+    // engines this *process* constructed before (each lane has its own
+    // catalog, so ids need not be unique across lanes).
+    env.engine.writer_id = 1;
+    env.runner_id = 1;
+    lane->env = std::make_unique<SimEnvironment>(env);
+    lane->env->dfs().SetEpochLoadView(&epoch_load_);
+    lane->driver = std::make_unique<EventDriver>(lane->env.get(),
+                                                 &lane->metrics,
+                                                 options_.driver);
+    lane_by_db.emplace(lane->db, static_cast<int>(lanes_.size()));
+    lanes_.push_back(std::move(lane));
+  }
+  shard_lanes_.assign(static_cast<size_t>(options_.shards), {});
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    shard_lanes_[static_cast<size_t>(ShardOf(lanes_[i]->db, options_.shards))]
+        .push_back(static_cast<int>(i));
+  }
+
+  const workload::LaneResolver resolver =
+      [&](const std::string& db) -> workload::LaneTargets {
+    const auto it = lane_by_db.find(db);
+    if (it == lane_by_db.end()) return {};
+    Lane& lane = *lanes_[static_cast<size_t>(it->second)];
+    return {&lane.env->catalog(), &lane.env->query_engine(),
+            &lane.env->control_plane()};
+  };
+
+  // --- Initial fleet load (serial; the generator's rng is shared). ---
+  workload::FleetWorkload fleet(options_.fleet);
+  AUTOCOMP_RETURN_NOT_OK(fleet.SetupSharded(resolver, 0));
+
+  // --- Lockstep hour epochs. ---
+  const SimTime end_time = static_cast<SimTime>(options_.days) * kDay;
+  for (SimTime epoch = 0; epoch < end_time; epoch += kHour) {
+    if (epoch % kDay == 0) {
+      // Day boundary (all lane clocks are exactly here): onboard the
+      // day's new tables and deal this day's events out to lanes. Both
+      // are serial — the workload generator draws from one sequence.
+      const int day = static_cast<int>(epoch / kDay);
+      AUTOCOMP_RETURN_NOT_OK(
+          fleet.OnboardNewTablesSharded(resolver, day, epoch));
+      for (const auto& lane : lanes_) {
+        assert(lane->next_event == lane->day_events.size());
+        lane->day_events.clear();
+        lane->next_event = 0;
+      }
+      for (workload::QueryEvent& event : fleet.EventsForDay(day)) {
+        const auto it = lane_by_db.find(workload::FleetWorkload::DatabaseOf(
+            event));
+        if (it == lane_by_db.end()) continue;  // not a lane table
+        lanes_[static_cast<size_t>(it->second)]->day_events.push_back(
+            std::move(event));
+      }
+    }
+
+    // Advance every shard to the end of the epoch. Lanes are mutually
+    // independent here: the epoch load view is frozen, and each lane's
+    // timeout draws are counter-based (lane seed, path, open index).
+    const SimTime epoch_end = epoch + kHour;
+    const auto advance_shard = [&](int64_t s) {
+      for (const int lane_index : shard_lanes_[static_cast<size_t>(s)]) {
+        AdvanceLane(lanes_[static_cast<size_t>(lane_index)].get(), epoch_end);
+      }
+    };
+    if (options_.sharded && options_.pool != nullptr) {
+      options_.pool->ParallelFor(static_cast<int64_t>(shard_lanes_.size()),
+                                 advance_shard);
+    } else {
+      for (int64_t s = 0; s < static_cast<int64_t>(shard_lanes_.size()); ++s) {
+        advance_shard(s);
+      }
+    }
+
+    // Barrier: merge per-lane NameNode tallies for the completed hour and
+    // publish them — next epoch's timeout probability everywhere.
+    int64_t fleet_rpcs = 0;
+    for (const auto& lane : lanes_) {
+      AUTOCOMP_RETURN_NOT_OK(lane->status);
+      fleet_rpcs += lane->env->dfs().RpcsInHour(epoch);
+    }
+    epoch_load_.PublishHour(epoch, fleet_rpcs);
+  }
+
+  // --- Wrap up: flush inflight work, merge metrics in lane order. ---
+  FleetSimResult result;
+  std::vector<const MetricsRecorder*> recorders;
+  recorders.reserve(lanes_.size());
+  for (const auto& lane : lanes_) {
+    lane->driver->FinishRun();
+    result.events_executed += lane->executed;
+    result.total_files += lane->env->TotalFileCount();
+    result.open_calls += lane->env->dfs().AggregateStats().open_calls;
+    recorders.push_back(&lane->metrics);
+  }
+  result.metrics = MetricsRecorder::Merge(recorders);
+  return result;
+}
+
+}  // namespace autocomp::sim

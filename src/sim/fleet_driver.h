@@ -1,0 +1,113 @@
+/// \file fleet_driver.h
+/// \brief Shard-parallel discrete-event replay of the table fleet.
+///
+/// The classic EventDriver replays every event of the whole fleet on one
+/// timeline. This driver exploits the fleet's real coupling structure:
+/// tenant databases only interact through the NameNode's *hourly*
+/// RPC-load/timeout model (namespace quotas are per database, tables
+/// never span databases). Each database becomes a **lane** — a complete
+/// SimEnvironment (clock, storage, catalog, clusters, engine) plus its
+/// own MetricsRecorder and EventDriver. Lanes are grouped into K
+/// deterministic shards (stable hash of the database name), and all
+/// shards advance concurrently on a common::ThreadPool in lockstep
+/// epochs aligned to the NameNode's hour buckets.
+///
+/// Cross-lane coupling is reduced to one number per epoch: at every hour
+/// barrier the coordinator sums each lane's NameNode RPC tally for the
+/// completed hour and publishes it to a shared storage::EpochLoadModel.
+/// During the next epoch every lane's NameNode derives its timeout
+/// probability from that published (epoch-start) load — constant within
+/// the epoch — and draws timeouts from a counter-based RNG stream keyed
+/// by (seed, file path, per-lane open index). No draw depends on the
+/// interleaving of lanes, so the run is **bit-identical at any shard
+/// count and any pool size** (NFR2): metrics from a sequential run
+/// (shards advanced one after another) equal those of a parallel run
+/// exactly, series for series, sample for sample.
+///
+/// The merged result is deterministic too: per-lane recorders are merged
+/// in lane order with a stable sort by time (MetricsRecorder::Merge).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sim/driver.h"
+#include "sim/environment.h"
+#include "sim/metrics.h"
+#include "storage/epoch_load.h"
+#include "workload/fleet.h"
+
+namespace autocomp::sim {
+
+/// \brief Configuration for a shard-parallel fleet replay.
+struct FleetSimOptions {
+  /// Simulated days to replay.
+  int days = 7;
+  /// Deterministic shard count K (lane = database, shard = hash(db) % K).
+  /// The *results* do not depend on K — only wall-clock does.
+  int shards = 4;
+  /// When false, shards are advanced one after another on the calling
+  /// thread — the sequential reference the determinism tests compare
+  /// against. Results are identical either way.
+  bool sharded = true;
+  /// Pool for concurrent shard advancement (nullptr = inline, i.e.
+  /// sequential even when `sharded`).
+  ThreadPool* pool = nullptr;
+  /// Master seed; per-lane environment seeds are derived from it and the
+  /// database name, independent of lane/shard enumeration order.
+  uint64_t seed = 7;
+  /// Environment template instantiated once per lane (the seed and the
+  /// engine writer id are overridden per lane).
+  EnvironmentOptions env = {};
+  workload::FleetOptions fleet = {};
+  DriverOptions driver = {};
+};
+
+/// \brief Outcome of a fleet replay.
+struct FleetSimResult {
+  /// Lane recorders merged in lane order (deterministic).
+  MetricsRecorder metrics;
+  /// Workload events executed across all lanes.
+  int64_t events_executed = 0;
+  /// Fleet-wide data file count at end of run.
+  int64_t total_files = 0;
+  /// Fleet-wide NameNode open() calls across the run.
+  int64_t open_calls = 0;
+};
+
+/// \brief Lockstep epoch driver over per-database lanes.
+class FleetSimulation {
+ public:
+  explicit FleetSimulation(FleetSimOptions options);
+  ~FleetSimulation();
+
+  FleetSimulation(const FleetSimulation&) = delete;
+  FleetSimulation& operator=(const FleetSimulation&) = delete;
+
+  /// Builds the fleet and replays `options.days` days of workload.
+  /// Call at most once per instance.
+  Result<FleetSimResult> Run();
+
+  /// Stable lane→shard assignment (hash of the database name, invariant
+  /// across processes and enumeration orders).
+  static int ShardOf(const std::string& db, int shards);
+
+ private:
+  struct Lane;
+
+  /// Advances one lane to `epoch_end`, executing its due events.
+  void AdvanceLane(Lane* lane, SimTime epoch_end);
+
+  FleetSimOptions options_;
+  storage::EpochLoadModel epoch_load_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  /// lane indices grouped by shard
+  std::vector<std::vector<int>> shard_lanes_;
+  bool ran_ = false;
+};
+
+}  // namespace autocomp::sim

@@ -7,36 +7,68 @@ namespace autocomp::sim {
 
 namespace {
 SimTime HourOf(SimTime t) { return (t / kHour) * kHour; }
+
+std::string Describe(const std::string& name, const char* what) {
+  return "metric '" + name + "': " + what;
+}
 }  // namespace
+
+MetricId MetricsRecorder::Intern(const std::string& name) {
+  const auto [it, inserted] =
+      ids_.emplace(name, static_cast<int32_t>(slots_.size()));
+  if (inserted) slots_.emplace_back();
+  return MetricId{it->second};
+}
+
+const MetricsRecorder::Slot* MetricsRecorder::FindSlot(
+    const std::string& name) const {
+  const auto it = ids_.find(name);
+  return it == ids_.end() ? nullptr
+                          : &slots_[static_cast<size_t>(it->second)];
+}
 
 void MetricsRecorder::Record(const std::string& series, SimTime time,
                              double value) {
-  series_[series].push_back(SeriesPoint{time, value});
+  Record(Intern(series), time, value);
+}
+
+void MetricsRecorder::Record(MetricId id, SimTime time, double value) {
+  slots_[static_cast<size_t>(id.value)].series.push_back(
+      SeriesPoint{time, value});
 }
 
 void MetricsRecorder::Observe(const std::string& metric, SimTime time,
                               double value) {
-  hourly_samples_[metric][HourOf(time)].Add(value);
+  Observe(Intern(metric), time, value);
+}
+
+void MetricsRecorder::Observe(MetricId id, SimTime time, double value) {
+  slots_[static_cast<size_t>(id.value)].hourly_samples[HourOf(time)].Add(
+      value);
 }
 
 void MetricsRecorder::Increment(const std::string& counter, SimTime time,
                                 int64_t n) {
-  hourly_counts_[counter][HourOf(time)] += n;
+  Increment(Intern(counter), time, n);
+}
+
+void MetricsRecorder::Increment(MetricId id, SimTime time, int64_t n) {
+  slots_[static_cast<size_t>(id.value)].hourly_counts[HourOf(time)] += n;
 }
 
 const std::vector<SeriesPoint>& MetricsRecorder::Series(
     const std::string& series) const {
   static const std::vector<SeriesPoint> kEmpty;
-  const auto it = series_.find(series);
-  return it == series_.end() ? kEmpty : it->second;
+  const Slot* slot = FindSlot(series);
+  return slot == nullptr ? kEmpty : slot->series;
 }
 
 std::vector<std::pair<SimTime, QuantileSummary>>
 MetricsRecorder::HourlySummaries(const std::string& metric) const {
   std::vector<std::pair<SimTime, QuantileSummary>> out;
-  const auto it = hourly_samples_.find(metric);
-  if (it == hourly_samples_.end()) return out;
-  for (const auto& [hour, sample] : it->second) {
+  const Slot* slot = FindSlot(metric);
+  if (slot == nullptr) return out;
+  for (const auto& [hour, sample] : slot->hourly_samples) {
     out.emplace_back(hour, sample.Summary());
   }
   return out;
@@ -45,9 +77,9 @@ MetricsRecorder::HourlySummaries(const std::string& metric) const {
 std::vector<std::pair<SimTime, int64_t>> MetricsRecorder::HourlyCounts(
     const std::string& counter) const {
   std::vector<std::pair<SimTime, int64_t>> out;
-  const auto it = hourly_counts_.find(counter);
-  if (it == hourly_counts_.end()) return out;
-  out.assign(it->second.begin(), it->second.end());
+  const Slot* slot = FindSlot(counter);
+  if (slot == nullptr) return out;
+  out.assign(slot->hourly_counts.begin(), slot->hourly_counts.end());
   return out;
 }
 
@@ -59,12 +91,105 @@ int64_t MetricsRecorder::TotalCount(const std::string& counter) const {
 
 Sample MetricsRecorder::AllObservations(const std::string& metric) const {
   Sample all;
-  const auto it = hourly_samples_.find(metric);
-  if (it == hourly_samples_.end()) return all;
-  for (const auto& [_, sample] : it->second) {
+  const Slot* slot = FindSlot(metric);
+  if (slot == nullptr) return all;
+  for (const auto& [_, sample] : slot->hourly_samples) {
     for (double v : sample.values()) all.Add(v);
   }
   return all;
+}
+
+bool MetricsRecorder::Equals(const MetricsRecorder& other,
+                             std::string* why) const {
+  const auto fail = [&](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  // Union of names; interned-but-empty slots on either side are ignored
+  // so pre-registration of handles does not affect equality.
+  std::map<std::string, std::pair<const Slot*, const Slot*>> by_name;
+  for (const auto& [name, id] : ids_) {
+    by_name[name].first = &slots_[static_cast<size_t>(id)];
+  }
+  for (const auto& [name, id] : other.ids_) {
+    by_name[name].second = &other.slots_[static_cast<size_t>(id)];
+  }
+  static const Slot kEmpty;
+  for (const auto& [name, pair] : by_name) {
+    const Slot& a = pair.first != nullptr ? *pair.first : kEmpty;
+    const Slot& b = pair.second != nullptr ? *pair.second : kEmpty;
+    if (a.series.size() != b.series.size()) {
+      return fail(Describe(name, "series length differs"));
+    }
+    for (size_t i = 0; i < a.series.size(); ++i) {
+      if (a.series[i].time != b.series[i].time ||
+          a.series[i].value != b.series[i].value) {
+        return fail(Describe(name, "series point differs at index ") +
+                    std::to_string(i));
+      }
+    }
+    if (a.hourly_counts != b.hourly_counts) {
+      return fail(Describe(name, "hourly counts differ"));
+    }
+    if (a.hourly_samples.size() != b.hourly_samples.size()) {
+      return fail(Describe(name, "sampled hour set differs"));
+    }
+    auto ita = a.hourly_samples.begin();
+    auto itb = b.hourly_samples.begin();
+    for (; ita != a.hourly_samples.end(); ++ita, ++itb) {
+      if (ita->first != itb->first) {
+        return fail(Describe(name, "sampled hour set differs"));
+      }
+      // Per-hour multiset equality, bit-exact on values. Sorted copies
+      // make the comparison independent of within-hour arrival order
+      // (lane merge order is fixed, but Sample sorts lazily in place).
+      std::vector<double> va = ita->second.values();
+      std::vector<double> vb = itb->second.values();
+      if (va.size() != vb.size()) {
+        return fail(Describe(name, "sample count differs in hour ") +
+                    std::to_string(ita->first));
+      }
+      std::sort(va.begin(), va.end());
+      std::sort(vb.begin(), vb.end());
+      if (va != vb) {
+        return fail(Describe(name, "sample values differ in hour ") +
+                    std::to_string(ita->first));
+      }
+    }
+  }
+  return true;
+}
+
+MetricsRecorder MetricsRecorder::Merge(
+    const std::vector<const MetricsRecorder*>& lanes) {
+  MetricsRecorder out;
+  for (const MetricsRecorder* lane : lanes) {
+    if (lane == nullptr) continue;
+    for (const auto& [name, id] : lane->ids_) {
+      const Slot& src = lane->slots_[static_cast<size_t>(id)];
+      Slot& dst = out.slots_[static_cast<size_t>(out.Intern(name).value)];
+      dst.series.insert(dst.series.end(), src.series.begin(),
+                        src.series.end());
+      for (const auto& [hour, sample] : src.hourly_samples) {
+        Sample& merged = dst.hourly_samples[hour];
+        for (double v : sample.values()) merged.Add(v);
+      }
+      for (const auto& [hour, n] : src.hourly_counts) {
+        dst.hourly_counts[hour] += n;
+      }
+    }
+  }
+  // Lane streams are individually time-ordered; a stable sort interleaves
+  // them by time while ties keep lane order — the same result for any
+  // shard count, given a fixed lane order.
+  for (Slot& slot : out.slots_) {
+    std::stable_sort(
+        slot.series.begin(), slot.series.end(),
+        [](const SeriesPoint& a, const SeriesPoint& b) {
+          return a.time < b.time;
+        });
+  }
+  return out;
 }
 
 double SeriesSum(const MetricsRecorder& metrics, const std::string& series) {

@@ -20,20 +20,37 @@ struct SeriesPoint {
   double value = 0;
 };
 
+/// \brief Interned handle for a metric name. The string API hashes a
+/// std::string on every call — per-event cost on the driver's hot loop.
+/// Hot paths intern their names once and record through the handle,
+/// which is a plain vector index.
+struct MetricId {
+  int32_t value = -1;
+  bool valid() const { return value >= 0; }
+};
+
 /// \brief Collects experiment telemetry. All lookups are by metric name;
 /// unknown names return empty results rather than failing, so reporting
 /// code stays straightforward.
 class MetricsRecorder {
  public:
+  /// Interns `name`, returning a stable handle. One id namespace covers
+  /// series, hourly samples and hourly counters (a name identifies one
+  /// logical metric regardless of kind). Idempotent.
+  MetricId Intern(const std::string& name);
+
   /// Appends a point to a named time series (e.g. sampled file counts).
   void Record(const std::string& series, SimTime time, double value);
+  void Record(MetricId id, SimTime time, double value);
 
   /// Adds an observation to the hourly distribution bucket containing
   /// `time` (e.g. per-query latencies for Figure 8's candlesticks).
   void Observe(const std::string& metric, SimTime time, double value);
+  void Observe(MetricId id, SimTime time, double value);
 
   /// Increments an hourly counter (conflicts, retries, timeouts).
   void Increment(const std::string& counter, SimTime time, int64_t n = 1);
+  void Increment(MetricId id, SimTime time, int64_t n = 1);
 
   const std::vector<SeriesPoint>& Series(const std::string& series) const;
 
@@ -51,10 +68,32 @@ class MetricsRecorder {
   /// Raw sample across all hours.
   Sample AllObservations(const std::string& metric) const;
 
+  /// \brief Content equality across every recorded metric: series are
+  /// compared point for point (time and value bit-exact), hourly samples
+  /// as value multisets per hour, counters per hour. Interned-but-empty
+  /// metrics are ignored. On mismatch, `why` (when given) receives a
+  /// human-readable description of the first difference.
+  bool Equals(const MetricsRecorder& other, std::string* why = nullptr) const;
+
+  /// \brief Deterministic merge of per-lane recorders: series points are
+  /// stably merged by time (ties keep lane order), per-hour samples are
+  /// concatenated in lane order, counters are summed. Callers must pass
+  /// lanes in a fixed order (the shard-parallel driver uses lane index)
+  /// so the merged output is independent of shard count and scheduling.
+  static MetricsRecorder Merge(const std::vector<const MetricsRecorder*>& lanes);
+
  private:
-  std::map<std::string, std::vector<SeriesPoint>> series_;
-  std::map<std::string, std::map<SimTime, Sample>> hourly_samples_;
-  std::map<std::string, std::map<SimTime, int64_t>> hourly_counts_;
+  /// Per-metric storage; a slot may be populated as any mix of kinds.
+  struct Slot {
+    std::vector<SeriesPoint> series;
+    std::map<SimTime, Sample> hourly_samples;
+    std::map<SimTime, int64_t> hourly_counts;
+  };
+
+  const Slot* FindSlot(const std::string& name) const;
+
+  std::map<std::string, int32_t> ids_;  // name -> slot index
+  std::vector<Slot> slots_;
 };
 
 /// \brief Sum of all values in a recorded series (0 when absent) — e.g.

@@ -1,0 +1,38 @@
+#include "storage/epoch_load.h"
+
+#include <algorithm>
+
+namespace autocomp::storage {
+
+double TimeoutProbabilityForLoad(const NameNodeOptions& options, double load) {
+  const double capacity =
+      static_cast<double>(options.rpc_capacity_per_hour) *
+      (1.0 + std::max(0, options.observer_namenodes));
+  if (capacity <= 0) return 0.0;
+  if (load <= capacity) return 0.0;
+  const double overload_span = capacity * (options.overload_factor - 1.0);
+  if (overload_span <= 0) return options.max_timeout_probability;
+  const double excess = load - capacity;
+  return std::min(options.max_timeout_probability,
+                  options.max_timeout_probability * excess / overload_span);
+}
+
+void EpochLoadModel::PublishHour(SimTime hour_start, int64_t fleet_rpcs) {
+  load_by_hour_[(hour_start / kHour) * kHour] = fleet_rpcs;
+}
+
+int64_t EpochLoadModel::LoadAt(SimTime now) const {
+  const SimTime hour = (now / kHour) * kHour;
+  // Newest published hour strictly before the current one; barriers only
+  // publish completed hours, so this is exactly the epoch-start view.
+  auto it = load_by_hour_.lower_bound(hour);
+  if (it == load_by_hour_.begin()) return 0;
+  return std::prev(it)->second;
+}
+
+double EpochLoadModel::TimeoutProbabilityAt(SimTime now) const {
+  return TimeoutProbabilityForLoad(options_,
+                                   static_cast<double>(LoadAt(now)));
+}
+
+}  // namespace autocomp::storage

@@ -1,0 +1,72 @@
+/// \file epoch_load.h
+/// \brief Epoch-barriered NameNode load model for shard-parallel replay.
+///
+/// The sequential simulator computes the read-timeout probability from
+/// the RPCs accumulated *so far this hour*, which makes every open()
+/// depend on the global order of all preceding events — fine for one
+/// thread, fatal for shard-parallelism. The epoch model breaks that
+/// dependency: the fleet's per-shard RPC tallies are merged at hour-
+/// bucket barriers, and during an epoch every shard computes the timeout
+/// probability from the load that was already published when the epoch
+/// started (the last fully completed hour). Within an epoch the
+/// probability is therefore a constant, so timeout draws are independent
+/// of the interleaving of shards — and of the shard count itself.
+///
+/// Physically this models NameNode congestion as a signal sampled at the
+/// RPC-metrics cadence (hourly, like Figure 11b's open() buckets): the
+/// pressure a read experiences reflects the herd of the previous bucket,
+/// not the requests racing it inside the current one.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/units.h"
+#include "storage/namenode.h"
+
+namespace autocomp::storage {
+
+/// \brief Read-only view a NameNode consults for the fleet-wide timeout
+/// probability. Published entries are immutable; the coordinator mutates
+/// the model only at epoch barriers (never concurrently with readers).
+class EpochLoadView {
+ public:
+  virtual ~EpochLoadView() = default;
+
+  /// Timeout probability for an open() issued at `now`, derived from the
+  /// newest load published for an hour strictly before `now`'s hour.
+  virtual double TimeoutProbabilityAt(SimTime now) const = 0;
+};
+
+/// \brief Timeout probability for an absolute fleet RPC load, using the
+/// same linear ramp as NameNode::CurrentTimeoutProbability: 0 up to
+/// capacity, rising to max_timeout_probability at overload_factor ×
+/// capacity. Shared by the local (sequential) and epoch (sharded) paths.
+double TimeoutProbabilityForLoad(const NameNodeOptions& options, double load);
+
+/// \brief Concrete epoch model: hour-bucket fleet RPC tallies published
+/// at barriers by the shard coordinator.
+class EpochLoadModel final : public EpochLoadView {
+ public:
+  explicit EpochLoadModel(NameNodeOptions options) : options_(options) {}
+
+  /// Publishes the fleet-wide RPC total observed during the completed
+  /// hour starting at `hour_start`. Must not race TimeoutProbabilityAt —
+  /// call only from the barrier, between parallel sections.
+  void PublishHour(SimTime hour_start, int64_t fleet_rpcs);
+
+  /// Fleet RPC load the epoch containing `now` started with: the tally
+  /// of the newest published hour before `now`'s hour (0 if none).
+  int64_t LoadAt(SimTime now) const;
+
+  double TimeoutProbabilityAt(SimTime now) const override;
+
+  const NameNodeOptions& options() const { return options_; }
+
+ private:
+  NameNodeOptions options_;
+  std::map<SimTime, int64_t> load_by_hour_;
+};
+
+}  // namespace autocomp::storage

@@ -119,4 +119,14 @@ int64_t DistributedFileSystem::OpenCallsInHour(SimTime hour_start) const {
   return total;
 }
 
+int64_t DistributedFileSystem::RpcsInHour(SimTime hour_start) const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->RpcsInHour(hour_start);
+  return total;
+}
+
+void DistributedFileSystem::SetEpochLoadView(const EpochLoadView* view) {
+  for (const auto& shard : shards_) shard->SetEpochLoadView(view);
+}
+
 }  // namespace autocomp::storage

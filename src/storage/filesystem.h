@@ -44,6 +44,13 @@ class DistributedFileSystem {
   /// Fleet-wide aggregation across shards.
   NameNodeStats AggregateStats() const;
   int64_t OpenCallsInHour(SimTime hour_start) const;
+  /// RPCs issued during the hour starting at `hour_start`, summed across
+  /// NameNode shards (epoch-barrier load tallies).
+  int64_t RpcsInHour(SimTime hour_start) const;
+
+  /// Installs (or clears, with nullptr) the epoch-barriered fleet load
+  /// view on every NameNode shard (see NameNode::SetEpochLoadView).
+  void SetEpochLoadView(const EpochLoadView* view);
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   NameNode& shard(int i) { return *shards_[static_cast<size_t>(i)]; }

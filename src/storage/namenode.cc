@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/counter_rng.h"
+#include "storage/epoch_load.h"
+
 namespace autocomp::storage {
 
 NameNode::NameNode(const Clock* clock, NameNodeOptions options)
@@ -100,7 +103,19 @@ Result<FileInfo> NameNode::Open(const std::string& path) {
   ++open_calls_by_hour_[hour];
   CountRpc();
   const double p_timeout = CurrentTimeoutProbability();
-  if (p_timeout > 0.0 && rng_.Bernoulli(p_timeout)) {
+  bool timed_out = false;
+  if (p_timeout > 0.0) {
+    if (epoch_load_ != nullptr) {
+      // Counter-based draw: a pure function of (seed, path, open index),
+      // so the outcome cannot depend on draws made for other tables.
+      timed_out = CounterRng::Uniform01(
+                      options_.seed, CounterRng::HashString(path),
+                      static_cast<uint64_t>(stats_.open_calls)) < p_timeout;
+    } else {
+      timed_out = rng_.Bernoulli(p_timeout);
+    }
+  }
+  if (timed_out) {
     ++stats_.timeouts;
     return Status::TimedOut("read timeout under NameNode RPC pressure: " +
                             path);
@@ -169,23 +184,20 @@ int64_t NameNode::OpenCallsInHour(SimTime hour_start) const {
 }
 
 int64_t NameNode::RpcsThisHour() const {
-  const SimTime hour = (clock_->Now() / kHour) * kHour;
-  const auto it = rpcs_by_hour_.find(hour);
+  return RpcsInHour(clock_->Now());
+}
+
+int64_t NameNode::RpcsInHour(SimTime hour_start) const {
+  const auto it = rpcs_by_hour_.find((hour_start / kHour) * kHour);
   return it == rpcs_by_hour_.end() ? 0 : it->second;
 }
 
 double NameNode::CurrentTimeoutProbability() const {
-  const double capacity =
-      static_cast<double>(options_.rpc_capacity_per_hour) *
-      (1.0 + std::max(0, options_.observer_namenodes));
-  if (capacity <= 0) return 0.0;
-  const double load = static_cast<double>(RpcsThisHour());
-  if (load <= capacity) return 0.0;
-  const double overload_span = capacity * (options_.overload_factor - 1.0);
-  if (overload_span <= 0) return options_.max_timeout_probability;
-  const double excess = load - capacity;
-  return std::min(options_.max_timeout_probability,
-                  options_.max_timeout_probability * excess / overload_span);
+  if (epoch_load_ != nullptr) {
+    return epoch_load_->TimeoutProbabilityAt(clock_->Now());
+  }
+  return TimeoutProbabilityForLoad(options_,
+                                   static_cast<double>(RpcsThisHour()));
 }
 
 void NameNode::CountRpc(int64_t n) {

@@ -79,34 +79,48 @@ Status FleetWorkload::CreateAndLoadTable(catalog::Catalog* catalog,
   return Status::OK();
 }
 
-Status FleetWorkload::Setup(catalog::Catalog* catalog,
-                            engine::QueryEngine* engine,
-                            catalog::ControlPlane* control_plane, SimTime at) {
+Status FleetWorkload::SetupSharded(const LaneResolver& resolver, SimTime at) {
+  // All rng draws come from one shared sequence, so table parameters are
+  // identical no matter how databases map onto lanes.
   Rng rng = base_rng_.Fork(0);
   char db_buf[32];
   char table_buf[32];
   for (int d = 0; d < options_.num_databases; ++d) {
     std::snprintf(db_buf, sizeof(db_buf), "tenant%03d", d);
+    const LaneTargets lane = resolver(db_buf);
+    if (lane.catalog == nullptr || lane.engine == nullptr) {
+      return Status::InvalidArgument(std::string("no lane for database ") +
+                                     db_buf);
+    }
     AUTOCOMP_RETURN_NOT_OK(
-        catalog->CreateDatabase(db_buf, options_.quota_objects_per_db));
+        lane.catalog->CreateDatabase(db_buf, options_.quota_objects_per_db));
     for (int t = 0; t < options_.tables_per_db; ++t) {
       std::snprintf(table_buf, sizeof(table_buf), "tbl%03d", t);
-      AUTOCOMP_RETURN_NOT_OK(
-          CreateAndLoadTable(catalog, engine, db_buf, table_buf, at, &rng));
-      if (control_plane != nullptr) {
+      AUTOCOMP_RETURN_NOT_OK(CreateAndLoadTable(lane.catalog, lane.engine,
+                                                db_buf, table_buf, at, &rng));
+      if (lane.control_plane != nullptr) {
         catalog::TablePolicy policy;
         policy.target_file_size_bytes = 512 * kMiB;
         policy.snapshot_retention = 3 * kDay;
-        control_plane->SetPolicy(tables_.back(), policy);
+        lane.control_plane->SetPolicy(tables_.back(), policy);
       }
     }
   }
   return Status::OK();
 }
 
-Status FleetWorkload::OnboardNewTables(catalog::Catalog* catalog,
-                                       engine::QueryEngine* engine, int day,
-                                       SimTime at) {
+Status FleetWorkload::Setup(catalog::Catalog* catalog,
+                            engine::QueryEngine* engine,
+                            catalog::ControlPlane* control_plane, SimTime at) {
+  return SetupSharded(
+      [&](const std::string&) {
+        return LaneTargets{catalog, engine, control_plane};
+      },
+      at);
+}
+
+Status FleetWorkload::OnboardNewTablesSharded(const LaneResolver& resolver,
+                                              int day, SimTime at) {
   Rng rng = base_rng_.Fork(1000 + static_cast<uint64_t>(day));
   char db_buf[32];
   char table_buf[48];
@@ -115,10 +129,32 @@ Status FleetWorkload::OnboardNewTables(catalog::Catalog* catalog,
         rng.UniformInt(0, options_.num_databases - 1));
     std::snprintf(db_buf, sizeof(db_buf), "tenant%03d", d);
     std::snprintf(table_buf, sizeof(table_buf), "new_d%03d_%02d", day, i);
-    AUTOCOMP_RETURN_NOT_OK(
-        CreateAndLoadTable(catalog, engine, db_buf, table_buf, at, &rng));
+    const LaneTargets lane = resolver(db_buf);
+    if (lane.catalog == nullptr || lane.engine == nullptr) {
+      return Status::InvalidArgument(std::string("no lane for database ") +
+                                     db_buf);
+    }
+    AUTOCOMP_RETURN_NOT_OK(CreateAndLoadTable(lane.catalog, lane.engine,
+                                              db_buf, table_buf, at, &rng));
   }
   return Status::OK();
+}
+
+Status FleetWorkload::OnboardNewTables(catalog::Catalog* catalog,
+                                       engine::QueryEngine* engine, int day,
+                                       SimTime at) {
+  return OnboardNewTablesSharded(
+      [&](const std::string&) {
+        return LaneTargets{catalog, engine, nullptr};
+      },
+      day, at);
+}
+
+std::string FleetWorkload::DatabaseOf(const QueryEvent& event) {
+  const std::string& qualified = event.is_write ? event.write.table
+                                                : event.table;
+  const size_t dot = qualified.find('.');
+  return dot == std::string::npos ? qualified : qualified.substr(0, dot);
 }
 
 std::vector<QueryEvent> FleetWorkload::EventsForDay(int day) const {

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,19 @@ struct FleetOptions {
   uint64_t seed = 77;
 };
 
+/// \brief Destination components for one tenant database. The sharded
+/// fleet simulator keeps each database in its own lane (catalog, engine,
+/// control plane); the classic single-environment path resolves every
+/// database to the same triple.
+struct LaneTargets {
+  catalog::Catalog* catalog = nullptr;
+  engine::QueryEngine* engine = nullptr;
+  catalog::ControlPlane* control_plane = nullptr;  // optional
+};
+
+/// \brief Maps a tenant database name to the components that own it.
+using LaneResolver = std::function<LaneTargets(const std::string& db)>;
+
 /// \brief Fleet generator with per-day event production.
 class FleetWorkload {
  public:
@@ -53,6 +67,13 @@ class FleetWorkload {
   /// load. Progress is deterministic in `seed`.
   Status Setup(catalog::Catalog* catalog, engine::QueryEngine* engine,
                catalog::ControlPlane* control_plane, SimTime at);
+
+  /// Sharded variant: identical table parameters and creation order (the
+  /// generator's own rng draws are shared and sequential), but each
+  /// database's objects are created in the components `resolver` returns
+  /// for it. Used by the shard-parallel fleet driver, whose lanes own
+  /// disjoint databases.
+  Status SetupSharded(const LaneResolver& resolver, SimTime at);
 
   /// Write + read events for simulation day `day` (0-based), spread over
   /// business hours. Includes onboarding of new tables (the returned
@@ -64,6 +85,13 @@ class FleetWorkload {
   /// day's events).
   Status OnboardNewTables(catalog::Catalog* catalog,
                           engine::QueryEngine* engine, int day, SimTime at);
+
+  /// Sharded variant of OnboardNewTables (same draws, routed per lane).
+  Status OnboardNewTablesSharded(const LaneResolver& resolver, int day,
+                                 SimTime at);
+
+  /// Tenant database of a fleet event (the lane-partitioning key).
+  static std::string DatabaseOf(const QueryEvent& event);
 
   /// All currently onboarded qualified table names.
   const std::vector<std::string>& TableNames() const { return tables_; }

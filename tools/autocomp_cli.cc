@@ -8,12 +8,16 @@
 ///   autocomp_cli cab --strategy=none --databases=8
 ///   autocomp_cli fleet --days=14 --strategy=table --budget=600
 ///   autocomp_cli fleet --days=7 --k=10 --seed=3
+///   autocomp_cli fleetsim --days=7 --sim-shards=8 --pool-size=4
 ///
 /// Scenarios:
-///   cab    — the §6 CAB experiment (TPC-H-like databases + query
-///            streams + hourly compaction trigger)
-///   fleet  — the §7 production-fleet experiment (daily trigger)
+///   cab      — the §6 CAB experiment (TPC-H-like databases + query
+///              streams + hourly compaction trigger)
+///   fleet    — the §7 production-fleet experiment (daily trigger)
+///   fleetsim — shard-parallel data-plane replay of the fleet workload
+///              (sim::FleetSimulation; bit-identical at any shard count)
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +29,7 @@
 #include "core/advisor.h"
 #include "sim/driver.h"
 #include "sim/environment.h"
+#include "sim/fleet_driver.h"
 #include "sim/metrics.h"
 #include "sim/presets.h"
 #include "workload/cab.h"
@@ -51,19 +56,30 @@ struct Flags {
   int64_t stats_cache_capacity = core::CachingStatsCollector::kDefaultCapacity;
   bool stats_index = true;
   bool cross_check_stats_index = false;
+  /// fleetsim: shard count for the parallel replay driver.
+  int sim_shards = 4;
+  /// fleetsim: advance shards concurrently (off = sequential reference).
+  bool sharded_sim = true;
 };
 
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: autocomp_cli <cab|fleet> [--strategy=none|table|hybrid|"
-      "partition|snapshot]\n"
+      "usage: autocomp_cli <cab|fleet|fleetsim> [--strategy=none|table|"
+      "hybrid|partition|snapshot]\n"
       "                    [--k=N] [--budget=GBHR] [--hours=N] [--days=N]\n"
       "                    [--databases=N] [--seed=N] [--no-deferred]\n"
       "                    [--pool-size=N] [--no-stats-cache]\n"
       "                    [--stats-cache-capacity=N] [--no-stats-index]\n"
       "                    [--cross-check-stats-index]\n"
+      "                    [--sim-shards=K] [--no-sharded-sim]\n"
       "\n"
+      "  --sim-shards=K           fleetsim: partition the fleet's tenant\n"
+      "                           databases into K deterministic shards\n"
+      "                           advanced concurrently; results are\n"
+      "                           bit-identical at any K\n"
+      "  --no-sharded-sim         fleetsim: advance shards one after\n"
+      "                           another (the sequential reference)\n"
       "  --pool-size=N            pipeline worker threads (0 = all cores,\n"
       "                           1 = sequential); results are identical\n"
       "                           at any setting, only wall-clock changes\n"
@@ -79,7 +95,10 @@ void PrintUsage() {
 bool ParseFlags(int argc, char** argv, Flags* flags) {
   if (argc < 2) return false;
   flags->scenario = argv[1];
-  if (flags->scenario != "cab" && flags->scenario != "fleet") return false;
+  if (flags->scenario != "cab" && flags->scenario != "fleet" &&
+      flags->scenario != "fleetsim") {
+    return false;
+  }
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value_of = [&](const char* name) -> const char* {
@@ -108,6 +127,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->pool_size = std::atoi(v);
     } else if (const char* v = value_of("--stats-cache-capacity")) {
       flags->stats_cache_capacity = std::atoll(v);
+    } else if (const char* v = value_of("--sim-shards")) {
+      flags->sim_shards = std::atoi(v);
+    } else if (arg == "--no-sharded-sim") {
+      flags->sharded_sim = false;
     } else if (arg == "--no-deferred") {
       flags->deferred = false;
     } else if (arg == "--no-stats-cache") {
@@ -351,6 +374,63 @@ int RunFleet(const Flags& flags) {
   return 0;
 }
 
+int RunFleetSim(const Flags& flags) {
+  ThreadPool pool(flags.pool_size);
+  sim::FleetSimOptions options;
+  options.days = flags.days;
+  options.seed = flags.seed;
+  options.shards = flags.sim_shards;
+  options.sharded = flags.sharded_sim;
+  options.pool = flags.sharded_sim ? &pool : nullptr;
+  options.fleet.num_databases = flags.databases;
+  options.fleet.seed = flags.seed;
+  options.driver.sample_interval = 4 * kHour;
+  options.driver.retention_interval = kDay;
+
+  std::printf("replaying %d fleet days across %d tenant databases "
+              "(%s, shards=%d, pool=%d)...\n",
+              flags.days, flags.databases,
+              flags.sharded_sim ? "sharded" : "sequential",
+              flags.sim_shards, pool.worker_count());
+  sim::FleetSimulation simulation(std::move(options));
+  const auto start = std::chrono::steady_clock::now();
+  auto result = simulation.Run();
+  const auto stop = std::chrono::steady_clock::now();
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+
+  sim::TablePrinter table({"metric", "value"});
+  table.AddRow({"events executed",
+                std::to_string(result->events_executed)});
+  table.AddRow({"final files", std::to_string(result->total_files)});
+  table.AddRow({"open() calls", std::to_string(result->open_calls)});
+  table.AddRow({"open() timeouts",
+                std::to_string(result->metrics.TotalCount("open_timeouts"))});
+  table.AddRow(
+      {"write queries",
+       std::to_string(result->metrics.TotalCount("write_queries"))});
+  table.AddRow(
+      {"write failures",
+       std::to_string(result->metrics.TotalCount("write_failures"))});
+  table.AddRow(
+      {"client conflicts",
+       std::to_string(result->metrics.TotalCount("client_conflicts"))});
+  table.AddRow({"wall-clock (ms)", sim::Fmt(wall_ms, 1)});
+  table.AddRow(
+      {"events/sec",
+       sim::Fmt(wall_ms > 0 ? static_cast<double>(result->events_executed) /
+                                  (wall_ms / 1e3)
+                            : 0,
+                0)});
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -364,5 +444,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   Logger::set_threshold(LogLevel::kWarn);
-  return flags.scenario == "cab" ? RunCab(flags) : RunFleet(flags);
+  if (flags.scenario == "cab") return RunCab(flags);
+  if (flags.scenario == "fleetsim") return RunFleetSim(flags);
+  return RunFleet(flags);
 }
