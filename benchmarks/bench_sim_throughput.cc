@@ -11,12 +11,22 @@
 /// their speedups measure oversubscription, not parallelism — the JSON
 /// records hardware_concurrency so readers can judge.
 ///
+/// Two fault-injection configs run after the shard sweep: "seq-armed"
+/// (enabled injector, empty profile — must be bit-identical to seq; its
+/// wall-clock delta is the zero-fault overhead, budgeted at <2% on quiet
+/// hosts) and "seq-chaos" (the chaos preset, pricing sustained failures
+/// plus the retry/backoff machinery).
+///
 /// Results land in BENCH_sim.json:
 ///   {"fleet_tables": N, "days": D, "hardware_concurrency": H,
 ///    "force_pools": B, "runs": [
 ///      {"name": "seq", "shards": 0, "pool_workers": 0, "wall_ms": ...,
 ///       "events": ..., "events_per_sec": ..., "speedup_vs_seq": 1.0,
-///       "metrics_equal": true}, ...]}
+///       "metrics_equal": true}, ...],
+///    "fault_runs": [{"name": "seq-armed", "faults_injected": 0,
+///       "overhead_pct": ..., "metrics_equal_to_seq": true}, ...],
+///    "fault_armed_overhead_pct": ...,
+///    "fault_armed_overhead_target_pct": 2.0}
 
 #include <chrono>
 #include <cmath>
@@ -31,6 +41,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "fault/fault_injector.h"
 #include "sim/fleet_driver.h"
 #include "sim/metrics.h"
 
@@ -85,12 +96,22 @@ struct RunOutcome {
   int64_t events = 0;
   int64_t total_files = 0;
   int64_t open_calls = 0;
+  int64_t faults_injected = 0;
   double events_per_sec = 0;
   bool metrics_equal = true;
   sim::MetricsRecorder metrics;
 };
 
-RunOutcome RunConfig(const std::string& name, int shards, int pool_workers) {
+/// Fault-injection variants of a config. kArmedEmpty is the zero-fault
+/// parity configuration (enabled injector, nothing to inject): its cost
+/// is the pure overhead of having the Arm() calls in every hot path, and
+/// it must stay bit-identical to the injector-free run. kChaos runs the
+/// "chaos" preset (every site armed) to price the retry/backoff
+/// machinery under sustained failures.
+enum class FaultMode { kOff, kArmedEmpty, kChaos };
+
+RunOutcome RunConfig(const std::string& name, int shards, int pool_workers,
+                     FaultMode fault_mode = FaultMode::kOff) {
   RunOutcome out;
   out.name = name;
   out.shards = shards;
@@ -108,6 +129,15 @@ RunOutcome RunConfig(const std::string& name, int shards, int pool_workers) {
       options.shards = 1;
       options.pool = nullptr;
     }
+    if (fault_mode != FaultMode::kOff) {
+      options.env.fault.enabled = true;
+      options.env.fault.seed = 0x5eedfa;
+      if (fault_mode == FaultMode::kChaos) {
+        auto profile = fault::FaultProfileByName("chaos");
+        AUTOCOMP_CHECK(profile.ok()) << profile.status();
+        options.env.fault.profile = *std::move(profile);
+      }
+    }
     sim::FleetSimulation simulation(std::move(options));
     const auto start = std::chrono::steady_clock::now();
     auto result = simulation.Run();
@@ -119,6 +149,7 @@ RunOutcome RunConfig(const std::string& name, int shards, int pool_workers) {
     out.events = result->events_executed;
     out.total_files = result->total_files;
     out.open_calls = result->open_calls;
+    out.faults_injected = result->faults_injected;
     out.metrics = std::move(result->metrics);
     std::printf("  %s run %d/%d: %.1f ms (%lld events)\n", name.c_str(),
                 run + 1, kRunsPerConfig, ms,
@@ -193,7 +224,64 @@ int main() {
   }
   std::printf("%s", table.ToString().c_str());
 
+  // --- Fault-injection overhead: the zero-fault parity config (armed
+  // injector, empty profile) must be bit-identical to seq, and its cost
+  // is budgeted at <2% wall-clock; the chaos config prices sustained
+  // failures + retries and is reported for reference only.
+  RunOutcome armed = RunConfig("seq-armed", 0, 0, FaultMode::kArmedEmpty);
+  {
+    std::string why;
+    armed.metrics_equal = seq.metrics.Equals(armed.metrics, &why) &&
+                          armed.events == seq.events &&
+                          armed.total_files == seq.total_files &&
+                          armed.open_calls == seq.open_calls;
+    AUTOCOMP_CHECK(armed.metrics_equal)
+        << "armed-but-empty injector perturbed the simulation: "
+        << (why.empty() ? "aggregate totals differ" : why);
+    AUTOCOMP_CHECK(armed.faults_injected == 0);
+  }
+  RunOutcome chaos = RunConfig("seq-chaos", 0, 0, FaultMode::kChaos);
+  AUTOCOMP_CHECK(chaos.faults_injected > 0)
+      << "chaos profile injected nothing";
+  constexpr double kArmedOverheadTargetPct = 2.0;
+  const double armed_overhead_pct =
+      seq.wall_ms > 0 ? (armed.wall_ms - seq.wall_ms) / seq.wall_ms * 100.0
+                      : 0.0;
+  const double chaos_overhead_pct =
+      seq.wall_ms > 0 ? (chaos.wall_ms - seq.wall_ms) / seq.wall_ms * 100.0
+                      : 0.0;
+  sim::TablePrinter fault_table(
+      {"config", "wall ms", "events", "faults", "overhead %", "identical"});
+  fault_table.AddRow({armed.name, sim::Fmt(armed.wall_ms, 1),
+                      std::to_string(armed.events),
+                      std::to_string(armed.faults_injected),
+                      sim::Fmt(armed_overhead_pct, 2),
+                      armed.metrics_equal ? "yes" : "NO"});
+  fault_table.AddRow({chaos.name, sim::Fmt(chaos.wall_ms, 1),
+                      std::to_string(chaos.events),
+                      std::to_string(chaos.faults_injected),
+                      sim::Fmt(chaos_overhead_pct, 2), "n/a"});
+  std::printf("%s", fault_table.ToString().c_str());
+  std::printf("armed (zero-fault) overhead: %.2f%% (target < %.0f%%)\n",
+              armed_overhead_pct, kArmedOverheadTargetPct);
+
+  JsonValue fault_runs = JsonValue::Array();
+  for (const RunOutcome* r : {&armed, &chaos}) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", r->name);
+    entry.Set("wall_ms", r->wall_ms);
+    entry.Set("events", r->events);
+    entry.Set("faults_injected", r->faults_injected);
+    entry.Set("overhead_pct",
+              r == &armed ? armed_overhead_pct : chaos_overhead_pct);
+    entry.Set("metrics_equal_to_seq", r == &armed);
+    fault_runs.Append(std::move(entry));
+  }
+
   JsonValue doc = JsonValue::Object();
+  doc.Set("fault_runs", std::move(fault_runs));
+  doc.Set("fault_armed_overhead_pct", armed_overhead_pct);
+  doc.Set("fault_armed_overhead_target_pct", kArmedOverheadTargetPct);
   doc.Set("fleet_tables", kDatabases * kTablesPerDb);
   doc.Set("days", kDays);
   doc.Set("hardware_concurrency", hw);

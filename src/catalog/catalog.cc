@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 #include "lst/metadata_json.h"
 
 namespace autocomp::catalog {
@@ -264,7 +265,17 @@ Status Catalog::CommitTableWithDelta(const std::string& name,
   event.table = name;
   event.metadata = std::move(committed);
   event.delta = delta.known ? &delta : nullptr;
-  NotifyCommit(event);
+  // Event-delivery faults fire AFTER the swap: the commit itself is
+  // durable either way, only the notification is lossy/duplicated —
+  // listeners (stats cache, incremental index) must tolerate both.
+  fault::FaultKind event_fault = fault::FaultKind::kNone;
+  if (fault_ != nullptr) {
+    event_fault = fault_->Arm(fault::kSiteCatalogCommitEvent, name);
+  }
+  if (event_fault != fault::FaultKind::kDropEvent) {
+    NotifyCommit(event);
+    if (event_fault == fault::FaultKind::kDuplicateEvent) NotifyCommit(event);
+  }
   return Status::OK();
 }
 

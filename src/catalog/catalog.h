@@ -143,6 +143,14 @@ class Catalog final : public lst::MetadataStore {
   storage::DistributedFileSystem* filesystem() { return dfs_; }
   const Clock* clock() const { return clock_; }
 
+  /// Installs (or clears, with nullptr) the fault injector. Transactions
+  /// pick it up through MetadataStore::fault_injector() (commit-site
+  /// faults), and the commit path arms fault::kSiteCatalogCommitEvent:
+  /// kDropEvent suppresses the listener notification for one commit,
+  /// kDuplicateEvent delivers it twice — exercising the at-least-once /
+  /// at-most-once tolerance of incremental consumers.
+  void SetFaultInjector(fault::FaultInjector* injector) { fault_ = injector; }
+
   // MetadataStore:
   Result<lst::TableMetadataPtr> LoadTable(
       const std::string& name) const override;
@@ -151,6 +159,7 @@ class Catalog final : public lst::MetadataStore {
   Status CommitTableWithDelta(const std::string& name, int64_t base_version,
                               lst::TableMetadataPtr new_metadata,
                               const lst::CommitDelta& delta) override;
+  fault::FaultInjector* fault_injector() const override { return fault_; }
 
  private:
   /// Writes (and prunes) the storage-side metadata footprint for a
@@ -166,6 +175,7 @@ class Catalog final : public lst::MetadataStore {
   const Clock* clock_;
   storage::DistributedFileSystem* dfs_;
   CatalogOptions options_;
+  fault::FaultInjector* fault_ = nullptr;
 
   /// Guards all catalog maps and counters. Concurrent transaction
   /// commits, expiry and observe-phase reads all funnel through here;

@@ -6,7 +6,9 @@
 #include <cmath>
 #include <map>
 
+#include "common/counter_rng.h"
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 #include "format/binpack.h"
 
 namespace autocomp::engine {
@@ -159,47 +161,86 @@ Result<PendingCompaction> CompactionRunner::Prepare(
   }
 
   // Create output files. Replaced set covers both the rewritten data
-  // files and the folded delete files.
+  // files and the folded delete files. The whole write phase sits in a
+  // bounded retry loop: an injected mid-job crash (fault site
+  // engine.runner) abandons the partially written outputs — every created
+  // file is deleted, leaving no orphans — then re-writes them after a
+  // deterministic backoff, up to the policy's attempt budget.
   std::vector<lst::DataFile> outputs;
   std::vector<std::string> replaced;
   replaced.reserve(inputs.size() + delete_inputs.size());
   for (const lst::DataFile& f : inputs) replaced.push_back(f.path);
   for (const lst::DataFile& f : delete_inputs) replaced.push_back(f.path);
-  for (const format::Bin& bin : bins) {
-    int64_t logical = 0;
-    int64_t records = 0;
-    for (size_t idx : bin.item_indices) {
-      const lst::DataFile& in = inputs[idx];
-      logical += logical_sizes[idx];
-      records += static_cast<int64_t>(std::llround(
-          survival.at(in.partition) *
-          static_cast<double>(in.record_count)));
-    }
-    if (logical <= 0) continue;  // everything in this bin was deleted
-    lst::DataFile out;
-    // All items in a bin share one partition by construction.
-    const std::string& partition = inputs[bin.item_indices.front()].partition;
-    std::string dir = meta->location();
-    if (!partition.empty()) dir += "/" + partition;
-    out.path = dir + "/compact-r" + std::to_string(runner_id_) + "-" +
-               std::to_string(++file_counter_) + ".parquet";
-    out.partition = partition;
-    out.clustered = request.cluster_output;
-    out.file_size_bytes = format_.StoredBytesFor(logical);
-    out.record_count = records;
-    const Status st =
-        dfs->CreateFile(out.path, out.file_size_bytes, out.record_count);
-    if (!st.ok()) {
-      for (const lst::DataFile& created : outputs) {
-        (void)dfs->DeleteFile(created.path);
+  for (int write_attempt = 1;; ++write_attempt) {
+    for (const format::Bin& bin : bins) {
+      int64_t logical = 0;
+      int64_t records = 0;
+      for (size_t idx : bin.item_indices) {
+        const lst::DataFile& in = inputs[idx];
+        logical += logical_sizes[idx];
+        records += static_cast<int64_t>(std::llround(
+            survival.at(in.partition) *
+            static_cast<double>(in.record_count)));
       }
-      result.status = st;
+      if (logical <= 0) continue;  // everything in this bin was deleted
+      lst::DataFile out;
+      // All items in a bin share one partition by construction.
+      const std::string& partition =
+          inputs[bin.item_indices.front()].partition;
+      std::string dir = meta->location();
+      if (!partition.empty()) dir += "/" + partition;
+      out.path = dir + "/compact-r" + std::to_string(runner_id_) + "-" +
+                 std::to_string(++file_counter_) + ".parquet";
+      out.partition = partition;
+      out.clustered = request.cluster_output;
+      out.file_size_bytes = format_.StoredBytesFor(logical);
+      out.record_count = records;
+      const Status st =
+          dfs->CreateFile(out.path, out.file_size_bytes, out.record_count);
+      if (!st.ok()) {
+        // Quota/namespace failures are not transient: clean up and give
+        // the unit up rather than burning retries to fail again.
+        for (const lst::DataFile& created : outputs) {
+          (void)dfs->DeleteFile(created.path);
+        }
+        result.status = st;
+        result.attempted = false;
+        result.abandoned = true;
+        result.bytes_produced = 0;
+        ++total_abandoned_;
+        return PendingCompaction{request, std::move(txn), {},
+                                 std::move(result)};
+      }
+      result.bytes_produced += out.file_size_bytes;
+      outputs.push_back(std::move(out));
+    }
+    const fault::FaultKind crash =
+        fault_ == nullptr
+            ? fault::FaultKind::kNone
+            : fault_->Arm(fault::kSiteEngineRunner, request.table);
+    if (crash != fault::FaultKind::kRunnerCrash) break;
+    // Mid-job crash: the partial outputs are orphans — delete them all.
+    for (const lst::DataFile& created : outputs) {
+      (void)dfs->DeleteFile(created.path);
+    }
+    outputs.clear();
+    result.bytes_produced = 0;
+    if (write_attempt >= retry_policy_.max_attempts) {
+      result.status = fault::FaultInjector::ToStatus(
+          crash, fault::kSiteEngineRunner, request.table);
       result.attempted = false;
+      result.abandoned = true;
+      ++total_abandoned_;
       return PendingCompaction{request, std::move(txn), {},
                                std::move(result)};
     }
-    result.bytes_produced += out.file_size_bytes;
-    outputs.push_back(std::move(out));
+    const double backoff = retry_policy_.BackoffSeconds(
+        CounterRng::Mix(CounterRng::HashString(request.table)) ^
+            static_cast<uint64_t>(submit_time),
+        write_attempt);
+    timeout_penalty += backoff;
+    result.backoff_seconds += backoff;
+    ++total_retries_;
   }
   result.files_produced = static_cast<int64_t>(outputs.size());
 
@@ -246,21 +287,65 @@ CompactionResult CompactionRunner::Finalize(PendingCompaction&& pending) {
   CompactionResult result = std::move(pending.result);
   if (!result.attempted) return result;
 
-  auto committed = pending.transaction.CommitWithRetries(/*max_retries=*/2);
-  if (!committed.ok()) {
-    // Clean up outputs; the rewrite is lost.
-    storage::DistributedFileSystem* dfs = catalog_->filesystem();
-    for (const lst::DataFile& created : pending.outputs) {
-      (void)dfs->DeleteFile(created.path);
+  lst::Transaction& txn = pending.transaction;
+  // Backoff stream keyed by (table, submit time): unique per unit within
+  // a run, identical across replays regardless of shard/pool layout.
+  const uint64_t backoff_key =
+      CounterRng::Mix(CounterRng::HashString(pending.request.table)) ^
+      static_cast<uint64_t>(result.start_time);
+  Status failure;
+  for (int attempt = 1;; ++attempt) {
+    auto committed = txn.Commit();
+    if (committed.ok()) {
+      result.committed = true;
+      result.snapshot_id = committed->snapshot_id;
+      ++total_committed_;
+      return result;
     }
-    result.conflict = committed.status().IsCommitConflict();
-    result.status = committed.status();
-    if (result.conflict) ++total_conflicts_;
-    return result;
+    failure = committed.status();
+    // Structured conflict classification decides retry vs abandon: only
+    // a CAS race (organic or injected) can converge on rebase; every
+    // validation rejection is terminal.
+    bool retry =
+        txn.last_conflict().retryable() && attempt < retry_policy_.max_attempts;
+    if (retry) {
+      // Conflict-aware re-validation: before paying for another attempt,
+      // confirm the inputs are still live under the current version — a
+      // concurrent rewrite may have consumed them, making the next
+      // attempt a guaranteed (and costly) terminal conflict.
+      auto current = catalog_->LoadTable(pending.request.table);
+      if (!current.ok()) {
+        retry = false;
+      } else {
+        for (const std::string& path : txn.replaced_paths()) {
+          if (!(*current)->IsLive(path)) {
+            retry = false;
+            break;
+          }
+        }
+      }
+    }
+    if (!retry) break;
+    // Deterministic exponential backoff. Charged to duration (the unit
+    // took longer) but NOT to end_time: the retried commit lands at the
+    // same simulated instant, so the end state converges with a
+    // fault-free run (the differential tests' invariant).
+    const double backoff = retry_policy_.BackoffSeconds(backoff_key, attempt);
+    result.backoff_seconds += backoff;
+    result.duration_seconds += backoff;
+    ++result.commit_retries;
+    ++total_retries_;
   }
-  result.committed = true;
-  result.snapshot_id = committed->snapshot_id;
-  ++total_committed_;
+  // Clean up outputs; the rewrite is lost.
+  storage::DistributedFileSystem* dfs = catalog_->filesystem();
+  for (const lst::DataFile& created : pending.outputs) {
+    (void)dfs->DeleteFile(created.path);
+  }
+  result.conflict = failure.IsCommitConflict();
+  result.status = failure;
+  result.abandoned = true;
+  ++total_abandoned_;
+  if (result.conflict) ++total_conflicts_;
   return result;
 }
 

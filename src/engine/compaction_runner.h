@@ -11,6 +11,7 @@
 #include "catalog/catalog.h"
 #include "common/clock.h"
 #include "engine/cluster.h"
+#include "fault/retry_policy.h"
 #include "format/columnar.h"
 #include "lst/transaction.h"
 
@@ -61,6 +62,19 @@ struct CompactionResult {
   int64_t snapshot_id = 0;
   SimTime start_time = 0;
   SimTime end_time = 0;
+
+  /// Commit attempts beyond the first (injected/organic CAS races that
+  /// were rebased and retried).
+  int commit_retries = 0;
+  /// Total deterministic backoff this unit waited across retries.
+  /// Included in duration_seconds but deliberately NOT in end_time: a
+  /// retried commit lands at the same simulated instant as a clean one,
+  /// so fault+retry runs converge to the fault-free end state (the
+  /// differential harness asserts exactly that).
+  double backoff_seconds = 0;
+  /// The unit wrote outputs but gave up (crash retries or the commit
+  /// retry budget exhausted); its outputs were deleted.
+  bool abandoned = false;
 };
 
 /// \brief An in-flight compaction: inputs read and outputs written, but
@@ -109,6 +123,24 @@ class CompactionRunner {
   /// Cumulative counters across Run calls.
   int64_t total_conflicts() const { return total_conflicts_; }
   int64_t total_committed() const { return total_committed_; }
+  /// Retries paid across units (commit rebases + crash re-writes).
+  int64_t total_retries() const { return total_retries_; }
+  /// Units that wrote outputs and then gave up (outputs cleaned up).
+  int64_t total_abandoned() const { return total_abandoned_; }
+
+  /// Installs (or clears, with nullptr) the fault injector. The runner
+  /// arms fault::kSiteEngineRunner after writing outputs (mid-job crash:
+  /// outputs are deleted and the write is retried under the policy);
+  /// commit-site faults flow in via the catalog's injector.
+  void SetFaultInjector(fault::FaultInjector* injector) { fault_ = injector; }
+
+  /// Retry budget + backoff shape for commit conflicts and crash
+  /// recovery. Backoff draws are CounterRng-keyed by (table, submit
+  /// time), so retry costs replay bit-identically.
+  void set_retry_policy(const fault::RetryPolicy& policy) {
+    retry_policy_ = policy;
+  }
+  const fault::RetryPolicy& retry_policy() const { return retry_policy_; }
 
  private:
   Cluster* cluster_;
@@ -117,9 +149,13 @@ class CompactionRunner {
   format::ColumnarFileModel format_;
   /// Distinguishes runners sharing one catalog (unique output names).
   int runner_id_;
+  fault::FaultInjector* fault_ = nullptr;
+  fault::RetryPolicy retry_policy_;
   int64_t file_counter_ = 0;
   int64_t total_conflicts_ = 0;
   int64_t total_committed_ = 0;
+  int64_t total_retries_ = 0;
+  int64_t total_abandoned_ = 0;
 };
 
 }  // namespace autocomp::engine

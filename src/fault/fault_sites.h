@@ -1,0 +1,64 @@
+/// \file fault_sites.h
+/// \brief Named fault-injection sites and the fault kinds they admit.
+///
+/// AutoComp's production story (paper §2, §5, §7) is defined by failure:
+/// NameNode RPC timeouts under object-count pressure, namespace-quota
+/// breaches, optimistic-concurrency commit conflicts between writers and
+/// compaction jobs (Table 1), the Iceberg v1.2.0 quirk where concurrent
+/// rewrites of disjoint partitions still abort (§4.4), and compaction
+/// jobs dying mid-rewrite with half their outputs written. Each of those
+/// failure modes is a *site*: a named, counted injection point threaded
+/// through the stack. The injector decides, deterministically, whether
+/// the k-th hit of a site fails and how.
+
+#pragma once
+
+namespace autocomp::fault {
+
+/// NameNode::Open — a read RPC times out on demand (in addition to the
+/// load-model timeouts).
+inline constexpr const char* kSiteStorageOpen = "storage.open";
+/// NameNode::CreateFile — the create is rejected as a namespace-quota
+/// breach even though the quota arithmetic would admit it.
+inline constexpr const char* kSiteStorageCreate = "storage.create";
+/// lst::Transaction::Commit — the commit is lost to an (injected)
+/// concurrent writer: either a retryable CAS race or a terminal
+/// validation rejection, including the disjoint-rewrite v1.2.0 quirk.
+inline constexpr const char* kSiteLstCommit = "lst.commit";
+/// engine::CompactionRunner — the rewrite job crashes mid-write, leaving
+/// partial outputs the runner must clean up (and may retry).
+inline constexpr const char* kSiteEngineRunner = "engine.runner";
+/// catalog::Catalog commit notification — the commit event is dropped
+/// (never delivered to listeners) or delivered twice.
+inline constexpr const char* kSiteCatalogCommitEvent = "catalog.commit_event";
+
+/// \brief What an armed fault does at its site.
+enum class FaultKind : int {
+  kNone = 0,
+  /// storage.open: the read times out.
+  kTimeout,
+  /// storage.create: the create fails with ResourceExhausted.
+  kQuotaExceeded,
+  /// lst.commit: a compare-and-swap race — retryable; a rebase+retry
+  /// converges to the same end state.
+  kCasRaceConflict,
+  /// lst.commit: a validation rejection — terminal; the operation is
+  /// genuinely lost.
+  kValidationAbort,
+  /// lst.commit: the Iceberg v1.2.0 quirk (§4.4) — a rewrite aborts as
+  /// if strict table-level validation were in force, even when
+  /// partition-aware validation would admit it. Only arms on rewrites.
+  kDisjointRewriteAbort,
+  /// engine.runner: the compaction job dies mid-write; already-written
+  /// outputs must be abandoned and deleted.
+  kRunnerCrash,
+  /// catalog.commit_event: the commit event is silently dropped.
+  kDropEvent,
+  /// catalog.commit_event: the commit event is delivered twice.
+  kDuplicateEvent,
+};
+
+/// Human-readable name of a FaultKind (e.g. "cas_race_conflict").
+const char* FaultKindName(FaultKind kind);
+
+}  // namespace autocomp::fault

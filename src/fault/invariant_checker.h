@@ -1,0 +1,73 @@
+/// \file invariant_checker.h
+/// \brief Whole-deployment safety invariants, checked between fault
+/// injections.
+///
+/// The fault suites hammer the commit path with injected CAS races,
+/// runner crashes and storage failures; this checker is the oracle that
+/// says the wreckage is still a consistent deployment. It extends the
+/// per-table lst::ValidateHistory pass with cross-cutting checks no
+/// single table can see: live files must exist in storage, no file may
+/// be live in two tables, NameNode object/quota accounting must agree
+/// with a from-scratch recount, and database quota usage must cover the
+/// catalog's live set. The fleet simulator runs it after every hour
+/// epoch when FleetSimOptions::check_invariants is set.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autocomp::catalog {
+class Catalog;
+}  // namespace autocomp::catalog
+
+namespace autocomp::fault {
+
+/// \brief One violated deployment invariant.
+struct InvariantViolation {
+  /// Qualified "db.table" name; empty for storage/fleet-level checks.
+  std::string table;
+  std::string message;
+};
+
+struct InvariantCheckerOptions {
+  /// Also flag storage data files that no table's current snapshot
+  /// references. Off by default: historical snapshots legitimately pin
+  /// removed files until retention runs, so this is only sound after
+  /// snapshot expiry + orphan deletion.
+  bool check_orphans = false;
+};
+
+/// \brief Cross-layer consistency oracle over a catalog + its storage.
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(InvariantCheckerOptions options = {});
+
+  /// All violations found (empty = consistent). Uses only const,
+  /// RPC-free storage access (Stat/GetQuota) so checking never perturbs
+  /// the load model or the deterministic RPC counters.
+  std::vector<InvariantViolation> Check(catalog::Catalog& catalog) const;
+
+  /// OK when consistent; Internal listing the first violations otherwise.
+  Status CheckOrFail(catalog::Catalog& catalog) const;
+
+ private:
+  InvariantCheckerOptions options_;
+};
+
+/// \brief Content-shape digest of every table's current live set
+/// ("db.table" -> digest). Deliberately path-free: retried compactions
+/// may emit outputs under different file names while producing the same
+/// logical table, so differential tests compare partitions, sizes and
+/// record counts — what queries observe — rather than physical paths.
+std::map<std::string, std::string> CatalogEndState(catalog::Catalog& catalog);
+
+/// \brief Human-readable difference between two end states; empty when
+/// they are identical.
+std::string DiffEndStates(const std::map<std::string, std::string>& a,
+                          const std::map<std::string, std::string>& b);
+
+}  // namespace autocomp::fault

@@ -1,0 +1,50 @@
+/// \file retry_policy.h
+/// \brief Bounded retries with deterministic exponential backoff.
+///
+/// Retry delays are a pure function of (seed, key, attempt) via
+/// CounterRng — no wall clock, no shared generator — so a retried run
+/// replays bit-identically (NFR2) and the simulated backoff cost charged
+/// to a work unit does not depend on scheduling. Jitter decorrelates
+/// retry storms (the paper's §2 thundering-herd concern) without
+/// sacrificing reproducibility.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/counter_rng.h"
+
+namespace autocomp::fault {
+
+/// \brief Knobs for a bounded exponential-backoff retry loop.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = never retry).
+  int max_attempts = 4;
+  double base_backoff_seconds = 2.0;
+  double max_backoff_seconds = 60.0;
+  /// Backoff is scaled by a factor in [1 - jitter, 1 + jitter].
+  double jitter_fraction = 0.25;
+  /// Seed for the jitter draw (keyed per retry loop by `key`).
+  uint64_t seed = 7;
+
+  /// Deterministic backoff before retry number `attempt` (1-based: the
+  /// delay after the attempt-th failure). Doubles per attempt, clamps at
+  /// max_backoff_seconds, then jitters.
+  double BackoffSeconds(uint64_t key, int attempt) const {
+    if (attempt < 1) attempt = 1;
+    double delay = base_backoff_seconds;
+    for (int i = 1; i < attempt && delay < max_backoff_seconds; ++i) {
+      delay *= 2.0;
+    }
+    delay = std::min(delay, max_backoff_seconds);
+    if (jitter_fraction > 0) {
+      const double u = CounterRng::Uniform01(
+          seed, key, static_cast<uint64_t>(attempt));
+      delay *= 1.0 + jitter_fraction * (2.0 * u - 1.0);
+    }
+    return delay;
+  }
+};
+
+}  // namespace autocomp::fault

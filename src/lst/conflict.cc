@@ -1,0 +1,31 @@
+#include "lst/conflict.h"
+
+namespace autocomp::lst {
+
+const char* ConflictKindName(ConflictKind kind) {
+  switch (kind) {
+    case ConflictKind::kNone:
+      return "none";
+    case ConflictKind::kCasRace:
+      return "cas_race";
+    case ConflictKind::kInputRemoved:
+      return "input_removed";
+    case ConflictKind::kStrictTableLevel:
+      return "strict_table_level";
+    case ConflictKind::kPartitionOverlap:
+      return "partition_overlap";
+    case ConflictKind::kStaleOverwrite:
+      return "stale_overwrite";
+    case ConflictKind::kReplacedNotLive:
+      return "replaced_not_live";
+    case ConflictKind::kInjectedCasRace:
+      return "injected_cas_race";
+    case ConflictKind::kInjectedValidation:
+      return "injected_validation";
+    case ConflictKind::kRetriesExhausted:
+      return "retries_exhausted";
+  }
+  return "unknown";
+}
+
+}  // namespace autocomp::lst

@@ -1,0 +1,71 @@
+/// \file conflict.h
+/// \brief Structured commit-conflict reasons.
+///
+/// A bare CommitConflict Status tells a caller *that* a commit lost, not
+/// *why* — but the paper's Table 1 distinguishes cluster-side from
+/// client-side conflicts precisely because they demand different
+/// responses: a CAS race is transient (rebase and retry converges), a
+/// validation rejection is terminal (the inputs are gone; retrying burns
+/// compute to lose again). The retrying compaction runner keys its
+/// retry/abandon decision off this classification, so Transaction
+/// records it alongside the Status on every conflict path.
+
+#pragma once
+
+#include <string>
+
+namespace autocomp::lst {
+
+/// \brief Why a commit attempt conflicted.
+enum class ConflictKind : int {
+  kNone = 0,
+  /// The metadata version moved between load and swap — retryable; the
+  /// next attempt rebases onto the new version.
+  kCasRace,
+  /// An intervening commit removed one of the rewrite's input files —
+  /// terminal; committing would resurrect deleted data.
+  kInputRemoved,
+  /// Strict table-level validation (Iceberg v1.2.0, §4.4): any
+  /// intervening rewrite on the table aborts this one — terminal under
+  /// the configured mode.
+  kStrictTableLevel,
+  /// Partition-aware validation: an intervening rewrite touched one of
+  /// this operation's partitions — terminal.
+  kPartitionOverlap,
+  /// An overwrite/delete staged against files no longer live (stale
+  /// reader metadata) — terminal.
+  kStaleOverwrite,
+  /// Apply found replaced paths missing from the live set — terminal.
+  kReplacedNotLive,
+  /// Injected CAS race (fault::FaultKind::kCasRaceConflict) — retryable,
+  /// exactly like an organic one.
+  kInjectedCasRace,
+  /// Injected validation abort (kValidationAbort or the
+  /// kDisjointRewriteAbort v1.2.0 quirk) — terminal.
+  kInjectedValidation,
+  /// CommitWithRetries ran out of attempts (the last underlying failure
+  /// was retryable, but the budget is spent).
+  kRetriesExhausted,
+};
+
+/// Human-readable name ("cas_race", "strict_table_level", ...).
+const char* ConflictKindName(ConflictKind kind);
+
+/// \brief The last conflict a Transaction hit, with enough context for a
+/// caller to decide between rebase-and-retry and abandonment.
+struct ConflictInfo {
+  ConflictKind kind = ConflictKind::kNone;
+  /// Qualified table name the commit targeted.
+  std::string table;
+  /// The conflicting Status message.
+  std::string detail;
+
+  /// True when a rebase + retry can converge: the failure was a race for
+  /// the metadata pointer, not a rejection of the operation itself.
+  bool retryable() const {
+    return kind == ConflictKind::kCasRace ||
+           kind == ConflictKind::kInjectedCasRace;
+  }
+};
+
+}  // namespace autocomp::lst

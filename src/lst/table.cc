@@ -17,7 +17,8 @@ Result<TableMetadataPtr> Table::Metadata() const {
 
 Result<Transaction> Table::NewTransaction(ValidationMode mode) const {
   AUTOCOMP_ASSIGN_OR_RETURN(TableMetadataPtr base, Metadata());
-  return Transaction(store_, name_, std::move(base), clock_, mode);
+  return Transaction(store_, name_, std::move(base), clock_, mode,
+                     store_->fault_injector());
 }
 
 Result<ScanPlan> Table::PlanScan(

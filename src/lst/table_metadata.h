@@ -18,6 +18,10 @@
 #include "lst/snapshot.h"
 #include "lst/types.h"
 
+namespace autocomp::fault {
+class FaultInjector;
+}  // namespace autocomp::fault
+
 namespace autocomp::lst {
 
 class TableMetadata;
@@ -181,6 +185,12 @@ class MetadataStore {
     (void)delta;
     return CommitTable(name, base_version, std::move(new_metadata));
   }
+
+  /// Fault injector armed on this store's commit path, if any.
+  /// Transactions created against this store arm fault::kSiteLstCommit
+  /// through it (injected CAS races and validation aborts); nullptr means
+  /// faults are off. Stores wired into a fault harness override this.
+  virtual fault::FaultInjector* fault_injector() const { return nullptr; }
 };
 
 /// \brief Merges manifests so that no more than `max_manifests` remain,

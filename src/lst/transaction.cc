@@ -4,18 +4,28 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 
 namespace autocomp::lst {
 
 Transaction::Transaction(MetadataStore* store, std::string table_name,
                          TableMetadataPtr base, const Clock* clock,
-                         ValidationMode mode)
+                         ValidationMode mode, fault::FaultInjector* injector)
     : store_(store),
       table_name_(std::move(table_name)),
       base_(std::move(base)),
       clock_(clock),
-      mode_(mode) {
+      mode_(mode),
+      injector_(injector) {
   assert(store_ != nullptr && clock_ != nullptr && base_ != nullptr);
+}
+
+Status Transaction::Conflict(ConflictKind kind,
+                             const std::string& detail) const {
+  last_conflict_.kind = kind;
+  last_conflict_.table = table_name_;
+  last_conflict_.detail = detail;
+  return Status::CommitConflict(detail);
 }
 
 Status Transaction::EnsureOperation(SnapshotOperation op) {
@@ -103,7 +113,8 @@ Status Transaction::ValidateAgainst(const TableMetadata& current) const {
         if (s->removed_paths != nullptr) {
           for (const std::string& p : *s->removed_paths) {
             if (my_inputs.count(p) > 0) {
-              return Status::CommitConflict(
+              return Conflict(
+                  ConflictKind::kInputRemoved,
                   "rewrite input removed by concurrent commit: " + p);
             }
           }
@@ -113,16 +124,16 @@ Status Transaction::ValidateAgainst(const TableMetadata& current) const {
             // Iceberg v1.2.0 behaviour observed in the paper (§4.4):
             // concurrent rewrites of the SAME TABLE conflict even when
             // they target disjoint partitions.
-            return Status::CommitConflict(
-                "concurrent rewrite on table " + table_name_ +
-                " (strict table-level validation)");
+            return Conflict(ConflictKind::kStrictTableLevel,
+                            "concurrent rewrite on table " + table_name_ +
+                                " (strict table-level validation)");
           }
           // Partition-aware conflict filtering (§8): only overlapping
           // partitions conflict.
           for (const std::string& part : s->touched_partitions) {
             if (my_partitions.count(part) > 0) {
-              return Status::CommitConflict(
-                  "concurrent rewrite touched partition " + part);
+              return Conflict(ConflictKind::kPartitionOverlap,
+                              "concurrent rewrite touched partition " + part);
             }
           }
         }
@@ -137,7 +148,8 @@ Status Transaction::ValidateAgainst(const TableMetadata& current) const {
       // races their write queries (Table 1).
       for (const std::string& path : replaced_paths_) {
         if (!current.IsLive(path)) {
-          return Status::CommitConflict(
+          return Conflict(
+              ConflictKind::kStaleOverwrite,
               "overwritten file no longer live (stale metadata): " + path);
         }
       }
@@ -204,8 +216,8 @@ Result<TableMetadataPtr> Transaction::Apply(const TableMetadata& current,
     // Replaced paths that were not live: appends racing deletes could
     // cause this; validation should have caught genuine conflicts.
     if (removed->size() != replaced_paths_.size()) {
-      return Status::CommitConflict(
-          "some replaced files are not live in " + table_name_);
+      return Conflict(ConflictKind::kReplacedNotLive,
+                      "some replaced files are not live in " + table_name_);
     }
   }
 
@@ -250,6 +262,34 @@ Result<CommitResult> Transaction::CommitInternal(bool* cas_race) {
     // A rejection here is terminal (the operation is genuinely lost).
     AUTOCOMP_RETURN_NOT_OK(ValidateAgainst(*current));
   }
+  // Injected commit faults: a CAS race (a concurrent writer "won" the
+  // swap — retryable, nothing was installed) or a validation abort
+  // (terminal). The disjoint-rewrite kind models the v1.2.0 quirk and
+  // only applies to rewrites; for other operations it degrades to no
+  // fault.
+  if (injector_ != nullptr) {
+    const fault::FaultKind kind =
+        injector_->Arm(fault::kSiteLstCommit, table_name_);
+    const Status injected =
+        fault::FaultInjector::ToStatus(kind, fault::kSiteLstCommit,
+                                       table_name_);
+    switch (kind) {
+      case fault::FaultKind::kCasRaceConflict:
+        *cas_race = true;
+        return Conflict(ConflictKind::kInjectedCasRace, injected.message());
+      case fault::FaultKind::kValidationAbort:
+        return Conflict(ConflictKind::kInjectedValidation,
+                        injected.message());
+      case fault::FaultKind::kDisjointRewriteAbort:
+        if (operation_ == SnapshotOperation::kReplace) {
+          return Conflict(ConflictKind::kInjectedValidation,
+                          injected.message());
+        }
+        break;
+      default:
+        break;
+    }
+  }
   CommitDelta delta;
   AUTOCOMP_ASSIGN_OR_RETURN(TableMetadataPtr next, Apply(*current, &delta));
   const Status cas = store_->CommitTableWithDelta(table_name_,
@@ -259,12 +299,16 @@ Result<CommitResult> Transaction::CommitInternal(bool* cas_race) {
     // A CAS failure means another commit landed between our load and our
     // swap; the caller may rebase and retry.
     *cas_race = cas.IsCommitConflict();
+    if (*cas_race) {
+      return Conflict(ConflictKind::kCasRace, cas.message());
+    }
     return cas;
   }
   CommitResult result;
   result.snapshot_id = next->current_snapshot_id();
   result.retries = 0;
   result.metadata = next;
+  last_conflict_ = ConflictInfo{};
   return result;
 }
 
@@ -284,8 +328,9 @@ Result<CommitResult> Transaction::CommitWithRetries(int max_retries) {
     }
     if (!cas_race) return attempt.status();  // validation rejection: final
     if (retries >= max_retries) {
-      return Status::CommitConflict("retries exhausted after " +
-                                    std::to_string(retries) + " attempts");
+      return Conflict(ConflictKind::kRetriesExhausted,
+                      "retries exhausted after " + std::to_string(retries) +
+                          " attempts");
     }
     ++retries;
     // Retry: CommitInternal reloads the current version and re-validates

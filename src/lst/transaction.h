@@ -28,6 +28,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "lst/commit_delta.h"
+#include "lst/conflict.h"
 #include "lst/table_metadata.h"
 
 namespace autocomp::lst {
@@ -50,10 +51,14 @@ struct CommitResult {
 class Transaction {
  public:
   /// Captures the current version of `table_name` as the base. Fails later
-  /// at Commit if the table vanishes.
+  /// at Commit if the table vanishes. With `injector` set, every commit
+  /// attempt arms fault::kSiteLstCommit (injected CAS races and
+  /// validation aborts); Table::NewTransaction wires the store's injector
+  /// through automatically.
   Transaction(MetadataStore* store, std::string table_name,
               TableMetadataPtr base, const Clock* clock,
-              ValidationMode mode = ValidationMode::kStrictTableLevel);
+              ValidationMode mode = ValidationMode::kStrictTableLevel,
+              fault::FaultInjector* injector = nullptr);
 
   /// Stages an append of new files. May be called repeatedly before
   /// Commit; files accumulate.
@@ -83,8 +88,24 @@ class Transaction {
   SnapshotOperation operation() const { return operation_; }
   const TableMetadataPtr& base() const { return base_; }
 
+  /// Structured reason for the most recent commit failure (kNone after a
+  /// success or before any attempt). `last_conflict().retryable()` is the
+  /// signal the compaction runner's retry loop keys off: CAS races
+  /// rebase-and-retry, validation rejections abandon.
+  const ConflictInfo& last_conflict() const { return last_conflict_; }
+
+  /// Paths the staged operation removes from the live set. The runner's
+  /// pre-retry re-validation checks these are still live before paying
+  /// for another commit attempt.
+  const std::vector<std::string>& replaced_paths() const {
+    return replaced_paths_;
+  }
+
  private:
   Status EnsureOperation(SnapshotOperation op);
+  /// Records `kind` + `detail` into last_conflict_ and returns the
+  /// matching CommitConflict Status (single exit for all conflict paths).
+  Status Conflict(ConflictKind kind, const std::string& detail) const;
   /// One commit attempt; sets *cas_race when the failure was a raw CAS
   /// race (retryable) rather than a validation rejection (terminal).
   Result<CommitResult> CommitInternal(bool* cas_race);
@@ -106,6 +127,10 @@ class Transaction {
   TableMetadataPtr base_;
   const Clock* clock_;
   ValidationMode mode_;
+  fault::FaultInjector* injector_;
+  /// Set on every conflict path, including inside const validation (hence
+  /// mutable); cleared by a successful commit.
+  mutable ConflictInfo last_conflict_;
 
   bool has_operation_ = false;
   SnapshotOperation operation_ = SnapshotOperation::kAppend;

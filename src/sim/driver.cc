@@ -36,6 +36,9 @@ EventDriver::EventDriver(SimEnvironment* env, MetricsRecorder* metrics,
   ids_.stats_cache_misses = metrics_->Intern("stats_cache_misses");
   ids_.stats_index_hits = metrics_->Intern("stats_index_hits");
   ids_.stats_index_fallbacks = metrics_->Intern("stats_index_fallbacks");
+  ids_.compaction_retries = metrics_->Intern("compaction_retries");
+  ids_.compaction_abandoned = metrics_->Intern("compaction_abandoned");
+  ids_.compaction_backoff_s = metrics_->Intern("compaction_backoff_s");
 }
 
 void EventDriver::SampleNow() {
@@ -85,7 +88,18 @@ void EventDriver::StartNextUnit(const std::string& table) {
       continue;  // try the next queued unit
     }
     if (!pending->result.attempted) {
-      continue;  // nothing to rewrite; pull the next unit immediately
+      // Either nothing to rewrite, or the write phase gave the unit up
+      // (crash-retry budget exhausted, quota breach) — its outputs were
+      // already cleaned up; count the abandonment and pull the next unit.
+      if (pending->result.abandoned) {
+        const SimTime at = env_->clock().Now();
+        metrics_->Increment(ids_.compaction_abandoned, at);
+        if (pending->result.backoff_seconds > 0) {
+          metrics_->Observe(ids_.compaction_backoff_s, at,
+                            pending->result.backoff_seconds);
+        }
+      }
+      continue;
     }
     inflight_ends_.push(HeapEntry{pending->result.end_time, table});
     inflight_.emplace(table, std::move(pending).value());
@@ -113,6 +127,17 @@ void EventDriver::FinalizeUnit(const std::string& table,
   } else if (result.conflict) {
     metrics_->Increment(ids_.cluster_conflicts, at);
     metrics_->Record(ids_.compaction_gbhr, at, result.gb_hours);
+  }
+  // Fault/retry accounting (all zero in fault-free runs, so recorders
+  // stay bit-identical to the seed behaviour).
+  if (result.commit_retries > 0) {
+    metrics_->Increment(ids_.compaction_retries, at, result.commit_retries);
+  }
+  if (result.abandoned) {
+    metrics_->Increment(ids_.compaction_abandoned, at);
+  }
+  if (result.backoff_seconds > 0) {
+    metrics_->Observe(ids_.compaction_backoff_s, at, result.backoff_seconds);
   }
 }
 
@@ -273,6 +298,20 @@ void EventDriver::FinishRun() {
     // Do not start further queued units past the end of the experiment.
   }
   table_queues_.clear();
+  // Surface per-site fault-injection counters as hourly counters. The
+  // injector's counter map is sorted by site name and every count is a
+  // pure function of the lane's serial execution, so the recorded values
+  // merge deterministically across lanes and shard layouts.
+  const fault::FaultInjector& injector = env_->fault_injector();
+  if (injector.enabled()) {
+    const SimTime now = env_->clock().Now();
+    for (const auto& [site, counters] : injector.Counters()) {
+      if (counters.injected > 0) {
+        metrics_->Increment(metrics_->Intern("fault_injected." + site), now,
+                            counters.injected);
+      }
+    }
+  }
   SampleNow();
 }
 

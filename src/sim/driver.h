@@ -125,7 +125,8 @@ class EventDriver {
         read_latency_s, open_timeouts, pipeline_generate_ms,
         pipeline_observe_ms, pipeline_orient_ms, pipeline_decide_ms,
         pipeline_act_ms, stats_cache_hits, stats_cache_misses,
-        stats_index_hits, stats_index_fallbacks;
+        stats_index_hits, stats_index_fallbacks, compaction_retries,
+        compaction_abandoned, compaction_backoff_s;
   };
   Ids ids_;
 

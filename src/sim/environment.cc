@@ -4,11 +4,16 @@ namespace autocomp::sim {
 
 SimEnvironment::SimEnvironment(EnvironmentOptions options)
     : options_(options), clock_(0) {
+  fault_injector_ = std::make_unique<fault::FaultInjector>(options_.fault);
   storage::NameNodeOptions nn = options_.namenode;
   nn.seed = options_.seed * 31 + 5;
   dfs_ = std::make_unique<storage::DistributedFileSystem>(
       &clock_, options_.namenode_shards, nn);
   catalog_ = std::make_unique<catalog::Catalog>(&clock_, dfs_.get());
+  if (options_.fault.enabled) {
+    dfs_->SetFaultInjector(fault_injector_.get());
+    catalog_->SetFaultInjector(fault_injector_.get());
+  }
   control_plane_ = std::make_unique<catalog::ControlPlane>(catalog_.get());
   query_cluster_ = std::make_unique<engine::Cluster>(
       "query", options_.query_cluster, &clock_);
@@ -21,6 +26,10 @@ SimEnvironment::SimEnvironment(EnvironmentOptions options)
   compaction_runner_ = std::make_unique<engine::CompactionRunner>(
       compaction_cluster_.get(), catalog_.get(), &clock_,
       eng.format_options, options_.runner_id);
+  compaction_runner_->set_retry_policy(options_.retry);
+  if (options_.fault.enabled) {
+    compaction_runner_->SetFaultInjector(fault_injector_.get());
+  }
 }
 
 int64_t SimEnvironment::TotalFileCount() const {

@@ -13,6 +13,8 @@
 #include "engine/cluster.h"
 #include "engine/compaction_runner.h"
 #include "engine/query_engine.h"
+#include "fault/fault_injector.h"
+#include "fault/retry_policy.h"
 #include "storage/filesystem.h"
 
 namespace autocomp::sim {
@@ -31,6 +33,15 @@ struct EnvironmentOptions {
   /// driver pins these: file names must not depend on how many
   /// environments the process constructed before this one.
   int runner_id = 0;
+  /// Fault injection for this deployment. Disabled by default; when
+  /// enabled, the environment's injector is wired onto every NameNode
+  /// shard, the catalog commit path and the compaction runner. The
+  /// injector seed defaults to `fault.seed`; the fleet driver overrides
+  /// it per lane so injections replay bit-identically across shard
+  /// counts.
+  fault::FaultInjectorOptions fault = {};
+  /// Retry budget + backoff shape for the compaction runner.
+  fault::RetryPolicy retry = {};
 
   EnvironmentOptions() {
     query_cluster.executors = 15;
@@ -57,6 +68,9 @@ class SimEnvironment {
   engine::QueryEngine& query_engine() { return *query_engine_; }
   /// Runner bound to the dedicated compaction cluster.
   engine::CompactionRunner& compaction_runner() { return *compaction_runner_; }
+  /// The deployment's fault injector (always constructed; a disabled
+  /// injector is a no-op on every site).
+  fault::FaultInjector& fault_injector() { return *fault_injector_; }
 
   /// Total data files currently in storage (the Figure 6/10c metric).
   int64_t TotalFileCount() const;
@@ -66,6 +80,7 @@ class SimEnvironment {
  private:
   EnvironmentOptions options_;
   SimulatedClock clock_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<storage::DistributedFileSystem> dfs_;
   std::unique_ptr<catalog::Catalog> catalog_;
   std::unique_ptr<catalog::ControlPlane> control_plane_;

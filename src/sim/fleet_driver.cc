@@ -7,6 +7,7 @@
 
 #include "common/counter_rng.h"
 #include "common/logging.h"
+#include "fault/invariant_checker.h"
 
 namespace autocomp::sim {
 
@@ -85,6 +86,14 @@ Result<FleetSimResult> FleetSimulation::Run() {
     // catalog, so ids need not be unique across lanes).
     env.engine.writer_id = 1;
     env.runner_id = 1;
+    // Per-lane fault seed, same construction as the environment seed:
+    // injections are a pure function of (fault seed, database name, the
+    // lane's serial hit counts), never of shard count or pool size.
+    if (env.fault.enabled) {
+      env.fault.seed = CounterRng::At(options_.env.fault.seed,
+                                      CounterRng::HashString(lane->db),
+                                      /*index=*/1);
+    }
     lane->env = std::make_unique<SimEnvironment>(env);
     lane->env->dfs().SetEpochLoadView(&epoch_load_);
     lane->driver = std::make_unique<EventDriver>(lane->env.get(),
@@ -108,9 +117,19 @@ Result<FleetSimResult> FleetSimulation::Run() {
             &lane.env->control_plane()};
   };
 
+  // Injections pause around scripted data loads: setup and onboarding
+  // treat write failures as fatal, so a fault there would kill the run
+  // before the measured part starts. Both toggles happen in serial
+  // coordinator sections, so the arming boundary is deterministic.
+  const auto arm_all = [&](bool armed) {
+    for (const auto& lane : lanes_) lane->env->fault_injector().set_armed(armed);
+  };
+
   // --- Initial fleet load (serial; the generator's rng is shared). ---
   workload::FleetWorkload fleet(options_.fleet);
+  arm_all(false);
   AUTOCOMP_RETURN_NOT_OK(fleet.SetupSharded(resolver, 0));
+  arm_all(true);
 
   // --- Lockstep hour epochs. ---
   const SimTime end_time = static_cast<SimTime>(options_.days) * kDay;
@@ -120,8 +139,10 @@ Result<FleetSimResult> FleetSimulation::Run() {
       // day's new tables and deal this day's events out to lanes. Both
       // are serial — the workload generator draws from one sequence.
       const int day = static_cast<int>(epoch / kDay);
+      arm_all(false);
       AUTOCOMP_RETURN_NOT_OK(
           fleet.OnboardNewTablesSharded(resolver, day, epoch));
+      arm_all(true);
       for (const auto& lane : lanes_) {
         assert(lane->next_event == lane->day_events.size());
         lane->day_events.clear();
@@ -162,6 +183,21 @@ Result<FleetSimResult> FleetSimulation::Run() {
       fleet_rpcs += lane->env->dfs().RpcsInHour(epoch);
     }
     epoch_load_.PublishHour(epoch, fleet_rpcs);
+
+    // Safety oracle under fault injection: no lane may have lost or
+    // duplicated a live file, broken its snapshot lineage, or drifted
+    // its quota/object accounting — checked after EVERY epoch so a
+    // violation is caught at the hour it happened, not at the end.
+    if (options_.check_invariants) {
+      const fault::InvariantChecker checker;
+      for (const auto& lane : lanes_) {
+        if (Status s = checker.CheckOrFail(lane->env->catalog()); !s.ok()) {
+          return Status::Internal("after epoch hour " +
+                                  std::to_string(epoch / kHour) + ", lane " +
+                                  lane->db + ": " + s.message());
+        }
+      }
+    }
   }
 
   // --- Wrap up: flush inflight work, merge metrics in lane order. ---
@@ -173,7 +209,17 @@ Result<FleetSimResult> FleetSimulation::Run() {
     result.events_executed += lane->executed;
     result.total_files += lane->env->TotalFileCount();
     result.open_calls += lane->env->dfs().AggregateStats().open_calls;
+    result.faults_injected += lane->env->fault_injector().total_injected();
     recorders.push_back(&lane->metrics);
+  }
+  if (options_.check_invariants) {
+    const fault::InvariantChecker checker;
+    for (const auto& lane : lanes_) {
+      if (Status s = checker.CheckOrFail(lane->env->catalog()); !s.ok()) {
+        return Status::Internal("after final flush, lane " + lane->db + ": " +
+                                s.message());
+      }
+    }
   }
   result.metrics = MetricsRecorder::Merge(recorders);
   return result;

@@ -65,6 +65,11 @@ struct FleetSimOptions {
   EnvironmentOptions env = {};
   workload::FleetOptions fleet = {};
   DriverOptions driver = {};
+  /// Run the fault::InvariantChecker over every lane at every hour
+  /// barrier (and once after the final flush); the replay fails fast
+  /// with Internal on the first violation. Test-only — a full-metadata
+  /// audit per lane per epoch is far too slow for benchmarking.
+  bool check_invariants = false;
 };
 
 /// \brief Outcome of a fleet replay.
@@ -77,6 +82,8 @@ struct FleetSimResult {
   int64_t total_files = 0;
   /// Fleet-wide NameNode open() calls across the run.
   int64_t open_calls = 0;
+  /// Faults injected across all lanes (0 in fault-free runs).
+  int64_t faults_injected = 0;
 };
 
 /// \brief Lockstep epoch driver over per-database lanes.

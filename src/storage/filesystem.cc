@@ -129,4 +129,18 @@ void DistributedFileSystem::SetEpochLoadView(const EpochLoadView* view) {
   for (const auto& shard : shards_) shard->SetEpochLoadView(view);
 }
 
+void DistributedFileSystem::SetFaultInjector(fault::FaultInjector* injector) {
+  for (const auto& shard : shards_) shard->SetFaultInjector(injector);
+}
+
+Status DistributedFileSystem::AuditAccounting() const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (Status s = shards_[i]->AuditAccounting(); !s.ok()) {
+      return Status::Internal("shard " + std::to_string(i) + ": " +
+                              s.message());
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace autocomp::storage

@@ -52,6 +52,13 @@ class DistributedFileSystem {
   /// view on every NameNode shard (see NameNode::SetEpochLoadView).
   void SetEpochLoadView(const EpochLoadView* view);
 
+  /// Installs (or clears, with nullptr) the fault injector on every
+  /// NameNode shard (see NameNode::SetFaultInjector).
+  void SetFaultInjector(fault::FaultInjector* injector);
+
+  /// Runs NameNode::AuditAccounting on every shard; first failure wins.
+  Status AuditAccounting() const;
+
   int num_shards() const { return static_cast<int>(shards_.size()); }
   NameNode& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
   const NameNode& shard(int i) const { return *shards_[static_cast<size_t>(i)]; }

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/counter_rng.h"
+#include "fault/fault_injector.h"
 #include "storage/epoch_load.h"
 
 namespace autocomp::storage {
@@ -70,6 +71,16 @@ Status NameNode::CreateFile(const std::string& path, int64_t size_bytes,
           " > " + std::to_string(max_objects) + ")");
     }
   }
+  // Injected quota breach: the create is rejected even though the quota
+  // arithmetic above admitted it (modelling stale quota caches and
+  // admin-tightened quotas the paper's §7 pain points describe).
+  if (fault_ != nullptr) {
+    const fault::FaultKind kind = fault_->Arm(fault::kSiteStorageCreate, path);
+    if (kind == fault::FaultKind::kQuotaExceeded) {
+      return fault::FaultInjector::ToStatus(kind, fault::kSiteStorageCreate,
+                                            path);
+    }
+  }
   AddDirectoriesFor(path);
   files_.emplace(path, FileInfo{path, size_bytes, record_count,
                                 clock_->Now()});
@@ -102,6 +113,14 @@ Result<FileInfo> NameNode::Open(const std::string& path) {
   const SimTime hour = (clock_->Now() / kHour) * kHour;
   ++open_calls_by_hour_[hour];
   CountRpc();
+  // Injected read timeout, on top of the organic load model. Counted in
+  // stats().timeouts so callers' retry paths see one failure mode.
+  if (fault_ != nullptr &&
+      fault_->Arm(fault::kSiteStorageOpen, path) == fault::FaultKind::kTimeout) {
+    ++stats_.timeouts;
+    return fault::FaultInjector::ToStatus(fault::FaultKind::kTimeout,
+                                          fault::kSiteStorageOpen, path);
+  }
   const double p_timeout = CurrentTimeoutProbability();
   bool timed_out = false;
   if (p_timeout > 0.0) {
@@ -137,6 +156,47 @@ Result<FileInfo> NameNode::Stat(const std::string& path) const {
 
 bool NameNode::Exists(const std::string& path) const {
   return files_.count(path) > 0;
+}
+
+void NameNode::ForEachFile(
+    const std::function<void(const FileInfo&)>& fn) const {
+  for (const auto& [path, info] : files_) fn(info);
+}
+
+Status NameNode::AuditAccounting() const {
+  if (stats_.file_count != static_cast<int64_t>(files_.size())) {
+    return Status::Internal(
+        "file_count counter " + std::to_string(stats_.file_count) +
+        " != actual " + std::to_string(files_.size()));
+  }
+  if (stats_.total_objects !=
+      static_cast<int64_t>(files_.size() + dirs_.size())) {
+    return Status::Internal(
+        "total_objects counter " + std::to_string(stats_.total_objects) +
+        " != actual " + std::to_string(files_.size() + dirs_.size()));
+  }
+  // Recount per-directory contained files from scratch.
+  std::map<std::string, int64_t> recount;
+  for (const auto& [dir, count] : dirs_) recount.emplace(dir, 0);
+  for (const auto& [path, info] : files_) {
+    for (const auto& dir : ParentDirs(path)) {
+      const auto it = recount.find(dir);
+      if (it == recount.end()) {
+        return Status::Internal("untracked parent directory " + dir +
+                                " of file " + path);
+      }
+      ++it->second;
+    }
+  }
+  for (const auto& [dir, count] : dirs_) {
+    const int64_t actual = recount[dir];
+    if (count != actual) {
+      return Status::Internal("directory " + dir + " tally " +
+                              std::to_string(count) + " != recount " +
+                              std::to_string(actual));
+    }
+  }
+  return Status::OK();
 }
 
 std::vector<FileInfo> NameNode::ListFiles(const std::string& dir_prefix) {

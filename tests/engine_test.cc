@@ -3,13 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "catalog/catalog.h"
 #include "catalog/control_plane.h"
 #include "common/clock.h"
+#include "common/counter_rng.h"
 #include "engine/cluster.h"
 #include "engine/compaction_runner.h"
 #include "engine/query_engine.h"
 #include "engine/write_planner.h"
+#include "fault/fault_injector.h"
 #include "workload/tpch.h"
 
 namespace autocomp::engine {
@@ -468,6 +472,164 @@ TEST_F(CompactionFixture, GbHoursCoverReadAndWriteWork) {
        compaction_cluster_.options().rewrite_bytes_per_hour);
   EXPECT_DOUBLE_EQ(measured, full);
   EXPECT_GT(measured, estimate);
+}
+
+// --------------------------------------- CompactionRunner under faults
+
+class FaultedCompactionFixture : public CompactionFixture {
+ protected:
+  /// Installs an enabled injector with `schedule` into storage, catalog
+  /// (commit site), and the runner. Called AFTER the workload is staged
+  /// so scheduled hit counts start at the first compaction-path arm.
+  void ArmFaults(fault::FaultSchedule schedule) {
+    fault::FaultInjectorOptions options;
+    options.enabled = true;
+    options.schedule = std::move(schedule);
+    injector_ = std::make_unique<fault::FaultInjector>(options);
+    dfs_.SetFaultInjector(injector_.get());
+    catalog_.SetFaultInjector(injector_.get());
+    runner_.SetFaultInjector(injector_.get());
+  }
+
+  std::unique_ptr<fault::FaultInjector> injector_;
+};
+
+TEST_F(FaultedCompactionFixture, InjectedCasRaceIsRetriedWithBackoff) {
+  Fragment("m=2024-01");
+  fault::FaultSchedule schedule;
+  schedule.Add(fault::kSiteLstCommit, 1, fault::FaultKind::kCasRaceConflict);
+  ArmFaults(std::move(schedule));
+
+  CompactionRequest request;
+  request.table = "db.t";
+  auto pending = runner_.Prepare(request, kHour);
+  ASSERT_TRUE(pending.ok() && pending->result.attempted);
+  const SimTime end_before = pending->result.end_time;
+
+  const CompactionResult result = runner_.Finalize(std::move(pending).value());
+  EXPECT_TRUE(result.committed) << result.status;
+  EXPECT_EQ(result.commit_retries, 1);
+  EXPECT_GT(result.backoff_seconds, 0.0);
+  // Backoff is charged to duration, never to the simulated landing time —
+  // the differential convergence contract.
+  EXPECT_EQ(result.end_time, end_before);
+  EXPECT_GE(result.duration_seconds, result.backoff_seconds);
+  EXPECT_EQ(runner_.total_retries(), 1);
+  EXPECT_EQ(runner_.total_abandoned(), 0);
+  EXPECT_EQ(runner_.total_conflicts(), 0) << "a recovered race is no conflict";
+}
+
+TEST_F(FaultedCompactionFixture, BackoffIsDeterministicAcrossRuns) {
+  Fragment("m=2024-01");
+  fault::FaultSchedule schedule;
+  schedule.Add(fault::kSiteLstCommit, 1, fault::FaultKind::kCasRaceConflict);
+  ArmFaults(std::move(schedule));
+  CompactionRequest request;
+  request.table = "db.t";
+  auto pending = runner_.Prepare(request, kHour);
+  ASSERT_TRUE(pending.ok());
+  const CompactionResult result = runner_.Finalize(std::move(pending).value());
+  ASSERT_TRUE(result.committed);
+  // Same (table, submit time, attempt) => the policy must reproduce the
+  // identical jittered delay.
+  const uint64_t key =
+      CounterRng::Mix(CounterRng::HashString(request.table)) ^
+      static_cast<uint64_t>(result.start_time);
+  EXPECT_DOUBLE_EQ(result.backoff_seconds,
+                   runner_.retry_policy().BackoffSeconds(key, 1));
+}
+
+TEST_F(FaultedCompactionFixture, InjectedValidationAbortIsTerminal) {
+  Fragment("m=2024-01");
+  fault::FaultSchedule schedule;
+  schedule.Add(fault::kSiteLstCommit, 1, fault::FaultKind::kValidationAbort);
+  ArmFaults(std::move(schedule));
+
+  CompactionRequest request;
+  request.table = "db.t";
+  auto pending = runner_.Prepare(request, kHour);
+  ASSERT_TRUE(pending.ok() && pending->result.attempted);
+  const std::vector<lst::DataFile> outputs = pending->outputs;
+  ASSERT_FALSE(outputs.empty());
+
+  const CompactionResult result = runner_.Finalize(std::move(pending).value());
+  EXPECT_FALSE(result.committed);
+  EXPECT_TRUE(result.conflict);
+  EXPECT_TRUE(result.abandoned);
+  EXPECT_EQ(result.commit_retries, 0) << "terminal aborts must not retry";
+  EXPECT_EQ(runner_.total_abandoned(), 1);
+  // Orphan outputs were reaped; the inputs are still the live set.
+  for (const lst::DataFile& f : outputs) {
+    EXPECT_FALSE(dfs_.Exists(f.path)) << f.path;
+  }
+  for (const lst::DataFile& f : (*catalog_.LoadTable("db.t"))->LiveFiles()) {
+    EXPECT_TRUE(dfs_.Exists(f.path));
+  }
+}
+
+TEST_F(FaultedCompactionFixture, RunnerCrashRewritesAndCommits) {
+  Fragment("m=2024-01");
+  const int64_t live_before = (*catalog_.LoadTable("db.t"))->live_file_count();
+  fault::FaultSchedule schedule;
+  schedule.Add(fault::kSiteEngineRunner, 1, fault::FaultKind::kRunnerCrash);
+  ArmFaults(std::move(schedule));
+
+  CompactionRequest request;
+  request.table = "db.t";
+  auto pending = runner_.Prepare(request, kHour);
+  ASSERT_TRUE(pending.ok() && pending->result.attempted);
+  EXPECT_GT(pending->result.backoff_seconds, 0.0) << "crash retry is free?";
+  EXPECT_EQ(runner_.total_retries(), 1);
+
+  const CompactionResult result = runner_.Finalize(std::move(pending).value());
+  EXPECT_TRUE(result.committed) << result.status;
+  EXPECT_LT((*catalog_.LoadTable("db.t"))->live_file_count(), live_before);
+  // Nothing the crashed attempt wrote survives in storage: every file is
+  // either live or an input awaiting retention.
+  for (const lst::DataFile& f : (*catalog_.LoadTable("db.t"))->LiveFiles()) {
+    EXPECT_TRUE(dfs_.Exists(f.path));
+  }
+  EXPECT_EQ(runner_.total_abandoned(), 0);
+}
+
+TEST_F(FaultedCompactionFixture, RepeatedCrashesExhaustBudgetAndAbandon) {
+  Fragment("m=2024-01");
+  const int64_t files_before = dfs_.AggregateStats().file_count;
+  fault::FaultSchedule schedule;
+  // Crash every attempt the default policy (max_attempts = 4) will make.
+  for (uint64_t hit = 1; hit <= 4; ++hit) {
+    schedule.Add(fault::kSiteEngineRunner, hit, fault::FaultKind::kRunnerCrash);
+  }
+  ArmFaults(std::move(schedule));
+
+  CompactionRequest request;
+  request.table = "db.t";
+  auto pending = runner_.Prepare(request, kHour);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_FALSE(pending->result.attempted);
+  EXPECT_TRUE(pending->result.abandoned);
+  EXPECT_FALSE(pending->result.status.ok());
+  EXPECT_EQ(pending->result.bytes_produced, 0);
+  EXPECT_EQ(runner_.total_abandoned(), 1);
+  // All partial outputs of every attempt were deleted.
+  EXPECT_EQ(dfs_.AggregateStats().file_count, files_before);
+}
+
+TEST_F(FaultedCompactionFixture, InjectedQuotaExhaustionAbandons) {
+  Fragment("m=2024-01");
+  const int64_t files_before = dfs_.AggregateStats().file_count;
+  fault::FaultSchedule schedule;
+  schedule.Add(fault::kSiteStorageCreate, 1, fault::FaultKind::kQuotaExceeded);
+  ArmFaults(std::move(schedule));
+
+  CompactionRequest request;
+  request.table = "db.t";
+  auto pending = runner_.Prepare(request, kHour);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_FALSE(pending->result.attempted);
+  EXPECT_TRUE(pending->result.abandoned);
+  EXPECT_TRUE(pending->result.status.IsResourceExhausted());
+  EXPECT_EQ(dfs_.AggregateStats().file_count, files_before);
 }
 
 }  // namespace

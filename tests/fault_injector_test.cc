@@ -1,0 +1,212 @@
+// Unit tests for src/fault: the counter-RNG fault injector (schedules,
+// profiles, arming gate, counters, Status mapping) and the deterministic
+// exponential-backoff retry policy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "fault/retry_policy.h"
+
+namespace autocomp::fault {
+namespace {
+
+TEST(FaultInjectorTest, DisabledInjectorIsInert) {
+  FaultInjector injector;  // default options: enabled = false
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.Arm(kSiteLstCommit, "db.t"), FaultKind::kNone);
+  }
+  EXPECT_EQ(injector.total_hits(), 0);
+  EXPECT_EQ(injector.total_injected(), 0);
+  EXPECT_TRUE(injector.Counters().empty());
+}
+
+TEST(FaultInjectorTest, EnabledButEmptyInjectsNothing) {
+  // The zero-fault parity configuration: armed, counting, never firing.
+  FaultInjectorOptions options;
+  options.enabled = true;
+  FaultInjector injector(options);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.Arm(kSiteStorageOpen, "/data/db/t/f.parquet"),
+              FaultKind::kNone);
+  }
+  EXPECT_EQ(injector.total_hits(), 100);
+  EXPECT_EQ(injector.total_injected(), 0);
+}
+
+TEST(FaultInjectorTest, ScheduleFiresOnExactHit) {
+  FaultInjectorOptions options;
+  options.enabled = true;
+  options.schedule.Add(kSiteLstCommit, 3, FaultKind::kCasRaceConflict);
+  FaultInjector injector(options);
+  std::vector<FaultKind> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(injector.Arm(kSiteLstCommit, "db.t"));
+  const std::vector<FaultKind> want = {
+      FaultKind::kNone,           FaultKind::kNone, FaultKind::kCasRaceConflict,
+      FaultKind::kNone,           FaultKind::kNone, FaultKind::kNone};
+  EXPECT_EQ(fired, want);
+  const auto counters = injector.Counters();
+  ASSERT_EQ(counters.count(kSiteLstCommit), 1u);
+  EXPECT_EQ(counters.at(kSiteLstCommit).hits, 6);
+  EXPECT_EQ(counters.at(kSiteLstCommit).injected, 1);
+}
+
+TEST(FaultInjectorTest, ScheduleResourceFilterCountsMatchingHitsOnly) {
+  FaultInjectorOptions options;
+  options.enabled = true;
+  options.schedule.Add(kSiteLstCommit, 2, FaultKind::kValidationAbort,
+                       "db.victim");
+  FaultInjector injector(options);
+  // Non-matching arms must not advance the filtered count.
+  EXPECT_EQ(injector.Arm(kSiteLstCommit, "db.other"), FaultKind::kNone);
+  EXPECT_EQ(injector.Arm(kSiteLstCommit, "db.victim"), FaultKind::kNone);
+  EXPECT_EQ(injector.Arm(kSiteLstCommit, "db.other"), FaultKind::kNone);
+  EXPECT_EQ(injector.Arm(kSiteLstCommit, "db.victim"),
+            FaultKind::kValidationAbort);
+  EXPECT_EQ(injector.Arm(kSiteLstCommit, "db.victim"), FaultKind::kNone);
+}
+
+TEST(FaultInjectorTest, SchedulesOnDistinctSitesAreIndependent) {
+  FaultInjectorOptions options;
+  options.enabled = true;
+  options.schedule.Add(kSiteStorageOpen, 1, FaultKind::kTimeout);
+  options.schedule.Add(kSiteEngineRunner, 2, FaultKind::kRunnerCrash);
+  FaultInjector injector(options);
+  EXPECT_EQ(injector.Arm(kSiteEngineRunner, "db.t"), FaultKind::kNone);
+  EXPECT_EQ(injector.Arm(kSiteStorageOpen, "/f"), FaultKind::kTimeout);
+  EXPECT_EQ(injector.Arm(kSiteEngineRunner, "db.t"), FaultKind::kRunnerCrash);
+}
+
+TEST(FaultInjectorTest, ProfileDrawsAreAPureFunctionOfHitIndex) {
+  FaultInjectorOptions options;
+  options.enabled = true;
+  options.seed = 1234;
+  options.profile.sites[kSiteStorageOpen] = {{0.3, FaultKind::kTimeout}};
+  // Two injectors, same options: arming the same (site, resource)
+  // sequence yields the same kinds even when injector B interleaves
+  // arms of unrelated sites and resources.
+  FaultInjector a(options);
+  FaultInjector b(options);
+  int injected = 0;
+  for (int i = 0; i < 200; ++i) {
+    (void)b.Arm(kSiteLstCommit, "db.noise");  // unrelated site
+    const FaultKind ka = a.Arm(kSiteStorageOpen, "/f1");
+    const FaultKind kb = b.Arm(kSiteStorageOpen, "/f1");
+    ASSERT_EQ(ka, kb) << "draw " << i << " depends on interleaving";
+    if (ka != FaultKind::kNone) ++injected;
+  }
+  // p=0.3 over 200 draws: the profile path must actually fire.
+  EXPECT_GT(injected, 20);
+  EXPECT_LT(injected, 120);
+}
+
+TEST(FaultInjectorTest, ProfileDrawsDependOnSeed) {
+  FaultInjectorOptions options;
+  options.enabled = true;
+  options.profile.sites[kSiteStorageOpen] = {{0.5, FaultKind::kTimeout}};
+  options.seed = 1;
+  FaultInjector a(options);
+  options.seed = 2;
+  FaultInjector b(options);
+  bool differs = false;
+  for (int i = 0; i < 64 && !differs; ++i) {
+    differs = a.Arm(kSiteStorageOpen, "/f") != b.Arm(kSiteStorageOpen, "/f");
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjectorTest, DisarmedGateSuppressesAndDoesNotCount) {
+  FaultInjectorOptions options;
+  options.enabled = true;
+  options.schedule.Add(kSiteLstCommit, 1, FaultKind::kCasRaceConflict);
+  FaultInjector injector(options);
+  injector.set_armed(false);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(injector.Arm(kSiteLstCommit, "db.t"), FaultKind::kNone);
+  }
+  EXPECT_EQ(injector.total_hits(), 0) << "disarmed arms must not count";
+  injector.set_armed(true);
+  // The schedule's hit 1 is still pending — the first armed hit fires it.
+  EXPECT_EQ(injector.Arm(kSiteLstCommit, "db.t"),
+            FaultKind::kCasRaceConflict);
+}
+
+TEST(FaultInjectorTest, ToStatusMapsKindsToCanonicalCodes) {
+  EXPECT_TRUE(FaultInjector::ToStatus(FaultKind::kNone, "s", "r").ok());
+  EXPECT_TRUE(
+      FaultInjector::ToStatus(FaultKind::kTimeout, "s", "r").IsTimedOut());
+  EXPECT_TRUE(FaultInjector::ToStatus(FaultKind::kQuotaExceeded, "s", "r")
+                  .IsResourceExhausted());
+  for (const FaultKind kind :
+       {FaultKind::kCasRaceConflict, FaultKind::kValidationAbort,
+        FaultKind::kDisjointRewriteAbort}) {
+    EXPECT_TRUE(FaultInjector::ToStatus(kind, "s", "r").IsCommitConflict());
+  }
+  const Status crash =
+      FaultInjector::ToStatus(FaultKind::kRunnerCrash, "engine.runner", "db.t");
+  EXPECT_FALSE(crash.ok());
+  // Messages carry the site and resource so logs can tell injected
+  // failures from organic ones.
+  EXPECT_NE(crash.message().find("engine.runner"), std::string::npos);
+  EXPECT_NE(crash.message().find("db.t"), std::string::npos);
+  EXPECT_NE(crash.message().find("injected"), std::string::npos);
+}
+
+TEST(FaultProfileTest, PresetsByName) {
+  EXPECT_TRUE(FaultProfileByName("none")->empty());
+  EXPECT_FALSE(FaultProfileByName("timeouts")->empty());
+  EXPECT_FALSE(FaultProfileByName("conflicts")->empty());
+  const auto chaos = FaultProfileByName("chaos");
+  ASSERT_TRUE(chaos.ok());
+  EXPECT_GE(chaos->sites.size(), 4u);
+  EXPECT_TRUE(FaultProfileByName("bogus").status().IsInvalidArgument());
+}
+
+// ----------------------------------------------------------- RetryPolicy
+
+TEST(RetryPolicyTest, BackoffIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.base_backoff_seconds = 2.0;
+  policy.max_backoff_seconds = 60.0;
+  policy.jitter_fraction = 0.25;
+  policy.seed = 99;
+  const uint64_t key = 0xabcdef;
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const double d = policy.BackoffSeconds(key, attempt);
+    EXPECT_EQ(d, policy.BackoffSeconds(key, attempt)) << "not a pure function";
+    // Nominal delay doubles per attempt, clamped, then jittered +/-25%.
+    const double nominal =
+        std::min(60.0, 2.0 * static_cast<double>(1 << (attempt - 1)));
+    EXPECT_GE(d, nominal * 0.75 - 1e-9) << "attempt " << attempt;
+    EXPECT_LE(d, nominal * 1.25 + 1e-9) << "attempt " << attempt;
+  }
+}
+
+TEST(RetryPolicyTest, JitterVariesByKeyAndSeed) {
+  RetryPolicy policy;
+  bool differs = false;
+  for (uint64_t key = 0; key < 16 && !differs; ++key) {
+    differs = policy.BackoffSeconds(key, 1) != policy.BackoffSeconds(key + 1, 1);
+  }
+  EXPECT_TRUE(differs) << "jitter degenerated to a constant";
+  RetryPolicy other = policy;
+  other.seed = policy.seed + 1;
+  EXPECT_NE(policy.BackoffSeconds(7, 2), other.BackoffSeconds(7, 2));
+}
+
+TEST(RetryPolicyTest, ZeroJitterIsExactExponential) {
+  RetryPolicy policy;
+  policy.jitter_fraction = 0;
+  EXPECT_EQ(policy.BackoffSeconds(1, 1), 2.0);
+  EXPECT_EQ(policy.BackoffSeconds(1, 2), 4.0);
+  EXPECT_EQ(policy.BackoffSeconds(1, 3), 8.0);
+  EXPECT_EQ(policy.BackoffSeconds(1, 10), 60.0);  // clamped
+}
+
+}  // namespace
+}  // namespace autocomp::fault

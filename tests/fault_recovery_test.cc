@@ -1,0 +1,198 @@
+// Differential fault-recovery tests: a run with injected faults plus the
+// bounded-retry machinery must converge to the SAME table end state as a
+// fault-free run. This is the paper-level safety argument for running
+// compaction autonomously at fleet scale — transient failures (CAS
+// races, runner crashes, lost commit-listener events) may cost retries
+// and wall-clock, but never change what the tables end up containing.
+//
+// End states are compared with fault::CatalogEndState, a path-free
+// content digest (partition | size | records | content kind), because
+// crash retries legitimately produce fresh output file names.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "fault/fault_injector.h"
+#include "fault/invariant_checker.h"
+#include "sim/driver.h"
+#include "sim/environment.h"
+#include "sim/metrics.h"
+#include "sim/presets.h"
+#include "workload/cab.h"
+#include "workload/tpch.h"
+
+namespace autocomp {
+namespace {
+
+struct RunOutcome {
+  std::map<std::string, std::string> end_state;
+  int64_t injected = 0;
+  int64_t runner_retries = 0;
+  int64_t abandoned = 0;
+  int64_t commits = 0;
+  int64_t client_conflicts = 0;
+};
+
+workload::CabOptions SmallCab() {
+  workload::CabOptions options;
+  options.num_databases = 3;
+  options.duration = 3 * kHour;
+  return options;
+}
+
+/// One full CAB run: setup (injections disarmed), 3 hours of streams with
+/// the given compaction strategy, invariant audit, end-state digest.
+RunOutcome RunScenario(sim::ScopeStrategy scope,
+                       const fault::FaultSchedule& schedule,
+                       bool enable_faults, bool deferred) {
+  sim::EnvironmentOptions env_options;
+  env_options.fault.enabled = enable_faults;
+  env_options.fault.seed = 5;
+  env_options.fault.schedule = schedule;
+  sim::SimEnvironment env(env_options);
+
+  env.fault_injector().set_armed(false);
+  workload::CabWorkload cab(SmallCab());
+  for (const std::string& db : cab.DatabaseNames()) {
+    EXPECT_TRUE(workload::SetupTpchDatabase(
+                    &env.catalog(), &env.query_engine(), db, 4 * kGiB,
+                    engine::UntunedUserJobProfile(), 0)
+                    .ok());
+  }
+  env.fault_injector().set_armed(true);
+
+  sim::StrategyPreset preset;
+  preset.scope = scope;
+  preset.k = 50;
+  preset.deferred_act = deferred;
+  auto service = sim::MakeMoopService(&env, preset);
+  sim::MetricsRecorder metrics;
+  sim::DriverOptions driver_options;
+  driver_options.deferred_compaction = deferred;
+  sim::EventDriver driver(&env, &metrics, driver_options);
+  driver.AttachService(service.get());
+  const Status run = driver.Run(cab.GenerateEvents(), 3 * kHour);
+  EXPECT_TRUE(run.ok()) << run;
+
+  // Safety net regardless of what was injected: no live-file loss or
+  // duplication, consistent accounting, acyclic lineage.
+  const fault::InvariantChecker checker;
+  const Status invariants = checker.CheckOrFail(env.catalog());
+  EXPECT_TRUE(invariants.ok()) << invariants;
+
+  RunOutcome out;
+  out.end_state = fault::CatalogEndState(env.catalog());
+  out.injected = env.fault_injector().total_injected();
+  out.runner_retries = env.compaction_runner().total_retries();
+  out.abandoned = env.compaction_runner().total_abandoned();
+  out.commits = env.compaction_runner().total_committed();
+  out.client_conflicts = metrics.TotalCount("client_conflicts");
+  return out;
+}
+
+constexpr sim::ScopeStrategy kAllScopes[] = {
+    sim::ScopeStrategy::kTable, sim::ScopeStrategy::kHybrid,
+    sim::ScopeStrategy::kPartition, sim::ScopeStrategy::kSnapshot};
+
+TEST(FaultRecoveryTest, InjectedCasRacesConvergeForEveryGenerator) {
+  // CAS races are retryable by design: user writes rebase via
+  // CommitWithRetries, compaction commits via the runner's policy loop
+  // with re-validation. Hits are spaced further apart than any retry
+  // budget so no chain of injections can exhaust one.
+  fault::FaultSchedule schedule;
+  for (const uint64_t hit : {2ull, 8ull, 14ull, 20ull, 26ull, 32ull}) {
+    schedule.Add(fault::kSiteLstCommit, hit,
+                 fault::FaultKind::kCasRaceConflict);
+  }
+  for (const sim::ScopeStrategy scope : kAllScopes) {
+    const RunOutcome baseline =
+        RunScenario(scope, {}, /*enable_faults=*/false, /*deferred=*/true);
+    const RunOutcome faulted =
+        RunScenario(scope, schedule, /*enable_faults=*/true,
+                    /*deferred=*/true);
+    EXPECT_GT(faulted.injected, 0)
+        << "schedule never fired for scope " << static_cast<int>(scope);
+    EXPECT_GT(faulted.runner_retries + faulted.client_conflicts, 0)
+        << "injected races were never retried";
+    EXPECT_EQ(faulted.abandoned, 0)
+        << "a retryable race was treated as terminal";
+    EXPECT_EQ(baseline.commits, faulted.commits);
+    const std::string diff =
+        fault::DiffEndStates(baseline.end_state, faulted.end_state);
+    EXPECT_TRUE(diff.empty())
+        << "scope " << static_cast<int>(scope) << " diverged:\n" << diff;
+  }
+}
+
+TEST(FaultRecoveryTest, RunnerCrashesConvergeWithFreshOutputs) {
+  // Mid-job runner crashes abandon partial outputs (cleaned up, verified
+  // by the invariant audit inside RunScenario) and retry with fresh file
+  // names; the content digest must still match the crash-free run.
+  // Synchronous compaction keeps the timeline interleaving identical so
+  // the comparison isolates the crash-retry path itself.
+  fault::FaultSchedule schedule;
+  schedule.Add(fault::kSiteEngineRunner, 1, fault::FaultKind::kRunnerCrash);
+  schedule.Add(fault::kSiteEngineRunner, 4, fault::FaultKind::kRunnerCrash);
+  const RunOutcome baseline =
+      RunScenario(sim::ScopeStrategy::kHybrid, {}, /*enable_faults=*/false,
+                  /*deferred=*/false);
+  const RunOutcome faulted =
+      RunScenario(sim::ScopeStrategy::kHybrid, schedule,
+                  /*enable_faults=*/true, /*deferred=*/false);
+  EXPECT_GT(faulted.injected, 0);
+  EXPECT_GT(faulted.runner_retries, 0) << "crashes were not retried";
+  EXPECT_EQ(faulted.abandoned, 0);
+  EXPECT_EQ(baseline.commits, faulted.commits);
+  const std::string diff =
+      fault::DiffEndStates(baseline.end_state, faulted.end_state);
+  EXPECT_TRUE(diff.empty()) << diff;
+}
+
+TEST(FaultRecoveryTest, DroppedAndDuplicatedEventsConverge) {
+  // The incremental stats index consumes commit-listener events; dropped
+  // events leave it lagging, duplicated ones replay a version it already
+  // covers. Both must be absorbed (version-reconciled at read time)
+  // without changing a single compaction decision.
+  fault::FaultSchedule schedule;
+  for (const uint64_t hit : {1ull, 5ull, 9ull, 13ull}) {
+    schedule.Add(fault::kSiteCatalogCommitEvent, hit,
+                 fault::FaultKind::kDropEvent);
+  }
+  for (const uint64_t hit : {3ull, 7ull, 11ull, 15ull}) {
+    schedule.Add(fault::kSiteCatalogCommitEvent, hit,
+                 fault::FaultKind::kDuplicateEvent);
+  }
+  const RunOutcome baseline =
+      RunScenario(sim::ScopeStrategy::kHybrid, {}, /*enable_faults=*/false,
+                  /*deferred=*/true);
+  const RunOutcome faulted = RunScenario(
+      sim::ScopeStrategy::kHybrid, schedule, /*enable_faults=*/true,
+      /*deferred=*/true);
+  EXPECT_GT(faulted.injected, 0);
+  EXPECT_EQ(baseline.commits, faulted.commits);
+  const std::string diff =
+      fault::DiffEndStates(baseline.end_state, faulted.end_state);
+  EXPECT_TRUE(diff.empty()) << diff;
+}
+
+TEST(FaultRecoveryTest, TerminalValidationAbortAbandonsWithoutDamage) {
+  // A validation abort is terminal: the affected operation is lost (a
+  // user write fails, or a compaction is abandoned with its outputs
+  // reaped), so the end state legitimately differs from fault-free. The
+  // contract is weaker but non-negotiable: every invariant still holds
+  // (RunScenario audits them) and nothing is retried pointlessly.
+  fault::FaultSchedule schedule;
+  schedule.Add(fault::kSiteLstCommit, 2, fault::FaultKind::kValidationAbort);
+  schedule.Add(fault::kSiteLstCommit, 6, fault::FaultKind::kValidationAbort);
+  const RunOutcome faulted =
+      RunScenario(sim::ScopeStrategy::kHybrid, schedule,
+                  /*enable_faults=*/true, /*deferred=*/true);
+  EXPECT_GT(faulted.injected, 0);
+  EXPECT_EQ(faulted.runner_retries, 0)
+      << "terminal aborts must not consume retry budget";
+}
+
+}  // namespace
+}  // namespace autocomp

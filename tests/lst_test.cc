@@ -7,6 +7,7 @@
 #include <map>
 
 #include "common/clock.h"
+#include "fault/fault_injector.h"
 #include "lst/metadata_tables.h"
 #include "lst/partition.h"
 #include "lst/table.h"
@@ -151,9 +152,14 @@ class FakeStore final : public MetadataStore {
   void Put(const std::string& name, TableMetadataPtr meta) {
     tables_[name] = std::move(meta);
   }
+  fault::FaultInjector* fault_injector() const override { return injector_; }
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
 
  private:
   std::map<std::string, TableMetadataPtr> tables_;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 DataFile MakeFile(const std::string& path, const std::string& partition,
@@ -475,6 +481,256 @@ TEST_F(TransactionTest, DeleteRemovesFiles) {
   EXPECT_EQ((*meta)->live_file_count(), 1);
   EXPECT_EQ((*meta)->current_snapshot()->operation,
             SnapshotOperation::kDelete);
+}
+
+// ---------------------------------------------- Structured conflicts
+
+/// Delegating store whose next commits fail with CommitConflict even
+/// though the version matched at load time — the raw pointer-swap (CAS)
+/// race a single-threaded test cannot produce organically.
+class RacyStore final : public MetadataStore {
+ public:
+  explicit RacyStore(FakeStore* inner) : inner_(inner) {}
+  Result<TableMetadataPtr> LoadTable(const std::string& name) const override {
+    return inner_->LoadTable(name);
+  }
+  Status CommitTable(const std::string& name, int64_t base_version,
+                     TableMetadataPtr new_metadata) override {
+    if (fail_commits_ > 0) {
+      --fail_commits_;
+      return Status::CommitConflict("metadata pointer moved");
+    }
+    return inner_->CommitTable(name, base_version, std::move(new_metadata));
+  }
+  void FailNextCommits(int n) { fail_commits_ = n; }
+
+ private:
+  FakeStore* inner_;
+  int fail_commits_ = 0;
+};
+
+TEST_F(TransactionTest, CasRaceIsRecordedAsRetryableAndClearedOnSuccess) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "p", 1)}).ok());
+  RacyStore racy(&store_);
+  Table table(&racy, "db.t", &clock_);
+  auto txn = table.NewTransaction();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(txn->Append({MakeFile("/b", "p", 1)}).ok());
+  racy.FailNextCommits(1);
+  EXPECT_TRUE(txn->Commit().status().IsCommitConflict());
+  EXPECT_EQ(txn->last_conflict().kind, ConflictKind::kCasRace);
+  EXPECT_TRUE(txn->last_conflict().retryable());
+  EXPECT_EQ(txn->last_conflict().table, "db.t");
+  // The next attempt reloads, lands, and clears the conflict record.
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(txn->last_conflict().kind, ConflictKind::kNone);
+}
+
+TEST_F(TransactionTest, PersistentRacesReportRetriesExhausted) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "p", 1)}).ok());
+  RacyStore racy(&store_);
+  Table table(&racy, "db.t", &clock_);
+  auto txn = table.NewTransaction();
+  ASSERT_TRUE(txn->Append({MakeFile("/b", "p", 1)}).ok());
+  racy.FailNextCommits(10);
+  EXPECT_TRUE(txn->CommitWithRetries(2).status().IsCommitConflict());
+  EXPECT_EQ(txn->last_conflict().kind, ConflictKind::kRetriesExhausted);
+  // The budget is spent: reporting this retryable would loop callers.
+  EXPECT_FALSE(txn->last_conflict().retryable());
+}
+
+TEST_F(TransactionTest, GhostRewriteReportsReplacedNotLive) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/s1", "p", 10)}).ok());
+  Table table = MakeTable();
+  auto txn = table.NewTransaction();
+  ASSERT_TRUE(txn->RewriteFiles({"/ghost"}, {MakeFile("/c", "p", 5)}).ok());
+  EXPECT_TRUE(txn->Commit().status().IsCommitConflict());
+  EXPECT_EQ(txn->last_conflict().kind, ConflictKind::kReplacedNotLive);
+  EXPECT_FALSE(txn->last_conflict().retryable());
+}
+
+TEST_F(TransactionTest, RemovedInputReportsInputRemoved) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/s1", "m=1995-01", 10),
+                           MakeFile("/s2", "m=1995-01", 20)})
+                  .ok());
+  Table table = MakeTable();
+  auto rewrite = table.NewTransaction(ValidationMode::kPartitionAware);
+  ASSERT_TRUE(
+      rewrite->RewriteFiles({"/s1"}, {MakeFile("/c", "m=1995-01", 9)}).ok());
+  {
+    auto user = table.NewTransaction();
+    ASSERT_TRUE(
+        user->Overwrite({"/s1"}, {MakeFile("/u", "m=1995-01", 9)}).ok());
+    ASSERT_TRUE(user->Commit().ok());
+  }
+  EXPECT_TRUE(rewrite->Commit().status().IsCommitConflict());
+  EXPECT_EQ(rewrite->last_conflict().kind, ConflictKind::kInputRemoved);
+  EXPECT_FALSE(rewrite->last_conflict().retryable());
+  EXPECT_NE(rewrite->last_conflict().detail.find("/s1"), std::string::npos);
+}
+
+TEST_F(TransactionTest, StrictModeDisjointRewriteReportsStrictTableLevel) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a1", "m=1995-01", 10),
+                           MakeFile("/b1", "m=1997-09", 10)})
+                  .ok());
+  Table table = MakeTable();
+  auto rewrite = table.NewTransaction(ValidationMode::kStrictTableLevel);
+  ASSERT_TRUE(
+      rewrite->RewriteFiles({"/a1"}, {MakeFile("/ca", "m=1995-01", 10)}).ok());
+  {
+    auto other = table.NewTransaction(ValidationMode::kStrictTableLevel);
+    ASSERT_TRUE(
+        other->RewriteFiles({"/b1"}, {MakeFile("/cb", "m=1997-09", 10)}).ok());
+    ASSERT_TRUE(other->Commit().ok());
+  }
+  EXPECT_TRUE(rewrite->Commit().status().IsCommitConflict());
+  EXPECT_EQ(rewrite->last_conflict().kind, ConflictKind::kStrictTableLevel);
+  EXPECT_FALSE(rewrite->last_conflict().retryable());
+}
+
+TEST_F(TransactionTest, OverlappingRewriteReportsPartitionOverlap) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/s1", "m=1995-01", 10),
+                           MakeFile("/s2", "m=1995-01", 20)})
+                  .ok());
+  Table table = MakeTable();
+  auto rewrite = table.NewTransaction(ValidationMode::kPartitionAware);
+  ASSERT_TRUE(
+      rewrite->RewriteFiles({"/s1"}, {MakeFile("/c", "m=1995-01", 10)}).ok());
+  {
+    auto other = table.NewTransaction(ValidationMode::kPartitionAware);
+    ASSERT_TRUE(
+        other->RewriteFiles({"/s2"}, {MakeFile("/c2", "m=1995-01", 20)}).ok());
+    ASSERT_TRUE(other->Commit().ok());
+  }
+  EXPECT_TRUE(rewrite->Commit().status().IsCommitConflict());
+  EXPECT_EQ(rewrite->last_conflict().kind, ConflictKind::kPartitionOverlap);
+}
+
+TEST_F(TransactionTest, CompactedAwayOverwriteReportsStaleOverwrite) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "p", 10),
+                           MakeFile("/a2", "p", 12)})
+                  .ok());
+  Table table = MakeTable();
+  auto user = table.NewTransaction();
+  ASSERT_TRUE(user->Overwrite({"/a"}, {MakeFile("/b", "p", 15)}).ok());
+  {
+    auto compact = table.NewTransaction();
+    ASSERT_TRUE(
+        compact->RewriteFiles({"/a", "/a2"}, {MakeFile("/c", "p", 22)}).ok());
+    ASSERT_TRUE(compact->Commit().ok());
+  }
+  EXPECT_TRUE(user->Commit().status().IsCommitConflict());
+  EXPECT_EQ(user->last_conflict().kind, ConflictKind::kStaleOverwrite);
+  EXPECT_FALSE(user->last_conflict().retryable());
+}
+
+TEST_F(TransactionTest, InjectedCasRaceRecordsRetryableKind) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "p", 1)}).ok());
+  fault::FaultInjectorOptions options;
+  options.enabled = true;
+  options.schedule.Add(fault::kSiteLstCommit, 1,
+                       fault::FaultKind::kCasRaceConflict);
+  fault::FaultInjector injector(options);
+  store_.SetFaultInjector(&injector);
+  Table table = MakeTable();
+  auto txn = table.NewTransaction();
+  ASSERT_TRUE(txn->Append({MakeFile("/b", "p", 1)}).ok());
+  EXPECT_TRUE(txn->Commit().status().IsCommitConflict());
+  EXPECT_EQ(txn->last_conflict().kind, ConflictKind::kInjectedCasRace);
+  EXPECT_TRUE(txn->last_conflict().retryable());
+  EXPECT_NE(txn->last_conflict().detail.find("injected"), std::string::npos);
+  store_.SetFaultInjector(nullptr);
+}
+
+TEST_F(TransactionTest, InjectedCasRaceRecoversUnderCommitWithRetries) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "p", 1)}).ok());
+  fault::FaultInjectorOptions options;
+  options.enabled = true;
+  options.schedule.Add(fault::kSiteLstCommit, 1,
+                       fault::FaultKind::kCasRaceConflict);
+  fault::FaultInjector injector(options);
+  store_.SetFaultInjector(&injector);
+  Table table = MakeTable();
+  auto txn = table.NewTransaction();
+  ASSERT_TRUE(txn->Append({MakeFile("/b", "p", 1)}).ok());
+  auto committed = txn->CommitWithRetries(3);
+  ASSERT_TRUE(committed.ok()) << committed.status();
+  EXPECT_EQ(committed->retries, 1);
+  EXPECT_EQ(txn->last_conflict().kind, ConflictKind::kNone);
+  auto meta = store_.LoadTable("db.t");
+  EXPECT_TRUE((*meta)->IsLive("/b"));
+  store_.SetFaultInjector(nullptr);
+}
+
+TEST_F(TransactionTest, InjectedValidationAbortIsTerminal) {
+  ASSERT_TRUE(AppendFiles({MakeFile("/a", "p", 1)}).ok());
+  fault::FaultInjectorOptions options;
+  options.enabled = true;
+  options.schedule.Add(fault::kSiteLstCommit, 1,
+                       fault::FaultKind::kValidationAbort);
+  fault::FaultInjector injector(options);
+  store_.SetFaultInjector(&injector);
+  Table table = MakeTable();
+  auto txn = table.NewTransaction();
+  ASSERT_TRUE(txn->Append({MakeFile("/b", "p", 1)}).ok());
+  EXPECT_TRUE(txn->CommitWithRetries(3).status().IsCommitConflict());
+  EXPECT_EQ(txn->last_conflict().kind, ConflictKind::kInjectedValidation);
+  EXPECT_FALSE(txn->last_conflict().retryable());
+  // A terminal abort must not burn the retry budget: exactly one commit
+  // attempt armed the site.
+  EXPECT_EQ(injector.total_hits(), 1);
+  store_.SetFaultInjector(nullptr);
+}
+
+TEST_F(TransactionTest, DisjointRewriteQuirkOnlyFiresForRewrites) {
+  // kDisjointRewriteAbort models the Iceberg v1.2.0 strict-validation
+  // quirk; it only applies to kReplace operations and degrades to no
+  // fault for anything else.
+  ASSERT_TRUE(AppendFiles({MakeFile("/s1", "p", 10)}).ok());
+  fault::FaultInjectorOptions options;
+  options.enabled = true;
+  options.schedule.Add(fault::kSiteLstCommit, 1,
+                       fault::FaultKind::kDisjointRewriteAbort);
+  options.schedule.Add(fault::kSiteLstCommit, 2,
+                       fault::FaultKind::kDisjointRewriteAbort);
+  fault::FaultInjector injector(options);
+  store_.SetFaultInjector(&injector);
+  Table table = MakeTable();
+  {
+    // Hit 1 fires on an append: inert, the commit lands.
+    auto append = table.NewTransaction();
+    ASSERT_TRUE(append->Append({MakeFile("/s2", "p", 10)}).ok());
+    ASSERT_TRUE(append->Commit().ok());
+    EXPECT_EQ(append->last_conflict().kind, ConflictKind::kNone);
+  }
+  // Hit 2 fires on a rewrite: terminal validation abort.
+  auto rewrite = table.NewTransaction();
+  ASSERT_TRUE(
+      rewrite->RewriteFiles({"/s1", "/s2"}, {MakeFile("/c", "p", 20)}).ok());
+  EXPECT_TRUE(rewrite->Commit().status().IsCommitConflict());
+  EXPECT_EQ(rewrite->last_conflict().kind, ConflictKind::kInjectedValidation);
+  store_.SetFaultInjector(nullptr);
+}
+
+TEST(ConflictKindTest, NamesAreStable) {
+  EXPECT_STREQ(ConflictKindName(ConflictKind::kNone), "none");
+  EXPECT_STREQ(ConflictKindName(ConflictKind::kCasRace), "cas_race");
+  EXPECT_STREQ(ConflictKindName(ConflictKind::kInputRemoved),
+               "input_removed");
+  EXPECT_STREQ(ConflictKindName(ConflictKind::kStrictTableLevel),
+               "strict_table_level");
+  EXPECT_STREQ(ConflictKindName(ConflictKind::kPartitionOverlap),
+               "partition_overlap");
+  EXPECT_STREQ(ConflictKindName(ConflictKind::kStaleOverwrite),
+               "stale_overwrite");
+  EXPECT_STREQ(ConflictKindName(ConflictKind::kReplacedNotLive),
+               "replaced_not_live");
+  EXPECT_STREQ(ConflictKindName(ConflictKind::kInjectedCasRace),
+               "injected_cas_race");
+  EXPECT_STREQ(ConflictKindName(ConflictKind::kInjectedValidation),
+               "injected_validation");
+  EXPECT_STREQ(ConflictKindName(ConflictKind::kRetriesExhausted),
+               "retries_exhausted");
 }
 
 // ------------------------------------------------------------- Metadata

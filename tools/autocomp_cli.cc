@@ -27,6 +27,8 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "core/advisor.h"
+#include "fault/fault_injector.h"
+#include "fault/invariant_checker.h"
 #include "sim/driver.h"
 #include "sim/environment.h"
 #include "sim/fleet_driver.h"
@@ -60,6 +62,15 @@ struct Flags {
   int sim_shards = 4;
   /// fleetsim: advance shards concurrently (off = sequential reference).
   bool sharded_sim = true;
+  /// Fault injection profile ("none" leaves the injector disabled).
+  std::string fault_profile = "none";
+  /// Seed for the injector's counter-RNG draws.
+  uint64_t fault_seed = 0x5eedfa;
+  /// Bounded retry attempts for compaction commits / runner crashes.
+  int fault_retries = 4;
+  /// Run the fault harness's invariant audit after the run (and, for
+  /// fleetsim, after every hour epoch).
+  bool check_invariants = false;
 };
 
 void PrintUsage() {
@@ -73,6 +84,9 @@ void PrintUsage() {
       "                    [--stats-cache-capacity=N] [--no-stats-index]\n"
       "                    [--cross-check-stats-index]\n"
       "                    [--sim-shards=K] [--no-sharded-sim]\n"
+      "                    [--fault-profile=none|timeouts|conflicts|chaos]\n"
+      "                    [--fault-seed=N] [--fault-retries=N]\n"
+      "                    [--check-invariants]\n"
       "\n"
       "  --sim-shards=K           fleetsim: partition the fleet's tenant\n"
       "                           databases into K deterministic shards\n"
@@ -89,7 +103,17 @@ void PrintUsage() {
       "                           (ablation: observe rescans manifests;\n"
       "                           output is identical, only slower)\n"
       "  --cross-check-stats-index  debug: rescan on every index hit and\n"
-      "                           abort the run on any divergence\n");
+      "                           abort the run on any divergence\n"
+      "  --fault-profile=NAME     arm the fault injector with a preset\n"
+      "                           (storage timeouts, commit conflicts,\n"
+      "                           runner crashes...); deterministic for a\n"
+      "                           fixed --fault-seed at any shard/pool size\n"
+      "  --fault-seed=N           seed for the injector's counter-RNG\n"
+      "  --fault-retries=N        bounded retry attempts (with exponential\n"
+      "                           backoff) for commit conflicts and runner\n"
+      "                           crashes (default 4)\n"
+      "  --check-invariants       audit live-file/quota/lineage invariants\n"
+      "                           after the run (fleetsim: every epoch)\n");
 }
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -129,6 +153,14 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->stats_cache_capacity = std::atoll(v);
     } else if (const char* v = value_of("--sim-shards")) {
       flags->sim_shards = std::atoi(v);
+    } else if (const char* v = value_of("--fault-profile")) {
+      flags->fault_profile = v;
+    } else if (const char* v = value_of("--fault-seed")) {
+      flags->fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--fault-retries")) {
+      flags->fault_retries = std::atoi(v);
+    } else if (arg == "--check-invariants") {
+      flags->check_invariants = true;
     } else if (arg == "--no-sharded-sim") {
       flags->sharded_sim = false;
     } else if (arg == "--no-deferred") {
@@ -159,6 +191,32 @@ Result<sim::ScopeStrategy> ScopeFor(const std::string& strategy) {
     return Status::InvalidArgument("unknown strategy: " + strategy);
   }
   return it->second;
+}
+
+/// Environment template honoring the fault knobs. An unknown profile
+/// name is a usage error (the Status lists the valid presets).
+Result<sim::EnvironmentOptions> EnvOptionsFor(const Flags& flags) {
+  sim::EnvironmentOptions env;
+  env.retry.max_attempts = flags.fault_retries;
+  if (flags.fault_profile != "none") {
+    AUTOCOMP_ASSIGN_OR_RETURN(env.fault.profile,
+                              fault::FaultProfileByName(flags.fault_profile));
+    env.fault.enabled = true;
+    env.fault.seed = flags.fault_seed;
+  }
+  return env;
+}
+
+/// Post-run invariant audit for the single-environment scenarios.
+int AuditInvariants(sim::SimEnvironment& env) {
+  const fault::InvariantChecker checker;
+  if (Status s = checker.CheckOrFail(env.catalog()); !s.ok()) {
+    std::fprintf(stderr, "invariant audit FAILED: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("invariant audit: OK\n");
+  return 0;
 }
 
 std::unique_ptr<core::AutoCompService> MakeService(sim::SimEnvironment* env,
@@ -254,17 +312,41 @@ void PrintSummary(sim::SimEnvironment& env,
     gbhr += p.value;
   }
   table.AddRow({"compaction GBHr", sim::Fmt(gbhr, 1)});
+  const fault::FaultInjector& injector = env.fault_injector();
+  if (injector.enabled()) {
+    table.AddRow({"faults injected",
+                  std::to_string(injector.total_injected())});
+    table.AddRow({"commit/runner retries",
+                  std::to_string(env.compaction_runner().total_retries())});
+    table.AddRow({"abandoned compactions",
+                  std::to_string(env.compaction_runner().total_abandoned())});
+    for (const auto& [site, counters] : injector.Counters()) {
+      if (counters.injected == 0) continue;
+      table.AddRow({"  fault " + site, std::to_string(counters.injected) +
+                                           " / " +
+                                           std::to_string(counters.hits) +
+                                           " hits"});
+    }
+  }
   std::printf("%s", table.ToString().c_str());
 }
 
 int RunCab(const Flags& flags) {
-  sim::SimEnvironment env;
+  auto env_options = EnvOptionsFor(flags);
+  if (!env_options.ok()) {
+    std::fprintf(stderr, "%s\n", env_options.status().ToString().c_str());
+    return 2;
+  }
+  sim::SimEnvironment env(*env_options);
   workload::CabOptions options;
   options.num_databases = flags.databases;
   options.duration = static_cast<SimTime>(flags.hours) * kHour;
   options.seed = flags.seed;
   workload::CabWorkload cab(options);
   std::printf("loading %d TPC-H-like databases...\n", flags.databases);
+  // Scripted data loads treat failures as fatal; injections only arm for
+  // the measured run.
+  env.fault_injector().set_armed(false);
   for (const std::string& db : cab.DatabaseNames()) {
     Status setup = workload::SetupTpchDatabase(
         &env.catalog(), &env.query_engine(), db, 25 * kGiB,
@@ -274,6 +356,7 @@ int RunCab(const Flags& flags) {
       return 1;
     }
   }
+  env.fault_injector().set_armed(true);
   const int64_t initial = env.TotalFileCount();
 
   ThreadPool pool(flags.pool_size);
@@ -304,21 +387,31 @@ int RunCab(const Flags& flags) {
   std::printf("%s\n", series.ToString().c_str());
   PrintSummary(env, metrics, service.get(), initial,
                driver.total_read_seconds());
+  if (flags.check_invariants) return AuditInvariants(env);
   return 0;
 }
 
 int RunFleet(const Flags& flags) {
-  sim::SimEnvironment env;
+  auto env_options = EnvOptionsFor(flags);
+  if (!env_options.ok()) {
+    std::fprintf(stderr, "%s\n", env_options.status().ToString().c_str());
+    return 2;
+  }
+  sim::SimEnvironment env(*env_options);
   workload::FleetOptions options;
   options.seed = flags.seed;
   workload::FleetWorkload fleet(options);
   std::printf("setting up the table fleet...\n");
+  // Scripted data loads treat failures as fatal; injections only arm for
+  // the measured run (and pause around each day's onboarding below).
+  env.fault_injector().set_armed(false);
   Status setup = fleet.Setup(&env.catalog(), &env.query_engine(),
                              &env.control_plane(), 0);
   if (!setup.ok()) {
     std::fprintf(stderr, "setup failed: %s\n", setup.ToString().c_str());
     return 1;
   }
+  env.fault_injector().set_armed(true);
   const int64_t initial = env.TotalFileCount();
 
   ThreadPool pool(flags.pool_size);
@@ -337,9 +430,11 @@ int RunFleet(const Flags& flags) {
   sim::TablePrinter daily({"day", "fleet files", "compaction commits"});
   int64_t commits_before = 0;
   for (int day = 0; day < flags.days; ++day) {
+    env.fault_injector().set_armed(false);
     Status onboard = fleet.OnboardNewTables(&env.catalog(),
                                             &env.query_engine(), day,
                                             env.clock().Now());
+    env.fault_injector().set_armed(true);
     if (!onboard.ok()) {
       std::fprintf(stderr, "onboarding failed: %s\n",
                    onboard.ToString().c_str());
@@ -371,6 +466,7 @@ int RunFleet(const Flags& flags) {
                   a.table.c_str(), a.message.c_str());
     }
   }
+  if (flags.check_invariants) return AuditInvariants(env);
   return 0;
 }
 
@@ -386,6 +482,13 @@ int RunFleetSim(const Flags& flags) {
   options.fleet.seed = flags.seed;
   options.driver.sample_interval = 4 * kHour;
   options.driver.retention_interval = kDay;
+  options.check_invariants = flags.check_invariants;
+  auto env_options = EnvOptionsFor(flags);
+  if (!env_options.ok()) {
+    std::fprintf(stderr, "%s\n", env_options.status().ToString().c_str());
+    return 2;
+  }
+  options.env = *env_options;
 
   std::printf("replaying %d fleet days across %d tenant databases "
               "(%s, shards=%d, pool=%d)...\n",
@@ -420,6 +523,19 @@ int RunFleetSim(const Flags& flags) {
   table.AddRow(
       {"client conflicts",
        std::to_string(result->metrics.TotalCount("client_conflicts"))});
+  if (flags.fault_profile != "none") {
+    table.AddRow({"faults injected",
+                  std::to_string(result->faults_injected)});
+    table.AddRow(
+        {"commit/runner retries",
+         std::to_string(result->metrics.TotalCount("compaction_retries"))});
+    table.AddRow(
+        {"abandoned compactions",
+         std::to_string(result->metrics.TotalCount("compaction_abandoned"))});
+  }
+  if (flags.check_invariants) {
+    table.AddRow({"invariant audits", "OK (every epoch + final)"});
+  }
   table.AddRow({"wall-clock (ms)", sim::Fmt(wall_ms, 1)});
   table.AddRow(
       {"events/sec",

@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# Full pre-merge check: tier-1 build + tests, then the concurrency-
-# labelled suites under both sanitizer configurations (ASan+UBSan and
-# TSan). Usage: tools/check.sh [jobs]
+# Full pre-merge check: tier-1 build + tests, then the concurrency- and
+# fault-labelled suites under both sanitizer configurations (ASan+UBSan
+# and TSan). Usage: tools/check.sh [jobs]
 #
 # Build trees:
 #   build/       - default RelWithDebInfo, full ctest suite
-#   build-asan/  - -DAUTOCOMP_SANITIZE=address (ASan+UBSan), ctest -L concurrency
-#   build-tsan/  - -DAUTOCOMP_SANITIZE=thread, ctest -L concurrency
+#   build-asan/  - -DAUTOCOMP_SANITIZE=address (ASan+UBSan), ctest -L 'concurrency|fault'
+#   build-tsan/  - -DAUTOCOMP_SANITIZE=thread, ctest -L 'concurrency|fault'
 
 set -euo pipefail
 
@@ -23,16 +23,16 @@ run cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run cmake --build build -j "${JOBS}"
 run ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-# --- Concurrency suites under ASan+UBSan.
+# --- Concurrency + fault suites under ASan+UBSan.
 run cmake -B build-asan -S . -DAUTOCOMP_SANITIZE=address \
     -DAUTOCOMP_BUILD_BENCHMARKS=OFF -DAUTOCOMP_BUILD_EXAMPLES=OFF
 run cmake --build build-asan -j "${JOBS}"
-run ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L concurrency
+run ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L 'concurrency|fault'
 
-# --- Concurrency suites under TSan.
+# --- Concurrency + fault suites under TSan.
 run cmake -B build-tsan -S . -DAUTOCOMP_SANITIZE=thread \
     -DAUTOCOMP_BUILD_BENCHMARKS=OFF -DAUTOCOMP_BUILD_EXAMPLES=OFF
 run cmake --build build-tsan -j "${JOBS}"
-run ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L concurrency
+run ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L 'concurrency|fault'
 
 echo "All checks passed."
