@@ -17,6 +17,13 @@
 /// hosts) and "seq-chaos" (the chaos preset, pricing sustained failures
 /// plus the retry/backoff machinery).
 ///
+/// Two tracing configs follow the same pattern: "seq-traceoff" (per-lane
+/// recorders installed but TraceLevel::kOff — every emission site pays
+/// its pointer+level guard and nothing else; must be bit-identical to
+/// seq, with the wall-clock delta budgeted at <2%) and "seq-traced"
+/// (TraceLevel::kFull — tracing must be a pure observer, so metrics
+/// still equal seq exactly; the digest is reported for reference).
+///
 /// Results land in BENCH_sim.json:
 ///   {"fleet_tables": N, "days": D, "hardware_concurrency": H,
 ///    "force_pools": B, "runs": [
@@ -26,7 +33,11 @@
 ///    "fault_runs": [{"name": "seq-armed", "faults_injected": 0,
 ///       "overhead_pct": ..., "metrics_equal_to_seq": true}, ...],
 ///    "fault_armed_overhead_pct": ...,
-///    "fault_armed_overhead_target_pct": 2.0}
+///    "fault_armed_overhead_target_pct": 2.0,
+///    "trace_runs": [{"name": "seq-traceoff", "trace_events": 0,
+///       "overhead_pct": ..., "metrics_equal_to_seq": true}, ...],
+///    "trace_off_overhead_pct": ...,
+///    "trace_off_overhead_target_pct": 2.0}
 
 #include <chrono>
 #include <cmath>
@@ -42,6 +53,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "fault/fault_injector.h"
+#include "obs/trace.h"
 #include "sim/fleet_driver.h"
 #include "sim/metrics.h"
 
@@ -100,6 +112,7 @@ struct RunOutcome {
   double events_per_sec = 0;
   bool metrics_equal = true;
   sim::MetricsRecorder metrics;
+  obs::TraceDigest trace_digest;
 };
 
 /// Fault-injection variants of a config. kArmedEmpty is the zero-fault
@@ -110,8 +123,16 @@ struct RunOutcome {
 /// machinery under sustained failures.
 enum class FaultMode { kOff, kArmedEmpty, kChaos };
 
+/// Tracing variants of a config. kArmedOff installs per-lane recorders
+/// at TraceLevel::kOff — every emission site pays its pointer+level
+/// guard, nothing is recorded; this is the disabled-tracing overhead the
+/// <2% budget covers. kFull records everything (tracing must still be a
+/// pure observer: metrics stay bit-identical to the untraced run).
+enum class TraceMode { kOff, kArmedOff, kFull };
+
 RunOutcome RunConfig(const std::string& name, int shards, int pool_workers,
-                     FaultMode fault_mode = FaultMode::kOff) {
+                     FaultMode fault_mode = FaultMode::kOff,
+                     TraceMode trace_mode = TraceMode::kOff) {
   RunOutcome out;
   out.name = name;
   out.shards = shards;
@@ -138,6 +159,11 @@ RunOutcome RunConfig(const std::string& name, int shards, int pool_workers,
         options.env.fault.profile = *std::move(profile);
       }
     }
+    if (trace_mode == TraceMode::kArmedOff) {
+      options.trace_armed = true;  // level stays kOff
+    } else if (trace_mode == TraceMode::kFull) {
+      options.trace_level = obs::TraceLevel::kFull;
+    }
     sim::FleetSimulation simulation(std::move(options));
     const auto start = std::chrono::steady_clock::now();
     auto result = simulation.Run();
@@ -150,6 +176,7 @@ RunOutcome RunConfig(const std::string& name, int shards, int pool_workers,
     out.total_files = result->total_files;
     out.open_calls = result->open_calls;
     out.faults_injected = result->faults_injected;
+    out.trace_digest = result->trace_digest;
     out.metrics = std::move(result->metrics);
     std::printf("  %s run %d/%d: %.1f ms (%lld events)\n", name.c_str(),
                 run + 1, kRunsPerConfig, ms,
@@ -278,10 +305,73 @@ int main() {
     fault_runs.Append(std::move(entry));
   }
 
+  // --- Tracing overhead: armed-but-off recorders must be bit-identical
+  // to seq with <2% wall-clock cost (the disabled-tracing budget); a
+  // full-detail trace must also be a pure observer — metrics still equal
+  // seq exactly — and its cost is reported for reference only.
+  RunOutcome traceoff =
+      RunConfig("seq-traceoff", 0, 0, FaultMode::kOff, TraceMode::kArmedOff);
+  RunOutcome traced =
+      RunConfig("seq-traced", 0, 0, FaultMode::kOff, TraceMode::kFull);
+  for (RunOutcome* r : {&traceoff, &traced}) {
+    std::string why;
+    r->metrics_equal = seq.metrics.Equals(r->metrics, &why) &&
+                       r->events == seq.events &&
+                       r->total_files == seq.total_files &&
+                       r->open_calls == seq.open_calls;
+    AUTOCOMP_CHECK(r->metrics_equal)
+        << r->name << " perturbed the simulation: "
+        << (why.empty() ? "aggregate totals differ" : why);
+  }
+  AUTOCOMP_CHECK(traceoff.trace_digest.events == 0)
+      << "armed-but-off recorders recorded "
+      << traceoff.trace_digest.events << " events";
+  AUTOCOMP_CHECK(traced.trace_digest.events > 0)
+      << "full-detail trace recorded nothing";
+  constexpr double kTraceOffOverheadTargetPct = 2.0;
+  const double trace_off_overhead_pct =
+      seq.wall_ms > 0
+          ? (traceoff.wall_ms - seq.wall_ms) / seq.wall_ms * 100.0
+          : 0.0;
+  const double traced_overhead_pct =
+      seq.wall_ms > 0 ? (traced.wall_ms - seq.wall_ms) / seq.wall_ms * 100.0
+                      : 0.0;
+  sim::TablePrinter trace_table({"config", "wall ms", "trace events",
+                                 "overhead %", "digest", "identical"});
+  trace_table.AddRow({traceoff.name, sim::Fmt(traceoff.wall_ms, 1),
+                      std::to_string(traceoff.trace_digest.events),
+                      sim::Fmt(trace_off_overhead_pct, 2), "-",
+                      traceoff.metrics_equal ? "yes" : "NO"});
+  trace_table.AddRow({traced.name, sim::Fmt(traced.wall_ms, 1),
+                      std::to_string(traced.trace_digest.events),
+                      sim::Fmt(traced_overhead_pct, 2),
+                      traced.trace_digest.ToString(),
+                      traced.metrics_equal ? "yes" : "NO"});
+  std::printf("%s", trace_table.ToString().c_str());
+  std::printf("trace-off (armed, level=off) overhead: %.2f%% (target < %.0f%%)\n",
+              trace_off_overhead_pct, kTraceOffOverheadTargetPct);
+
+  JsonValue trace_runs = JsonValue::Array();
+  for (const RunOutcome* r : {&traceoff, &traced}) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", r->name);
+    entry.Set("wall_ms", r->wall_ms);
+    entry.Set("events", r->events);
+    entry.Set("trace_events", r->trace_digest.events);
+    entry.Set("trace_digest", r->trace_digest.ToString());
+    entry.Set("overhead_pct",
+              r == &traceoff ? trace_off_overhead_pct : traced_overhead_pct);
+    entry.Set("metrics_equal_to_seq", r->metrics_equal);
+    trace_runs.Append(std::move(entry));
+  }
+
   JsonValue doc = JsonValue::Object();
   doc.Set("fault_runs", std::move(fault_runs));
   doc.Set("fault_armed_overhead_pct", armed_overhead_pct);
   doc.Set("fault_armed_overhead_target_pct", kArmedOverheadTargetPct);
+  doc.Set("trace_runs", std::move(trace_runs));
+  doc.Set("trace_off_overhead_pct", trace_off_overhead_pct);
+  doc.Set("trace_off_overhead_target_pct", kTraceOffOverheadTargetPct);
   doc.Set("fleet_tables", kDatabases * kTablesPerDb);
   doc.Set("days", kDays);
   doc.Set("hardware_concurrency", hw);

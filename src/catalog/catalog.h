@@ -151,6 +151,11 @@ class Catalog final : public lst::MetadataStore {
   /// at-most-once tolerance of incremental consumers.
   void SetFaultInjector(fault::FaultInjector* injector) { fault_ = injector; }
 
+  /// Installs (or clears, with nullptr) the trace recorder. Transactions
+  /// pick it up through MetadataStore::trace_recorder() and record their
+  /// commit outcomes ("commit.success" / "commit.conflict") against it.
+  void SetTraceRecorder(obs::TraceRecorder* trace) { trace_ = trace; }
+
   // MetadataStore:
   Result<lst::TableMetadataPtr> LoadTable(
       const std::string& name) const override;
@@ -160,6 +165,7 @@ class Catalog final : public lst::MetadataStore {
                               lst::TableMetadataPtr new_metadata,
                               const lst::CommitDelta& delta) override;
   fault::FaultInjector* fault_injector() const override { return fault_; }
+  obs::TraceRecorder* trace_recorder() const override { return trace_; }
 
  private:
   /// Writes (and prunes) the storage-side metadata footprint for a
@@ -176,6 +182,7 @@ class Catalog final : public lst::MetadataStore {
   storage::DistributedFileSystem* dfs_;
   CatalogOptions options_;
   fault::FaultInjector* fault_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
 
   /// Guards all catalog maps and counters. Concurrent transaction
   /// commits, expiry and observe-phase reads all funnel through here;

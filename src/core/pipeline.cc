@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 namespace autocomp::core {
@@ -13,6 +14,14 @@ using WallClock = std::chrono::steady_clock;
 double MsSince(WallClock::time_point start) {
   return std::chrono::duration<double, std::milli>(WallClock::now() - start)
       .count();
+}
+
+/// Shortest-round-trip double formatting for trace details (deterministic
+/// across runs; std::to_string's fixed-6 would alias close scores).
+std::string FmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
 }
 
 }  // namespace
@@ -71,9 +80,21 @@ AutoCompPipeline::AutoCompPipeline(Stages stages, catalog::Catalog* catalog,
 
 Result<PipelineRunReport> AutoCompPipeline::RunOnce() {
   const WallClock::time_point start = WallClock::now();
+  obs::TraceRecorder* trace = stages_.trace;
+  uint64_t gen_span = 0;
+  if (trace != nullptr && trace->enabled(obs::TraceLevel::kPhases)) {
+    gen_span = trace->BeginSpan(obs::TraceLevel::kPhases,
+                                obs::SpanCategory::kPhase, "phase.generate",
+                                clock_->Now());
+  }
   AUTOCOMP_ASSIGN_OR_RETURN(
       std::vector<Candidate> pool,
       stages_.generator->Generate(catalog_, stages_.pool));
+  if (trace != nullptr) {
+    trace->EndSpan(gen_span, clock_->Now(),
+                   static_cast<double>(pool.size()),
+                   "candidates=" + std::to_string(pool.size()));
+  }
   return Run(std::move(pool), MsSince(start));
 }
 
@@ -89,12 +110,29 @@ Result<PipelineRunReport> AutoCompPipeline::Run(std::vector<Candidate> pool,
   report.candidates_generated = static_cast<int64_t>(pool.size());
   report.timings.generate_ms = generate_ms;
 
+  obs::TraceRecorder* trace = stages_.trace;
+  const bool trace_phases =
+      trace != nullptr && trace->enabled(obs::TraceLevel::kPhases);
+  uint64_t run_span = 0;
+  if (trace_phases) {
+    run_span = trace->BeginSpan(
+        obs::TraceLevel::kPhases, obs::SpanCategory::kPhase, "ooda.run",
+        report.started_at,
+        "candidates=" + std::to_string(report.candidates_generated));
+  }
+
   // --- Observe: collect the standardized statistics.
   const int64_t hits_before = stages_.collector->hits();
   const int64_t misses_before = stages_.collector->misses();
   const int64_t index_hits_before = stages_.collector->index_hits();
   const int64_t index_fallbacks_before = stages_.collector->index_fallbacks();
   WallClock::time_point phase_start = WallClock::now();
+  uint64_t phase_span = 0;
+  if (trace_phases) {
+    phase_span = trace->BeginSpan(obs::TraceLevel::kPhases,
+                                  obs::SpanCategory::kPhase, "phase.observe",
+                                  report.started_at);
+  }
   AUTOCOMP_ASSIGN_OR_RETURN(
       std::vector<ObservedCandidate> observed,
       stages_.collector->CollectAll(pool, stages_.pool));
@@ -104,6 +142,15 @@ Result<PipelineRunReport> AutoCompPipeline::Run(std::vector<Candidate> pool,
   report.stats_index_hits = stages_.collector->index_hits() - index_hits_before;
   report.stats_index_fallbacks =
       stages_.collector->index_fallbacks() - index_fallbacks_before;
+  if (trace != nullptr) {
+    trace->EndSpan(phase_span, report.started_at,
+                   static_cast<double>(observed.size()),
+                   "observed=" + std::to_string(observed.size()) +
+                       ";cache_hits=" +
+                       std::to_string(report.stats_cache_hits) +
+                       ";cache_misses=" +
+                       std::to_string(report.stats_cache_misses));
+  }
 
   // --- Optional filters between observe and orient.
   observed = ApplyFilters(std::move(observed), stages_.pre_orient_filters,
@@ -111,6 +158,11 @@ Result<PipelineRunReport> AutoCompPipeline::Run(std::vector<Candidate> pool,
 
   // --- Orient: compute traits (consumes the observed pool).
   phase_start = WallClock::now();
+  if (trace_phases) {
+    phase_span = trace->BeginSpan(obs::TraceLevel::kPhases,
+                                  obs::SpanCategory::kPhase, "phase.orient",
+                                  report.started_at);
+  }
   std::vector<TraitedCandidate> traited =
       ComputeTraits(std::move(observed), stages_.traits, stages_.pool);
 
@@ -135,21 +187,71 @@ Result<PipelineRunReport> AutoCompPipeline::Run(std::vector<Candidate> pool,
     traited = std::move(kept);
   }
   report.timings.orient_ms = MsSince(phase_start);
+  if (trace != nullptr) {
+    trace->EndSpan(phase_span, report.started_at,
+                   static_cast<double>(traited.size()),
+                   "traited=" + std::to_string(traited.size()) +
+                       ";dropped_post_orient=" +
+                       std::to_string(report.dropped_post_orient));
+  }
 
   // --- Decide: rank and select.
   phase_start = WallClock::now();
+  if (trace_phases) {
+    phase_span = trace->BeginSpan(obs::TraceLevel::kPhases,
+                                  obs::SpanCategory::kPhase, "phase.decide",
+                                  report.started_at);
+  }
   report.ranked = stages_.ranker->Rank(std::move(traited));
   report.selected = stages_.selector->Select(report.ranked);
   report.timings.decide_ms = MsSince(phase_start);
+  if (trace != nullptr && trace->enabled(obs::TraceLevel::kDecisions)) {
+    // The full ranking, in rank order, then every winner with the trait
+    // vector that scored it — the decision-audit tests replay these
+    // against the report's own ranked/selected lists.
+    for (size_t i = 0; i < report.ranked.size(); ++i) {
+      const ScoredCandidate& sc = report.ranked[i];
+      trace->Instant(obs::TraceLevel::kDecisions, obs::SpanCategory::kDecision,
+                     "decide.ranked", report.started_at,
+                     "id=" + sc.candidate().id() +
+                         ";rank=" + std::to_string(i),
+                     sc.score);
+    }
+    for (const ScoredCandidate& sc : report.selected) {
+      std::string detail = "id=" + sc.candidate().id();
+      for (const auto& [trait, value] : sc.traited.traits) {
+        detail += ";" + trait + "=" + FmtDouble(value);
+      }
+      trace->Instant(obs::TraceLevel::kDecisions, obs::SpanCategory::kDecision,
+                     "decide.winner", report.started_at, std::move(detail),
+                     sc.score);
+    }
+  }
+  if (trace != nullptr) {
+    trace->EndSpan(phase_span, report.started_at,
+                   static_cast<double>(report.ranked.size()),
+                   "ranked=" + std::to_string(report.ranked.size()) +
+                       ";selected=" + std::to_string(report.selected.size()));
+  }
 
   // --- Act.
   phase_start = WallClock::now();
+  if (trace_phases) {
+    phase_span = trace->BeginSpan(obs::TraceLevel::kPhases,
+                                  obs::SpanCategory::kPhase, "phase.act",
+                                  report.started_at);
+  }
   if (stages_.scheduler != nullptr && !report.selected.empty()) {
     AUTOCOMP_ASSIGN_OR_RETURN(
         report.executed,
         stages_.scheduler->Execute(report.selected, report.started_at));
   }
   report.timings.act_ms = MsSince(phase_start);
+  if (trace != nullptr) {
+    trace->EndSpan(phase_span, report.started_at,
+                   static_cast<double>(report.executed.size()),
+                   "executed=" + std::to_string(report.executed.size()));
+  }
 
   // --- Feedback loop: estimates vs. measured outcome per executed unit.
   for (const ScheduledCompaction& unit : report.executed) {
@@ -173,6 +275,13 @@ Result<PipelineRunReport> AutoCompPipeline::Run(std::vector<Candidate> pool,
     }
     entry.actual_gb_hours = unit.result.gb_hours;
     report.feedback.push_back(std::move(entry));
+  }
+  if (trace != nullptr) {
+    trace->EndSpan(run_span, report.started_at,
+                   static_cast<double>(report.committed_count()),
+                   "ranked=" + std::to_string(report.ranked.size()) +
+                       ";selected=" + std::to_string(report.selected.size()) +
+                       ";committed=" + std::to_string(report.committed_count()));
   }
   return report;
 }

@@ -16,6 +16,7 @@
 #include "core/ranking.h"
 #include "core/scheduler.h"
 #include "core/traits.h"
+#include "obs/trace.h"
 
 namespace autocomp::core {
 
@@ -96,6 +97,12 @@ class AutoCompPipeline {
     /// fan out across this pool; results stay bit-identical to the
     /// sequential path (NFR2). Not owned; must outlive the pipeline.
     ThreadPool* pool = nullptr;
+    /// When non-null, every run records an "ooda.run" envelope span with
+    /// nested phase spans (kPhases) and per-candidate ranking / winner
+    /// decision instants (kDecisions). Not owned; must outlive the
+    /// pipeline. Payloads are pure functions of simulated state — the
+    /// wall-clock phase timings stay in PipelinePhaseTimings only.
+    obs::TraceRecorder* trace = nullptr;
   };
 
   AutoCompPipeline(Stages stages, catalog::Catalog* catalog,

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "fault/fault_injector.h"
 #include "format/binpack.h"
+#include "obs/trace.h"
 
 namespace autocomp::engine {
 
@@ -46,6 +47,18 @@ Result<PendingCompaction> CompactionRunner::Prepare(
   AUTOCOMP_ASSIGN_OR_RETURN(lst::Transaction txn,
                             handle.NewTransaction(request.validation_mode));
   const lst::TableMetadataPtr meta = txn.base();
+
+  uint64_t trace_span = 0;
+  if (trace_ != nullptr && trace_->enabled(obs::TraceLevel::kFull)) {
+    std::string detail = "table=" + request.table;
+    if (request.partition) detail += ";partition=" + *request.partition;
+    if (request.after_snapshot_id != 0) {
+      detail += ";after_snapshot=" + std::to_string(request.after_snapshot_id);
+    }
+    trace_span = trace_->BeginSpan(obs::TraceLevel::kFull,
+                                   obs::SpanCategory::kRunner, "runner.unit",
+                                   submit_time, std::move(detail));
+  }
 
   const int64_t target = request.target_file_size_bytes > 0
                              ? request.target_file_size_bytes
@@ -86,6 +99,9 @@ Result<PendingCompaction> CompactionRunner::Prepare(
   }
   if (inputs.size() + delete_inputs.size() < 2 || inputs.empty()) {
     // attempted=false: nothing worth rewriting.
+    if (trace_ != nullptr) {
+      trace_->EndSpan(trace_span, submit_time, 0, "outcome=skipped");
+    }
     return PendingCompaction{request, std::move(txn), {}, std::move(result)};
   }
   result.attempted = true;
@@ -208,6 +224,10 @@ Result<PendingCompaction> CompactionRunner::Prepare(
         result.abandoned = true;
         result.bytes_produced = 0;
         ++total_abandoned_;
+        if (trace_ != nullptr) {
+          trace_->EndSpan(trace_span, submit_time, 0,
+                          "outcome=abandoned;reason=create_failed");
+        }
         return PendingCompaction{request, std::move(txn), {},
                                  std::move(result)};
       }
@@ -231,6 +251,10 @@ Result<PendingCompaction> CompactionRunner::Prepare(
       result.attempted = false;
       result.abandoned = true;
       ++total_abandoned_;
+      if (trace_ != nullptr) {
+        trace_->EndSpan(trace_span, submit_time, 0,
+                        "outcome=abandoned;reason=crash_retries_exhausted");
+      }
       return PendingCompaction{request, std::move(txn), {},
                                std::move(result)};
     }
@@ -241,6 +265,13 @@ Result<PendingCompaction> CompactionRunner::Prepare(
     timeout_penalty += backoff;
     result.backoff_seconds += backoff;
     ++total_retries_;
+    if (trace_ != nullptr && trace_->enabled(obs::TraceLevel::kFull)) {
+      trace_->Instant(obs::TraceLevel::kFull, obs::SpanCategory::kRunner,
+                      "runner.crash_retry", submit_time,
+                      "table=" + request.table + ";attempt=" +
+                          std::to_string(write_attempt),
+                      backoff);
+    }
   }
   result.files_produced = static_cast<int64_t>(outputs.size());
 
@@ -248,6 +279,9 @@ Result<PendingCompaction> CompactionRunner::Prepare(
   if (!staged.ok()) {
     result.status = staged;
     result.attempted = false;
+    if (trace_ != nullptr) {
+      trace_->EndSpan(trace_span, submit_time, 0, "outcome=stage_failed");
+    }
     return PendingCompaction{request, std::move(txn), {}, std::move(result)};
   }
 
@@ -280,7 +314,7 @@ Result<PendingCompaction> CompactionRunner::Prepare(
       (static_cast<double>(result.bytes_rewritten + result.bytes_produced) /
        cluster_->options().rewrite_bytes_per_hour);
   return PendingCompaction{request, std::move(txn), std::move(outputs),
-                           std::move(result)};
+                           std::move(result), trace_span};
 }
 
 CompactionResult CompactionRunner::Finalize(PendingCompaction&& pending) {
@@ -300,6 +334,11 @@ CompactionResult CompactionRunner::Finalize(PendingCompaction&& pending) {
       result.committed = true;
       result.snapshot_id = committed->snapshot_id;
       ++total_committed_;
+      if (trace_ != nullptr) {
+        trace_->EndSpan(pending.trace_span, result.end_time, result.gb_hours,
+                        "outcome=committed;snapshot=" +
+                            std::to_string(result.snapshot_id));
+      }
       return result;
     }
     failure = committed.status();
@@ -335,6 +374,13 @@ CompactionResult CompactionRunner::Finalize(PendingCompaction&& pending) {
     result.duration_seconds += backoff;
     ++result.commit_retries;
     ++total_retries_;
+    if (trace_ != nullptr && trace_->enabled(obs::TraceLevel::kFull)) {
+      trace_->Instant(obs::TraceLevel::kFull, obs::SpanCategory::kRunner,
+                      "runner.commit_retry", result.end_time,
+                      "table=" + pending.request.table + ";attempt=" +
+                          std::to_string(attempt),
+                      backoff);
+    }
   }
   // Clean up outputs; the rewrite is lost.
   storage::DistributedFileSystem* dfs = catalog_->filesystem();
@@ -346,6 +392,14 @@ CompactionResult CompactionRunner::Finalize(PendingCompaction&& pending) {
   result.abandoned = true;
   ++total_abandoned_;
   if (result.conflict) ++total_conflicts_;
+  if (trace_ != nullptr) {
+    std::string outcome =
+        result.conflict ? std::string("outcome=conflict;kind=") +
+                              lst::ConflictKindName(txn.last_conflict().kind)
+                        : std::string("outcome=abandoned");
+    trace_->EndSpan(pending.trace_span, result.end_time, result.gb_hours,
+                    std::move(outcome));
+  }
   return result;
 }
 

@@ -87,6 +87,9 @@ struct PendingCompaction {
   lst::Transaction transaction;
   std::vector<lst::DataFile> outputs;
   CompactionResult result;  // filled except commit outcome
+  /// Open "runner.unit" trace span handle; Finalize closes it with the
+  /// commit outcome (0 when tracing is off or the unit ended in Prepare).
+  uint64_t trace_span = 0;
 };
 
 /// \brief Runs compaction work units on a (possibly dedicated) cluster.
@@ -134,6 +137,13 @@ class CompactionRunner {
   /// commit-site faults flow in via the catalog's injector.
   void SetFaultInjector(fault::FaultInjector* injector) { fault_ = injector; }
 
+  /// Installs (or clears, with nullptr) the trace recorder. Every work
+  /// unit becomes a "runner.unit" span from submit to its commit outcome
+  /// (value = gb_hours), with "runner.crash_retry" /
+  /// "runner.commit_retry" instants for each backoff paid in between —
+  /// all at TraceLevel::kFull.
+  void SetTraceRecorder(obs::TraceRecorder* trace) { trace_ = trace; }
+
   /// Retry budget + backoff shape for commit conflicts and crash
   /// recovery. Backoff draws are CounterRng-keyed by (table, submit
   /// time), so retry costs replay bit-identically.
@@ -150,6 +160,7 @@ class CompactionRunner {
   /// Distinguishes runners sharing one catalog (unique output names).
   int runner_id_;
   fault::FaultInjector* fault_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
   fault::RetryPolicy retry_policy_;
   int64_t file_counter_ = 0;
   int64_t total_conflicts_ = 0;

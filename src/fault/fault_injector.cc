@@ -1,6 +1,7 @@
 #include "fault/fault_injector.h"
 
 #include "common/counter_rng.h"
+#include "obs/trace.h"
 
 namespace autocomp::fault {
 
@@ -105,6 +106,7 @@ FaultKind FaultInjector::Arm(std::string_view site,
     }
     if (static_cast<uint64_t>(relevant_hits) == entry.hit) {
       ++state.counters.injected;
+      TraceInjection(site, resource, entry.kind);
       return entry.kind;
     }
   }
@@ -124,11 +126,25 @@ FaultKind FaultInjector::Arm(std::string_view site,
               options_.seed, key,
               static_cast<uint64_t>(state.counters.hits)) < f.probability) {
         ++state.counters.injected;
+        TraceInjection(site, resource, f.kind);
         return f.kind;
       }
     }
   }
   return FaultKind::kNone;
+}
+
+void FaultInjector::TraceInjection(std::string_view site,
+                                   std::string_view resource,
+                                   FaultKind kind) const {
+  if (trace_ == nullptr || trace_clock_ == nullptr ||
+      !trace_->enabled(obs::TraceLevel::kFull)) {
+    return;
+  }
+  trace_->Instant(obs::TraceLevel::kFull, obs::SpanCategory::kFault,
+                  "fault.injected", trace_clock_->Now(),
+                  "site=" + std::string(site) + ";resource=" +
+                      std::string(resource) + ";kind=" + FaultKindName(kind));
 }
 
 Status FaultInjector::ToStatus(FaultKind kind, std::string_view site,

@@ -31,8 +31,13 @@
 #include <string_view>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "fault/fault_sites.h"
+
+namespace autocomp::obs {
+class TraceRecorder;
+}  // namespace autocomp::obs
 
 namespace autocomp::fault {
 
@@ -133,6 +138,15 @@ class FaultInjector {
   static Status ToStatus(FaultKind kind, std::string_view site,
                          std::string_view resource);
 
+  /// Installs (or clears, with nullptr) a trace recorder. With one
+  /// installed, every injected fault records a "fault.injected" instant
+  /// (at TraceLevel::kFull) timestamped from `clock`, so the trace shows
+  /// which draws actually fired — the counters only say how many.
+  void SetTrace(obs::TraceRecorder* trace, const Clock* clock) {
+    trace_ = trace;
+    trace_clock_ = clock;
+  }
+
   /// Snapshot of per-site counters (site -> hits/injections).
   std::map<std::string, SiteCounters> Counters() const;
   int64_t total_hits() const;
@@ -145,8 +159,13 @@ class FaultInjector {
     std::map<std::string, int64_t> filtered_hits;
   };
 
+  void TraceInjection(std::string_view site, std::string_view resource,
+                      FaultKind kind) const;
+
   FaultInjectorOptions options_;
   std::atomic<bool> armed_{true};
+  obs::TraceRecorder* trace_ = nullptr;
+  const Clock* trace_clock_ = nullptr;
   mutable std::mutex mu_;
   std::map<std::string, SiteState, std::less<>> sites_;
 };

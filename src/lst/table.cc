@@ -18,7 +18,7 @@ Result<TableMetadataPtr> Table::Metadata() const {
 Result<Transaction> Table::NewTransaction(ValidationMode mode) const {
   AUTOCOMP_ASSIGN_OR_RETURN(TableMetadataPtr base, Metadata());
   return Transaction(store_, name_, std::move(base), clock_, mode,
-                     store_->fault_injector());
+                     store_->fault_injector(), store_->trace_recorder());
 }
 
 Result<ScanPlan> Table::PlanScan(

@@ -22,6 +22,10 @@ namespace autocomp::fault {
 class FaultInjector;
 }  // namespace autocomp::fault
 
+namespace autocomp::obs {
+class TraceRecorder;
+}  // namespace autocomp::obs
+
 namespace autocomp::lst {
 
 class TableMetadata;
@@ -191,6 +195,12 @@ class MetadataStore {
   /// through it (injected CAS races and validation aborts); nullptr means
   /// faults are off. Stores wired into a fault harness override this.
   virtual fault::FaultInjector* fault_injector() const { return nullptr; }
+
+  /// Trace recorder observing this store's commit path, if any.
+  /// Transactions created against this store record their commit
+  /// outcomes through it (see obs/trace.h); nullptr means tracing is
+  /// off. Stores wired into a traced environment override this.
+  virtual obs::TraceRecorder* trace_recorder() const { return nullptr; }
 };
 
 /// \brief Merges manifests so that no more than `max_manifests` remain,

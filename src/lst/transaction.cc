@@ -5,18 +5,21 @@
 
 #include "common/logging.h"
 #include "fault/fault_injector.h"
+#include "obs/trace.h"
 
 namespace autocomp::lst {
 
 Transaction::Transaction(MetadataStore* store, std::string table_name,
                          TableMetadataPtr base, const Clock* clock,
-                         ValidationMode mode, fault::FaultInjector* injector)
+                         ValidationMode mode, fault::FaultInjector* injector,
+                         obs::TraceRecorder* trace)
     : store_(store),
       table_name_(std::move(table_name)),
       base_(std::move(base)),
       clock_(clock),
       mode_(mode),
-      injector_(injector) {
+      injector_(injector),
+      trace_(trace) {
   assert(store_ != nullptr && clock_ != nullptr && base_ != nullptr);
 }
 
@@ -25,6 +28,14 @@ Status Transaction::Conflict(ConflictKind kind,
   last_conflict_.kind = kind;
   last_conflict_.table = table_name_;
   last_conflict_.detail = detail;
+  if (trace_ != nullptr && trace_->enabled(obs::TraceLevel::kFull)) {
+    trace_->Instant(obs::TraceLevel::kFull, obs::SpanCategory::kCommit,
+                    "commit.conflict", clock_->Now(),
+                    "table=" + table_name_ +
+                        ";kind=" + ConflictKindName(kind) +
+                        ";retryable=" + (last_conflict_.retryable() ? "1"
+                                                                    : "0"));
+  }
   return Status::CommitConflict(detail);
 }
 
@@ -309,6 +320,14 @@ Result<CommitResult> Transaction::CommitInternal(bool* cas_race) {
   result.retries = 0;
   result.metadata = next;
   last_conflict_ = ConflictInfo{};
+  if (trace_ != nullptr && trace_->enabled(obs::TraceLevel::kFull)) {
+    trace_->Instant(obs::TraceLevel::kFull, obs::SpanCategory::kCommit,
+                    "commit.success", clock_->Now(),
+                    "table=" + table_name_ + ";op=" +
+                        SnapshotOperationName(operation_) + ";snapshot=" +
+                        std::to_string(result.snapshot_id),
+                    static_cast<double>(added_.size()));
+  }
   return result;
 }
 

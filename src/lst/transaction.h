@@ -54,11 +54,14 @@ class Transaction {
   /// at Commit if the table vanishes. With `injector` set, every commit
   /// attempt arms fault::kSiteLstCommit (injected CAS races and
   /// validation aborts); Table::NewTransaction wires the store's injector
-  /// through automatically.
+  /// through automatically. With `trace` set, every commit outcome is
+  /// recorded (at TraceLevel::kFull): "commit.success" with the new
+  /// snapshot id, "commit.conflict" with the structured ConflictKind.
   Transaction(MetadataStore* store, std::string table_name,
               TableMetadataPtr base, const Clock* clock,
               ValidationMode mode = ValidationMode::kStrictTableLevel,
-              fault::FaultInjector* injector = nullptr);
+              fault::FaultInjector* injector = nullptr,
+              obs::TraceRecorder* trace = nullptr);
 
   /// Stages an append of new files. May be called repeatedly before
   /// Commit; files accumulate.
@@ -128,6 +131,7 @@ class Transaction {
   const Clock* clock_;
   ValidationMode mode_;
   fault::FaultInjector* injector_;
+  obs::TraceRecorder* trace_;
   /// Set on every conflict path, including inside const validation (hence
   /// mutable); cleared by a successful commit.
   mutable ConflictInfo last_conflict_;

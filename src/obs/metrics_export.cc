@@ -1,0 +1,97 @@
+#include "obs/metrics_export.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace autocomp::obs {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  // %.17g round-trips doubles exactly and prints integers compactly.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void AppendSample(std::string* out, const std::string& name, double value) {
+  out->append(name);
+  out->push_back(' ');
+  out->append(FormatDouble(value));
+  out->push_back('\n');
+}
+
+void AppendTypeHeader(std::string* out, const std::string& name,
+                      const char* type) {
+  out->append("# TYPE ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string sanitized;
+  sanitized.reserve(name.size() + 1);
+  for (char c : name) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      sanitized.push_back(
+          static_cast<char>(std::tolower(uc)));
+    } else {
+      sanitized.push_back('_');
+    }
+  }
+  if (sanitized.empty()) sanitized = "_";
+  if (std::isdigit(static_cast<unsigned char>(sanitized.front()))) {
+    sanitized.insert(sanitized.begin(), '_');
+  }
+  return sanitized;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot,
+                             std::string_view prefix) {
+  const std::string p = std::string(prefix) + "_";
+  std::string out;
+  for (const auto& [name, total] : snapshot.counters) {
+    const std::string metric = p + SanitizeMetricName(name) + "_total";
+    AppendTypeHeader(&out, metric, "counter");
+    AppendSample(&out, metric, static_cast<double>(total));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = p + SanitizeMetricName(name);
+    AppendTypeHeader(&out, metric, "gauge");
+    AppendSample(&out, metric, value);
+  }
+  for (const auto& [name, summary] : snapshot.summaries) {
+    const std::string base = p + SanitizeMetricName(name);
+    AppendTypeHeader(&out, base + "_count", "gauge");
+    AppendSample(&out, base + "_count", static_cast<double>(summary.count));
+    AppendTypeHeader(&out, base + "_sum", "gauge");
+    AppendSample(&out, base + "_sum", summary.sum);
+    AppendTypeHeader(&out, base + "_min", "gauge");
+    AppendSample(&out, base + "_min", summary.min);
+    AppendTypeHeader(&out, base + "_max", "gauge");
+    AppendSample(&out, base + "_max", summary.max);
+  }
+  return out;
+}
+
+Status WritePrometheusText(const MetricsSnapshot& snapshot,
+                           const std::string& path, std::string_view prefix) {
+  const std::string text = ToPrometheusText(snapshot, prefix);
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::Internal("cannot open metrics output file: " + path);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), out);
+  const int closed = std::fclose(out);
+  if (written != text.size() || closed != 0) {
+    return Status::Internal("short write to metrics output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace autocomp::obs

@@ -1,0 +1,53 @@
+/// \file metrics_export.h
+/// \brief Prometheus-style text export of a metrics snapshot.
+///
+/// obs sits below sim in the dependency graph, so the exporter defines
+/// its own snapshot structure and sim::MetricsRecorder::Snapshot()
+/// produces it (sim depends on obs, never the reverse). The text format
+/// follows the Prometheus exposition format: `# TYPE` headers, one
+/// sample per line, deterministic (sorted) metric order.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace autocomp::obs {
+
+/// \brief Aggregated view of a run's metrics, keyed by raw metric name
+/// (the exporter sanitizes names for Prometheus).
+struct MetricsSnapshot {
+  /// Monotonic totals (hourly counters summed across the run).
+  std::map<std::string, int64_t> counters;
+  /// Last observed value of each recorded series.
+  std::map<std::string, double> gauges;
+  /// Distribution metrics (hourly samples aggregated across the run).
+  struct Summary {
+    int64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+  };
+  std::map<std::string, Summary> summaries;
+};
+
+/// Lowercases and maps every character outside [a-z0-9_] to '_', and
+/// prefixes a leading digit with '_' — a valid Prometheus metric name.
+std::string SanitizeMetricName(std::string_view name);
+
+/// Renders the snapshot in the Prometheus text exposition format.
+/// Counters get a `_total` suffix; summaries expand to `_count`, `_sum`,
+/// `_min` and `_max` gauges. Every name is prefixed with `<prefix>_`.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot,
+                             std::string_view prefix = "autocomp");
+
+/// Writes ToPrometheusText to `path`.
+Status WritePrometheusText(const MetricsSnapshot& snapshot,
+                           const std::string& path,
+                           std::string_view prefix = "autocomp");
+
+}  // namespace autocomp::obs

@@ -1,0 +1,32 @@
+/// \file trace_export.h
+/// \brief Chrome trace_event JSON export of recorded lanes.
+///
+/// The output loads directly in chrome://tracing and Perfetto: one
+/// process ("autocomp"), one thread track per lane (named via "M"
+/// thread_name metadata), complete "X" events for spans and thread-
+/// scoped "i" events for instants. Timestamps are the recorder's
+/// virtual microsecond ticks, so nesting on a track reflects genuine
+/// containment (OODA run → phases → runner units → commit outcomes).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace autocomp::obs {
+
+/// Builds the {"traceEvents": [...], ...} document over the lanes'
+/// retained ring contents, in the given lane order (tid i+1 = lanes[i]).
+/// Null lane pointers are skipped. Deterministic: member order is
+/// sorted (JsonValue) and events are emitted per lane in tick order.
+JsonValue ChromeTraceJson(const std::vector<const TraceRecorder*>& lanes);
+
+/// Serializes ChromeTraceJson to `path`.
+Status WriteChromeTrace(const std::vector<const TraceRecorder*>& lanes,
+                        const std::string& path);
+
+}  // namespace autocomp::obs

@@ -30,6 +30,12 @@ SimEnvironment::SimEnvironment(EnvironmentOptions options)
   if (options_.fault.enabled) {
     compaction_runner_->SetFaultInjector(fault_injector_.get());
   }
+  if (options_.trace != nullptr) {
+    dfs_->SetTraceRecorder(options_.trace);
+    catalog_->SetTraceRecorder(options_.trace);
+    compaction_runner_->SetTraceRecorder(options_.trace);
+    fault_injector_->SetTrace(options_.trace, &clock_);
+  }
 }
 
 int64_t SimEnvironment::TotalFileCount() const {

@@ -42,6 +42,12 @@ struct EnvironmentOptions {
   fault::FaultInjectorOptions fault = {};
   /// Retry budget + backoff shape for the compaction runner.
   fault::RetryPolicy retry = {};
+  /// Trace recorder observing this deployment (not owned; must outlive
+  /// the environment). When set, it is wired onto every NameNode shard,
+  /// the catalog commit path, the compaction runner, and the fault
+  /// injector — regardless of its level, so a level-kOff recorder
+  /// measures the armed-but-disabled overhead (the bench parity guard).
+  obs::TraceRecorder* trace = nullptr;
 
   EnvironmentOptions() {
     query_cluster.executors = 15;

@@ -8,6 +8,7 @@
 #include "common/counter_rng.h"
 #include "common/logging.h"
 #include "fault/invariant_checker.h"
+#include "obs/trace_export.h"
 
 namespace autocomp::sim {
 
@@ -18,8 +19,13 @@ namespace autocomp::sim {
 /// read is the EpochLoadModel, which is immutable between barriers.
 struct FleetSimulation::Lane {
   std::string db;
+  /// Constructed before the environment (which wires it through the
+  /// stack); all of this lane's spans land here, on its own timeline.
+  std::unique_ptr<obs::TraceRecorder> trace;
   std::unique_ptr<SimEnvironment> env;
   MetricsRecorder metrics;
+  /// Per-lane AutoComp control loop (only with FleetSimOptions::preset).
+  std::unique_ptr<core::AutoCompService> service;
   std::unique_ptr<EventDriver> driver;
   /// This day's events for this lane, time-sorted; `next_event` is the
   /// cursor of the first not-yet-executed one.
@@ -94,11 +100,34 @@ Result<FleetSimResult> FleetSimulation::Run() {
                                       CounterRng::HashString(lane->db),
                                       /*index=*/1);
     }
+    // Lane recorder: built even at level kOff when armed, so every
+    // emission site pays its guard (the bench parity configuration).
+    const bool tracing =
+        options_.trace_armed || options_.trace_level != obs::TraceLevel::kOff;
+    if (tracing) {
+      obs::TraceRecorder::Options trace_options;
+      trace_options.level = options_.trace_level;
+      trace_options.lane = lane->db;
+      trace_options.capacity = options_.trace_capacity;
+      lane->trace = std::make_unique<obs::TraceRecorder>(trace_options);
+      env.trace = lane->trace.get();
+    }
     lane->env = std::make_unique<SimEnvironment>(env);
     lane->env->dfs().SetEpochLoadView(&epoch_load_);
     lane->driver = std::make_unique<EventDriver>(lane->env.get(),
                                                  &lane->metrics,
                                                  options_.driver);
+    if (options_.preset) {
+      // Per-lane AutoComp control loop. The lane advances serially (the
+      // fleet pool parallelizes shards, never the inside of a lane), so
+      // the pipeline runs without its own pool; the lane recorder takes
+      // the OODA/decision spans.
+      StrategyPreset preset = *options_.preset;
+      preset.pool = nullptr;
+      preset.trace = lane->trace.get();
+      lane->service = MakeMoopService(lane->env.get(), preset);
+      lane->driver->AttachService(lane->service.get());
+    }
     lane_by_db.emplace(lane->db, static_cast<int>(lanes_.size()));
     lanes_.push_back(std::move(lane));
   }
@@ -222,6 +251,20 @@ Result<FleetSimResult> FleetSimulation::Run() {
     }
   }
   result.metrics = MetricsRecorder::Merge(recorders);
+
+  // Trace wrap-up: merge lane digests (commutative — lane order cannot
+  // matter even in principle) and export the Chrome trace if asked.
+  std::vector<const obs::TraceRecorder*> tracks;
+  for (const auto& lane : lanes_) {
+    if (lane->trace != nullptr) tracks.push_back(lane->trace.get());
+  }
+  if (!tracks.empty()) {
+    result.trace_digest = obs::TraceRecorder::MergeDigests(tracks);
+    if (!options_.trace_out.empty()) {
+      AUTOCOMP_RETURN_NOT_OK(
+          obs::WriteChromeTrace(tracks, options_.trace_out));
+    }
+  }
   return result;
 }
 

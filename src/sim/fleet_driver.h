@@ -31,13 +31,16 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "sim/driver.h"
 #include "sim/environment.h"
 #include "sim/metrics.h"
+#include "sim/presets.h"
 #include "storage/epoch_load.h"
 #include "workload/fleet.h"
 
@@ -70,6 +73,23 @@ struct FleetSimOptions {
   /// with Internal on the first violation. Test-only — a full-metadata
   /// audit per lane per epoch is far too slow for benchmarking.
   bool check_invariants = false;
+  /// Per-lane AutoComp service built from this preset (the preset's pool
+  /// and trace are overridden per lane). nullopt replays the workload
+  /// with no compaction control loop — the pre-tracing behaviour.
+  std::optional<StrategyPreset> preset;
+  /// Trace detail recorded per lane. kOff records nothing (and, unless
+  /// `trace_armed`, no recorders are even constructed).
+  obs::TraceLevel trace_level = obs::TraceLevel::kOff;
+  /// Install per-lane recorders even at kOff, so every emission site
+  /// pays its pointer+level check — the bench harness measures exactly
+  /// this armed-but-disabled overhead against the <2% target.
+  bool trace_armed = false;
+  /// Per-lane ring capacity (events retained for export; the digest
+  /// covers everything regardless).
+  size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
+  /// When non-empty, the merged Chrome trace-event JSON is written here
+  /// at the end of the run (one thread track per lane).
+  std::string trace_out;
 };
 
 /// \brief Outcome of a fleet replay.
@@ -84,6 +104,10 @@ struct FleetSimResult {
   int64_t open_calls = 0;
   /// Faults injected across all lanes (0 in fault-free runs).
   int64_t faults_injected = 0;
+  /// Per-lane trace digests merged (order-insensitive). Empty (zero
+  /// events) when tracing was off; bit-identical across shard counts and
+  /// pool sizes otherwise — the golden-trace tests' oracle.
+  obs::TraceDigest trace_digest;
 };
 
 /// \brief Lockstep epoch driver over per-database lanes.

@@ -160,6 +160,36 @@ bool MetricsRecorder::Equals(const MetricsRecorder& other,
   return true;
 }
 
+obs::MetricsSnapshot MetricsRecorder::Snapshot() const {
+  obs::MetricsSnapshot snap;
+  for (const auto& [name, id] : ids_) {
+    const Slot& slot = slots_[static_cast<size_t>(id)];
+    if (!slot.series.empty()) {
+      snap.gauges[name] = slot.series.back().value;
+    }
+    if (!slot.hourly_counts.empty()) {
+      int64_t total = 0;
+      for (const auto& [hour, n] : slot.hourly_counts) total += n;
+      snap.counters[name] = total;
+    }
+    obs::MetricsSnapshot::Summary summary;
+    for (const auto& [hour, sample] : slot.hourly_samples) {
+      if (sample.count() == 0) continue;
+      if (summary.count == 0) {
+        summary.min = sample.Min();
+        summary.max = sample.Max();
+      } else {
+        summary.min = std::min(summary.min, sample.Min());
+        summary.max = std::max(summary.max, sample.Max());
+      }
+      summary.count += sample.count();
+      summary.sum += sample.Sum();
+    }
+    if (summary.count > 0) snap.summaries[name] = summary;
+  }
+  return snap;
+}
+
 MetricsRecorder MetricsRecorder::Merge(
     const std::vector<const MetricsRecorder*>& lanes) {
   MetricsRecorder out;

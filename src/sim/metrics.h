@@ -11,6 +11,7 @@
 
 #include "common/histogram.h"
 #include "common/units.h"
+#include "obs/metrics_export.h"
 
 namespace autocomp::sim {
 
@@ -74,6 +75,12 @@ class MetricsRecorder {
   /// metrics are ignored. On mismatch, `why` (when given) receives a
   /// human-readable description of the first difference.
   bool Equals(const MetricsRecorder& other, std::string* why = nullptr) const;
+
+  /// \brief Aggregated export view: hourly counters collapse to run
+  /// totals, each series contributes its last value as a gauge, hourly
+  /// samples aggregate to count/sum/min/max summaries. Feeds
+  /// obs::ToPrometheusText (the CLI's --metrics-out).
+  obs::MetricsSnapshot Snapshot() const;
 
   /// \brief Deterministic merge of per-lane recorders: series points are
   /// stably merged by time (ties keep lane order), per-hour samples are

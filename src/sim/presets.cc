@@ -54,6 +54,7 @@ std::unique_ptr<core::AutoCompService> MakeMoopService(
         &env->catalog(), &env->control_plane(), &env->clock());
   }
   stages.pool = preset.pool;
+  stages.trace = preset.trace;
 
   if (preset.min_table_age > 0) {
     stages.pre_orient_filters.push_back(

@@ -61,6 +61,10 @@ struct StrategyPreset {
   /// Debug mode: on every index hit, also rescan and fail loudly on any
   /// divergence. Expensive; for tests and ablation studies.
   bool cross_check_stats_index = false;
+  /// Trace recorder for the pipeline's OODA phase spans and decision
+  /// instants (not owned; must outlive the service). Usually the same
+  /// recorder EnvironmentOptions::trace installs on the lower layers.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// \brief Builds the full pipeline + periodic service over `env`'s

@@ -133,6 +133,10 @@ void DistributedFileSystem::SetFaultInjector(fault::FaultInjector* injector) {
   for (const auto& shard : shards_) shard->SetFaultInjector(injector);
 }
 
+void DistributedFileSystem::SetTraceRecorder(obs::TraceRecorder* trace) {
+  for (const auto& shard : shards_) shard->SetTraceRecorder(trace);
+}
+
 Status DistributedFileSystem::AuditAccounting() const {
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (Status s = shards_[i]->AuditAccounting(); !s.ok()) {

@@ -56,6 +56,10 @@ class DistributedFileSystem {
   /// NameNode shard (see NameNode::SetFaultInjector).
   void SetFaultInjector(fault::FaultInjector* injector);
 
+  /// Installs (or clears, with nullptr) the trace recorder on every
+  /// NameNode shard (see NameNode::SetTraceRecorder).
+  void SetTraceRecorder(obs::TraceRecorder* trace);
+
   /// Runs NameNode::AuditAccounting on every shard; first failure wins.
   Status AuditAccounting() const;
 

@@ -5,6 +5,7 @@
 
 #include "common/counter_rng.h"
 #include "fault/fault_injector.h"
+#include "obs/trace.h"
 #include "storage/epoch_load.h"
 
 namespace autocomp::storage {
@@ -65,6 +66,11 @@ Status NameNode::CreateFile(const std::string& path, int64_t size_bytes,
     }
     const QuotaStatus q = GetQuota(quota_dir);
     if (q.used_objects + new_objects > max_objects) {
+      if (trace_ != nullptr && trace_->enabled(obs::TraceLevel::kFull)) {
+        trace_->Instant(obs::TraceLevel::kFull, obs::SpanCategory::kStorage,
+                        "storage.quota_reject", clock_->Now(),
+                        "path=" + path + ";quota=" + quota_dir);
+      }
       return Status::ResourceExhausted(
           "namespace quota exceeded for " + quota_dir + " (" +
           std::to_string(q.used_objects) + "+" + std::to_string(new_objects) +
@@ -118,6 +124,11 @@ Result<FileInfo> NameNode::Open(const std::string& path) {
   if (fault_ != nullptr &&
       fault_->Arm(fault::kSiteStorageOpen, path) == fault::FaultKind::kTimeout) {
     ++stats_.timeouts;
+    if (trace_ != nullptr && trace_->enabled(obs::TraceLevel::kFull)) {
+      trace_->Instant(obs::TraceLevel::kFull, obs::SpanCategory::kStorage,
+                      "storage.open_timeout", clock_->Now(),
+                      "path=" + path + ";injected=1");
+    }
     return fault::FaultInjector::ToStatus(fault::FaultKind::kTimeout,
                                           fault::kSiteStorageOpen, path);
   }
@@ -136,6 +147,11 @@ Result<FileInfo> NameNode::Open(const std::string& path) {
   }
   if (timed_out) {
     ++stats_.timeouts;
+    if (trace_ != nullptr && trace_->enabled(obs::TraceLevel::kFull)) {
+      trace_->Instant(obs::TraceLevel::kFull, obs::SpanCategory::kStorage,
+                      "storage.open_timeout", clock_->Now(),
+                      "path=" + path + ";injected=0", p_timeout);
+    }
     return Status::TimedOut("read timeout under NameNode RPC pressure: " +
                             path);
   }

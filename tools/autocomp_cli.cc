@@ -26,6 +26,9 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics_export.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "core/advisor.h"
 #include "fault/fault_injector.h"
 #include "fault/invariant_checker.h"
@@ -71,6 +74,12 @@ struct Flags {
   /// Run the fault harness's invariant audit after the run (and, for
   /// fleetsim, after every hour epoch).
   bool check_invariants = false;
+  /// Trace detail recorded during the run (off|phases|decisions|full).
+  std::string trace_level = "off";
+  /// Chrome trace-event JSON output path ("" = no export).
+  std::string trace_out;
+  /// Prometheus text metrics output path ("" = no export).
+  std::string metrics_out;
 };
 
 void PrintUsage() {
@@ -87,6 +96,8 @@ void PrintUsage() {
       "                    [--fault-profile=none|timeouts|conflicts|chaos]\n"
       "                    [--fault-seed=N] [--fault-retries=N]\n"
       "                    [--check-invariants]\n"
+      "                    [--trace-level=off|phases|decisions|full]\n"
+      "                    [--trace-out=PATH] [--metrics-out=PATH]\n"
       "\n"
       "  --sim-shards=K           fleetsim: partition the fleet's tenant\n"
       "                           databases into K deterministic shards\n"
@@ -113,7 +124,17 @@ void PrintUsage() {
       "                           backoff) for commit conflicts and runner\n"
       "                           crashes (default 4)\n"
       "  --check-invariants       audit live-file/quota/lineage invariants\n"
-      "                           after the run (fleetsim: every epoch)\n");
+      "                           after the run (fleetsim: every epoch)\n"
+      "  --trace-level=LEVEL      deterministic tracing detail: phases\n"
+      "                           records OODA phase spans, decisions adds\n"
+      "                           ranking/winner events, full adds runner\n"
+      "                           retries, commit outcomes, fault hits and\n"
+      "                           storage timeout draws; the printed digest\n"
+      "                           is bit-identical at any shard/pool size\n"
+      "  --trace-out=PATH         write the trace as Chrome trace-event\n"
+      "                           JSON (open in chrome://tracing)\n"
+      "  --metrics-out=PATH       write run metrics in the Prometheus text\n"
+      "                           exposition format\n");
 }
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -159,6 +180,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->fault_seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of("--fault-retries")) {
       flags->fault_retries = std::atoi(v);
+    } else if (const char* v = value_of("--trace-level")) {
+      flags->trace_level = v;
+    } else if (const char* v = value_of("--trace-out")) {
+      flags->trace_out = v;
+    } else if (const char* v = value_of("--metrics-out")) {
+      flags->metrics_out = v;
     } else if (arg == "--check-invariants") {
       flags->check_invariants = true;
     } else if (arg == "--no-sharded-sim") {
@@ -207,6 +234,36 @@ Result<sim::EnvironmentOptions> EnvOptionsFor(const Flags& flags) {
   return env;
 }
 
+/// Exports the trace / metrics artifacts the flags asked for and prints
+/// the one-line trace digest (the golden fingerprint of the run).
+int ExportObservability(const Flags& flags, const obs::TraceRecorder* trace,
+                        const sim::MetricsRecorder& metrics) {
+  if (trace != nullptr) {
+    std::printf("trace digest: %s (%lld dropped from ring)\n",
+                trace->digest().ToString().c_str(),
+                static_cast<long long>(trace->events_dropped()));
+    if (!flags.trace_out.empty()) {
+      Status s = obs::WriteChromeTrace({trace}, flags.trace_out);
+      if (!s.ok()) {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::printf("trace written to %s\n", flags.trace_out.c_str());
+    }
+  }
+  if (!flags.metrics_out.empty()) {
+    Status s = obs::WritePrometheusText(metrics.Snapshot(), flags.metrics_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", flags.metrics_out.c_str());
+  }
+  return 0;
+}
+
 /// Post-run invariant audit for the single-environment scenarios.
 int AuditInvariants(sim::SimEnvironment& env) {
   const fault::InvariantChecker checker;
@@ -222,7 +279,8 @@ int AuditInvariants(sim::SimEnvironment& env) {
 std::unique_ptr<core::AutoCompService> MakeService(sim::SimEnvironment* env,
                                                    const Flags& flags,
                                                    SimTime interval,
-                                                   ThreadPool* pool) {
+                                                   ThreadPool* pool,
+                                                   obs::TraceRecorder* trace) {
   if (flags.strategy == "none") return nullptr;
   auto scope = ScopeFor(flags.strategy);
   AUTOCOMP_CHECK(scope.ok()) << scope.status();
@@ -238,6 +296,7 @@ std::unique_ptr<core::AutoCompService> MakeService(sim::SimEnvironment* env,
   preset.stats_cache_capacity = flags.stats_cache_capacity;
   preset.use_stats_index = flags.stats_index;
   preset.cross_check_stats_index = flags.cross_check_stats_index;
+  preset.trace = trace;
   return sim::MakeMoopService(env, preset);
 }
 
@@ -337,6 +396,18 @@ int RunCab(const Flags& flags) {
     std::fprintf(stderr, "%s\n", env_options.status().ToString().c_str());
     return 2;
   }
+  auto trace_level = obs::TraceLevelByName(flags.trace_level);
+  if (!trace_level.ok()) {
+    std::fprintf(stderr, "%s\n", trace_level.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<obs::TraceRecorder> trace;
+  if (*trace_level != obs::TraceLevel::kOff) {
+    obs::TraceRecorder::Options trace_options;
+    trace_options.level = *trace_level;
+    trace = std::make_unique<obs::TraceRecorder>(trace_options);
+    env_options->trace = trace.get();
+  }
   sim::SimEnvironment env(*env_options);
   workload::CabOptions options;
   options.num_databases = flags.databases;
@@ -360,7 +431,7 @@ int RunCab(const Flags& flags) {
   const int64_t initial = env.TotalFileCount();
 
   ThreadPool pool(flags.pool_size);
-  auto service = MakeService(&env, flags, kHour, &pool);
+  auto service = MakeService(&env, flags, kHour, &pool, trace.get());
   sim::MetricsRecorder metrics;
   sim::DriverOptions driver_options;
   driver_options.deferred_compaction = flags.deferred;
@@ -387,8 +458,11 @@ int RunCab(const Flags& flags) {
   std::printf("%s\n", series.ToString().c_str());
   PrintSummary(env, metrics, service.get(), initial,
                driver.total_read_seconds());
-  if (flags.check_invariants) return AuditInvariants(env);
-  return 0;
+  const int export_rc = ExportObservability(flags, trace.get(), metrics);
+  if (flags.check_invariants) {
+    if (const int rc = AuditInvariants(env); rc != 0) return rc;
+  }
+  return export_rc;
 }
 
 int RunFleet(const Flags& flags) {
@@ -396,6 +470,18 @@ int RunFleet(const Flags& flags) {
   if (!env_options.ok()) {
     std::fprintf(stderr, "%s\n", env_options.status().ToString().c_str());
     return 2;
+  }
+  auto trace_level = obs::TraceLevelByName(flags.trace_level);
+  if (!trace_level.ok()) {
+    std::fprintf(stderr, "%s\n", trace_level.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<obs::TraceRecorder> trace;
+  if (*trace_level != obs::TraceLevel::kOff) {
+    obs::TraceRecorder::Options trace_options;
+    trace_options.level = *trace_level;
+    trace = std::make_unique<obs::TraceRecorder>(trace_options);
+    env_options->trace = trace.get();
   }
   sim::SimEnvironment env(*env_options);
   workload::FleetOptions options;
@@ -415,7 +501,7 @@ int RunFleet(const Flags& flags) {
   const int64_t initial = env.TotalFileCount();
 
   ThreadPool pool(flags.pool_size);
-  auto service = MakeService(&env, flags, kDay, &pool);
+  auto service = MakeService(&env, flags, kDay, &pool, trace.get());
   sim::MetricsRecorder metrics;
   sim::DriverOptions driver_options;
   driver_options.deferred_compaction = flags.deferred;
@@ -466,8 +552,11 @@ int RunFleet(const Flags& flags) {
                   a.table.c_str(), a.message.c_str());
     }
   }
-  if (flags.check_invariants) return AuditInvariants(env);
-  return 0;
+  const int export_rc = ExportObservability(flags, trace.get(), metrics);
+  if (flags.check_invariants) {
+    if (const int rc = AuditInvariants(env); rc != 0) return rc;
+  }
+  return export_rc;
 }
 
 int RunFleetSim(const Flags& flags) {
@@ -489,6 +578,32 @@ int RunFleetSim(const Flags& flags) {
     return 2;
   }
   options.env = *env_options;
+  auto trace_level = obs::TraceLevelByName(flags.trace_level);
+  if (!trace_level.ok()) {
+    std::fprintf(stderr, "%s\n", trace_level.status().ToString().c_str());
+    return 2;
+  }
+  options.trace_level = *trace_level;
+  options.trace_out = flags.trace_out;
+  if (flags.strategy != "none") {
+    // Per-lane AutoComp control loop: every tenant database runs the
+    // daily MOOP pipeline inside its own lane.
+    auto scope = ScopeFor(flags.strategy);
+    AUTOCOMP_CHECK(scope.ok()) << scope.status();
+    sim::StrategyPreset preset;
+    preset.scope = *scope;
+    preset.k = flags.k;
+    if (flags.budget > 0) preset.budget_gb_hours = flags.budget;
+    preset.trigger_interval = kDay;
+    preset.first_trigger = kDay;
+    preset.deferred_act = flags.deferred;
+    preset.cache_stats = flags.stats_cache;
+    preset.stats_cache_capacity = flags.stats_cache_capacity;
+    preset.use_stats_index = flags.stats_index;
+    preset.cross_check_stats_index = flags.cross_check_stats_index;
+    options.driver.deferred_compaction = flags.deferred;
+    options.preset = preset;
+  }
 
   std::printf("replaying %d fleet days across %d tenant databases "
               "(%s, shards=%d, pool=%d)...\n",
@@ -536,6 +651,9 @@ int RunFleetSim(const Flags& flags) {
   if (flags.check_invariants) {
     table.AddRow({"invariant audits", "OK (every epoch + final)"});
   }
+  if (*trace_level != obs::TraceLevel::kOff) {
+    table.AddRow({"trace digest", result->trace_digest.ToString()});
+  }
   table.AddRow({"wall-clock (ms)", sim::Fmt(wall_ms, 1)});
   table.AddRow(
       {"events/sec",
@@ -544,6 +662,19 @@ int RunFleetSim(const Flags& flags) {
                             : 0,
                 0)});
   std::printf("%s", table.ToString().c_str());
+  if (!flags.trace_out.empty() && *trace_level != obs::TraceLevel::kOff) {
+    std::printf("trace written to %s\n", flags.trace_out.c_str());
+  }
+  if (!flags.metrics_out.empty()) {
+    Status s = obs::WritePrometheusText(result->metrics.Snapshot(),
+                                        flags.metrics_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", flags.metrics_out.c_str());
+  }
   return 0;
 }
 

@@ -1,22 +1,91 @@
 #!/usr/bin/env bash
 # Full pre-merge check: tier-1 build + tests, then the concurrency- and
 # fault-labelled suites under both sanitizer configurations (ASan+UBSan
-# and TSan). Usage: tools/check.sh [jobs]
+# and TSan). Usage:
+#   tools/check.sh [jobs]        - the pre-merge check
+#   tools/check.sh coverage [jobs]
+#       Coverage gate only: builds with -DAUTOCOMP_COVERAGE=ON, runs the
+#       suite, and measures line coverage of src/core + src/obs. With
+#       lcov/genhtml installed an HTML report lands in
+#       build-cov/coverage-html; without them a raw-gcov aggregate is
+#       used. Fails when aggregate line coverage is below 80%.
 #
 # Build trees:
 #   build/       - default RelWithDebInfo, full ctest suite
 #   build-asan/  - -DAUTOCOMP_SANITIZE=address (ASan+UBSan), ctest -L 'concurrency|fault'
 #   build-tsan/  - -DAUTOCOMP_SANITIZE=thread, ctest -L 'concurrency|fault'
+#   build-cov/   - -DAUTOCOMP_COVERAGE=ON (coverage mode only)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-JOBS="${1:-$(nproc)}"
 
 run() {
   echo "==> $*"
   "$@"
 }
+
+# Aggregate line coverage (percent) of src/core + src/obs from raw gcov
+# summaries over the library objects' .gcda files. Primary sources only
+# (.cc): header/inline lines would be double-counted across translation
+# units without lcov's deduplication.
+gcov_line_coverage() {
+  local build="$1"
+  find "$build/src/core" "$build/src/obs" -name '*.gcda' \
+      -exec gcov -n {} + 2>/dev/null |
+    awk '
+      /^File /            { keep = ($0 ~ /src\/(core|obs)\/.*\.cc/) }
+      /^Lines executed:/  {
+        if (!keep) next
+        line = $0
+        sub(/^Lines executed:/, "", line)
+        split(line, a, "% of ")
+        covered += a[1] * a[2] / 100.0
+        total += a[2]
+      }
+      END { if (total == 0) print "0.00"; else printf "%.2f\n", covered * 100.0 / total }
+    '
+}
+
+coverage_check() {
+  local jobs="$1"
+  local build=build-cov
+  local threshold=80
+  run cmake -B "$build" -S . -DAUTOCOMP_COVERAGE=ON \
+      -DAUTOCOMP_BUILD_BENCHMARKS=OFF -DAUTOCOMP_BUILD_EXAMPLES=OFF
+  run cmake --build "$build" -j "$jobs"
+  run ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+  local pct
+  if command -v lcov >/dev/null && command -v genhtml >/dev/null; then
+    run lcov --capture --directory "$build" --output-file "$build/coverage.info" \
+        --ignore-errors mismatch,negative
+    run lcov --extract "$build/coverage.info" "*/src/core/*" "*/src/obs/*" \
+        --output-file "$build/coverage.core-obs.info"
+    run genhtml "$build/coverage.core-obs.info" \
+        --output-directory "$build/coverage-html"
+    pct=$(lcov --summary "$build/coverage.core-obs.info" 2>&1 |
+          awk '/lines\.*:/ { sub(/%.*/, "", $2); print $2 }')
+    echo "HTML report: $build/coverage-html/index.html"
+  else
+    echo "lcov/genhtml not found; falling back to raw gcov aggregation"
+    pct=$(gcov_line_coverage "$build")
+  fi
+
+  echo "src/core + src/obs line coverage: ${pct}% (threshold ${threshold}%)"
+  if ! awk -v p="$pct" -v t="$threshold" 'BEGIN { exit !(p + 0 >= t) }'; then
+    echo "FAIL: line coverage ${pct}% is below ${threshold}%"
+    exit 1
+  fi
+  echo "Coverage check passed."
+}
+
+if [[ "${1:-}" == "coverage" ]]; then
+  coverage_check "${2:-$(nproc)}"
+  exit 0
+fi
+
+JOBS="${1:-$(nproc)}"
 
 # --- Tier 1: default build, full suite.
 run cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
