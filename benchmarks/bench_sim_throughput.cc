@@ -77,6 +77,14 @@ int EnvInt(const char* name, int fallback, int min_value) {
   return parsed < min_value ? fallback : parsed;
 }
 
+/// Perf-gate knobs (CI's perf-smoke job sets these; unset = report only):
+/// a value <= 0 disables the corresponding gate.
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return std::atof(value);
+}
+
 const int kDays = EnvInt("AUTOCOMP_BENCH_SIM_DAYS", 1, 1);
 const int kRunsPerConfig = EnvInt("AUTOCOMP_BENCH_SIM_RUNS", 1, 1);
 
@@ -365,7 +373,20 @@ int main() {
     trace_runs.Append(std::move(entry));
   }
 
+  // Pre-overhaul reference (PR 5 seed, same 2000-table/1-day config on a
+  // 1-vCPU container): the "before" side of the hot-path rework. Kept as
+  // constants so regenerating this file never loses the comparison.
+  JsonValue baseline = JsonValue::Object();
+  baseline.Set("label", std::string("pr5-pre-overhaul"));
+  baseline.Set("seq_wall_ms", 45976.1);
+  baseline.Set("seq_events", static_cast<int64_t>(901));
+  baseline.Set("seq_events_per_sec", 19.6);
+  baseline.Set("fault_armed_overhead_pct", 13.2);
+
   JsonValue doc = JsonValue::Object();
+  doc.Set("baseline", std::move(baseline));
+  doc.Set("events_per_sec", seq.events_per_sec);
+  doc.Set("speedup_vs_baseline", seq.events_per_sec / 19.6);
   doc.Set("fault_runs", std::move(fault_runs));
   doc.Set("fault_armed_overhead_pct", armed_overhead_pct);
   doc.Set("fault_armed_overhead_target_pct", kArmedOverheadTargetPct);
@@ -383,5 +404,39 @@ int main() {
   std::fwrite(dumped.data(), 1, dumped.size(), out);
   std::fclose(out);
   std::printf("wrote BENCH_sim.json\n");
-  return 0;
+
+  // --- Perf gates (CI perf-smoke). Throughput may only regress to the
+  // checked-in floor, and the armed-but-idle fault / disabled-tracing
+  // costs must stay inside their budgets. Report-only unless the env
+  // vars are set, so local exploratory runs never fail spuriously.
+  const double min_events_per_sec =
+      EnvDouble("AUTOCOMP_BENCH_MIN_EVENTS_PER_SEC", 0);
+  const double max_overhead_pct =
+      EnvDouble("AUTOCOMP_BENCH_MAX_OVERHEAD_PCT", 0);
+  int gate_failures = 0;
+  if (min_events_per_sec > 0 && seq.events_per_sec < min_events_per_sec) {
+    std::printf("PERF GATE FAIL: seq events/s %.0f below floor %.0f\n",
+                seq.events_per_sec, min_events_per_sec);
+    ++gate_failures;
+  }
+  if (max_overhead_pct > 0) {
+    if (armed_overhead_pct > max_overhead_pct) {
+      std::printf(
+          "PERF GATE FAIL: armed fault overhead %.2f%% above budget %.2f%%\n",
+          armed_overhead_pct, max_overhead_pct);
+      ++gate_failures;
+    }
+    if (trace_off_overhead_pct > max_overhead_pct) {
+      std::printf(
+          "PERF GATE FAIL: trace-off overhead %.2f%% above budget %.2f%%\n",
+          trace_off_overhead_pct, max_overhead_pct);
+      ++gate_failures;
+    }
+  }
+  if (min_events_per_sec > 0 || max_overhead_pct > 0) {
+    std::printf("perf gates: %s (floor %.0f ev/s, overhead budget %.2f%%)\n",
+                gate_failures == 0 ? "PASS" : "FAIL", min_events_per_sec,
+                max_overhead_pct);
+  }
+  return gate_failures == 0 ? 0 : 1;
 }

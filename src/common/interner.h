@@ -1,0 +1,95 @@
+/// \file interner.h
+/// \brief Dense string interning for hot-path identity keys.
+///
+/// The simulator's hot loops (event driver, stats index, NameNode tallies)
+/// historically keyed their maps by `std::string` — every lookup paid a
+/// heap-allocated key compare and every tree step a memcmp. A
+/// StringInterner assigns each distinct name a dense int32 handle
+/// (`TableId` / `PartitionId`); hot paths key by handle and only touch the
+/// string at construction and reporting edges.
+///
+/// Determinism contract: ids are assigned in first-Intern order, which on
+/// any deterministic replay is itself deterministic — but ids are NOT
+/// stable across different insertion orders. Nothing order-sensitive may
+/// ever compare or sort by raw id where the legacy code sorted by name;
+/// use `NameLess` (id -> name lexicographic compare) at those sites so
+/// interning can never change a tie-break (NFR2 bit-identity).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace autocomp::common {
+
+/// \brief Dense int32 handle for an interned table name.
+using TableId = int32_t;
+/// \brief Dense int32 handle for an interned partition value.
+using PartitionId = int32_t;
+
+/// \brief Append-only string -> dense id mapping with stable storage.
+///
+/// Thread-safe: Intern/Lookup/NameOf may race (the catalog's interner is
+/// shared with pool workers). Names live in a deque so `NameOf` references
+/// stay valid forever; ids are never recycled.
+class StringInterner {
+ public:
+  using Id = int32_t;
+  static constexpr Id kInvalidId = -1;
+
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns the id for `name`, assigning the next dense id on first use.
+  Id Intern(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    const Id id = static_cast<Id>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name`, or kInvalidId when it was never interned.
+  Id Lookup(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(name);
+    return it == index_.end() ? kInvalidId : it->second;
+  }
+
+  /// The interned name for `id`. The reference stays valid for the
+  /// interner's lifetime (append-only deque storage).
+  const std::string& NameOf(Id id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return names_[static_cast<size_t>(id)];
+  }
+
+  /// Lexicographic compare by *name* — the tie-break shim that keeps
+  /// interned hot paths bit-identical to their string-keyed ancestors.
+  bool NameLess(Id a, Id b) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return names_[static_cast<size_t>(a)] < names_[static_cast<size_t>(b)];
+  }
+
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(names_.size());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> names_;  // id -> name; references are stable
+  // string_view keys point into names_ (stable), so lookups by
+  // string_view never allocate. Ordered map per the no-unordered-container
+  // determinism policy (CONTRIBUTING.md).
+  std::map<std::string_view, Id, std::less<>> index_;
+};
+
+}  // namespace autocomp::common

@@ -31,14 +31,16 @@ bool IncrementalStatsIndex::Aggregate::Remove(const lst::DataFile& f) {
   return true;
 }
 
-void IncrementalStatsIndex::ScopeView::Add(const lst::DataFile& f) {
+void IncrementalStatsIndex::ScopeView::Add(common::PartitionId pid,
+                                           const lst::DataFile& f) {
   total.Add(f);
-  partitions[f.partition].Add(f);
+  partitions[pid].Add(f);
 }
 
-bool IncrementalStatsIndex::ScopeView::Remove(const lst::DataFile& f) {
+bool IncrementalStatsIndex::ScopeView::Remove(common::PartitionId pid,
+                                              const lst::DataFile& f) {
   if (!total.Remove(f)) return false;
-  const auto it = partitions.find(f.partition);
+  const auto it = partitions.find(pid);
   if (it == partitions.end() || !it->second.Remove(f)) return false;
   // Empty partitions disappear so the partition key set always equals
   // TableMetadata::LivePartitions() of the same version.
@@ -66,8 +68,8 @@ IncrementalStatsIndex::~IncrementalStatsIndex() {
 }
 
 IncrementalStatsIndex::Shard& IncrementalStatsIndex::ShardFor(
-    const std::string& table) const {
-  return shards_[std::hash<std::string>{}(table) % kShardCount];
+    common::TableId table) const {
+  return shards_[static_cast<size_t>(table) % kShardCount];
 }
 
 int IncrementalStatsIndex::SizeBucket(int64_t size_bytes) {
@@ -92,45 +94,63 @@ void IncrementalStatsIndex::RebuildLocked(
   }
   entry->last_replace_snapshot_id = last_replace;
 
-  // One manifest walk; vectors fill unsorted and are sorted once at the
-  // end (cheaper than per-file sorted insertion for a bulk load).
-  meta.ForEachLiveFile([&](const lst::DataFile& f) {
-    entry->live.total.sizes.push_back(f.file_size_bytes);
-    entry->live.total.total_bytes += f.file_size_bytes;
-    if (f.content == lst::FileContent::kPositionDeletes) {
-      ++entry->live.total.delete_file_count;
-    }
-    if (!f.clustered) entry->live.total.unclustered_bytes += f.file_size_bytes;
-    Aggregate& part = entry->live.partitions[f.partition];
-    part.sizes.push_back(f.file_size_bytes);
-    part.total_bytes += f.file_size_bytes;
-    if (f.content == lst::FileContent::kPositionDeletes) {
-      ++part.delete_file_count;
-    }
-    if (!f.clustered) part.unclustered_bytes += f.file_size_bytes;
+  // One manifest walk over the SoA columns; vectors fill unsorted and
+  // are sorted once at the end (cheaper than per-file sorted insertion
+  // for a bulk load). Partition keys are translated once per (manifest,
+  // partition) into this entry's id arena, so the per-file loop reads
+  // four numeric columns and never touches a string.
+  const lst::Snapshot* snap = meta.current_snapshot();
+  std::vector<common::PartitionId> translate;
+  if (snap != nullptr) {
+    for (const lst::ManifestPtr& m : snap->manifests) {
+      const common::StringInterner& names = m->partition_interner();
+      translate.assign(static_cast<size_t>(names.size()),
+                       common::StringInterner::kInvalidId);
+      for (const common::PartitionId mpid : m->partition_ids()) {
+        translate[static_cast<size_t>(mpid)] =
+            entry->partition_names.Intern(names.NameOf(mpid));
+      }
+      const auto& sizes = m->size_column();
+      const auto& flags = m->flag_column();
+      const auto& added = m->added_snapshot_column();
+      const auto& pcol = m->partition_column();
+      for (size_t i = 0; i < sizes.size(); ++i) {
+        const int64_t size = sizes[i];
+        const bool is_delete =
+            (flags[i] & lst::Manifest::kFlagPositionDeletes) != 0;
+        const bool unclustered =
+            (flags[i] & lst::Manifest::kFlagUnclustered) != 0;
+        const common::PartitionId pid =
+            translate[static_cast<size_t>(pcol[i])];
 
-    if (f.added_snapshot_id > last_replace) {
-      entry->fresh.total.sizes.push_back(f.file_size_bytes);
-      entry->fresh.total.total_bytes += f.file_size_bytes;
-      if (f.content == lst::FileContent::kPositionDeletes) {
-        ++entry->fresh.total.delete_file_count;
-      }
-      if (!f.clustered) {
-        entry->fresh.total.unclustered_bytes += f.file_size_bytes;
-      }
-      Aggregate& fresh_part = entry->fresh.partitions[f.partition];
-      fresh_part.sizes.push_back(f.file_size_bytes);
-      fresh_part.total_bytes += f.file_size_bytes;
-      if (f.content == lst::FileContent::kPositionDeletes) {
-        ++fresh_part.delete_file_count;
-      }
-      if (!f.clustered) fresh_part.unclustered_bytes += f.file_size_bytes;
-    }
+        entry->live.total.sizes.push_back(size);
+        entry->live.total.total_bytes += size;
+        if (is_delete) ++entry->live.total.delete_file_count;
+        if (unclustered) entry->live.total.unclustered_bytes += size;
+        Aggregate& part = entry->live.partitions[pid];
+        part.sizes.push_back(size);
+        part.total_bytes += size;
+        if (is_delete) ++part.delete_file_count;
+        if (unclustered) part.unclustered_bytes += size;
 
-    const int bucket = SizeBucket(f.file_size_bytes);
-    ++entry->histogram_count[bucket];
-    entry->histogram_bytes[bucket] += f.file_size_bytes;
-  });
+        if (added[i] > last_replace) {
+          entry->fresh.total.sizes.push_back(size);
+          entry->fresh.total.total_bytes += size;
+          if (is_delete) ++entry->fresh.total.delete_file_count;
+          if (unclustered) entry->fresh.total.unclustered_bytes += size;
+          Aggregate& fresh_part = entry->fresh.partitions[pid];
+          fresh_part.sizes.push_back(size);
+          fresh_part.total_bytes += size;
+          if (is_delete) ++fresh_part.delete_file_count;
+          if (unclustered) fresh_part.unclustered_bytes += size;
+        }
+
+        const int bucket = SizeBucket(size);
+        ++entry->histogram_count[bucket];
+        entry->histogram_bytes[bucket] += size;
+      }
+    }
+  }
 
   std::sort(entry->live.total.sizes.begin(), entry->live.total.sizes.end());
   for (auto& [_, part] : entry->live.partitions) {
@@ -151,10 +171,12 @@ void IncrementalStatsIndex::ApplyDeltaLocked(
   // fresh iff it was added after the replace snapshot that preceded this
   // commit.
   for (const lst::DataFile& f : delta.removed) {
+    const common::PartitionId pid =
+        entry->partition_names.Intern(f.partition);
     const bool was_fresh =
         f.added_snapshot_id > entry->last_replace_snapshot_id;
-    if (!entry->live.Remove(f) ||
-        (was_fresh && !entry->fresh.Remove(f))) {
+    if (!entry->live.Remove(pid, f) ||
+        (was_fresh && !entry->fresh.Remove(pid, f))) {
       // The delta does not reconcile with the aggregates (should not
       // happen; defensive against future commit paths) — rebuild.
       rebuilds_.fetch_add(1);
@@ -176,9 +198,11 @@ void IncrementalStatsIndex::ApplyDeltaLocked(
   }
 
   for (const lst::DataFile& f : delta.added) {
-    entry->live.Add(f);
+    const common::PartitionId pid =
+        entry->partition_names.Intern(f.partition);
+    entry->live.Add(pid, f);
     if (f.added_snapshot_id > entry->last_replace_snapshot_id) {
-      entry->fresh.Add(f);
+      entry->fresh.Add(pid, f);
     }
     const int bucket = SizeBucket(f.file_size_bytes);
     ++entry->histogram_count[bucket];
@@ -190,7 +214,7 @@ void IncrementalStatsIndex::ApplyDeltaLocked(
 }
 
 IncrementalStatsIndex::TableEntry* IncrementalStatsIndex::EnsureLocked(
-    Shard& shard, const std::string& table,
+    Shard& shard, common::TableId table,
     const lst::TableMetadata& meta) const {
   auto [it, inserted] = shard.tables.try_emplace(table);
   TableEntry& entry = it->second;
@@ -213,9 +237,10 @@ IncrementalStatsIndex::TableEntry* IncrementalStatsIndex::EnsureLocked(
 }
 
 void IncrementalStatsIndex::OnCommit(const catalog::CommitEvent& event) const {
-  Shard& shard = ShardFor(event.table);
+  const common::TableId table_id = table_ids_.Intern(event.table);
+  Shard& shard = ShardFor(table_id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.tables.find(event.table);
+  const auto it = shard.tables.find(table_id);
   if (event.metadata == nullptr) {  // drop
     if (it != shard.tables.end()) shard.tables.erase(it);
     return;
@@ -244,9 +269,10 @@ void IncrementalStatsIndex::OnCommit(const catalog::CommitEvent& event) const {
 
 std::optional<CandidateStats> IncrementalStatsIndex::TryCollect(
     const Candidate& candidate, const lst::TableMetadataPtr& meta) const {
-  Shard& shard = ShardFor(candidate.table);
+  const common::TableId table_id = table_ids_.Intern(candidate.table);
+  Shard& shard = ShardFor(table_id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  const TableEntry* entry = EnsureLocked(shard, candidate.table, *meta);
+  const TableEntry* entry = EnsureLocked(shard, table_id, *meta);
   if (entry == nullptr) return std::nullopt;
 
   const ScopeView* view = nullptr;
@@ -271,8 +297,15 @@ std::optional<CandidateStats> IncrementalStatsIndex::TryCollect(
   stats.last_modified_at = meta->last_updated_at();
 
   if (candidate.scope == CandidateScope::kPartition) {
-    const auto part = candidate.partition.has_value()
-                          ? entry->live.partitions.find(*candidate.partition)
+    // Reporting edge: resolve the candidate's partition key against the
+    // entry's arena; an unknown key means no live files (same result a
+    // rescan restricted to it would produce).
+    const common::PartitionId pid =
+        candidate.partition.has_value()
+            ? entry->partition_names.Lookup(*candidate.partition)
+            : common::StringInterner::kInvalidId;
+    const auto part = pid != common::StringInterner::kInvalidId
+                          ? entry->live.partitions.find(pid)
                           : entry->live.partitions.end();
     if (part != entry->live.partitions.end()) {
       const Aggregate& agg = part->second;
@@ -280,17 +313,18 @@ std::optional<CandidateStats> IncrementalStatsIndex::TryCollect(
       stats.total_bytes = agg.total_bytes;
       stats.delete_file_count = agg.delete_file_count;
       stats.unclustered_bytes = agg.unclustered_bytes;
-      stats.file_sizes_by_partition.emplace(part->first, agg.sizes);
+      stats.file_sizes_by_partition.emplace(*candidate.partition, agg.sizes);
     }
-    // else: no live files in that partition — empty stats, same as a
-    // rescan restricted to it.
   } else {
     stats.file_sizes = view->total.sizes;
     stats.total_bytes = view->total.total_bytes;
     stats.delete_file_count = view->total.delete_file_count;
     stats.unclustered_bytes = view->total.unclustered_bytes;
-    for (const auto& [partition, agg] : view->partitions) {
-      stats.file_sizes_by_partition.emplace(partition, agg.sizes);
+    // The id-keyed map iterates in id (arrival) order; inserting into
+    // the name-keyed output map restores lexicographic order (NFR2).
+    for (const auto& [pid, agg] : view->partitions) {
+      stats.file_sizes_by_partition.emplace(entry->partition_names.NameOf(pid),
+                                            agg.sizes);
     }
   }
   stats.file_count = static_cast<int64_t>(stats.file_sizes.size());
@@ -299,25 +333,28 @@ std::optional<CandidateStats> IncrementalStatsIndex::TryCollect(
 
 std::optional<std::vector<std::string>> IncrementalStatsIndex::LivePartitions(
     const std::string& table, const lst::TableMetadataPtr& meta) const {
-  Shard& shard = ShardFor(table);
+  const common::TableId table_id = table_ids_.Intern(table);
+  Shard& shard = ShardFor(table_id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  const TableEntry* entry = EnsureLocked(shard, table, *meta);
+  const TableEntry* entry = EnsureLocked(shard, table_id, *meta);
   if (entry == nullptr) return std::nullopt;
   std::vector<std::string> out;
   out.reserve(entry->live.partitions.size());
-  // std::map iterates keys in lexicographic order — identical to the
-  // sorted output of TableMetadata::LivePartitions (NFR2).
-  for (const auto& [partition, _] : entry->live.partitions) {
-    out.push_back(partition);
+  for (const auto& [pid, _] : entry->live.partitions) {
+    out.push_back(entry->partition_names.NameOf(pid));
   }
+  // Ids iterate in arrival order; sorting restores the lexicographic
+  // output of TableMetadata::LivePartitions (NFR2).
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::optional<int64_t> IncrementalStatsIndex::LastReplaceSnapshotId(
     const std::string& table, const lst::TableMetadataPtr& meta) const {
-  Shard& shard = ShardFor(table);
+  const common::TableId table_id = table_ids_.Intern(table);
+  Shard& shard = ShardFor(table_id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  const TableEntry* entry = EnsureLocked(shard, table, *meta);
+  const TableEntry* entry = EnsureLocked(shard, table_id, *meta);
   if (entry == nullptr) return std::nullopt;
   return entry->last_replace_snapshot_id;
 }
@@ -326,9 +363,10 @@ std::optional<IncrementalStatsIndex::SmallFileSummary>
 IncrementalStatsIndex::SmallFilesBelow(const std::string& table,
                                        const lst::TableMetadataPtr& meta,
                                        int64_t threshold_bytes) const {
-  Shard& shard = ShardFor(table);
+  const common::TableId table_id = table_ids_.Intern(table);
+  Shard& shard = ShardFor(table_id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  const TableEntry* entry = EnsureLocked(shard, table, *meta);
+  const TableEntry* entry = EnsureLocked(shard, table_id, *meta);
   if (entry == nullptr) return std::nullopt;
 
   SmallFileSummary out;

@@ -24,6 +24,11 @@
 /// out-of-order listener delivery degrade to a full single-table rebuild
 /// from the event's metadata. Entries build lazily on first query.
 ///
+/// Hot-path representation: tables and partitions are keyed by interned
+/// ids (common::StringInterner), and rebuilds stream the manifests' SoA
+/// columns (sizes, record counts, flags, partition ids) instead of
+/// per-file DataFile structs — a rebuild never touches a path string.
+///
 /// NFR2 (determinism): every query pins a metadata version; the index
 /// answers only when its entry matches that exact version, otherwise the
 /// caller falls back to the rescan path. Size vectors are kept in the
@@ -45,6 +50,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/interner.h"
 #include "core/candidate.h"
 #include "core/observe.h"
 
@@ -134,12 +140,15 @@ class IncrementalStatsIndex {
   };
 
   /// Table-level + per-partition aggregates over one file population.
+  /// Partitions are keyed by ids interned in the owning TableEntry —
+  /// strings appear only at the reporting edge (TryCollect /
+  /// LivePartitions re-establish name-lexicographic order there).
   struct ScopeView {
     Aggregate total;
-    std::map<std::string, Aggregate> partitions;
+    std::map<common::PartitionId, Aggregate> partitions;
 
-    void Add(const lst::DataFile& f);
-    bool Remove(const lst::DataFile& f);
+    void Add(common::PartitionId pid, const lst::DataFile& f);
+    bool Remove(common::PartitionId pid, const lst::DataFile& f);
     void Clear();
   };
 
@@ -147,6 +156,9 @@ class IncrementalStatsIndex {
     /// Metadata version the aggregates describe; the staleness key.
     int64_t version = -1;
     int64_t last_replace_snapshot_id = 0;
+    /// Partition-key arena for this table's ScopeViews. Never reset:
+    /// ids of vanished partitions simply go unused.
+    common::StringInterner partition_names;
     /// All live files.
     ScopeView live;
     /// Live files with added_snapshot_id > last_replace_snapshot_id
@@ -160,10 +172,10 @@ class IncrementalStatsIndex {
 
   struct Shard {
     mutable std::mutex mu;
-    std::map<std::string, TableEntry> tables;
+    std::map<common::TableId, TableEntry> tables;
   };
 
-  Shard& ShardFor(const std::string& table) const;
+  Shard& ShardFor(common::TableId table) const;
   static int SizeBucket(int64_t size_bytes);
 
   /// Repopulates `entry` from a full walk of `meta`'s live files.
@@ -178,7 +190,7 @@ class IncrementalStatsIndex {
   /// returns it when it describes exactly `meta`'s version; nullptr when
   /// the entry is newer than the pinned metadata (caller falls back).
   /// Must be called with the shard lock held.
-  TableEntry* EnsureLocked(Shard& shard, const std::string& table,
+  TableEntry* EnsureLocked(Shard& shard, common::TableId table,
                            const lst::TableMetadata& meta) const;
 
   /// Commit-listener entry point.
@@ -186,6 +198,9 @@ class IncrementalStatsIndex {
 
   catalog::Catalog* catalog_;
   int64_t listener_id_ = 0;
+  /// Table-name arena: shard selection and entry keys are dense int ids;
+  /// names cross this boundary only on the listener/query edges.
+  mutable common::StringInterner table_ids_;
   mutable std::array<Shard, kShardCount> shards_;
 
   mutable std::atomic<int64_t> deltas_applied_{0};

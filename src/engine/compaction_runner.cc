@@ -28,7 +28,8 @@ CompactionRunner::CompactionRunner(Cluster* cluster, catalog::Catalog* catalog,
       catalog_(catalog),
       clock_(clock),
       format_(format_options),
-      runner_id_(runner_id > 0 ? runner_id : ++g_runner_instances) {
+      runner_id_(runner_id > 0 ? runner_id : ++g_runner_instances),
+      path_stem_("/compact-r" + std::to_string(runner_id_) + "-") {
   assert(cluster_ != nullptr && catalog_ != nullptr && clock_ != nullptr);
 }
 
@@ -203,10 +204,18 @@ Result<PendingCompaction> CompactionRunner::Prepare(
       // All items in a bin share one partition by construction.
       const std::string& partition =
           inputs[bin.item_indices.front()].partition;
-      std::string dir = meta->location();
-      if (!partition.empty()) dir += "/" + partition;
-      out.path = dir + "/compact-r" + std::to_string(runner_id_) + "-" +
-                 std::to_string(++file_counter_) + ".parquet";
+      std::string& path = out.path;
+      const std::string& location = meta->location();
+      path.reserve(location.size() + partition.size() + path_stem_.size() +
+                   32);
+      path.assign(location);
+      if (!partition.empty()) {
+        path += '/';
+        path += partition;
+      }
+      path += path_stem_;
+      path += std::to_string(++file_counter_);
+      path += ".parquet";
       out.partition = partition;
       out.clustered = request.cluster_output;
       out.file_size_bytes = format_.StoredBytesFor(logical);

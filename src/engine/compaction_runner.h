@@ -159,6 +159,9 @@ class CompactionRunner {
   format::ColumnarFileModel format_;
   /// Distinguishes runners sharing one catalog (unique output names).
   int runner_id_;
+  /// "/compact-r<runner_id_>-": the per-runner output-name stem, built
+  /// once so the per-file path assembly in Prepare is append-only.
+  std::string path_stem_;
   fault::FaultInjector* fault_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
   fault::RetryPolicy retry_policy_;

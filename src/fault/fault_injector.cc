@@ -60,12 +60,33 @@ Result<FaultProfile> FaultProfileByName(std::string_view name) {
 }
 
 FaultInjector::FaultInjector(FaultInjectorOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  // Precompute the sites anything could ever fire at. Arm() consults this
+  // sorted vector before taking the lock or counting, so the hot paths of
+  // an armed-but-idle injector (empty profile, empty schedule) pay one
+  // branch on an empty vector — the same order of cost as disabled.
+  for (const ScheduledFault& entry : options_.schedule.entries) {
+    configured_sites_.push_back(entry.site);
+  }
+  for (const auto& [site, faults] : options_.profile.sites) {
+    for (const SiteFault& f : faults) {
+      if (f.probability > 0 && f.kind != FaultKind::kNone) {
+        configured_sites_.push_back(site);
+        break;
+      }
+    }
+  }
+  std::sort(configured_sites_.begin(), configured_sites_.end());
+  configured_sites_.erase(
+      std::unique(configured_sites_.begin(), configured_sites_.end()),
+      configured_sites_.end());
+}
 
 FaultKind FaultInjector::Arm(std::string_view site,
                              std::string_view resource) {
   if (!options_.enabled) return FaultKind::kNone;
   if (!armed_.load(std::memory_order_relaxed)) return FaultKind::kNone;
+  if (!SiteConfigured(site)) return FaultKind::kNone;
   std::lock_guard<std::mutex> lock(mu_);
   auto site_it = sites_.find(site);
   if (site_it == sites_.end()) {

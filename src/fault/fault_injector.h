@@ -23,6 +23,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -130,6 +131,14 @@ class FaultInjector {
   /// Counts one hit of `site` for `resource` and decides whether a fault
   /// fires. Returns kNone when nothing is injected. Scheduled entries are
   /// consulted before the probabilistic profile.
+  ///
+  /// Fast path: when neither the schedule nor the profile configures
+  /// `site` — in particular for the armed-but-empty parity configuration
+  /// — Arm() short-circuits before the lock, the hit counter, and any
+  /// RNG or string work. Unconfigured sites therefore do not appear in
+  /// Counters() and do not advance total_hits(); a site's hit stream is
+  /// only observable when something could actually fire on it, which is
+  /// also what keeps the armed-but-idle overhead inside its <2% budget.
   FaultKind Arm(std::string_view site, std::string_view resource);
 
   /// Canonical error Status for an armed kind (e.g. kTimeout maps to
@@ -162,7 +171,16 @@ class FaultInjector {
   void TraceInjection(std::string_view site, std::string_view resource,
                       FaultKind kind) const;
 
+  /// True when the schedule or profile could ever fire at `site`.
+  bool SiteConfigured(std::string_view site) const {
+    return std::binary_search(configured_sites_.begin(),
+                              configured_sites_.end(), site);
+  }
+
   FaultInjectorOptions options_;
+  /// Sites the schedule or profile names, sorted — the Arm() fast-path
+  /// filter. Immutable after construction, so reads take no lock.
+  std::vector<std::string> configured_sites_;
   std::atomic<bool> armed_{true};
   obs::TraceRecorder* trace_ = nullptr;
   const Clock* trace_clock_ = nullptr;

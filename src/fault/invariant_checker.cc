@@ -56,11 +56,19 @@ std::vector<InvariantViolation> InvariantChecker::Check(
             << info_or.value().size_bytes;
         out.push_back({name, msg.str()});
       }
-      // No live-file duplication across tables.
+      // Live-path uniqueness: DataFile::operator== keys on the path
+      // alone (see data_file.h), so a path live twice — whether in two
+      // tables or twice inside one table's current snapshot — would make
+      // the metadata layer conflate distinct files. Assert both.
       auto [it, inserted] = live_owner.emplace(f.path, name);
-      if (!inserted && it->second != name) {
-        out.push_back({name, "file " + f.path + " is live in both " +
-                                 it->second + " and " + name});
+      if (!inserted) {
+        if (it->second == name) {
+          out.push_back({name, "file " + f.path +
+                                   " is live twice in the current snapshot"});
+        } else {
+          out.push_back({name, "file " + f.path + " is live in both " +
+                                   it->second + " and " + name});
+        }
       }
     });
   }

@@ -40,6 +40,15 @@ struct DataFile {
   /// Commit sequence number (filled in at commit).
   int64_t sequence_number = 0;
 
+  /// Path identity: two DataFile entries are "the same file" iff their
+  /// paths are equal, regardless of the other fields. This is the
+  /// contract the whole metadata layer leans on — commit validation,
+  /// removed-path sets, and the incremental stats index all treat the
+  /// path as the primary key, which is sound only because files are
+  /// immutable once written (a path is never reused with different
+  /// contents) and because a path is live in at most one table at one
+  /// snapshot. fault::CheckInvariants audits live-path uniqueness —
+  /// within a table's current snapshot and across tables — every epoch.
   bool operator==(const DataFile& other) const {
     return path == other.path;
   }

@@ -1,15 +1,35 @@
 /// \file manifest.h
 /// \brief Manifests and manifest lists: the metadata layer whose growth
 /// the paper calls out ("bloated metadata in LSTs", §1).
+///
+/// Fleet-scale replay hammers this layer: every commit filters or merges
+/// manifests and every observe rescan walks them. Two hot-path
+/// optimizations live here:
+///
+///  * the per-manifest partition summary is a sorted vector of interned
+///    `common::PartitionId`s (4 bytes each) instead of a
+///    `std::set<std::string>` — pruning is a Lookup plus binary search
+///    with zero per-manifest string storage when the interner is shared
+///    across a table's lineage (see ManifestFactory);
+///  * column (SoA) views over the file entries — sizes, record counts,
+///    added-snapshot ids, partition ids, and packed trait flags — so bulk
+///    consumers (the incremental stats index rebuild) stream cache-dense
+///    numeric columns instead of striding over ~120-byte DataFile structs
+///    and their path strings.
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "lst/data_file.h"
 
 namespace autocomp::lst {
@@ -23,12 +43,49 @@ namespace autocomp::lst {
 /// reuse unchanged manifest files.
 class Manifest {
  public:
+  /// Packed per-file trait flags (the SoA `flag_column`).
+  static constexpr uint8_t kFlagPositionDeletes = 1;
+  static constexpr uint8_t kFlagUnclustered = 2;
+
+  /// Standalone construction (tests, JSON restore): partition keys are
+  /// interned into a private per-manifest interner.
   Manifest(int64_t manifest_id, std::vector<DataFile> files)
-      : manifest_id_(manifest_id), files_(std::move(files)) {
+      : Manifest(manifest_id, std::move(files),
+                 std::make_shared<common::StringInterner>()) {}
+
+  /// Lineage construction (ManifestFactory): partition keys are interned
+  /// into the shared per-table interner, so equal keys cost 4 bytes per
+  /// manifest instead of one owned string each.
+  Manifest(int64_t manifest_id, std::vector<DataFile> files,
+           std::shared_ptr<common::StringInterner> interner)
+      : manifest_id_(manifest_id),
+        files_(std::move(files)),
+        interner_(std::move(interner)) {
+    const size_t n = files_.size();
+    size_column_.reserve(n);
+    record_count_column_.reserve(n);
+    added_snapshot_column_.reserve(n);
+    partition_column_.reserve(n);
+    flag_column_.reserve(n);
     for (const DataFile& f : files_) {
       total_bytes_ += f.file_size_bytes;
-      partitions_.insert(f.partition);
+      const common::PartitionId pid = interner_->Intern(f.partition);
+      size_column_.push_back(f.file_size_bytes);
+      record_count_column_.push_back(f.record_count);
+      added_snapshot_column_.push_back(f.added_snapshot_id);
+      partition_column_.push_back(pid);
+      uint8_t flags = 0;
+      if (f.content == FileContent::kPositionDeletes) {
+        flags |= kFlagPositionDeletes;
+      }
+      if (!f.clustered) flags |= kFlagUnclustered;
+      flag_column_.push_back(flags);
     }
+    partition_ids_ = partition_column_;
+    std::sort(partition_ids_.begin(), partition_ids_.end());
+    partition_ids_.erase(
+        std::unique(partition_ids_.begin(), partition_ids_.end()),
+        partition_ids_.end());
   }
 
   int64_t manifest_id() const { return manifest_id_; }
@@ -36,22 +93,150 @@ class Manifest {
   int64_t file_count() const { return static_cast<int64_t>(files_.size()); }
   int64_t total_bytes() const { return total_bytes_; }
 
-  /// Partition summary used for scan pruning.
-  const std::set<std::string>& partitions() const { return partitions_; }
-  bool ContainsPartition(const std::string& partition) const {
-    return partitions_.count(partition) > 0;
+  /// Partition summary used for scan pruning: interned ids, sorted and
+  /// deduplicated. Resolve names through partition_interner() — ids from
+  /// different interners (different lineages) are not comparable.
+  const std::vector<common::PartitionId>& partition_ids() const {
+    return partition_ids_;
+  }
+  int64_t partition_count() const {
+    return static_cast<int64_t>(partition_ids_.size());
+  }
+  const common::StringInterner& partition_interner() const {
+    return *interner_;
   }
 
+  bool ContainsPartition(std::string_view partition) const {
+    const common::PartitionId id = interner_->Lookup(partition);
+    return id != common::StringInterner::kInvalidId &&
+           std::binary_search(partition_ids_.begin(), partition_ids_.end(),
+                              id);
+  }
+
+  /// \name SoA column views (parallel to files(), same index space)
+  /// @{
+  const std::vector<int64_t>& size_column() const { return size_column_; }
+  const std::vector<int64_t>& record_count_column() const {
+    return record_count_column_;
+  }
+  const std::vector<int64_t>& added_snapshot_column() const {
+    return added_snapshot_column_;
+  }
+  const std::vector<common::PartitionId>& partition_column() const {
+    return partition_column_;
+  }
+  const std::vector<uint8_t>& flag_column() const { return flag_column_; }
+  /// @}
+
  private:
+  friend class ManifestFactory;
+
   int64_t manifest_id_;
   std::vector<DataFile> files_;
   int64_t total_bytes_ = 0;
-  std::set<std::string> partitions_;
+  std::shared_ptr<common::StringInterner> interner_;
+  std::vector<common::PartitionId> partition_ids_;
+  std::vector<int64_t> size_column_;
+  std::vector<int64_t> record_count_column_;
+  std::vector<int64_t> added_snapshot_column_;
+  std::vector<common::PartitionId> partition_column_;
+  std::vector<uint8_t> flag_column_;
 };
 
 using ManifestPtr = std::shared_ptr<const Manifest>;
 
 /// \brief Ordered list of manifests making up one snapshot's view.
 using ManifestList = std::vector<ManifestPtr>;
+
+/// \brief Per-table-lineage manifest allocator: one shared partition-key
+/// interner plus a capped free list of DataFile vectors.
+///
+/// A long replay churns manifests constantly (every append creates one,
+/// every rewrite filters several); the dominant allocation is each
+/// manifest's `std::vector<DataFile>`. Manifests made through a factory
+/// carry a deleter that, when the last snapshot referencing them expires,
+/// returns the vector's capacity to the factory, so steady-state commits
+/// reuse buffers instead of round-tripping the allocator. TakeBuffer()
+/// hands that capacity back to commit paths assembling new file lists.
+///
+/// Thread-safe: manifests may be released from any pipeline thread.
+/// The factory must outlive no manifest — deleters hold the free list by
+/// shared_ptr, so releasing a manifest after the factory is destroyed is
+/// safe (the capacity is simply freed).
+class ManifestFactory {
+ public:
+  /// Free-list cap: bounds idle capacity at ~kMaxFreeVectors times the
+  /// largest manifest seen, which profiling showed is enough to make
+  /// steady-state commits allocation-free.
+  static constexpr size_t kMaxFreeVectors = 16;
+
+  ManifestFactory()
+      : interner_(std::make_shared<common::StringInterner>()),
+        free_list_(std::make_shared<FreeList>()) {}
+
+  const std::shared_ptr<common::StringInterner>& interner() const {
+    return interner_;
+  }
+
+  /// A (possibly recycled) empty vector to assemble a file list into.
+  std::vector<DataFile> TakeBuffer() { return free_list_->Take(); }
+
+  /// Builds a manifest sharing the lineage interner; its file vector is
+  /// recycled through this factory on destruction.
+  ManifestPtr Make(int64_t manifest_id, std::vector<DataFile> files) {
+    auto* raw = new Manifest(manifest_id, std::move(files), interner_);
+    return ManifestPtr(raw, Recycler{free_list_});
+  }
+
+  /// Vectors currently parked in the free list (telemetry for tests).
+  int64_t free_vectors() const { return free_list_->size(); }
+  /// Vectors returned to the free list over the factory's lifetime.
+  int64_t recycled() const { return free_list_->recycled(); }
+
+ private:
+  struct FreeList {
+    std::mutex mu;
+    std::vector<std::vector<DataFile>> vectors;
+    int64_t recycled_total = 0;
+
+    std::vector<DataFile> Take() {
+      std::lock_guard<std::mutex> lock(mu);
+      if (vectors.empty()) return {};
+      std::vector<DataFile> out = std::move(vectors.back());
+      vectors.pop_back();
+      out.clear();
+      return out;
+    }
+    void Put(std::vector<DataFile>&& v) {
+      if (v.capacity() == 0) return;
+      std::lock_guard<std::mutex> lock(mu);
+      ++recycled_total;
+      if (vectors.size() < kMaxFreeVectors) vectors.push_back(std::move(v));
+    }
+    int64_t size() {
+      std::lock_guard<std::mutex> lock(mu);
+      return static_cast<int64_t>(vectors.size());
+    }
+    int64_t recycled() {
+      std::lock_guard<std::mutex> lock(mu);
+      return recycled_total;
+    }
+  };
+
+  struct Recycler {
+    std::shared_ptr<FreeList> free_list;
+    void operator()(const Manifest* m) const {
+      // Reclaim the file vector before destruction; the manifest is
+      // unreferenced here, so the const_cast does not break immutability
+      // as observed by any alive reader.
+      auto* mutable_m = const_cast<Manifest*>(m);
+      free_list->Put(std::move(mutable_m->files_));
+      delete m;
+    }
+  };
+
+  std::shared_ptr<common::StringInterner> interner_;
+  std::shared_ptr<FreeList> free_list_;
+};
 
 }  // namespace autocomp::lst

@@ -252,7 +252,11 @@ Result<TableMetadataPtr> TableMetadataFromJson(const std::string& json) {
   builder.SetProperties(std::move(properties));
   builder.SetCreatedAt(root.Get("created-at").as_int());
 
-  // Manifest pool.
+  // Manifest pool, revived through one shared factory so the restored
+  // lineage interns partition keys into a single arena (and successor
+  // commits inherit it via Builder(base)).
+  auto factory = std::make_shared<ManifestFactory>();
+  builder.RestoreManifestFactory(factory);
   std::map<int64_t, ManifestPtr> pool;
   for (const JsonValue& mj : root.Get("manifests").items()) {
     AUTOCOMP_ASSIGN_OR_RETURN(int64_t id, mj.Get("id").AsInt());
@@ -261,7 +265,7 @@ Result<TableMetadataPtr> TableMetadataFromJson(const std::string& json) {
       AUTOCOMP_ASSIGN_OR_RETURN(DataFile f, FileFromJson(fj));
       files.push_back(std::move(f));
     }
-    pool.emplace(id, std::make_shared<const Manifest>(id, std::move(files)));
+    pool.emplace(id, factory->Make(id, std::move(files)));
   }
 
   // Snapshots. Build()'s consistency checks require the current snapshot

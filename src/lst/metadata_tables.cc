@@ -71,7 +71,7 @@ std::vector<ManifestRow> MetadataTables::Manifests() const {
     row.manifest_id = m->manifest_id();
     row.file_count = m->file_count();
     row.total_bytes = m->total_bytes();
-    row.partition_count = static_cast<int64_t>(m->partitions().size());
+    row.partition_count = m->partition_count();
     out.push_back(row);
   }
   return out;

@@ -81,8 +81,15 @@ std::vector<std::string> TableMetadata::LivePartitions() const {
   std::set<std::string> parts;
   const Snapshot* snap = current_snapshot();
   if (snap == nullptr) return {};
+  // Resolve each manifest's interned summary through its own interner:
+  // manifests normally share the lineage interner, but restored or
+  // hand-built ones may carry private arenas. The set re-establishes the
+  // lexicographic output order ids do not carry.
   for (const ManifestPtr& m : snap->manifests) {
-    parts.insert(m->partitions().begin(), m->partitions().end());
+    const common::StringInterner& names = m->partition_interner();
+    for (const common::PartitionId id : m->partition_ids()) {
+      parts.insert(names.NameOf(id));
+    }
   }
   return {parts.begin(), parts.end()};
 }
@@ -108,11 +115,17 @@ TableMetadata::Builder::Builder(std::string name, std::string location,
   meta_.schema_ = std::move(schema);
   meta_.spec_ = std::move(spec);
   meta_.version_ = 1;
+  meta_.manifest_factory_ = std::make_shared<ManifestFactory>();
 }
 
 TableMetadata::Builder::Builder(const TableMetadata& base) {
   meta_ = base;
   meta_.version_ = base.version_ + 1;
+  // Successors share the lineage factory (interner + buffer pool); only
+  // metadata predating the factory (none today) would need a fresh one.
+  if (meta_.manifest_factory_ == nullptr) {
+    meta_.manifest_factory_ = std::make_shared<ManifestFactory>();
+  }
 }
 
 TableMetadata::Builder& TableMetadata::Builder::SetProperties(
@@ -166,6 +179,12 @@ TableMetadata::Builder& TableMetadata::Builder::RestoreCounters(
   return *this;
 }
 
+TableMetadata::Builder& TableMetadata::Builder::RestoreManifestFactory(
+    std::shared_ptr<ManifestFactory> factory) {
+  if (factory != nullptr) meta_.manifest_factory_ = std::move(factory);
+  return *this;
+}
+
 int64_t TableMetadata::Builder::AllocateSnapshotId() {
   return meta_.next_snapshot_id_++;
 }
@@ -176,6 +195,15 @@ int64_t TableMetadata::Builder::AllocateManifestId() {
 
 int64_t TableMetadata::Builder::AllocateSequenceNumber() {
   return meta_.next_sequence_number_++;
+}
+
+ManifestPtr TableMetadata::Builder::NewManifest(std::vector<DataFile> files) {
+  return meta_.manifest_factory_->Make(AllocateManifestId(),
+                                       std::move(files));
+}
+
+std::vector<DataFile> TableMetadata::Builder::TakeFileBuffer() {
+  return meta_.manifest_factory_->TakeBuffer();
 }
 
 Result<TableMetadataPtr> TableMetadata::Builder::Build() {
@@ -213,15 +241,14 @@ ManifestList MaybeMergeManifests(ManifestList manifests, int64_t max_manifests,
             });
   const size_t to_merge =
       manifests.size() - static_cast<size_t>(max_manifests) + 1;
-  std::vector<DataFile> merged_files;
+  std::vector<DataFile> merged_files = builder->TakeFileBuffer();
   for (size_t i = 0; i < to_merge; ++i) {
     const auto& files = manifests[i]->files();
     merged_files.insert(merged_files.end(), files.begin(), files.end());
   }
   ManifestList out(manifests.begin() + static_cast<ptrdiff_t>(to_merge),
                    manifests.end());
-  out.push_back(std::make_shared<const Manifest>(builder->AllocateManifestId(),
-                                                 std::move(merged_files)));
+  out.push_back(builder->NewManifest(std::move(merged_files)));
   // Restore deterministic ordering by manifest id.
   std::sort(out.begin(), out.end(),
             [](const ManifestPtr& a, const ManifestPtr& b) {

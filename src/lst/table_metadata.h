@@ -14,6 +14,7 @@
 #include "common/config.h"
 #include "common/status.h"
 #include "common/units.h"
+#include "lst/manifest.h"
 #include "lst/partition.h"
 #include "lst/snapshot.h"
 #include "lst/types.h"
@@ -99,6 +100,14 @@ class TableMetadata {
   /// (the paper's target, §2).
   int64_t target_file_size_bytes() const;
 
+  /// Per-lineage manifest allocator: shared partition-key interner plus
+  /// the recycled-buffer pool. Successor versions built via
+  /// Builder(base) inherit it, so every manifest in a table's history
+  /// interns partition keys into one arena. Never nullptr.
+  const std::shared_ptr<ManifestFactory>& manifest_factory() const {
+    return manifest_factory_;
+  }
+
  private:
   friend class Builder;
   TableMetadata() = default;
@@ -116,6 +125,7 @@ class TableMetadata {
   int64_t next_snapshot_id_ = 1;
   int64_t next_manifest_id_ = 1;
   int64_t next_sequence_number_ = 1;
+  std::shared_ptr<ManifestFactory> manifest_factory_;
 };
 
 /// \brief Builds a new (or successor) TableMetadata.
@@ -146,11 +156,24 @@ class TableMetadata::Builder {
   int64_t AllocateManifestId();
   int64_t AllocateSequenceNumber();
 
+  /// Allocates an id and builds a manifest through the lineage's
+  /// ManifestFactory: shared partition interner, pooled file vectors.
+  /// All commit paths construct manifests through this.
+  ManifestPtr NewManifest(std::vector<DataFile> files);
+
+  /// A (possibly recycled) empty buffer to assemble file lists into;
+  /// pairs with NewManifest so steady-state commits reuse capacity.
+  std::vector<DataFile> TakeFileBuffer();
+
   /// Deserialization-only: restore the exact version and id counters of
   /// a persisted metadata document (normal commits never call these).
   Builder& RestoreVersion(int64_t version);
   Builder& RestoreCounters(int64_t next_snapshot_id, int64_t next_manifest_id,
                            int64_t next_sequence_number);
+  /// Deserialization-only: install the factory the restored manifests
+  /// were built through, so the revived lineage keeps one shared
+  /// partition interner instead of per-manifest arenas.
+  Builder& RestoreManifestFactory(std::shared_ptr<ManifestFactory> factory);
 
   Result<TableMetadataPtr> Build();
 

@@ -205,7 +205,7 @@ Result<TableMetadataPtr> Transaction::Apply(const TableMetadata& current,
         filtered.push_back(m);
         continue;
       }
-      std::vector<DataFile> kept;
+      std::vector<DataFile> kept = builder.TakeFileBuffer();
       kept.reserve(m->files().size());
       for (const DataFile& f : m->files()) {
         if (to_remove.count(f.path) > 0) {
@@ -219,8 +219,7 @@ Result<TableMetadataPtr> Transaction::Apply(const TableMetadata& current,
         }
       }
       if (!kept.empty()) {
-        filtered.push_back(std::make_shared<const Manifest>(
-            builder.AllocateManifestId(), std::move(kept)));
+        filtered.push_back(builder.NewManifest(std::move(kept)));
       }
     }
     manifests = std::move(filtered);
@@ -243,8 +242,7 @@ Result<TableMetadataPtr> Transaction::Apply(const TableMetadata& current,
       snap.touched_partitions.insert(f.partition);
     }
     delta->added = stamped;
-    manifests.push_back(std::make_shared<const Manifest>(
-        builder.AllocateManifestId(), std::move(stamped)));
+    manifests.push_back(builder.NewManifest(std::move(stamped)));
   }
 
   const int64_t max_manifests =

@@ -1,0 +1,191 @@
+/// \file calendar_queue.h
+/// \brief Hour-bucketed calendar queue for the event driver's time loop.
+///
+/// EventDriver::AdvanceTo used to recompute `min(sample, retention,
+/// service-due, earliest-compaction-end)` from scratch on every iteration
+/// — four branchy reads plus a heap top per stop. The calendar queue
+/// replaces that with a hierarchical structure: a sparse, ordered index
+/// of hour buckets (std::map keyed by `time / kHour`), each holding the
+/// entries that fall inside that hour. Peeking the next boundary touches
+/// only the front bucket, and advancing consumes buckets in order, so
+/// each step is O(1) amortized over a replay.
+///
+/// Two entry families share the wheel:
+///  * **Compaction ends** — pushed exactly when a unit enters the
+///    driver's inflight set, popped exactly when it finalizes. Pop order
+///    is (end_time, then table *name*) — the same tie-break as the
+///    min-heap this replaces, delegated to a caller-supplied id->name
+///    comparator so table-id interning can never change finalize order.
+///  * **Timers** (sample / retention / service) — one live schedule per
+///    kind. Re-arming overwrites the schedule; superseded entries are
+///    dropped lazily when a scan reaches them (classic timing-wheel
+///    tombstoning), so re-arms are O(1) and never shift other entries.
+///
+/// Intra-bucket entries are kept unsorted and scanned linearly: a bucket
+/// holds at most the timers (≤3) plus the compactions ending within one
+/// simulated hour, so a linear min-scan with the full (time, kind, name)
+/// comparator is cheaper than keeping the bucket sorted under tombstones
+/// — and it makes the pop order trivially deterministic.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+
+namespace autocomp::sim {
+
+class CalendarQueue {
+ public:
+  /// Entry kinds. kCompactionEnd entries carry a table id; timer kinds
+  /// have exactly one live schedule each.
+  enum class Kind : int8_t {
+    kCompactionEnd = 0,
+    kSample = 1,
+    kRetention = 2,
+    kService = 3,
+  };
+  static constexpr int kNumTimerKinds = 4;
+
+  struct Entry {
+    SimTime time = 0;
+    Kind kind = Kind::kCompactionEnd;
+    int32_t table = -1;  // valid for kCompactionEnd only
+  };
+
+  /// `table_name_less(a, b)` orders table ids by their *names* — the
+  /// finalize tie-break. Defaults to raw id order (fine for tests that
+  /// never look at names).
+  explicit CalendarQueue(
+      std::function<bool(int32_t, int32_t)> table_name_less = {})
+      : table_name_less_(std::move(table_name_less)) {
+    for (int i = 0; i < kNumTimerKinds; ++i) {
+      timer_time_[i] = -1;
+      timer_entry_time_[i] = -1;
+    }
+  }
+
+  /// Registers a compaction-end boundary for `table`. The caller keeps
+  /// the push/pop discipline (one entry per inflight unit), so the wheel
+  /// never holds stale compaction entries.
+  void ScheduleCompaction(SimTime time, int32_t table) {
+    BucketFor(time).push_back(Entry{time, Kind::kCompactionEnd, table});
+    ++compaction_count_;
+  }
+
+  /// (Re)schedules timer `kind` for `time`. A previously scheduled entry
+  /// at a different time becomes a tombstone, dropped lazily.
+  void ArmTimer(Kind kind, SimTime time) {
+    const int k = static_cast<int>(kind);
+    timer_time_[k] = time;
+    if (timer_entry_time_[k] == time) return;  // live entry already placed
+    BucketFor(time).push_back(Entry{time, kind, -1});
+    timer_entry_time_[k] = time;
+  }
+
+  /// Clears timer `kind`; its wheel entry (if any) becomes a tombstone.
+  void DisarmTimer(Kind kind) { timer_time_[static_cast<int>(kind)] = -1; }
+
+  /// Earliest live boundary (timer or compaction end), pruning tombstones
+  /// and exhausted buckets as it scans forward.
+  std::optional<SimTime> PeekNext() {
+    for (auto it = buckets_.begin(); it != buckets_.end();
+         it = buckets_.erase(it)) {
+      Prune(it->second);
+      if (it->second.empty()) continue;  // all tombstones: drop the bucket
+      SimTime best = it->second.front().time;
+      for (const Entry& e : it->second) best = std::min(best, e.time);
+      return best;
+    }
+    return std::nullopt;
+  }
+
+  /// Pops the earliest compaction entry with time <= `cutoff`, ordered by
+  /// (time, then table name). Buckets are hour-ranged and scanned in
+  /// order, so the first bucket containing any compaction holds the
+  /// global minimum end time.
+  std::optional<Entry> PopCompactionDue(SimTime cutoff) {
+    if (compaction_count_ == 0) return std::nullopt;
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+      if (it->first * kHour > cutoff) return std::nullopt;
+      Bucket& bucket = it->second;
+      Prune(bucket);
+      if (bucket.empty()) {
+        it = buckets_.erase(it);
+        continue;
+      }
+      size_t best = bucket.size();
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i].kind != Kind::kCompactionEnd) continue;
+        if (best == bucket.size() || CompactionLess(bucket[i], bucket[best])) {
+          best = i;
+        }
+      }
+      if (best == bucket.size()) {
+        ++it;  // only live timers here; later buckets may still be due
+        continue;
+      }
+      if (bucket[best].time > cutoff) return std::nullopt;
+      const Entry out = bucket[best];
+      bucket.erase(bucket.begin() + static_cast<ptrdiff_t>(best));
+      --compaction_count_;
+      if (bucket.empty()) buckets_.erase(it);
+      return out;
+    }
+    return std::nullopt;
+  }
+
+  int64_t compaction_count() const { return compaction_count_; }
+  /// Live bucket count (tombstone-only buckets may still be pending
+  /// collection). Exposed for rollover tests.
+  int64_t bucket_count() const {
+    return static_cast<int64_t>(buckets_.size());
+  }
+
+ private:
+  using Bucket = std::vector<Entry>;
+
+  Bucket& BucketFor(SimTime time) {
+    // Times are nonnegative in the simulator; integer division buckets
+    // [h*kHour, (h+1)*kHour) together.
+    return buckets_[time / kHour];
+  }
+
+  bool CompactionLess(const Entry& a, const Entry& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    if (table_name_less_) return table_name_less_(a.table, b.table);
+    return a.table < b.table;
+  }
+
+  /// Drops tombstoned timer entries (superseded or disarmed schedules).
+  /// When the dropped entry is the one timer_entry_time_ still points at
+  /// (a disarm that was never re-armed), the bookkeeping is reset so a
+  /// future ArmTimer at the same instant places a fresh entry.
+  void Prune(Bucket& bucket) {
+    bucket.erase(
+        std::remove_if(bucket.begin(), bucket.end(),
+                       [this](const Entry& e) {
+                         if (e.kind == Kind::kCompactionEnd) return false;
+                         const int k = static_cast<int>(e.kind);
+                         if (timer_time_[k] == e.time) return false;  // live
+                         if (timer_entry_time_[k] == e.time) {
+                           timer_entry_time_[k] = -1;
+                         }
+                         return true;
+                       }),
+        bucket.end());
+  }
+
+  std::function<bool(int32_t, int32_t)> table_name_less_;
+  std::map<int64_t, Bucket> buckets_;  // hour index -> entries
+  SimTime timer_time_[kNumTimerKinds];        // authoritative schedule
+  SimTime timer_entry_time_[kNumTimerKinds];  // time of the placed entry
+  int64_t compaction_count_ = 0;
+};
+
+}  // namespace autocomp::sim

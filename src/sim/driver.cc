@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -9,7 +10,12 @@ namespace autocomp::sim {
 
 EventDriver::EventDriver(SimEnvironment* env, MetricsRecorder* metrics,
                          DriverOptions options)
-    : env_(env), metrics_(metrics), options_(options) {
+    : env_(env),
+      metrics_(metrics),
+      options_(options),
+      calendar_([this](int32_t a, int32_t b) {
+        return table_ids_.NameLess(a, b);
+      }) {
   assert(env_ != nullptr && metrics_ != nullptr);
   next_sample_ = env_->clock().Now();
   next_retention_ = options_.retention_interval > 0
@@ -46,30 +52,31 @@ void EventDriver::SampleNow() {
                    static_cast<double>(env_->TotalFileCount()));
 }
 
-std::optional<SimTime> EventDriver::NextCompactionEnd() const {
-  if (inflight_ends_.empty()) return std::nullopt;
-  return inflight_ends_.top().end_time;
-}
-
 void EventDriver::ScheduleCompactions(
     const std::vector<core::ScoredCandidate>& plan) {
   for (const core::ScoredCandidate& item : plan) {
-    table_queues_[item.candidate().table].push_back(item.candidate());
+    core::Candidate unit = item.candidate();
+    unit.table_id = table_ids_.Intern(unit.table);
+    table_queues_[unit.table_id].push_back(std::move(unit));
   }
   // Kick off the first unit of every table that has no inflight rewrite
   // (within-table sequencing mirrors TableParallelScheduler).
   for (const core::ScoredCandidate& item : plan) {
-    const std::string& table = item.candidate().table;
-    if (inflight_.count(table) == 0 && !table_queues_[table].empty()) {
+    const common::TableId table = table_ids_.Lookup(item.candidate().table);
+    const auto queue_it = table_queues_.find(table);
+    if (inflight_.count(table) == 0 && queue_it != table_queues_.end() &&
+        !queue_it->second.empty()) {
       StartNextUnit(table);
     }
   }
 }
 
-void EventDriver::StartNextUnit(const std::string& table) {
+void EventDriver::StartNextUnit(common::TableId table) {
   auto queue_it = table_queues_.find(table);
-  while (queue_it != table_queues_.end() && !queue_it->second.empty()) {
-    const core::Candidate candidate = queue_it->second.front();
+  if (queue_it == table_queues_.end()) return;
+  bool started = false;
+  while (!started && !queue_it->second.empty()) {
+    const core::Candidate candidate = std::move(queue_it->second.front());
     queue_it->second.pop_front();
 
     engine::CompactionRequest request;
@@ -101,13 +108,16 @@ void EventDriver::StartNextUnit(const std::string& table) {
       }
       continue;
     }
-    inflight_ends_.push(HeapEntry{pending->result.end_time, table});
+    calendar_.ScheduleCompaction(pending->result.end_time, table);
     inflight_.emplace(table, std::move(pending).value());
-    return;
+    started = true;
   }
+  // Drained queues are erased eagerly — a week-long replay would
+  // otherwise leak one map node per table that ever compacted.
+  if (queue_it->second.empty()) table_queues_.erase(queue_it);
 }
 
-void EventDriver::FinalizeUnit(const std::string& table,
+void EventDriver::FinalizeUnit(common::TableId table,
                                engine::PendingCompaction&& pending) {
   const SimTime at = pending.result.end_time;
   engine::CompactionResult result =
@@ -118,11 +128,12 @@ void EventDriver::FinalizeUnit(const std::string& table,
     metrics_->Record(
         ids_.compaction_files_reduced, at,
         static_cast<double>(result.files_rewritten - result.files_produced));
+    const std::string& table_name = table_ids_.NameOf(table);
     auto retention = env_->control_plane().RunRetentionFor(
-        table, options_.post_commit_retention);
+        table_name, options_.post_commit_retention);
     if (!retention.ok()) {
-      LOG_WARN << "post-compaction retention failed for " << table << ": "
-               << retention.status();
+      LOG_WARN << "post-compaction retention failed for " << table_name
+               << ": " << retention.status();
     }
   } else if (result.conflict) {
     metrics_->Increment(ids_.cluster_conflicts, at);
@@ -143,38 +154,48 @@ void EventDriver::FinalizeUnit(const std::string& table,
 
 void EventDriver::FinalizeDueCompactions(SimTime t) {
   // Earliest-finishing units first; ties finalize in table-name order
-  // (the heap tie-break), matching the old linear scan's first-found
-  // ordering over the name-sorted inflight map.
-  while (!inflight_ends_.empty() && inflight_ends_.top().end_time <= t) {
-    const std::string table = inflight_ends_.top().table;
-    inflight_ends_.pop();
-    auto it = inflight_.find(table);
+  // (the calendar queue's comparator), matching the min-heap this
+  // replaces and the seed's linear scan over the name-sorted map.
+  while (auto due = calendar_.PopCompactionDue(t)) {
+    auto it = inflight_.find(due->table);
     assert(it != inflight_.end());
     engine::PendingCompaction pending = std::move(it->second);
     inflight_.erase(it);
-    FinalizeUnit(table, std::move(pending));
-    StartNextUnit(table);
+    FinalizeUnit(due->table, std::move(pending));
+    StartNextUnit(due->table);
+  }
+}
+
+void EventDriver::ArmTimers(SimTime now) {
+  calendar_.ArmTimer(CalendarQueue::Kind::kSample, next_sample_);
+  if (next_retention_ >= 0) {
+    calendar_.ArmTimer(CalendarQueue::Kind::kRetention, next_retention_);
+  } else {
+    calendar_.DisarmTimer(CalendarQueue::Kind::kRetention);
+  }
+  // A service trigger already due (next_due <= now) never bounds the
+  // clock advance — the per-stop Tick below handles it structurally —
+  // mirroring the `next_due() > clock.Now()` guard of the old min-scan.
+  if (service_ != nullptr && service_->trigger().next_due() > now) {
+    calendar_.ArmTimer(CalendarQueue::Kind::kService,
+                       service_->trigger().next_due());
+  } else {
+    calendar_.DisarmTimer(CalendarQueue::Kind::kService);
   }
 }
 
 Status EventDriver::AdvanceTo(SimTime t) {
   SimulatedClock& clock = env_->clock();
   while (clock.Now() < t) {
-    // Next interesting boundary: sample point, retention run, service
-    // trigger, compaction finish, or the target.
+    // Next interesting boundary: the earliest calendar-queue entry
+    // (sample point, retention run, service trigger, compaction finish)
+    // or the target. Entries at or before `now` never advance the clock;
+    // the processing block below consumes them at the current stop,
+    // exactly as the seed's min-scan did.
+    ArmTimers(clock.Now());
     SimTime next = t;
-    if (next_sample_ <= t) next = std::min(next, next_sample_);
-    if (next_retention_ >= 0 && next_retention_ <= t) {
-      next = std::min(next, next_retention_);
-    }
-    if (service_ != nullptr && service_->trigger().next_due() > clock.Now() &&
-        service_->trigger().next_due() <= t) {
-      next = std::min(next, service_->trigger().next_due());
-    }
-    const std::optional<SimTime> compaction_end = NextCompactionEnd();
-    if (compaction_end && *compaction_end > clock.Now() &&
-        *compaction_end <= t) {
-      next = std::min(next, *compaction_end);
+    if (const auto peek = calendar_.PeekNext(); peek && *peek < next) {
+      next = *peek;
     }
     if (next > clock.Now()) clock.AdvanceTo(next);
 
@@ -285,16 +306,15 @@ Status EventDriver::Execute(const workload::QueryEvent& event) {
 void EventDriver::FinishRun() {
   // Flush inflight rewrites so their output files do not linger as
   // orphans; they commit at their natural end times (past the clock).
-  // Heap order (end time, then table) keeps the finalize sequence — and
-  // the metric series appended by it — deterministic.
-  while (!inflight_ends_.empty()) {
-    const std::string table = inflight_ends_.top().table;
-    inflight_ends_.pop();
-    auto it = inflight_.find(table);
+  // Pop order (end time, then table name) keeps the finalize sequence —
+  // and the metric series appended by it — deterministic.
+  while (auto due = calendar_.PopCompactionDue(
+             std::numeric_limits<SimTime>::max())) {
+    auto it = inflight_.find(due->table);
     assert(it != inflight_.end());
     engine::PendingCompaction pending = std::move(it->second);
     inflight_.erase(it);
-    FinalizeUnit(table, std::move(pending));
+    FinalizeUnit(due->table, std::move(pending));
     // Do not start further queued units past the end of the experiment.
   }
   table_queues_.clear();

@@ -18,12 +18,13 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "core/triggers.h"
 #include "engine/compaction_runner.h"
+#include "sim/calendar_queue.h"
 #include "sim/environment.h"
 #include "sim/metrics.h"
 #include "workload/events.h"
@@ -98,13 +99,14 @@ class EventDriver {
   void ScheduleCompactions(const std::vector<core::ScoredCandidate>& plan);
   /// Starts the next queued unit for `table` (Prepare at the current
   /// time). No-op units finalize instantly and pull the next one.
-  void StartNextUnit(const std::string& table);
+  void StartNextUnit(common::TableId table);
   /// Finalizes every inflight unit whose rewrite finished by `t`.
   void FinalizeDueCompactions(SimTime t);
-  void FinalizeUnit(const std::string& table,
+  void FinalizeUnit(common::TableId table,
                     engine::PendingCompaction&& pending);
-  /// Earliest inflight finish time, if any.
-  std::optional<SimTime> NextCompactionEnd() const;
+  /// Re-syncs the calendar queue's timer entries with the scalar
+  /// schedules (sample/retention/service) before each boundary peek.
+  void ArmTimers(SimTime now);
 
   SimEnvironment* env_;
   MetricsRecorder* metrics_;
@@ -130,25 +132,26 @@ class EventDriver {
   };
   Ids ids_;
 
+  /// Table names interned to dense ids: the per-table hot-path maps key
+  /// by int32 instead of std::string, and the name is only touched at
+  /// construction (ScheduleCompactions) and reporting (Finalize/retention)
+  /// edges. The driver is single-threaded per lane, so its interner is
+  /// private and uncontended.
+  common::StringInterner table_ids_;
+
   /// Deferred-compaction state: per-table FIFO of decided candidates and
-  /// at most one inflight unit per table (§4.4 sequencing).
-  std::map<std::string, std::deque<core::Candidate>> table_queues_;
-  std::map<std::string, engine::PendingCompaction> inflight_;
-  /// Inflight finish times as a min-heap on (end_time, table). An entry
-  /// is pushed exactly when a unit enters `inflight_` and popped exactly
-  /// when it leaves, so the heap never holds stale entries; the table
-  /// tie-break keeps the finalize order deterministic.
-  struct HeapEntry {
-    SimTime end_time = 0;
-    std::string table;
-    bool operator>(const HeapEntry& o) const {
-      return end_time != o.end_time ? end_time > o.end_time
-                                    : table > o.table;
-    }
-  };
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                      std::greater<HeapEntry>>
-      inflight_ends_;
+  /// at most one inflight unit per table (§4.4 sequencing). Drained
+  /// queues are erased so week-long replays don't leak one map node per
+  /// table that ever compacted.
+  std::map<common::TableId, std::deque<core::Candidate>> table_queues_;
+  std::map<common::TableId, engine::PendingCompaction> inflight_;
+
+  /// Time boundaries (sample/retention/service timers and inflight
+  /// compaction ends) in one hour-bucketed calendar queue. A compaction
+  /// entry is pushed exactly when a unit enters `inflight_` and popped
+  /// exactly when it leaves; pop order is (end_time, then table *name*)
+  /// via the interner's NameLess, matching the min-heap this replaces.
+  CalendarQueue calendar_;
 };
 
 }  // namespace autocomp::sim

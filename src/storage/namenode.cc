@@ -25,15 +25,35 @@ std::vector<std::string> NameNode::ParentDirs(const std::string& path) {
   return dirs;
 }
 
-void NameNode::AddDirectoriesFor(const std::string& path) {
-  for (const auto& dir : ParentDirs(path)) {
-    auto [it, inserted] = dirs_.emplace(dir, 0);
-    if (inserted) {
-      ++stats_.total_objects;
-      // New directory counts against every covering quota; files are
-      // checked in CreateFile before insertion.
-    }
-    ++it->second;
+common::StringInterner::Id NameNode::InternDir(std::string_view dir) {
+  const common::StringInterner::Id known = dir_ids_.Lookup(dir);
+  if (known != common::StringInterner::kInvalidId) return known;
+  // Intern the ancestry first so the parent link can be recorded. The
+  // recursion depth is the path depth (a handful of levels).
+  common::StringInterner::Id parent = common::StringInterner::kInvalidId;
+  const size_t slash = dir.rfind('/');
+  if (slash != std::string_view::npos && slash > 0) {
+    parent = InternDir(dir.substr(0, slash));
+  }
+  const common::StringInterner::Id id = dir_ids_.Intern(dir);
+  if (static_cast<size_t>(id) >= dir_meta_.size()) {
+    dir_meta_.resize(static_cast<size_t>(id) + 1);
+  }
+  dir_meta_[static_cast<size_t>(id)].parent = parent;
+  return id;
+}
+
+void NameNode::ParentChain(std::string_view path,
+                           std::vector<common::StringInterner::Id>* chain) {
+  chain->clear();
+  const size_t slash = path.rfind('/');
+  if (slash == std::string_view::npos || slash == 0) return;  // "/f" case
+  // One string lookup for the deepest parent; ancestors follow the
+  // integer parent links (deepest first).
+  for (common::StringInterner::Id id = InternDir(path.substr(0, slash));
+       id != common::StringInterner::kInvalidId;
+       id = dir_meta_[static_cast<size_t>(id)].parent) {
+    chain->push_back(id);
   }
 }
 
@@ -45,36 +65,40 @@ Status NameNode::CreateFile(const std::string& path, int64_t size_bytes,
   if (size_bytes < 0 || record_count < 0) {
     return Status::InvalidArgument("negative size or record count");
   }
-  if (files_.count(path) > 0) {
+  const auto hint = files_.lower_bound(path);
+  if (hint != files_.end() && hint->first == path) {
     return Status::AlreadyExists("file exists: " + path);
   }
+  ParentChain(path, &chain_scratch_);
+  const auto& chain = chain_scratch_;  // parent dirs, deepest first
   // Quota check: creating the file adds one object (plus any new parent
-  // directories) under each covering quota root.
-  const auto parents = ParentDirs(path);
-  for (const auto& [quota_dir, max_objects] : quotas_) {
-    if (max_objects <= 0) continue;
-    const std::string prefix = quota_dir + "/";
-    const bool covers = path.compare(0, prefix.size(), prefix) == 0;
-    if (!covers) continue;
-    int64_t new_objects = 1;  // the file itself
-    for (const auto& dir : parents) {
-      if (dir.size() > quota_dir.size() &&
-          dir.compare(0, prefix.size(), prefix) == 0 &&
-          dirs_.count(dir) == 0) {
-        ++new_objects;
+  // directories) under each covering quota root. Every covering quota
+  // root lies on the parent chain, and the maintained subtree tallies
+  // replace the seed's per-create prefix scan over the whole namespace.
+  // Roots are visited shallowest-first — the lexicographic order the
+  // seed's quota-map iteration produced for nested roots — so the
+  // rejection (and its trace instant) names the same quota on ties.
+  if (active_quota_count_ > 0) {
+    for (size_t i = chain.size(); i-- > 0;) {
+      const DirEntry& entry = dir_meta_[static_cast<size_t>(chain[i])];
+      if (entry.quota <= 0) continue;
+      int64_t new_objects = 1;  // the file itself
+      for (size_t j = 0; j < i; ++j) {  // chain dirs strictly below root
+        if (!dir_meta_[static_cast<size_t>(chain[j])].exists) ++new_objects;
       }
-    }
-    const QuotaStatus q = GetQuota(quota_dir);
-    if (q.used_objects + new_objects > max_objects) {
-      if (trace_ != nullptr && trace_->enabled(obs::TraceLevel::kFull)) {
-        trace_->Instant(obs::TraceLevel::kFull, obs::SpanCategory::kStorage,
-                        "storage.quota_reject", clock_->Now(),
-                        "path=" + path + ";quota=" + quota_dir);
+      const int64_t used = entry.file_count + entry.dir_count;
+      if (used + new_objects > entry.quota) {
+        const std::string& quota_dir = dir_ids_.NameOf(chain[i]);
+        if (trace_ != nullptr && trace_->enabled(obs::TraceLevel::kFull)) {
+          trace_->Instant(obs::TraceLevel::kFull, obs::SpanCategory::kStorage,
+                          "storage.quota_reject", clock_->Now(),
+                          "path=" + path + ";quota=" + quota_dir);
+        }
+        return Status::ResourceExhausted(
+            "namespace quota exceeded for " + quota_dir + " (" +
+            std::to_string(used) + "+" + std::to_string(new_objects) + " > " +
+            std::to_string(entry.quota) + ")");
       }
-      return Status::ResourceExhausted(
-          "namespace quota exceeded for " + quota_dir + " (" +
-          std::to_string(q.used_objects) + "+" + std::to_string(new_objects) +
-          " > " + std::to_string(max_objects) + ")");
     }
   }
   // Injected quota breach: the create is rejected even though the quota
@@ -87,9 +111,23 @@ Status NameNode::CreateFile(const std::string& path, int64_t size_bytes,
                                             path);
     }
   }
-  AddDirectoriesFor(path);
-  files_.emplace(path, FileInfo{path, size_bytes, record_count,
-                                clock_->Now()});
+  // Materialize new directories (shallowest first so each new dir bumps
+  // the dir_count of the ancestors above it) and count the file into
+  // every subtree on the chain.
+  for (size_t i = chain.size(); i-- > 0;) {
+    DirEntry& entry = dir_meta_[static_cast<size_t>(chain[i])];
+    if (!entry.exists) {
+      entry.exists = true;
+      ++existing_dir_count_;
+      ++stats_.total_objects;
+      for (size_t j = i + 1; j < chain.size(); ++j) {
+        ++dir_meta_[static_cast<size_t>(chain[j])].dir_count;
+      }
+    }
+    ++entry.file_count;
+  }
+  files_.emplace_hint(hint, path,
+                      FileInfo{path, size_bytes, record_count, clock_->Now()});
   ++stats_.total_objects;
   ++stats_.file_count;
   ++stats_.create_calls;
@@ -106,9 +144,10 @@ Status NameNode::DeleteFile(const std::string& path) {
   --stats_.total_objects;
   --stats_.file_count;
   ++stats_.delete_calls;
-  for (const auto& dir : ParentDirs(path)) {
-    const auto dit = dirs_.find(dir);
-    if (dit != dirs_.end() && dit->second > 0) --dit->second;
+  ParentChain(path, &chain_scratch_);
+  for (const common::StringInterner::Id id : chain_scratch_) {
+    DirEntry& entry = dir_meta_[static_cast<size_t>(id)];
+    if (entry.file_count > 0) --entry.file_count;
   }
   CountRpc();
   return Status::OK();
@@ -117,7 +156,11 @@ Status NameNode::DeleteFile(const std::string& path) {
 Result<FileInfo> NameNode::Open(const std::string& path) {
   ++stats_.open_calls;
   const SimTime hour = (clock_->Now() / kHour) * kHour;
-  ++open_calls_by_hour_[hour];
+  if (hour != open_hour_) {
+    open_hour_ = hour;
+    open_slot_ = &open_calls_by_hour_[hour];
+  }
+  ++*open_slot_;
   CountRpc();
   // Injected read timeout, on top of the organic load model. Counted in
   // stats().timeouts so callers' retry paths see one failure mode.
@@ -186,30 +229,58 @@ Status NameNode::AuditAccounting() const {
         " != actual " + std::to_string(files_.size()));
   }
   if (stats_.total_objects !=
-      static_cast<int64_t>(files_.size() + dirs_.size())) {
+      static_cast<int64_t>(files_.size()) + existing_dir_count_) {
     return Status::Internal(
         "total_objects counter " + std::to_string(stats_.total_objects) +
-        " != actual " + std::to_string(files_.size() + dirs_.size()));
+        " != actual " +
+        std::to_string(static_cast<int64_t>(files_.size()) +
+                       existing_dir_count_));
   }
-  // Recount per-directory contained files from scratch.
-  std::map<std::string, int64_t> recount;
-  for (const auto& [dir, count] : dirs_) recount.emplace(dir, 0);
+  // Recount the maintained subtree tallies from scratch — per-directory
+  // contained files via string prefixes (deliberately not the parent
+  // links, so the audit cross-checks the id plumbing itself) and
+  // contained dirs via the parent links of every existing directory.
+  std::vector<int64_t> file_recount(dir_meta_.size(), 0);
+  std::vector<int64_t> dir_recount(dir_meta_.size(), 0);
   for (const auto& [path, info] : files_) {
     for (const auto& dir : ParentDirs(path)) {
-      const auto it = recount.find(dir);
-      if (it == recount.end()) {
+      const auto id = dir_ids_.Lookup(dir);
+      if (id == common::StringInterner::kInvalidId ||
+          !dir_meta_[static_cast<size_t>(id)].exists) {
         return Status::Internal("untracked parent directory " + dir +
                                 " of file " + path);
       }
-      ++it->second;
+      ++file_recount[static_cast<size_t>(id)];
     }
   }
-  for (const auto& [dir, count] : dirs_) {
-    const int64_t actual = recount[dir];
-    if (count != actual) {
-      return Status::Internal("directory " + dir + " tally " +
-                              std::to_string(count) + " != recount " +
-                              std::to_string(actual));
+  int64_t existing = 0;
+  for (size_t id = 0; id < dir_meta_.size(); ++id) {
+    if (!dir_meta_[id].exists) continue;
+    ++existing;
+    for (auto p = dir_meta_[id].parent;
+         p != common::StringInterner::kInvalidId;
+         p = dir_meta_[static_cast<size_t>(p)].parent) {
+      ++dir_recount[static_cast<size_t>(p)];
+    }
+  }
+  if (existing != existing_dir_count_) {
+    return Status::Internal("existing_dir_count " +
+                            std::to_string(existing_dir_count_) +
+                            " != recount " + std::to_string(existing));
+  }
+  for (size_t id = 0; id < dir_meta_.size(); ++id) {
+    const DirEntry& entry = dir_meta_[id];
+    if (entry.file_count != file_recount[id]) {
+      return Status::Internal(
+          "directory " + dir_ids_.NameOf(static_cast<int32_t>(id)) +
+          " tally " + std::to_string(entry.file_count) + " != recount " +
+          std::to_string(file_recount[id]));
+    }
+    if (entry.dir_count != dir_recount[id]) {
+      return Status::Internal(
+          "directory " + dir_ids_.NameOf(static_cast<int32_t>(id)) +
+          " dir tally " + std::to_string(entry.dir_count) + " != recount " +
+          std::to_string(dir_recount[id]));
     }
   }
   return Status::OK();
@@ -229,28 +300,21 @@ std::vector<FileInfo> NameNode::ListFiles(const std::string& dir_prefix) {
 }
 
 void NameNode::SetNamespaceQuota(const std::string& dir, int64_t max_objects) {
-  if (max_objects <= 0) {
-    quotas_.erase(dir);
-  } else {
-    quotas_[dir] = max_objects;
-  }
+  const common::StringInterner::Id id = InternDir(dir);
+  DirEntry& entry = dir_meta_[static_cast<size_t>(id)];
+  const int64_t quota = max_objects <= 0 ? 0 : max_objects;
+  if (entry.quota > 0 && quota == 0) --active_quota_count_;
+  if (entry.quota == 0 && quota > 0) ++active_quota_count_;
+  entry.quota = quota;
 }
 
 QuotaStatus NameNode::GetQuota(const std::string& dir) const {
   QuotaStatus q;
-  const auto quota_it = quotas_.find(dir);
-  q.total_objects = quota_it == quotas_.end() ? 0 : quota_it->second;
-  const std::string prefix = dir + "/";
-  for (auto it = files_.lower_bound(prefix);
-       it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
-       ++it) {
-    ++q.used_objects;
-  }
-  for (auto it = dirs_.lower_bound(prefix);
-       it != dirs_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
-       ++it) {
-    ++q.used_objects;
-  }
+  const common::StringInterner::Id id = dir_ids_.Lookup(dir);
+  if (id == common::StringInterner::kInvalidId) return q;
+  const DirEntry& entry = dir_meta_[static_cast<size_t>(id)];
+  q.total_objects = entry.quota;
+  q.used_objects = entry.file_count + entry.dir_count;
   return q;
 }
 
@@ -278,7 +342,11 @@ double NameNode::CurrentTimeoutProbability() const {
 
 void NameNode::CountRpc(int64_t n) {
   const SimTime hour = (clock_->Now() / kHour) * kHour;
-  rpcs_by_hour_[hour] += n;
+  if (hour != rpc_hour_) {
+    rpc_hour_ = hour;
+    rpc_slot_ = &rpcs_by_hour_[hour];
+  }
+  *rpc_slot_ += n;
 }
 
 }  // namespace autocomp::storage

@@ -1,0 +1,192 @@
+// CalendarQueue: the hour-bucketed timing wheel behind
+// EventDriver::AdvanceTo. The contract under test is semantic equality
+// with the min-scan + min-heap structure it replaced: boundaries surface
+// in (time, then table-name) order, timers can be re-armed and disarmed
+// without disturbing other entries, and bucket rollover across hour
+// boundaries never drops or reorders work.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/calendar_queue.h"
+
+namespace autocomp::sim {
+namespace {
+
+using Kind = CalendarQueue::Kind;
+
+TEST(CalendarQueueTest, PopsInTimeOrderAcrossHourBuckets) {
+  CalendarQueue q;
+  // Entries straddling several hour buckets, inserted out of order.
+  const std::vector<SimTime> times = {3 * kHour + 10, 10, kHour + 5,
+                                      3 * kHour,      kHour, 10 * kHour};
+  for (size_t i = 0; i < times.size(); ++i) {
+    q.ScheduleCompaction(times[i], static_cast<int32_t>(i));
+  }
+  EXPECT_EQ(q.compaction_count(), 6);
+  EXPECT_EQ(q.bucket_count(), 4);  // hours 0, 1 (x2), 3 (x2), 10
+
+  std::vector<SimTime> sorted = times;
+  std::sort(sorted.begin(), sorted.end());
+  for (const SimTime want : sorted) {
+    const auto peek = q.PeekNext();
+    ASSERT_TRUE(peek.has_value());
+    EXPECT_EQ(*peek, want);
+    const auto e = q.PopCompactionDue(want);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->time, want);
+  }
+  EXPECT_EQ(q.compaction_count(), 0);
+  EXPECT_FALSE(q.PopCompactionDue(100 * kHour).has_value());
+  EXPECT_FALSE(q.PeekNext().has_value());
+  EXPECT_EQ(q.bucket_count(), 0) << "exhausted buckets must be collected";
+}
+
+TEST(CalendarQueueTest, CutoffIsRespected) {
+  CalendarQueue q;
+  q.ScheduleCompaction(kHour + 30, 0);
+  q.ScheduleCompaction(2 * kHour, 1);
+  // Cutoff inside the first entry's bucket but before the entry itself.
+  EXPECT_FALSE(q.PopCompactionDue(kHour + 29).has_value());
+  const auto e = q.PopCompactionDue(kHour + 30);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->table, 0);
+  EXPECT_FALSE(q.PopCompactionDue(2 * kHour - 1).has_value());
+  EXPECT_EQ(q.compaction_count(), 1);
+}
+
+TEST(CalendarQueueTest, SameTickOrderingMatchesMinScanTieBreak) {
+  // Ids 0..3 carry names that sort differently from the ids — the
+  // interned-id regression this comparator exists to prevent. The heap
+  // the wheel replaced popped ties by (end_time, table name).
+  const std::vector<std::string> names = {"db.zeta", "db.alpha", "db.mid",
+                                          "db.beta"};
+  CalendarQueue q([&names](int32_t a, int32_t b) {
+    return names[static_cast<size_t>(a)] < names[static_cast<size_t>(b)];
+  });
+  const SimTime tick = 5 * kHour + 17;
+  for (int32_t id = 0; id < 4; ++id) q.ScheduleCompaction(tick, id);
+  q.ScheduleCompaction(tick - 1, 2);  // earlier time beats any name
+
+  std::vector<int32_t> order;
+  while (const auto e = q.PopCompactionDue(tick)) order.push_back(e->table);
+  // alpha(1) < beta(3) < mid(2) < zeta(0) after the earlier entry.
+  const std::vector<int32_t> want = {2, 1, 3, 2, 0};
+  EXPECT_EQ(order, want);
+}
+
+TEST(CalendarQueueTest, TimerSupersedeAndDisarm) {
+  CalendarQueue q;
+  q.ArmTimer(Kind::kSample, 4 * kHour);
+  ASSERT_TRUE(q.PeekNext().has_value());
+  EXPECT_EQ(*q.PeekNext(), 4 * kHour);
+
+  // Re-arm earlier: the new schedule wins, the old entry is a tombstone.
+  q.ArmTimer(Kind::kSample, kHour);
+  EXPECT_EQ(*q.PeekNext(), kHour);
+
+  // Re-arm later: the earlier entry must no longer surface.
+  q.ArmTimer(Kind::kSample, 6 * kHour);
+  EXPECT_EQ(*q.PeekNext(), 6 * kHour);
+
+  // Independent kinds do not disturb each other.
+  q.ArmTimer(Kind::kRetention, 2 * kHour);
+  EXPECT_EQ(*q.PeekNext(), 2 * kHour);
+  q.DisarmTimer(Kind::kRetention);
+  EXPECT_EQ(*q.PeekNext(), 6 * kHour);
+
+  q.DisarmTimer(Kind::kSample);
+  EXPECT_FALSE(q.PeekNext().has_value());
+}
+
+TEST(CalendarQueueTest, DisarmThenRearmAtSameInstant) {
+  // Regression: pruning a disarmed timer's entry must reset the
+  // placed-entry bookkeeping, or a re-arm at the same instant would be
+  // deduplicated against the pruned entry and silently lost.
+  CalendarQueue q;
+  q.ArmTimer(Kind::kService, 3 * kHour);
+  EXPECT_EQ(*q.PeekNext(), 3 * kHour);
+  q.DisarmTimer(Kind::kService);
+  EXPECT_FALSE(q.PeekNext().has_value());  // prunes the tombstone
+  q.ArmTimer(Kind::kService, 3 * kHour);
+  const auto peek = q.PeekNext();
+  ASSERT_TRUE(peek.has_value()) << "re-armed boundary was lost";
+  EXPECT_EQ(*peek, 3 * kHour);
+}
+
+TEST(CalendarQueueTest, TimersDoNotBlockLaterCompactions) {
+  // A timer-only front bucket must not stop the scan from reaching a due
+  // compaction in a later bucket.
+  CalendarQueue q;
+  q.ArmTimer(Kind::kSample, kHour);  // front bucket: timer only
+  q.ScheduleCompaction(3 * kHour, 7);
+  const auto e = q.PopCompactionDue(3 * kHour);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->table, 7);
+  EXPECT_EQ(*q.PeekNext(), kHour) << "timer must survive the pop scan";
+}
+
+// Randomized equivalence against a brute-force min-scan reference: any
+// interleaving of schedules, pops, and timer re-arms must surface the
+// same boundaries in the same order as the structure-free scan.
+TEST(CalendarQueueTest, RandomizedEquivalenceWithMinScanReference) {
+  std::mt19937 rng(20260809);
+  const std::vector<std::string> names = {"t.c", "t.a", "t.d", "t.b", "t.e"};
+  const auto name_less = [&names](int32_t a, int32_t b) {
+    return names[static_cast<size_t>(a)] < names[static_cast<size_t>(b)];
+  };
+  for (int round = 0; round < 20; ++round) {
+    CalendarQueue q(name_less);
+    std::vector<CalendarQueue::Entry> reference;  // compactions only
+    std::uniform_int_distribution<SimTime> time_dist(0, 12 * kHour);
+    std::uniform_int_distribution<int32_t> table_dist(0, 4);
+    for (int i = 0; i < 40; ++i) {
+      const SimTime t = time_dist(rng);
+      const int32_t table = table_dist(rng);
+      q.ScheduleCompaction(t, table);
+      reference.push_back({t, Kind::kCompactionEnd, table});
+    }
+    // Interleave some timer churn; timers never affect compaction pops.
+    q.ArmTimer(Kind::kSample, time_dist(rng));
+    q.ArmTimer(Kind::kService, time_dist(rng));
+    q.DisarmTimer(Kind::kService);
+
+    const SimTime cutoff = time_dist(rng);
+    while (true) {
+      // Reference: min by (time, name) among entries <= cutoff.
+      auto best = reference.end();
+      for (auto it = reference.begin(); it != reference.end(); ++it) {
+        if (it->time > cutoff) continue;
+        if (best == reference.end() || it->time < best->time ||
+            (it->time == best->time && name_less(it->table, best->table))) {
+          best = it;
+        }
+      }
+      const auto popped = q.PopCompactionDue(cutoff);
+      if (best == reference.end()) {
+        EXPECT_FALSE(popped.has_value()) << "round " << round;
+        break;
+      }
+      ASSERT_TRUE(popped.has_value()) << "round " << round;
+      EXPECT_EQ(popped->time, best->time) << "round " << round;
+      EXPECT_EQ(popped->table, best->table) << "round " << round;
+      reference.erase(best);
+    }
+    EXPECT_EQ(q.compaction_count(),
+              static_cast<int64_t>(std::count_if(
+                  reference.begin(), reference.end(),
+                  [cutoff](const CalendarQueue::Entry& e) {
+                    return e.time > cutoff;
+                  })));
+  }
+}
+
+}  // namespace
+}  // namespace autocomp::sim

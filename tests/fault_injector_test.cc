@@ -26,8 +26,11 @@ TEST(FaultInjectorTest, DisabledInjectorIsInert) {
   EXPECT_TRUE(injector.Counters().empty());
 }
 
-TEST(FaultInjectorTest, EnabledButEmptyInjectsNothing) {
-  // The zero-fault parity configuration: armed, counting, never firing.
+TEST(FaultInjectorTest, EnabledButEmptyShortCircuits) {
+  // The zero-fault parity configuration: armed but with nothing that
+  // could ever fire. Arm() must short-circuit before any counting, RNG,
+  // or string work — unconfigured sites leave no trace in the counters
+  // (this is the armed-overhead budget's fast path).
   FaultInjectorOptions options;
   options.enabled = true;
   FaultInjector injector(options);
@@ -35,8 +38,29 @@ TEST(FaultInjectorTest, EnabledButEmptyInjectsNothing) {
     EXPECT_EQ(injector.Arm(kSiteStorageOpen, "/data/db/t/f.parquet"),
               FaultKind::kNone);
   }
-  EXPECT_EQ(injector.total_hits(), 100);
+  EXPECT_EQ(injector.total_hits(), 0);
   EXPECT_EQ(injector.total_injected(), 0);
+  EXPECT_TRUE(injector.Counters().empty());
+}
+
+TEST(FaultInjectorTest, OnlyConfiguredSitesCountHits) {
+  // A schedule on one site must not make Arm() pay (or count) anything
+  // on other sites; the configured site keeps full hit accounting.
+  FaultInjectorOptions options;
+  options.enabled = true;
+  options.schedule.Add(kSiteLstCommit, 2, FaultKind::kCasRaceConflict);
+  FaultInjector injector(options);
+  EXPECT_EQ(injector.Arm(kSiteStorageOpen, "/f"), FaultKind::kNone);
+  EXPECT_EQ(injector.Arm(kSiteLstCommit, "db.t"), FaultKind::kNone);
+  EXPECT_EQ(injector.Arm(kSiteStorageOpen, "/f"), FaultKind::kNone);
+  EXPECT_EQ(injector.Arm(kSiteLstCommit, "db.t"),
+            FaultKind::kCasRaceConflict);
+  const auto counters = injector.Counters();
+  EXPECT_EQ(counters.count(kSiteStorageOpen), 0u)
+      << "unconfigured site leaked into the counters";
+  ASSERT_EQ(counters.count(kSiteLstCommit), 1u);
+  EXPECT_EQ(counters.at(kSiteLstCommit).hits, 2);
+  EXPECT_EQ(injector.total_hits(), 2);
 }
 
 TEST(FaultInjectorTest, ScheduleFiresOnExactHit) {
