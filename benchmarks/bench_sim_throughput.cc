@@ -15,14 +15,44 @@
 /// (enabled injector, empty profile — must be bit-identical to seq; its
 /// wall-clock delta is the zero-fault overhead, budgeted at <2% on quiet
 /// hosts) and "seq-chaos" (the chaos preset, pricing sustained failures
-/// plus the retry/backoff machinery).
+/// plus the retry/backoff machinery). The armed overhead is the median
+/// per-pair ratio against a plain-seq baseline *interleaved rep by rep*
+/// with the armed runs (RunInterleaved), not a delta against the shard
+/// sweep's seq block — the budget is smaller than the host's
+/// minute-scale throughput drift.
 ///
 /// Two tracing configs follow the same pattern: "seq-traceoff" (per-lane
 /// recorders installed but TraceLevel::kOff — every emission site pays
 /// its pointer+level guard and nothing else; must be bit-identical to
-/// seq, with the wall-clock delta budgeted at <2%) and "seq-traced"
-/// (TraceLevel::kFull — tracing must be a pure observer, so metrics
-/// still equal seq exactly; the digest is reported for reference).
+/// seq, with the wall-clock delta budgeted at <2% against its own
+/// interleaved baseline) and "seq-traced" (TraceLevel::kFull — tracing
+/// must be a pure observer, so metrics still equal seq exactly; the
+/// digest is reported for reference).
+///
+/// Timing hygiene: every config gets one untimed warmup replay before
+/// its best-of-N timed runs, so allocator/page-cache warmup lands on no
+/// config in particular (previously the first-measured config paid it,
+/// producing *negative* overhead percentages for later configs). Pool
+/// configs wider than hardware_concurrency are skipped (their "speedup"
+/// measures oversubscription, not parallelism) unless
+/// AUTOCOMP_BENCH_FORCE_POOLS=1 — the same discipline as
+/// bench_pipeline_throughput.
+///
+/// A "seq-eager" run (LaneMode::kAdvanceAll) prices the lazy driver
+/// against the historical hydrate-everything/advance-everything path at
+/// the 2000-table tier, and must be bit-identical to seq.
+///
+/// The **scale tier** then replays a cold-fleet configuration —
+/// AUTOCOMP_BENCH_SCALE_TABLES one-table tenant databases (default
+/// 20000) for AUTOCOMP_BENCH_SCALE_DAYS days (default 7; 50000 x 30 is
+/// the supported upper shape) with *absolute* daily activity held
+/// constant, the paper's hot-subset skew — as seq vs shard{1,2,4,8} x
+/// pool{0,2,4}. Every config runs in a forked child so getrusage
+/// ru_maxrss gives a clean per-config peak RSS; results are compared
+/// across processes via MetricsRecorder::ContentHash and must match seq
+/// exactly. A half-scale seq run (same activity, half the lanes)
+/// documents the sublinear-footprint claim: lanes_hydrated and peak RSS
+/// track activity, not fleet size.
 ///
 /// Results land in BENCH_sim.json:
 ///   {"fleet_tables": N, "days": D, "hardware_concurrency": H,
@@ -30,6 +60,7 @@
 ///      {"name": "seq", "shards": 0, "pool_workers": 0, "wall_ms": ...,
 ///       "events": ..., "events_per_sec": ..., "speedup_vs_seq": 1.0,
 ///       "metrics_equal": true}, ...],
+///    "lazy_speedup_vs_eager": ...,
 ///    "fault_runs": [{"name": "seq-armed", "faults_injected": 0,
 ///       "overhead_pct": ..., "metrics_equal_to_seq": true}, ...],
 ///    "fault_armed_overhead_pct": ...,
@@ -37,8 +68,13 @@
 ///    "trace_runs": [{"name": "seq-traceoff", "trace_events": 0,
 ///       "overhead_pct": ..., "metrics_equal_to_seq": true}, ...],
 ///    "trace_off_overhead_pct": ...,
-///    "trace_off_overhead_target_pct": 2.0}
+///    "trace_off_overhead_target_pct": 2.0,
+///    "scale": {"tables": N, "days": D, "configs": [...],
+///       "events_per_sec": ..., "peak_rss_mb": ...,
+///       "wall_ms_per_event": ..., "base_wall_ms_per_event": ...,
+///       "half_scale": {...}, "identical": true}}
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -48,6 +84,12 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__unix__)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "common/json.h"
 #include "common/logging.h"
@@ -62,11 +104,12 @@ using namespace autocomp;
 namespace {
 
 // ~2000 tables: 40 tenant databases x 50 tables, the scale the
-// acceptance bar names. One simulated day and one rep per config keep
-// the default turnaround tolerable on small hosts (five full-fleet
-// replays per invocation); AUTOCOMP_BENCH_SIM_DAYS and
-// AUTOCOMP_BENCH_SIM_RUNS scale the horizon / add best-of-N reps on
-// hardware that can afford them.
+// acceptance bar names. One simulated day keeps the default turnaround
+// tolerable on small hosts; each config takes the best of three timed
+// reps (after an untimed warmup) because the overhead comparisons gate
+// on low-single-digit percentages that a single noisy rep cannot
+// resolve. AUTOCOMP_BENCH_SIM_DAYS and AUTOCOMP_BENCH_SIM_RUNS scale
+// the horizon / rep count for hardware at either extreme.
 constexpr int kDatabases = 40;
 constexpr int kTablesPerDb = 50;
 
@@ -86,7 +129,7 @@ double EnvDouble(const char* name, double fallback) {
 }
 
 const int kDays = EnvInt("AUTOCOMP_BENCH_SIM_DAYS", 1, 1);
-const int kRunsPerConfig = EnvInt("AUTOCOMP_BENCH_SIM_RUNS", 1, 1);
+const int kRunsPerConfig = EnvInt("AUTOCOMP_BENCH_SIM_RUNS", 3, 1);
 
 sim::FleetSimOptions BaseOptions() {
   sim::FleetSimOptions options;
@@ -119,6 +162,10 @@ struct RunOutcome {
   int64_t faults_injected = 0;
   double events_per_sec = 0;
   bool metrics_equal = true;
+  /// Config not run (pool wider than the host) — excluded from the
+  /// equality sweep and from any speedup claim; annotated in the JSON.
+  bool skipped = false;
+  std::string skip_reason;
   sim::MetricsRecorder metrics;
   obs::TraceDigest trace_digest;
 };
@@ -138,61 +185,361 @@ enum class FaultMode { kOff, kArmedEmpty, kChaos };
 /// pure observer: metrics stay bit-identical to the untraced run).
 enum class TraceMode { kOff, kArmedOff, kFull };
 
+/// One timed base-tier replay with the given variant knobs.
+struct OneRun {
+  double ms = 0;
+  sim::FleetSimResult result;
+};
+
+OneRun TimedRun(int shards, ThreadPool* pool, FaultMode fault_mode,
+                TraceMode trace_mode, sim::LaneMode lane_mode) {
+  sim::FleetSimOptions options = BaseOptions();
+  options.lane_mode = lane_mode;
+  if (shards > 0) {
+    options.sharded = true;
+    options.shards = shards;
+    options.pool = pool;
+  } else {
+    options.sharded = false;
+    options.shards = 1;
+    options.pool = nullptr;
+  }
+  if (fault_mode != FaultMode::kOff) {
+    options.env.fault.enabled = true;
+    options.env.fault.seed = 0x5eedfa;
+    if (fault_mode == FaultMode::kChaos) {
+      auto profile = fault::FaultProfileByName("chaos");
+      AUTOCOMP_CHECK(profile.ok()) << profile.status();
+      options.env.fault.profile = *std::move(profile);
+    }
+  }
+  if (trace_mode == TraceMode::kArmedOff) {
+    options.trace_armed = true;  // level stays kOff
+  } else if (trace_mode == TraceMode::kFull) {
+    options.trace_level = obs::TraceLevel::kFull;
+  }
+  sim::FleetSimulation simulation(std::move(options));
+  const auto start = std::chrono::steady_clock::now();
+  auto result = simulation.Run();
+  const auto stop = std::chrono::steady_clock::now();
+  AUTOCOMP_CHECK(result.ok()) << result.status();
+  OneRun out;
+  out.ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  out.result = *std::move(result);
+  return out;
+}
+
 RunOutcome RunConfig(const std::string& name, int shards, int pool_workers,
                      FaultMode fault_mode = FaultMode::kOff,
-                     TraceMode trace_mode = TraceMode::kOff) {
+                     TraceMode trace_mode = TraceMode::kOff,
+                     sim::LaneMode lane_mode = sim::LaneMode::kActive) {
   RunOutcome out;
   out.name = name;
   out.shards = shards;
   out.pool_workers = pool_workers;
   std::unique_ptr<ThreadPool> pool;
   if (pool_workers > 0) pool = std::make_unique<ThreadPool>(pool_workers);
-  for (int run = 0; run < kRunsPerConfig; ++run) {
-    sim::FleetSimOptions options = BaseOptions();
-    if (shards > 0) {
-      options.sharded = true;
-      options.shards = shards;
-      options.pool = pool.get();
-    } else {
-      options.sharded = false;
-      options.shards = 1;
-      options.pool = nullptr;
+  // run -1 is an untimed warmup: allocator arenas and code pages get hot
+  // once per config, so no config's timing carries the process's cold
+  // start (which used to make later configs look *faster* than seq —
+  // negative "overhead").
+  for (int run = -1; run < kRunsPerConfig; ++run) {
+    OneRun timed =
+        TimedRun(shards, pool.get(), fault_mode, trace_mode, lane_mode);
+    if (run < 0) {
+      std::printf("  %s warmup: %.1f ms\n", name.c_str(), timed.ms);
+      continue;
     }
-    if (fault_mode != FaultMode::kOff) {
-      options.env.fault.enabled = true;
-      options.env.fault.seed = 0x5eedfa;
-      if (fault_mode == FaultMode::kChaos) {
-        auto profile = fault::FaultProfileByName("chaos");
-        AUTOCOMP_CHECK(profile.ok()) << profile.status();
-        options.env.fault.profile = *std::move(profile);
-      }
-    }
-    if (trace_mode == TraceMode::kArmedOff) {
-      options.trace_armed = true;  // level stays kOff
-    } else if (trace_mode == TraceMode::kFull) {
-      options.trace_level = obs::TraceLevel::kFull;
-    }
-    sim::FleetSimulation simulation(std::move(options));
-    const auto start = std::chrono::steady_clock::now();
-    auto result = simulation.Run();
-    const auto stop = std::chrono::steady_clock::now();
-    AUTOCOMP_CHECK(result.ok()) << result.status();
-    const double ms =
-        std::chrono::duration<double, std::milli>(stop - start).count();
-    if (out.wall_ms == 0 || ms < out.wall_ms) out.wall_ms = ms;
-    out.events = result->events_executed;
-    out.total_files = result->total_files;
-    out.open_calls = result->open_calls;
-    out.faults_injected = result->faults_injected;
-    out.trace_digest = result->trace_digest;
-    out.metrics = std::move(result->metrics);
+    if (out.wall_ms == 0 || timed.ms < out.wall_ms) out.wall_ms = timed.ms;
+    out.events = timed.result.events_executed;
+    out.total_files = timed.result.total_files;
+    out.open_calls = timed.result.open_calls;
+    out.faults_injected = timed.result.faults_injected;
+    out.trace_digest = timed.result.trace_digest;
+    out.metrics = std::move(timed.result.metrics);
     std::printf("  %s run %d/%d: %.1f ms (%lld events)\n", name.c_str(),
-                run + 1, kRunsPerConfig, ms,
+                run + 1, kRunsPerConfig, timed.ms,
                 static_cast<long long>(out.events));
   }
   out.events_per_sec =
       out.wall_ms > 0 ? static_cast<double>(out.events) / (out.wall_ms / 1e3)
                       : 0;
+  return out;
+}
+
+/// Interleaved overhead measurement. The host's throughput drifts on
+/// minute scales (frequency scaling, noisy neighbours), so timing a
+/// variant block minutes after the baseline block buries a 2% effect in
+/// several percent of drift — an armed-hook config was once measured 6%
+/// *faster* than the plain run it strictly supersets. Each rep times a
+/// fresh plain-seq baseline and the variant back to back, so both runs
+/// of a pair sample the same host conditions; the reported overhead is
+/// the *median of the per-pair ratios*, which a single noisy rep on
+/// either side cannot skew (best-of-each would pair a lucky baseline
+/// with an unlucky variant). `*overhead_pct` receives that median.
+RunOutcome RunInterleaved(const std::string& name, FaultMode fault_mode,
+                          TraceMode trace_mode, double* overhead_pct) {
+  RunOutcome out;
+  out.name = name;
+  std::vector<double> pair_ratios;
+  // At least five pairs regardless of kRunsPerConfig: the median needs
+  // enough samples to reject the ±5% outlier reps a busy host produces.
+  // Which side of a pair runs first alternates per rep — under a
+  // monotone host slowdown the second position is systematically the
+  // slower one, which a fixed order would bill entirely to the variant.
+  const int pairs = std::max(kRunsPerConfig, 5);
+  for (int run = -1; run < pairs; ++run) {
+    const bool variant_first = run % 2 == 0;
+    OneRun first = TimedRun(0, nullptr,
+                            variant_first ? fault_mode : FaultMode::kOff,
+                            variant_first ? trace_mode : TraceMode::kOff,
+                            sim::LaneMode::kActive);
+    OneRun second = TimedRun(0, nullptr,
+                             variant_first ? FaultMode::kOff : fault_mode,
+                             variant_first ? TraceMode::kOff : trace_mode,
+                             sim::LaneMode::kActive);
+    OneRun& base = variant_first ? second : first;
+    OneRun& variant = variant_first ? first : second;
+    if (run < 0) {
+      std::printf("  %s warmup: %.1f ms (paired baseline %.1f ms)\n",
+                  name.c_str(), variant.ms, base.ms);
+      continue;
+    }
+    if (base.ms > 0) pair_ratios.push_back(variant.ms / base.ms);
+    if (out.wall_ms == 0 || variant.ms < out.wall_ms) out.wall_ms = variant.ms;
+    out.events = variant.result.events_executed;
+    out.total_files = variant.result.total_files;
+    out.open_calls = variant.result.open_calls;
+    out.faults_injected = variant.result.faults_injected;
+    out.trace_digest = variant.result.trace_digest;
+    out.metrics = std::move(variant.result.metrics);
+    std::printf("  %s run %d/%d: %.1f ms (paired baseline %.1f ms)\n",
+                name.c_str(), run + 1, pairs, variant.ms, base.ms);
+  }
+  out.events_per_sec =
+      out.wall_ms > 0 ? static_cast<double>(out.events) / (out.wall_ms / 1e3)
+                      : 0;
+  *overhead_pct = 0;
+  if (!pair_ratios.empty()) {
+    std::sort(pair_ratios.begin(), pair_ratios.end());
+    const size_t n = pair_ratios.size();
+    const double median = n % 2 == 1
+                              ? pair_ratios[n / 2]
+                              : (pair_ratios[n / 2 - 1] + pair_ratios[n / 2]) / 2;
+    *overhead_pct = (median - 1.0) * 100.0;
+  }
+  return out;
+}
+
+RunOutcome SkippedConfig(const std::string& name, int shards,
+                         int pool_workers, int hw) {
+  RunOutcome out;
+  out.name = name;
+  out.shards = shards;
+  out.pool_workers = pool_workers;
+  out.skipped = true;
+  out.skip_reason = "pool_workers " + std::to_string(pool_workers) +
+                    " > hardware_concurrency " + std::to_string(hw);
+  std::printf("  %s: skipped (%s; AUTOCOMP_BENCH_FORCE_POOLS=1 to run)\n",
+              name.c_str(), out.skip_reason.c_str());
+  return out;
+}
+
+// ---- scale tier ------------------------------------------------------
+// AUTOCOMP_BENCH_SCALE_TABLES=0 skips the tier entirely.
+const int kScaleTables = EnvInt("AUTOCOMP_BENCH_SCALE_TABLES", 20'000, 0);
+const int kScaleDays = EnvInt("AUTOCOMP_BENCH_SCALE_DAYS", 7, 1);
+// Absolute daily activity, held constant as the fleet grows: this is the
+// paper's fleet shape (a small, Zipf-skewed hot subset doing nearly all
+// the writing while the long tail sits cold), and it is what makes the
+// sublinearity claim testable — doubling the fleet must not double the
+// wall clock or the footprint, because the work didn't double.
+constexpr double kScaleDailyWrites = 1000.0;
+constexpr double kScaleDailyReads = 250.0;
+
+sim::FleetSimOptions ScaleOptions(int tables) {
+  sim::FleetSimOptions options;
+  options.days = kScaleDays;
+  options.seed = 7;
+  // One table per tenant database = one lane per table: the sharpest
+  // possible residency accounting (a lane hydrates iff *its* table is
+  // ever touched).
+  options.fleet.num_databases = tables;
+  options.fleet.tables_per_db = 1;
+  options.fleet.size_mu = std::log(128.0 * kMiB);
+  options.fleet.size_sigma = 1.2;
+  options.fleet.daily_write_fraction =
+      kScaleDailyWrites / static_cast<double>(tables);
+  options.fleet.daily_reads_per_table =
+      kScaleDailyReads / static_cast<double>(tables);
+  options.fleet.new_tables_per_day = 20;
+  options.env.namenode.rpc_capacity_per_hour = tables;
+  // 12h samples keep the merged per-lane series (lanes x days x 2 points
+  // each) modest even at 50k x 30; dozing lanes defer these ticks, so
+  // the cadence does not wake anyone.
+  options.driver.sample_interval = 12 * kHour;
+  options.driver.retention_interval = kDay;
+  return options;
+}
+
+struct ScaleOutcome {
+  std::string name;
+  int shards = 0;
+  int pool_workers = 0;
+  bool forked = false;  // peak_rss_mb is per-config (fork+wait4) only then
+  double wall_ms = 0;
+  double setup_ms = 0;
+  double peak_rss_mb = 0;
+  int64_t events = 0;
+  int64_t total_files = 0;
+  int64_t open_calls = 0;
+  int64_t lanes_total = 0;
+  int64_t lanes_hydrated = 0;
+  int64_t peak_resident_lanes = 0;
+  int64_t lanes_ghosted = 0;
+  unsigned long long metrics_hash = 0;
+  bool identical = true;  // ContentHash + totals match the scale seq run
+  double events_per_sec = 0;
+};
+
+/// One full-scale replay, in-process. Cross-process comparison uses
+/// MetricsRecorder::ContentHash (order-stable over exactly the surface
+/// Equals compares); the scale fleet runs without a preset, so no
+/// host-wall-clock metric exists to perturb the hash.
+ScaleOutcome ScaleBody(const std::string& name, int tables, int shards,
+                       int pool_workers) {
+  ScaleOutcome out;
+  out.name = name;
+  out.shards = shards;
+  out.pool_workers = pool_workers;
+  std::unique_ptr<ThreadPool> pool;
+  if (pool_workers > 0) pool = std::make_unique<ThreadPool>(pool_workers);
+  sim::FleetSimOptions options = ScaleOptions(tables);
+  if (shards > 0) {
+    options.sharded = true;
+    options.shards = shards;
+    options.pool = pool.get();
+  } else {
+    options.sharded = false;
+    options.shards = 1;
+    options.pool = nullptr;
+  }
+  sim::FleetSimulation simulation(std::move(options));
+  const auto start = std::chrono::steady_clock::now();
+  auto result = simulation.Run();
+  const auto stop = std::chrono::steady_clock::now();
+  AUTOCOMP_CHECK(result.ok()) << result.status();
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  out.setup_ms = result->setup_ms;
+  out.events = result->events_executed;
+  out.total_files = result->total_files;
+  out.open_calls = result->open_calls;
+  out.lanes_total = result->lanes_total;
+  out.lanes_hydrated = result->lanes_hydrated;
+  out.peak_resident_lanes = result->peak_resident_lanes;
+  out.lanes_ghosted = result->lanes_ghosted;
+  out.metrics_hash = result->metrics.ContentHash();
+  out.events_per_sec =
+      out.wall_ms > 0 ? static_cast<double>(out.events) / (out.wall_ms / 1e3)
+                      : 0;
+  return out;
+}
+
+/// Runs a scale config in a forked child when the platform allows, so
+/// wait4's ru_maxrss is that single replay's peak RSS — sequential
+/// in-process runs would only ever report the high-water mark of the
+/// *largest* config. Falls back to in-process (peak_rss_mb = 0) when
+/// fork is unavailable.
+ScaleOutcome RunScaleConfig(const std::string& name, int tables, int shards,
+                            int pool_workers) {
+  ScaleOutcome out;
+#if defined(__unix__)
+  int fds[2] = {-1, -1};
+  if (pipe(fds) == 0) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      close(fds[0]);
+      const ScaleOutcome child = ScaleBody(name, tables, shards, pool_workers);
+      char buf[256];
+      const int len = std::snprintf(
+          buf, sizeof buf,
+          "%.3f %.3f %lld %lld %lld %lld %lld %lld %lld %llu\n",
+          child.wall_ms, child.setup_ms,
+          static_cast<long long>(child.events),
+          static_cast<long long>(child.total_files),
+          static_cast<long long>(child.open_calls),
+          static_cast<long long>(child.lanes_total),
+          static_cast<long long>(child.lanes_hydrated),
+          static_cast<long long>(child.peak_resident_lanes),
+          static_cast<long long>(child.lanes_ghosted), child.metrics_hash);
+      ssize_t written = 0;
+      while (written < len) {
+        const ssize_t n = write(fds[1], buf + written, len - written);
+        if (n <= 0) _exit(3);
+        written += n;
+      }
+      _exit(0);
+    }
+    if (pid > 0) {
+      close(fds[1]);
+      std::string line;
+      char buf[256];
+      ssize_t n;
+      while ((n = read(fds[0], buf, sizeof buf)) > 0) line.append(buf, n);
+      close(fds[0]);
+      struct rusage ru;
+      std::memset(&ru, 0, sizeof ru);
+      int status = 0;
+      AUTOCOMP_CHECK(wait4(pid, &status, 0, &ru) == pid);
+      AUTOCOMP_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+          << "scale config " << name << " child exited abnormally";
+      long long events = 0, files = 0, opens = 0, total = 0, hydrated = 0,
+                peak = 0, ghosted = 0;
+      unsigned long long hash = 0;
+      AUTOCOMP_CHECK(std::sscanf(line.c_str(),
+                                 "%lf %lf %lld %lld %lld %lld %lld %lld "
+                                 "%lld %llu",
+                                 &out.wall_ms, &out.setup_ms, &events, &files,
+                                 &opens, &total, &hydrated, &peak, &ghosted,
+                                 &hash) == 10)
+          << "scale config " << name << " child wrote: " << line;
+      out.name = name;
+      out.shards = shards;
+      out.pool_workers = pool_workers;
+      out.events = events;
+      out.total_files = files;
+      out.open_calls = opens;
+      out.lanes_total = total;
+      out.lanes_hydrated = hydrated;
+      out.peak_resident_lanes = peak;
+      out.lanes_ghosted = ghosted;
+      out.metrics_hash = hash;
+      out.events_per_sec =
+          out.wall_ms > 0
+              ? static_cast<double>(out.events) / (out.wall_ms / 1e3)
+              : 0;
+      // Linux reports ru_maxrss in kilobytes.
+      out.peak_rss_mb = static_cast<double>(ru.ru_maxrss) / 1024.0;
+      out.forked = true;
+    } else {
+      close(fds[0]);
+      close(fds[1]);
+      out = ScaleBody(name, tables, shards, pool_workers);
+    }
+  } else {
+    out = ScaleBody(name, tables, shards, pool_workers);
+  }
+#else
+  out = ScaleBody(name, tables, shards, pool_workers);
+#endif
+  std::printf(
+      "  %s: %.1f ms (%lld events, setup %.1f ms, %lld/%lld lanes hydrated, "
+      "peak resident %lld, rss %.1f MB)\n",
+      name.c_str(), out.wall_ms, static_cast<long long>(out.events),
+      out.setup_ms, static_cast<long long>(out.lanes_hydrated),
+      static_cast<long long>(out.lanes_total),
+      static_cast<long long>(out.peak_resident_lanes), out.peak_rss_mb);
   return out;
 }
 
@@ -207,22 +554,75 @@ int main() {
       force_env[0] != '\0';
   std::printf("hardware_concurrency = %d%s\n", hw,
               force_pools ? " (AUTOCOMP_BENCH_FORCE_POOLS set)" : "");
+
+  // --- Scale tier replays run FIRST, while this process is still small:
+  // each config forks a child whose wait4 ru_maxrss is that replay's own
+  // peak RSS. Forking after the 2000-table tier would hand every child
+  // a ~300 MB inherited high-water mark and flatten the comparison. The
+  // full seq vs shard{1,2,4,8} x pool{0,2,4} matrix runs regardless of
+  // hardware_concurrency — cross-process bit-identity (ContentHash) is
+  // the point here, and no speedup is claimed from these runs. A
+  // half-fleet seq run with the same absolute activity documents the
+  // sublinear wall/footprint claim.
+  const bool scale_enabled = kScaleTables > 0;
+  std::vector<ScaleOutcome> scale_runs;
+  ScaleOutcome scale_half;
+  bool scale_identical = true;
+  if (scale_enabled) {
+    std::printf(
+        "scale tier: %d one-table databases, %d day(s), ~%.0f writes + "
+        "%.0f reads per day fleet-wide...\n",
+        kScaleTables, kScaleDays, kScaleDailyWrites, kScaleDailyReads);
+    scale_runs.push_back(RunScaleConfig("seq", kScaleTables, 0, 0));
+    for (const int shards : {1, 2, 4, 8}) {
+      for (const int workers : {0, 2, 4}) {
+        const std::string name = "shard" + std::to_string(shards) + "-pool" +
+                                 std::to_string(workers);
+        scale_runs.push_back(
+            RunScaleConfig(name, kScaleTables, shards, workers));
+      }
+    }
+    const ScaleOutcome& sseq = scale_runs.front();
+    for (ScaleOutcome& r : scale_runs) {
+      if (&r == &sseq) continue;
+      r.identical = r.metrics_hash == sseq.metrics_hash &&
+                    r.events == sseq.events &&
+                    r.total_files == sseq.total_files &&
+                    r.open_calls == sseq.open_calls;
+      scale_identical = scale_identical && r.identical;
+      AUTOCOMP_CHECK(r.identical)
+          << "scale config " << r.name
+          << " diverged from scale seq: hash " << r.metrics_hash << " vs "
+          << sseq.metrics_hash;
+    }
+    scale_half = RunScaleConfig("seq-half", kScaleTables / 2, 0, 0);
+  } else {
+    std::printf("scale tier: skipped (AUTOCOMP_BENCH_SCALE_TABLES=0)\n");
+  }
+
   std::printf(
       "replaying %d-table fleet for %d day(s), %d run(s) per config...\n",
       kDatabases * kTablesPerDb, kDays, kRunsPerConfig);
-
   std::vector<RunOutcome> runs;
   runs.push_back(RunConfig("seq", 0, 0));
   for (const int shards : {1, 2, 4, 8}) {
-    runs.push_back(RunConfig("shard" + std::to_string(shards), shards,
-                             shards));
+    const std::string name = "shard" + std::to_string(shards);
+    // A pool wider than the host measures oversubscription, not
+    // parallelism (shard8 reported 0.81x on a 1-vCPU container) — skip
+    // it and say so, unless the caller forces the full sweep (CI does,
+    // to keep the NFR2 equality check exercised at every width).
+    if (!force_pools && shards > hw) {
+      runs.push_back(SkippedConfig(name, shards, shards, hw));
+      continue;
+    }
+    runs.push_back(RunConfig(name, shards, shards));
   }
   const RunOutcome& seq = runs.front();
 
   // NFR2: every sharded configuration reproduces the sequential run
   // exactly — same merged metrics, same fleet end state.
   for (RunOutcome& r : runs) {
-    if (r.shards == 0) continue;
+    if (r.shards == 0 || r.skipped) continue;
     std::string why;
     r.metrics_equal = seq.metrics.Equals(r.metrics, &why) &&
                       r.events == seq.events &&
@@ -234,36 +634,74 @@ int main() {
         << (why.empty() ? "aggregate totals differ" : why);
   }
 
+  // The lazy driver (kActive, what every config above runs) against the
+  // historical hydrate-everything/advance-everything path on the same
+  // fleet. Must be bit-identical; the wall-clock ratio is the lazy
+  // scheduling win at a tier where *every* lane has daily work.
+  RunOutcome eager = RunConfig("seq-eager", 0, 0, FaultMode::kOff,
+                               TraceMode::kOff, sim::LaneMode::kAdvanceAll);
+  {
+    std::string why;
+    eager.metrics_equal = seq.metrics.Equals(eager.metrics, &why) &&
+                          eager.events == seq.events &&
+                          eager.total_files == seq.total_files &&
+                          eager.open_calls == seq.open_calls;
+    AUTOCOMP_CHECK(eager.metrics_equal)
+        << "lazy driver diverged from the eager reference: "
+        << (why.empty() ? "aggregate totals differ" : why);
+  }
+  const double lazy_speedup_vs_eager =
+      seq.wall_ms > 0 ? eager.wall_ms / seq.wall_ms : 0;
+
   sim::TablePrinter table({"config", "shards", "pool", "wall ms", "events",
                            "events/s", "speedup", "files", "opens",
                            "identical"});
   JsonValue json_runs = JsonValue::Array();
-  for (const RunOutcome& r : runs) {
-    const double speedup = r.wall_ms > 0 ? seq.wall_ms / r.wall_ms : 0;
-    table.AddRow({r.name, std::to_string(r.shards),
-                  std::to_string(r.pool_workers), sim::Fmt(r.wall_ms, 1),
-                  std::to_string(r.events), sim::Fmt(r.events_per_sec, 0),
-                  sim::Fmt(speedup, 2), std::to_string(r.total_files),
-                  std::to_string(r.open_calls),
-                  r.metrics_equal ? "yes" : "NO"});
+  auto add_run_row = [&](const RunOutcome& r) {
+    if (r.skipped) {
+      table.AddRow({r.name, std::to_string(r.shards),
+                    std::to_string(r.pool_workers), "skipped", "-", "-", "-",
+                    "-", "-", "n/a"});
+    } else {
+      const double speedup = r.wall_ms > 0 ? seq.wall_ms / r.wall_ms : 0;
+      table.AddRow({r.name, std::to_string(r.shards),
+                    std::to_string(r.pool_workers), sim::Fmt(r.wall_ms, 1),
+                    std::to_string(r.events), sim::Fmt(r.events_per_sec, 0),
+                    sim::Fmt(speedup, 2), std::to_string(r.total_files),
+                    std::to_string(r.open_calls),
+                    r.metrics_equal ? "yes" : "NO"});
+    }
     JsonValue entry = JsonValue::Object();
     entry.Set("name", r.name);
     entry.Set("shards", r.shards);
     entry.Set("pool_workers", r.pool_workers);
-    entry.Set("wall_ms", r.wall_ms);
-    entry.Set("events", r.events);
-    entry.Set("events_per_sec", r.events_per_sec);
-    entry.Set("speedup_vs_seq", speedup);
-    entry.Set("metrics_equal", r.metrics_equal);
+    if (r.skipped) {
+      entry.Set("skipped", true);
+      entry.Set("skip_reason", r.skip_reason);
+    } else {
+      entry.Set("wall_ms", r.wall_ms);
+      entry.Set("events", r.events);
+      entry.Set("events_per_sec", r.events_per_sec);
+      entry.Set("speedup_vs_seq", r.wall_ms > 0 ? seq.wall_ms / r.wall_ms : 0);
+      entry.Set("metrics_equal", r.metrics_equal);
+    }
     json_runs.Append(std::move(entry));
-  }
+  };
+  for (const RunOutcome& r : runs) add_run_row(r);
+  add_run_row(eager);
   std::printf("%s", table.ToString().c_str());
+  std::printf("lazy (active-lane) speedup vs eager advance-all: %.2fx\n",
+              lazy_speedup_vs_eager);
 
   // --- Fault-injection overhead: the zero-fault parity config (armed
   // injector, empty profile) must be bit-identical to seq, and its cost
-  // is budgeted at <2% wall-clock; the chaos config prices sustained
+  // is budgeted at <2% wall-clock — measured against an interleaved
+  // baseline (see RunInterleaved) because the budget is smaller than the
+  // host's minute-scale drift. The chaos config prices sustained
   // failures + retries and is reported for reference only.
-  RunOutcome armed = RunConfig("seq-armed", 0, 0, FaultMode::kArmedEmpty);
+  double armed_overhead_pct = 0;
+  RunOutcome armed = RunInterleaved("seq-armed", FaultMode::kArmedEmpty,
+                                    TraceMode::kOff, &armed_overhead_pct);
   {
     std::string why;
     armed.metrics_equal = seq.metrics.Equals(armed.metrics, &why) &&
@@ -279,9 +717,6 @@ int main() {
   AUTOCOMP_CHECK(chaos.faults_injected > 0)
       << "chaos profile injected nothing";
   constexpr double kArmedOverheadTargetPct = 2.0;
-  const double armed_overhead_pct =
-      seq.wall_ms > 0 ? (armed.wall_ms - seq.wall_ms) / seq.wall_ms * 100.0
-                      : 0.0;
   const double chaos_overhead_pct =
       seq.wall_ms > 0 ? (chaos.wall_ms - seq.wall_ms) / seq.wall_ms * 100.0
                       : 0.0;
@@ -314,11 +749,14 @@ int main() {
   }
 
   // --- Tracing overhead: armed-but-off recorders must be bit-identical
-  // to seq with <2% wall-clock cost (the disabled-tracing budget); a
+  // to seq with <2% wall-clock cost (the disabled-tracing budget),
+  // measured against an interleaved baseline like the fault hooks; a
   // full-detail trace must also be a pure observer — metrics still equal
   // seq exactly — and its cost is reported for reference only.
-  RunOutcome traceoff =
-      RunConfig("seq-traceoff", 0, 0, FaultMode::kOff, TraceMode::kArmedOff);
+  double trace_off_overhead_pct = 0;
+  RunOutcome traceoff = RunInterleaved("seq-traceoff", FaultMode::kOff,
+                                       TraceMode::kArmedOff,
+                                       &trace_off_overhead_pct);
   RunOutcome traced =
       RunConfig("seq-traced", 0, 0, FaultMode::kOff, TraceMode::kFull);
   for (RunOutcome* r : {&traceoff, &traced}) {
@@ -337,10 +775,6 @@ int main() {
   AUTOCOMP_CHECK(traced.trace_digest.events > 0)
       << "full-detail trace recorded nothing";
   constexpr double kTraceOffOverheadTargetPct = 2.0;
-  const double trace_off_overhead_pct =
-      seq.wall_ms > 0
-          ? (traceoff.wall_ms - seq.wall_ms) / seq.wall_ms * 100.0
-          : 0.0;
   const double traced_overhead_pct =
       seq.wall_ms > 0 ? (traced.wall_ms - seq.wall_ms) / seq.wall_ms * 100.0
                       : 0.0;
@@ -373,6 +807,100 @@ int main() {
     trace_runs.Append(std::move(entry));
   }
 
+  // --- Scale-tier report (the replays themselves ran first, above).
+  JsonValue scale_json = JsonValue::Object();
+  double scale_events_per_sec = 0;
+  double scale_peak_rss_mb = 0;
+  bool scale_forked = false;
+  if (scale_enabled) {
+    const ScaleOutcome& sseq = scale_runs.front();
+    const ScaleOutcome& half = scale_half;
+
+    sim::TablePrinter scale_table(
+        {"config", "shards", "pool", "wall ms", "setup ms", "events",
+         "events/s", "hydrated", "peak res", "rss MB", "identical"});
+    for (const ScaleOutcome& r : scale_runs) {
+      scale_table.AddRow(
+          {r.name, std::to_string(r.shards), std::to_string(r.pool_workers),
+           sim::Fmt(r.wall_ms, 1), sim::Fmt(r.setup_ms, 1),
+           std::to_string(r.events), sim::Fmt(r.events_per_sec, 0),
+           std::to_string(r.lanes_hydrated) + "/" +
+               std::to_string(r.lanes_total),
+           std::to_string(r.peak_resident_lanes), sim::Fmt(r.peak_rss_mb, 1),
+           &r == &sseq ? "ref" : (r.identical ? "yes" : "NO")});
+    }
+    scale_table.AddRow(
+        {half.name, "0", "0", sim::Fmt(half.wall_ms, 1),
+         sim::Fmt(half.setup_ms, 1), std::to_string(half.events),
+         sim::Fmt(half.events_per_sec, 0),
+         std::to_string(half.lanes_hydrated) + "/" +
+             std::to_string(half.lanes_total),
+         std::to_string(half.peak_resident_lanes),
+         sim::Fmt(half.peak_rss_mb, 1), "n/a"});
+    std::printf("%s", scale_table.ToString().c_str());
+
+    const double scale_wall_per_event =
+        sseq.events > 0 ? sseq.wall_ms / static_cast<double>(sseq.events) : 0;
+    const double base_wall_per_event =
+        seq.events > 0 ? seq.wall_ms / static_cast<double>(seq.events) : 0;
+    const double rss_full_vs_half =
+        half.peak_rss_mb > 0 ? sseq.peak_rss_mb / half.peak_rss_mb : 0;
+    const double wall_full_vs_half =
+        half.wall_ms > 0 ? sseq.wall_ms / half.wall_ms : 0;
+    std::printf(
+        "scale: %.3f ms/event (2000-table tier: %.3f); 2x lanes => %.2fx "
+        "wall, %.2fx rss; %lld of %lld lanes ever hydrated\n",
+        scale_wall_per_event, base_wall_per_event, wall_full_vs_half,
+        rss_full_vs_half, static_cast<long long>(sseq.lanes_hydrated),
+        static_cast<long long>(sseq.lanes_total));
+
+    JsonValue scale_configs = JsonValue::Array();
+    auto scale_entry = [](const ScaleOutcome& r, bool is_ref) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("name", r.name);
+      entry.Set("shards", r.shards);
+      entry.Set("pool_workers", r.pool_workers);
+      entry.Set("wall_ms", r.wall_ms);
+      entry.Set("setup_ms", r.setup_ms);
+      entry.Set("events", r.events);
+      entry.Set("events_per_sec", r.events_per_sec);
+      entry.Set("lanes_total", r.lanes_total);
+      entry.Set("lanes_hydrated", r.lanes_hydrated);
+      entry.Set("peak_resident_lanes", r.peak_resident_lanes);
+      entry.Set("lanes_ghosted", r.lanes_ghosted);
+      entry.Set("peak_rss_mb", r.peak_rss_mb);
+      entry.Set("metrics_hash", std::to_string(r.metrics_hash));
+      if (!is_ref) entry.Set("identical_to_seq", r.identical);
+      return entry;
+    };
+    for (const ScaleOutcome& r : scale_runs) {
+      scale_configs.Append(scale_entry(r, &r == &sseq));
+    }
+    scale_json.Set("tables", kScaleTables);
+    scale_json.Set("days", kScaleDays);
+    scale_json.Set("daily_writes", kScaleDailyWrites);
+    scale_json.Set("daily_reads", kScaleDailyReads);
+    scale_json.Set("per_config_rss", sseq.forked);
+    scale_json.Set("configs", std::move(scale_configs));
+    scale_json.Set("half_scale", scale_entry(half, true));
+    scale_json.Set("events_per_sec", sseq.events_per_sec);
+    scale_json.Set("peak_rss_mb", sseq.peak_rss_mb);
+    scale_json.Set("setup_ms", sseq.setup_ms);
+    scale_json.Set("wall_ms_per_event", scale_wall_per_event);
+    scale_json.Set("base_wall_ms_per_event", base_wall_per_event);
+    scale_json.Set("wall_full_vs_half", wall_full_vs_half);
+    scale_json.Set("rss_full_vs_half", rss_full_vs_half);
+    scale_json.Set("lanes_total", sseq.lanes_total);
+    scale_json.Set("lanes_hydrated", sseq.lanes_hydrated);
+    scale_json.Set("peak_resident_lanes", sseq.peak_resident_lanes);
+    scale_json.Set("identical", scale_identical);
+    scale_events_per_sec = sseq.events_per_sec;
+    scale_peak_rss_mb = sseq.peak_rss_mb;
+    scale_forked = sseq.forked;
+  } else {
+    scale_json.Set("skipped", true);
+  }
+
   // Pre-overhaul reference (PR 5 seed, same 2000-table/1-day config on a
   // 1-vCPU container): the "before" side of the hot-path rework. Kept as
   // constants so regenerating this file never loses the comparison.
@@ -387,6 +915,8 @@ int main() {
   doc.Set("baseline", std::move(baseline));
   doc.Set("events_per_sec", seq.events_per_sec);
   doc.Set("speedup_vs_baseline", seq.events_per_sec / 19.6);
+  doc.Set("lazy_speedup_vs_eager", lazy_speedup_vs_eager);
+  doc.Set("scale", std::move(scale_json));
   doc.Set("fault_runs", std::move(fault_runs));
   doc.Set("fault_armed_overhead_pct", armed_overhead_pct);
   doc.Set("fault_armed_overhead_target_pct", kArmedOverheadTargetPct);
@@ -433,10 +963,30 @@ int main() {
       ++gate_failures;
     }
   }
-  if (min_events_per_sec > 0 || max_overhead_pct > 0) {
-    std::printf("perf gates: %s (floor %.0f ev/s, overhead budget %.2f%%)\n",
+  const double scale_min_events_per_sec =
+      EnvDouble("AUTOCOMP_BENCH_SCALE_MIN_EVENTS_PER_SEC", 0);
+  const double scale_max_rss_mb = EnvDouble("AUTOCOMP_BENCH_SCALE_MAX_RSS_MB", 0);
+  if (scale_enabled && scale_min_events_per_sec > 0 &&
+      scale_events_per_sec < scale_min_events_per_sec) {
+    std::printf("PERF GATE FAIL: scale events/s %.0f below floor %.0f\n",
+                scale_events_per_sec, scale_min_events_per_sec);
+    ++gate_failures;
+  }
+  // The RSS ceiling only means something when each config ran in its own
+  // forked child (otherwise ru_maxrss is the whole process's high-water
+  // mark, dominated by the 2000-table tier's merged recorders).
+  if (scale_enabled && scale_max_rss_mb > 0 && scale_forked &&
+      scale_peak_rss_mb > scale_max_rss_mb) {
+    std::printf("PERF GATE FAIL: scale peak rss %.1f MB above ceiling %.1f MB\n",
+                scale_peak_rss_mb, scale_max_rss_mb);
+    ++gate_failures;
+  }
+  if (min_events_per_sec > 0 || max_overhead_pct > 0 ||
+      scale_min_events_per_sec > 0 || scale_max_rss_mb > 0) {
+    std::printf("perf gates: %s (floor %.0f ev/s, overhead budget %.2f%%, "
+                "scale floor %.0f ev/s, scale rss ceiling %.1f MB)\n",
                 gate_failures == 0 ? "PASS" : "FAIL", min_events_per_sec,
-                max_overhead_pct);
+                max_overhead_pct, scale_min_events_per_sec, scale_max_rss_mb);
   }
   return gate_failures == 0 ? 0 : 1;
 }

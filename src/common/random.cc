@@ -107,14 +107,41 @@ int64_t Rng::Zipf(int64_t n, double s) {
   assert(n > 0);
   if (n == 1) return 0;
   if (s <= 0.0) return UniformInt(0, n - 1);
-  // Inverse-CDF over harmonic weights. O(n) per call is fine for the
-  // simulator's modest n; callers needing speed should precompute a
-  // WeightedIndex table.
-  double total = 0.0;
-  for (int64_t i = 1; i <= n; ++i) total += 1.0 / std::pow(i, s);
-  double u = NextDouble() * total;
+  // Inverse-CDF over harmonic weights. The 1/i^s terms and their running
+  // prefix sums are memoized per exponent (thread-local, so concurrent
+  // lanes never contend), turning repeated draws from O(n) pow calls
+  // into an early-exiting subtraction scan. The weights, the prefix
+  // accumulation order, and the scan are exactly the original inline
+  // loop's arithmetic, so every draw is bit-identical to the unmemoized
+  // implementation — fleet workloads replay unchanged.
+  struct WeightCache {
+    double s = 0.0;
+    std::vector<double> weights;  // weights[i-1] = 1/i^s
+    std::vector<double> totals;   // totals[i-1] = sum of weights[0..i-1]
+  };
+  thread_local std::vector<WeightCache> caches;
+  WeightCache* cache = nullptr;
+  for (auto& c : caches) {
+    if (c.s == s) {
+      cache = &c;
+      break;
+    }
+  }
+  if (cache == nullptr) {
+    caches.emplace_back();
+    cache = &caches.back();
+    cache->s = s;
+  }
+  while (static_cast<int64_t>(cache->weights.size()) < n) {
+    const auto i = static_cast<double>(cache->weights.size() + 1);
+    cache->weights.push_back(1.0 / std::pow(i, s));
+    cache->totals.push_back(
+        (cache->totals.empty() ? 0.0 : cache->totals.back()) +
+        cache->weights.back());
+  }
+  double u = NextDouble() * cache->totals[static_cast<size_t>(n - 1)];
   for (int64_t i = 1; i <= n; ++i) {
-    u -= 1.0 / std::pow(i, s);
+    u -= cache->weights[static_cast<size_t>(i - 1)];
     if (u <= 0) return i - 1;
   }
   return n - 1;

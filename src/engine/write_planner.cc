@@ -96,4 +96,42 @@ std::vector<PlannedFile> PlanWriteFiles(
   return out;
 }
 
+int64_t PlannedFileCount(int64_t logical_bytes, size_t num_partitions,
+                         const WriterProfile& profile,
+                         const format::ColumnarFileModel& format) {
+  if (logical_bytes <= 0) return 0;
+  // Mirrors PlanWriteFiles step for step; `count` stands in for
+  // out.size(), including the cross-partition out.empty() in the
+  // coalesce remainder rule. Any drift between the two is caught by the
+  // randomized equivalence test and the fleet driver's debug assert.
+  const int64_t parts =
+      std::max<int64_t>(1, static_cast<int64_t>(num_partitions));
+  const int64_t bytes_per_partition =
+      std::max<int64_t>(1, logical_bytes / parts);
+  int64_t count = 0;
+  for (int64_t p = 0; p < parts; ++p) {
+    if (profile.coalesce_output) {
+      const int64_t logical_per_full = std::max<int64_t>(
+          1, format.LogicalBytesForStored(profile.target_file_bytes));
+      const int64_t full = bytes_per_partition / logical_per_full;
+      const int64_t remaining =
+          bytes_per_partition - full * logical_per_full;
+      count += full;
+      if (remaining > logical_per_full / 20 || count == 0) ++count;
+      continue;
+    }
+    const int64_t packed_stored = format.StoredBytesFor(bytes_per_partition);
+    const int64_t by_target = std::max<int64_t>(
+        1, (packed_stored + profile.target_file_bytes - 1) /
+               profile.target_file_bytes);
+    const int64_t min_chunk = 256 * kKiB;
+    const int64_t max_chunks =
+        std::max<int64_t>(1, bytes_per_partition / min_chunk);
+    const int64_t by_tasks =
+        std::min<int64_t>(profile.write_tasks, max_chunks);
+    count += std::max(by_target, by_tasks);
+  }
+  return count;
+}
+
 }  // namespace autocomp::engine

@@ -64,4 +64,14 @@ std::vector<PlannedFile> PlanWriteFiles(
     const WriterProfile& profile, const format::ColumnarFileModel& format,
     Rng* rng);
 
+/// \brief Exact number of files PlanWriteFiles would emit, without
+/// drawing from any rng. The planner's rng only jitters file *sizes*;
+/// the count is pure arithmetic in (logical_bytes, partition count,
+/// profile, format). The lazy fleet driver uses this to publish an
+/// unhydrated lane's NameNode CreateFile contribution into the epoch
+/// barrier before the lane's environment exists.
+int64_t PlannedFileCount(int64_t logical_bytes, size_t num_partitions,
+                         const WriterProfile& profile,
+                         const format::ColumnarFileModel& format);
+
 }  // namespace autocomp::engine

@@ -140,6 +140,24 @@ class CalendarQueue {
     return std::nullopt;
   }
 
+  /// Earliest pending compaction-end time, ignoring timers. Non-mutating
+  /// (no pruning): buckets are scanned in order and compaction entries
+  /// are never tombstoned, so the first one found in the first bucket
+  /// holding any is the minimum-time entry. The fleet driver uses this as
+  /// a lane's next RPC-capable boundary while the lane dozes.
+  std::optional<SimTime> PeekNextCompaction() const {
+    if (compaction_count_ == 0) return std::nullopt;
+    for (const auto& [hour, bucket] : buckets_) {
+      std::optional<SimTime> best;
+      for (const Entry& e : bucket) {
+        if (e.kind != Kind::kCompactionEnd) continue;
+        if (!best || e.time < *best) best = e.time;
+      }
+      if (best) return best;
+    }
+    return std::nullopt;
+  }
+
   int64_t compaction_count() const { return compaction_count_; }
   /// Live bucket count (tombstone-only buckets may still be pending
   /// collection). Exposed for rollover tests.

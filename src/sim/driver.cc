@@ -166,6 +166,17 @@ void EventDriver::FinalizeDueCompactions(SimTime t) {
   }
 }
 
+std::optional<SimTime> EventDriver::NextActivityBound() const {
+  std::optional<SimTime> next;
+  const auto fold = [&](SimTime t) {
+    if (!next || t < *next) next = t;
+  };
+  if (next_retention_ >= 0) fold(next_retention_);
+  if (service_ != nullptr) fold(service_->trigger().next_due());
+  if (const auto end = calendar_.PeekNextCompaction()) fold(*end);
+  return next;
+}
+
 void EventDriver::ArmTimers(SimTime now) {
   calendar_.ArmTimer(CalendarQueue::Kind::kSample, next_sample_);
   if (next_retention_ >= 0) {

@@ -92,6 +92,16 @@ class EventDriver {
   double total_read_seconds() const { return total_read_seconds_; }
   double total_write_seconds() const { return total_write_seconds_; }
 
+  /// Earliest future boundary at which this driver could issue a storage
+  /// RPC or mutate table state: the next retention run, the service
+  /// trigger, or an inflight compaction end — but NOT the metrics sample
+  /// timer, which reads state without changing it. The lazy fleet driver
+  /// dozes a lane until min(this, its next workload event); the deferred
+  /// sample ticks replay identically on the next advance because the
+  /// lane's file count cannot change while it dozes. nullopt = the lane
+  /// is fully passive until its next event.
+  std::optional<SimTime> NextActivityBound() const;
+
  private:
   void SampleNow();
   /// Deferred mode: queue a decided plan and start the first unit of each

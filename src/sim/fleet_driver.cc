@@ -1,32 +1,48 @@
 #include "sim/fleet_driver.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
-#include <map>
 #include <utility>
 
 #include "common/counter_rng.h"
 #include "common/logging.h"
+#include "engine/write_planner.h"
 #include "fault/invariant_checker.h"
+#include "format/columnar.h"
 #include "obs/trace_export.h"
 
 namespace autocomp::sim {
 
-/// One tenant database's complete simulated deployment. Everything a
-/// lane touches while advancing — clock, storage, catalog, clusters,
-/// engine, recorder, driver — lives here, so lanes share no mutable
-/// state and shards can advance them concurrently. The only cross-lane
-/// read is the EpochLoadModel, which is immutable between barriers.
+/// One tenant database's complete simulated deployment. A lane starts
+/// cold — just its name and a queue of planned-but-unmaterialised table
+/// loads — and is hydrated into the full stack (clock, storage, catalog,
+/// clusters, engine, recorder, driver) on first due work. Hydrated lanes
+/// share no mutable state, so shards advance them concurrently; the only
+/// cross-lane read is the EpochLoadModel, immutable between barriers.
 struct FleetSimulation::Lane {
   std::string db;
-  /// Constructed before the environment (which wires it through the
-  /// stack); all of this lane's spans land here, on its own timeline.
+  int index = 0;
+  int shard = 0;
+
+  /// Cold state: planned table loads queued until hydration, with each
+  /// op's exact CreateFile count (engine::PlannedFileCount) so the lane
+  /// contributes to epoch barriers before its environment exists.
+  std::vector<workload::FleetWorkload::TableOp> pending;
+  std::vector<int64_t> pending_rpcs;
+  bool ever_had_events = false;
+
+  /// Hot state (null until hydrated). The recorder is constructed before
+  /// the environment (which wires it through the stack); all of this
+  /// lane's spans land there, on its own timeline.
   std::unique_ptr<obs::TraceRecorder> trace;
   std::unique_ptr<SimEnvironment> env;
   MetricsRecorder metrics;
   /// Per-lane AutoComp control loop (only with FleetSimOptions::preset).
   std::unique_ptr<core::AutoCompService> service;
   std::unique_ptr<EventDriver> driver;
+
   /// This day's events for this lane, time-sorted; `next_event` is the
   /// cursor of the first not-yet-executed one.
   std::vector<workload::QueryEvent> day_events;
@@ -35,7 +51,33 @@ struct FleetSimulation::Lane {
   /// First failure while advancing (surfaced at the next barrier; the
   /// parallel section itself never propagates errors across threads).
   Status status = Status::OK();
+
+  /// Active-lane scheduling: the authoritative wake-up time (-1 =
+  /// unarmed). Wake-queue entries at any other time are stale tombstones.
+  SimTime next_wake = -1;
+  bool hydrated = false;
+  bool finalized = false;
+  /// Delta-barrier bookkeeping: RPCs this lane already published for
+  /// `spill_hour` (work finalizing exactly at an epoch boundary posts
+  /// into the *next* hour's bucket), subtracted from the next tally so
+  /// nothing double-counts.
+  SimTime spill_hour = -1;
+  int64_t spill_amount = 0;
+
+  /// Results captured by FinalizeLane (the environment may be destroyed
+  /// right after — transient finalization of cold lanes).
+  int64_t total_files = 0;
+  int64_t open_calls = 0;
+  int64_t faults_injected = 0;
 };
+
+namespace {
+
+workload::LaneTargets TargetsOf(SimEnvironment* env) {
+  return {&env->catalog(), &env->query_engine(), &env->control_plane()};
+}
+
+}  // namespace
 
 int FleetSimulation::ShardOf(const std::string& db, int shards) {
   assert(shards > 0);
@@ -50,6 +92,106 @@ FleetSimulation::FleetSimulation(FleetSimOptions options)
 }
 
 FleetSimulation::~FleetSimulation() = default;
+
+void FleetSimulation::PrepareHydration(Lane* lane, int64_t from_hour) {
+  // The lane's actual tallies take over from here: retract its planned
+  // contributions for hours the barrier has not sealed yet. (Estimates
+  // for already-sealed hours were consumed by their barriers; the replay
+  // recreates the same counts in those old buckets, which nothing reads
+  // again.)
+  for (size_t i = 0; i < lane->pending.size(); ++i) {
+    const SimTime hour = (lane->pending[i].at / kHour) * kHour;
+    if (hour < from_hour) continue;
+    const auto it = pending_rpcs_by_hour_.find(hour);
+    if (it == pending_rpcs_by_hour_.end()) continue;
+    it->second -= lane->pending_rpcs[i];
+    if (it->second <= 0) pending_rpcs_by_hour_.erase(it);
+  }
+  ++lanes_hydrated_;
+  ++resident_lanes_;
+  peak_resident_lanes_ = std::max(peak_resident_lanes_, resident_lanes_);
+  if (options_.on_lane_residency) {
+    options_.on_lane_residency(lane->db, resident_lanes_,
+                               peak_resident_lanes_);
+  }
+}
+
+void FleetSimulation::HydrateLane(Lane* lane) {
+  if (lane->hydrated) return;
+  lane->hydrated = true;
+
+  EnvironmentOptions env = options_.env;
+  // Per-lane seed is a pure function of (master seed, database name):
+  // independent of lane enumeration, shard count, pool size — and of
+  // *when* the lane hydrates.
+  env.seed = CounterRng::At(options_.seed, CounterRng::HashString(lane->db),
+                            /*index=*/0);
+  // Pin writer/runner ids so file names do not depend on how many
+  // engines this *process* constructed before (each lane has its own
+  // catalog, so ids need not be unique across lanes).
+  env.engine.writer_id = 1;
+  env.runner_id = 1;
+  // Per-lane fault seed, same construction as the environment seed:
+  // injections are a pure function of (fault seed, database name, the
+  // lane's serial hit counts), never of shard count or pool size.
+  if (env.fault.enabled) {
+    env.fault.seed = CounterRng::At(options_.env.fault.seed,
+                                    CounterRng::HashString(lane->db),
+                                    /*index=*/1);
+  }
+  // Lane recorder: built even at level kOff when armed, so every
+  // emission site pays its guard (the bench parity configuration).
+  const bool tracing =
+      options_.trace_armed || options_.trace_level != obs::TraceLevel::kOff;
+  if (tracing) {
+    obs::TraceRecorder::Options trace_options;
+    trace_options.level = options_.trace_level;
+    trace_options.lane = lane->db;
+    trace_options.capacity = options_.trace_capacity;
+    lane->trace = std::make_unique<obs::TraceRecorder>(trace_options);
+    env.trace = lane->trace.get();
+  }
+  lane->env = std::make_unique<SimEnvironment>(env);
+  lane->env->dfs().SetEpochLoadView(&epoch_load_);
+  lane->driver = std::make_unique<EventDriver>(lane->env.get(),
+                                               &lane->metrics,
+                                               options_.driver);
+  if (options_.preset) {
+    // Per-lane AutoComp control loop. The lane advances serially (the
+    // fleet pool parallelizes shards, never the inside of a lane), so
+    // the pipeline runs without its own pool; the lane recorder takes
+    // the OODA/decision spans.
+    StrategyPreset preset = *options_.preset;
+    preset.pool = nullptr;
+    preset.trace = lane->trace.get();
+    lane->service = MakeMoopService(lane->env.get(), preset);
+    lane->driver->AttachService(lane->service.get());
+  }
+
+  // Replay the planned loads: database first, then ops in plan order,
+  // each at its original time (AdvanceTo replays any deferred sample /
+  // retention ticks on the way — a dozing lane's state cannot change, so
+  // the deferred ticks reproduce exactly what eager ticking recorded).
+  // The injector stays disarmed through the loads, as the eager path's
+  // serial-load sections were.
+  lane->env->fault_injector().set_armed(false);
+  Status st = lane->env->catalog().CreateDatabase(
+      lane->db, options_.fleet.quota_objects_per_db);
+  for (const workload::FleetWorkload::TableOp& op : lane->pending) {
+    if (!st.ok()) break;
+    st = lane->driver->AdvanceTo(op.at);
+    if (st.ok()) {
+      st = workload::FleetWorkload::Materialize(TargetsOf(lane->env.get()),
+                                                op);
+    }
+  }
+  if (!st.ok()) lane->status = std::move(st);
+  lane->pending.clear();
+  lane->pending.shrink_to_fit();
+  lane->pending_rpcs.clear();
+  lane->pending_rpcs.shrink_to_fit();
+  lane->env->fault_injector().set_armed(fault_armed_);
+}
 
 void FleetSimulation::AdvanceLane(Lane* lane, SimTime epoch_end) {
   if (!lane->status.ok()) return;
@@ -69,109 +211,172 @@ void FleetSimulation::AdvanceLane(Lane* lane, SimTime epoch_end) {
   if (!st.ok()) lane->status = std::move(st);
 }
 
+void FleetSimulation::PublishLaneDeltas(Lane* lane, SimTime epoch) {
+  const int64_t tally = lane->env->dfs().RpcsInHour(epoch);
+  const int64_t already =
+      lane->spill_hour == epoch ? lane->spill_amount : 0;
+  epoch_load_.AddDelta(epoch, tally - already);
+  // Work finalizing exactly at the epoch boundary posts its RPCs into
+  // the *next* hour's bucket; publish that spillover now and remember it
+  // so the next touch of this lane does not count it twice.
+  const SimTime next_hour = epoch + kHour;
+  const int64_t spill = lane->env->dfs().RpcsInHour(next_hour);
+  if (spill > 0) epoch_load_.AddDelta(next_hour, spill);
+  lane->spill_hour = next_hour;
+  lane->spill_amount = spill;
+}
+
+void FleetSimulation::MaybeArm(Lane* lane, SimTime at) {
+  if (lane->next_wake >= 0 && lane->next_wake <= at) return;
+  lane->next_wake = at;
+  wake_queue_.ScheduleCompaction(at, lane->index);
+}
+
+void FleetSimulation::FinalizeLane(Lane* lane, SimTime end_time,
+                                   bool keep_env) {
+  if (lane->finalized || !lane->status.ok()) return;
+  AdvanceLane(lane, end_time);
+  if (!lane->status.ok()) return;
+  lane->driver->FinishRun();
+  lane->total_files = lane->env->TotalFileCount();
+  lane->open_calls = lane->env->dfs().AggregateStats().open_calls;
+  lane->faults_injected = lane->env->fault_injector().total_injected();
+  if (options_.check_invariants) {
+    const fault::InvariantChecker checker;
+    if (Status s = checker.CheckOrFail(lane->env->catalog()); !s.ok()) {
+      lane->status = Status::Internal("after final flush, lane " + lane->db +
+                                      ": " + s.message());
+      return;
+    }
+  }
+  lane->finalized = true;
+  if (!keep_env) {
+    // Transient finalization: keep the recorder and trace for the merge,
+    // drop the heavy environment so peak residency stays bounded.
+    lane->service.reset();
+    lane->driver.reset();
+    lane->env.reset();
+  }
+}
+
 Result<FleetSimResult> FleetSimulation::Run() {
   if (ran_) {
     return Status::FailedPrecondition("FleetSimulation::Run called twice");
   }
   ran_ = true;
+  const auto host_start = std::chrono::steady_clock::now();
 
-  // --- Build lanes (one per tenant database, in database order). ---
+  const bool active = options_.lane_mode == LaneMode::kActive;
+  // A Chrome export needs one track per lane, so every lane hydrates up
+  // front; active scheduling (and its delta barriers) still applies.
+  const bool hydrate_all = !active || !options_.trace_out.empty();
+
+  // --- Lane descriptors (one per tenant database, in database order). ---
   std::map<std::string, int> lane_by_db;
   char db_buf[32];
   for (int d = 0; d < options_.fleet.num_databases; ++d) {
     std::snprintf(db_buf, sizeof(db_buf), "tenant%03d", d);
     auto lane = std::make_unique<Lane>();
     lane->db = db_buf;
-    EnvironmentOptions env = options_.env;
-    // Per-lane seed is a pure function of (master seed, database name):
-    // independent of lane enumeration, shard count, and pool size.
-    env.seed = CounterRng::At(options_.seed, CounterRng::HashString(lane->db),
-                              /*index=*/0);
-    // Pin writer/runner ids so file names do not depend on how many
-    // engines this *process* constructed before (each lane has its own
-    // catalog, so ids need not be unique across lanes).
-    env.engine.writer_id = 1;
-    env.runner_id = 1;
-    // Per-lane fault seed, same construction as the environment seed:
-    // injections are a pure function of (fault seed, database name, the
-    // lane's serial hit counts), never of shard count or pool size.
-    if (env.fault.enabled) {
-      env.fault.seed = CounterRng::At(options_.env.fault.seed,
-                                      CounterRng::HashString(lane->db),
-                                      /*index=*/1);
-    }
-    // Lane recorder: built even at level kOff when armed, so every
-    // emission site pays its guard (the bench parity configuration).
-    const bool tracing =
-        options_.trace_armed || options_.trace_level != obs::TraceLevel::kOff;
-    if (tracing) {
-      obs::TraceRecorder::Options trace_options;
-      trace_options.level = options_.trace_level;
-      trace_options.lane = lane->db;
-      trace_options.capacity = options_.trace_capacity;
-      lane->trace = std::make_unique<obs::TraceRecorder>(trace_options);
-      env.trace = lane->trace.get();
-    }
-    lane->env = std::make_unique<SimEnvironment>(env);
-    lane->env->dfs().SetEpochLoadView(&epoch_load_);
-    lane->driver = std::make_unique<EventDriver>(lane->env.get(),
-                                                 &lane->metrics,
-                                                 options_.driver);
-    if (options_.preset) {
-      // Per-lane AutoComp control loop. The lane advances serially (the
-      // fleet pool parallelizes shards, never the inside of a lane), so
-      // the pipeline runs without its own pool; the lane recorder takes
-      // the OODA/decision spans.
-      StrategyPreset preset = *options_.preset;
-      preset.pool = nullptr;
-      preset.trace = lane->trace.get();
-      lane->service = MakeMoopService(lane->env.get(), preset);
-      lane->driver->AttachService(lane->service.get());
-    }
-    lane_by_db.emplace(lane->db, static_cast<int>(lanes_.size()));
+    lane->index = static_cast<int>(lanes_.size());
+    lane->shard = ShardOf(lane->db, options_.shards);
+    lane_by_db.emplace(lane->db, lane->index);
     lanes_.push_back(std::move(lane));
   }
   shard_lanes_.assign(static_cast<size_t>(options_.shards), {});
-  for (size_t i = 0; i < lanes_.size(); ++i) {
-    shard_lanes_[static_cast<size_t>(ShardOf(lanes_[i]->db, options_.shards))]
-        .push_back(static_cast<int>(i));
+  for (const auto& lane : lanes_) {
+    shard_lanes_[static_cast<size_t>(lane->shard)].push_back(lane->index);
   }
 
-  const workload::LaneResolver resolver =
-      [&](const std::string& db) -> workload::LaneTargets {
-    const auto it = lane_by_db.find(db);
-    if (it == lane_by_db.end()) return {};
-    Lane& lane = *lanes_[static_cast<size_t>(it->second)];
-    return {&lane.env->catalog(), &lane.env->query_engine(),
-            &lane.env->control_plane()};
-  };
-
-  // Injections pause around scripted data loads: setup and onboarding
-  // treat write failures as fatal, so a fault there would kill the run
-  // before the measured part starts. Both toggles happen in serial
-  // coordinator sections, so the arming boundary is deterministic.
-  const auto arm_all = [&](bool armed) {
-    for (const auto& lane : lanes_) lane->env->fault_injector().set_armed(armed);
-  };
-
-  // --- Initial fleet load (serial; the generator's rng is shared). ---
+  // --- Plan the initial fleet load (serial; the generator's rng is one
+  // shared sequence) and queue it on the lanes. ---
   workload::FleetWorkload fleet(options_.fleet);
-  arm_all(false);
-  AUTOCOMP_RETURN_NOT_OK(fleet.SetupSharded(resolver, 0));
-  arm_all(true);
+  const format::ColumnarFileModel format(options_.env.engine.format_options);
+  const auto queue_op = [&](workload::FleetWorkload::TableOp&& op) {
+    const auto it = lane_by_db.find(op.db);
+    assert(it != lane_by_db.end());
+    Lane* lane = lanes_[static_cast<size_t>(it->second)].get();
+    const int64_t planned = engine::PlannedFileCount(
+        op.load.logical_bytes, op.load.partitions.size(), op.load.profile,
+        format);
+    pending_rpcs_by_hour_[(op.at / kHour) * kHour] += planned;
+    lane->pending_rpcs.push_back(planned);
+    lane->pending.push_back(std::move(op));
+  };
+  for (workload::FleetWorkload::TableOp& op : fleet.PlanSetup(0)) {
+    queue_op(std::move(op));
+  }
+
+  if (hydrate_all) {
+    for (const auto& lane : lanes_) {
+      PrepareHydration(lane.get(), 0);
+      HydrateLane(lane.get());
+      AUTOCOMP_RETURN_NOT_OK(lane->status);
+    }
+  }
+  fault_armed_ = true;
+  for (const auto& lane : lanes_) {
+    if (lane->hydrated) lane->env->fault_injector().set_armed(true);
+  }
+  if (active) {
+    // Initial wake-ups: the control loop (when present) must observe
+    // every lane at the trigger cadence; hydrated lanes also wake for
+    // retention / service / compaction boundaries. Unhydrated lanes are
+    // otherwise passive until their first event — their queued loads
+    // feed the barriers through the planned estimates, and their
+    // deferred retention runs are no-ops (single-snapshot tables expire
+    // nothing), so nothing can happen on them before an event does.
+    for (const auto& lane : lanes_) {
+      if (options_.preset) MaybeArm(lane.get(), options_.preset->first_trigger);
+      if (lane->hydrated) {
+        if (const auto bound = lane->driver->NextActivityBound()) {
+          MaybeArm(lane.get(), *bound);
+        }
+      }
+    }
+  }
+  FleetSimResult result;
+  result.setup_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - host_start)
+          .count();
 
   // --- Lockstep hour epochs. ---
   const SimTime end_time = static_cast<SimTime>(options_.days) * kDay;
+  std::vector<int> due;  // lanes advancing this epoch, by lane index
+  std::vector<std::vector<int>> due_by_shard(
+      static_cast<size_t>(options_.shards));
   for (SimTime epoch = 0; epoch < end_time; epoch += kHour) {
     if (epoch % kDay == 0) {
-      // Day boundary (all lane clocks are exactly here): onboard the
-      // day's new tables and deal this day's events out to lanes. Both
-      // are serial — the workload generator draws from one sequence.
+      // Day boundary: onboard the day's new tables and deal this day's
+      // events out to lanes. Both are serial — the workload generator
+      // draws from one sequence.
       const int day = static_cast<int>(epoch / kDay);
-      arm_all(false);
-      AUTOCOMP_RETURN_NOT_OK(
-          fleet.OnboardNewTablesSharded(resolver, day, epoch));
-      arm_all(true);
+      for (workload::FleetWorkload::TableOp& op :
+           fleet.PlanOnboard(day, epoch)) {
+        Lane* lane =
+            lanes_[static_cast<size_t>(lane_by_db.at(op.db))].get();
+        if (lane->hydrated) {
+          // Materialize immediately (serial section), injector paused as
+          // the eager path's onboarding sections were. The catch-up
+          // advance runs the lane's clock to the boundary first, so
+          // creation timestamps match the eager replay exactly.
+          lane->env->fault_injector().set_armed(false);
+          Status st = lane->driver->AdvanceTo(epoch);
+          if (st.ok()) {
+            st = workload::FleetWorkload::Materialize(
+                TargetsOf(lane->env.get()), op);
+          }
+          lane->env->fault_injector().set_armed(fault_armed_);
+          AUTOCOMP_RETURN_NOT_OK(st);
+          // The load's RPCs just landed in this epoch's bucket; make the
+          // lane due now so the barrier publishes them this hour, as the
+          // eager tally did.
+          if (active) MaybeArm(lane, epoch);
+        } else {
+          queue_op(std::move(op));
+        }
+      }
       for (const auto& lane : lanes_) {
         assert(lane->next_event == lane->day_events.size());
         lane->day_events.clear();
@@ -184,42 +389,102 @@ Result<FleetSimResult> FleetSimulation::Run() {
         lanes_[static_cast<size_t>(it->second)]->day_events.push_back(
             std::move(event));
       }
+      for (const auto& lane : lanes_) {
+        if (lane->day_events.empty()) continue;
+        lane->ever_had_events = true;
+        if (active) MaybeArm(lane.get(), lane->day_events.front().time);
+      }
     }
 
-    // Advance every shard to the end of the epoch. Lanes are mutually
-    // independent here: the epoch load view is frozen, and each lane's
-    // timeout draws are counter-based (lane seed, path, open index).
+    // Collect this epoch's due lanes. kActive: pop the fleet wake queue
+    // (dropping stale tombstones); unhydrated due lanes do their serial
+    // barrier bookkeeping here, before the parallel section hydrates
+    // them. kAdvanceAll: everything is due, every epoch.
     const SimTime epoch_end = epoch + kHour;
+    due.clear();
+    if (active) {
+      // The cutoff is *inclusive* of epoch_end: the eager reference's
+      // AdvanceTo(epoch_end) processes boundaries landing exactly on the
+      // epoch edge within this epoch — before this hour's barrier
+      // publishes — so a lane armed right on the edge must advance now,
+      // not next epoch (its timeout draws would see a newer load view).
+      // An *event* exactly on the edge still executes next epoch
+      // (AdvanceLane only runs events strictly before epoch_end); the
+      // lane just re-arms at the same time and wakes again.
+      while (const auto entry = wake_queue_.PopCompactionDue(epoch_end)) {
+        Lane* lane = lanes_[static_cast<size_t>(entry->table)].get();
+        if (lane->next_wake != entry->time) continue;  // superseded
+        lane->next_wake = -1;
+        if (!lane->hydrated) PrepareHydration(lane, epoch);
+        due.push_back(lane->index);
+      }
+      std::sort(due.begin(), due.end());
+    } else {
+      for (const auto& lane : lanes_) due.push_back(lane->index);
+    }
+
+    // Advance the due lanes to the end of the epoch, sharded. Lanes are
+    // mutually independent here: the epoch load view is frozen, and each
+    // lane's timeout draws are counter-based (lane seed, path, index).
+    for (auto& shard : due_by_shard) shard.clear();
+    for (const int lane_index : due) {
+      due_by_shard[static_cast<size_t>(
+                       lanes_[static_cast<size_t>(lane_index)]->shard)]
+          .push_back(lane_index);
+    }
     const auto advance_shard = [&](int64_t s) {
-      for (const int lane_index : shard_lanes_[static_cast<size_t>(s)]) {
-        AdvanceLane(lanes_[static_cast<size_t>(lane_index)].get(), epoch_end);
+      for (const int lane_index : due_by_shard[static_cast<size_t>(s)]) {
+        Lane* lane = lanes_[static_cast<size_t>(lane_index)].get();
+        if (!lane->hydrated) HydrateLane(lane);
+        AdvanceLane(lane, epoch_end);
       }
     };
     if (options_.sharded && options_.pool != nullptr) {
-      options_.pool->ParallelFor(static_cast<int64_t>(shard_lanes_.size()),
+      options_.pool->ParallelFor(static_cast<int64_t>(due_by_shard.size()),
                                  advance_shard);
     } else {
-      for (int64_t s = 0; s < static_cast<int64_t>(shard_lanes_.size()); ++s) {
+      for (int64_t s = 0; s < static_cast<int64_t>(due_by_shard.size());
+           ++s) {
         advance_shard(s);
       }
     }
 
-    // Barrier: merge per-lane NameNode tallies for the completed hour and
-    // publish them — next epoch's timeout probability everywhere.
-    int64_t fleet_rpcs = 0;
-    for (const auto& lane : lanes_) {
+    // Barrier: fold the touched lanes' tally deltas plus the planned
+    // contribution of still-deferred loads, and publish the hour — next
+    // epoch's timeout probability everywhere. O(touched), not O(lanes).
+    for (const int lane_index : due) {
+      Lane* lane = lanes_[static_cast<size_t>(lane_index)].get();
       AUTOCOMP_RETURN_NOT_OK(lane->status);
-      fleet_rpcs += lane->env->dfs().RpcsInHour(epoch);
+      PublishLaneDeltas(lane, epoch);
+      if (active) {
+        SimTime next = -1;
+        if (lane->next_event < lane->day_events.size()) {
+          next = lane->day_events[lane->next_event].time;
+        }
+        if (const auto bound = lane->driver->NextActivityBound()) {
+          if (next < 0 || *bound < next) next = *bound;
+        }
+        if (next >= 0 && next < end_time) MaybeArm(lane, next);
+      }
     }
-    epoch_load_.PublishHour(epoch, fleet_rpcs);
+    int64_t planned_this_hour = 0;
+    if (const auto it = pending_rpcs_by_hour_.find(epoch);
+        it != pending_rpcs_by_hour_.end()) {
+      planned_this_hour = it->second;
+      pending_rpcs_by_hour_.erase(it);
+    }
+    epoch_load_.PublishAccumulated(epoch, planned_this_hour);
 
-    // Safety oracle under fault injection: no lane may have lost or
-    // duplicated a live file, broken its snapshot lineage, or drifted
-    // its quota/object accounting — checked after EVERY epoch so a
-    // violation is caught at the hour it happened, not at the end.
+    // Safety oracle under fault injection: no hydrated lane may have
+    // lost or duplicated a live file, broken its snapshot lineage, or
+    // drifted its quota/object accounting — checked after EVERY epoch so
+    // a violation is caught at the hour it happened, not at the end.
+    // (Cold lanes have no metadata to audit yet; they are audited at
+    // their finalization.)
     if (options_.check_invariants) {
       const fault::InvariantChecker checker;
       for (const auto& lane : lanes_) {
+        if (!lane->hydrated) continue;
         if (Status s = checker.CheckOrFail(lane->env->catalog()); !s.ok()) {
           return Status::Internal("after epoch hour " +
                                   std::to_string(epoch / kHour) + ", lane " +
@@ -229,41 +494,168 @@ Result<FleetSimResult> FleetSimulation::Run() {
     }
   }
 
-  // --- Wrap up: flush inflight work, merge metrics in lane order. ---
-  FleetSimResult result;
+  // --- Wrap up. Resident lanes catch up to end_time and finish; cold
+  // lanes with queued loads are served by one transient replay per
+  // distinct planned-load signature (environment destroyed after its
+  // totals are captured — at most one transient lane per shard is
+  // resident at a time); truly idle lanes (no tables, no events, ever)
+  // share one ghost replay of an empty lane, whose metric stream is
+  // identical to each of theirs by construction. Ghosting is disabled
+  // under a preset: the control loop gives even empty lanes per-lane
+  // pipeline telemetry.
+  const bool can_ghost = active && !options_.preset;
+
+  // Cold-lane replay sharing: a never-touched lane's finalization replay
+  // is a pure function of its planned loads' (hour, CreateFile count,
+  // policy) signature — the lane's seed only jitters file *sizes*, and
+  // no metric, total, or RPC visible after the epochs ever reads a size
+  // from an untouched table. One transient replay per distinct signature
+  // stands in for every cold lane that shares it (the same argument as
+  // the ghost replay, extended to lanes that own tables), which turns
+  // wrap-up cost from O(fleet) environment builds into O(activity +
+  // distinct signatures). Disabled whenever a per-lane artifact could
+  // differ: fault injection (per-lane draw streams), tracing (per-lane
+  // tracks/digests), invariant audits (must inspect every catalog).
+  const bool tracing_on =
+      options_.trace_armed || options_.trace_level != obs::TraceLevel::kOff;
+  const bool can_share = can_ghost && !options_.env.fault.enabled &&
+                         !tracing_on && !options_.check_invariants;
+  std::vector<int> rep_of(lanes_.size(), -1);
+  if (can_share) {
+    std::map<std::string, int> reps_by_signature;
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      const Lane& lane = *lanes_[i];
+      if (lane.hydrated || lane.ever_had_events || lane.pending.empty()) {
+        continue;
+      }
+      std::string signature;
+      for (size_t k = 0; k < lane.pending.size(); ++k) {
+        signature += std::to_string(lane.pending[k].at);
+        signature += ':';
+        signature += std::to_string(lane.pending_rpcs[k]);
+        signature += lane.pending[k].set_policy ? "p;" : ";";
+      }
+      const auto [it, inserted] =
+          reps_by_signature.emplace(std::move(signature), static_cast<int>(i));
+      if (!inserted) rep_of[i] = it->second;
+    }
+  }
+  const auto shares_replay = [&](int lane_index) {
+    return rep_of[static_cast<size_t>(lane_index)] >= 0;
+  };
+
+  int64_t shards_with_cold = 0;
+  for (const auto& shard : shard_lanes_) {
+    for (const int lane_index : shard) {
+      const Lane& lane = *lanes_[static_cast<size_t>(lane_index)];
+      if (lane.hydrated || shares_replay(lane_index)) continue;
+      if (can_ghost && lane.pending.empty() && !lane.ever_had_events) {
+        continue;
+      }
+      ++shards_with_cold;
+      break;
+    }
+  }
+  peak_resident_lanes_ =
+      std::max(peak_resident_lanes_, resident_lanes_ + shards_with_cold);
+  int64_t transient_hydrations = 0;
+  const auto finalize_shard = [&](int64_t s) {
+    for (const int lane_index : shard_lanes_[static_cast<size_t>(s)]) {
+      Lane* lane = lanes_[static_cast<size_t>(lane_index)].get();
+      if (!lane->hydrated) {
+        if (shares_replay(lane_index)) continue;  // representative stands in
+        if (can_ghost && lane->pending.empty() && !lane->ever_had_events) {
+          continue;  // served by the ghost
+        }
+        HydrateLane(lane);
+        FinalizeLane(lane, end_time, /*keep_env=*/false);
+        continue;
+      }
+      FinalizeLane(lane, end_time, /*keep_env=*/false);
+    }
+  };
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    const Lane& lane = *lanes_[i];
+    if (!lane.hydrated && rep_of[i] < 0 &&
+        !(can_ghost && lane.pending.empty() && !lane.ever_had_events)) {
+      ++transient_hydrations;
+    }
+  }
+  if (options_.sharded && options_.pool != nullptr) {
+    options_.pool->ParallelFor(static_cast<int64_t>(shard_lanes_.size()),
+                               finalize_shard);
+  } else {
+    for (int64_t s = 0; s < static_cast<int64_t>(shard_lanes_.size()); ++s) {
+      finalize_shard(s);
+    }
+  }
+  lanes_hydrated_ += transient_hydrations;
+
+  // Ghost replay: one empty environment advanced over the whole horizon.
+  // Its recorder stands in for every idle lane in the merge — the eager
+  // path's idle lanes record exactly this stream (file-count samples of
+  // an empty deployment), lane for lane.
+  MetricsRecorder ghost_metrics;
+  bool ghost_built = false;
+  const auto ghost_recorder = [&]() -> const MetricsRecorder* {
+    if (!ghost_built) {
+      ghost_built = true;
+      EnvironmentOptions env = options_.env;
+      env.seed = options_.seed;  // never drawn from: no tables, no events
+      env.engine.writer_id = 1;
+      env.runner_id = 1;
+      SimEnvironment ghost_env(env);
+      ghost_env.dfs().SetEpochLoadView(&epoch_load_);
+      EventDriver ghost_driver(&ghost_env, &ghost_metrics, options_.driver);
+      if (Status st = ghost_driver.AdvanceTo(end_time); !st.ok()) {
+        LOG_WARN << "ghost lane advance failed: " << st;
+      }
+      ghost_driver.FinishRun();
+    }
+    return &ghost_metrics;
+  };
+
+  // --- Merge in lane order (deterministic), folding trace digests
+  // incrementally as we go. ---
   std::vector<const MetricsRecorder*> recorders;
   recorders.reserve(lanes_.size());
-  for (const auto& lane : lanes_) {
-    lane->driver->FinishRun();
+  std::vector<const obs::TraceRecorder*> tracks;
+  result.lanes_total = static_cast<int64_t>(lanes_.size());
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    const auto& lane = lanes_[i];
+    if (rep_of[i] >= 0) {
+      // Cold lane sharing a representative's replay: identical metric
+      // stream and totals by construction (same planned-load signature).
+      const Lane* rep = lanes_[static_cast<size_t>(rep_of[i])].get();
+      AUTOCOMP_RETURN_NOT_OK(rep->status);
+      ++result.lanes_ghosted;
+      result.total_files += rep->total_files;
+      result.open_calls += rep->open_calls;
+      recorders.push_back(&rep->metrics);
+      continue;
+    }
+    if (!lane->hydrated) {
+      ++result.lanes_ghosted;
+      recorders.push_back(ghost_recorder());
+      continue;
+    }
+    AUTOCOMP_RETURN_NOT_OK(lane->status);
     result.events_executed += lane->executed;
-    result.total_files += lane->env->TotalFileCount();
-    result.open_calls += lane->env->dfs().AggregateStats().open_calls;
-    result.faults_injected += lane->env->fault_injector().total_injected();
+    result.total_files += lane->total_files;
+    result.open_calls += lane->open_calls;
+    result.faults_injected += lane->faults_injected;
     recorders.push_back(&lane->metrics);
-  }
-  if (options_.check_invariants) {
-    const fault::InvariantChecker checker;
-    for (const auto& lane : lanes_) {
-      if (Status s = checker.CheckOrFail(lane->env->catalog()); !s.ok()) {
-        return Status::Internal("after final flush, lane " + lane->db + ": " +
-                                s.message());
-      }
+    if (lane->trace != nullptr) {
+      result.trace_digest.Combine(lane->trace->digest());
+      tracks.push_back(lane->trace.get());
     }
   }
   result.metrics = MetricsRecorder::Merge(recorders);
+  result.lanes_hydrated = lanes_hydrated_;
+  result.peak_resident_lanes = peak_resident_lanes_;
 
-  // Trace wrap-up: merge lane digests (commutative — lane order cannot
-  // matter even in principle) and export the Chrome trace if asked.
-  std::vector<const obs::TraceRecorder*> tracks;
-  for (const auto& lane : lanes_) {
-    if (lane->trace != nullptr) tracks.push_back(lane->trace.get());
-  }
-  if (!tracks.empty()) {
-    result.trace_digest = obs::TraceRecorder::MergeDigests(tracks);
-    if (!options_.trace_out.empty()) {
-      AUTOCOMP_RETURN_NOT_OK(
-          obs::WriteChromeTrace(tracks, options_.trace_out));
-    }
+  if (!tracks.empty() && !options_.trace_out.empty()) {
+    AUTOCOMP_RETURN_NOT_OK(obs::WriteChromeTrace(tracks, options_.trace_out));
   }
   return result;
 }

@@ -13,23 +13,50 @@
 /// epochs aligned to the NameNode's hour buckets.
 ///
 /// Cross-lane coupling is reduced to one number per epoch: at every hour
-/// barrier the coordinator sums each lane's NameNode RPC tally for the
-/// completed hour and publishes it to a shared storage::EpochLoadModel.
-/// During the next epoch every lane's NameNode derives its timeout
-/// probability from that published (epoch-start) load — constant within
-/// the epoch — and draws timeouts from a counter-based RNG stream keyed
-/// by (seed, file path, per-lane open index). No draw depends on the
-/// interleaving of lanes, so the run is **bit-identical at any shard
-/// count and any pool size** (NFR2): metrics from a sequential run
-/// (shards advanced one after another) equal those of a parallel run
-/// exactly, series for series, sample for sample.
+/// barrier the coordinator publishes the fleet's NameNode RPC tally for
+/// the completed hour to a shared storage::EpochLoadModel. During the
+/// next epoch every lane's NameNode derives its timeout probability from
+/// that published (epoch-start) load — constant within the epoch — and
+/// draws timeouts from a counter-based RNG stream keyed by (seed, file
+/// path, per-lane open index). No draw depends on the interleaving of
+/// lanes, so the run is **bit-identical at any shard count and any pool
+/// size** (NFR2): metrics from a sequential run (shards advanced one
+/// after another) equal those of a parallel run exactly, series for
+/// series, sample for sample.
 ///
-/// The merged result is deterministic too: per-lane recorders are merged
-/// in lane order with a stable sort by time (MetricsRecorder::Merge).
+/// Replay cost is proportional to *activity*, not fleet size
+/// (LaneMode::kActive, the default — see DESIGN.md §10):
+///  * **Lazy hydration** — lanes start as lightweight descriptors; the
+///    workload's table loads are *planned* (all random draws taken
+///    up front from the shared sequence) but only *materialised* when a
+///    lane first has work. A planned-but-unhydrated load still feeds the
+///    epoch barrier exactly, because a plan's CreateFile count is pure
+///    arithmetic (engine::PlannedFileCount).
+///  * **Active-lane scheduling** — a fleet-level calendar queue keyed by
+///    each lane's next due boundary (next workload event, or the
+///    driver's NextActivityBound: retention / service trigger / inflight
+///    compaction end) replaces the advance-all-lanes loop. A dozing
+///    lane's deferred metric samples replay identically when it next
+///    wakes, because its state cannot change while it dozes.
+///  * **O(changed) barriers** — woken lanes publish RPC-tally *deltas*
+///    (EpochLoadModel::AddDelta, including the next-hour spillover of
+///    work finalizing exactly at the boundary) and the barrier seals the
+///    hour with the accumulated deltas plus the planned contribution of
+///    still-unhydrated lanes; untouched lanes cost nothing.
+///
+/// The merged result is deterministic and mode-independent: per-lane
+/// recorders are merged in lane order with a stable sort by time
+/// (MetricsRecorder::Merge); lanes that never had any work share one
+/// "ghost" replay of an empty lane (their metric streams are identical
+/// by construction). kAdvanceAll preserves the historical hydrate-
+/// everything / advance-everything behaviour as the bit-identity
+/// reference for tests.
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -37,6 +64,7 @@
 
 #include "common/thread_pool.h"
 #include "obs/trace.h"
+#include "sim/calendar_queue.h"
 #include "sim/driver.h"
 #include "sim/environment.h"
 #include "sim/metrics.h"
@@ -45,6 +73,17 @@
 #include "workload/fleet.h"
 
 namespace autocomp::sim {
+
+/// \brief Lane lifecycle policy (results are bit-identical either way).
+enum class LaneMode {
+  /// Lazy hydration + active-lane scheduling + delta barriers: an epoch
+  /// touches only lanes with due work. The default.
+  kActive,
+  /// Hydrate every lane at setup and advance every lane every epoch —
+  /// the historical behaviour, kept as the reference the bit-identity
+  /// tests compare kActive against.
+  kAdvanceAll,
+};
 
 /// \brief Configuration for a shard-parallel fleet replay.
 struct FleetSimOptions {
@@ -68,14 +107,22 @@ struct FleetSimOptions {
   EnvironmentOptions env = {};
   workload::FleetOptions fleet = {};
   DriverOptions driver = {};
-  /// Run the fault::InvariantChecker over every lane at every hour
-  /// barrier (and once after the final flush); the replay fails fast
-  /// with Internal on the first violation. Test-only — a full-metadata
-  /// audit per lane per epoch is far too slow for benchmarking.
+  /// Lane lifecycle (see LaneMode). kActive replays 100×-scale fleets in
+  /// memory and time bounded by *activity*; kAdvanceAll is the eager
+  /// reference.
+  LaneMode lane_mode = LaneMode::kActive;
+  /// Run the fault::InvariantChecker over every hydrated lane at every
+  /// hour barrier (and over every lane at its finalization); the replay
+  /// fails fast with Internal on the first violation. Test-only — a
+  /// full-metadata audit per lane per epoch is far too slow for
+  /// benchmarking.
   bool check_invariants = false;
   /// Per-lane AutoComp service built from this preset (the preset's pool
   /// and trace are overridden per lane). nullopt replays the workload
-  /// with no compaction control loop — the pre-tracing behaviour.
+  /// with no compaction control loop — the pre-tracing behaviour. With a
+  /// preset, every lane wakes at the trigger cadence (the control loop
+  /// must observe every lane), so kActive degrades gracefully to
+  /// near-eager scheduling while staying bit-identical.
   std::optional<StrategyPreset> preset;
   /// Trace detail recorded per lane. kOff records nothing (and, unless
   /// `trace_armed`, no recorders are even constructed).
@@ -88,8 +135,18 @@ struct FleetSimOptions {
   /// covers everything regardless).
   size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
   /// When non-empty, the merged Chrome trace-event JSON is written here
-  /// at the end of the run (one thread track per lane).
+  /// at the end of the run (one thread track per lane). Forces every
+  /// lane to hydrate (so every lane has a track), but active scheduling
+  /// still applies.
   std::string trace_out;
+  /// Memory-accounting hook: called from serial coordinator sections as
+  /// lanes hydrate during the replay, with the lane's database, the
+  /// current number of resident (hydrated) lanes, and the peak so far.
+  /// Transient end-of-run finalizations are summarized in the result
+  /// counters instead. Benchmarks use it to audit the sublinear-footprint
+  /// claim without polling the OS.
+  std::function<void(const std::string& db, int64_t resident, int64_t peak)>
+      on_lane_residency;
 };
 
 /// \brief Outcome of a fleet replay.
@@ -104,10 +161,29 @@ struct FleetSimResult {
   int64_t open_calls = 0;
   /// Faults injected across all lanes (0 in fault-free runs).
   int64_t faults_injected = 0;
-  /// Per-lane trace digests merged (order-insensitive). Empty (zero
-  /// events) when tracing was off; bit-identical across shard counts and
-  /// pool sizes otherwise — the golden-trace tests' oracle.
+  /// Per-lane trace digests merged (order-insensitive, accumulated
+  /// incrementally as lanes finalize). Empty (zero events) when tracing
+  /// was off; bit-identical across shard counts, pool sizes and lane
+  /// modes otherwise — the golden-trace tests' oracle.
   obs::TraceDigest trace_digest;
+  /// Host milliseconds spent in setup — descriptor construction and
+  /// workload planning (kActive), or full environment construction
+  /// (kAdvanceAll). The scale tier's "setup must be bounded by
+  /// descriptor construction" gate reads this.
+  double setup_ms = 0;
+  /// Lane-lifecycle accounting (kAdvanceAll hydrates everything at
+  /// setup, so there lanes_hydrated == lanes_total).
+  int64_t lanes_total = 0;
+  /// Lanes ever hydrated into a full SimEnvironment.
+  int64_t lanes_hydrated = 0;
+  /// Peak simultaneously-resident hydrated lanes.
+  int64_t peak_resident_lanes = 0;
+  /// Lanes served by a shared replay instead of their own environment:
+  /// truly idle lanes (no tables, no events, ever) share one ghost
+  /// replay of an empty lane, and never-touched lanes with queued loads
+  /// share one transient replay per distinct planned-load signature —
+  /// their metric streams are identical by construction.
+  int64_t lanes_ghosted = 0;
 };
 
 /// \brief Lockstep epoch driver over per-database lanes.
@@ -130,14 +206,49 @@ class FleetSimulation {
  private:
   struct Lane;
 
+  /// Hydrates `lane`: constructs its environment/driver/service, creates
+  /// its database, and replays its pending table ops in plan order (with
+  /// the lane's injector disarmed, as the eager path's serial-load
+  /// sections were). Safe to call from parallel shard sections — all
+  /// shared-map bookkeeping happens before, in PrepareHydration.
+  void HydrateLane(Lane* lane);
+  /// Serial pre-hydration bookkeeping: retracts the lane's pending
+  /// barrier estimates for hours >= `from_hour` (its actual tallies take
+  /// over) and updates the residency accounting.
+  void PrepareHydration(Lane* lane, int64_t from_hour);
   /// Advances one lane to `epoch_end`, executing its due events.
   void AdvanceLane(Lane* lane, SimTime epoch_end);
+  /// O(changed) barrier contribution of a lane advanced through the
+  /// epoch starting at `epoch`: publishes this hour's tally delta and
+  /// the next hour's boundary spillover into the load model.
+  void PublishLaneDeltas(Lane* lane, SimTime epoch);
+  /// Arms (or tightens) the lane's wake-up in the fleet calendar.
+  void MaybeArm(Lane* lane, SimTime at);
+  /// Catch-up to `end_time` + FinishRun + totals/digest accounting. When
+  /// `keep_env` is false the environment is destroyed afterwards
+  /// (transient finalization of cold lanes), bounding peak residency;
+  /// metrics and trace recorders are always retained for the merge.
+  void FinalizeLane(Lane* lane, SimTime end_time, bool keep_env);
 
   FleetSimOptions options_;
   storage::EpochLoadModel epoch_load_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   /// lane indices grouped by shard
   std::vector<std::vector<int>> shard_lanes_;
+  /// Fleet-level wake queue (kActive): one kCompactionEnd entry per
+  /// armed lane, carrying the lane index. Entries are tombstoned by
+  /// comparing against the lane's authoritative next_wake on pop.
+  CalendarQueue wake_queue_;
+  /// Planned CreateFile counts of still-pending (unhydrated) table
+  /// loads, bucketed by the hour of their `at` — the barrier adds the
+  /// bucket for the sealed hour so deferred lanes are indistinguishable
+  /// from eager ones in the load model.
+  std::map<int64_t, int64_t> pending_rpcs_by_hour_;
+  /// Desired injector arming for lanes hydrated mid-run.
+  bool fault_armed_ = false;
+  int64_t resident_lanes_ = 0;
+  int64_t peak_resident_lanes_ = 0;
+  int64_t lanes_hydrated_ = 0;
   bool ran_ = false;
 };
 

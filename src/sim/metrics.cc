@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 namespace autocomp::sim {
 
@@ -193,11 +194,39 @@ obs::MetricsSnapshot MetricsRecorder::Snapshot() const {
 MetricsRecorder MetricsRecorder::Merge(
     const std::vector<const MetricsRecorder*>& lanes) {
   MetricsRecorder out;
-  for (const MetricsRecorder* lane : lanes) {
+  // Pass 1: union-intern every lane's names (first-seen order — the same
+  // ids the old per-name loop assigned) and build per-lane slot
+  // translations, summing series lengths so the append pass never
+  // reallocates and never touches a name map again.
+  std::vector<std::vector<int32_t>> translate(lanes.size());
+  std::vector<size_t> series_sizes;
+  for (size_t l = 0; l < lanes.size(); ++l) {
+    const MetricsRecorder* lane = lanes[l];
     if (lane == nullptr) continue;
+    translate[l].assign(lane->slots_.size(), -1);
     for (const auto& [name, id] : lane->ids_) {
-      const Slot& src = lane->slots_[static_cast<size_t>(id)];
-      Slot& dst = out.slots_[static_cast<size_t>(out.Intern(name).value)];
+      const int32_t dst = out.Intern(name).value;
+      translate[l][static_cast<size_t>(id)] = dst;
+      if (static_cast<size_t>(dst) >= series_sizes.size()) {
+        series_sizes.resize(static_cast<size_t>(dst) + 1, 0);
+      }
+      series_sizes[static_cast<size_t>(dst)] +=
+          lane->slots_[static_cast<size_t>(id)].series.size();
+    }
+  }
+  for (size_t i = 0; i < series_sizes.size(); ++i) {
+    out.slots_[i].series.reserve(series_sizes[i]);
+  }
+  // Pass 2: append in lane order through the translated ids. Per
+  // destination slot this produces exactly the lane-order concatenation
+  // the name-keyed loop did — iteration by slot index instead of by name
+  // only changes which *distinct* slots are visited first.
+  for (size_t l = 0; l < lanes.size(); ++l) {
+    const MetricsRecorder* lane = lanes[l];
+    if (lane == nullptr) continue;
+    for (size_t s = 0; s < lane->slots_.size(); ++s) {
+      const Slot& src = lane->slots_[s];
+      Slot& dst = out.slots_[static_cast<size_t>(translate[l][s])];
       dst.series.insert(dst.series.end(), src.series.begin(),
                         src.series.end());
       for (const auto& [hour, sample] : src.hourly_samples) {
@@ -220,6 +249,54 @@ MetricsRecorder MetricsRecorder::Merge(
         });
   }
   return out;
+}
+
+uint64_t MetricsRecorder::ContentHash() const {
+  // FNV-1a over the same view Equals compares: names in sorted order,
+  // series point for point (time and value bit-exact), hourly counts,
+  // per-hour sample multisets (sorted copies, like Equals, so the hash
+  // is independent of within-hour arrival order). Empty slots skipped.
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_double = [&](double d) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  for (const auto& [name, id] : ids_) {
+    const Slot& slot = slots_[static_cast<size_t>(id)];
+    if (slot.series.empty() && slot.hourly_samples.empty() &&
+        slot.hourly_counts.empty()) {
+      continue;
+    }
+    mix(static_cast<uint64_t>(name.size()));
+    for (char c : name) mix(static_cast<unsigned char>(c));
+    mix(static_cast<uint64_t>(slot.series.size()));
+    for (const SeriesPoint& p : slot.series) {
+      mix(static_cast<uint64_t>(p.time));
+      mix_double(p.value);
+    }
+    mix(static_cast<uint64_t>(slot.hourly_counts.size()));
+    for (const auto& [hour, n] : slot.hourly_counts) {
+      mix(static_cast<uint64_t>(hour));
+      mix(static_cast<uint64_t>(n));
+    }
+    mix(static_cast<uint64_t>(slot.hourly_samples.size()));
+    for (const auto& [hour, sample] : slot.hourly_samples) {
+      mix(static_cast<uint64_t>(hour));
+      std::vector<double> values = sample.values();
+      std::sort(values.begin(), values.end());
+      mix(static_cast<uint64_t>(values.size()));
+      for (double v : values) mix_double(v);
+    }
+  }
+  return h;
 }
 
 double SeriesSum(const MetricsRecorder& metrics, const std::string& series) {

@@ -87,7 +87,20 @@ class MetricsRecorder {
   /// concatenated in lane order, counters are summed. Callers must pass
   /// lanes in a fixed order (the shard-parallel driver uses lane index)
   /// so the merged output is independent of shard count and scheduling.
+  /// Repeated pointers are allowed (the lazy fleet driver passes one
+  /// shared ghost recorder for every idle lane). Internally the lanes'
+  /// interned id arrays are translated once and slots merged in id order
+  /// with pre-reserved series storage — no per-name map lookups in the
+  /// append pass.
   static MetricsRecorder Merge(const std::vector<const MetricsRecorder*>& lanes);
+
+  /// \brief Order-stable 64-bit content hash: covers exactly what Equals
+  /// compares (names in sorted order, series point for point, hourly
+  /// counts, per-hour sample multisets; interned-but-empty slots are
+  /// skipped). Two recorders are Equals iff their hashes match, modulo
+  /// collisions — the scale-tier bench compares runs across processes
+  /// with it, where shipping whole recorders is impractical.
+  uint64_t ContentHash() const;
 
  private:
   /// Per-metric storage; a slot may be populated as any mix of kinds.

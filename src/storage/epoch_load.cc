@@ -21,6 +21,22 @@ void EpochLoadModel::PublishHour(SimTime hour_start, int64_t fleet_rpcs) {
   load_by_hour_[(hour_start / kHour) * kHour] = fleet_rpcs;
 }
 
+void EpochLoadModel::AddDelta(SimTime hour_start, int64_t delta) {
+  if (delta == 0) return;
+  pending_deltas_[(hour_start / kHour) * kHour] += delta;
+}
+
+void EpochLoadModel::PublishAccumulated(SimTime hour_start, int64_t extra) {
+  const SimTime hour = (hour_start / kHour) * kHour;
+  int64_t total = extra;
+  if (const auto it = pending_deltas_.find(hour);
+      it != pending_deltas_.end()) {
+    total += it->second;
+    pending_deltas_.erase(it);
+  }
+  load_by_hour_[hour] = total;
+}
+
 int64_t EpochLoadModel::LoadAt(SimTime now) const {
   const SimTime hour = (now / kHour) * kHour;
   // Newest published hour strictly before the current one; barriers only

@@ -56,6 +56,18 @@ class EpochLoadModel final : public EpochLoadView {
   /// call only from the barrier, between parallel sections.
   void PublishHour(SimTime hour_start, int64_t fleet_rpcs);
 
+  /// O(changed) barrier protocol: lanes that were touched this epoch add
+  /// their tally *deltas* here (possibly for the following hour too —
+  /// work finalizing exactly at the epoch boundary lands in the next
+  /// bucket), and the coordinator seals each hour with PublishAccumulated
+  /// instead of re-summing every lane. AddDelta tolerates out-of-order
+  /// hours; PublishAccumulated folds whatever accumulated for that hour
+  /// (plus `extra`, the planned contribution of still-unhydrated lanes)
+  /// into the published series. Same single-threaded barrier contract as
+  /// PublishHour.
+  void AddDelta(SimTime hour_start, int64_t delta);
+  void PublishAccumulated(SimTime hour_start, int64_t extra = 0);
+
   /// Fleet RPC load the epoch containing `now` started with: the tally
   /// of the newest published hour before `now`'s hour (0 if none).
   int64_t LoadAt(SimTime now) const;
@@ -67,6 +79,9 @@ class EpochLoadModel final : public EpochLoadView {
  private:
   NameNodeOptions options_;
   std::map<SimTime, int64_t> load_by_hour_;
+  /// Deltas accumulated for not-yet-sealed hours (AddDelta), consumed by
+  /// PublishAccumulated. Small: the current hour plus boundary spillover.
+  std::map<SimTime, int64_t> pending_deltas_;
 };
 
 }  // namespace autocomp::storage

@@ -38,53 +38,89 @@ std::vector<std::string> FleetMonths() {
 FleetWorkload::FleetWorkload(FleetOptions options)
     : options_(options), base_rng_(options.seed) {}
 
-Status FleetWorkload::CreateAndLoadTable(catalog::Catalog* catalog,
-                                         engine::QueryEngine* engine,
-                                         const std::string& db,
-                                         const std::string& name, SimTime at,
-                                         Rng* rng) {
-  const bool partitioned = rng->Bernoulli(options_.partitioned_fraction);
-  auto table = catalog->CreateTable(
-      db, name, FleetSchema(),
-      partitioned ? FleetPartitionSpec() : lst::PartitionSpec::Unpartitioned());
-  AUTOCOMP_RETURN_NOT_OK(table.status());
+FleetWorkload::TableOp FleetWorkload::DrawTableOp(const std::string& db,
+                                                  const std::string& name,
+                                                  SimTime at, Rng* rng) {
+  TableOp op;
+  op.db = db;
+  op.table = name;
+  op.at = at;
+  op.partitioned = rng->Bernoulli(options_.partitioned_fraction);
 
   TableInfo info;
   info.qualified_name = db + "." + name;
-  info.partitioned = partitioned;
+  info.partitioned = op.partitioned;
   info.logical_bytes = static_cast<int64_t>(
       std::llround(rng->LogNormal(options_.size_mu, options_.size_sigma)));
   info.logical_bytes = std::clamp<int64_t>(info.logical_bytes, 64 * kMiB,
                                            2048LL * kGiB);
 
-  engine::WriteSpec write;
-  write.table = info.qualified_name;
-  write.kind = engine::WriteKind::kAppend;
-  write.logical_bytes = info.logical_bytes;
+  op.load.table = info.qualified_name;
+  op.load.kind = engine::WriteKind::kAppend;
+  op.load.logical_bytes = info.logical_bytes;
   // Most fleets onboard with untuned writers; a minority are well-tuned.
-  write.profile = rng->Bernoulli(0.25) ? engine::TunedPipelineProfile()
-                                       : engine::UntunedUserJobProfile();
-  if (partitioned) {
+  op.load.profile = rng->Bernoulli(0.25) ? engine::TunedPipelineProfile()
+                                         : engine::UntunedUserJobProfile();
+  if (op.partitioned) {
     const std::vector<std::string> months = FleetMonths();
     const int span = 6 + static_cast<int>(rng->UniformInt(0, 17));
     for (int i = 0; i < span; ++i) {
-      write.partitions.push_back(months[months.size() - 1 -
-                                        static_cast<size_t>(i)]);
+      op.load.partitions.push_back(months[months.size() - 1 -
+                                          static_cast<size_t>(i)]);
     }
   }
-  auto result = engine->ExecuteWrite(write, at);
-  AUTOCOMP_RETURN_NOT_OK(result.status());
   tables_.push_back(info.qualified_name);
   infos_.push_back(std::move(info));
+  return op;
+}
+
+Status FleetWorkload::Materialize(const LaneTargets& lane,
+                                  const TableOp& op) {
+  if (lane.catalog == nullptr || lane.engine == nullptr) {
+    return Status::InvalidArgument("no lane for database " + op.db);
+  }
+  auto table = lane.catalog->CreateTable(
+      op.db, op.table, FleetSchema(),
+      op.partitioned ? FleetPartitionSpec()
+                     : lst::PartitionSpec::Unpartitioned());
+  AUTOCOMP_RETURN_NOT_OK(table.status());
+  auto result = lane.engine->ExecuteWrite(op.load, op.at);
+  AUTOCOMP_RETURN_NOT_OK(result.status());
+  if (op.set_policy && lane.control_plane != nullptr) {
+    lane.control_plane->SetPolicy(op.load.table, op.policy);
+  }
   return Status::OK();
 }
 
-Status FleetWorkload::SetupSharded(const LaneResolver& resolver, SimTime at) {
+std::vector<FleetWorkload::TableOp> FleetWorkload::PlanSetup(SimTime at) {
   // All rng draws come from one shared sequence, so table parameters are
   // identical no matter how databases map onto lanes.
   Rng rng = base_rng_.Fork(0);
+  std::vector<TableOp> ops;
+  ops.reserve(static_cast<size_t>(options_.num_databases) *
+              static_cast<size_t>(std::max(0, options_.tables_per_db)));
   char db_buf[32];
   char table_buf[32];
+  for (int d = 0; d < options_.num_databases; ++d) {
+    std::snprintf(db_buf, sizeof(db_buf), "tenant%03d", d);
+    for (int t = 0; t < options_.tables_per_db; ++t) {
+      std::snprintf(table_buf, sizeof(table_buf), "tbl%03d", t);
+      TableOp op = DrawTableOp(db_buf, table_buf, at, &rng);
+      op.set_policy = true;
+      op.policy.target_file_size_bytes = 512 * kMiB;
+      op.policy.snapshot_retention = 3 * kDay;
+      ops.push_back(std::move(op));
+    }
+  }
+  return ops;
+}
+
+Status FleetWorkload::SetupSharded(const LaneResolver& resolver, SimTime at) {
+  const std::vector<TableOp> ops = PlanSetup(at);
+  // Databases first, then each database's tables in plan order — the
+  // exact creation order of the pre-split eager setup.
+  char db_buf[32];
+  size_t next = 0;
   for (int d = 0; d < options_.num_databases; ++d) {
     std::snprintf(db_buf, sizeof(db_buf), "tenant%03d", d);
     const LaneTargets lane = resolver(db_buf);
@@ -94,16 +130,8 @@ Status FleetWorkload::SetupSharded(const LaneResolver& resolver, SimTime at) {
     }
     AUTOCOMP_RETURN_NOT_OK(
         lane.catalog->CreateDatabase(db_buf, options_.quota_objects_per_db));
-    for (int t = 0; t < options_.tables_per_db; ++t) {
-      std::snprintf(table_buf, sizeof(table_buf), "tbl%03d", t);
-      AUTOCOMP_RETURN_NOT_OK(CreateAndLoadTable(lane.catalog, lane.engine,
-                                                db_buf, table_buf, at, &rng));
-      if (lane.control_plane != nullptr) {
-        catalog::TablePolicy policy;
-        policy.target_file_size_bytes = 512 * kMiB;
-        policy.snapshot_retention = 3 * kDay;
-        lane.control_plane->SetPolicy(tables_.back(), policy);
-      }
+    for (; next < ops.size() && ops[next].db == db_buf; ++next) {
+      AUTOCOMP_RETURN_NOT_OK(Materialize(lane, ops[next]));
     }
   }
   return Status::OK();
@@ -119,9 +147,11 @@ Status FleetWorkload::Setup(catalog::Catalog* catalog,
       at);
 }
 
-Status FleetWorkload::OnboardNewTablesSharded(const LaneResolver& resolver,
-                                              int day, SimTime at) {
+std::vector<FleetWorkload::TableOp> FleetWorkload::PlanOnboard(int day,
+                                                               SimTime at) {
   Rng rng = base_rng_.Fork(1000 + static_cast<uint64_t>(day));
+  std::vector<TableOp> ops;
+  ops.reserve(static_cast<size_t>(std::max(0, options_.new_tables_per_day)));
   char db_buf[32];
   char table_buf[48];
   for (int i = 0; i < options_.new_tables_per_day; ++i) {
@@ -129,13 +159,15 @@ Status FleetWorkload::OnboardNewTablesSharded(const LaneResolver& resolver,
         rng.UniformInt(0, options_.num_databases - 1));
     std::snprintf(db_buf, sizeof(db_buf), "tenant%03d", d);
     std::snprintf(table_buf, sizeof(table_buf), "new_d%03d_%02d", day, i);
-    const LaneTargets lane = resolver(db_buf);
-    if (lane.catalog == nullptr || lane.engine == nullptr) {
-      return Status::InvalidArgument(std::string("no lane for database ") +
-                                     db_buf);
-    }
-    AUTOCOMP_RETURN_NOT_OK(CreateAndLoadTable(lane.catalog, lane.engine,
-                                              db_buf, table_buf, at, &rng));
+    ops.push_back(DrawTableOp(db_buf, table_buf, at, &rng));
+  }
+  return ops;
+}
+
+Status FleetWorkload::OnboardNewTablesSharded(const LaneResolver& resolver,
+                                              int day, SimTime at) {
+  for (const TableOp& op : PlanOnboard(day, at)) {
+    AUTOCOMP_RETURN_NOT_OK(Materialize(resolver(op.db), op));
   }
   return Status::OK();
 }

@@ -61,6 +61,26 @@ using LaneResolver = std::function<LaneTargets(const std::string& db)>;
 /// \brief Fleet generator with per-day event production.
 class FleetWorkload {
  public:
+  /// \brief One deferred table materialisation: a table's creation plus
+  /// its initial (fragmented) load, with every random draw already
+  /// taken. Drawing is the only part that consumes the fleet's shared
+  /// random sequence, so ops can be materialised lazily per lane — the
+  /// lazy fleet driver queues them on unhydrated lanes — as long as each
+  /// lane replays its own ops in plan order. Materialize is pure given
+  /// the op (the engine's own rng advances identically either way).
+  struct TableOp {
+    std::string db;
+    std::string table;  // unqualified
+    SimTime at = 0;
+    bool partitioned = false;
+    /// The initial load; `load.table` is the qualified name.
+    engine::WriteSpec load;
+    /// Setup tables get the fleet's default compaction policy (applied
+    /// only when the materialising lane has a control plane).
+    bool set_policy = false;
+    catalog::TablePolicy policy;
+  };
+
   explicit FleetWorkload(FleetOptions options);
 
   /// Creates databases/tables and performs the initial (fragmented)
@@ -90,6 +110,22 @@ class FleetWorkload {
   Status OnboardNewTablesSharded(const LaneResolver& resolver, int day,
                                  SimTime at);
 
+  /// Draws the whole initial fleet (databases d0..dN in order, tables
+  /// t0..tM within each) into deferred ops, consuming exactly the draws
+  /// Setup would. Ops are grouped by database in database order. The
+  /// caller owns database creation (CreateDatabase draws nothing and
+  /// issues no RPCs); every database 0..num_databases-1 must exist in a
+  /// lane's catalog before its ops materialise there.
+  std::vector<TableOp> PlanSetup(SimTime at);
+
+  /// Draws day `day`'s onboarded tables into deferred ops (same draws as
+  /// OnboardNewTables).
+  std::vector<TableOp> PlanOnboard(int day, SimTime at);
+
+  /// Executes one drawn op against a lane: CreateTable + initial load
+  /// (+ policy). No random draws; deterministic given the op.
+  static Status Materialize(const LaneTargets& lane, const TableOp& op);
+
   /// Tenant database of a fleet event (the lane-partitioning key).
   static std::string DatabaseOf(const QueryEvent& event);
 
@@ -105,10 +141,11 @@ class FleetWorkload {
     bool partitioned = false;
   };
 
-  Status CreateAndLoadTable(catalog::Catalog* catalog,
-                            engine::QueryEngine* engine,
-                            const std::string& db, const std::string& name,
-                            SimTime at, Rng* rng);
+  /// Draws one table's parameters from `rng` (the exact sequence the
+  /// pre-split CreateAndLoadTable consumed) and registers it in
+  /// tables_/infos_ so EventsForDay can target it.
+  TableOp DrawTableOp(const std::string& db, const std::string& name,
+                      SimTime at, Rng* rng);
 
   FleetOptions options_;
   Rng base_rng_;

@@ -162,6 +162,41 @@ TEST(WritePlannerTest, TinyWriteCapsFileCount) {
   EXPECT_GE(files.size(), 1u);
 }
 
+TEST(WritePlannerTest, PlannedFileCountMatchesPlanExactly) {
+  // The lazy fleet driver publishes epoch-load estimates for unhydrated
+  // lanes straight from PlannedFileCount; any drift from the real plan
+  // would silently break the bit-identity guarantee. Sweep the count
+  // model's regimes: zero/tiny/huge sizes, coalesce boundaries, task
+  // caps, partitioned and not, both profiles, several rng seeds (the rng
+  // must only ever jitter sizes, never the count).
+  format::ColumnarFileModel model;
+  const std::vector<int64_t> sizes = {
+      0,         1,          kMiB - 1,       kMiB,          13 * kMiB,
+      100 * kMiB, 512 * kMiB, kGiB,          6 * kGiB,
+      37 * kGiB + 12345,      512 * kGiB};
+  const std::vector<size_t> partition_counts = {0, 1, 3, 7, 24};
+  for (const WriterProfile& profile :
+       {TunedPipelineProfile(), UntunedUserJobProfile()}) {
+    for (const int64_t bytes : sizes) {
+      for (const size_t parts : partition_counts) {
+        std::vector<std::string> partitions;
+        for (size_t p = 0; p < parts; ++p) {
+          partitions.push_back("p=" + std::to_string(p));
+        }
+        for (const uint64_t seed : {1ull, 42ull, 9001ull}) {
+          Rng rng(seed);
+          const auto files =
+              PlanWriteFiles(bytes, partitions, profile, model, &rng);
+          EXPECT_EQ(PlannedFileCount(bytes, parts, profile, model),
+                    static_cast<int64_t>(files.size()))
+              << "bytes=" << bytes << " parts=" << parts
+              << " coalesce=" << profile.coalesce_output << " seed=" << seed;
+        }
+      }
+    }
+  }
+}
+
 TEST(WritePlannerTest, DeterministicForSeed) {
   format::ColumnarFileModel model;
   Rng r1(9), r2(9);

@@ -110,6 +110,21 @@ TEST(MetricsEqualityTest, IgnoresInternedButEmptyMetrics) {
   EXPECT_TRUE(b.Equals(a));
 }
 
+TEST(MetricsEqualityTest, ContentHashTracksEquality) {
+  MetricsRecorder a;
+  MetricsRecorder b;
+  a.Record("files", 0, 100);
+  a.Increment("conflicts", kMinute, 2);
+  a.Observe("latency", kHour, 12.5);
+  b.Record("files", 0, 100);
+  b.Increment("conflicts", kMinute, 2);
+  b.Observe("latency", kHour, 12.5);
+  (void)b.Intern("never_recorded");  // empty slots must not perturb it
+  EXPECT_EQ(a.ContentHash(), b.ContentHash());
+  b.Record("files", kHour, 90);
+  EXPECT_NE(a.ContentHash(), b.ContentHash());
+}
+
 TEST(MetricsMergeTest, LaneMergeMatchesSingleRecorder) {
   // Record the same logical stream once into one recorder and once split
   // across two lanes; the lane-order merge must reproduce it exactly.
@@ -318,6 +333,154 @@ TEST(FleetSimulationTest, ShardedBitIdenticalAcrossSeedsShardsAndPools) {
       }
     }
   }
+}
+
+FleetSimResult RunFleetFull(FleetSimOptions options) {
+  FleetSimulation simulation(std::move(options));
+  auto result = simulation.Run();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(*result);
+}
+
+// The NFR2 bar for the lazy path: hydrate-on-demand + active-lane
+// scheduling + delta barriers must reproduce the eager reference
+// (hydrate everything, advance everything, every epoch) bit for bit —
+// per series, per hour, per sample — at every shard count and pool size.
+TEST(FleetSimulationTest, LazyMatchesEagerReferenceAcrossSeedsShardsAndPools) {
+  for (const uint64_t seed : {7ull, 99ull}) {
+    FleetSimOptions eager_options = SmallFleet(seed);
+    eager_options.lane_mode = LaneMode::kAdvanceAll;
+    eager_options.sharded = false;
+    const FleetSimResult eager = RunFleetFull(std::move(eager_options));
+    EXPECT_EQ(eager.lanes_hydrated, eager.lanes_total);
+    for (const int shards : {1, 4, 8}) {
+      for (const int workers : {0, 2, 4}) {
+        std::unique_ptr<ThreadPool> pool;
+        if (workers > 0) pool = std::make_unique<ThreadPool>(workers);
+        FleetSimOptions options = SmallFleet(seed);
+        options.lane_mode = LaneMode::kActive;
+        options.shards = shards;
+        options.pool = pool.get();
+        const FleetSimResult lazy = RunFleetFull(std::move(options));
+        std::string why;
+        EXPECT_TRUE(eager.metrics.Equals(lazy.metrics, &why))
+            << "seed=" << seed << " shards=" << shards
+            << " workers=" << workers << ": " << why;
+        EXPECT_EQ(eager.metrics.ContentHash(), lazy.metrics.ContentHash());
+        EXPECT_EQ(eager.events_executed, lazy.events_executed);
+        EXPECT_EQ(eager.total_files, lazy.total_files);
+        EXPECT_EQ(eager.open_calls, lazy.open_calls);
+      }
+    }
+  }
+}
+
+// With a control loop attached the recorder also carries the
+// pipeline_*_ms phase timings, which are *host* wall-clock measurements
+// (they price the OODA loop itself) and thus legitimately differ run to
+// run. Everything simulated must still match bit for bit; compare that
+// deterministic surface explicitly.
+void ExpectSimulatedMetricsEqual(const MetricsRecorder& a,
+                                 const MetricsRecorder& b,
+                                 const std::string& label) {
+  for (const char* series :
+       {"files_total", "compaction_gbhr", "compaction_files_reduced"}) {
+    const auto& sa = a.Series(series);
+    const auto& sb = b.Series(series);
+    ASSERT_EQ(sa.size(), sb.size()) << label << ": " << series;
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].time, sb[i].time)
+          << label << ": " << series << " index " << i;
+      EXPECT_EQ(sa[i].value, sb[i].value)
+          << label << ": " << series << " index " << i;
+    }
+  }
+  for (const char* counter :
+       {"compaction_commits", "cluster_conflicts", "write_queries",
+        "write_failures", "client_conflicts", "read_failures",
+        "open_timeouts", "stats_cache_hits", "stats_cache_misses",
+        "stats_index_hits", "stats_index_fallbacks", "compaction_retries",
+        "compaction_abandoned"}) {
+    EXPECT_EQ(a.HourlyCounts(counter), b.HourlyCounts(counter))
+        << label << ": " << counter;
+  }
+  for (const char* metric :
+       {"write_latency_s", "read_latency_s", "compaction_backoff_s"}) {
+    Sample oa = a.AllObservations(metric);
+    Sample ob = b.AllObservations(metric);
+    EXPECT_EQ(oa.values(), ob.values()) << label << ": " << metric;
+  }
+}
+
+// Same bar with the per-lane AutoComp control loop attached: the preset
+// wakes every lane at the trigger cadence, so the lazy path degrades to
+// near-eager scheduling — and its simulated outputs must still match
+// exactly.
+TEST(FleetSimulationTest, LazyMatchesEagerWithControlLoop) {
+  const auto with_preset = [](uint64_t seed) {
+    FleetSimOptions options = SmallFleet(seed);
+    StrategyPreset preset;
+    preset.scope = ScopeStrategy::kTable;
+    preset.k = 5;
+    options.preset = preset;
+    return options;
+  };
+  FleetSimOptions eager_options = with_preset(7);
+  eager_options.lane_mode = LaneMode::kAdvanceAll;
+  eager_options.sharded = false;
+  const FleetSimResult eager = RunFleetFull(std::move(eager_options));
+  for (const int shards : {1, 4}) {
+    for (const int workers : {0, 2}) {
+      std::unique_ptr<ThreadPool> pool;
+      if (workers > 0) pool = std::make_unique<ThreadPool>(workers);
+      FleetSimOptions options = with_preset(7);
+      options.lane_mode = LaneMode::kActive;
+      options.shards = shards;
+      options.pool = pool.get();
+      const FleetSimResult lazy = RunFleetFull(std::move(options));
+      const std::string label = "shards=" + std::to_string(shards) +
+                                " workers=" + std::to_string(workers);
+      ExpectSimulatedMetricsEqual(eager.metrics, lazy.metrics, label);
+      EXPECT_EQ(eager.events_executed, lazy.events_executed) << label;
+      EXPECT_EQ(eager.total_files, lazy.total_files) << label;
+      EXPECT_EQ(eager.open_calls, lazy.open_calls) << label;
+      // Under a preset every lane must wake for the control loop, so
+      // nothing can be ghosted.
+      EXPECT_EQ(lazy.lanes_ghosted, 0);
+    }
+  }
+}
+
+// The footprint claim behind 100×-scale replays: lanes that never have
+// any work are never hydrated into environments — they share one ghost
+// replay — and the results still match the eager reference exactly.
+TEST(FleetSimulationTest, IdleLanesAreNeverHydrated) {
+  const auto sparse_fleet = [] {
+    FleetSimOptions options = SmallFleet(7);
+    options.fleet.num_databases = 8;
+    options.fleet.tables_per_db = 0;  // all activity comes from onboards
+    options.fleet.new_tables_per_day = 1;
+    return options;
+  };
+  FleetSimOptions eager_options = sparse_fleet();
+  eager_options.lane_mode = LaneMode::kAdvanceAll;
+  eager_options.sharded = false;
+  const FleetSimResult eager = RunFleetFull(std::move(eager_options));
+  EXPECT_EQ(eager.lanes_hydrated, 8);
+
+  FleetSimOptions options = sparse_fleet();
+  options.lane_mode = LaneMode::kActive;
+  const FleetSimResult lazy = RunFleetFull(std::move(options));
+  // One onboarded table per day for two days: at most two databases ever
+  // see work.
+  EXPECT_LE(lazy.lanes_hydrated, 2);
+  EXPECT_GE(lazy.lanes_ghosted, 6);
+  EXPECT_EQ(lazy.lanes_ghosted + lazy.lanes_hydrated, lazy.lanes_total);
+  EXPECT_LE(lazy.peak_resident_lanes, lazy.lanes_hydrated);
+  std::string why;
+  EXPECT_TRUE(eager.metrics.Equals(lazy.metrics, &why)) << why;
+  EXPECT_EQ(eager.events_executed, lazy.events_executed);
+  EXPECT_EQ(eager.total_files, lazy.total_files);
 }
 
 }  // namespace

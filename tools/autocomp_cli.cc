@@ -65,6 +65,10 @@ struct Flags {
   int sim_shards = 4;
   /// fleetsim: advance shards concurrently (off = sequential reference).
   bool sharded_sim = true;
+  /// fleetsim: lane lifecycle — "active" (lazy hydration + wake queue,
+  /// the default) or "eager" (hydrate/advance every lane every epoch).
+  /// Results are bit-identical; only wall-clock and footprint differ.
+  std::string lane_mode = "active";
   /// Fault injection profile ("none" leaves the injector disabled).
   std::string fault_profile = "none";
   /// Seed for the injector's counter-RNG draws.
@@ -93,6 +97,7 @@ void PrintUsage() {
       "                    [--stats-cache-capacity=N] [--no-stats-index]\n"
       "                    [--cross-check-stats-index]\n"
       "                    [--sim-shards=K] [--no-sharded-sim]\n"
+      "                    [--lane-mode=active|eager]\n"
       "                    [--fault-profile=none|timeouts|conflicts|chaos]\n"
       "                    [--fault-seed=N] [--fault-retries=N]\n"
       "                    [--check-invariants]\n"
@@ -105,6 +110,11 @@ void PrintUsage() {
       "                           bit-identical at any K\n"
       "  --no-sharded-sim         fleetsim: advance shards one after\n"
       "                           another (the sequential reference)\n"
+      "  --lane-mode=MODE         fleetsim: \"active\" hydrates lanes on\n"
+      "                           first due work and wakes only due lanes\n"
+      "                           each epoch; \"eager\" is the historical\n"
+      "                           advance-everything reference. Results\n"
+      "                           are bit-identical either way\n"
       "  --pool-size=N            pipeline worker threads (0 = all cores,\n"
       "                           1 = sequential); results are identical\n"
       "                           at any setting, only wall-clock changes\n"
@@ -174,6 +184,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->stats_cache_capacity = std::atoll(v);
     } else if (const char* v = value_of("--sim-shards")) {
       flags->sim_shards = std::atoi(v);
+    } else if (const char* v = value_of("--lane-mode")) {
+      flags->lane_mode = v;
     } else if (const char* v = value_of("--fault-profile")) {
       flags->fault_profile = v;
     } else if (const char* v = value_of("--fault-seed")) {
@@ -572,6 +584,13 @@ int RunFleetSim(const Flags& flags) {
   options.driver.sample_interval = 4 * kHour;
   options.driver.retention_interval = kDay;
   options.check_invariants = flags.check_invariants;
+  if (flags.lane_mode == "eager") {
+    options.lane_mode = sim::LaneMode::kAdvanceAll;
+  } else if (flags.lane_mode != "active") {
+    std::fprintf(stderr, "unknown --lane-mode: %s (want active|eager)\n",
+                 flags.lane_mode.c_str());
+    return 2;
+  }
   auto env_options = EnvOptionsFor(flags);
   if (!env_options.ok()) {
     std::fprintf(stderr, "%s\n", env_options.status().ToString().c_str());
@@ -606,10 +625,11 @@ int RunFleetSim(const Flags& flags) {
   }
 
   std::printf("replaying %d fleet days across %d tenant databases "
-              "(%s, shards=%d, pool=%d)...\n",
+              "(%s, shards=%d, pool=%d, lanes %s)...\n",
               flags.days, flags.databases,
               flags.sharded_sim ? "sharded" : "sequential",
-              flags.sim_shards, pool.worker_count());
+              flags.sim_shards, pool.worker_count(),
+              flags.lane_mode.c_str());
   sim::FleetSimulation simulation(std::move(options));
   const auto start = std::chrono::steady_clock::now();
   auto result = simulation.Run();
@@ -654,6 +674,13 @@ int RunFleetSim(const Flags& flags) {
   if (*trace_level != obs::TraceLevel::kOff) {
     table.AddRow({"trace digest", result->trace_digest.ToString()});
   }
+  table.AddRow({"lanes hydrated",
+                std::to_string(result->lanes_hydrated) + "/" +
+                    std::to_string(result->lanes_total) + " (peak resident " +
+                    std::to_string(result->peak_resident_lanes) +
+                    ", ghosted " + std::to_string(result->lanes_ghosted) +
+                    ")"});
+  table.AddRow({"setup (ms)", sim::Fmt(result->setup_ms, 1)});
   table.AddRow({"wall-clock (ms)", sim::Fmt(wall_ms, 1)});
   table.AddRow(
       {"events/sec",
