@@ -54,6 +54,15 @@
 /// documents the sublinear-footprint claim: lanes_hydrated and peak RSS
 /// track activity, not fleet size.
 ///
+/// The **eviction tier** (AUTOCOMP_BENCH_SCALE_EVICT_LANES, default 256;
+/// 0 skips) reruns the scale fleet under a hard resident-lane budget +
+/// idle rule (DESIGN.md §10): cold lanes dehydrate into checkpoints and
+/// restore on their next due event. Both a sequential and a
+/// shard4-pool2 eviction config must hash-equal the unbounded seq run;
+/// the JSON records peak RSS vs unbounded, the wall-clock penalty, and
+/// the eviction/restore/checkpoint-bytes accounting. CI gates the
+/// evicting footprint under AUTOCOMP_BENCH_SCALE_EVICT_MAX_RSS_MB.
+///
 /// Results land in BENCH_sim.json:
 ///   {"fleet_tables": N, "days": D, "hardware_concurrency": H,
 ///    "force_pools": B, "runs": [
@@ -349,6 +358,18 @@ RunOutcome SkippedConfig(const std::string& name, int shards,
 // AUTOCOMP_BENCH_SCALE_TABLES=0 skips the tier entirely.
 const int kScaleTables = EnvInt("AUTOCOMP_BENCH_SCALE_TABLES", 20'000, 0);
 const int kScaleDays = EnvInt("AUTOCOMP_BENCH_SCALE_DAYS", 7, 1);
+// Eviction-tier knobs: the bounded-residency configs run the same fleet
+// under FleetSimOptions::max_resident_lanes / evict_after_idle_hours
+// (DESIGN.md §10) and must stay bit-identical to the unbounded seq run
+// while holding peak RSS to a fraction of it. EVICT_LANES=0 skips the
+// eviction configs.
+const int kScaleEvictLanes = EnvInt("AUTOCOMP_BENCH_SCALE_EVICT_LANES", 4096, 0);
+const int kScaleEvictIdleHours =
+    EnvInt("AUTOCOMP_BENCH_SCALE_EVICT_IDLE_HOURS", 36, 0);
+// MATRIX=0 drops the shard{1,2,4,8} x pool{0,2,4} identity sweep and
+// keeps only seq + half + eviction configs — for iterating on the
+// eviction tier without paying for the full 13-config matrix.
+const int kScaleMatrix = EnvInt("AUTOCOMP_BENCH_SCALE_MATRIX", 1, 0);
 // Absolute daily activity, held constant as the fleet grows: this is the
 // paper's fleet shape (a small, Zipf-skewed hot subset doing nearly all
 // the writing while the long tail sits cold), and it is what makes the
@@ -397,6 +418,11 @@ struct ScaleOutcome {
   int64_t lanes_hydrated = 0;
   int64_t peak_resident_lanes = 0;
   int64_t lanes_ghosted = 0;
+  int64_t lanes_evicted = 0;
+  int64_t lanes_restored = 0;
+  int64_t lanes_retired = 0;
+  int64_t checkpoint_bytes = 0;
+  double restore_ms = 0;
   unsigned long long metrics_hash = 0;
   bool identical = true;  // ContentHash + totals match the scale seq run
   double events_per_sec = 0;
@@ -407,7 +433,8 @@ struct ScaleOutcome {
 /// Equals compares); the scale fleet runs without a preset, so no
 /// host-wall-clock metric exists to perturb the hash.
 ScaleOutcome ScaleBody(const std::string& name, int tables, int shards,
-                       int pool_workers) {
+                       int pool_workers, int64_t max_resident_lanes,
+                       int evict_after_idle_hours) {
   ScaleOutcome out;
   out.name = name;
   out.shards = shards;
@@ -415,6 +442,8 @@ ScaleOutcome ScaleBody(const std::string& name, int tables, int shards,
   std::unique_ptr<ThreadPool> pool;
   if (pool_workers > 0) pool = std::make_unique<ThreadPool>(pool_workers);
   sim::FleetSimOptions options = ScaleOptions(tables);
+  options.max_resident_lanes = max_resident_lanes;
+  options.evict_after_idle_hours = evict_after_idle_hours;
   if (shards > 0) {
     options.sharded = true;
     options.shards = shards;
@@ -439,6 +468,11 @@ ScaleOutcome ScaleBody(const std::string& name, int tables, int shards,
   out.lanes_hydrated = result->lanes_hydrated;
   out.peak_resident_lanes = result->peak_resident_lanes;
   out.lanes_ghosted = result->lanes_ghosted;
+  out.lanes_evicted = result->lanes_evicted;
+  out.lanes_restored = result->lanes_restored;
+  out.lanes_retired = result->lanes_retired;
+  out.checkpoint_bytes = result->checkpoint_bytes;
+  out.restore_ms = result->restore_ms;
   out.metrics_hash = result->metrics.ContentHash();
   out.events_per_sec =
       out.wall_ms > 0 ? static_cast<double>(out.events) / (out.wall_ms / 1e3)
@@ -452,7 +486,8 @@ ScaleOutcome ScaleBody(const std::string& name, int tables, int shards,
 /// *largest* config. Falls back to in-process (peak_rss_mb = 0) when
 /// fork is unavailable.
 ScaleOutcome RunScaleConfig(const std::string& name, int tables, int shards,
-                            int pool_workers) {
+                            int pool_workers, int64_t max_resident_lanes = 0,
+                            int evict_after_idle_hours = 0) {
   ScaleOutcome out;
 #if defined(__unix__)
   int fds[2] = {-1, -1};
@@ -460,11 +495,14 @@ ScaleOutcome RunScaleConfig(const std::string& name, int tables, int shards,
     const pid_t pid = fork();
     if (pid == 0) {
       close(fds[0]);
-      const ScaleOutcome child = ScaleBody(name, tables, shards, pool_workers);
-      char buf[256];
+      const ScaleOutcome child =
+          ScaleBody(name, tables, shards, pool_workers, max_resident_lanes,
+                    evict_after_idle_hours);
+      char buf[384];
       const int len = std::snprintf(
           buf, sizeof buf,
-          "%.3f %.3f %lld %lld %lld %lld %lld %lld %lld %llu\n",
+          "%.3f %.3f %lld %lld %lld %lld %lld %lld %lld %lld %lld %lld %lld "
+          "%.3f %llu\n",
           child.wall_ms, child.setup_ms,
           static_cast<long long>(child.events),
           static_cast<long long>(child.total_files),
@@ -472,7 +510,12 @@ ScaleOutcome RunScaleConfig(const std::string& name, int tables, int shards,
           static_cast<long long>(child.lanes_total),
           static_cast<long long>(child.lanes_hydrated),
           static_cast<long long>(child.peak_resident_lanes),
-          static_cast<long long>(child.lanes_ghosted), child.metrics_hash);
+          static_cast<long long>(child.lanes_ghosted),
+          static_cast<long long>(child.lanes_evicted),
+          static_cast<long long>(child.lanes_restored),
+          static_cast<long long>(child.lanes_retired),
+          static_cast<long long>(child.checkpoint_bytes), child.restore_ms,
+          child.metrics_hash);
       ssize_t written = 0;
       while (written < len) {
         const ssize_t n = write(fds[1], buf + written, len - written);
@@ -484,7 +527,7 @@ ScaleOutcome RunScaleConfig(const std::string& name, int tables, int shards,
     if (pid > 0) {
       close(fds[1]);
       std::string line;
-      char buf[256];
+      char buf[384];
       ssize_t n;
       while ((n = read(fds[0], buf, sizeof buf)) > 0) line.append(buf, n);
       close(fds[0]);
@@ -495,14 +538,16 @@ ScaleOutcome RunScaleConfig(const std::string& name, int tables, int shards,
       AUTOCOMP_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0)
           << "scale config " << name << " child exited abnormally";
       long long events = 0, files = 0, opens = 0, total = 0, hydrated = 0,
-                peak = 0, ghosted = 0;
+                peak = 0, ghosted = 0, evicted = 0, restored = 0, retired = 0,
+                ckpt = 0;
       unsigned long long hash = 0;
       AUTOCOMP_CHECK(std::sscanf(line.c_str(),
                                  "%lf %lf %lld %lld %lld %lld %lld %lld "
-                                 "%lld %llu",
+                                 "%lld %lld %lld %lld %lld %lf %llu",
                                  &out.wall_ms, &out.setup_ms, &events, &files,
                                  &opens, &total, &hydrated, &peak, &ghosted,
-                                 &hash) == 10)
+                                 &evicted, &restored, &retired, &ckpt,
+                                 &out.restore_ms, &hash) == 15)
           << "scale config " << name << " child wrote: " << line;
       out.name = name;
       out.shards = shards;
@@ -514,6 +559,10 @@ ScaleOutcome RunScaleConfig(const std::string& name, int tables, int shards,
       out.lanes_hydrated = hydrated;
       out.peak_resident_lanes = peak;
       out.lanes_ghosted = ghosted;
+      out.lanes_evicted = evicted;
+      out.lanes_restored = restored;
+      out.lanes_retired = retired;
+      out.checkpoint_bytes = ckpt;
       out.metrics_hash = hash;
       out.events_per_sec =
           out.wall_ms > 0
@@ -525,21 +574,26 @@ ScaleOutcome RunScaleConfig(const std::string& name, int tables, int shards,
     } else {
       close(fds[0]);
       close(fds[1]);
-      out = ScaleBody(name, tables, shards, pool_workers);
+      out = ScaleBody(name, tables, shards, pool_workers, max_resident_lanes,
+                      evict_after_idle_hours);
     }
   } else {
-    out = ScaleBody(name, tables, shards, pool_workers);
+    out = ScaleBody(name, tables, shards, pool_workers, max_resident_lanes,
+                    evict_after_idle_hours);
   }
 #else
-  out = ScaleBody(name, tables, shards, pool_workers);
+  out = ScaleBody(name, tables, shards, pool_workers, max_resident_lanes,
+                  evict_after_idle_hours);
 #endif
   std::printf(
       "  %s: %.1f ms (%lld events, setup %.1f ms, %lld/%lld lanes hydrated, "
-      "peak resident %lld, rss %.1f MB)\n",
+      "peak resident %lld, evicted %lld, restored %lld, rss %.1f MB)\n",
       name.c_str(), out.wall_ms, static_cast<long long>(out.events),
       out.setup_ms, static_cast<long long>(out.lanes_hydrated),
       static_cast<long long>(out.lanes_total),
-      static_cast<long long>(out.peak_resident_lanes), out.peak_rss_mb);
+      static_cast<long long>(out.peak_resident_lanes),
+      static_cast<long long>(out.lanes_evicted),
+      static_cast<long long>(out.lanes_restored), out.peak_rss_mb);
   return out;
 }
 
@@ -565,7 +619,9 @@ int main() {
   // half-fleet seq run with the same absolute activity documents the
   // sublinear wall/footprint claim.
   const bool scale_enabled = kScaleTables > 0;
+  const bool evict_enabled = scale_enabled && kScaleEvictLanes > 0;
   std::vector<ScaleOutcome> scale_runs;
+  std::vector<ScaleOutcome> evict_runs;
   ScaleOutcome scale_half;
   bool scale_identical = true;
   if (scale_enabled) {
@@ -574,17 +630,36 @@ int main() {
         "%.0f reads per day fleet-wide...\n",
         kScaleTables, kScaleDays, kScaleDailyWrites, kScaleDailyReads);
     scale_runs.push_back(RunScaleConfig("seq", kScaleTables, 0, 0));
-    for (const int shards : {1, 2, 4, 8}) {
-      for (const int workers : {0, 2, 4}) {
-        const std::string name = "shard" + std::to_string(shards) + "-pool" +
-                                 std::to_string(workers);
-        scale_runs.push_back(
-            RunScaleConfig(name, kScaleTables, shards, workers));
+    if (kScaleMatrix > 0) {
+      for (const int shards : {1, 2, 4, 8}) {
+        for (const int workers : {0, 2, 4}) {
+          const std::string name = "shard" + std::to_string(shards) + "-pool" +
+                                   std::to_string(workers);
+          scale_runs.push_back(
+              RunScaleConfig(name, kScaleTables, shards, workers));
+        }
       }
+    } else {
+      std::printf("scale matrix: skipped (AUTOCOMP_BENCH_SCALE_MATRIX=0)\n");
+    }
+    // Bounded-residency configs: the evictor dehydrates cold lanes into
+    // checkpoints under a hard budget + idle rule; metrics must still
+    // hash-equal the unbounded seq run while peak RSS drops. One
+    // sequential and one sharded+pooled config, so the cross-process
+    // identity check covers eviction interleaved with shard parallelism.
+    if (evict_enabled) {
+      std::printf(
+          "eviction tier: budget %d resident lanes, idle rule %d h...\n",
+          kScaleEvictLanes, kScaleEvictIdleHours);
+      evict_runs.push_back(RunScaleConfig("seq-evict", kScaleTables, 0, 0,
+                                          kScaleEvictLanes,
+                                          kScaleEvictIdleHours));
+      evict_runs.push_back(RunScaleConfig("shard4-pool2-evict", kScaleTables,
+                                          4, 2, kScaleEvictLanes,
+                                          kScaleEvictIdleHours));
     }
     const ScaleOutcome& sseq = scale_runs.front();
-    for (ScaleOutcome& r : scale_runs) {
-      if (&r == &sseq) continue;
+    const auto check_identical = [&](ScaleOutcome& r) {
       r.identical = r.metrics_hash == sseq.metrics_hash &&
                     r.events == sseq.events &&
                     r.total_files == sseq.total_files &&
@@ -594,6 +669,15 @@ int main() {
           << "scale config " << r.name
           << " diverged from scale seq: hash " << r.metrics_hash << " vs "
           << sseq.metrics_hash;
+    };
+    for (ScaleOutcome& r : scale_runs) {
+      if (&r == &sseq) continue;
+      check_identical(r);
+    }
+    for (ScaleOutcome& r : evict_runs) {
+      check_identical(r);
+      AUTOCOMP_CHECK(r.lanes_evicted > 0)
+          << "eviction config " << r.name << " never evicted a lane";
     }
     scale_half = RunScaleConfig("seq-half", kScaleTables / 2, 0, 0);
   } else {
@@ -812,31 +896,37 @@ int main() {
   double scale_events_per_sec = 0;
   double scale_peak_rss_mb = 0;
   bool scale_forked = false;
+  double evict_peak_rss_mb = 0;
+  double evict_rss_vs_unbounded = 0;
+  double evict_wall_penalty_pct = 0;
+  bool evict_forked = false;
   if (scale_enabled) {
     const ScaleOutcome& sseq = scale_runs.front();
     const ScaleOutcome& half = scale_half;
 
     sim::TablePrinter scale_table(
         {"config", "shards", "pool", "wall ms", "setup ms", "events",
-         "events/s", "hydrated", "peak res", "rss MB", "identical"});
-    for (const ScaleOutcome& r : scale_runs) {
+         "events/s", "hydrated", "peak res", "evicted", "rss MB",
+         "identical"});
+    const auto add_scale_row = [&](const ScaleOutcome& r,
+                                   const char* identical) {
       scale_table.AddRow(
           {r.name, std::to_string(r.shards), std::to_string(r.pool_workers),
            sim::Fmt(r.wall_ms, 1), sim::Fmt(r.setup_ms, 1),
            std::to_string(r.events), sim::Fmt(r.events_per_sec, 0),
            std::to_string(r.lanes_hydrated) + "/" +
                std::to_string(r.lanes_total),
-           std::to_string(r.peak_resident_lanes), sim::Fmt(r.peak_rss_mb, 1),
-           &r == &sseq ? "ref" : (r.identical ? "yes" : "NO")});
+           std::to_string(r.peak_resident_lanes),
+           std::to_string(r.lanes_evicted), sim::Fmt(r.peak_rss_mb, 1),
+           identical});
+    };
+    for (const ScaleOutcome& r : scale_runs) {
+      add_scale_row(r, &r == &sseq ? "ref" : (r.identical ? "yes" : "NO"));
     }
-    scale_table.AddRow(
-        {half.name, "0", "0", sim::Fmt(half.wall_ms, 1),
-         sim::Fmt(half.setup_ms, 1), std::to_string(half.events),
-         sim::Fmt(half.events_per_sec, 0),
-         std::to_string(half.lanes_hydrated) + "/" +
-             std::to_string(half.lanes_total),
-         std::to_string(half.peak_resident_lanes),
-         sim::Fmt(half.peak_rss_mb, 1), "n/a"});
+    for (const ScaleOutcome& r : evict_runs) {
+      add_scale_row(r, r.identical ? "yes" : "NO");
+    }
+    add_scale_row(half, "n/a");
     std::printf("%s", scale_table.ToString().c_str());
 
     const double scale_wall_per_event =
@@ -868,6 +958,11 @@ int main() {
       entry.Set("lanes_hydrated", r.lanes_hydrated);
       entry.Set("peak_resident_lanes", r.peak_resident_lanes);
       entry.Set("lanes_ghosted", r.lanes_ghosted);
+      entry.Set("lanes_evicted", r.lanes_evicted);
+      entry.Set("lanes_restored", r.lanes_restored);
+      entry.Set("lanes_retired", r.lanes_retired);
+      entry.Set("checkpoint_bytes", r.checkpoint_bytes);
+      entry.Set("restore_ms", r.restore_ms);
       entry.Set("peak_rss_mb", r.peak_rss_mb);
       entry.Set("metrics_hash", std::to_string(r.metrics_hash));
       if (!is_ref) entry.Set("identical_to_seq", r.identical);
@@ -897,6 +992,47 @@ int main() {
     scale_events_per_sec = sseq.events_per_sec;
     scale_peak_rss_mb = sseq.peak_rss_mb;
     scale_forked = sseq.forked;
+
+    if (evict_enabled) {
+      const ScaleOutcome& sevict = evict_runs.front();
+      evict_rss_vs_unbounded = sseq.peak_rss_mb > 0 && sevict.forked
+                                   ? sevict.peak_rss_mb / sseq.peak_rss_mb
+                                   : 0;
+      evict_wall_penalty_pct =
+          sseq.wall_ms > 0
+              ? (sevict.wall_ms - sseq.wall_ms) / sseq.wall_ms * 100.0
+              : 0;
+      std::printf(
+          "evict: rss %.1f MB vs unbounded %.1f MB (%.0f%%), wall penalty "
+          "%.1f%%, %lld evictions / %lld restores / %lld retired, checkpoint "
+          "peak %.1f MB, restore %.1f ms total\n",
+          sevict.peak_rss_mb, sseq.peak_rss_mb,
+          evict_rss_vs_unbounded * 100.0, evict_wall_penalty_pct,
+          static_cast<long long>(sevict.lanes_evicted),
+          static_cast<long long>(sevict.lanes_restored),
+          static_cast<long long>(sevict.lanes_retired),
+          static_cast<double>(sevict.checkpoint_bytes) / (1024.0 * 1024.0),
+          sevict.restore_ms);
+      JsonValue evict_json = JsonValue::Object();
+      evict_json.Set("max_resident_lanes", kScaleEvictLanes);
+      evict_json.Set("evict_after_idle_hours", kScaleEvictIdleHours);
+      JsonValue evict_configs = JsonValue::Array();
+      for (const ScaleOutcome& r : evict_runs) {
+        evict_configs.Append(scale_entry(r, false));
+      }
+      evict_json.Set("configs", std::move(evict_configs));
+      evict_json.Set("peak_rss_mb", sevict.peak_rss_mb);
+      evict_json.Set("rss_vs_unbounded", evict_rss_vs_unbounded);
+      evict_json.Set("wall_penalty_pct", evict_wall_penalty_pct);
+      evict_json.Set("lanes_evicted", sevict.lanes_evicted);
+      evict_json.Set("lanes_restored", sevict.lanes_restored);
+      evict_json.Set("lanes_retired", sevict.lanes_retired);
+      evict_json.Set("checkpoint_bytes", sevict.checkpoint_bytes);
+      evict_json.Set("restore_ms", sevict.restore_ms);
+      scale_json.Set("evict", std::move(evict_json));
+      evict_peak_rss_mb = sevict.peak_rss_mb;
+      evict_forked = sevict.forked;
+    }
   } else {
     scale_json.Set("skipped", true);
   }
@@ -981,12 +1117,29 @@ int main() {
                 scale_peak_rss_mb, scale_max_rss_mb);
     ++gate_failures;
   }
+  // Eviction-tier gate: with a lane budget in force the footprint must
+  // stay under its own (tighter) checked-in ceiling — the bounded-memory
+  // contract of DESIGN.md §10, not just a regression guard.
+  const double evict_max_rss_mb =
+      EnvDouble("AUTOCOMP_BENCH_SCALE_EVICT_MAX_RSS_MB", 0);
+  if (evict_enabled && evict_max_rss_mb > 0 && evict_forked &&
+      evict_peak_rss_mb > evict_max_rss_mb) {
+    std::printf(
+        "PERF GATE FAIL: evict peak rss %.1f MB above ceiling %.1f MB "
+        "(%.0f%% of unbounded, wall penalty %.1f%%)\n",
+        evict_peak_rss_mb, evict_max_rss_mb, evict_rss_vs_unbounded * 100.0,
+        evict_wall_penalty_pct);
+    ++gate_failures;
+  }
   if (min_events_per_sec > 0 || max_overhead_pct > 0 ||
-      scale_min_events_per_sec > 0 || scale_max_rss_mb > 0) {
+      scale_min_events_per_sec > 0 || scale_max_rss_mb > 0 ||
+      evict_max_rss_mb > 0) {
     std::printf("perf gates: %s (floor %.0f ev/s, overhead budget %.2f%%, "
-                "scale floor %.0f ev/s, scale rss ceiling %.1f MB)\n",
+                "scale floor %.0f ev/s, scale rss ceiling %.1f MB, evict "
+                "rss ceiling %.1f MB)\n",
                 gate_failures == 0 ? "PASS" : "FAIL", min_events_per_sec,
-                max_overhead_pct, scale_min_events_per_sec, scale_max_rss_mb);
+                max_overhead_pct, scale_min_events_per_sec, scale_max_rss_mb,
+                evict_max_rss_mb);
   }
   return gate_failures == 0 ? 0 : 1;
 }

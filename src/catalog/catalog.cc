@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "fault/fault_injector.h"
+#include "lst/metadata_blob.h"
 #include "lst/metadata_json.h"
 
 namespace autocomp::catalog {
@@ -276,6 +277,68 @@ Status Catalog::CommitTableWithDelta(const std::string& name,
     NotifyCommit(event);
     if (event_fault == fault::FaultKind::kDuplicateEvent) NotifyCommit(event);
   }
+  return Status::OK();
+}
+
+void Catalog::SaveState(common::BlobWriter* w) const {
+  std::shared_lock lock(mu_);
+  w->WriteU64(databases_.size());
+  for (const auto& [db, tables] : databases_) {
+    w->WriteString(db);
+    // Table lists keep creation order (DropTable removes in place); the
+    // checkpoint preserves it verbatim.
+    w->WriteU64(tables.size());
+    for (const std::string& t : tables) w->WriteString(t);
+  }
+  w->WriteU64(tables_.size());
+  for (const auto& [qualified, meta] : tables_) {
+    w->WriteString(qualified);
+    lst::TableMetadataToBlob(*meta, w);
+  }
+  w->WriteU64(access_.size());
+  for (const auto& [qualified, stats] : access_) {
+    w->WriteString(qualified);
+    w->WriteI64(stats.read_count);
+    w->WriteI64(stats.last_read_at);
+  }
+  w->WriteI64(stats_.commit_attempts);
+  w->WriteI64(stats_.commit_conflicts);
+  w->WriteI64(stats_.tables_created);
+  w->WriteI64(stats_.tables_dropped);
+}
+
+Status Catalog::RestoreState(common::BlobReader* r) {
+  std::unique_lock lock(mu_);
+  databases_.clear();
+  tables_.clear();
+  access_.clear();
+  const uint64_t db_count = r->ReadU64();
+  for (uint64_t i = 0; i < db_count; ++i) {
+    std::string db = r->ReadString();
+    std::vector<std::string> tables(r->ReadU64());
+    for (std::string& t : tables) t = r->ReadString();
+    databases_.emplace(std::move(db), std::move(tables));
+  }
+  const uint64_t table_count = r->ReadU64();
+  for (uint64_t i = 0; i < table_count; ++i) {
+    std::string qualified = r->ReadString();
+    AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr meta,
+                              lst::TableMetadataFromBlob(r));
+    tables_.emplace(std::move(qualified), std::move(meta));
+  }
+  const uint64_t access_count = r->ReadU64();
+  for (uint64_t i = 0; i < access_count; ++i) {
+    std::string qualified = r->ReadString();
+    TableAccessStats stats;
+    stats.read_count = r->ReadI64();
+    stats.last_read_at = r->ReadI64();
+    access_.emplace(std::move(qualified), stats);
+  }
+  stats_.commit_attempts = r->ReadI64();
+  stats_.commit_conflicts = r->ReadI64();
+  stats_.tables_created = r->ReadI64();
+  stats_.tables_dropped = r->ReadI64();
+  if (!r->ok()) return Status::Internal("truncated catalog checkpoint");
   return Status::OK();
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/blob.h"
 #include "common/clock.h"
 #include "common/config.h"
 #include "common/status.h"
@@ -142,6 +143,17 @@ class Catalog final : public lst::MetadataStore {
   const CatalogStats& stats() const { return stats_; }
   storage::DistributedFileSystem* filesystem() { return dfs_; }
   const Clock* clock() const { return clock_; }
+  const CatalogOptions& options() const { return options_; }
+
+  /// \name Lane checkpoint (DESIGN.md §10)
+  /// Serializes databases, table metadata lineages (binary codec, see
+  /// lst/metadata_blob.h), access telemetry and commit counters. Commit
+  /// listeners are NOT checkpointed: the fleet driver only evicts lanes
+  /// without an attached service, and those lanes register none.
+  /// @{
+  void SaveState(common::BlobWriter* w) const;
+  Status RestoreState(common::BlobReader* r);
+  /// @}
 
   /// Installs (or clears, with nullptr) the fault injector. Transactions
   /// pick it up through MetadataStore::fault_injector() (commit-site

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "lst/metadata_json.h"
 
 namespace autocomp::catalog {
 
@@ -46,6 +47,16 @@ Result<RetentionReport> ControlPlane::RunRetentionFor(
       LOG_WARN << "orphan cleanup failed for " << path << ": " << st;
     }
   }
+  if (expired.expired_snapshots > 0 && catalog_->options().persist_metadata) {
+    // The expiry commit re-persisted the new metadata version; reap the
+    // manifest objects only the expired snapshots referenced, so the
+    // storage-side metadata footprint tracks the retained lineage.
+    AUTOCOMP_ASSIGN_OR_RETURN(lst::TableMetadataPtr metadata,
+                              catalog_->LoadTable(qualified_name));
+    AUTOCOMP_ASSIGN_OR_RETURN(
+        report.metadata_objects_deleted,
+        lst::ExpireManifestFootprint(catalog_->filesystem(), *metadata));
+  }
   return report;
 }
 
@@ -61,6 +72,7 @@ RetentionReport ControlPlane::RunRetentionService() {
     total.snapshots_expired += report->snapshots_expired;
     total.files_deleted += report->files_deleted;
     total.bytes_deleted += report->bytes_deleted;
+    total.metadata_objects_deleted += report->metadata_objects_deleted;
   }
   return total;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/blob.h"
 #include "common/units.h"
 
 namespace autocomp::catalog {
@@ -36,6 +37,10 @@ struct RetentionReport {
   int64_t snapshots_expired = 0;
   int64_t files_deleted = 0;
   int64_t bytes_deleted = 0;
+  /// Metadata objects (metadata.json versions + manifest-*.avro files)
+  /// reclaimed alongside the snapshots, when the catalog persists its
+  /// metadata footprint (CatalogOptions::persist_metadata).
+  int64_t metadata_objects_deleted = 0;
 };
 
 /// \brief Control plane over a Catalog: policy registry + data services.
@@ -71,6 +76,36 @@ class ControlPlane {
   Result<RetentionReport> RunRetentionFor(
       const std::string& qualified_name,
       std::optional<SimTime> retention_override = std::nullopt);
+
+  /// \name Lane checkpoint (DESIGN.md §10): the policy registry is the
+  /// control plane's only mutable state.
+  /// @{
+  void SaveState(common::BlobWriter* w) const {
+    w->WriteU64(policies_.size());
+    for (const auto& [name, p] : policies_) {
+      w->WriteString(name);
+      w->WriteI64(p.target_file_size_bytes);
+      w->WriteI64(p.snapshot_retention);
+      w->WriteBool(p.compaction_enabled);
+      w->WriteBool(p.clustering_enabled);
+      w->WriteF64(p.priority);
+    }
+  }
+  void RestoreState(common::BlobReader* r) {
+    policies_.clear();
+    const uint64_t n = r->ReadU64();
+    for (uint64_t i = 0; i < n; ++i) {
+      std::string name = r->ReadString();
+      TablePolicy p;
+      p.target_file_size_bytes = r->ReadI64();
+      p.snapshot_retention = r->ReadI64();
+      p.compaction_enabled = r->ReadBool();
+      p.clustering_enabled = r->ReadBool();
+      p.priority = r->ReadF64();
+      policies_.emplace(std::move(name), p);
+    }
+  }
+  /// @}
 
  private:
   Catalog* catalog_;

@@ -1,0 +1,190 @@
+/// \file blob.h
+/// \brief Minimal binary serialization for lane checkpoints.
+///
+/// The fleet simulator's lane evictor (DESIGN.md §10) dehydrates cold
+/// lanes into compact in-memory blobs and restores them bit-exactly on
+/// their next due event. This writer/reader pair is the wire format:
+/// LEB128 varints for integers (zigzag for signed — checkpoint state is
+/// overwhelmingly small counts, ids and hour-scale timestamps, so
+/// fixed-width encoding tripled blob size), raw IEEE-754 bit patterns
+/// for doubles (memcpy, never a decimal round-trip — restore must
+/// replay *bit-identically*, NFR2), and length-prefixed strings with
+/// per-blob interning: each distinct string is written once and
+/// back-referenced afterwards, which collapses the file paths repeated
+/// across NameNode state, manifest pools and removed-path sets. Blobs
+/// never leave the process and never cross versions, so there is no
+/// tagging and no backward compatibility machinery.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace autocomp::common {
+
+/// \brief Appends varint/interned values to a growing byte buffer.
+class BlobWriter {
+ public:
+  BlobWriter() = default;
+
+  void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  void WriteU32(uint32_t v) { WriteVarint(v); }
+  void WriteI32(int32_t v) { WriteVarint(ZigZag(static_cast<int64_t>(v))); }
+  void WriteU64(uint64_t v) { WriteVarint(v); }
+  void WriteI64(int64_t v) { WriteVarint(ZigZag(v)); }
+
+  /// Raw IEEE-754 bits; restore reproduces the exact double. Fixed
+  /// width: double bit patterns do not varint-compress.
+  void WriteF64(double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    char bytes[sizeof(bits)];
+    for (size_t i = 0; i < sizeof(bits); ++i) {
+      bytes[i] = static_cast<char>((bits >> (8 * i)) & 0xFF);
+    }
+    buffer_.append(bytes, sizeof(bits));
+  }
+
+  /// Interned: the first occurrence writes tag 0 + length + bytes and
+  /// enters the blob's string table; repeats write table-index + 1.
+  void WriteString(std::string_view s) {
+    const auto [it, inserted] =
+        interned_.emplace(std::string(s), interned_.size());
+    if (!inserted) {
+      WriteVarint(static_cast<uint64_t>(it->second) + 1);
+      return;
+    }
+    WriteVarint(0);
+    WriteVarint(s.size());
+    buffer_.append(s.data(), s.size());
+  }
+
+  size_t size() const { return buffer_.size(); }
+
+  /// Moves the accumulated bytes out; the writer is empty afterwards
+  /// (the intern table too — a reused writer starts a fresh blob).
+  std::string Take() {
+    interned_.clear();
+    return std::move(buffer_);
+  }
+
+ private:
+  static uint64_t ZigZag(int64_t v) {
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+  }
+
+  void WriteVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buffer_.push_back(static_cast<char>(v | 0x80));
+      v >>= 7;
+    }
+    buffer_.push_back(static_cast<char>(v));
+  }
+
+  std::string buffer_;
+  std::unordered_map<std::string, size_t> interned_;
+};
+
+/// \brief Sequential reader over a blob produced by BlobWriter.
+///
+/// Reads past the end are a checkpoint-format bug, not an input-data
+/// condition: they assert in debug builds and return zero values in
+/// release builds (`ok()` turns false so callers can surface Internal).
+class BlobReader {
+ public:
+  explicit BlobReader(std::string_view data) : data_(data) {}
+
+  uint8_t ReadU8() {
+    if (!Require(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  bool ReadBool() { return ReadU8() != 0; }
+
+  uint32_t ReadU32() { return static_cast<uint32_t>(ReadVarint()); }
+  int32_t ReadI32() { return static_cast<int32_t>(UnZigZag(ReadVarint())); }
+  uint64_t ReadU64() { return ReadVarint(); }
+  int64_t ReadI64() { return UnZigZag(ReadVarint()); }
+
+  double ReadF64() {
+    if (!Require(8)) return 0;
+    uint64_t bits = 0;
+    for (size_t i = 0; i < sizeof(bits); ++i) {
+      bits |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+              << (8 * i);
+    }
+    pos_ += sizeof(bits);
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string ReadString() {
+    const uint64_t tag = ReadVarint();
+    if (tag != 0) {
+      if (tag > interned_.size()) {
+        Fail();
+        return {};
+      }
+      return std::string(interned_[tag - 1]);
+    }
+    const uint64_t n = ReadVarint();
+    if (!Require(n)) return {};
+    const std::string_view s = data_.substr(pos_, n);
+    pos_ += n;
+    interned_.push_back(s);  // views into the blob: zero-copy table
+    return std::string(s);
+  }
+
+  /// False after any out-of-bounds read.
+  bool ok() const { return ok_; }
+  /// True when every byte has been consumed (format sanity check).
+  bool exhausted() const { return ok_ && pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  static int64_t UnZigZag(uint64_t v) {
+    return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+  }
+
+  uint64_t ReadVarint() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (!Require(1)) return 0;
+      const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return v;
+    }
+    Fail();  // > 10 continuation bytes: corrupt varint
+    return 0;
+  }
+
+  bool Require(uint64_t n) {
+    if (pos_ + n > data_.size()) {
+      Fail();
+      return false;
+    }
+    return true;
+  }
+
+  void Fail() {
+    assert(false && "BlobReader: malformed checkpoint");
+    ok_ = false;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::vector<std::string_view> interned_;
+};
+
+}  // namespace autocomp::common

@@ -103,6 +103,31 @@ int64_t Rng::Poisson(double mean) {
   return std::max<int64_t>(0, static_cast<int64_t>(std::llround(v)));
 }
 
+namespace {
+
+// Per-exponent memo of Zipf harmonic weights (see Rng::Zipf). Bounded:
+// a workload sweeping many distinct exponents (tuning searches do)
+// must not grow a thread's memo arena linearly, so the arena holds at
+// most kMaxZipfMemos entries and evicts the least-recently-used one.
+// Eviction is safe for determinism because a re-admitted exponent
+// recomputes exactly the same weights/prefix sums — the memo only ever
+// changes speed, never a draw.
+struct ZipfWeightCache {
+  double s = 0.0;
+  uint64_t last_used = 0;
+  std::vector<double> weights;  // weights[i-1] = 1/i^s
+  std::vector<double> totals;   // totals[i-1] = sum of weights[0..i-1]
+};
+constexpr size_t kMaxZipfMemos = 8;
+thread_local std::vector<ZipfWeightCache> zipf_memos;
+thread_local uint64_t zipf_memo_clock = 0;
+
+}  // namespace
+
+int64_t Rng::ZipfMemoCountForTesting() {
+  return static_cast<int64_t>(zipf_memos.size());
+}
+
 int64_t Rng::Zipf(int64_t n, double s) {
   assert(n > 0);
   if (n == 1) return 0;
@@ -114,24 +139,34 @@ int64_t Rng::Zipf(int64_t n, double s) {
   // accumulation order, and the scan are exactly the original inline
   // loop's arithmetic, so every draw is bit-identical to the unmemoized
   // implementation — fleet workloads replay unchanged.
-  struct WeightCache {
-    double s = 0.0;
-    std::vector<double> weights;  // weights[i-1] = 1/i^s
-    std::vector<double> totals;   // totals[i-1] = sum of weights[0..i-1]
-  };
-  thread_local std::vector<WeightCache> caches;
-  WeightCache* cache = nullptr;
-  for (auto& c : caches) {
+  ZipfWeightCache* cache = nullptr;
+  for (auto& c : zipf_memos) {
     if (c.s == s) {
       cache = &c;
       break;
     }
   }
   if (cache == nullptr) {
-    caches.emplace_back();
-    cache = &caches.back();
-    cache->s = s;
+    if (zipf_memos.size() >= kMaxZipfMemos) {
+      // Evict the least-recently-used exponent; recomputation on
+      // re-admission is bit-identical.
+      size_t victim = 0;
+      for (size_t i = 1; i < zipf_memos.size(); ++i) {
+        if (zipf_memos[i].last_used < zipf_memos[victim].last_used) {
+          victim = i;
+        }
+      }
+      cache = &zipf_memos[victim];
+      cache->s = s;
+      cache->weights.clear();
+      cache->totals.clear();
+    } else {
+      zipf_memos.emplace_back();
+      cache = &zipf_memos.back();
+      cache->s = s;
+    }
   }
+  cache->last_used = ++zipf_memo_clock;
   while (static_cast<int64_t>(cache->weights.size()) < n) {
     const auto i = static_cast<double>(cache->weights.size() + 1);
     cache->weights.push_back(1.0 / std::pow(i, s));

@@ -59,6 +59,34 @@ class Rng {
   /// Derives an independent child generator; stable for a given label.
   Rng Fork(uint64_t label) const;
 
+  /// \brief Complete generator state for lane checkpoint/restore: the
+  /// xoshiro words, the origin seed (Fork derives from it), and the
+  /// Box-Muller spare. Restoring it resumes the stream bit-exactly.
+  struct State {
+    uint64_t state[4] = {0, 0, 0, 0};
+    uint64_t origin_seed = 0;
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State SaveState() const {
+    State s;
+    for (int i = 0; i < 4; ++i) s.state[i] = state_[i];
+    s.origin_seed = origin_seed_;
+    s.have_cached_normal = have_cached_normal_;
+    s.cached_normal = cached_normal_;
+    return s;
+  }
+  void RestoreState(const State& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s.state[i];
+    origin_seed_ = s.origin_seed;
+    have_cached_normal_ = s.have_cached_normal;
+    cached_normal_ = s.cached_normal;
+  }
+
+  /// Number of per-exponent Zipf weight memos held by the calling
+  /// thread (test hook for the bounded-memo guarantee).
+  static int64_t ZipfMemoCountForTesting();
+
  private:
   uint64_t state_[4];
   uint64_t origin_seed_ = 0;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/blob.h"
 #include "common/clock.h"
 #include "common/units.h"
 
@@ -93,6 +94,24 @@ class Cluster {
 
   /// Drops all queued state (slots immediately free at the current time).
   void Reset();
+
+  /// \name Lane checkpoint (DESIGN.md §10): slot availability + GBHr
+  /// accumulators, restored bit-exactly (doubles as raw bits).
+  /// @{
+  void SaveState(common::BlobWriter* w) const {
+    w->WriteU64(slot_free_at_.size());
+    for (double t : slot_free_at_) w->WriteF64(t);
+    w->WriteF64(total_gb_hours_);
+    w->WriteF64(total_busy_seconds_);
+  }
+  void RestoreState(common::BlobReader* r) {
+    const uint64_t slots = r->ReadU64();
+    slot_free_at_.assign(slots, 0.0);
+    for (double& t : slot_free_at_) t = r->ReadF64();
+    total_gb_hours_ = r->ReadF64();
+    total_busy_seconds_ = r->ReadF64();
+  }
+  /// @}
 
  private:
   std::string name_;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "common/blob.h"
 #include "common/clock.h"
 #include "engine/cluster.h"
 #include "fault/retry_policy.h"
@@ -151,6 +152,26 @@ class CompactionRunner {
     retry_policy_ = policy;
   }
   const fault::RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// \name Lane checkpoint (DESIGN.md §10): output-name counter +
+  /// cumulative totals. Inflight units are never checkpointed — the
+  /// fleet driver only evicts quiescent lanes.
+  /// @{
+  void SaveState(common::BlobWriter* w) const {
+    w->WriteI64(file_counter_);
+    w->WriteI64(total_conflicts_);
+    w->WriteI64(total_committed_);
+    w->WriteI64(total_retries_);
+    w->WriteI64(total_abandoned_);
+  }
+  void RestoreState(common::BlobReader* r) {
+    file_counter_ = r->ReadI64();
+    total_conflicts_ = r->ReadI64();
+    total_committed_ = r->ReadI64();
+    total_retries_ = r->ReadI64();
+    total_abandoned_ = r->ReadI64();
+  }
+  /// @}
 
  private:
   Cluster* cluster_;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/blob.h"
 #include "common/clock.h"
 #include "common/random.h"
 #include "engine/cluster.h"
@@ -120,6 +121,28 @@ class QueryEngine {
 
   const format::ColumnarFileModel& format() const { return format_; }
   Cluster* cluster() { return cluster_; }
+
+  /// \name Lane checkpoint (DESIGN.md §10): RNG stream position + file
+  /// counter, so restored writes produce identical sizes and paths.
+  /// @{
+  void SaveState(common::BlobWriter* w) const {
+    const Rng::State s = rng_.SaveState();
+    for (uint64_t v : s.state) w->WriteU64(v);
+    w->WriteU64(s.origin_seed);
+    w->WriteBool(s.have_cached_normal);
+    w->WriteF64(s.cached_normal);
+    w->WriteI64(file_counter_);
+  }
+  void RestoreState(common::BlobReader* r) {
+    Rng::State s;
+    for (uint64_t& v : s.state) v = r->ReadU64();
+    s.origin_seed = r->ReadU64();
+    s.have_cached_normal = r->ReadBool();
+    s.cached_normal = r->ReadF64();
+    rng_.RestoreState(s);
+    file_counter_ = r->ReadI64();
+  }
+  /// @}
 
  private:
   /// Unique file path under the table location.

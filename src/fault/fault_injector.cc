@@ -214,4 +214,37 @@ int64_t FaultInjector::total_injected() const {
   return total;
 }
 
+void FaultInjector::SaveState(common::BlobWriter* w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w->WriteU64(sites_.size());
+  for (const auto& [site, state] : sites_) {
+    w->WriteString(site);
+    w->WriteI64(state.counters.hits);
+    w->WriteI64(state.counters.injected);
+    w->WriteU64(state.filtered_hits.size());
+    for (const auto& [filter, hits] : state.filtered_hits) {
+      w->WriteString(filter);
+      w->WriteI64(hits);
+    }
+  }
+}
+
+void FaultInjector::RestoreState(common::BlobReader* r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  const uint64_t site_count = r->ReadU64();
+  for (uint64_t i = 0; i < site_count; ++i) {
+    std::string site = r->ReadString();
+    SiteState state;
+    state.counters.hits = r->ReadI64();
+    state.counters.injected = r->ReadI64();
+    const uint64_t filters = r->ReadU64();
+    for (uint64_t j = 0; j < filters; ++j) {
+      std::string filter = r->ReadString();
+      state.filtered_hits[std::move(filter)] = r->ReadI64();
+    }
+    sites_.emplace(std::move(site), std::move(state));
+  }
+}
+
 }  // namespace autocomp::fault

@@ -32,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/blob.h"
 #include "common/clock.h"
 #include "common/status.h"
 #include "fault/fault_sites.h"
@@ -160,6 +161,17 @@ class FaultInjector {
   std::map<std::string, SiteCounters> Counters() const;
   int64_t total_hits() const;
   int64_t total_injected() const;
+
+  /// \name Lane checkpoint (DESIGN.md §10)
+  /// Serializes the per-site hit/injection counters (including filtered
+  /// hit streams) — the only mutable state. The injection *decisions*
+  /// are pure functions of (seed, site, resource, hit index), so a
+  /// restored injector resumes the exact draw stream. Arming is managed
+  /// by the fleet driver, not checkpointed.
+  /// @{
+  void SaveState(common::BlobWriter* w) const;
+  void RestoreState(common::BlobReader* r);
+  /// @}
 
  private:
   struct SiteState {

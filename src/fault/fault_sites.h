@@ -28,6 +28,12 @@ inline constexpr const char* kSiteLstCommit = "lst.commit";
 /// engine::CompactionRunner — the rewrite job crashes mid-write, leaving
 /// partial outputs the runner must clean up (and may retry).
 inline constexpr const char* kSiteEngineRunner = "engine.runner";
+/// lst::ExpireSnapshots — the retention service's lineage-truncation
+/// commit loses its CAS to a concurrent writer and must recompute the
+/// expiry set on the new version. A separate site from lst.commit so
+/// scripted k-th-hit schedules on user/compaction commits are not
+/// shifted by maintenance sweeps.
+inline constexpr const char* kSiteRetentionExpire = "retention.expire";
 /// catalog::Catalog commit notification — the commit event is dropped
 /// (never delivered to listeners) or delivered twice.
 inline constexpr const char* kSiteCatalogCommitEvent = "catalog.commit_event";

@@ -380,4 +380,27 @@ Result<int64_t> ExpireMetadataFootprint(storage::DistributedFileSystem* dfs,
   return removed;
 }
 
+Result<int64_t> ExpireManifestFootprint(storage::DistributedFileSystem* dfs,
+                                        const TableMetadata& metadata) {
+  std::set<long long> referenced;
+  for (const Snapshot& s : metadata.snapshots()) {
+    for (const ManifestPtr& m : s.manifests) {
+      referenced.insert(static_cast<long long>(m->manifest_id()));
+    }
+  }
+  int64_t removed = 0;
+  for (const storage::FileInfo& info :
+       dfs->ListFiles(metadata.location() + "/metadata")) {
+    const size_t slash = info.path.rfind('/');
+    const std::string base = info.path.substr(slash + 1);
+    long long manifest_id = 0;
+    if (std::sscanf(base.c_str(), "manifest-%lld.avro", &manifest_id) == 1 &&
+        referenced.count(manifest_id) == 0) {
+      AUTOCOMP_RETURN_NOT_OK(dfs->DeleteFile(info.path));
+      ++removed;
+    }
+  }
+  return removed;
+}
+
 }  // namespace autocomp::lst

@@ -46,4 +46,12 @@ Result<int64_t> ExpireMetadataFootprint(
     storage::DistributedFileSystem* dfs, const TableMetadata& metadata,
     int64_t up_to_version);
 
+/// \brief Deletes persisted manifest objects no retained snapshot of
+/// `metadata` references any more (the storage-side counterpart of
+/// snapshot expiry: without it, 30-day lineages leak one
+/// `manifest-*.avro` per expired commit). Returns the number of objects
+/// removed.
+Result<int64_t> ExpireManifestFootprint(
+    storage::DistributedFileSystem* dfs, const TableMetadata& metadata);
+
 }  // namespace autocomp::lst

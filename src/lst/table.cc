@@ -4,6 +4,8 @@
 #include <cassert>
 #include <set>
 
+#include "fault/fault_injector.h"
+
 namespace autocomp::lst {
 
 Table::Table(MetadataStore* store, std::string name, const Clock* clock)
@@ -93,6 +95,26 @@ Result<ExpireResult> ExpireSnapshots(MetadataStore* store,
     builder.SetSnapshots(std::move(retained));
     builder.SetLastUpdatedAt(clock->Now());
     AUTOCOMP_ASSIGN_OR_RETURN(TableMetadataPtr next, builder.Build());
+    // Injected commit faults on the maintenance path: a CAS race means a
+    // concurrent writer won the swap before the truncation landed —
+    // recompute the expiry set against the new version, like an organic
+    // conflict below. Anything else configured at the site is terminal.
+    if (fault::FaultInjector* injector = store->fault_injector();
+        injector != nullptr) {
+      const fault::FaultKind kind =
+          injector->Arm(fault::kSiteRetentionExpire, table_name);
+      if (kind == fault::FaultKind::kCasRaceConflict) {
+        if (attempt >= kMaxCasRetries) {
+          return fault::FaultInjector::ToStatus(
+              kind, fault::kSiteRetentionExpire, table_name);
+        }
+        continue;
+      }
+      if (kind != fault::FaultKind::kNone) {
+        return fault::FaultInjector::ToStatus(
+            kind, fault::kSiteRetentionExpire, table_name);
+      }
+    }
     const Status cas = store->CommitTable(table_name, meta->version(), next);
     if (cas.ok()) {
       ExpireResult result;

@@ -357,4 +357,46 @@ Status EventDriver::Run(const std::vector<workload::QueryEvent>& events,
   return Status::OK();
 }
 
+void EventDriver::SaveState(common::BlobWriter* w) const {
+  assert(Quiescent());
+  w->WriteI64(next_sample_);
+  w->WriteI64(next_retention_);
+  w->WriteF64(total_read_seconds_);
+  w->WriteF64(total_write_seconds_);
+  // Table-id interner in id order: the restore re-interns identically,
+  // so NameLess tie-breaks (calendar pop order) survive bit for bit.
+  const int64_t tables = table_ids_.size();
+  w->WriteI64(tables);
+  for (int64_t id = 0; id < tables; ++id) {
+    w->WriteString(table_ids_.NameOf(static_cast<common::TableId>(id)));
+  }
+}
+
+Status EventDriver::SaveStateOrFail(common::BlobWriter* w) const {
+  if (!Quiescent()) {
+    return Status::Internal("cannot checkpoint a non-quiescent driver");
+  }
+  SaveState(w);
+  return Status::OK();
+}
+
+Status EventDriver::RestoreState(common::BlobReader* r) {
+  if (!Quiescent() || table_ids_.size() != 0) {
+    return Status::Internal("EventDriver::RestoreState requires a fresh driver");
+  }
+  next_sample_ = r->ReadI64();
+  next_retention_ = r->ReadI64();
+  total_read_seconds_ = r->ReadF64();
+  total_write_seconds_ = r->ReadF64();
+  const int64_t tables = r->ReadI64();
+  for (int64_t id = 0; id < tables; ++id) {
+    const common::TableId got = table_ids_.Intern(r->ReadString());
+    if (got != static_cast<common::TableId>(id)) {
+      return Status::Internal("driver checkpoint: interner id mismatch");
+    }
+  }
+  if (!r->ok()) return Status::Internal("truncated driver checkpoint");
+  return Status::OK();
+}
+
 }  // namespace autocomp::sim

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/blob.h"
 #include "common/interner.h"
 #include "core/triggers.h"
 #include "engine/compaction_runner.h"
@@ -101,6 +102,29 @@ class EventDriver {
   /// lane's file count cannot change while it dozes. nullopt = the lane
   /// is fully passive until its next event.
   std::optional<SimTime> NextActivityBound() const;
+
+  /// True when nothing is in flight and no decided work is queued — the
+  /// precondition for lane eviction (a PendingCompaction holds an open
+  /// lst::Transaction, which is not checkpointable).
+  bool Quiescent() const { return table_queues_.empty() && inflight_.empty(); }
+
+  /// Next scheduled retention tick (-1 = retention disabled). The fleet
+  /// evictor uses it to compute the first tick that could actually
+  /// expire a snapshot (see fleet_driver.cc).
+  SimTime next_retention() const { return next_retention_; }
+
+  /// \name Lane checkpoint (DESIGN.md §10)
+  /// Serializes the timer scalars, latency accumulators and the table-id
+  /// interner of a *quiescent* driver. RestoreState expects a freshly
+  /// constructed driver over the restored environment: the calendar
+  /// queue needs no state (ArmTimers re-derives every timer entry from
+  /// the scalars on the next advance; a quiescent driver has no
+  /// compaction entries).
+  /// @{
+  void SaveState(common::BlobWriter* w) const;
+  Status SaveStateOrFail(common::BlobWriter* w) const;
+  Status RestoreState(common::BlobReader* r);
+  /// @}
 
  private:
   void SampleNow();

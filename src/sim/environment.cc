@@ -9,7 +9,8 @@ SimEnvironment::SimEnvironment(EnvironmentOptions options)
   nn.seed = options_.seed * 31 + 5;
   dfs_ = std::make_unique<storage::DistributedFileSystem>(
       &clock_, options_.namenode_shards, nn);
-  catalog_ = std::make_unique<catalog::Catalog>(&clock_, dfs_.get());
+  catalog_ =
+      std::make_unique<catalog::Catalog>(&clock_, dfs_.get(), options_.catalog);
   if (options_.fault.enabled) {
     dfs_->SetFaultInjector(fault_injector_.get());
     catalog_->SetFaultInjector(fault_injector_.get());

@@ -27,6 +27,11 @@ struct EnvironmentOptions {
   engine::ClusterOptions query_cluster = {};      // 15 executors default
   engine::ClusterOptions compaction_cluster = {}; // overridden to 3 below
   engine::QueryEngineOptions engine = {};
+  /// Catalog behaviour (metadata-footprint persistence + retention).
+  /// With persist_metadata on, the retention service also reaps the
+  /// manifest objects orphaned by snapshot expiry, so long-horizon
+  /// lineages stop accumulating storage-side metadata.
+  catalog::CatalogOptions catalog = {};
   uint64_t seed = 7;
   /// Pinned compaction-runner id (0 = process-wide counter). See
   /// QueryEngineOptions::writer_id for why the shard-parallel fleet

@@ -8,6 +8,7 @@
 
 #include "common/counter_rng.h"
 #include "common/logging.h"
+#include "sim/lane_checkpoint.h"
 #include "engine/write_planner.h"
 #include "fault/invariant_checker.h"
 #include "format/columnar.h"
@@ -57,6 +58,30 @@ struct FleetSimulation::Lane {
   SimTime next_wake = -1;
   bool hydrated = false;
   bool finalized = false;
+  /// Eviction state (DESIGN.md §10): a dehydrated lane keeps `hydrated`
+  /// true (its planned loads were consumed) but its environment/driver
+  /// are gone, replaced by this compact resumable blob. `last_active` is
+  /// the end of the last epoch the lane was due in; `restore_host_ms`
+  /// accumulates the O(state) rebuild cost (parallel-safe: each lane
+  /// only ever writes its own).
+  std::string checkpoint;
+  bool evicted = false;
+  SimTime last_active = 0;
+  double restore_host_ms = 0;
+  /// Time of this lane's last planned workload event across *all* days
+  /// (-1 = none), precomputed at setup when eviction is on —
+  /// EventsForDay forks a per-day RNG, so scanning the full horizon up
+  /// front draws nothing the replay will draw again. The evictor may
+  /// finalize a lane early only when this is in the past: day_events
+  /// alone only proves the *current* day is drained, and a retired
+  /// lane cannot be re-activated when tomorrow's Zipf picks land on it.
+  SimTime last_event_time = -1;
+  /// Earliest instant the lane could become retire-eligible again: the
+  /// blocking mutating retention tick found by the last failed
+  /// TryRetireLane. A lane past its last workload touch only changes
+  /// state by executing that tick, so re-checking before it has run is
+  /// a wasted catalog scan. -1 = never checked (always attempt).
+  SimTime retire_blocked_until = -1;
   /// Delta-barrier bookkeeping: RPCs this lane already published for
   /// `spill_hour` (work finalizing exactly at an epoch boundary posts
   /// into the *next* hour's bucket), subtracted from the next tally so
@@ -76,6 +101,12 @@ namespace {
 workload::LaneTargets TargetsOf(SimEnvironment* env) {
   return {&env->catalog(), &env->query_engine(), &env->control_plane()};
 }
+
+/// Due lanes advanced per wave when the evictor is on. Retention ticks
+/// cluster at day boundaries (a fleet loaded together expires together),
+/// so a single epoch can wake hundreds of dozing lanes at once; waves
+/// bound how many of those restores are resident simultaneously.
+constexpr size_t kEvictWaveSize = 256;
 
 }  // namespace
 
@@ -116,10 +147,7 @@ void FleetSimulation::PrepareHydration(Lane* lane, int64_t from_hour) {
   }
 }
 
-void FleetSimulation::HydrateLane(Lane* lane) {
-  if (lane->hydrated) return;
-  lane->hydrated = true;
-
+EnvironmentOptions FleetSimulation::LaneEnvironmentOptions(Lane* lane) const {
   EnvironmentOptions env = options_.env;
   // Per-lane seed is a pure function of (master seed, database name):
   // independent of lane enumeration, shard count, pool size — and of
@@ -139,6 +167,16 @@ void FleetSimulation::HydrateLane(Lane* lane) {
                                     CounterRng::HashString(lane->db),
                                     /*index=*/1);
   }
+  // A restored lane keeps recording into the recorder it had before
+  // eviction — the digest stream continues seamlessly.
+  env.trace = lane->trace.get();
+  return env;
+}
+
+void FleetSimulation::HydrateLane(Lane* lane) {
+  if (lane->hydrated) return;
+  lane->hydrated = true;
+
   // Lane recorder: built even at level kOff when armed, so every
   // emission site pays its guard (the bench parity configuration).
   const bool tracing =
@@ -149,9 +187,8 @@ void FleetSimulation::HydrateLane(Lane* lane) {
     trace_options.lane = lane->db;
     trace_options.capacity = options_.trace_capacity;
     lane->trace = std::make_unique<obs::TraceRecorder>(trace_options);
-    env.trace = lane->trace.get();
   }
-  lane->env = std::make_unique<SimEnvironment>(env);
+  lane->env = std::make_unique<SimEnvironment>(LaneEnvironmentOptions(lane));
   lane->env->dfs().SetEpochLoadView(&epoch_load_);
   lane->driver = std::make_unique<EventDriver>(lane->env.get(),
                                                &lane->metrics,
@@ -211,7 +248,7 @@ void FleetSimulation::AdvanceLane(Lane* lane, SimTime epoch_end) {
   if (!st.ok()) lane->status = std::move(st);
 }
 
-void FleetSimulation::PublishLaneDeltas(Lane* lane, SimTime epoch) {
+int64_t FleetSimulation::PublishLaneDeltas(Lane* lane, SimTime epoch) {
   const int64_t tally = lane->env->dfs().RpcsInHour(epoch);
   const int64_t already =
       lane->spill_hour == epoch ? lane->spill_amount : 0;
@@ -224,6 +261,7 @@ void FleetSimulation::PublishLaneDeltas(Lane* lane, SimTime epoch) {
   if (spill > 0) epoch_load_.AddDelta(next_hour, spill);
   lane->spill_hour = next_hour;
   lane->spill_amount = spill;
+  return tally;
 }
 
 void FleetSimulation::MaybeArm(Lane* lane, SimTime at) {
@@ -257,6 +295,213 @@ void FleetSimulation::FinalizeLane(Lane* lane, SimTime end_time,
     lane->driver.reset();
     lane->env.reset();
   }
+}
+
+SimTime FleetSimulation::EffectiveRetentionBound(Lane* lane) const {
+  const SimTime next_tick = lane->driver->next_retention();
+  if (next_tick < 0) return -1;  // retention disabled
+  const SimTime interval = options_.driver.retention_interval;
+  // Earliest instant any snapshot of this lane becomes expirable.
+  // ExpireSnapshots (keep_last=1) retains a snapshot iff it is the
+  // lineage tail, the current snapshot, or `timestamp >= now -
+  // retention`; so snapshot i (i < size-1, id != current) first expires
+  // at `timestamp + retention + 1`. While the lane is evicted its
+  // catalog is frozen — no new snapshot can appear before a wake — so
+  // this threshold can only be conservative.
+  SimTime threshold = -1;
+  for (const std::string& name : lane->env->catalog().ListAllTables()) {
+    auto metadata = lane->env->catalog().LoadTable(name);
+    if (!metadata.ok()) continue;  // surfaced by the next real operation
+    const auto& snapshots = (*metadata)->snapshots();
+    if (snapshots.size() < 2) continue;
+    const SimTime retention =
+        lane->env->control_plane().GetPolicy(name).snapshot_retention;
+    for (size_t i = 0; i + 1 < snapshots.size(); ++i) {
+      if (snapshots[i].snapshot_id == (*metadata)->current_snapshot_id()) {
+        continue;
+      }
+      const SimTime t = snapshots[i].timestamp + retention;
+      if (threshold < 0 || t < threshold) threshold = t;
+      break;  // snapshots are chronological; later ones expire later
+    }
+  }
+  if (threshold < 0) return -1;  // nothing can ever expire while frozen
+  // First tick of the cadence {next_tick, next_tick+interval, ...} at or
+  // after threshold+1. Every tick before it observes an empty expired
+  // set and commits nothing — a provable no-op the restore replays.
+  SimTime tick = next_tick;
+  if (tick <= threshold) {
+    tick += ((threshold + 1 - tick + interval - 1) / interval) * interval;
+  }
+  return tick;
+}
+
+bool FleetSimulation::TryRetireLane(Lane* lane, SimTime now, SimTime end_time,
+                                    SimTime* next_due) {
+  // The lane's next forced residency: its next workload event and the
+  // first retention tick that could actually mutate state. This
+  // deliberately replaces the driver's hourly retention arming — the
+  // skipped ticks are no-ops, which is exactly what makes eviction pay
+  // off.
+  SimTime next = -1;
+  if (lane->next_event < lane->day_events.size()) {
+    next = lane->day_events[lane->next_event].time;
+  }
+  const SimTime retention = EffectiveRetentionBound(lane);
+  if (retention >= 0 && (next < 0 || retention < next)) next = retention;
+  if (next_due != nullptr) *next_due = next;
+
+  // Nothing can ever wake this lane again before the run ends: no
+  // workload event or onboard load left on any remaining day
+  // (`last_event_time` covers the full horizon — `next` alone only
+  // drains the current day) and no retention tick that could mutate
+  // state. Checkpointing it would buy a guaranteed wrap-up restore (the
+  // single largest eviction cost at fleet scale — most lanes end the
+  // replay cold). Its finalization result is already determined — the
+  // only replay left is metric samples, which are value-stable while a
+  // lane dozes — so retire it on the spot: same computation wrap-up
+  // would run, no blob, no restore.
+  if (!((next < 0 || next >= end_time) && lane->last_event_time < now)) {
+    return false;
+  }
+  FinalizeLane(lane, end_time, /*keep_env=*/false);
+  // On a finalization error the env survives FinalizeLane; drop it
+  // anyway so residency accounting stays truthful (the lane's status
+  // carries the failure to collection).
+  lane->service.reset();
+  lane->driver.reset();
+  lane->env.reset();
+  --resident_lanes_;
+  ++lanes_retired_;
+  lane->next_wake = -1;
+  if (options_.on_lane_residency) {
+    options_.on_lane_residency(lane->db, resident_lanes_,
+                               peak_resident_lanes_);
+  }
+  return true;
+}
+
+Status FleetSimulation::EvictLane(Lane* lane, SimTime now,
+                                  SimTime end_time) {
+  // Retire-or-checkpoint: the replacement wake is computed *before*
+  // dropping the driver.
+  SimTime next = -1;
+  if (TryRetireLane(lane, now, end_time, &next)) return Status::OK();
+
+  auto blob = SaveLaneState(lane->env.get(), lane->driver.get());
+  if (!blob.ok()) return blob.status();
+  lane->checkpoint = std::move(*blob);
+  lane->service.reset();
+  lane->driver.reset();
+  lane->env.reset();
+  lane->evicted = true;
+  --resident_lanes_;
+  ++lanes_evicted_;
+  checkpoint_bytes_now_ += static_cast<int64_t>(lane->checkpoint.size());
+  checkpoint_bytes_peak_ =
+      std::max(checkpoint_bytes_peak_, checkpoint_bytes_now_);
+  if (options_.on_lane_residency) {
+    options_.on_lane_residency(lane->db, resident_lanes_,
+                               peak_resident_lanes_);
+  }
+  // Authoritative wake replacement: unlike MaybeArm this may *loosen*
+  // the arming (the hourly tick entries already queued become stale
+  // tombstones, skipped on pop).
+  lane->next_wake = next >= 0 && next < end_time ? next : -1;
+  if (lane->next_wake >= 0) {
+    wake_queue_.ScheduleCompaction(lane->next_wake, lane->index);
+  }
+  return Status::OK();
+}
+
+Status FleetSimulation::EvictColdLanes(SimTime now, SimTime end_time) {
+  // Eviction requires a quiescent driver (a PendingCompaction holds an
+  // open lst::Transaction — not checkpointable) and no per-lane service
+  // (a preset wakes every lane at the trigger cadence anyway, so
+  // dehydration would thrash).
+  if (options_.preset) return Status::OK();
+  if (options_.max_resident_lanes <= 0 && options_.evict_after_idle_hours <= 0) {
+    return Status::OK();
+  }
+  std::vector<Lane*> candidates;
+  for (const auto& lane : lanes_) {
+    if (!lane->hydrated || lane->evicted || lane->finalized ||
+        lane->env == nullptr || !lane->status.ok() ||
+        !lane->driver->Quiescent()) {
+      continue;
+    }
+    // Idle rule, with a near-wake guard: a lane that has been idle past
+    // the threshold but is due to wake *within* it would restore almost
+    // immediately — dehydrating it pays a full save+restore cycle for
+    // one window of residency. Daily writers live exactly in this
+    // regime (idle 23–24 h, due again within 24 h), so without the
+    // guard every hot lane thrashes once per simulated day.
+    const SimTime idle_window =
+        static_cast<SimTime>(options_.evict_after_idle_hours) * kHour;
+    if (options_.evict_after_idle_hours > 0 &&
+        now - lane->last_active >= idle_window &&
+        (lane->next_wake < 0 || lane->next_wake - now >= idle_window)) {
+      AUTOCOMP_RETURN_NOT_OK(EvictLane(lane.get(), now, end_time));
+      continue;
+    }
+    candidates.push_back(lane.get());
+  }
+  if (options_.max_resident_lanes <= 0 ||
+      resident_lanes_ <= options_.max_resident_lanes) {
+    return Status::OK();
+  }
+  // LRU by next-due distance: evict the lanes woken furthest in the
+  // future first, unarmed lanes (nothing scheduled at all) before any
+  // armed one; ties broken by lane index for determinism.
+  std::sort(candidates.begin(), candidates.end(), [](Lane* a, Lane* b) {
+    const bool a_armed = a->next_wake >= 0;
+    const bool b_armed = b->next_wake >= 0;
+    if (a_armed != b_armed) return !a_armed;
+    if (a_armed && a->next_wake != b->next_wake) {
+      return a->next_wake > b->next_wake;
+    }
+    return a->index < b->index;
+  });
+  for (Lane* lane : candidates) {
+    if (resident_lanes_ <= options_.max_resident_lanes) break;
+    AUTOCOMP_RETURN_NOT_OK(EvictLane(lane, now, end_time));
+  }
+  return Status::OK();
+}
+
+void FleetSimulation::PrepareRestore(Lane* lane) {
+  ++resident_lanes_;
+  peak_resident_lanes_ = std::max(peak_resident_lanes_, resident_lanes_);
+  ++lanes_restored_;
+  checkpoint_bytes_now_ -= static_cast<int64_t>(lane->checkpoint.size());
+  if (options_.on_lane_residency) {
+    options_.on_lane_residency(lane->db, resident_lanes_,
+                               peak_resident_lanes_);
+  }
+}
+
+void FleetSimulation::RestoreLane(Lane* lane) {
+  assert(lane->evicted && lane->env == nullptr);
+  const auto start = std::chrono::steady_clock::now();
+  lane->env = std::make_unique<SimEnvironment>(LaneEnvironmentOptions(lane));
+  lane->env->dfs().SetEpochLoadView(&epoch_load_);
+  lane->driver = std::make_unique<EventDriver>(lane->env.get(),
+                                               &lane->metrics,
+                                               options_.driver);
+  Status st = RestoreLaneState(lane->checkpoint, lane->env.get(),
+                               lane->driver.get());
+  if (!st.ok() && lane->status.ok()) {
+    lane->status = Status::Internal("restoring lane " + lane->db + ": " +
+                                    st.message());
+  }
+  lane->checkpoint.clear();
+  lane->checkpoint.shrink_to_fit();
+  lane->evicted = false;
+  lane->env->fault_injector().set_armed(fault_armed_);
+  lane->restore_host_ms +=
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
 }
 
 Result<FleetSimResult> FleetSimulation::Run() {
@@ -305,6 +550,37 @@ Result<FleetSimResult> FleetSimulation::Run() {
   };
   for (workload::FleetWorkload::TableOp& op : fleet.PlanSetup(0)) {
     queue_op(std::move(op));
+  }
+
+  // Early-retirement horizon: with eviction on, scan the full workload
+  // plan once so each lane knows the last instant anything can touch it
+  // — a daily event or an onboarded table. Both generators fork per-day
+  // RNGs, but PlanOnboard registers the new tables it draws (EventsForDay
+  // must be able to target them), so the pre-scan runs on a *throwaway*
+  // workload instance that replays the exact PlanSetup → per-day
+  // PlanOnboard → EventsForDay sequence of the day loop below; the live
+  // `fleet` draws nothing here.
+  if (active && !options_.preset &&
+      (options_.max_resident_lanes > 0 ||
+       options_.evict_after_idle_hours > 0)) {
+    workload::FleetWorkload horizon(options_.fleet);
+    horizon.PlanSetup(0);
+    const auto touch = [&](const std::string& db, SimTime at) {
+      const auto it = lane_by_db.find(db);
+      if (it == lane_by_db.end()) return;
+      Lane* lane = lanes_[static_cast<size_t>(it->second)].get();
+      lane->last_event_time = std::max(lane->last_event_time, at);
+    };
+    for (int day = 0; day < options_.days; ++day) {
+      const SimTime day_start = static_cast<SimTime>(day) * kDay;
+      for (const workload::FleetWorkload::TableOp& op :
+           horizon.PlanOnboard(day, day_start)) {
+        touch(op.db, op.at);
+      }
+      for (const workload::QueryEvent& event : horizon.EventsForDay(day)) {
+        touch(workload::FleetWorkload::DatabaseOf(event), event.time);
+      }
+    }
   }
 
   if (hydrate_all) {
@@ -357,6 +633,13 @@ Result<FleetSimResult> FleetSimulation::Run() {
         Lane* lane =
             lanes_[static_cast<size_t>(lane_by_db.at(op.db))].get();
         if (lane->hydrated) {
+          if (lane->evicted) {
+            // The onboard op needs a live catalog right now (serial
+            // section): restore before materializing.
+            PrepareRestore(lane);
+            RestoreLane(lane);
+            AUTOCOMP_RETURN_NOT_OK(lane->status);
+          }
           // Materialize immediately (serial section), injector paused as
           // the eager path's onboarding sections were. The catch-up
           // advance runs the lane's clock to the boundary first, so
@@ -397,9 +680,8 @@ Result<FleetSimResult> FleetSimulation::Run() {
     }
 
     // Collect this epoch's due lanes. kActive: pop the fleet wake queue
-    // (dropping stale tombstones); unhydrated due lanes do their serial
-    // barrier bookkeeping here, before the parallel section hydrates
-    // them. kAdvanceAll: everything is due, every epoch.
+    // (dropping stale tombstones). kAdvanceAll: everything is due, every
+    // epoch.
     const SimTime epoch_end = epoch + kHour;
     due.clear();
     if (active) {
@@ -415,7 +697,6 @@ Result<FleetSimResult> FleetSimulation::Run() {
         Lane* lane = lanes_[static_cast<size_t>(entry->table)].get();
         if (lane->next_wake != entry->time) continue;  // superseded
         lane->next_wake = -1;
-        if (!lane->hydrated) PrepareHydration(lane, epoch);
         due.push_back(lane->index);
       }
       std::sort(due.begin(), due.end());
@@ -425,46 +706,101 @@ Result<FleetSimResult> FleetSimulation::Run() {
 
     // Advance the due lanes to the end of the epoch, sharded. Lanes are
     // mutually independent here: the epoch load view is frozen, and each
-    // lane's timeout draws are counter-based (lane seed, path, index).
-    for (auto& shard : due_by_shard) shard.clear();
-    for (const int lane_index : due) {
-      due_by_shard[static_cast<size_t>(
-                       lanes_[static_cast<size_t>(lane_index)]->shard)]
-          .push_back(lane_index);
-    }
-    const auto advance_shard = [&](int64_t s) {
-      for (const int lane_index : due_by_shard[static_cast<size_t>(s)]) {
-        Lane* lane = lanes_[static_cast<size_t>(lane_index)].get();
-        if (!lane->hydrated) HydrateLane(lane);
-        AdvanceLane(lane, epoch_end);
+    // lane's timeout draws are counter-based (lane seed, path, index) —
+    // so the set can be processed in bounded *waves*. With the evictor
+    // on, mass wakes (retention ticks cluster at day boundaries, so
+    // hundreds of dozing lanes can restore in one epoch) would otherwise
+    // all be resident simultaneously before the post-epoch sweep; each
+    // wave instead retires its own done lanes before the next wave
+    // hydrates, capping the transient above the steady residency at the
+    // wave size. Serial bookkeeping (Prepare*, barrier deltas, retire)
+    // brackets the parallel advance of each wave.
+    const bool evictor_on =
+        active && !options_.preset &&
+        (options_.max_resident_lanes > 0 ||
+         options_.evict_after_idle_hours > 0);
+    const size_t wave_size =
+        evictor_on ? kEvictWaveSize : std::max<size_t>(due.size(), 1);
+    for (size_t wave_begin = 0; wave_begin < due.size();
+         wave_begin += wave_size) {
+      const size_t wave_end = std::min(due.size(), wave_begin + wave_size);
+      for (size_t i = wave_begin; i < wave_end; ++i) {
+        Lane* lane = lanes_[static_cast<size_t>(due[i])].get();
+        if (!lane->hydrated) {
+          PrepareHydration(lane, epoch);
+        } else if (lane->evicted) {
+          PrepareRestore(lane);
+        }
       }
-    };
-    if (options_.sharded && options_.pool != nullptr) {
-      options_.pool->ParallelFor(static_cast<int64_t>(due_by_shard.size()),
-                                 advance_shard);
-    } else {
-      for (int64_t s = 0; s < static_cast<int64_t>(due_by_shard.size());
-           ++s) {
-        advance_shard(s);
+      for (auto& shard : due_by_shard) shard.clear();
+      for (size_t i = wave_begin; i < wave_end; ++i) {
+        const int lane_index = due[i];
+        due_by_shard[static_cast<size_t>(
+                         lanes_[static_cast<size_t>(lane_index)]->shard)]
+            .push_back(lane_index);
       }
-    }
+      const auto advance_shard = [&](int64_t s) {
+        for (const int lane_index : due_by_shard[static_cast<size_t>(s)]) {
+          Lane* lane = lanes_[static_cast<size_t>(lane_index)].get();
+          if (!lane->hydrated) {
+            HydrateLane(lane);
+          } else if (lane->evicted) {
+            RestoreLane(lane);
+          }
+          AdvanceLane(lane, epoch_end);
+        }
+      };
+      if (options_.sharded && options_.pool != nullptr) {
+        options_.pool->ParallelFor(static_cast<int64_t>(due_by_shard.size()),
+                                   advance_shard);
+      } else {
+        for (int64_t s = 0; s < static_cast<int64_t>(due_by_shard.size());
+             ++s) {
+          advance_shard(s);
+        }
+      }
 
-    // Barrier: fold the touched lanes' tally deltas plus the planned
-    // contribution of still-deferred loads, and publish the hour — next
-    // epoch's timeout probability everywhere. O(touched), not O(lanes).
-    for (const int lane_index : due) {
-      Lane* lane = lanes_[static_cast<size_t>(lane_index)].get();
-      AUTOCOMP_RETURN_NOT_OK(lane->status);
-      PublishLaneDeltas(lane, epoch);
-      if (active) {
-        SimTime next = -1;
-        if (lane->next_event < lane->day_events.size()) {
-          next = lane->day_events[lane->next_event].time;
+      // Barrier bookkeeping for the wave: fold the touched lanes' tally
+      // deltas (the hour itself is published once, after all waves), and
+      // retire lanes that can never wake again rather than carrying them
+      // to the sweep. O(touched), not O(lanes).
+      for (size_t i = wave_begin; i < wave_end; ++i) {
+        Lane* lane = lanes_[static_cast<size_t>(due[i])].get();
+        AUTOCOMP_RETURN_NOT_OK(lane->status);
+        const int64_t tally = PublishLaneDeltas(lane, epoch);
+        // Activity signal for the idle evictor: RPCs issued or work
+        // still inflight. A wake that only replayed no-op ticks leaves
+        // last_active alone, so perpetual hourly retention arming cannot
+        // keep a lane artificially "hot".
+        if (tally != 0 || !lane->driver->Quiescent()) {
+          lane->last_active = epoch_end;
         }
-        if (const auto bound = lane->driver->NextActivityBound()) {
-          if (next < 0 || *bound < next) next = *bound;
+        if (active) {
+          // The horizon gates first: they are plain compares and rule
+          // out every lane with workload left or a known future blocking
+          // tick, so the catalog scan inside TryRetireLane only runs for
+          // genuine retire candidates.
+          // The blocking-tick compare is *inclusive* of epoch_end for
+          // the same reason the wake cutoff is: a tick landing exactly
+          // on the epoch edge has already executed by now.
+          if (evictor_on && lane->last_event_time < epoch_end &&
+              lane->retire_blocked_until <= epoch_end &&
+              lane->driver->Quiescent()) {
+            SimTime next = -1;
+            if (TryRetireLane(lane, epoch_end, end_time, &next)) {
+              continue;  // finalized: nothing left to arm
+            }
+            lane->retire_blocked_until = next;
+          }
+          SimTime next = -1;
+          if (lane->next_event < lane->day_events.size()) {
+            next = lane->day_events[lane->next_event].time;
+          }
+          if (const auto bound = lane->driver->NextActivityBound()) {
+            if (next < 0 || *bound < next) next = *bound;
+          }
+          if (next >= 0 && next < end_time) MaybeArm(lane, next);
         }
-        if (next >= 0 && next < end_time) MaybeArm(lane, next);
       }
     }
     int64_t planned_this_hour = 0;
@@ -484,7 +820,10 @@ Result<FleetSimResult> FleetSimulation::Run() {
     if (options_.check_invariants) {
       const fault::InvariantChecker checker;
       for (const auto& lane : lanes_) {
-        if (!lane->hydrated) continue;
+        // Evicted lanes have no live catalog; their state is frozen, so
+        // the audit that passed before eviction still holds — they are
+        // re-audited on restore paths and at finalization.
+        if (!lane->hydrated || lane->env == nullptr) continue;
         if (Status s = checker.CheckOrFail(lane->env->catalog()); !s.ok()) {
           return Status::Internal("after epoch hour " +
                                   std::to_string(epoch / kHour) + ", lane " +
@@ -492,6 +831,10 @@ Result<FleetSimResult> FleetSimulation::Run() {
         }
       }
     }
+
+    // Post-barrier eviction pass (the tentpole's bounded-residency
+    // budget): dehydrate idle lanes, then enforce the LRU budget.
+    if (active) AUTOCOMP_RETURN_NOT_OK(EvictColdLanes(epoch_end, end_time));
   }
 
   // --- Wrap up. Resident lanes catch up to end_time and finish; cold
@@ -548,13 +891,22 @@ Result<FleetSimResult> FleetSimulation::Run() {
   for (const auto& shard : shard_lanes_) {
     for (const int lane_index : shard) {
       const Lane& lane = *lanes_[static_cast<size_t>(lane_index)];
-      if (lane.hydrated || shares_replay(lane_index)) continue;
-      if (can_ghost && lane.pending.empty() && !lane.ever_had_events) {
-        continue;
-      }
+      // Evicted lanes restore transiently at wrap-up (finalized then
+      // dropped, one at a time per shard) — same peak contribution as a
+      // cold transient hydration.
+      const bool cold_transient =
+          !lane.hydrated && !shares_replay(lane_index) &&
+          !(can_ghost && lane.pending.empty() && !lane.ever_had_events);
+      if (!cold_transient && !lane.evicted) continue;
       ++shards_with_cold;
       break;
     }
+  }
+  // Serial restore bookkeeping for the parallel finalization below.
+  for (const auto& lane : lanes_) {
+    if (!lane->evicted) continue;
+    ++lanes_restored_;
+    checkpoint_bytes_now_ -= static_cast<int64_t>(lane->checkpoint.size());
   }
   peak_resident_lanes_ =
       std::max(peak_resident_lanes_, resident_lanes_ + shards_with_cold);
@@ -571,6 +923,7 @@ Result<FleetSimResult> FleetSimulation::Run() {
         FinalizeLane(lane, end_time, /*keep_env=*/false);
         continue;
       }
+      if (lane->evicted) RestoreLane(lane);
       FinalizeLane(lane, end_time, /*keep_env=*/false);
     }
   };
@@ -644,6 +997,7 @@ Result<FleetSimResult> FleetSimulation::Run() {
     result.total_files += lane->total_files;
     result.open_calls += lane->open_calls;
     result.faults_injected += lane->faults_injected;
+    result.restore_ms += lane->restore_host_ms;
     recorders.push_back(&lane->metrics);
     if (lane->trace != nullptr) {
       result.trace_digest.Combine(lane->trace->digest());
@@ -653,6 +1007,10 @@ Result<FleetSimResult> FleetSimulation::Run() {
   result.metrics = MetricsRecorder::Merge(recorders);
   result.lanes_hydrated = lanes_hydrated_;
   result.peak_resident_lanes = peak_resident_lanes_;
+  result.lanes_evicted = lanes_evicted_;
+  result.lanes_restored = lanes_restored_;
+  result.lanes_retired = lanes_retired_;
+  result.checkpoint_bytes = checkpoint_bytes_peak_;
 
   if (!tracks.empty() && !options_.trace_out.empty()) {
     AUTOCOMP_RETURN_NOT_OK(obs::WriteChromeTrace(tracks, options_.trace_out));

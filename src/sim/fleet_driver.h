@@ -140,13 +140,25 @@ struct FleetSimOptions {
   /// still applies.
   std::string trace_out;
   /// Memory-accounting hook: called from serial coordinator sections as
-  /// lanes hydrate during the replay, with the lane's database, the
-  /// current number of resident (hydrated) lanes, and the peak so far.
-  /// Transient end-of-run finalizations are summarized in the result
-  /// counters instead. Benchmarks use it to audit the sublinear-footprint
-  /// claim without polling the OS.
+  /// lanes hydrate, restore, or are evicted during the replay, with the
+  /// lane's database, the current number of resident (hydrated) lanes,
+  /// and the peak so far. Transient end-of-run finalizations are
+  /// summarized in the result counters instead. Benchmarks use it to
+  /// audit the sublinear-footprint claim without polling the OS.
   std::function<void(const std::string& db, int64_t resident, int64_t peak)>
       on_lane_residency;
+  /// Resident-lane budget (DESIGN.md §10): when > 0, after every epoch
+  /// the evictor dehydrates the coldest quiescent lanes — LRU by
+  /// next-due distance, unarmed lanes first — into compact checkpoints
+  /// until at most this many lanes are resident. 0 = unbounded (the
+  /// historical monotone ramp). Results are bit-identical at any
+  /// budget: an evicted lane restores in O(state) on its next due
+  /// event and replays its deferred no-op ticks exactly. kActive only;
+  /// ignored with a preset (the control loop keeps every lane hot).
+  int64_t max_resident_lanes = 0;
+  /// Idle-based eviction: a quiescent lane untouched for this many
+  /// simulated hours is dehydrated regardless of the budget (0 = off).
+  int evict_after_idle_hours = 0;
 };
 
 /// \brief Outcome of a fleet replay.
@@ -184,6 +196,21 @@ struct FleetSimResult {
   /// share one transient replay per distinct planned-load signature —
   /// their metric streams are identical by construction.
   int64_t lanes_ghosted = 0;
+  /// Evictor activity (0 with an unbounded budget): dehydrations into
+  /// checkpoints, restores from them (mid-run wakes and end-of-run
+  /// finalizations both count), the peak bytes held in checkpoints at
+  /// any instant, and the host milliseconds spent restoring (summed
+  /// across lanes; restores run inside the parallel shard sections).
+  int64_t lanes_evicted = 0;
+  int64_t lanes_restored = 0;
+  /// Lanes the evictor finalized early instead of checkpointing: a lane
+  /// with no future workload event and no retention tick that could
+  /// mutate state can never wake again, so its wrap-up result is
+  /// already determined — it is retired on the spot (no blob, no
+  /// restore). Not counted in lanes_evicted/lanes_restored.
+  int64_t lanes_retired = 0;
+  int64_t checkpoint_bytes = 0;
+  double restore_ms = 0;
 };
 
 /// \brief Lockstep epoch driver over per-database lanes.
@@ -206,6 +233,12 @@ class FleetSimulation {
  private:
   struct Lane;
 
+  /// Per-lane environment options: the template with the lane's derived
+  /// seeds, pinned writer/runner ids and trace recorder applied — the
+  /// same construction whether the lane hydrates fresh or restores from
+  /// a checkpoint (restores must rebuild an *identical* deployment).
+  EnvironmentOptions LaneEnvironmentOptions(Lane* lane) const;
+
   /// Hydrates `lane`: constructs its environment/driver/service, creates
   /// its database, and replays its pending table ops in plan order (with
   /// the lane's injector disarmed, as the eager path's serial-load
@@ -220,8 +253,10 @@ class FleetSimulation {
   void AdvanceLane(Lane* lane, SimTime epoch_end);
   /// O(changed) barrier contribution of a lane advanced through the
   /// epoch starting at `epoch`: publishes this hour's tally delta and
-  /// the next hour's boundary spillover into the load model.
-  void PublishLaneDeltas(Lane* lane, SimTime epoch);
+  /// the next hour's boundary spillover into the load model. Returns
+  /// the lane's RPC tally for the hour — the evictor's activity signal
+  /// (a wake that only replayed no-op ticks tallies zero).
+  int64_t PublishLaneDeltas(Lane* lane, SimTime epoch);
   /// Arms (or tightens) the lane's wake-up in the fleet calendar.
   void MaybeArm(Lane* lane, SimTime at);
   /// Catch-up to `end_time` + FinishRun + totals/digest accounting. When
@@ -229,6 +264,41 @@ class FleetSimulation {
   /// (transient finalization of cold lanes), bounding peak residency;
   /// metrics and trace recorders are always retained for the merge.
   void FinalizeLane(Lane* lane, SimTime end_time, bool keep_env);
+
+  /// \name Lane eviction (DESIGN.md §10)
+  /// @{
+  /// First future retention tick at which this lane's retention service
+  /// could actually expire a snapshot (and thus mutate state): the
+  /// earliest per-table `snapshot timestamp + policy retention`
+  /// threshold, rounded up to the driver's tick cadence. -1 when no
+  /// snapshot can ever expire (retention off, or every table holds only
+  /// its current lineage head) — the deferred ticks in between are
+  /// provable no-ops and replay identically on restore.
+  SimTime EffectiveRetentionBound(Lane* lane) const;
+  /// Finalizes a quiescent lane on the spot when nothing (event, onboard
+  /// load, or mutating retention tick) can ever wake it again before
+  /// `end_time` — no checkpoint, no wrap-up restore. Returns whether the
+  /// lane was retired; `*next_due` (optional) receives the lane's next
+  /// forced-residency instant either way. Serial coordinator sections
+  /// only.
+  bool TryRetireLane(Lane* lane, SimTime now, SimTime end_time,
+                     SimTime* next_due);
+  /// Dehydrates a quiescent lane into `lane->checkpoint`, replaces its
+  /// (hourly) retention arming with the effective bound, and drops the
+  /// environment; retires it instead when TryRetireLane applies. Serial
+  /// coordinator sections only.
+  Status EvictLane(Lane* lane, SimTime now, SimTime end_time);
+  /// Post-barrier eviction pass: idle rule first, then the LRU budget
+  /// rule (victims ordered by furthest next wake, unarmed lanes first).
+  Status EvictColdLanes(SimTime now, SimTime end_time);
+  /// Serial bookkeeping before a restore: residency/peak accounting,
+  /// restore counters, checkpoint-byte release.
+  void PrepareRestore(Lane* lane);
+  /// Rebuilds the lane's environment/driver from its checkpoint (same
+  /// per-lane options as HydrateLane). Safe to call from parallel shard
+  /// sections — all shared bookkeeping happened in PrepareRestore.
+  void RestoreLane(Lane* lane);
+  /// @}
 
   FleetSimOptions options_;
   storage::EpochLoadModel epoch_load_;
@@ -249,6 +319,11 @@ class FleetSimulation {
   int64_t resident_lanes_ = 0;
   int64_t peak_resident_lanes_ = 0;
   int64_t lanes_hydrated_ = 0;
+  int64_t lanes_evicted_ = 0;
+  int64_t lanes_restored_ = 0;
+  int64_t lanes_retired_ = 0;
+  int64_t checkpoint_bytes_now_ = 0;
+  int64_t checkpoint_bytes_peak_ = 0;
   bool ran_ = false;
 };
 

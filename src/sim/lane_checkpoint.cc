@@ -1,0 +1,73 @@
+#include "sim/lane_checkpoint.h"
+
+#include "common/blob.h"
+
+namespace autocomp::sim {
+
+namespace {
+
+// Format tag: catches blobs fed to the wrong decoder (or a stale
+// checkpoint after a format change) before component decoders start
+// mis-reading fields.
+constexpr uint32_t kLaneBlobMagic = 0x4C414E45;  // "LANE"
+constexpr uint32_t kLaneBlobVersion = 2;  // v2: varint ints + interned strings
+
+}  // namespace
+
+Result<std::string> SaveLaneState(SimEnvironment* env, EventDriver* driver) {
+  common::BlobWriter w;
+  w.WriteU32(kLaneBlobMagic);
+  w.WriteU32(kLaneBlobVersion);
+  w.WriteI64(env->clock().Now());
+
+  storage::DistributedFileSystem& dfs = env->dfs();
+  w.WriteI32(dfs.num_shards());
+  for (int i = 0; i < dfs.num_shards(); ++i) {
+    dfs.shard(i).SaveState(&w);
+  }
+  env->catalog().SaveState(&w);
+  env->control_plane().SaveState(&w);
+  env->query_cluster().SaveState(&w);
+  env->compaction_cluster().SaveState(&w);
+  env->query_engine().SaveState(&w);
+  env->compaction_runner().SaveState(&w);
+  env->fault_injector().SaveState(&w);
+  AUTOCOMP_RETURN_NOT_OK(driver->SaveStateOrFail(&w));
+  return w.Take();
+}
+
+Status RestoreLaneState(const std::string& blob, SimEnvironment* env,
+                        EventDriver* driver) {
+  common::BlobReader r(blob);
+  if (r.ReadU32() != kLaneBlobMagic || r.ReadU32() != kLaneBlobVersion) {
+    return Status::Internal("lane checkpoint: bad magic or version");
+  }
+  const SimTime t = r.ReadI64();
+  if (t < env->clock().Now()) {
+    return Status::Internal("lane checkpoint: clock would run backwards");
+  }
+  env->clock().AdvanceTo(t);
+
+  storage::DistributedFileSystem& dfs = env->dfs();
+  const int shards = static_cast<int>(r.ReadI32());
+  if (shards != dfs.num_shards()) {
+    return Status::Internal("lane checkpoint: NameNode shard count mismatch");
+  }
+  for (int i = 0; i < shards; ++i) {
+    AUTOCOMP_RETURN_NOT_OK(dfs.shard(i).RestoreState(&r));
+  }
+  AUTOCOMP_RETURN_NOT_OK(env->catalog().RestoreState(&r));
+  env->control_plane().RestoreState(&r);
+  env->query_cluster().RestoreState(&r);
+  env->compaction_cluster().RestoreState(&r);
+  env->query_engine().RestoreState(&r);
+  env->compaction_runner().RestoreState(&r);
+  env->fault_injector().RestoreState(&r);
+  AUTOCOMP_RETURN_NOT_OK(driver->RestoreState(&r));
+  if (!r.ok() || !r.exhausted()) {
+    return Status::Internal("lane checkpoint: trailing or truncated bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace autocomp::sim

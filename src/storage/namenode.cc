@@ -349,4 +349,126 @@ void NameNode::CountRpc(int64_t n) {
   *rpc_slot_ += n;
 }
 
+void NameNode::SaveState(common::BlobWriter* w) const {
+  const Rng::State rng = rng_.SaveState();
+  for (uint64_t v : rng.state) w->WriteU64(v);
+  w->WriteU64(rng.origin_seed);
+  w->WriteBool(rng.have_cached_normal);
+  w->WriteF64(rng.cached_normal);
+
+  w->WriteU64(files_.size());
+  for (const auto& [path, info] : files_) {
+    // info.path == map key; stored once.
+    w->WriteString(path);
+    w->WriteI64(info.size_bytes);
+    w->WriteI64(info.record_count);
+    w->WriteI64(info.created_at);
+  }
+
+  // Directory interner + per-directory accounting, in id order so the
+  // restore re-interns into identical ids (NFR2: NameLess tie-breaks and
+  // parent links survive byte for byte).
+  const int64_t dir_count = dir_ids_.size();
+  w->WriteI64(dir_count);
+  for (int64_t id = 0; id < dir_count; ++id) {
+    w->WriteString(dir_ids_.NameOf(static_cast<common::StringInterner::Id>(id)));
+  }
+  w->WriteU64(dir_meta_.size());
+  for (const DirEntry& e : dir_meta_) {
+    w->WriteI32(e.parent);
+    w->WriteBool(e.exists);
+    w->WriteI64(e.file_count);
+    w->WriteI64(e.dir_count);
+    w->WriteI64(e.quota);
+  }
+  w->WriteI64(existing_dir_count_);
+  w->WriteI64(active_quota_count_);
+
+  w->WriteI64(stats_.total_objects);
+  w->WriteI64(stats_.file_count);
+  w->WriteI64(stats_.open_calls);
+  w->WriteI64(stats_.create_calls);
+  w->WriteI64(stats_.delete_calls);
+  w->WriteI64(stats_.list_calls);
+  w->WriteI64(stats_.timeouts);
+
+  w->WriteU64(open_calls_by_hour_.size());
+  for (const auto& [hour, n] : open_calls_by_hour_) {
+    w->WriteI64(hour);
+    w->WriteI64(n);
+  }
+  w->WriteU64(rpcs_by_hour_.size());
+  for (const auto& [hour, n] : rpcs_by_hour_) {
+    w->WriteI64(hour);
+    w->WriteI64(n);
+  }
+}
+
+Status NameNode::RestoreState(common::BlobReader* r) {
+  if (dir_ids_.size() != 0 || !files_.empty()) {
+    return Status::Internal("NameNode::RestoreState requires a fresh node");
+  }
+  Rng::State rng;
+  for (uint64_t& v : rng.state) v = r->ReadU64();
+  rng.origin_seed = r->ReadU64();
+  rng.have_cached_normal = r->ReadBool();
+  rng.cached_normal = r->ReadF64();
+  rng_.RestoreState(rng);
+
+  const uint64_t file_count = r->ReadU64();
+  for (uint64_t i = 0; i < file_count; ++i) {
+    FileInfo info;
+    info.path = r->ReadString();
+    info.size_bytes = r->ReadI64();
+    info.record_count = r->ReadI64();
+    info.created_at = r->ReadI64();
+    std::string key = info.path;
+    files_.emplace(std::move(key), std::move(info));
+  }
+
+  const int64_t dir_count = r->ReadI64();
+  for (int64_t id = 0; id < dir_count; ++id) {
+    const common::StringInterner::Id got = dir_ids_.Intern(r->ReadString());
+    if (got != static_cast<common::StringInterner::Id>(id)) {
+      return Status::Internal("NameNode checkpoint: interner id mismatch");
+    }
+  }
+  dir_meta_.resize(r->ReadU64());
+  for (DirEntry& e : dir_meta_) {
+    e.parent = r->ReadI32();
+    e.exists = r->ReadBool();
+    e.file_count = r->ReadI64();
+    e.dir_count = r->ReadI64();
+    e.quota = r->ReadI64();
+  }
+  existing_dir_count_ = r->ReadI64();
+  active_quota_count_ = r->ReadI64();
+
+  stats_.total_objects = r->ReadI64();
+  stats_.file_count = r->ReadI64();
+  stats_.open_calls = r->ReadI64();
+  stats_.create_calls = r->ReadI64();
+  stats_.delete_calls = r->ReadI64();
+  stats_.list_calls = r->ReadI64();
+  stats_.timeouts = r->ReadI64();
+
+  const uint64_t open_hours = r->ReadU64();
+  for (uint64_t i = 0; i < open_hours; ++i) {
+    const SimTime hour = r->ReadI64();
+    open_calls_by_hour_[hour] = r->ReadI64();
+  }
+  const uint64_t rpc_hours = r->ReadU64();
+  for (uint64_t i = 0; i < rpc_hours; ++i) {
+    const SimTime hour = r->ReadI64();
+    rpcs_by_hour_[hour] = r->ReadI64();
+  }
+  // Invalidate the per-hour slot caches: they point into the old maps.
+  rpc_hour_ = -1;
+  rpc_slot_ = nullptr;
+  open_hour_ = -1;
+  open_slot_ = nullptr;
+  if (!r->ok()) return Status::Internal("truncated NameNode checkpoint");
+  return Status::OK();
+}
+
 }  // namespace autocomp::storage

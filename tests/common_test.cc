@@ -246,6 +246,37 @@ TEST(RngTest, ZipfZeroExponentIsUniform) {
   for (int c : counts) EXPECT_NEAR(c, 2000, 250);
 }
 
+TEST(RngTest, ZipfMemoIsBoundedAcrossExponentSweep) {
+  // The per-exponent weight memo must be a small LRU, not an unbounded
+  // thread-local vector: a workload sweeping many exponents (e.g. a
+  // tuner scanning skew settings) must not grow memory linearly.
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    (void)rng.Zipf(64, 0.5 + 0.01 * i);
+  }
+  EXPECT_LE(Rng::ZipfMemoCountForTesting(), 8);
+}
+
+TEST(RngTest, ZipfDrawsAreStableAcrossMemoEviction) {
+  // Recomputing an evicted memo entry must reproduce bit-identical
+  // weights: the same seed draws the same ranks before and after the
+  // entry was evicted and rebuilt.
+  std::vector<int64_t> before;
+  {
+    Rng rng(99);
+    for (int i = 0; i < 32; ++i) before.push_back(rng.Zipf(100, 1.3));
+  }
+  // Thrash the memo far past its capacity so s=1.3 is evicted.
+  Rng thrash(5);
+  for (int i = 0; i < 50; ++i) (void)thrash.Zipf(16, 2.0 + 0.03 * i);
+  {
+    Rng rng(99);
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(rng.Zipf(100, 1.3), before[static_cast<size_t>(i)]) << i;
+    }
+  }
+}
+
 TEST(RngTest, WeightedIndexRespectsWeights) {
   Rng rng(7);
   std::vector<double> weights = {0.0, 1.0, 3.0};

@@ -69,6 +69,12 @@ struct Flags {
   /// the default) or "eager" (hydrate/advance every lane every epoch).
   /// Results are bit-identical; only wall-clock and footprint differ.
   std::string lane_mode = "active";
+  /// fleetsim: resident-lane budget — after each epoch, coldest lanes
+  /// beyond this count dehydrate into checkpoints (0 = unbounded).
+  int64_t max_resident_lanes = 0;
+  /// fleetsim: idle rule — evict lanes with no real work for this many
+  /// simulated hours, regardless of the budget (0 = off).
+  int evict_after_idle_hours = 0;
   /// Fault injection profile ("none" leaves the injector disabled).
   std::string fault_profile = "none";
   /// Seed for the injector's counter-RNG draws.
@@ -98,6 +104,8 @@ void PrintUsage() {
       "                    [--cross-check-stats-index]\n"
       "                    [--sim-shards=K] [--no-sharded-sim]\n"
       "                    [--lane-mode=active|eager]\n"
+      "                    [--max-resident-lanes=N]\n"
+      "                    [--evict-after-idle-hours=N]\n"
       "                    [--fault-profile=none|timeouts|conflicts|chaos]\n"
       "                    [--fault-seed=N] [--fault-retries=N]\n"
       "                    [--check-invariants]\n"
@@ -115,6 +123,14 @@ void PrintUsage() {
       "                           each epoch; \"eager\" is the historical\n"
       "                           advance-everything reference. Results\n"
       "                           are bit-identical either way\n"
+      "  --max-resident-lanes=N   fleetsim: hard resident-lane budget —\n"
+      "                           after each epoch the coldest lanes over\n"
+      "                           the budget dehydrate into in-memory\n"
+      "                           checkpoints and restore on their next\n"
+      "                           due event (0 = unbounded). Results are\n"
+      "                           bit-identical at any budget\n"
+      "  --evict-after-idle-hours=N  fleetsim: also dehydrate any lane\n"
+      "                           idle for N simulated hours (0 = off)\n"
       "  --pool-size=N            pipeline worker threads (0 = all cores,\n"
       "                           1 = sequential); results are identical\n"
       "                           at any setting, only wall-clock changes\n"
@@ -186,6 +202,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->sim_shards = std::atoi(v);
     } else if (const char* v = value_of("--lane-mode")) {
       flags->lane_mode = v;
+    } else if (const char* v = value_of("--max-resident-lanes")) {
+      flags->max_resident_lanes = std::atoll(v);
+    } else if (const char* v = value_of("--evict-after-idle-hours")) {
+      flags->evict_after_idle_hours = std::atoi(v);
     } else if (const char* v = value_of("--fault-profile")) {
       flags->fault_profile = v;
     } else if (const char* v = value_of("--fault-seed")) {
@@ -584,6 +604,8 @@ int RunFleetSim(const Flags& flags) {
   options.driver.sample_interval = 4 * kHour;
   options.driver.retention_interval = kDay;
   options.check_invariants = flags.check_invariants;
+  options.max_resident_lanes = flags.max_resident_lanes;
+  options.evict_after_idle_hours = flags.evict_after_idle_hours;
   if (flags.lane_mode == "eager") {
     options.lane_mode = sim::LaneMode::kAdvanceAll;
   } else if (flags.lane_mode != "active") {
@@ -680,6 +702,18 @@ int RunFleetSim(const Flags& flags) {
                     std::to_string(result->peak_resident_lanes) +
                     ", ghosted " + std::to_string(result->lanes_ghosted) +
                     ")"});
+  if (flags.max_resident_lanes > 0 || flags.evict_after_idle_hours > 0) {
+    table.AddRow({"lanes evicted",
+                  std::to_string(result->lanes_evicted) + " (retired early " +
+                      std::to_string(result->lanes_retired) + ")"});
+    table.AddRow({"lanes restored",
+                  std::to_string(result->lanes_restored) + " (" +
+                      sim::Fmt(result->restore_ms, 1) + " ms host)"});
+    table.AddRow(
+        {"checkpoint peak",
+         sim::Fmt(static_cast<double>(result->checkpoint_bytes) / kMiB, 2) +
+             " MiB"});
+  }
   table.AddRow({"setup (ms)", sim::Fmt(result->setup_ms, 1)});
   table.AddRow({"wall-clock (ms)", sim::Fmt(wall_ms, 1)});
   table.AddRow(

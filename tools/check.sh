@@ -9,6 +9,12 @@
 #       lcov/genhtml installed an HTML report lands in
 #       build-cov/coverage-html; without them a raw-gcov aggregate is
 #       used. Fails when aggregate line coverage is below 80%.
+#   tools/check.sh rss [jobs]
+#       Footprint report: builds the default tree, then runs every test
+#       binary under tools/rss_runner (fork/exec/wait4) and prints one
+#       peak-RSS line per suite, sorted descending — the quick way to
+#       spot a suite whose memory crept up without rerunning the bench.
+#       Fails if any suite exits nonzero.
 #
 # Build trees:
 #   build/       - default RelWithDebInfo, full ctest suite
@@ -80,8 +86,38 @@ coverage_check() {
   echo "Coverage check passed."
 }
 
+rss_check() {
+  local jobs="$1"
+  run cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  run cmake --build build -j "$jobs"
+  local failures=0 report=""
+  for t in build/tests/*_test; do
+    [[ -x "$t" ]] || continue
+    echo "==> rss_runner $t"
+    local line
+    if ! line=$(./build/tools/rss_runner "$t" | tail -n 1); then
+      echo "FAIL: $t exited nonzero"
+      failures=$((failures + 1))
+      continue
+    fi
+    report+="$line"$'\n'
+  done
+  echo
+  echo "peak RSS per test suite (wait4 ru_maxrss, descending):"
+  printf '%s' "$report" | sort -k2 -rn
+  if (( failures > 0 )); then
+    echo "FAIL: $failures suite(s) exited nonzero"
+    exit 1
+  fi
+}
+
 if [[ "${1:-}" == "coverage" ]]; then
   coverage_check "${2:-$(nproc)}"
+  exit 0
+fi
+
+if [[ "${1:-}" == "rss" ]]; then
+  rss_check "${2:-$(nproc)}"
   exit 0
 fi
 

@@ -1,0 +1,53 @@
+/// \file rss_runner.cc
+/// \brief fork/exec/wait4 wrapper reporting a child's peak RSS.
+///
+/// `tools/check.sh rss` runs every test binary under this wrapper and
+/// prints one "RSS <MB> <name>" line per suite from wait4's ru_maxrss —
+/// the same getrusage accounting bench_sim_throughput's forked scale
+/// configs use, so a test whose footprint creeps up is visible without
+/// rerunning the full bench. Exit status is the child's.
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: rss_runner <command> [args...]\n");
+    return 2;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 2;
+  }
+  if (pid == 0) {
+    execvp(argv[1], argv + 1);
+    std::perror(argv[1]);
+    _exit(127);
+  }
+  struct rusage ru;
+  std::memset(&ru, 0, sizeof ru);
+  int status = 0;
+  if (wait4(pid, &status, 0, &ru) != pid) {
+    std::perror("wait4");
+    return 2;
+  }
+  // Linux reports ru_maxrss in kilobytes.
+  std::printf("RSS %.1f MB %s\n", static_cast<double>(ru.ru_maxrss) / 1024.0,
+              argv[1]);
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return 2;
+}
+#else
+int main() {
+  std::fprintf(stderr, "rss_runner: getrusage child accounting needs a "
+                       "unix platform\n");
+  return 2;
+}
+#endif
