@@ -29,6 +29,13 @@ struct TablePolicy {
   bool clustering_enabled = false;
   /// Tenant-facing priority hint (1 = normal); multiplies ranking scores.
   double priority = 1.0;
+  /// Per-table compaction-policy override: a core::PolicySpec string
+  /// (core/policy.h), e.g.
+  /// "trigger=staleness;granularity=table;movement=merge;picker=moop".
+  /// Empty = inherit the service's fleet-wide policy. The scheduler
+  /// applies the movement axis per request; unparsable strings are
+  /// ignored (the service cannot crash on a bad catalog entry).
+  std::string compaction_policy;
 };
 
 /// \brief Result of one retention-service sweep.
@@ -89,6 +96,7 @@ class ControlPlane {
       w->WriteBool(p.compaction_enabled);
       w->WriteBool(p.clustering_enabled);
       w->WriteF64(p.priority);
+      w->WriteString(p.compaction_policy);
     }
   }
   void RestoreState(common::BlobReader* r) {
@@ -102,6 +110,7 @@ class ControlPlane {
       p.compaction_enabled = r->ReadBool();
       p.clustering_enabled = r->ReadBool();
       p.priority = r->ReadF64();
+      p.compaction_policy = r->ReadString();
       policies_.emplace(std::move(name), p);
     }
   }

@@ -1,0 +1,159 @@
+#include "core/merge_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "common/units.h"
+
+namespace autocomp::core {
+
+size_t MergeAllPolicy::MergeCount(const std::vector<int64_t>& stack,
+                                  size_t) const {
+  return stack.size();
+}
+
+size_t LazyMergePolicy::MergeCount(const std::vector<int64_t>&,
+                                   size_t) const {
+  return 2;
+}
+
+size_t GeometricMergePolicy::MergeCount(const std::vector<int64_t>& stack,
+                                        size_t) const {
+  assert(stack.size() >= 2);
+  size_t count = 2;
+  int64_t merged = stack[stack.size() - 1] + stack[stack.size() - 2];
+  while (count < stack.size()) {
+    const int64_t older = stack[stack.size() - 1 - count];
+    if (static_cast<double>(older) > ratio_ * static_cast<double>(merged)) {
+      break;
+    }
+    merged += older;
+    ++count;
+  }
+  return count;
+}
+
+int64_t SimulateOnlineMergeCost(const std::vector<int64_t>& arrivals,
+                                size_t k, const OnlineMergePolicy& policy) {
+  assert(k >= 1);
+  std::vector<int64_t> stack;
+  int64_t cost = 0;
+  for (int64_t size : arrivals) {
+    stack.push_back(size);
+    while (stack.size() > k) {
+      size_t merge = policy.MergeCount(stack, k);
+      merge = std::max<size_t>(2, std::min(merge, stack.size()));
+      int64_t merged = 0;
+      for (size_t i = stack.size() - merge; i < stack.size(); ++i) {
+        merged += stack[i];
+      }
+      stack.resize(stack.size() - merge);
+      stack.push_back(merged);
+      cost += merged;
+    }
+  }
+  return cost;
+}
+
+namespace {
+
+/// Memoized minimum remaining cost from (next arrival index, stack).
+/// States are keyed by the stack contents — two schedules reaching the
+/// same stack at the same index have identical futures.
+struct OracleMemo {
+  const std::vector<int64_t>* arrivals;
+  size_t k;
+  std::map<std::pair<size_t, std::vector<int64_t>>, int64_t> memo;
+
+  int64_t Solve(size_t index, std::vector<int64_t> stack) {
+    if (index == arrivals->size()) {
+      // Trailing merges only add cost; an in-budget stack is done.
+      return stack.size() <= k ? 0 : ForcedMergeMin(index, std::move(stack));
+    }
+    if (stack.size() > k) return ForcedMergeMin(index, std::move(stack));
+    const auto key = std::make_pair(index, stack);
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+    // Option 1: take the next arrival with the stack as-is.
+    std::vector<int64_t> next = stack;
+    next.push_back((*arrivals)[index]);
+    int64_t best = Solve(index + 1, std::move(next));
+    // Option 2: a voluntary merge of any newest suffix first.
+    for (size_t merge = 2; merge <= stack.size(); ++merge) {
+      best = std::min(best, MergeThenSolve(index, stack, merge));
+    }
+    memo.emplace(key, best);
+    return best;
+  }
+
+  int64_t MergeThenSolve(size_t index, const std::vector<int64_t>& stack,
+                         size_t merge) {
+    int64_t merged = 0;
+    for (size_t i = stack.size() - merge; i < stack.size(); ++i) {
+      merged += stack[i];
+    }
+    std::vector<int64_t> next(stack.begin(), stack.end() - merge);
+    next.push_back(merged);
+    return merged + Solve(index, std::move(next));
+  }
+
+  /// Over-budget stack: some merge is mandatory before anything else.
+  int64_t ForcedMergeMin(size_t index, std::vector<int64_t> stack) {
+    int64_t best = std::numeric_limits<int64_t>::max();
+    for (size_t merge = 2; merge <= stack.size(); ++merge) {
+      best = std::min(best, MergeThenSolve(index, stack, merge));
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+int64_t OfflineOptimalMergeCost(const std::vector<int64_t>& arrivals,
+                                size_t k) {
+  assert(k >= 1);
+  OracleMemo oracle{&arrivals, k, {}};
+  return oracle.Solve(0, {});
+}
+
+MergeCompetitiveRatio CompetitiveRatioFor(
+    const std::vector<int64_t>& arrivals, size_t k,
+    const OnlineMergePolicy& policy) {
+  MergeCompetitiveRatio out;
+  out.online_cost = SimulateOnlineMergeCost(arrivals, k, policy);
+  out.offline_cost = OfflineOptimalMergeCost(arrivals, k);
+  out.ratio = out.offline_cost > 0 ? static_cast<double>(out.online_cost) /
+                                         static_cast<double>(out.offline_cost)
+                                   : 1.0;
+  return out;
+}
+
+std::vector<std::shared_ptr<const OnlineMergePolicy>> BuiltinMergePolicies() {
+  return {std::make_shared<MergeAllPolicy>(),
+          std::make_shared<LazyMergePolicy>(),
+          std::make_shared<GeometricMergePolicy>()};
+}
+
+double MergePressureScore(const std::vector<int64_t>& file_sizes, size_t k) {
+  if (k < 1 || file_sizes.size() <= k) return 0;
+  // Sizes ascending: the smallest files stand in for the newest runs
+  // (fresh writes are the small ones), so the planned merge is the
+  // cheap suffix the geometric policy would fold first.
+  std::vector<int64_t> stack = file_sizes;
+  std::sort(stack.begin(), stack.end(), std::greater<int64_t>());
+  const GeometricMergePolicy policy;
+  const size_t merge =
+      std::max<size_t>(2, std::min(policy.MergeCount(stack, k), stack.size()));
+  int64_t merged_bytes = 0;
+  for (size_t i = stack.size() - merge; i < stack.size(); ++i) {
+    merged_bytes += stack[i];
+  }
+  if (merged_bytes <= 0) return 0;
+  return static_cast<double>(merge - 1) * static_cast<double>(kGiB) /
+         static_cast<double>(merged_bytes);
+}
+
+}  // namespace autocomp::core

@@ -1,0 +1,116 @@
+/// \file merge_policy.h
+/// \brief Bigtable-style k-way online merge compaction, with an
+/// offline-optimal oracle.
+///
+/// The merge-compaction model (Mathieu et al., "Bigtable merge
+/// compaction", PAPERS.md): runs of sizes a_1..a_n arrive one at a
+/// time; the system may hold at most `k` runs, so after an arrival
+/// overflows the stack some newest suffix of runs must be merged into
+/// one. Merging runs costs the sum of their bytes (everything merged is
+/// rewritten). An *online* policy sees only the current stack; the
+/// *offline optimum* knows the whole arrival trace. The ratio of the
+/// two is the policy's competitive ratio — the principled yardstick the
+/// policy sweep reports per workload archetype (EXPERIMENTS.md).
+///
+/// The pipeline uses this model two ways: the OnlineMergeRanker
+/// (ranking.h) scores candidates by their k-way merge pressure, and the
+/// oracle prices completed traces so the sweep bench can report how far
+/// each online policy lands from optimal.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace autocomp::core {
+
+/// \brief Chooses how many of the newest runs to merge when the stack
+/// exceeds the budget. Implementations must be pure functions of the
+/// stack (determinism; NFR2).
+class OnlineMergePolicy {
+ public:
+  virtual ~OnlineMergePolicy() = default;
+  virtual std::string name() const = 0;
+  /// `stack` is oldest-to-newest run sizes, with stack.size() == k + 1
+  /// (an arrival just overflowed the budget). Returns how many of the
+  /// newest runs to merge, in [2, stack.size()].
+  virtual size_t MergeCount(const std::vector<int64_t>& stack,
+                            size_t k) const = 0;
+};
+
+/// \brief Merge everything into one run (the naive baseline — minimal
+/// read amplification, maximal write amplification).
+class MergeAllPolicy final : public OnlineMergePolicy {
+ public:
+  std::string name() const override { return "merge-all"; }
+  size_t MergeCount(const std::vector<int64_t>& stack,
+                    size_t k) const override;
+};
+
+/// \brief Merge only the two newest runs (the laziest legal move —
+/// minimal bytes per step; can re-pay the same bytes many times).
+class LazyMergePolicy final : public OnlineMergePolicy {
+ public:
+  std::string name() const override { return "lazy"; }
+  size_t MergeCount(const std::vector<int64_t>& stack,
+                    size_t k) const override;
+};
+
+/// \brief Geometric (Bigtable-style) policy: starting from the two
+/// newest runs, keep absorbing the next older run while it is at most
+/// `ratio` times the suffix merged so far — maintaining an
+/// approximately geometric stack, the shape that yields logarithmic
+/// write amplification.
+class GeometricMergePolicy final : public OnlineMergePolicy {
+ public:
+  explicit GeometricMergePolicy(double ratio = 2.0) : ratio_(ratio) {}
+  std::string name() const override { return "geometric"; }
+  size_t MergeCount(const std::vector<int64_t>& stack,
+                    size_t k) const override;
+
+ private:
+  double ratio_;
+};
+
+/// \brief Replays `arrivals` under `policy` with stack budget `k`;
+/// returns total bytes written across all forced merges. A trace that
+/// never overflows the budget costs 0.
+int64_t SimulateOnlineMergeCost(const std::vector<int64_t>& arrivals,
+                                size_t k, const OnlineMergePolicy& policy);
+
+/// \brief Minimum total merge cost any schedule can achieve on
+/// `arrivals` with stack budget `k`, by memoized exhaustive search over
+/// stack states (each state is a contiguous partition of the arrivals
+/// seen so far; after each arrival the schedule may merge any newest
+/// suffix, or nothing if the stack fits). Exponential in principle —
+/// intended for traces of up to ~18 arrivals (tests and the sweep's
+/// per-archetype ratio report).
+int64_t OfflineOptimalMergeCost(const std::vector<int64_t>& arrivals,
+                                size_t k);
+
+/// \brief An online policy's cost vs the offline optimum on one trace.
+struct MergeCompetitiveRatio {
+  int64_t online_cost = 0;
+  int64_t offline_cost = 0;
+  /// online/offline; 1.0 when both are 0 (nothing to merge). Always
+  /// >= 1.0 and finite for any legal policy.
+  double ratio = 1.0;
+};
+
+MergeCompetitiveRatio CompetitiveRatioFor(
+    const std::vector<int64_t>& arrivals, size_t k,
+    const OnlineMergePolicy& policy);
+
+/// \brief The built-in online policies, for ratio sweeps.
+std::vector<std::shared_ptr<const OnlineMergePolicy>> BuiltinMergePolicies();
+
+/// \brief Merge pressure of a file stack under budget `k`: plans the
+/// geometric policy's forced merge over the candidate's small files
+/// (sizes ascending = newest-first proxy) and returns files eliminated
+/// per GiB written, 0 when the stack fits the budget. The
+/// OnlineMergeRanker's scoring function.
+double MergePressureScore(const std::vector<int64_t>& file_sizes, size_t k);
+
+}  // namespace autocomp::core

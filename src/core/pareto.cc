@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 
 namespace autocomp::core {
 
@@ -109,6 +110,40 @@ std::vector<WeightSweepRow> SweepWeights(
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+void MarkPolicyFrontier(std::vector<PolicyOutcome>* outcomes) {
+  // Per-archetype min-min dominance: mapped onto the existing sweep by
+  // treating negated GBHr as the benefit axis.
+  std::map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < outcomes->size(); ++i) {
+    (*outcomes)[i].on_frontier = false;
+    groups[(*outcomes)[i].archetype].push_back(i);
+  }
+  for (const auto& [archetype, members] : groups) {
+    std::vector<size_t> order = members;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const PolicyOutcome& pa = (*outcomes)[a];
+      const PolicyOutcome& pb = (*outcomes)[b];
+      if (pa.read_latency_s != pb.read_latency_s) {
+        return pa.read_latency_s < pb.read_latency_s;
+      }
+      return pa.gb_hours < pb.gb_hours;
+    });
+    double best_gbhr = std::numeric_limits<double>::infinity();
+    double frontier_latency = std::numeric_limits<double>::quiet_NaN();
+    for (size_t idx : order) {
+      PolicyOutcome& p = (*outcomes)[idx];
+      if (p.gb_hours < best_gbhr) {
+        p.on_frontier = true;
+        best_gbhr = p.gb_hours;
+        frontier_latency = p.read_latency_s;
+      } else if (p.gb_hours == best_gbhr &&
+                 p.read_latency_s == frontier_latency) {
+        p.on_frontier = true;  // co-optimal duplicate
+      }
+    }
+  }
 }
 
 }  // namespace autocomp::core

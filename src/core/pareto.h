@@ -76,4 +76,24 @@ std::vector<WeightSweepRow> SweepWeights(
     const std::string& benefit_trait, const std::string& cost_trait,
     int steps = 11);
 
+/// \brief One measured policy point of the sweep harness: a PolicySpec
+/// run against a workload archetype, measured in (compaction GBHr,
+/// mean read latency) — both axes minimized. The frontier over these
+/// is the design space's cost/performance trade-off curve
+/// (BENCH_policy.json; the tuning loop searches along it).
+struct PolicyOutcome {
+  /// Canonical PolicySpec string (core/policy.h).
+  std::string spec;
+  /// Workload archetype the point was measured on.
+  std::string archetype;
+  double gb_hours = 0;
+  double read_latency_s = 0;
+  bool on_frontier = false;
+};
+
+/// \brief Marks the non-dominated points within each archetype group
+/// (both axes minimized; ties keep every co-optimal point). Points from
+/// different archetypes never dominate each other.
+void MarkPolicyFrontier(std::vector<PolicyOutcome>* outcomes);
+
 }  // namespace autocomp::core

@@ -206,6 +206,16 @@ Result<PipelineRunReport> AutoCompPipeline::Run(std::vector<Candidate> pool,
   report.selected = stages_.selector->Select(report.ranked);
   report.timings.decide_ms = MsSince(phase_start);
   if (trace != nullptr && trace->enabled(obs::TraceLevel::kDecisions)) {
+    // Non-default policies stamp each decide phase with their spec (the
+    // per-policy decide span of the sweep bench). Gated on the label so
+    // the default policy's trace — and the pinned golden digest — stay
+    // byte-identical to the pre-decomposition pipeline.
+    if (!stages_.policy_label.empty()) {
+      trace->Instant(obs::TraceLevel::kDecisions, obs::SpanCategory::kDecision,
+                     "decide.policy", report.started_at,
+                     "spec=" + stages_.policy_label,
+                     static_cast<double>(report.ranked.size()));
+    }
     // The full ranking, in rank order, then every winner with the trait
     // vector that scored it — the decision-audit tests replay these
     // against the report's own ranked/selected lists.

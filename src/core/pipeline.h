@@ -103,6 +103,13 @@ class AutoCompPipeline {
     /// pipeline. Payloads are pure functions of simulated state — the
     /// wall-clock phase timings stay in PipelinePhaseTimings only.
     obs::TraceRecorder* trace = nullptr;
+    /// Canonical PolicySpec string of the policy these stages realize,
+    /// when it differs from the default (core/policy.h). Presets leave
+    /// this empty for the default policy so traces — including the
+    /// pinned golden trace — are byte-identical to the
+    /// pre-decomposition pipeline; a non-empty label adds one
+    /// "decide.policy" instant per decide phase at kDecisions.
+    std::string policy_label;
   };
 
   AutoCompPipeline(Stages stages, catalog::Catalog* catalog,

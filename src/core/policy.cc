@@ -1,0 +1,361 @@
+#include "core/policy.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/triggers.h"
+#include "engine/compaction_runner.h"
+
+namespace autocomp::core {
+
+namespace {
+
+/// Shortest %g form that survives a strtod round trip for the simple
+/// parameter values the axes use (counts, ratios, hours).
+std::string FmtParam(double value) {
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", value);
+  return buf;
+}
+
+Status MakeError(PolicySpec::ParseError* out, std::string axis,
+                 std::string token, std::string reason) {
+  Status status = Status::InvalidArgument("policy: axis=" + axis +
+                                          " token=" + token +
+                                          " reason=" + reason);
+  if (out != nullptr) {
+    out->axis = std::move(axis);
+    out->token = std::move(token);
+    out->reason = std::move(reason);
+  }
+  return status;
+}
+
+}  // namespace
+
+const char* TriggerAxisName(TriggerAxis trigger) {
+  switch (trigger) {
+    case TriggerAxis::kPeriodic:
+      return "periodic";
+    case TriggerAxis::kFileCount:
+      return "file-count";
+    case TriggerAxis::kSizeRatio:
+      return "size-ratio";
+    case TriggerAxis::kStaleness:
+      return "staleness";
+    case TriggerAxis::kDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+const char* GranularityAxisName(GranularityAxis granularity) {
+  switch (granularity) {
+    case GranularityAxis::kPartition:
+      return "partition";
+    case GranularityAxis::kTable:
+      return "table";
+    case GranularityAxis::kFleet:
+      return "fleet";
+  }
+  return "unknown";
+}
+
+const char* PickerAxisName(PickerAxis picker) {
+  switch (picker) {
+    case PickerAxis::kMoop:
+      return "moop";
+    case PickerAxis::kSorted:
+      return "sorted";
+    case PickerAxis::kGreedySizeRatio:
+      return "greedy-size-ratio";
+    case PickerAxis::kOnlineMerge:
+      return "online-merge";
+  }
+  return "unknown";
+}
+
+double DefaultTriggerParam(TriggerAxis trigger) {
+  switch (trigger) {
+    case TriggerAxis::kPeriodic:
+      return 0;
+    case TriggerAxis::kFileCount:
+      return 16;
+    case TriggerAxis::kSizeRatio:
+      return 4;
+    case TriggerAxis::kStaleness:
+      return 6;
+    case TriggerAxis::kDeadline:
+      return 24;
+  }
+  return 0;
+}
+
+double DefaultPickerParam(PickerAxis picker) {
+  return picker == PickerAxis::kOnlineMerge ? 4 : 0;
+}
+
+PolicySpec::PolicySpec() : movement(engine::RewriteMovement::kPartial) {}
+
+PolicySpec PolicySpec::Default() { return PolicySpec(); }
+
+std::string PolicySpec::ToString() const {
+  std::string out = "trigger=";
+  out += TriggerAxisName(trigger);
+  if (trigger_param != DefaultTriggerParam(trigger)) {
+    out += ':';
+    out += FmtParam(trigger_param);
+  }
+  out += ";granularity=";
+  out += GranularityAxisName(granularity);
+  out += ";movement=";
+  out += engine::RewriteMovementName(movement);
+  out += ";picker=";
+  out += PickerAxisName(picker);
+  if (picker_param != DefaultPickerParam(picker)) {
+    out += ':';
+    out += FmtParam(picker_param);
+  }
+  return out;
+}
+
+Status PolicySpec::Validate(ParseError* error) const {
+  switch (trigger) {
+    case TriggerAxis::kPeriodic:
+      if (trigger_param != 0) {
+        return MakeError(error, "trigger", FmtParam(trigger_param),
+                         "param-out-of-range");
+      }
+      break;
+    case TriggerAxis::kFileCount:
+      if (!(trigger_param >= 2) ||
+          trigger_param != std::floor(trigger_param)) {
+        return MakeError(error, "trigger", FmtParam(trigger_param),
+                         "param-out-of-range");
+      }
+      break;
+    case TriggerAxis::kSizeRatio:
+      if (!(trigger_param > 1)) {
+        return MakeError(error, "trigger", FmtParam(trigger_param),
+                         "param-out-of-range");
+      }
+      break;
+    case TriggerAxis::kStaleness:
+    case TriggerAxis::kDeadline:
+      if (!(trigger_param > 0)) {
+        return MakeError(error, "trigger", FmtParam(trigger_param),
+                         "param-out-of-range");
+      }
+      break;
+  }
+  if (picker == PickerAxis::kOnlineMerge) {
+    if (movement != engine::RewriteMovement::kMerge) {
+      return MakeError(error, "picker", "online-merge",
+                       "invalid-combination");
+    }
+    if (!(picker_param >= 2) || picker_param != std::floor(picker_param)) {
+      return MakeError(error, "picker", FmtParam(picker_param),
+                       "param-out-of-range");
+    }
+  } else if (picker_param != 0) {
+    return MakeError(error, "picker", FmtParam(picker_param),
+                     "param-out-of-range");
+  }
+  return Status::OK();
+}
+
+bool PolicySpec::operator==(const PolicySpec& other) const {
+  return trigger == other.trigger && trigger_param == other.trigger_param &&
+         granularity == other.granularity && movement == other.movement &&
+         picker == other.picker && picker_param == other.picker_param;
+}
+
+namespace {
+
+/// Splits "name" or "name:param" into the name and an optional param.
+/// Returns false on a malformed param.
+bool SplitParam(const std::string& value, std::string* name,
+                std::optional<double>* param) {
+  const size_t colon = value.find(':');
+  if (colon == std::string::npos) {
+    *name = value;
+    param->reset();
+    return true;
+  }
+  *name = value.substr(0, colon);
+  const std::string text = value.substr(colon + 1);
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(parsed)) return false;
+  *param = parsed;
+  return true;
+}
+
+}  // namespace
+
+Result<PolicySpec> PolicySpec::Parse(const std::string& text,
+                                     ParseError* error) {
+  PolicySpec spec;
+  bool seen_trigger = false, seen_granularity = false, seen_movement = false,
+       seen_picker = false;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t next = text.find(';', pos);
+    const std::string field = text.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    pos = next == std::string::npos ? text.size() + 1 : next + 1;
+    if (field.empty()) continue;
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return MakeError(error, "", field, "unknown-key");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    std::string name;
+    std::optional<double> param;
+    if (!SplitParam(value, &name, &param)) {
+      return MakeError(error, key, value, "bad-param");
+    }
+    if (key == "trigger") {
+      if (seen_trigger) return MakeError(error, key, value, "duplicate-key");
+      seen_trigger = true;
+      bool known = false;
+      for (TriggerAxis t :
+           {TriggerAxis::kPeriodic, TriggerAxis::kFileCount,
+            TriggerAxis::kSizeRatio, TriggerAxis::kStaleness,
+            TriggerAxis::kDeadline}) {
+        if (name == TriggerAxisName(t)) {
+          spec.trigger = t;
+          spec.trigger_param = param.value_or(DefaultTriggerParam(t));
+          known = true;
+          break;
+        }
+      }
+      if (!known) return MakeError(error, key, name, "unknown-value");
+    } else if (key == "granularity") {
+      if (seen_granularity) {
+        return MakeError(error, key, value, "duplicate-key");
+      }
+      seen_granularity = true;
+      if (param.has_value()) return MakeError(error, key, value, "bad-param");
+      bool known = false;
+      for (GranularityAxis g :
+           {GranularityAxis::kPartition, GranularityAxis::kTable,
+            GranularityAxis::kFleet}) {
+        if (name == GranularityAxisName(g)) {
+          spec.granularity = g;
+          known = true;
+          break;
+        }
+      }
+      if (!known) return MakeError(error, key, name, "unknown-value");
+    } else if (key == "movement") {
+      if (seen_movement) return MakeError(error, key, value, "duplicate-key");
+      seen_movement = true;
+      if (param.has_value()) return MakeError(error, key, value, "bad-param");
+      bool known = false;
+      for (engine::RewriteMovement m :
+           {engine::RewriteMovement::kPartial, engine::RewriteMovement::kFull,
+            engine::RewriteMovement::kMerge}) {
+        if (name == engine::RewriteMovementName(m)) {
+          spec.movement = m;
+          known = true;
+          break;
+        }
+      }
+      if (!known) return MakeError(error, key, name, "unknown-value");
+    } else if (key == "picker") {
+      if (seen_picker) return MakeError(error, key, value, "duplicate-key");
+      seen_picker = true;
+      bool known = false;
+      for (PickerAxis p :
+           {PickerAxis::kMoop, PickerAxis::kSorted,
+            PickerAxis::kGreedySizeRatio, PickerAxis::kOnlineMerge}) {
+        if (name == PickerAxisName(p)) {
+          spec.picker = p;
+          spec.picker_param = param.value_or(DefaultPickerParam(p));
+          known = true;
+          break;
+        }
+      }
+      if (!known) return MakeError(error, key, name, "unknown-value");
+    } else {
+      return MakeError(error, key, value, "unknown-key");
+    }
+  }
+  if (!seen_trigger) return MakeError(error, "trigger", "", "missing-key");
+  if (!seen_granularity) {
+    return MakeError(error, "granularity", "", "missing-key");
+  }
+  if (!seen_movement) return MakeError(error, "movement", "", "missing-key");
+  if (!seen_picker) return MakeError(error, "picker", "", "missing-key");
+  AUTOCOMP_RETURN_NOT_OK(spec.Validate(error));
+  return spec;
+}
+
+std::shared_ptr<const CandidateFilter> TriggerFilterFor(
+    const PolicySpec& spec) {
+  switch (spec.trigger) {
+    case TriggerAxis::kPeriodic:
+      return nullptr;
+    case TriggerAxis::kFileCount:
+      return std::make_shared<FileCountTriggerFilter>(
+          static_cast<int64_t>(spec.trigger_param));
+    case TriggerAxis::kSizeRatio:
+      return std::make_shared<SizeRatioTriggerFilter>(spec.trigger_param);
+    case TriggerAxis::kStaleness:
+      return std::make_shared<StalenessTriggerFilter>(
+          static_cast<SimTime>(std::llround(spec.trigger_param * kHour)));
+    case TriggerAxis::kDeadline:
+      return std::make_shared<DeadlineTriggerFilter>(
+          static_cast<SimTime>(std::llround(spec.trigger_param * kHour)));
+  }
+  return nullptr;
+}
+
+engine::RewriteMovement MovementFor(const PolicySpec& spec) {
+  return spec.movement;
+}
+
+std::vector<PolicySpec> EnumerateValidSpecs(EnumerateOptions options) {
+  std::vector<PolicySpec> out;
+  std::vector<GranularityAxis> granularities;
+  if (options.all_granularities) {
+    granularities = {GranularityAxis::kPartition, GranularityAxis::kTable,
+                     GranularityAxis::kFleet};
+  } else {
+    granularities = {GranularityAxis::kTable};
+  }
+  for (TriggerAxis trigger :
+       {TriggerAxis::kPeriodic, TriggerAxis::kFileCount,
+        TriggerAxis::kSizeRatio, TriggerAxis::kStaleness,
+        TriggerAxis::kDeadline}) {
+    for (GranularityAxis granularity : granularities) {
+      for (engine::RewriteMovement movement :
+           {engine::RewriteMovement::kFull, engine::RewriteMovement::kPartial,
+            engine::RewriteMovement::kMerge}) {
+        for (PickerAxis picker :
+             {PickerAxis::kMoop, PickerAxis::kSorted,
+              PickerAxis::kGreedySizeRatio, PickerAxis::kOnlineMerge}) {
+          PolicySpec spec;
+          spec.trigger = trigger;
+          spec.trigger_param = DefaultTriggerParam(trigger);
+          spec.granularity = granularity;
+          spec.movement = movement;
+          spec.picker = picker;
+          spec.picker_param = DefaultPickerParam(picker);
+          if (!spec.Validate().ok()) continue;
+          out.push_back(spec);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace autocomp::core

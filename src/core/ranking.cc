@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "core/merge_policy.h"
 
 namespace autocomp::core {
 
@@ -88,6 +89,36 @@ std::vector<ScoredCandidate> SingleTraitRanker::Rank(
   for (TraitedCandidate& c : candidates) {
     ScoredCandidate sc;
     sc.score = TraitOrZero(c, trait_);
+    sc.traited = std::move(c);
+    out.push_back(std::move(sc));
+  }
+  SortByScore(&out);
+  return out;
+}
+
+std::vector<ScoredCandidate> GreedySizeRatioRanker::Rank(
+    std::vector<TraitedCandidate> candidates) const {
+  std::vector<ScoredCandidate> out;
+  out.reserve(candidates.size());
+  for (TraitedCandidate& c : candidates) {
+    const CandidateStats& stats = c.observed.stats;
+    ScoredCandidate sc;
+    sc.score = static_cast<double>(stats.small_file_bytes()) /
+               static_cast<double>(std::max<int64_t>(1, stats.total_bytes));
+    sc.traited = std::move(c);
+    out.push_back(std::move(sc));
+  }
+  SortByScore(&out);
+  return out;
+}
+
+std::vector<ScoredCandidate> OnlineMergeRanker::Rank(
+    std::vector<TraitedCandidate> candidates) const {
+  std::vector<ScoredCandidate> out;
+  out.reserve(candidates.size());
+  for (TraitedCandidate& c : candidates) {
+    ScoredCandidate sc;
+    sc.score = MergePressureScore(c.observed.stats.file_sizes, k_);
     sc.traited = std::move(c);
     out.push_back(std::move(sc));
   }

@@ -66,6 +66,37 @@ class SingleTraitRanker final : public Ranker {
   std::string trait_;
 };
 
+/// \brief Policy-axis picker (core/policy.h, PickerAxis::kGreedySizeRatio):
+/// ranks candidates by the fraction of their bytes sitting in small files
+/// — the classic tiering heuristic: the table most dominated by debt
+/// compacts first, no trait computation needed.
+class GreedySizeRatioRanker final : public Ranker {
+ public:
+  std::string name() const override { return "greedy-size-ratio"; }
+  std::vector<ScoredCandidate> Rank(
+      std::vector<TraitedCandidate> candidates) const override;
+};
+
+/// \brief Policy-axis picker (PickerAxis::kOnlineMerge): ranks candidates
+/// by Bigtable-style k-way merge pressure (merge_policy.h,
+/// MergePressureScore) — files eliminated per GiB written by the
+/// geometric merge policy's next forced merge, 0 when the candidate's
+/// stack already fits the budget.
+class OnlineMergeRanker final : public Ranker {
+ public:
+  explicit OnlineMergeRanker(size_t k) : k_(k) {}
+  std::string name() const override {
+    return "online-merge:" + std::to_string(k_);
+  }
+  std::vector<ScoredCandidate> Rank(
+      std::vector<TraitedCandidate> candidates) const override;
+
+  size_t k() const { return k_; }
+
+ private:
+  size_t k_;
+};
+
 /// \brief Unconstrained-scenario decision function (§4.3): pass a
 /// candidate to the act phase when `trait >= threshold`.
 class ThresholdPolicy {

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "core/policy.h"
 
 namespace autocomp::core {
 
@@ -17,6 +18,7 @@ engine::CompactionRequest RequestFor(
   request.after_snapshot_id = candidate.after_snapshot_id;
   request.validation_mode = options.validation_mode;
   request.target_file_size_bytes = options.target_file_size_bytes;
+  request.movement = options.movement;
   if (control_plane != nullptr) {
     const catalog::TablePolicy policy =
         control_plane->GetPolicy(candidate.table);
@@ -24,6 +26,17 @@ engine::CompactionRequest RequestFor(
       request.target_file_size_bytes = policy.target_file_size_bytes;
     }
     request.cluster_output = policy.clustering_enabled;
+    if (!policy.compaction_policy.empty()) {
+      // Per-table policy override; a bad catalog entry must not crash
+      // the service, so parse failures fall back to the fleet default.
+      auto spec = PolicySpec::Parse(policy.compaction_policy);
+      if (spec.ok()) {
+        request.movement = MovementFor(*spec);
+      } else {
+        LOG_WARN << "ignoring unparsable compaction_policy for "
+                 << candidate.table << ": " << spec.status();
+      }
+    }
   }
   return request;
 }

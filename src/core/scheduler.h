@@ -38,6 +38,10 @@ struct SchedulerOptions {
   SimTime post_commit_retention = 0;
   /// Override the per-table target size (0 = use table policy/property).
   int64_t target_file_size_bytes = 0;
+  /// Data-movement axis for every request this scheduler builds
+  /// (core/policy.h). A non-empty TablePolicy::compaction_policy
+  /// overrides it per table.
+  engine::RewriteMovement movement = engine::RewriteMovement::kPartial;
 };
 
 /// \brief Executes a ranked, selected plan.

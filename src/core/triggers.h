@@ -12,10 +12,100 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "core/filters.h"
 #include "core/pipeline.h"
 #include "core/ranking.h"
 
 namespace autocomp::core {
+
+/// \name Trigger-axis admission filters (policy.h, TriggerAxis)
+///
+/// The policy design space's trigger axis is realized as per-candidate
+/// admission predicates slotted into the pipeline's pre-orient filter
+/// chain: the service still wakes on its periodic cadence (the
+/// PeriodicTrigger below), but a candidate only proceeds to orient once
+/// its trigger condition holds. The periodic trigger is the absence of
+/// such a filter — every cycle admits everything, the pre-decomposition
+/// behavior.
+/// @{
+
+/// \brief Fires once the candidate holds at least `min_files` small
+/// files (Iceberg's min-input-files / Bigtable's stack-size trigger).
+class FileCountTriggerFilter final : public CandidateFilter {
+ public:
+  explicit FileCountTriggerFilter(int64_t min_files)
+      : min_files_(min_files) {}
+  std::string name() const override { return "trigger:file-count"; }
+  bool ShouldKeep(const ObservedCandidate& candidate,
+                  SimTime) const override {
+    return candidate.stats.small_file_count() >= min_files_;
+  }
+
+ private:
+  int64_t min_files_;
+};
+
+/// \brief Fires once small-file bytes reach 1/`ratio` of the
+/// already-compact bytes — an LSM size-ratio (tiering) trigger: debt is
+/// worth paying down when it is no longer negligible against the
+/// compacted mass.
+class SizeRatioTriggerFilter final : public CandidateFilter {
+ public:
+  explicit SizeRatioTriggerFilter(double ratio) : ratio_(ratio) {}
+  std::string name() const override { return "trigger:size-ratio"; }
+  bool ShouldKeep(const ObservedCandidate& candidate,
+                  SimTime) const override {
+    const int64_t small = candidate.stats.small_file_bytes();
+    const int64_t compact = candidate.stats.total_bytes - small;
+    return candidate.stats.small_file_count() >= 2 &&
+           static_cast<double>(small) * ratio_ >=
+               static_cast<double>(compact);
+  }
+
+ private:
+  double ratio_;
+};
+
+/// \brief Fires once the candidate has been write-quiescent for
+/// `quiesce_window` with debt outstanding: compact cold data, dodge
+/// write-write conflicts on hot data.
+class StalenessTriggerFilter final : public CandidateFilter {
+ public:
+  explicit StalenessTriggerFilter(SimTime quiesce_window)
+      : quiesce_window_(quiesce_window) {}
+  std::string name() const override { return "trigger:staleness"; }
+  bool ShouldKeep(const ObservedCandidate& candidate,
+                  SimTime now) const override {
+    return candidate.stats.small_file_count() >= 2 &&
+           now - candidate.stats.last_modified_at >= quiesce_window_;
+  }
+
+ private:
+  SimTime quiesce_window_;
+};
+
+/// \brief Staleness with a burst bypass: quiesced debt compacts after
+/// `deadline`, but a backlog of `burst_files` or more small files fires
+/// immediately — a latency SLO that still reacts to write bursts.
+class DeadlineTriggerFilter final : public CandidateFilter {
+ public:
+  explicit DeadlineTriggerFilter(SimTime deadline, int64_t burst_files = 16)
+      : deadline_(deadline), burst_files_(burst_files) {}
+  std::string name() const override { return "trigger:deadline"; }
+  bool ShouldKeep(const ObservedCandidate& candidate,
+                  SimTime now) const override {
+    const int64_t small = candidate.stats.small_file_count();
+    if (small < 2) return false;
+    return small >= burst_files_ ||
+           now - candidate.stats.last_modified_at >= deadline_;
+  }
+
+ private:
+  SimTime deadline_;
+  int64_t burst_files_;
+};
+
+/// @}
 
 /// \brief Fixed-interval trigger (the evaluation triggers compaction
 /// hourly; LinkedIn's production deployment daily).

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <map>
 
 #include "common/counter_rng.h"
@@ -19,6 +20,18 @@ namespace {
 /// deployments); output names carry a distinct runner id.
 std::atomic<int> g_runner_instances{0};
 }  // namespace
+
+const char* RewriteMovementName(RewriteMovement movement) {
+  switch (movement) {
+    case RewriteMovement::kPartial:
+      return "partial";
+    case RewriteMovement::kFull:
+      return "full";
+    case RewriteMovement::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
 
 CompactionRunner::CompactionRunner(Cluster* cluster, catalog::Catalog* catalog,
                                    const Clock* clock,
@@ -64,8 +77,12 @@ Result<PendingCompaction> CompactionRunner::Prepare(
   const int64_t target = request.target_file_size_bytes > 0
                              ? request.target_file_size_bytes
                              : meta->target_file_size_bytes();
-  const int64_t small_cutoff = static_cast<int64_t>(std::llround(
-      static_cast<double>(target) * request.small_file_threshold));
+  // kFull rewrites everything in scope: the cutoff stops excluding files.
+  const int64_t small_cutoff =
+      request.movement == RewriteMovement::kFull
+          ? std::numeric_limits<int64_t>::max()
+          : static_cast<int64_t>(std::llround(
+                static_cast<double>(target) * request.small_file_threshold));
 
   // Select rewrite inputs. Data files below the cutoff are rewritten; in
   // partitions carrying MoR delete files, ALL data files are rewritten
@@ -156,6 +173,14 @@ Result<PendingCompaction> CompactionRunner::Prepare(
   }
   std::vector<format::Bin> bins;
   for (const auto& [partition, indices] : by_partition) {
+    if (request.movement == RewriteMovement::kMerge) {
+      // Tiering-style merge: one output run per partition, however large.
+      format::Bin bin;
+      bin.item_indices = indices;
+      for (size_t i : indices) bin.total_bytes += logical_sizes[i];
+      bins.push_back(std::move(bin));
+      continue;
+    }
     std::vector<int64_t> group_sizes;
     group_sizes.reserve(indices.size());
     for (size_t i : indices) group_sizes.push_back(logical_sizes[i]);

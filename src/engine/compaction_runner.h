@@ -18,6 +18,25 @@
 
 namespace autocomp::engine {
 
+/// \brief Data-movement axis of the compaction policy space (core/policy.h):
+/// how much of a candidate's data one work unit rewrites.
+enum class RewriteMovement : int {
+  /// Binpacked partial rewrite: only small files (below the cutoff) are
+  /// rewritten, packed to the target size. The pre-decomposition default.
+  kPartial = 0,
+  /// Full rewrite: every in-scope data file is rewritten regardless of
+  /// size (maximal read-side benefit, maximal write amplification).
+  kFull = 1,
+  /// Tiering-style merge: the selected small files in each partition are
+  /// merged into ONE output run (no binpacking to target size) — the
+  /// Bigtable/LSM merge move, cheapest per step.
+  kMerge = 2,
+};
+
+/// \brief Stable lower-case name ("partial" / "full" / "merge"); the
+/// PolicySpec grammar's movement tokens.
+const char* RewriteMovementName(RewriteMovement movement);
+
 /// \brief One compaction work unit: a table, optionally narrowed to a
 /// partition or to files added after a snapshot (§4.1 candidate scopes).
 struct CompactionRequest {
@@ -32,6 +51,9 @@ struct CompactionRequest {
   /// Only files strictly smaller than this fraction of the target are
   /// rewritten (Iceberg's min-file-size-bytes default is 75%).
   double small_file_threshold = 0.75;
+  /// How much data this unit moves (policy movement axis). kPartial is
+  /// byte-identical to the pre-decomposition behavior.
+  RewriteMovement movement = RewriteMovement::kPartial;
   /// Conflict validation mode for the rewrite commit.
   lst::ValidationMode validation_mode = lst::ValidationMode::kStrictTableLevel;
   /// Rewrite with a clustering layout (Z-order style, §8): outputs become

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "core/policy.h"
 
 namespace autocomp::sim {
 
@@ -84,8 +85,16 @@ void EventDriver::StartNextUnit(common::TableId table) {
     request.partition = candidate.partition;
     request.after_snapshot_id = candidate.after_snapshot_id;
     request.validation_mode = options_.compaction_validation;
-    request.target_file_size_bytes =
-        env_->control_plane().GetPolicy(candidate.table).target_file_size_bytes;
+    request.movement = options_.compaction_movement;
+    const catalog::TablePolicy policy =
+        env_->control_plane().GetPolicy(candidate.table);
+    request.target_file_size_bytes = policy.target_file_size_bytes;
+    if (!policy.compaction_policy.empty()) {
+      // Per-table override, mirroring core::RequestFor: a bad catalog
+      // entry is ignored, never fatal.
+      auto spec = core::PolicySpec::Parse(policy.compaction_policy);
+      if (spec.ok()) request.movement = core::MovementFor(*spec);
+    }
 
     auto pending =
         env_->compaction_runner().Prepare(request, env_->clock().Now());
@@ -228,16 +237,18 @@ Status EventDriver::AdvanceTo(SimTime t) {
         // Control-loop profiling: how long each OODA phase of this run
         // took in host wall-clock, plus stats-cache traffic. These feed
         // the pipeline-throughput benchmarks and the CLI summary.
-        metrics_->Record(ids_.pipeline_generate_ms, clock.Now(),
-                         report.timings.generate_ms);
-        metrics_->Record(ids_.pipeline_observe_ms, clock.Now(),
-                         report.timings.observe_ms);
-        metrics_->Record(ids_.pipeline_orient_ms, clock.Now(),
-                         report.timings.orient_ms);
-        metrics_->Record(ids_.pipeline_decide_ms, clock.Now(),
-                         report.timings.decide_ms);
-        metrics_->Record(ids_.pipeline_act_ms, clock.Now(),
-                         report.timings.act_ms);
+        if (options_.record_host_timings) {
+          metrics_->Record(ids_.pipeline_generate_ms, clock.Now(),
+                           report.timings.generate_ms);
+          metrics_->Record(ids_.pipeline_observe_ms, clock.Now(),
+                           report.timings.observe_ms);
+          metrics_->Record(ids_.pipeline_orient_ms, clock.Now(),
+                           report.timings.orient_ms);
+          metrics_->Record(ids_.pipeline_decide_ms, clock.Now(),
+                           report.timings.decide_ms);
+          metrics_->Record(ids_.pipeline_act_ms, clock.Now(),
+                           report.timings.act_ms);
+        }
         if (report.stats_cache_hits > 0) {
           metrics_->Increment(ids_.stats_cache_hits, clock.Now(),
                               report.stats_cache_hits);

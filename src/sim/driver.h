@@ -47,6 +47,16 @@ struct DriverOptions {
       lst::ValidationMode::kStrictTableLevel;
   /// Retention window for the post-commit sweep (0 = reap immediately).
   SimTime post_commit_retention = 0;
+  /// Data-movement axis for deferred compaction requests (core/policy.h).
+  /// A non-empty TablePolicy::compaction_policy overrides it per table,
+  /// mirroring core::RequestFor.
+  engine::RewriteMovement compaction_movement =
+      engine::RewriteMovement::kPartial;
+  /// Record the pipeline_*_ms host wall-clock profiling series for
+  /// attached-service runs. These are the only nondeterministic metrics
+  /// the driver produces; bit-identity comparisons (policy_diff_test,
+  /// the policy sweep's NFR2 gate) turn them off.
+  bool record_host_timings = true;
 };
 
 /// \brief Event-loop driver. Metric names it produces:

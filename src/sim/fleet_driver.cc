@@ -173,6 +173,18 @@ EnvironmentOptions FleetSimulation::LaneEnvironmentOptions(Lane* lane) const {
   return env;
 }
 
+DriverOptions FleetSimulation::LaneDriverOptions() const {
+  DriverOptions driver_options = options_.driver;
+  if (options_.preset && options_.preset->policy &&
+      *options_.preset->policy != core::PolicySpec::Default()) {
+    // The preset policy's movement axis flows into deferred-mode
+    // requests (synchronous mode routes it through the scheduler).
+    driver_options.compaction_movement =
+        core::MovementFor(*options_.preset->policy);
+  }
+  return driver_options;
+}
+
 void FleetSimulation::HydrateLane(Lane* lane) {
   if (lane->hydrated) return;
   lane->hydrated = true;
@@ -192,7 +204,7 @@ void FleetSimulation::HydrateLane(Lane* lane) {
   lane->env->dfs().SetEpochLoadView(&epoch_load_);
   lane->driver = std::make_unique<EventDriver>(lane->env.get(),
                                                &lane->metrics,
-                                               options_.driver);
+                                               LaneDriverOptions());
   if (options_.preset) {
     // Per-lane AutoComp control loop. The lane advances serially (the
     // fleet pool parallelizes shards, never the inside of a lane), so
@@ -487,7 +499,7 @@ void FleetSimulation::RestoreLane(Lane* lane) {
   lane->env->dfs().SetEpochLoadView(&epoch_load_);
   lane->driver = std::make_unique<EventDriver>(lane->env.get(),
                                                &lane->metrics,
-                                               options_.driver);
+                                               LaneDriverOptions());
   Status st = RestoreLaneState(lane->checkpoint, lane->env.get(),
                                lane->driver.get());
   if (!st.ok() && lane->status.ok()) {

@@ -239,6 +239,11 @@ class FleetSimulation {
   /// a checkpoint (restores must rebuild an *identical* deployment).
   EnvironmentOptions LaneEnvironmentOptions(Lane* lane) const;
 
+  /// Per-lane driver options: the configured options plus the preset
+  /// policy's movement axis for deferred-mode requests. Same at hydrate
+  /// and restore (restored lanes must rebuild an identical driver).
+  DriverOptions LaneDriverOptions() const;
+
   /// Hydrates `lane`: constructs its environment/driver/service, creates
   /// its database, and replays its pending table ops in plan order (with
   /// the lane's injector disarmed, as the eager path's serial-load

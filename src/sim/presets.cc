@@ -13,6 +13,28 @@ std::unique_ptr<core::AutoCompService> MakeMoopService(
     SimEnvironment* env, const StrategyPreset& preset) {
   core::AutoCompPipeline::Stages stages;
 
+  // Non-default policy specs override stage choices along their axes;
+  // the Default() spec leaves every choice — and every trace byte —
+  // exactly as the pre-decomposition preset produced it.
+  const bool has_policy = preset.policy.has_value() &&
+                          *preset.policy != core::PolicySpec::Default();
+  ScopeStrategy scope = preset.scope;
+  if (has_policy) {
+    switch (preset.policy->granularity) {
+      case core::GranularityAxis::kPartition:
+        scope = ScopeStrategy::kPartition;
+        break;
+      case core::GranularityAxis::kTable:
+        scope = ScopeStrategy::kTable;
+        break;
+      case core::GranularityAxis::kFleet:
+        // Fleet granularity = the mixed-scope pool over every table the
+        // control plane sees (the hybrid generator).
+        scope = ScopeStrategy::kHybrid;
+        break;
+    }
+  }
+
   // One index shared by the generator (partition lists, replace
   // watermarks) and the collector (candidate stats); commit listeners
   // keep it current for the service's lifetime.
@@ -21,7 +43,7 @@ std::unique_ptr<core::AutoCompService> MakeMoopService(
     index = std::make_shared<core::IncrementalStatsIndex>(&env->catalog());
   }
 
-  switch (preset.scope) {
+  switch (scope) {
     case ScopeStrategy::kTable:
       stages.generator = std::make_shared<core::TableScopeGenerator>(index);
       break;
@@ -64,6 +86,14 @@ std::unique_ptr<core::AutoCompService> MakeMoopService(
     stages.pre_orient_filters.push_back(
         std::make_shared<core::MinSmallFilesFilter>(preset.min_small_files));
   }
+  if (has_policy) {
+    // Trigger axis: the admission filter deciding when a candidate's
+    // debt is worth acting on (nullptr for periodic — every cycle
+    // admits everything, the default cadence behavior).
+    if (auto trigger_filter = core::TriggerFilterFor(*preset.policy)) {
+      stages.pre_orient_filters.push_back(std::move(trigger_filter));
+    }
+  }
 
   const engine::ClusterOptions& compaction =
       env->compaction_cluster().options();
@@ -79,6 +109,24 @@ std::unique_ptr<core::AutoCompService> MakeMoopService(
       std::vector<core::MoopRanker::Objective>{
           {"file_count_reduction", preset.weight_reduction, false},
           {"compute_cost_gbhr", preset.weight_cost, true}});
+  if (has_policy) {
+    // Picker axis: replaces the decide-phase ranker.
+    switch (preset.policy->picker) {
+      case core::PickerAxis::kMoop:
+        break;  // the MOOP ranker built above
+      case core::PickerAxis::kSorted:
+        stages.ranker = std::make_shared<core::SingleTraitRanker>(
+            "file_count_reduction");
+        break;
+      case core::PickerAxis::kGreedySizeRatio:
+        stages.ranker = std::make_shared<core::GreedySizeRatioRanker>();
+        break;
+      case core::PickerAxis::kOnlineMerge:
+        stages.ranker = std::make_shared<core::OnlineMergeRanker>(
+            static_cast<size_t>(preset.policy->picker_param));
+        break;
+    }
+  }
 
   if (preset.budget_gb_hours.has_value()) {
     stages.selector = std::make_shared<core::BudgetedSelector>(
@@ -93,8 +141,15 @@ std::unique_ptr<core::AutoCompService> MakeMoopService(
     core::SchedulerOptions sched;
     sched.validation_mode = preset.validation_mode;
     sched.run_retention_after_commit = preset.run_retention_after_commit;
+    if (has_policy) {
+      // Movement axis: how much data each work unit rewrites.
+      sched.movement = core::MovementFor(*preset.policy);
+    }
     stages.scheduler = std::make_shared<core::TableParallelScheduler>(
         &env->compaction_runner(), &env->control_plane(), sched);
+  }
+  if (has_policy) {
+    stages.policy_label = preset.policy->ToString();
   }
 
   auto pipeline = std::make_unique<core::AutoCompPipeline>(

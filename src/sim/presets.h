@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "core/pipeline.h"
+#include "core/policy.h"
 #include "core/triggers.h"
 #include "sim/environment.h"
 
@@ -65,6 +66,14 @@ struct StrategyPreset {
   /// instants (not owned; must outlive the service). Usually the same
   /// recorder EnvironmentOptions::trace installs on the lower layers.
   obs::TraceRecorder* trace = nullptr;
+  /// Composable policy point (core/policy.h). When set to anything other
+  /// than PolicySpec::Default(), the spec's axes override the stage
+  /// choices above: granularity overrides `scope`, the trigger axis
+  /// appends its admission filter, the picker axis replaces the ranker,
+  /// and the movement axis flows into every compaction request. Unset or
+  /// Default() leaves the preset byte-identical to the pre-decomposition
+  /// pipeline (tests/policy_diff_test.cc pins this).
+  std::optional<core::PolicySpec> policy;
 };
 
 /// \brief Builds the full pipeline + periodic service over `env`'s

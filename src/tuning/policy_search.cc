@@ -1,0 +1,90 @@
+#include "tuning/policy_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/compaction_runner.h"
+
+namespace autocomp::tuning {
+
+namespace {
+
+int RoundClamp(double value, int hi) {
+  const int rounded = static_cast<int>(std::lround(value));
+  return std::clamp(rounded, 0, hi);
+}
+
+}  // namespace
+
+std::vector<ParamSpec> PolicySpecCodec::Dims() {
+  return {
+      {"trigger", 0, 4, /*log_scale=*/false},
+      {"granularity", 0, 2, /*log_scale=*/false},
+      {"movement", 0, 2, /*log_scale=*/false},
+      {"picker", 0, 3, /*log_scale=*/false},
+  };
+}
+
+core::PolicySpec PolicySpecCodec::Decode(const ParamVector& params) {
+  core::PolicySpec spec;
+  if (params.size() >= 4) {
+    spec.trigger = static_cast<core::TriggerAxis>(RoundClamp(params[0], 4));
+    spec.granularity =
+        static_cast<core::GranularityAxis>(RoundClamp(params[1], 2));
+    spec.movement =
+        static_cast<engine::RewriteMovement>(RoundClamp(params[2], 2));
+    spec.picker = static_cast<core::PickerAxis>(RoundClamp(params[3], 3));
+  }
+  spec.trigger_param = core::DefaultTriggerParam(spec.trigger);
+  spec.picker_param = core::DefaultPickerParam(spec.picker);
+  // Constraint repair: the merge-pressure picker only makes sense with
+  // the tiering-style movement it scores.
+  if (spec.picker == core::PickerAxis::kOnlineMerge) {
+    spec.movement = engine::RewriteMovement::kMerge;
+  }
+  return spec;
+}
+
+ParamVector PolicySpecCodec::Encode(const core::PolicySpec& spec) {
+  return {static_cast<double>(static_cast<int>(spec.trigger)),
+          static_cast<double>(static_cast<int>(spec.granularity)),
+          static_cast<double>(static_cast<int>(spec.movement)),
+          static_cast<double>(static_cast<int>(spec.picker))};
+}
+
+PolicyTuner::PolicyTuner(Optimizer* optimizer, ObjectiveFn objective)
+    : optimizer_(optimizer), objective_(std::move(objective)) {}
+
+Result<std::vector<PolicyTrial>> PolicyTuner::Run(int iterations) {
+  for (int i = 0; i < iterations; ++i) {
+    const ParamVector params = optimizer_->Suggest();
+    const core::PolicySpec spec = PolicySpecCodec::Decode(params);
+    const std::string key = spec.ToString();
+    double objective = 0;
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      ++memo_hits_;
+      objective = it->second;
+    } else {
+      AUTOCOMP_ASSIGN_OR_RETURN(objective, objective_(spec));
+      memo_.emplace(key, objective);
+    }
+    optimizer_->Observe(params, objective);
+    trials_.push_back({spec, objective});
+  }
+  return trials_;
+}
+
+Result<PolicyTrial> PolicyTuner::Best() const {
+  if (trials_.empty()) {
+    return Status::FailedPrecondition("no policy trials have run");
+  }
+  const auto best = std::min_element(
+      trials_.begin(), trials_.end(),
+      [](const PolicyTrial& a, const PolicyTrial& b) {
+        return a.objective < b.objective;
+      });
+  return *best;
+}
+
+}  // namespace autocomp::tuning

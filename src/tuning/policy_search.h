@@ -1,0 +1,82 @@
+/// \file policy_search.h
+/// \brief §6.3 auto-tuning over the composable policy design space:
+/// instead of scalar trigger knobs, the optimizer searches PolicySpec
+/// *shapes* (core/policy.h).
+///
+/// The blackbox optimizers speak continuous ParamVectors, so the codec
+/// maps the four discrete axes onto four numeric dimensions and decodes
+/// any point back to the nearest *valid* spec (rounding + constraint
+/// repair — e.g. a point that lands on picker=online-merge is repaired
+/// to movement=merge, the only legal combination). Decode is total:
+/// every point in the box maps to some valid spec, so the optimizer
+/// never wastes a trial on an infeasible suggestion.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "tuning/optimizer.h"
+
+namespace autocomp::tuning {
+
+/// \brief Maps PolicySpecs onto the optimizers' continuous box.
+/// Dimensions (all linear): trigger kind [0,4], granularity [0,2],
+/// movement [0,2], picker [0,3]. Axis parameters stay at their defaults
+/// — the shape search; parameter refinement can follow with the scalar
+/// tuner on the winning shape.
+class PolicySpecCodec {
+ public:
+  /// The four dimensions, in codec order.
+  static std::vector<ParamSpec> Dims();
+
+  /// Rounds each dimension to the nearest enum value, clamps to range,
+  /// and repairs constraint violations (online-merge forces merge
+  /// movement). Total: always returns a spec that Validate()s.
+  static core::PolicySpec Decode(const ParamVector& params);
+
+  /// The codec point for `spec` (Decode(Encode(s)) == s for any valid
+  /// spec whose parameters are the axis defaults).
+  static ParamVector Encode(const core::PolicySpec& spec);
+};
+
+/// \brief One evaluated policy shape.
+struct PolicyTrial {
+  core::PolicySpec spec;
+  double objective = 0;
+};
+
+/// \brief Runs a blackbox optimizer over policy shapes. Each suggest is
+/// decoded to a valid spec, evaluated (objective minimized — e.g. GBHr,
+/// read latency, or a scalarization of both), and observed back.
+/// Decoding is many-to-one, so repeated shapes are served from a memo
+/// instead of re-simulating.
+class PolicyTuner {
+ public:
+  using ObjectiveFn = std::function<Result<double>(const core::PolicySpec&)>;
+
+  PolicyTuner(Optimizer* optimizer, ObjectiveFn objective);
+
+  /// Runs `iterations` suggest→decode→evaluate→observe cycles.
+  Result<std::vector<PolicyTrial>> Run(int iterations);
+
+  /// Best (lowest-objective) trial so far; FailedPrecondition when none.
+  Result<PolicyTrial> Best() const;
+
+  const std::vector<PolicyTrial>& trials() const { return trials_; }
+  /// Trials served from the memo instead of a fresh evaluation.
+  int64_t memo_hits() const { return memo_hits_; }
+
+ private:
+  Optimizer* optimizer_;
+  ObjectiveFn objective_;
+  std::vector<PolicyTrial> trials_;
+  /// Canonical spec string -> objective (decode is many-to-one).
+  std::map<std::string, double> memo_;
+  int64_t memo_hits_ = 0;
+};
+
+}  // namespace autocomp::tuning

@@ -1,0 +1,176 @@
+// Oracle cross-check for the Bigtable-style merge model
+// (core/merge_policy.h): the memoized offline optimum is validated
+// against an independent brute-force search (no memo, different
+// recursion shape) over randomized small traces, and every built-in
+// online policy is checked to be legal, deterministic, and within a
+// finite competitive ratio >= 1 of the oracle — the guarantees the
+// sweep bench's per-archetype ratio report relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "core/merge_policy.h"
+
+namespace autocomp::core {
+namespace {
+
+/// Independent reference oracle: plain depth-first search over (next
+/// arrival, stack) states with no memoization and suffix merges tried
+/// in the opposite order from the production implementation. Only
+/// viable for tiny traces, which is the point — it shares no code or
+/// search order with OfflineOptimalMergeCost.
+int64_t BruteForceOptimal(const std::vector<int64_t>& arrivals, size_t index,
+                          std::vector<int64_t> stack, size_t k) {
+  if (index == arrivals.size()) {
+    if (stack.size() <= k) return 0;
+    // Still over budget at end of trace: must keep merging.
+  } else if (stack.size() <= k) {
+    // May take the next arrival without merging...
+    std::vector<int64_t> next = stack;
+    next.push_back(arrivals[index]);
+    int64_t best = BruteForceOptimal(arrivals, index + 1, std::move(next), k);
+    // ...or voluntarily merge any newest suffix first.
+    for (size_t m = stack.size(); m >= 2; --m) {
+      std::vector<int64_t> merged(stack.begin(), stack.end() - m);
+      int64_t cost = std::accumulate(stack.end() - m, stack.end(),
+                                     static_cast<int64_t>(0));
+      merged.push_back(cost);
+      best = std::min(best, cost + BruteForceOptimal(arrivals, index,
+                                                     std::move(merged), k));
+    }
+    return best;
+  }
+  // Over budget: a merge is forced before anything else happens.
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (size_t m = 2; m <= stack.size(); ++m) {
+    std::vector<int64_t> merged(stack.begin(), stack.end() - m);
+    int64_t cost = std::accumulate(stack.end() - m, stack.end(),
+                                   static_cast<int64_t>(0));
+    merged.push_back(cost);
+    best = std::min(best, cost + BruteForceOptimal(arrivals, index,
+                                                   std::move(merged), k));
+  }
+  return best;
+}
+
+int64_t BruteForceOptimal(const std::vector<int64_t>& arrivals, size_t k) {
+  return BruteForceOptimal(arrivals, 0, {}, k);
+}
+
+TEST(PolicyOracleTest, OracleMatchesBruteForceOnRandomTraces) {
+  std::mt19937_64 rng(0x0c0ffeeULL);
+  std::uniform_int_distribution<int> len(1, 8);
+  std::uniform_int_distribution<int64_t> size(1, 100);
+  for (const size_t k : {2u, 3u, 4u}) {
+    for (int trial = 0; trial < 40; ++trial) {
+      std::vector<int64_t> arrivals(len(rng));
+      for (int64_t& a : arrivals) a = size(rng);
+      EXPECT_EQ(OfflineOptimalMergeCost(arrivals, k),
+                BruteForceOptimal(arrivals, k))
+          << "k=" << k << " trial=" << trial;
+    }
+  }
+}
+
+TEST(PolicyOracleTest, OracleExploitsVoluntaryEarlyMerges) {
+  // The canonical trap: with k=2 and arrivals {1, 1, 100}, waiting for
+  // the overflow forces the 100-run into a merge (cost >= 101 however
+  // the suffix is chosen), while voluntarily merging the two unit runs
+  // *before* the big arrival costs 2. A forced-merge-only "oracle"
+  // returns 101 here — this test pins the difference.
+  const std::vector<int64_t> arrivals = {1, 1, 100};
+  EXPECT_EQ(OfflineOptimalMergeCost(arrivals, 2), 2);
+  EXPECT_EQ(BruteForceOptimal(arrivals, 2), 2);
+}
+
+TEST(PolicyOracleTest, TracesWithinBudgetCostNothing) {
+  EXPECT_EQ(OfflineOptimalMergeCost({}, 2), 0);
+  EXPECT_EQ(OfflineOptimalMergeCost({5}, 2), 0);
+  EXPECT_EQ(OfflineOptimalMergeCost({5, 7}, 2), 0);
+  EXPECT_EQ(OfflineOptimalMergeCost({5, 7, 9, 11}, 4), 0);
+}
+
+TEST(PolicyOracleTest, OnlinePoliciesAreLegalAndNeverBeatOracle) {
+  std::mt19937_64 rng(0xba5eba11ULL);
+  std::uniform_int_distribution<int> len(1, 10);
+  std::uniform_int_distribution<int64_t> size(1, 1000);
+  const auto policies = BuiltinMergePolicies();
+  ASSERT_GE(policies.size(), 3u);
+  for (const auto& policy : policies) {
+    for (const size_t k : {2u, 3u, 4u}) {
+      for (int trial = 0; trial < 25; ++trial) {
+        std::vector<int64_t> arrivals(len(rng));
+        for (int64_t& a : arrivals) a = size(rng);
+        const MergeCompetitiveRatio r =
+            CompetitiveRatioFor(arrivals, k, *policy);
+        EXPECT_EQ(r.online_cost, SimulateOnlineMergeCost(arrivals, k, *policy))
+            << policy->name();
+        EXPECT_EQ(r.offline_cost, OfflineOptimalMergeCost(arrivals, k))
+            << policy->name();
+        // Online schedules are a subset of the oracle's schedule space.
+        EXPECT_GE(r.online_cost, r.offline_cost) << policy->name();
+        EXPECT_GE(r.ratio, 1.0) << policy->name();
+        EXPECT_TRUE(std::isfinite(r.ratio)) << policy->name();
+        // Determinism: the same trace prices identically on replay.
+        EXPECT_EQ(r.online_cost,
+                  SimulateOnlineMergeCost(arrivals, k, *policy))
+            << policy->name();
+      }
+    }
+  }
+}
+
+TEST(PolicyOracleTest, MergeCountsStayInLegalRange) {
+  std::mt19937_64 rng(0x5ca1ab1eULL);
+  std::uniform_int_distribution<int64_t> size(1, 1000);
+  for (const auto& policy : BuiltinMergePolicies()) {
+    for (const size_t k : {2u, 3u, 5u}) {
+      for (int trial = 0; trial < 50; ++trial) {
+        std::vector<int64_t> stack(k + 1);
+        for (int64_t& s : stack) s = size(rng);
+        const size_t count = policy->MergeCount(stack, k);
+        EXPECT_GE(count, 2u) << policy->name();
+        EXPECT_LE(count, stack.size()) << policy->name();
+      }
+    }
+  }
+}
+
+TEST(PolicyOracleTest, PolicyCostOrderingOnAdversarialTrace) {
+  // Repeated unit arrivals: lazy re-pays the merged prefix every step,
+  // merge-all re-pays everything every step, geometric keeps the stack
+  // geometric. All must still sit at or above the oracle.
+  const std::vector<int64_t> arrivals(12, 1);
+  const size_t k = 3;
+  const int64_t offline = OfflineOptimalMergeCost(arrivals, k);
+  for (const auto& policy : BuiltinMergePolicies()) {
+    EXPECT_GE(SimulateOnlineMergeCost(arrivals, k, *policy), offline)
+        << policy->name();
+  }
+}
+
+TEST(PolicyOracleTest, MergePressureScoreBehaviour) {
+  // A stack within budget has nothing to merge.
+  EXPECT_EQ(MergePressureScore({100, 200}, 4), 0.0);
+  EXPECT_EQ(MergePressureScore({}, 2), 0.0);
+  // An overflowing stack has positive pressure...
+  const double small = MergePressureScore(
+      {1 << 20, 1 << 20, 1 << 20, 1 << 20, 1 << 20}, 4);
+  EXPECT_GT(small, 0.0);
+  // ...and eliminating the same file count for more bytes written is
+  // lower pressure (score is files eliminated per GiB rewritten).
+  const double big = MergePressureScore(
+      {100 << 20, 100 << 20, 100 << 20, 100 << 20, 100 << 20}, 4);
+  EXPECT_GT(big, 0.0);
+  EXPECT_LT(big, small);
+}
+
+}  // namespace
+}  // namespace autocomp::core

@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "common/logging.h"
@@ -30,6 +31,7 @@
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "core/advisor.h"
+#include "core/policy.h"
 #include "fault/fault_injector.h"
 #include "fault/invariant_checker.h"
 #include "sim/driver.h"
@@ -75,6 +77,11 @@ struct Flags {
   /// fleetsim: idle rule — evict lanes with no real work for this many
   /// simulated hours, regardless of the budget (0 = off).
   int evict_after_idle_hours = 0;
+  /// Composable policy spec (core/policy.h), e.g.
+  /// "trigger=file-count:16;granularity=table;movement=merge;
+  /// picker=online-merge". Empty = the legacy preset path (equivalent to
+  /// the Default() spec).
+  std::string policy;
   /// Fault injection profile ("none" leaves the injector disabled).
   std::string fault_profile = "none";
   /// Seed for the injector's counter-RNG draws.
@@ -97,6 +104,7 @@ void PrintUsage() {
       stderr,
       "usage: autocomp_cli <cab|fleet|fleetsim> [--strategy=none|table|"
       "hybrid|partition|snapshot]\n"
+      "                    [--policy=SPEC]\n"
       "                    [--k=N] [--budget=GBHR] [--hours=N] [--days=N]\n"
       "                    [--databases=N] [--seed=N] [--no-deferred]\n"
       "                    [--pool-size=N] [--no-stats-cache]\n"
@@ -112,6 +120,19 @@ void PrintUsage() {
       "                    [--trace-level=off|phases|decisions|full]\n"
       "                    [--trace-out=PATH] [--metrics-out=PATH]\n"
       "\n"
+      "  --policy=SPEC            composable compaction policy (see\n"
+      "                           DESIGN.md §11): four ';'-separated axes,\n"
+      "                           e.g. \"trigger=file-count:16;granularity=\"\n"
+      "                           \"table;movement=merge;picker=online-merge\"\n"
+      "                           Axes: trigger=periodic|file-count[:N]|\n"
+      "                           size-ratio[:R]|staleness[:H]|deadline[:H],\n"
+      "                           granularity=partition|table|fleet,\n"
+      "                           movement=full|partial|merge,\n"
+      "                           picker=moop|sorted|greedy-size-ratio|\n"
+      "                           online-merge[:K]. Omitted = the legacy\n"
+      "                           default pipeline (bit-identical to\n"
+      "                           \"trigger=periodic;granularity=table;\"\n"
+      "                           \"movement=partial;picker=moop\")\n"
       "  --sim-shards=K           fleetsim: partition the fleet's tenant\n"
       "                           databases into K deterministic shards\n"
       "                           advanced concurrently; results are\n"
@@ -182,6 +203,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     };
     if (const char* v = value_of("--strategy")) {
       flags->strategy = v;
+    } else if (const char* v = value_of("--policy")) {
+      flags->policy = v;
     } else if (const char* v = value_of("--k")) {
       flags->k = std::atoll(v);
     } else if (const char* v = value_of("--budget")) {
@@ -236,6 +259,22 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     }
   }
   return true;
+}
+
+/// Parses --policy ("" = stay on the legacy preset path). A malformed
+/// spec is a usage error; the message carries the structured parse
+/// reason (which axis, which token) so the fix is obvious.
+Result<std::optional<core::PolicySpec>> PolicyFor(const Flags& flags) {
+  if (flags.policy.empty()) return std::optional<core::PolicySpec>();
+  core::PolicySpec::ParseError error;
+  auto spec = core::PolicySpec::Parse(flags.policy, &error);
+  if (!spec.ok()) {
+    std::string detail = "--policy: " + error.reason;
+    if (!error.axis.empty()) detail += " on axis '" + error.axis + "'";
+    if (!error.token.empty()) detail += " at token '" + error.token + "'";
+    return Status::InvalidArgument(detail + " in \"" + flags.policy + "\"");
+  }
+  return std::optional<core::PolicySpec>(*spec);
 }
 
 Result<sim::ScopeStrategy> ScopeFor(const std::string& strategy) {
@@ -316,8 +355,11 @@ std::unique_ptr<core::AutoCompService> MakeService(sim::SimEnvironment* env,
   if (flags.strategy == "none") return nullptr;
   auto scope = ScopeFor(flags.strategy);
   AUTOCOMP_CHECK(scope.ok()) << scope.status();
+  auto policy = PolicyFor(flags);  // validated in main(); cannot fail here
+  AUTOCOMP_CHECK(policy.ok()) << policy.status();
   sim::StrategyPreset preset;
   preset.scope = *scope;
+  preset.policy = *policy;
   preset.k = flags.k;
   if (flags.budget > 0) preset.budget_gb_hours = flags.budget;
   preset.trigger_interval = interval;
@@ -631,8 +673,11 @@ int RunFleetSim(const Flags& flags) {
     // daily MOOP pipeline inside its own lane.
     auto scope = ScopeFor(flags.strategy);
     AUTOCOMP_CHECK(scope.ok()) << scope.status();
+    auto policy = PolicyFor(flags);  // validated in main(); cannot fail here
+    AUTOCOMP_CHECK(policy.ok()) << policy.status();
     sim::StrategyPreset preset;
     preset.scope = *scope;
+    preset.policy = *policy;
     preset.k = flags.k;
     if (flags.budget > 0) preset.budget_gb_hours = flags.budget;
     preset.trigger_interval = kDay;
@@ -749,6 +794,10 @@ int main(int argc, char** argv) {
   }
   if (flags.strategy != "none" && !ScopeFor(flags.strategy).ok()) {
     PrintUsage();
+    return 2;
+  }
+  if (auto policy = PolicyFor(flags); !policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
     return 2;
   }
   Logger::set_threshold(LogLevel::kWarn);

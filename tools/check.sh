@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Full pre-merge check: tier-1 build + tests, then the concurrency- and
-# fault-labelled suites under both sanitizer configurations (ASan+UBSan
-# and TSan). Usage:
+# Full pre-merge check: tier-1 build + tests, then the concurrency-,
+# fault- and policy-labelled suites under both sanitizer configurations
+# (ASan+UBSan and TSan). Usage:
 #   tools/check.sh [jobs]        - the pre-merge check
 #   tools/check.sh coverage [jobs]
 #       Coverage gate only: builds with -DAUTOCOMP_COVERAGE=ON, runs the
@@ -18,8 +18,8 @@
 #
 # Build trees:
 #   build/       - default RelWithDebInfo, full ctest suite
-#   build-asan/  - -DAUTOCOMP_SANITIZE=address (ASan+UBSan), ctest -L 'concurrency|fault'
-#   build-tsan/  - -DAUTOCOMP_SANITIZE=thread, ctest -L 'concurrency|fault'
+#   build-asan/  - -DAUTOCOMP_SANITIZE=address (ASan+UBSan), ctest -L 'concurrency|fault|policy'
+#   build-tsan/  - -DAUTOCOMP_SANITIZE=thread, ctest -L 'concurrency|fault|policy'
 #   build-cov/   - -DAUTOCOMP_COVERAGE=ON (coverage mode only)
 
 set -euo pipefail
@@ -128,16 +128,16 @@ run cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run cmake --build build -j "${JOBS}"
 run ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-# --- Concurrency + fault suites under ASan+UBSan.
+# --- Concurrency + fault + policy suites under ASan+UBSan.
 run cmake -B build-asan -S . -DAUTOCOMP_SANITIZE=address \
     -DAUTOCOMP_BUILD_BENCHMARKS=OFF -DAUTOCOMP_BUILD_EXAMPLES=OFF
 run cmake --build build-asan -j "${JOBS}"
-run ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L 'concurrency|fault'
+run ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L 'concurrency|fault|policy'
 
-# --- Concurrency + fault suites under TSan.
+# --- Concurrency + fault + policy suites under TSan.
 run cmake -B build-tsan -S . -DAUTOCOMP_SANITIZE=thread \
     -DAUTOCOMP_BUILD_BENCHMARKS=OFF -DAUTOCOMP_BUILD_EXAMPLES=OFF
 run cmake --build build-tsan -j "${JOBS}"
-run ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L 'concurrency|fault'
+run ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L 'concurrency|fault|policy'
 
 echo "All checks passed."
